@@ -1,0 +1,150 @@
+package wsrs
+
+import (
+	"fmt"
+	"io"
+
+	"wsrs/internal/isa"
+	"wsrs/internal/kernels"
+	"wsrs/internal/limits"
+	"wsrs/internal/report"
+)
+
+// Mix characterizes a dynamic instruction stream along the dimensions
+// §3.3 of the paper builds its degrees-of-freedom argument on: the
+// fractions of noadic/monadic/dyadic micro-ops, how many are
+// commutative or executable in two forms, and the resulting average
+// number of WSRS placement choices per micro-op.
+type Mix struct {
+	Kernel string
+	Uops   uint64
+
+	Noadic  float64 // fraction with no register operand
+	Monadic float64 // one register operand
+	Dyadic  float64 // two register operands
+
+	Commutative  float64 // truly commutative dyadic
+	HWCommutable float64 // two-form executable (§3.3 commutative clusters)
+
+	Loads, Stores, Branches, FPOps float64
+
+	// AvgChoicesRM / AvgChoicesRC are the mean number of clusters a
+	// micro-op may execute on under the RM freedoms (monadic only)
+	// and the RC freedoms (two-form hardware), assuming operands in
+	// uniformly random subsets for dyadic instructions.
+	AvgChoicesRM float64
+	AvgChoicesRC float64
+}
+
+// Characterize computes the dynamic mix of the first n micro-ops of a
+// kernel.
+func Characterize(kernel string, n int) (Mix, error) {
+	k, ok := kernels.ByName(kernel)
+	if !ok {
+		return Mix{}, fmt.Errorf("wsrs: unknown kernel %q", kernel)
+	}
+	sim, err := k.NewSim()
+	if err != nil {
+		return Mix{}, err
+	}
+	mix := Mix{Kernel: kernel}
+	var choicesRM, choicesRC float64
+	for i := 0; i < n; i++ {
+		m, ok := sim.Next()
+		if !ok {
+			break
+		}
+		mix.Uops++
+		switch m.Arity() {
+		case isa.Noadic:
+			mix.Noadic++
+			choicesRM += 4
+			choicesRC += 4
+		case isa.Monadic:
+			mix.Monadic++
+			choicesRM += 2
+			// Two-form hardware lets any monadic op use either entry:
+			// 3 clusters (§3.3).
+			choicesRC += 3
+		default:
+			mix.Dyadic++
+			choicesRM++
+			if m.Commutative {
+				mix.Commutative++
+			}
+			if m.HWCommutable {
+				mix.HWCommutable++
+			}
+			// Two-form dyadic: 2 clusters when the operands lie in
+			// different subsets (probability 3/4 for uniform subsets).
+			choicesRC += 1 + 0.75
+		}
+		switch m.Class {
+		case isa.ClassLoad:
+			mix.Loads++
+		case isa.ClassStore:
+			mix.Stores++
+		case isa.ClassFP, isa.ClassFPDiv:
+			mix.FPOps++
+		}
+		if m.IsBranch {
+			mix.Branches++
+		}
+	}
+	if mix.Uops == 0 {
+		return mix, sim.Err()
+	}
+	total := float64(mix.Uops)
+	mix.Noadic /= total
+	mix.Monadic /= total
+	mix.Dyadic /= total
+	mix.Commutative /= total
+	mix.HWCommutable /= total
+	mix.Loads /= total
+	mix.Stores /= total
+	mix.Branches /= total
+	mix.FPOps /= total
+	mix.AvgChoicesRM = choicesRM / total
+	mix.AvgChoicesRC = choicesRC / total
+	return mix, sim.Err()
+}
+
+// CharacterizeAll characterizes every kernel over n micro-ops each.
+func CharacterizeAll(n int) ([]Mix, error) {
+	var out []Mix
+	for _, name := range Kernels() {
+		m, err := Characterize(name, n)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, m)
+	}
+	return out, nil
+}
+
+// RenderMixes writes the characterization as a table.
+func RenderMixes(w io.Writer, mixes []Mix) {
+	t := report.NewTable("Dynamic instruction mix (fractions of micro-ops; §3.3 degrees of freedom)",
+		"kernel", "noadic", "monadic", "dyadic", "2-form", "loads", "stores",
+		"branches", "fp", "choices RM", "choices RC")
+	for _, m := range mixes {
+		t.AddRow(m.Kernel, m.Noadic, m.Monadic, m.Dyadic, m.HWCommutable,
+			m.Loads, m.Stores, m.Branches, m.FPOps, m.AvgChoicesRM, m.AvgChoicesRC)
+	}
+	t.Render(w)
+}
+
+// LimitReport re-exports the dataflow limit study.
+type LimitReport = limits.Report
+
+// Limits computes the dataflow limit study (infinite-machine ILP
+// bound) over the first n micro-ops of a kernel. Comparing it against
+// the simulated IPCs shows how much of each proxy's parallelism the
+// 8-way clustered machines harvest.
+func Limits(kernel string, n int) (LimitReport, error) {
+	ops, err := Trace(kernel, n)
+	if err != nil {
+		return LimitReport{}, err
+	}
+	return limits.Analyze(ops, isa.DefaultLatencies()), nil
+}

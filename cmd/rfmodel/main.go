@@ -1,0 +1,58 @@
+// Command rfmodel explores the register-file complexity models of the
+// paper's Table 1: silicon bit area (Formula 1), CACTI-style access
+// time and energy, register-read pipeline depth and bypass-point
+// complexity for the five organizations, at a configurable technology
+// point.
+//
+// Usage:
+//
+//	rfmodel               # reproduce Table 1 at 0.09 µm
+//	rfmodel -feature 0.18 # older technology
+//	rfmodel -csv          # machine-readable output
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"wsrs/internal/cacti"
+	"wsrs/internal/regfile"
+	"wsrs/internal/report"
+)
+
+func main() {
+	feature := flag.Float64("feature", 0.09, "technology feature size in µm")
+	csv := flag.Bool("csv", false, "emit CSV instead of an aligned table")
+	flag.Parse()
+
+	tech := cacti.Tech{FeatureUm: *feature}
+	rows := regfile.Table1(tech, regfile.PaperConfigs())
+
+	t := report.NewTable(
+		fmt.Sprintf("Table 1 — register file estimates (%.2fµm)", *feature),
+		"config", "regs", "copies", "(R,W)", "subfiles",
+		"nJ/cycle", "access ns", "pipe@10GHz", "bypass@10GHz",
+		"pipe@5GHz", "bypass@5GHz", "bit area (w^2)", "rel area")
+	for _, r := range rows {
+		t.AddRow(r.Org.Name, r.Org.TotalRegs, r.Org.Copies,
+			fmt.Sprintf("(%d,%d)", r.Org.ReadPorts, r.Org.WritePorts),
+			r.Org.Subfiles, r.EnergyNJ, fmt.Sprintf("%.3f", r.AccessNs),
+			r.Pipe10GHz, r.Bypass10GHz, r.Pipe5GHz, r.Bypass5GHz,
+			r.BitArea, r.AreaRel)
+	}
+	if *csv {
+		t.CSV(os.Stdout)
+	} else {
+		t.Render(os.Stdout)
+		fmt.Println()
+		fmt.Println("Paper reference values (modified CACTI 2.0, Table 1):")
+		ref := report.NewTable("", "config", "nJ/cycle", "access ns", "bit area", "rel area")
+		ref.AddRow("noWS-M", 3.20, 0.71, 1120, 7.0)
+		ref.AddRow("noWS-D", 2.90, 0.52, 1792, 11.2)
+		ref.AddRow("WS", 1.70, 0.40, 280, 3.5)
+		ref.AddRow("WSRS", 1.25, 0.35, 140, 1.75)
+		ref.AddRow("noWS-2", 0.63, 0.34, 320, 1.0)
+		ref.Render(os.Stdout)
+	}
+}

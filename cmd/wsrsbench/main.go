@@ -1,0 +1,227 @@
+// Command wsrsbench regenerates the paper's evaluation: Table 1
+// (register-file complexity), Figure 4 (IPC of 12 benchmarks on 6
+// configurations) and Figure 5 (workload unbalancing degree), plus
+// the repository's ablation sweeps.
+//
+// Usage:
+//
+//	wsrsbench                       # everything, default slice sizes
+//	wsrsbench -exp figure4          # one experiment
+//	wsrsbench -warmup 50000 -measure 200000
+//	wsrsbench -kernels gzip,crafty  # subset of benchmarks
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"wsrs"
+	"wsrs/internal/report"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment: table1, figure4, figure5, mix, ablations, all")
+	warmup := flag.Uint64("warmup", 20_000, "warmup instructions per run")
+	measure := flag.Uint64("measure", 100_000, "measured instructions per run")
+	seed := flag.Int64("seed", 1, "allocation-policy seed")
+	seeds := flag.Int("seeds", 1, "number of seeds for figure4 (mean ± std error bars)")
+	kernelCSV := flag.String("kernels", "", "comma-separated benchmark subset (default: all 12)")
+	flag.Parse()
+
+	opts := wsrs.SimOpts{WarmupInsts: *warmup, MeasureInsts: *measure, Seed: *seed}
+	var kernelList []string
+	if *kernelCSV != "" {
+		kernelList = strings.Split(*kernelCSV, ",")
+	}
+
+	start := time.Now()
+	switch *exp {
+	case "table1":
+		table1()
+	case "figure4":
+		if *seeds > 1 {
+			figure4Seeds(kernelList, opts, *seeds)
+		} else {
+			figure4(kernelList, opts)
+		}
+	case "figure5":
+		figure5(kernelList, opts)
+	case "mix":
+		mix()
+	case "ablations":
+		ablations(opts)
+	case "all":
+		table1()
+		fmt.Println()
+		mix()
+		fmt.Println()
+		figure4(kernelList, opts)
+		fmt.Println()
+		figure5(kernelList, opts)
+		fmt.Println()
+		ablations(opts)
+	default:
+		fmt.Fprintf(os.Stderr, "wsrsbench: unknown experiment %q\n", *exp)
+		os.Exit(2)
+	}
+	fmt.Printf("\ntotal elapsed: %s\n", time.Since(start).Round(time.Millisecond))
+}
+
+func table1() {
+	wsrs.RenderTable1(os.Stdout)
+}
+
+func mix() {
+	mixes, err := wsrs.CharacterizeAll(100_000)
+	if err != nil {
+		fatal(err)
+	}
+	wsrs.RenderMixes(os.Stdout, mixes)
+}
+
+func figure4(kernels []string, opts wsrs.SimOpts) {
+	cells, err := wsrs.RunFigure4(nil, kernels, opts)
+	if err != nil {
+		fatal(err)
+	}
+	wsrs.RenderFigure4(os.Stdout, cells)
+}
+
+// figure4Seeds prints Figure 4 with multi-seed error bars for the
+// randomized WSRS policies.
+func figure4Seeds(kernels []string, opts wsrs.SimOpts, n int) {
+	if kernels == nil {
+		kernels = wsrs.Kernels()
+	}
+	t := report.NewTable(
+		fmt.Sprintf("Figure 4 — IPC, mean ± std over %d seeds", n),
+		"benchmark", "RR 256", "WSRS RC S 512", "WSRS RM S 512")
+	for _, k := range kernels {
+		rr, err := wsrs.RunKernel(wsrs.ConfRR256, k, opts)
+		if err != nil {
+			fatal(err)
+		}
+		cell := func(conf wsrs.ConfigName) string {
+			results, err := wsrs.RunKernelSeeds(conf, k, opts, n)
+			if err != nil {
+				fatal(err)
+			}
+			st := wsrs.IPCStats(results)
+			return fmt.Sprintf("%.2f ± %.3f", st.Mean, st.Std)
+		}
+		t.AddRow(k, fmt.Sprintf("%.2f", rr.IPC), cell(wsrs.ConfWSRSRC512), cell(wsrs.ConfWSRSRM512))
+	}
+	t.Render(os.Stdout)
+}
+
+func figure5(kernels []string, opts wsrs.SimOpts) {
+	cells, err := wsrs.RunFigure5(kernels, opts)
+	if err != nil {
+		fatal(err)
+	}
+	wsrs.RenderFigure5(os.Stdout, cells)
+}
+
+func ablations(opts wsrs.SimOpts) {
+	// Renaming implementation 1 vs 2 (§2.2).
+	t := report.NewTable("Ablation — renaming implementation (WSRS RC 512, gzip)",
+		"implementation", "IPC", "rename-stall slots")
+	if res, err := wsrs.RunKernel(wsrs.ConfWSRSRC512, "gzip", opts); err == nil {
+		t.AddRow("impl 2 (exact-count, 18-cycle penalty)", res.IPC, res.StallRename)
+	} else {
+		fatal(err)
+	}
+	if res, err := wsrs.RunKernelWith(wsrs.ConfWSRSRC512, "gzip", opts, "",
+		wsrs.WithRenameImpl1(3)); err == nil {
+		t.AddRow("impl 1 (over-pick d=3, 16-cycle penalty)", res.IPC, res.StallRename)
+	} else {
+		fatal(err)
+	}
+	t.Render(os.Stdout)
+	fmt.Println()
+
+	// Register budget sweep with the deadlock workaround.
+	t = report.NewTable("Ablation — WSRS register budget (gzip, RC)",
+		"registers", "per subset", "IPC", "injected moves", "rename-stall slots")
+	for _, regs := range []int{256, 384, 512, 768} {
+		res, err := wsrs.RunKernelWith(wsrs.ConfWSRSRC512, "gzip", opts, "",
+			wsrs.WithRegisters(regs), wsrs.WithDeadlockMoves())
+		if err != nil {
+			fatal(err)
+		}
+		t.AddRow(regs, regs/4, res.IPC, res.InjectedMoves, res.StallRename)
+	}
+	t.Render(os.Stdout)
+	fmt.Println()
+
+	// Inter-cluster forwarding delay sweep.
+	t = report.NewTable("Ablation — inter-cluster forwarding delay (gzip)",
+		"delay", "RR 256 IPC", "WSRS RC 512 IPC")
+	for _, d := range []int{0, 1, 2, 3} {
+		rr, err := wsrs.RunKernelWith(wsrs.ConfRR256, "gzip", opts, "", wsrs.WithXClusterDelay(d))
+		if err != nil {
+			fatal(err)
+		}
+		rc, err := wsrs.RunKernelWith(wsrs.ConfWSRSRC512, "gzip", opts, "", wsrs.WithXClusterDelay(d))
+		if err != nil {
+			fatal(err)
+		}
+		t.AddRow(d, rr.IPC, rc.IPC)
+	}
+	t.Render(os.Stdout)
+	fmt.Println()
+
+	// Figure 2a vs 2b: identical clusters vs pools of functional units.
+	t = report.NewTable("Ablation — WS organization (Figure 2a clusters vs 2b pools)",
+		"benchmark", "WSRR 512 (clusters) IPC", "WS pools 512 IPC")
+	for _, k := range []string{"gzip", "crafty", "wupwise"} {
+		cl, err := wsrs.RunKernel(wsrs.ConfWSRR512, k, opts)
+		if err != nil {
+			fatal(err)
+		}
+		po, err := wsrs.RunKernel(wsrs.ConfWSPools512, k, opts)
+		if err != nil {
+			fatal(err)
+		}
+		t.AddRow(k, cl.IPC, po.IPC)
+	}
+	t.Render(os.Stdout)
+	fmt.Println()
+
+	// Fast-forwarding hardware options (§4.3.1).
+	t = report.NewTable("Ablation — fast-forwarding options (galgel)",
+		"forwarding", "RR 256 IPC", "WSRS RC 512 IPC")
+	for _, fw := range []string{wsrs.ForwardComplete, wsrs.ForwardPairs, wsrs.ForwardIntra} {
+		rr, err := wsrs.RunKernelWith(wsrs.ConfRR256, "galgel", opts, "", wsrs.WithForwarding(fw))
+		if err != nil {
+			fatal(err)
+		}
+		rc, err := wsrs.RunKernelWith(wsrs.ConfWSRSRC512, "galgel", opts, "", wsrs.WithForwarding(fw))
+		if err != nil {
+			fatal(err)
+		}
+		t.AddRow(fw, rr.IPC, rc.IPC)
+	}
+	t.Render(os.Stdout)
+	fmt.Println()
+
+	// Allocation policies, including the future-work balanced policy.
+	t = report.NewTable("Ablation — allocation policy (WSRS 512, facerec)",
+		"policy", "IPC", "unbalancing %")
+	for _, p := range []string{"RM", "RC", "RC-bal", "RC-dep"} {
+		res, err := wsrs.RunKernelWith(wsrs.ConfWSRSRC512, "facerec", opts, p)
+		if err != nil {
+			fatal(err)
+		}
+		t.AddRow(p, res.IPC, fmt.Sprintf("%.1f", res.UnbalancingDegree))
+	}
+	t.Render(os.Stdout)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "wsrsbench:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,96 @@
+// Command wsrssim runs a single simulation: one benchmark kernel (or
+// a program file) on one machine configuration, and prints a detailed
+// report.
+//
+// Usage:
+//
+//	wsrssim -kernel gzip -config "WSRS RC S 512"
+//	wsrssim -kernel mcf -config "RR 256" -warmup 50000 -measure 200000
+//	wsrssim -program prog.s -config "RR 256"
+//	wsrssim -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"wsrs"
+)
+
+func main() {
+	kernel := flag.String("kernel", "gzip", "benchmark kernel name")
+	program := flag.String("program", "", "assembly file to run instead of a kernel")
+	config := flag.String("config", string(wsrs.ConfRR256), "machine configuration")
+	policy := flag.String("policy", "", "override allocation policy (RR, RM, RC, RC-bal)")
+	warmup := flag.Uint64("warmup", 20_000, "warmup instructions")
+	measure := flag.Uint64("measure", 100_000, "measured instructions (0: to end of program)")
+	seed := flag.Int64("seed", 1, "allocation-policy random seed")
+	xdelay := flag.Int("xdelay", -1, "override inter-cluster forwarding delay")
+	regs := flag.Int("regs", 0, "override total physical register count")
+	impl1 := flag.Int("impl1", 0, "use renaming implementation 1 with this recycle depth")
+	list := flag.Bool("list", false, "list kernels and configurations")
+	flag.Parse()
+
+	if *list {
+		fmt.Println("kernels:       ", strings.Join(wsrs.Kernels(), ", "))
+		fmt.Print("configurations:")
+		for _, c := range wsrs.Figure4Configs() {
+			fmt.Printf("  %q", string(c))
+		}
+		fmt.Println()
+		return
+	}
+
+	opts := wsrs.SimOpts{WarmupInsts: *warmup, MeasureInsts: *measure, Seed: *seed}
+	var mods []wsrs.MachineOption
+	if *xdelay >= 0 {
+		mods = append(mods, wsrs.WithXClusterDelay(*xdelay))
+	}
+	if *regs > 0 {
+		mods = append(mods, wsrs.WithRegisters(*regs), wsrs.WithDeadlockMoves())
+	}
+	if *impl1 > 0 {
+		mods = append(mods, wsrs.WithRenameImpl1(*impl1))
+	}
+
+	var res wsrs.Result
+	var err error
+	if *program != "" {
+		src, rerr := os.ReadFile(*program)
+		if rerr != nil {
+			fatal(rerr)
+		}
+		res, err = wsrs.RunProgram(wsrs.ConfigName(*config), string(src), nil, opts)
+	} else {
+		res, err = wsrs.RunKernelWith(wsrs.ConfigName(*config), *kernel, opts, *policy, mods...)
+	}
+	if err != nil {
+		fatal(err)
+	}
+	print(res)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "wsrssim:", err)
+	os.Exit(1)
+}
+
+func print(r wsrs.Result) {
+	fmt.Printf("configuration        %s\n", r.Name)
+	fmt.Printf("cycles               %d\n", r.Cycles)
+	fmt.Printf("instructions         %d  (%d micro-ops)\n", r.Insts, r.Uops)
+	fmt.Printf("IPC                  %.3f  (%.3f micro-op IPC)\n", r.IPC, r.UopIPC)
+	fmt.Printf("cond branches        %d  (%.2f%% mispredicted)\n", r.CondBranches, 100*r.MispredictRate)
+	fmt.Printf("window traps         %d\n", r.Traps)
+	fmt.Printf("loads / stores       %d / %d\n", r.Mem.Loads, r.Mem.Stores)
+	fmt.Printf("L1 hit rate          %.2f%%  (misses %d)\n", 100*r.Mem.L1HitRate(), r.Mem.L1Misses)
+	fmt.Printf("L2 misses            %d\n", r.Mem.L2Misses)
+	fmt.Printf("store forwards       %d\n", r.StoreForwards)
+	fmt.Printf("stall slots          redirect=%d rename=%d window=%d\n",
+		r.StallRedirect, r.StallRename, r.StallWindow)
+	fmt.Printf("injected moves       %d  (re-steers %d)\n", r.InjectedMoves, r.Resteers)
+	fmt.Printf("cluster loads        %v  (spread %.2f)\n", r.ClusterLoads, r.ClusterSpread)
+	fmt.Printf("unbalancing degree   %.1f%%\n", r.UnbalancingDegree)
+}

@@ -1,0 +1,96 @@
+// Command wsrstrace inspects the dynamic micro-op streams of the
+// benchmark kernels: it disassembles a window of the trace, prints
+// the §3.3 instruction-mix characterization, and computes the
+// dataflow limit study (the infinite-machine ILP bound that
+// contextualizes the simulated IPCs of Figure 4).
+//
+// Usage:
+//
+//	wsrstrace -kernel gzip -dump 40
+//	wsrstrace -kernel mcf -n 200000
+//	wsrstrace -all
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"wsrs"
+	"wsrs/internal/report"
+)
+
+func main() {
+	kernel := flag.String("kernel", "gzip", "benchmark kernel")
+	n := flag.Int("n", 100_000, "micro-ops to analyze")
+	dump := flag.Int("dump", 0, "also print the first N micro-ops")
+	all := flag.Bool("all", false, "limit study for every kernel")
+	flag.Parse()
+
+	if *all {
+		t := report.NewTable("Dataflow limit study (infinite machine)",
+			"kernel", "uops", "crit path (cyc)", "dataflow IPC",
+			"mem dataflow IPC", "max chain (uops)")
+		for _, k := range wsrs.Kernels() {
+			rep, err := wsrs.Limits(k, *n)
+			if err != nil {
+				fatal(err)
+			}
+			t.AddRow(k, rep.Uops, rep.CriticalPath, rep.DataflowIPC,
+				rep.MemDataflowIPC, rep.MaxChain)
+		}
+		t.Render(os.Stdout)
+		return
+	}
+
+	if *dump > 0 {
+		ops, err := wsrs.Trace(*kernel, *dump)
+		if err != nil {
+			fatal(err)
+		}
+		for _, m := range ops {
+			extra := ""
+			if m.Class.String() == "load" || m.Class.String() == "store" {
+				extra = fmt.Sprintf(" addr=%#x", m.Addr)
+			}
+			if m.IsBranch {
+				extra = fmt.Sprintf(" taken=%v", m.Taken)
+			}
+			dst := ""
+			if m.HasDst {
+				dst = " -> " + m.Dst.String()
+			}
+			srcs := ""
+			for i := 0; i < m.NSrc; i++ {
+				srcs += " " + m.Src[i].String()
+			}
+			fmt.Printf("%6d pc=%#06x %-6s [%-5s]%s%s%s\n",
+				m.Seq, m.PC, m.Op, m.Class, srcs, dst, extra)
+		}
+		fmt.Println()
+	}
+
+	mix, err := wsrs.Characterize(*kernel, *n)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("%s over %d micro-ops:\n", *kernel, mix.Uops)
+	fmt.Printf("  arity      noadic %.1f%%  monadic %.1f%%  dyadic %.1f%% (two-form %.1f%%)\n",
+		100*mix.Noadic, 100*mix.Monadic, 100*mix.Dyadic, 100*mix.HWCommutable)
+	fmt.Printf("  mix        loads %.1f%%  stores %.1f%%  branches %.1f%%  fp %.1f%%\n",
+		100*mix.Loads, 100*mix.Stores, 100*mix.Branches, 100*mix.FPOps)
+	fmt.Printf("  placement  avg choices: RM %.2f, RC %.2f (of 4)\n",
+		mix.AvgChoicesRM, mix.AvgChoicesRC)
+
+	rep, err := wsrs.Limits(*kernel, *n)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("  limits     dataflow IPC %.1f  with memory deps %.1f  longest chain %d uops\n",
+		rep.DataflowIPC, rep.MemDataflowIPC, rep.MaxChain)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "wsrstrace:", err)
+	os.Exit(1)
+}

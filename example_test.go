@@ -1,0 +1,75 @@
+package wsrs_test
+
+import (
+	"fmt"
+
+	"wsrs"
+)
+
+// The structural rows of Table 1 are exact reproductions of the
+// paper, so they make a stable documented example.
+func ExampleTable1() {
+	rows := wsrs.Table1()
+	for _, r := range rows {
+		fmt.Printf("%-7s %d regs, %d copies, (%d,%d) ports, bit area %d w2, %.2fx area\n",
+			r.Org.Name, r.Org.TotalRegs, r.Org.Copies,
+			r.Org.ReadPorts, r.Org.WritePorts, r.BitArea, r.AreaRel)
+	}
+	// Output:
+	// noWS-M  256 regs, 1 copies, (16,12) ports, bit area 1120 w2, 7.00x area
+	// noWS-D  256 regs, 4 copies, (4,12) ports, bit area 1792 w2, 11.20x area
+	// WS      512 regs, 4 copies, (4,3) ports, bit area 280 w2, 3.50x area
+	// WSRS    512 regs, 2 copies, (4,3) ports, bit area 140 w2, 1.75x area
+	// noWS-2  128 regs, 2 copies, (4,6) ports, bit area 320 w2, 1.00x area
+}
+
+// Simulating a benchmark takes one call; the result carries IPC plus
+// the §5.4.2 unbalancing diagnostics.
+func ExampleRunKernel() {
+	res, err := wsrs.RunKernel(wsrs.ConfWSRSRC512, "gzip",
+		wsrs.SimOpts{WarmupInsts: 5000, MeasureInsts: 20000})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("committed >= 20000 instructions: %v, IPC in (0, 8]: %v\n",
+		res.Insts >= 20000, res.IPC > 0 && res.IPC <= 8)
+	// Output:
+	// committed >= 20000 instructions: true, IPC in (0, 8]: true
+}
+
+// Custom programs are assembled from source and run on any machine
+// configuration.
+func ExampleRunProgram() {
+	res, err := wsrs.RunProgram(wsrs.ConfRR256, `
+		li  %o0, 10
+		li  %o1, 0
+	loop:
+		add %o1, %o1, %o0
+		sub %o0, %o0, 1
+		bgt %o0, %g0, loop
+		halt
+	`, nil, wsrs.SimOpts{WarmupInsts: 0, MeasureInsts: 0})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("instructions: %d\n", res.Insts)
+	// Output:
+	// instructions: 32
+}
+
+// Figure 4 runs are composable: pick configurations and benchmarks.
+func ExampleRunFigure4() {
+	cells, err := wsrs.RunFigure4(
+		[]wsrs.ConfigName{wsrs.ConfRR256, wsrs.ConfWSRSRC512},
+		[]string{"crafty"},
+		wsrs.SimOpts{WarmupInsts: 5000, MeasureInsts: 20000})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("%d cells, first is %s on %q\n", len(cells), cells[0].Kernel, cells[0].Config)
+	// Output:
+	// 2 cells, first is crafty on "RR 256"
+}

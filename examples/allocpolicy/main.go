@@ -1,0 +1,44 @@
+// allocpolicy compares the WSRS cluster-allocation policies of the
+// paper (§3.3, §5.2.1) — RM, RC — against round-robin on the
+// conventional machine and against the least-loaded "RC-bal" policy
+// that previews the paper's future-work direction, across the whole
+// benchmark suite. It prints IPC and the §5.4.2 unbalancing degree
+// side by side, making the balance-versus-locality trade-off visible.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"wsrs"
+	"wsrs/internal/report"
+)
+
+func main() {
+	opts := wsrs.SimOpts{WarmupInsts: 15_000, MeasureInsts: 60_000}
+
+	t := report.NewTable("Cluster allocation policies (IPC | unbalancing %)",
+		"benchmark", "RR (conv)", "WSRS RM", "WSRS RC", "WSRS RC-bal")
+	for _, k := range wsrs.Kernels() {
+		rr, err := wsrs.RunKernel(wsrs.ConfRR256, k, opts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		cell := func(policy string) string {
+			res, err := wsrs.RunKernelWith(wsrs.ConfWSRSRC512, k, opts, policy)
+			if err != nil {
+				log.Fatal(err)
+			}
+			return fmt.Sprintf("%.2f | %4.1f", res.IPC, res.UnbalancingDegree)
+		}
+		t.AddRow(k, fmt.Sprintf("%.2f |  0.0", rr.IPC), cell("RM"), cell("RC"), cell("RC-bal"))
+	}
+	t.Render(os.Stdout)
+
+	fmt.Println()
+	fmt.Println("RM uses only the monadic degree of freedom; RC adds two-form")
+	fmt.Println("(commutative-cluster) execution; RC-bal picks the least-loaded")
+	fmt.Println("allowed cluster — the dynamic policy direction of the paper's")
+	fmt.Println("future work, §5.4.2.")
+}

@@ -1,0 +1,84 @@
+// complexity explores the register-file complexity models beyond the
+// paper's Table 1 design points: how the five organizations' access
+// time, energy and area scale with physical register count, and where
+// the WSRS organization's advantage comes from (fewer write ports,
+// fewer copies, shorter banks).
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"wsrs/internal/bypass"
+	"wsrs/internal/cacti"
+	"wsrs/internal/regfile"
+	"wsrs/internal/report"
+	"wsrs/internal/wakeup"
+)
+
+func main() {
+	tech := cacti.Tech009()
+
+	// Sweep the register budget for each organization.
+	t := report.NewTable("Access time (ns) vs total physical registers (0.09µm)",
+		"registers", "noWS-M", "noWS-D", "WS", "WSRS", "noWS-2")
+	for _, n := range []int{128, 256, 512, 1024} {
+		t.AddRow(n,
+			ns(regfile.NoWSMono(n).AccessTimeNs(tech)),
+			ns(regfile.NoWSDistributed(n).AccessTimeNs(tech)),
+			ns(regfile.WS(n).AccessTimeNs(tech)),
+			ns(regfile.WSRS(n).AccessTimeNs(tech)),
+			ns(regfile.NoWS2(n).AccessTimeNs(tech)))
+	}
+	t.Render(os.Stdout)
+	fmt.Println()
+
+	e := report.NewTable("Peak energy (nJ/cycle) vs total physical registers",
+		"registers", "noWS-M", "noWS-D", "WS", "WSRS", "noWS-2")
+	for _, n := range []int{128, 256, 512, 1024} {
+		e.AddRow(n,
+			regfile.NoWSMono(n).EnergyPerCycleNJ(tech),
+			regfile.NoWSDistributed(n).EnergyPerCycleNJ(tech),
+			regfile.WS(n).EnergyPerCycleNJ(tech),
+			regfile.WSRS(n).EnergyPerCycleNJ(tech),
+			regfile.NoWS2(n).EnergyPerCycleNJ(tech))
+	}
+	e.Render(os.Stdout)
+	fmt.Println()
+
+	// Decompose the WSRS advantage at the paper's design point.
+	d := regfile.NoWSDistributed(256)
+	w := regfile.WSRS(512)
+	fmt.Println("Where the WSRS register file advantage comes from (vs noWS-D):")
+	fmt.Printf("  write ports per copy: %d -> %d  (write specialization)\n", d.WritePorts, w.WritePorts)
+	fmt.Printf("  copies per register:  %d -> %d  (read specialization)\n", d.Copies, w.Copies)
+	fmt.Printf("  registers per bank:   %d -> %d  (per-subset banks)\n", d.BankRegs, w.BankRegs)
+	fmt.Printf("  bit cell area:        %dw² -> %dw²  (Formula 1)\n", d.BitArea(), w.BitArea())
+	fmt.Printf("  total area ratio:     %.1fx smaller despite 2x the registers\n", d.TotalAreaRel(w))
+	fmt.Println()
+
+	// The wake-up / bypass headline (§4.3).
+	fmt.Println("Wake-up and bypass complexity (10 GHz):")
+	for _, r := range regfile.Table1(tech, regfile.PaperConfigs()) {
+		fmt.Printf("  %-7s %2d wake-up comparators/entry, %3d bypass sources\n",
+			r.Org.Name, regfile.WakeupComparators(r.Org.ResultProducers), r.Bypass10GHz)
+	}
+	fmt.Println("  (the 8-way WSRS machine matches the conventional 4-way, the")
+	fmt.Println("   paper's §4.3 headline)")
+	fmt.Println()
+
+	// Wake-up response time and energy (§4.3.2, Palacharla-calibrated).
+	fmt.Println("Wake-up logic response time / energy (relative):")
+	for _, d := range wakeup.PaperDesigns() {
+		fmt.Printf("  %s\n", wakeup.Evaluate(d))
+	}
+	fmt.Println()
+
+	// Bypass point structure (§4.3.1) at 10 GHz.
+	fmt.Println("Bypass points (10 GHz pipeline depths):")
+	for _, p := range bypass.PaperPoints() {
+		fmt.Printf("  %s\n", p)
+	}
+}
+
+func ns(v float64) string { return fmt.Sprintf("%.3f", v) }

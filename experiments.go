@@ -1,0 +1,153 @@
+package wsrs
+
+import (
+	"fmt"
+	"io"
+
+	"wsrs/internal/cacti"
+	"wsrs/internal/regfile"
+	"wsrs/internal/report"
+)
+
+// Table1Row re-exports the register-file comparison row.
+type Table1Row = regfile.Row
+
+// Table1 regenerates the paper's Table 1: register file estimates for
+// noWS-M, noWS-D, WS, WSRS and noWS-2 at 0.09 µm.
+func Table1() []Table1Row {
+	return regfile.Table1(cacti.Tech009(), regfile.PaperConfigs())
+}
+
+// RenderTable1 writes the Table 1 reproduction as a text table.
+func RenderTable1(w io.Writer) {
+	t := report.NewTable("Table 1 — register file estimates (0.09um, model)",
+		"config", "regs", "copies", "(R,W)", "subfiles",
+		"nJ/cycle", "access ns", "pipe@10GHz", "bypass@10GHz",
+		"pipe@5GHz", "bypass@5GHz", "bit area (w^2)", "rel area")
+	for _, r := range Table1() {
+		t.AddRow(r.Org.Name, r.Org.TotalRegs, r.Org.Copies,
+			fmt.Sprintf("(%d,%d)", r.Org.ReadPorts, r.Org.WritePorts),
+			r.Org.Subfiles, r.EnergyNJ, fmt.Sprintf("%.3f", r.AccessNs),
+			r.Pipe10GHz, r.Bypass10GHz, r.Pipe5GHz, r.Bypass5GHz,
+			r.BitArea, r.AreaRel)
+	}
+	t.Render(w)
+}
+
+// Figure4Cell is the IPC of one (benchmark, configuration) pair.
+type Figure4Cell struct {
+	Kernel string
+	Config ConfigName
+	Result Result
+}
+
+// RunFigure4 regenerates the paper's Figure 4: IPC of every benchmark
+// on every configuration. Errors abort (they indicate a broken
+// configuration, not a property of the workload).
+func RunFigure4(confs []ConfigName, kernelNames []string, opts SimOpts) ([]Figure4Cell, error) {
+	if confs == nil {
+		confs = Figure4Configs()
+	}
+	if kernelNames == nil {
+		kernelNames = Kernels()
+	}
+	var out []Figure4Cell
+	for _, k := range kernelNames {
+		for _, c := range confs {
+			res, err := RunKernel(c, k, opts)
+			if err != nil {
+				return nil, fmt.Errorf("figure4 %s/%s: %w", k, c, err)
+			}
+			out = append(out, Figure4Cell{Kernel: k, Config: c, Result: res})
+		}
+	}
+	return out, nil
+}
+
+// RenderFigure4 writes Figure 4 as a table: one row per benchmark,
+// one IPC column per configuration.
+func RenderFigure4(w io.Writer, cells []Figure4Cell) {
+	confs := Figure4Configs()
+	header := []string{"benchmark"}
+	for _, c := range confs {
+		header = append(header, string(c))
+	}
+	t := report.NewTable("Figure 4 — IPC", header...)
+	byKernel := map[string]map[ConfigName]float64{}
+	var order []string
+	for _, c := range cells {
+		if byKernel[c.Kernel] == nil {
+			byKernel[c.Kernel] = map[ConfigName]float64{}
+			order = append(order, c.Kernel)
+		}
+		byKernel[c.Kernel][c.Config] = c.Result.IPC
+	}
+	for _, k := range order {
+		row := []any{k}
+		for _, c := range confs {
+			if v, ok := byKernel[k][c]; ok {
+				row = append(row, v)
+			} else {
+				row = append(row, "-")
+			}
+		}
+		t.AddRow(row...)
+	}
+	t.Render(w)
+}
+
+// Figure5Cell is the unbalancing degree of one (benchmark, policy)
+// pair, in percent.
+type Figure5Cell struct {
+	Kernel string
+	Config ConfigName
+	Degree float64
+}
+
+// RunFigure5 regenerates the paper's Figure 5: the §5.4.2 unbalancing
+// degree for the WSRS RC and RM policies on every benchmark
+// (round-robin is perfectly balanced by construction and not
+// plotted, as in the paper).
+func RunFigure5(kernelNames []string, opts SimOpts) ([]Figure5Cell, error) {
+	if kernelNames == nil {
+		kernelNames = Kernels()
+	}
+	confs := []ConfigName{ConfWSRSRC512, ConfWSRSRM512}
+	var out []Figure5Cell
+	for _, k := range kernelNames {
+		for _, c := range confs {
+			res, err := RunKernel(c, k, opts)
+			if err != nil {
+				return nil, fmt.Errorf("figure5 %s/%s: %w", k, c, err)
+			}
+			out = append(out, Figure5Cell{Kernel: k, Config: c, Degree: res.UnbalancingDegree})
+		}
+	}
+	return out, nil
+}
+
+// RenderFigure5 writes Figure 5 as a table.
+func RenderFigure5(w io.Writer, cells []Figure5Cell) {
+	t := report.NewTable("Figure 5 — unbalancing degree (%)",
+		"benchmark", "WSRS RC", "WSRS RM")
+	type row struct{ rc, rm float64 }
+	byKernel := map[string]*row{}
+	var order []string
+	for _, c := range cells {
+		r := byKernel[c.Kernel]
+		if r == nil {
+			r = &row{}
+			byKernel[c.Kernel] = r
+			order = append(order, c.Kernel)
+		}
+		if c.Config == ConfWSRSRM512 {
+			r.rm = c.Degree
+		} else {
+			r.rc = c.Degree
+		}
+	}
+	for _, k := range order {
+		t.AddRow(k, fmt.Sprintf("%.1f", byKernel[k].rc), fmt.Sprintf("%.1f", byKernel[k].rm))
+	}
+	t.Render(w)
+}

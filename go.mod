@@ -1,0 +1,3 @@
+module wsrs
+
+go 1.22

@@ -1,0 +1,288 @@
+// Package alloc implements the instruction-to-cluster allocation
+// policies of the paper.
+//
+// On the 4-cluster WSRS architecture (§3) the executing cluster of a
+// dyadic instruction is determined by the register subsets holding its
+// operands: the first operand's subset selects the top or bottom
+// cluster pair and the second operand's subset selects the left or
+// right pair, i.e.
+//
+//	cluster = (subset(first) & 2) | (subset(second) & 1)
+//
+// and, by write specialization, the result is allocated from the
+// subset with the cluster's number. Degrees of freedom (§3.3): noadic
+// instructions may execute anywhere; monadic instructions leave the
+// second-operand bit free; "commutative cluster" hardware can execute
+// any instruction with its operands exchanged, adding a second choice
+// for dyadic instructions whose operands lie in different subsets and
+// a third cluster for monadic instructions.
+//
+// Policies provided:
+//
+//	RoundRobin — the conventional/WS baseline of §5.2.1
+//	RM         — "random monadic" (§5.2.1)
+//	RC         — "random commutative cluster" (§5.2.1)
+//	RCBalanced — RC choosing the least-loaded allowed cluster (an
+//	             ablation for the dynamic policies the paper leaves
+//	             to future work)
+package alloc
+
+import (
+	"math/rand"
+
+	"wsrs/internal/trace"
+)
+
+// NumClusters is the cluster count of the paper's WSRS design point.
+// The allocation formulas are specific to the 4-cluster layout of
+// Figure 3.
+const NumClusters = 4
+
+// Decision is the outcome of allocating one micro-op.
+type Decision struct {
+	// Cluster executes the micro-op; with write specialization its
+	// result subset equals Cluster.
+	Cluster int
+	// Swapped reports that the operands are presented in exchanged
+	// order (two-form execution on commutative-cluster hardware, or
+	// exploiting true commutativity).
+	Swapped bool
+}
+
+// Policy allocates micro-ops to clusters. subsets[i] is the register
+// subset currently holding source operand i (the f/s vectors of
+// §3.2); occupancy[c] is the number of in-flight micro-ops on cluster
+// c, for load-aware policies.
+type Policy interface {
+	Name() string
+	Allocate(m *trace.MicroOp, subsets [2]int, occupancy []int) Decision
+}
+
+// clusterFor applies the WSRS placement rule for operand subsets in
+// presented order.
+func clusterFor(first, second int) int {
+	return (first & 2) | (second & 1)
+}
+
+// WSRSValid reports whether executing m on cluster c with the given
+// operand subsets (in presented order after any swap) satisfies
+// register read specialization: the first operand must be readable by
+// the cluster's top/bottom pair and the second by its left/right pair.
+func WSRSValid(m *trace.MicroOp, subsets [2]int, c int, swapped bool) bool {
+	switch m.NSrc {
+	case 0:
+		return true
+	case 1:
+		// subsets[0] holds the single register operand; swapped means
+		// it is presented on the second (right) entry.
+		if swapped {
+			return subsets[0]&1 == c&1
+		}
+		return subsets[0]&2 == c&2
+	default:
+		first, second := subsets[0], subsets[1]
+		if swapped {
+			first, second = second, first
+		}
+		return first&2 == c&2 && second&1 == c&1
+	}
+}
+
+// AllowedClusters enumerates every (cluster, swapped) choice that read
+// specialization permits for m, given whether commutative-cluster
+// hardware is available. The paper's freedoms fall out: dyadic
+// non-swappable -> 1 choice; dyadic swappable in distinct subsets ->
+// 2; monadic without HW -> 2; monadic with HW -> 3; noadic -> 4.
+func AllowedClusters(m *trace.MicroOp, subsets [2]int, hwCommutative bool) []Decision {
+	var out []Decision
+	add := func(d Decision) {
+		for _, e := range out {
+			if e.Cluster == d.Cluster {
+				return
+			}
+		}
+		out = append(out, d)
+	}
+	switch m.NSrc {
+	case 0:
+		for c := 0; c < NumClusters; c++ {
+			add(Decision{Cluster: c})
+		}
+	case 1:
+		s := subsets[0]
+		add(Decision{Cluster: clusterFor(s, 0)})
+		add(Decision{Cluster: clusterFor(s, 1)})
+		if hwCommutative {
+			// Operand on the second entry: top bit free.
+			add(Decision{Cluster: clusterFor(0, s), Swapped: true})
+			add(Decision{Cluster: clusterFor(2, s), Swapped: true})
+		}
+	default:
+		add(Decision{Cluster: clusterFor(subsets[0], subsets[1])})
+		if hwCommutative || m.Commutative {
+			add(Decision{Cluster: clusterFor(subsets[1], subsets[0]), Swapped: true})
+		}
+	}
+	return out
+}
+
+// RoundRobin cycles micro-ops across clusters regardless of operands —
+// the allocation policy of the conventional and WS-only configurations
+// (§5.2.1). It is deterministic.
+type RoundRobin struct {
+	K    int
+	next int
+}
+
+// NewRoundRobin returns a round-robin policy over k clusters.
+func NewRoundRobin(k int) *RoundRobin { return &RoundRobin{K: k} }
+
+// Name implements Policy.
+func (r *RoundRobin) Name() string { return "RR" }
+
+// Allocate implements Policy.
+func (r *RoundRobin) Allocate(*trace.MicroOp, [2]int, []int) Decision {
+	c := r.next
+	r.next = (r.next + 1) % r.K
+	return Decision{Cluster: c}
+}
+
+// RM is the "random monadic" WSRS policy of §5.2.1: the register
+// operand of a monadic instruction determines the top or bottom
+// cluster pair and the left/right pair is selected randomly; dyadic
+// instructions are fully determined by their operands; noadic
+// instructions are placed randomly.
+type RM struct {
+	rng *rand.Rand
+}
+
+// NewRM returns an RM policy with the given random seed.
+func NewRM(seed int64) *RM { return &RM{rng: rand.New(rand.NewSource(seed))} }
+
+// Name implements Policy.
+func (p *RM) Name() string { return "RM" }
+
+// Allocate implements Policy.
+func (p *RM) Allocate(m *trace.MicroOp, subsets [2]int, _ []int) Decision {
+	switch m.NSrc {
+	case 0:
+		return Decision{Cluster: p.rng.Intn(NumClusters)}
+	case 1:
+		return Decision{Cluster: clusterFor(subsets[0], p.rng.Intn(2))}
+	default:
+		return Decision{Cluster: clusterFor(subsets[0], subsets[1])}
+	}
+}
+
+// RC is the "random commutative cluster" WSRS policy of §5.2.1:
+// functional units execute any instruction in two forms (taking the
+// first operand on either entry), the form is selected randomly, and
+// remaining freedom is resolved randomly.
+type RC struct {
+	rng *rand.Rand
+}
+
+// NewRC returns an RC policy with the given random seed.
+func NewRC(seed int64) *RC { return &RC{rng: rand.New(rand.NewSource(seed))} }
+
+// Name implements Policy.
+func (p *RC) Name() string { return "RC" }
+
+// Allocate implements Policy.
+func (p *RC) Allocate(m *trace.MicroOp, subsets [2]int, _ []int) Decision {
+	switch m.NSrc {
+	case 0:
+		return Decision{Cluster: p.rng.Intn(NumClusters)}
+	case 1:
+		if p.rng.Intn(2) == 0 {
+			// Operand on the first entry; left/right bit free.
+			return Decision{Cluster: clusterFor(subsets[0], p.rng.Intn(2))}
+		}
+		// Operand on the second entry; top/bottom bit free.
+		return Decision{Cluster: clusterFor(p.rng.Intn(2)<<1, subsets[0]), Swapped: true}
+	default:
+		if p.rng.Intn(2) == 0 {
+			return Decision{Cluster: clusterFor(subsets[0], subsets[1])}
+		}
+		return Decision{Cluster: clusterFor(subsets[1], subsets[0]), Swapped: true}
+	}
+}
+
+// RCBalanced explores the paper's future-work direction: among the
+// clusters read specialization allows (with commutative-cluster
+// hardware), pick the least-loaded one, breaking ties randomly.
+type RCBalanced struct {
+	rng *rand.Rand
+}
+
+// NewRCBalanced returns a least-loaded RC policy.
+func NewRCBalanced(seed int64) *RCBalanced {
+	return &RCBalanced{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Name implements Policy.
+func (p *RCBalanced) Name() string { return "RC-bal" }
+
+// Allocate implements Policy.
+func (p *RCBalanced) Allocate(m *trace.MicroOp, subsets [2]int, occupancy []int) Decision {
+	choices := AllowedClusters(m, subsets, true)
+	best := choices[0]
+	bestOcc := int(^uint(0) >> 1)
+	nties := 0
+	for _, d := range choices {
+		occ := 0
+		if d.Cluster < len(occupancy) {
+			occ = occupancy[d.Cluster]
+		}
+		switch {
+		case occ < bestOcc:
+			best, bestOcc, nties = d, occ, 1
+		case occ == bestOcc:
+			nties++
+			if p.rng.Intn(nties) == 0 {
+				best = d
+			}
+		}
+	}
+	return best
+}
+
+// RCDep is the locality-first point in the paper's future-work
+// trade-off space ("dynamic policies that tradeoff allocation of
+// dependent instructions within a cluster and (local) workload
+// balancing", §5.4.2): among the clusters read specialization allows,
+// prefer one holding a source operand's subset — the producer's
+// cluster under write specialization — so dependent instructions
+// co-locate and skip the inter-cluster forwarding cycle. Remaining
+// ties break randomly.
+type RCDep struct {
+	rng *rand.Rand
+}
+
+// NewRCDep returns a locality-first RC policy.
+func NewRCDep(seed int64) *RCDep {
+	return &RCDep{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Name implements Policy.
+func (p *RCDep) Name() string { return "RC-dep" }
+
+// Allocate implements Policy.
+func (p *RCDep) Allocate(m *trace.MicroOp, subsets [2]int, _ []int) Decision {
+	choices := AllowedClusters(m, subsets, true)
+	// Prefer a choice equal to a producer cluster (= operand subset,
+	// by write specialization).
+	var local []Decision
+	for _, d := range choices {
+		for i := 0; i < m.NSrc; i++ {
+			if d.Cluster == subsets[i] {
+				local = append(local, d)
+				break
+			}
+		}
+	}
+	if len(local) > 0 {
+		return local[p.rng.Intn(len(local))]
+	}
+	return choices[p.rng.Intn(len(choices))]
+}

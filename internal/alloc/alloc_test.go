@@ -1,0 +1,292 @@
+package alloc
+
+import (
+	"testing"
+	"testing/quick"
+
+	"wsrs/internal/isa"
+	"wsrs/internal/trace"
+)
+
+func dyadic(s0, s1 int, commutative bool) (*trace.MicroOp, [2]int) {
+	return &trace.MicroOp{NSrc: 2, Commutative: commutative, HWCommutable: commutative}, [2]int{s0, s1}
+}
+
+func monadic(s int) (*trace.MicroOp, [2]int) {
+	return &trace.MicroOp{NSrc: 1}, [2]int{s, 0}
+}
+
+func noadic() (*trace.MicroOp, [2]int) {
+	return &trace.MicroOp{NSrc: 0}, [2]int{}
+}
+
+func TestClusterFormulaMatchesFigure3(t *testing.T) {
+	// Figure 3: the first operand of cluster C1 comes from S0 or S1
+	// (top pair), its second operand from S1 or S3 (right column).
+	// So an instruction with first operand in S0 and second in S1
+	// executes on C1 = (0&2)|(1&1).
+	cases := []struct {
+		s0, s1, want int
+	}{
+		{0, 0, 0}, {0, 1, 1}, {0, 2, 0}, {0, 3, 1},
+		{1, 0, 0}, {1, 1, 1}, {1, 2, 0}, {1, 3, 1},
+		{2, 0, 2}, {2, 1, 3}, {2, 2, 2}, {2, 3, 3},
+		{3, 0, 2}, {3, 1, 3}, {3, 2, 2}, {3, 3, 3},
+	}
+	for _, c := range cases {
+		if got := clusterFor(c.s0, c.s1); got != c.want {
+			t.Errorf("clusterFor(%d,%d) = %d, want %d", c.s0, c.s1, got, c.want)
+		}
+	}
+}
+
+func TestWSRSValidAgreesWithClusterFor(t *testing.T) {
+	for s0 := 0; s0 < 4; s0++ {
+		for s1 := 0; s1 < 4; s1++ {
+			m, subs := dyadic(s0, s1, false)
+			want := clusterFor(s0, s1)
+			for c := 0; c < 4; c++ {
+				if got := WSRSValid(m, subs, c, false); got != (c == want) {
+					t.Errorf("WSRSValid(s=%d,%d c=%d) = %v", s0, s1, c, got)
+				}
+			}
+		}
+	}
+}
+
+func TestAllowedClustersCounts(t *testing.T) {
+	// Paper §3.3 degrees of freedom.
+	m, subs := noadic()
+	if n := len(AllowedClusters(m, subs, false)); n != 4 {
+		t.Errorf("noadic: %d choices, want 4", n)
+	}
+	m, subs = monadic(2)
+	if n := len(AllowedClusters(m, subs, false)); n != 2 {
+		t.Errorf("monadic, no HW: %d choices, want 2", n)
+	}
+	if n := len(AllowedClusters(m, subs, true)); n != 3 {
+		t.Errorf("monadic, commutative clusters: %d choices, want 3", n)
+	}
+	m, subs = dyadic(0, 3, false)
+	if n := len(AllowedClusters(m, subs, false)); n != 1 {
+		t.Errorf("dyadic non-commutative: %d choices, want 1", n)
+	}
+	if n := len(AllowedClusters(m, subs, true)); n != 2 {
+		t.Errorf("dyadic distinct subsets, HW: %d choices, want 2", n)
+	}
+	// Commutative dyadic with both operands in the SAME subset has
+	// only one cluster (§3.3).
+	m, subs = dyadic(2, 2, true)
+	if n := len(AllowedClusters(m, subs, true)); n != 1 {
+		t.Errorf("dyadic same subset: %d choices, want 1", n)
+	}
+}
+
+func TestAllowedChoicesAreValid(t *testing.T) {
+	f := func(nsrc, s0, s1 uint8, hw bool) bool {
+		m := &trace.MicroOp{NSrc: int(nsrc) % 3}
+		subs := [2]int{int(s0) % 4, int(s1) % 4}
+		for _, d := range AllowedClusters(m, subs, hw) {
+			if !WSRSValid(m, subs, d.Cluster, d.Swapped) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRoundRobinCycles(t *testing.T) {
+	p := NewRoundRobin(4)
+	m, subs := noadic()
+	for i := 0; i < 12; i++ {
+		d := p.Allocate(m, subs, nil)
+		if d.Cluster != i%4 {
+			t.Fatalf("allocation %d -> cluster %d, want %d", i, d.Cluster, i%4)
+		}
+	}
+}
+
+func TestRMRespectsReadSpecialization(t *testing.T) {
+	p := NewRM(1)
+	for i := 0; i < 2000; i++ {
+		m, subs := dyadic(i%4, (i/4)%4, false)
+		d := p.Allocate(m, subs, nil)
+		if !WSRSValid(m, subs, d.Cluster, d.Swapped) {
+			t.Fatalf("RM produced invalid placement for subsets %v: %+v", subs, d)
+		}
+		if d.Swapped {
+			t.Fatal("RM never swaps operands")
+		}
+	}
+	// Monadic: top/bottom fixed by operand, left/right varies.
+	seen := map[int]bool{}
+	for i := 0; i < 200; i++ {
+		m, subs := monadic(3)
+		d := p.Allocate(m, subs, nil)
+		if d.Cluster&2 != 2 {
+			t.Fatalf("monadic in S3 must go to the bottom pair, got %d", d.Cluster)
+		}
+		seen[d.Cluster] = true
+	}
+	if !seen[2] || !seen[3] {
+		t.Errorf("RM monadic must use both clusters of the pair, saw %v", seen)
+	}
+}
+
+func TestRCRespectsReadSpecialization(t *testing.T) {
+	p := NewRC(2)
+	for i := 0; i < 4000; i++ {
+		m := &trace.MicroOp{NSrc: i % 3, HWCommutable: true}
+		subs := [2]int{(i / 3) % 4, (i / 12) % 4}
+		d := p.Allocate(m, subs, nil)
+		if !WSRSValid(m, subs, d.Cluster, d.Swapped) {
+			t.Fatalf("RC invalid placement: nsrc=%d subs=%v d=%+v", m.NSrc, subs, d)
+		}
+	}
+}
+
+func TestRCMonadicReachesThreeClusters(t *testing.T) {
+	p := NewRC(3)
+	seen := map[int]bool{}
+	for i := 0; i < 500; i++ {
+		m, subs := monadic(1) // S1: first-entry -> C0/C1; second-entry -> C1/C3
+		d := p.Allocate(m, subs, nil)
+		seen[d.Cluster] = true
+	}
+	if !seen[0] || !seen[1] || !seen[3] {
+		t.Errorf("RC monadic in S1 must reach C0, C1, C3; saw %v", seen)
+	}
+	if seen[2] {
+		t.Error("RC monadic in S1 must never reach C2")
+	}
+}
+
+func TestRCDyadicSwapsOnlyAcrossSubsets(t *testing.T) {
+	p := NewRC(4)
+	seen := map[int]bool{}
+	for i := 0; i < 500; i++ {
+		m, subs := dyadic(0, 3, true)
+		d := p.Allocate(m, subs, nil)
+		seen[d.Cluster] = true
+	}
+	// clusterFor(0,3)=1; swapped clusterFor(3,0)=2.
+	if !seen[1] || !seen[2] {
+		t.Errorf("RC dyadic across subsets must reach C1 and C2, saw %v", seen)
+	}
+	// Same-subset commutative: single cluster regardless of form.
+	seen = map[int]bool{}
+	for i := 0; i < 100; i++ {
+		m, subs := dyadic(3, 3, true)
+		seen[p.Allocate(m, subs, nil).Cluster] = true
+	}
+	if len(seen) != 1 || !seen[3] {
+		t.Errorf("same-subset dyadic must pin to C3, saw %v", seen)
+	}
+}
+
+func TestRCBalancedPicksLeastLoaded(t *testing.T) {
+	p := NewRCBalanced(5)
+	m, subs := noadic()
+	occ := []int{9, 3, 7, 5}
+	for i := 0; i < 50; i++ {
+		d := p.Allocate(m, subs, occ)
+		if d.Cluster != 1 {
+			t.Fatalf("balanced policy chose %d, want least-loaded 1", d.Cluster)
+		}
+	}
+	// It must still respect read specialization.
+	for i := 0; i < 1000; i++ {
+		m := &trace.MicroOp{NSrc: i % 3, HWCommutable: true}
+		subs := [2]int{i % 4, (i / 4) % 4}
+		d := p.Allocate(m, subs, occ)
+		if !WSRSValid(m, subs, d.Cluster, d.Swapped) {
+			t.Fatalf("balanced invalid placement: %+v", d)
+		}
+	}
+}
+
+func TestPolicyNames(t *testing.T) {
+	if NewRoundRobin(4).Name() != "RR" || NewRM(0).Name() != "RM" ||
+		NewRC(0).Name() != "RC" || NewRCBalanced(0).Name() != "RC-bal" {
+		t.Error("policy names wrong")
+	}
+}
+
+func TestPoliciesDeterministicBySeed(t *testing.T) {
+	a, b := NewRC(42), NewRC(42)
+	for i := 0; i < 1000; i++ {
+		m := &trace.MicroOp{NSrc: i % 3, HWCommutable: true}
+		subs := [2]int{i % 4, (i / 4) % 4}
+		if a.Allocate(m, subs, nil) != b.Allocate(m, subs, nil) {
+			t.Fatal("same-seed policies diverged")
+		}
+	}
+}
+
+func TestClassPoolsRouting(t *testing.T) {
+	p := NewClassPools()
+	if p.Name() != "pools" {
+		t.Error("name")
+	}
+	cases := []struct {
+		m    trace.MicroOp
+		want int
+	}{
+		{trace.MicroOp{Class: isa.ClassLoad}, PoolLdSt},
+		{trace.MicroOp{Class: isa.ClassStore}, PoolLdSt},
+		{trace.MicroOp{Class: isa.ClassALU}, PoolALU},
+		{trace.MicroOp{Class: isa.ClassMul}, PoolComplex},
+		{trace.MicroOp{Class: isa.ClassDiv}, PoolComplex},
+		{trace.MicroOp{Class: isa.ClassFP}, PoolComplex},
+		{trace.MicroOp{Class: isa.ClassFPDiv}, PoolComplex},
+		{trace.MicroOp{Class: isa.ClassALU, IsBranch: true}, PoolBranch},
+	}
+	for _, c := range cases {
+		if d := p.Allocate(&c.m, [2]int{}, nil); d.Cluster != c.want {
+			t.Errorf("class %v branch=%v -> pool %d, want %d", c.m.Class, c.m.IsBranch, d.Cluster, c.want)
+		}
+		if d := p.Allocate(&c.m, [2]int{}, nil); d.Swapped {
+			t.Error("pools never swap operands")
+		}
+	}
+	// Pool allocation is class-static: deterministic.
+	m := trace.MicroOp{Class: isa.ClassLoad}
+	for i := 0; i < 100; i++ {
+		if p.Allocate(&m, [2]int{}, nil).Cluster != PoolLdSt {
+			t.Fatal("pool allocation must be static")
+		}
+	}
+}
+
+func TestRCDepPrefersProducerCluster(t *testing.T) {
+	p := NewRCDep(1)
+	// Monadic op with operand in S1: allowed clusters {0,1,3}; the
+	// producer cluster is 1, so RC-dep must always pick it.
+	for i := 0; i < 200; i++ {
+		m, subs := monadic(1)
+		m.HWCommutable = true
+		d := p.Allocate(m, subs, nil)
+		if d.Cluster != 1 {
+			t.Fatalf("RC-dep chose %d, want producer cluster 1", d.Cluster)
+		}
+		if !WSRSValid(m, subs, d.Cluster, d.Swapped) {
+			t.Fatal("invalid placement")
+		}
+	}
+	// With no local choice available it still produces valid
+	// placements.
+	for i := 0; i < 1000; i++ {
+		m := &trace.MicroOp{NSrc: i % 3, HWCommutable: true}
+		subs := [2]int{i % 4, (i / 4) % 4}
+		d := p.Allocate(m, subs, nil)
+		if !WSRSValid(m, subs, d.Cluster, d.Swapped) {
+			t.Fatalf("RC-dep invalid: nsrc=%d subs=%v d=%+v", m.NSrc, subs, d)
+		}
+	}
+	if p.Name() != "RC-dep" {
+		t.Error("name")
+	}
+}

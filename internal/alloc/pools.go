@@ -1,0 +1,55 @@
+package alloc
+
+import (
+	"wsrs/internal/isa"
+	"wsrs/internal/trace"
+)
+
+// ClassPools is the allocation policy of the paper's Figure 2b:
+// instead of four identical clusters, the machine groups *identical
+// functional units into pools*, each pool fed by its own reservation
+// stations and writing into its own register subset. Allocation is
+// static per instruction class — "the allocation of instructions to
+// the pools can be stored in the instruction cache as predecoded
+// bits" (§2.4), so it is known very early in the pipeline and
+// register write specialization costs no extra rename stages.
+//
+// The pool map mirrors Figure 2b: load/store units, simple ALUs,
+// complex units (integer multiply/divide and floating point), and
+// branch units.
+type ClassPools struct{}
+
+// Pool indices of the Figure 2b organization.
+const (
+	PoolLdSt    = 0
+	PoolALU     = 1
+	PoolComplex = 2
+	PoolBranch  = 3
+)
+
+// NewClassPools returns the Figure 2b class-based policy.
+func NewClassPools() *ClassPools { return &ClassPools{} }
+
+// Name implements Policy.
+func (*ClassPools) Name() string { return "pools" }
+
+// PoolOf returns the pool executing a micro-op of the given class and
+// branchness.
+func PoolOf(class isa.Class, isBranch bool) int {
+	if isBranch {
+		return PoolBranch
+	}
+	switch class {
+	case isa.ClassLoad, isa.ClassStore:
+		return PoolLdSt
+	case isa.ClassMul, isa.ClassDiv, isa.ClassFP, isa.ClassFPDiv:
+		return PoolComplex
+	default:
+		return PoolALU
+	}
+}
+
+// Allocate implements Policy.
+func (*ClassPools) Allocate(m *trace.MicroOp, _ [2]int, _ []int) Decision {
+	return Decision{Cluster: PoolOf(m.Class, m.IsBranch)}
+}

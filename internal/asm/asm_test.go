@@ -1,0 +1,284 @@
+package asm
+
+import (
+	"strings"
+	"testing"
+
+	"wsrs/internal/isa"
+)
+
+func TestAssembleBasicALU(t *testing.T) {
+	p, err := Assemble(`
+		add %o0, %o1, %o2
+		sub %l0, %l1, 42
+		li  %g1, 0x1000
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Len() != 3 {
+		t.Fatalf("got %d instructions", p.Len())
+	}
+	in := p.Insts[0]
+	if in.Op != isa.OpADD || in.Rd != isa.OReg(0) || in.Rs1 != isa.OReg(1) || in.Rs2 != isa.OReg(2) {
+		t.Errorf("add parsed as %v", in)
+	}
+	in = p.Insts[1]
+	if in.Op != isa.OpSUB || !in.HasImm || in.Imm != 42 {
+		t.Errorf("sub-imm parsed as %v", in)
+	}
+	in = p.Insts[2]
+	if in.Op != isa.OpLI || in.Imm != 0x1000 || in.Rd != isa.GReg(1) {
+		t.Errorf("li parsed as %v", in)
+	}
+}
+
+func TestAssembleMemoryForms(t *testing.T) {
+	p, err := Assemble(`
+		ld  %o0, [%o1+8]
+		ld  %o0, [%o1+%o2]
+		ld  %o0, [%o1]
+		st  %o3, [%o1-16]
+		st  %o3, [%o1+%o2]
+		fld %f2, [%l0+24]
+		fst %f2, [%l0+%l1]
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []isa.Op{isa.OpLD, isa.OpLDI, isa.OpLD, isa.OpST, isa.OpSTI, isa.OpFLD, isa.OpFSTI}
+	for i, w := range want {
+		if p.Insts[i].Op != w {
+			t.Errorf("inst %d: op = %v, want %v", i, p.Insts[i].Op, w)
+		}
+	}
+	if p.Insts[0].Imm != 8 || !p.Insts[0].HasImm {
+		t.Errorf("displacement load: %+v", p.Insts[0])
+	}
+	if p.Insts[3].Imm != -16 {
+		t.Errorf("negative displacement: %+v", p.Insts[3])
+	}
+	// Indexed store keeps its data register in Rd and cracks.
+	sti := p.Insts[4]
+	if sti.Rd != isa.OReg(3) || sti.Rs1 != isa.OReg(1) || sti.Rs2 != isa.OReg(2) {
+		t.Errorf("sti operands: %+v", sti)
+	}
+	if !sti.NeedsCracking() {
+		t.Error("indexed store must need cracking")
+	}
+}
+
+func TestAssembleBranchesAndLabels(t *testing.T) {
+	p, err := Assemble(`
+	start:
+		li  %o0, 10
+	loop:
+		sub %o0, %o0, 1
+		bne %o0, %g0, loop
+		ba  done
+		nop
+	done:
+		halt
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.PCOf("start") != 0 || p.PCOf("loop") != 1 || p.PCOf("done") != 5 {
+		t.Fatalf("symbols: %v", p.Symbols)
+	}
+	bne := p.Insts[2]
+	if bne.Op != isa.OpBNE || bne.Target != 1 {
+		t.Errorf("bne: %+v", bne)
+	}
+	ba := p.Insts[3]
+	if ba.Target != 5 {
+		t.Errorf("ba target = %d", ba.Target)
+	}
+	if p.PCOf("missing") != -1 {
+		t.Error("missing label should be -1")
+	}
+}
+
+func TestAssembleForwardReference(t *testing.T) {
+	p, err := Assemble(`
+		ba fwd
+		nop
+	fwd:
+		halt
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Insts[0].Target != 2 {
+		t.Errorf("forward target = %d", p.Insts[0].Target)
+	}
+}
+
+func TestAssembleCallAndAliases(t *testing.T) {
+	p, err := Assemble(`
+		call f
+		mov %sp, %fp
+		jr  %ra
+	f:
+		save
+		restore
+		jr %o7
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	call := p.Insts[0]
+	if call.Op != isa.OpCALL || call.Rd != isa.OReg(7) || call.Target != 3 {
+		t.Errorf("call: %+v", call)
+	}
+	mov := p.Insts[1]
+	if mov.Rd != isa.OReg(6) || mov.Rs1 != isa.IReg(6) {
+		t.Errorf("aliases: %+v", mov)
+	}
+	if p.Insts[2].Rs1 != isa.OReg(7) {
+		t.Errorf("%%ra alias: %+v", p.Insts[2])
+	}
+}
+
+func TestAssembleFPAndConversions(t *testing.T) {
+	p, err := Assemble(`
+		fadd %f0, %f1, %f2
+		fsqrt %f3, %f0
+		fitod %f4, %o0
+		fdtoi %o1, %f4
+		fblt %o0, %o1, out
+	out:
+		halt
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Insts[0].Op != isa.OpFADD || p.Insts[1].Op != isa.OpFSQRT {
+		t.Error("fp ops misparsed")
+	}
+	if p.Insts[2].Rd != isa.FPReg(4) || p.Insts[2].Rs1 != isa.OReg(0) {
+		t.Errorf("fitod: %+v", p.Insts[2])
+	}
+}
+
+func TestAssembleComments(t *testing.T) {
+	p, err := Assemble(`
+		; full line comment
+		# another
+		add %o0, %o1, %o2 ; trailing
+		add %o0, %o1, %o2 # trailing
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Len() != 2 {
+		t.Errorf("got %d instructions, want 2", p.Len())
+	}
+}
+
+func TestAssembleErrors(t *testing.T) {
+	cases := []struct {
+		src  string
+		frag string
+	}{
+		{"frobnicate %o0", "unknown mnemonic"},
+		{"add %o0, %o1", "needs 3 operands"},
+		{"add %q0, %o1, %o2", "bad register"},
+		{"add %o9, %o1, %o2", "out of range"},
+		{"ld %o0, %o1", "expected memory operand"},
+		{"ba nowhere", "undefined label"},
+		{"li %o0, zork", "bad immediate"},
+		{"x: halt\nx: halt", "duplicate label"},
+		{"fadd %f0, %f1, 3", "does not take an immediate"},
+		{"save %o0", "takes no operands"},
+	}
+	for _, c := range cases {
+		_, err := Assemble(c.src)
+		if err == nil {
+			t.Errorf("Assemble(%q): expected error containing %q", c.src, c.frag)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.frag) {
+			t.Errorf("Assemble(%q): error %q does not contain %q", c.src, err, c.frag)
+		}
+	}
+}
+
+func TestErrorHasLineNumber(t *testing.T) {
+	_, err := Assemble("nop\nnop\nbogus %o0")
+	ae, ok := err.(*Error)
+	if !ok {
+		t.Fatalf("error type %T", err)
+	}
+	if ae.Line != 3 {
+		t.Errorf("error line = %d, want 3", ae.Line)
+	}
+}
+
+func TestMustAssemblePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustAssemble must panic on bad source")
+		}
+	}()
+	MustAssemble("bogus")
+}
+
+func TestRoundTripStrings(t *testing.T) {
+	// Instruction String() should render without panicking for all
+	// parsed forms.
+	p := MustAssemble(`
+		add %o0, %o1, %o2
+		add %o0, %o1, 5
+		ld %o0, [%o1+8]
+		ldi %o0, [%o1+%o2]
+		st %o0, [%o1+8]
+		sti %o0, [%o1+%o2]
+		beq %o0, %o1, l
+	l:	ba l
+		call l
+		jr %o7
+		li %o0, 7
+		save
+		halt
+	`)
+	for _, in := range p.Insts {
+		if in.String() == "" {
+			t.Errorf("empty String for %+v", in)
+		}
+	}
+}
+
+// FuzzAssemble checks the assembler never panics on arbitrary input
+// and that successfully assembled programs have resolved targets.
+func FuzzAssemble(f *testing.F) {
+	seeds := []string{
+		"add %o0, %o1, %o2",
+		"x: ld %o0, [%o1+8]\nba x",
+		"; comment only",
+		"li %o0, 0xffffffffffffffff",
+		"st %o0, [%sp-16]",
+		"beq %g0, %g0, q\nq: halt",
+		"save\nrestore\njr %o7",
+		"fadd %f0, %f1, %f2",
+		"bogus input [[%",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		p, err := Assemble(src)
+		if err != nil {
+			return
+		}
+		for i, in := range p.Insts {
+			if isa.IsBranch(in.Op) && in.Op != isa.OpJR {
+				if in.Target < 0 || in.Target > p.Len() {
+					t.Errorf("inst %d: unresolved target %d", i, in.Target)
+				}
+			}
+			_ = in.String()
+			_ = in.SrcRegs()
+		}
+	})
+}

@@ -1,0 +1,86 @@
+// Package bpred implements the conditional-branch direction predictors
+// used by the timing model. The paper (§5.2) simulates a very large
+// 2Bc-gskew predictor with 512 Kbits of storage, equivalent to the
+// predictor designed for the cancelled Alpha EV8; branch targets,
+// returns and indirect jumps are assumed perfectly predicted, so only
+// conditional-branch direction is modelled here.
+package bpred
+
+// Predictor predicts conditional branch directions. Predict is called
+// in fetch order; Update is called with the resolved outcome. The
+// trace-driven pipeline processes branches in program order, so global
+// history is maintained non-speculatively (an idealization also made
+// by the paper's sustained-rate front end).
+type Predictor interface {
+	Predict(pc uint64) bool
+	Update(pc uint64, taken bool)
+}
+
+// counter is a 2-bit saturating counter; values 0..3, taken when >= 2.
+type counter uint8
+
+func (c counter) taken() bool { return c >= 2 }
+
+func (c counter) update(taken bool) counter {
+	if taken {
+		if c < 3 {
+			return c + 1
+		}
+		return c
+	}
+	if c > 0 {
+		return c - 1
+	}
+	return c
+}
+
+// Taken is a static predictor that always predicts taken; useful as a
+// worst-reasonable baseline in tests and ablations.
+type Taken struct{}
+
+// Predict implements Predictor.
+func (Taken) Predict(uint64) bool { return true }
+
+// Update implements Predictor.
+func (Taken) Update(uint64, bool) {}
+
+// Oracle predicts with perfect knowledge; the timing model feeds the
+// actual outcome back via SetNext before each Predict call. It bounds
+// the IPC cost of branch handling in ablation runs.
+type Oracle struct{ next bool }
+
+// SetNext primes the oracle with the actual outcome of the next branch.
+func (o *Oracle) SetNext(taken bool) { o.next = taken }
+
+// Predict implements Predictor.
+func (o *Oracle) Predict(uint64) bool { return o.next }
+
+// Update implements Predictor.
+func (o *Oracle) Update(uint64, bool) {}
+
+// Bimodal is a classic PC-indexed table of 2-bit counters.
+type Bimodal struct {
+	table []counter
+	mask  uint64
+}
+
+// NewBimodal returns a bimodal predictor with 2^logSize entries.
+func NewBimodal(logSize uint) *Bimodal {
+	n := uint64(1) << logSize
+	t := make([]counter, n)
+	for i := range t {
+		t[i] = 2 // weakly taken
+	}
+	return &Bimodal{table: t, mask: n - 1}
+}
+
+// Predict implements Predictor.
+func (b *Bimodal) Predict(pc uint64) bool {
+	return b.table[(pc>>2)&b.mask].taken()
+}
+
+// Update implements Predictor.
+func (b *Bimodal) Update(pc uint64, taken bool) {
+	i := (pc >> 2) & b.mask
+	b.table[i] = b.table[i].update(taken)
+}

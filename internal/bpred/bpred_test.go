@@ -1,0 +1,179 @@
+package bpred
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestCounterSaturation(t *testing.T) {
+	c := counter(0)
+	for i := 0; i < 10; i++ {
+		c = c.update(true)
+	}
+	if c != 3 {
+		t.Errorf("counter saturated at %d, want 3", c)
+	}
+	for i := 0; i < 10; i++ {
+		c = c.update(false)
+	}
+	if c != 0 {
+		t.Errorf("counter floored at %d, want 0", c)
+	}
+}
+
+func TestStaticPredictors(t *testing.T) {
+	if !(Taken{}).Predict(0) {
+		t.Error("Taken must predict taken")
+	}
+	var o Oracle
+	o.SetNext(false)
+	if o.Predict(0) {
+		t.Error("oracle must follow SetNext")
+	}
+	o.SetNext(true)
+	if !o.Predict(0) {
+		t.Error("oracle must follow SetNext")
+	}
+}
+
+func TestBimodalLearnsBias(t *testing.T) {
+	b := NewBimodal(10)
+	pc := uint64(0x400)
+	for i := 0; i < 8; i++ {
+		b.Update(pc, false)
+	}
+	if b.Predict(pc) {
+		t.Error("bimodal must learn a not-taken bias")
+	}
+	for i := 0; i < 8; i++ {
+		b.Update(pc, true)
+	}
+	if !b.Predict(pc) {
+		t.Error("bimodal must relearn a taken bias")
+	}
+}
+
+// measure returns the hit rate of p on a synthetic branch stream
+// defined by outcome(pc, i).
+func measure(p Predictor, branches []uint64, n int, outcome func(pc uint64, i int) bool) float64 {
+	hits := 0
+	for i := 0; i < n; i++ {
+		pc := branches[i%len(branches)]
+		actual := outcome(pc, i)
+		if p.Predict(pc) == actual {
+			hits++
+		}
+		p.Update(pc, actual)
+	}
+	return float64(hits) / float64(n)
+}
+
+func somePCs(k int, seed int64) []uint64 {
+	rng := rand.New(rand.NewSource(seed))
+	pcs := make([]uint64, k)
+	for i := range pcs {
+		pcs[i] = uint64(rng.Intn(1<<20)) << 2
+	}
+	return pcs
+}
+
+func TestGskewBiasedBranches(t *testing.T) {
+	p := NewTwoBcGskew(12)
+	pcs := somePCs(64, 1)
+	rng := rand.New(rand.NewSource(2))
+	// 95 % taken bias per branch.
+	bias := map[uint64]bool{}
+	for _, pc := range pcs {
+		bias[pc] = rng.Intn(2) == 0
+	}
+	rate := measure(p, pcs, 50000, func(pc uint64, i int) bool {
+		if rng.Float64() < 0.95 {
+			return bias[pc]
+		}
+		return !bias[pc]
+	})
+	if rate < 0.90 {
+		t.Errorf("biased-branch hit rate = %.3f, want >= 0.90", rate)
+	}
+}
+
+func TestGskewLearnsHistoryPattern(t *testing.T) {
+	// A loop branch taken 7 times then not taken once is perfectly
+	// predictable with global history; bimodal alone caps at 7/8.
+	p := NewTwoBcGskew(12)
+	pc := uint64(0x1234) << 2
+	// Train.
+	for i := 0; i < 4000; i++ {
+		p.Update(pc, i%8 != 7)
+	}
+	hits := 0
+	for i := 0; i < 4000; i++ {
+		actual := i%8 != 7
+		if p.Predict(pc) == actual {
+			hits++
+		}
+		p.Update(pc, actual)
+	}
+	rate := float64(hits) / 4000
+	if rate < 0.99 {
+		t.Errorf("loop-pattern hit rate = %.3f, want ~1.0", rate)
+	}
+}
+
+func TestGskewBeatsBimodalOnCorrelated(t *testing.T) {
+	// Branch B's outcome equals branch A's previous outcome: pure
+	// history correlation that bimodal cannot capture.
+	pcs := []uint64{0x100, 0x200}
+	mk := func() func(pc uint64, i int) bool {
+		rng := rand.New(rand.NewSource(7))
+		last := false
+		return func(pc uint64, i int) bool {
+			if pc == 0x100 {
+				last = rng.Intn(2) == 0
+				return last
+			}
+			return last
+		}
+	}
+	gs := measure(NewTwoBcGskew(12), pcs, 40000, mk())
+	bi := measure(NewBimodal(12), pcs, 40000, mk())
+	if gs <= bi+0.1 {
+		t.Errorf("gskew %.3f should clearly beat bimodal %.3f on correlated branches", gs, bi)
+	}
+}
+
+func TestGskewStorageBudget(t *testing.T) {
+	p := NewTwoBcGskew(16)
+	if got := p.Storage(); got != 512*1024 {
+		t.Errorf("storage = %d bits, want 512 Kbit (paper §5.2)", got)
+	}
+}
+
+func TestGskewIndicesInRange(t *testing.T) {
+	p := NewTwoBcGskew(10)
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 10000; i++ {
+		pc := rng.Uint64()
+		p.Update(pc, rng.Intn(2) == 0) // must not panic
+		ib, i0, i1, im := p.indices(pc)
+		for _, idx := range []uint64{ib, i0, i1, im} {
+			if idx > p.mask {
+				t.Fatalf("index %d exceeds mask %d", idx, p.mask)
+			}
+		}
+	}
+}
+
+func TestGskewDeterministic(t *testing.T) {
+	a, b := NewTwoBcGskew(12), NewTwoBcGskew(12)
+	rng := rand.New(rand.NewSource(9))
+	for i := 0; i < 5000; i++ {
+		pc := uint64(rng.Intn(4096)) << 2
+		taken := rng.Intn(3) > 0
+		if a.Predict(pc) != b.Predict(pc) {
+			t.Fatal("predictors diverged")
+		}
+		a.Update(pc, taken)
+		b.Update(pc, taken)
+	}
+}

@@ -1,0 +1,142 @@
+package bpred
+
+// TwoBcGskew is the 2Bc-gskew hybrid predictor (Seznec & Michaud,
+// "De-aliased hybrid branch predictors"; the EV8 predictor is a
+// variant). Four banks of 2-bit counters:
+//
+//	BIM  — bimodal, PC-indexed           (predicts pBIM)
+//	G0   — skewed, short global history
+//	G1   — skewed, long global history
+//	META — chooses BIM vs the e-gskew majority vote of {BIM, G0, G1}
+//
+// with the partial-update policy: on a correct prediction only the
+// banks that participated (and agreed) are strengthened; on a
+// misprediction all banks are written; META moves toward the component
+// that was right when BIM and the majority vote disagree.
+//
+// The default geometry uses four 64K-entry banks of 2-bit counters:
+// 4 x 64K x 2 bits = 512 Kbits, the budget quoted in §5.2 of the paper.
+type TwoBcGskew struct {
+	bim, g0, g1, meta []counter
+	mask              uint64
+	hist              uint64
+	h0Len, h1Len      uint
+	logSize           uint
+}
+
+// NewTwoBcGskew returns a 2Bc-gskew predictor with four 2^logSize-entry
+// banks. logSize 16 gives the paper's 512-Kbit budget.
+func NewTwoBcGskew(logSize uint) *TwoBcGskew {
+	n := uint64(1) << logSize
+	mk := func() []counter {
+		t := make([]counter, n)
+		for i := range t {
+			t[i] = 2 // weakly taken
+		}
+		return t
+	}
+	return &TwoBcGskew{
+		bim: mk(), g0: mk(), g1: mk(), meta: mk(),
+		mask:    n - 1,
+		h0Len:   logSize - 3,    // short history
+		h1Len:   2*logSize - 11, // long history (21 bits at logSize 16)
+		logSize: logSize,
+	}
+}
+
+// Storage returns the predictor's total storage budget in bits.
+func (p *TwoBcGskew) Storage() uint64 {
+	return 4 * (uint64(1) << p.logSize) * 2
+}
+
+// skew mixes pc and history with a per-bank rotation so the banks
+// disperse aliasing differently (the "skewing" of e-gskew).
+func (p *TwoBcGskew) skew(pc, hist uint64, bank uint) uint64 {
+	h := hist
+	x := (pc >> 2) ^ (h << bank) ^ (h >> (p.logSize - bank))
+	x ^= x >> p.logSize
+	// Rotate within the index width to decorrelate the banks further.
+	r := (x << (bank + 1)) | (x >> (p.logSize - bank - 1))
+	return r & p.mask
+}
+
+func (p *TwoBcGskew) indices(pc uint64) (ib, i0, i1, im uint64) {
+	ib = (pc >> 2) & p.mask
+	h0 := p.hist & ((1 << p.h0Len) - 1)
+	h1 := p.hist & ((1 << p.h1Len) - 1)
+	i0 = p.skew(pc, h0, 1)
+	i1 = p.skew(pc, h1, 2)
+	im = p.skew(pc, h0, 3)
+	return
+}
+
+// Predict implements Predictor.
+func (p *TwoBcGskew) Predict(pc uint64) bool {
+	ib, i0, i1, im := p.indices(pc)
+	pBIM := p.bim[ib].taken()
+	pG0 := p.g0[i0].taken()
+	pG1 := p.g1[i1].taken()
+	maj := majority(pBIM, pG0, pG1)
+	if p.meta[im].taken() {
+		return maj
+	}
+	return pBIM
+}
+
+// Update implements Predictor. It applies the resolved outcome and
+// shifts the global history.
+func (p *TwoBcGskew) Update(pc uint64, taken bool) {
+	ib, i0, i1, im := p.indices(pc)
+	pBIM := p.bim[ib].taken()
+	pG0 := p.g0[i0].taken()
+	pG1 := p.g1[i1].taken()
+	maj := majority(pBIM, pG0, pG1)
+	useSkew := p.meta[im].taken()
+	pred := pBIM
+	if useSkew {
+		pred = maj
+	}
+
+	// META moves toward whichever component was right, only when they
+	// disagree.
+	if pBIM != maj {
+		p.meta[im] = p.meta[im].update(maj == taken)
+	}
+
+	if pred == taken {
+		// Partial update: strengthen only the banks that agreed with
+		// the outcome in the selected component.
+		if useSkew {
+			if pBIM == taken {
+				p.bim[ib] = p.bim[ib].update(taken)
+			}
+			if pG0 == taken {
+				p.g0[i0] = p.g0[i0].update(taken)
+			}
+			if pG1 == taken {
+				p.g1[i1] = p.g1[i1].update(taken)
+			}
+		} else {
+			p.bim[ib] = p.bim[ib].update(taken)
+		}
+	} else {
+		// Misprediction: recompute all participating banks.
+		p.bim[ib] = p.bim[ib].update(taken)
+		p.g0[i0] = p.g0[i0].update(taken)
+		p.g1[i1] = p.g1[i1].update(taken)
+	}
+
+	p.hist = (p.hist << 1) | b2u(taken)
+}
+
+func majority(a, b, c bool) bool {
+	n := b2u(a) + b2u(b) + b2u(c)
+	return n >= 2
+}
+
+func b2u(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,90 @@
+// Package bypass models the complexity of the bypass (forwarding)
+// network of §4.3.1: with an X-cycle register read-write pipeline and
+// N possible producing units, each functional-unit operand entry must
+// select among X*N+1 possible sources. The paper's complexity claim is
+// structural — the WSRS bypass point arbitrates as few sources as a
+// conventional 4-way machine's — and this package adds first-order
+// delay/area/energy estimates for that selection structure.
+//
+// A bypass point is modelled as a mux tree: depth ceil(log2(sources))
+// levels of 2:1 muxes (delay), sources-1 total muxes (area), and all
+// source wires toggling into the point each cycle (energy).
+package bypass
+
+import (
+	"fmt"
+	"math"
+)
+
+// Point describes one bypass point (one functional-unit operand entry).
+type Point struct {
+	Name    string
+	Sources int // possible sources to arbitrate (X*N+1, Table 1)
+	// Entries is the number of bypass points fed in parallel (all
+	// operand entries of the machine); scales the network totals.
+	Entries int
+}
+
+// Sources computes the §4.3.1 source count from the register
+// read-write pipeline depth and the number of result producers
+// visible to one operand.
+func Sources(pipelineCycles, producers int) int {
+	return pipelineCycles*producers + 1
+}
+
+// MuxLevels returns the depth of the selection tree.
+func (p Point) MuxLevels() int {
+	if p.Sources <= 1 {
+		return 0
+	}
+	return int(math.Ceil(math.Log2(float64(p.Sources))))
+}
+
+// DelayRel returns the selection delay relative to a 16-source point
+// (= 1.0): one unit per mux level plus a wire-loading term linear in
+// sources (each additional source lengthens the input bus).
+func (p Point) DelayRel() float64 {
+	const (
+		perLevel  = 0.20
+		perSource = 0.0125
+	)
+	ref := perLevel*4 + perSource*16 // 16 sources: 4 levels
+	return (perLevel*float64(p.MuxLevels()) + perSource*float64(p.Sources)) / ref
+}
+
+// MuxCount returns the 2:1-mux count of one point (sources-1).
+func (p Point) MuxCount() int {
+	if p.Sources < 1 {
+		return 0
+	}
+	return p.Sources - 1
+}
+
+// NetworkMuxes returns the total mux count across all entries.
+func (p Point) NetworkMuxes() int { return p.MuxCount() * p.Entries }
+
+// EnergyRel returns per-cycle selection energy relative to a
+// 16-source, 16-entry network.
+func (p Point) EnergyRel() float64 {
+	return float64(p.Sources*p.Entries) / float64(16*16)
+}
+
+// String renders the point summary.
+func (p Point) String() string {
+	return fmt.Sprintf("%-20s %3d sources, %d mux levels, delay %.2fx, %5d muxes, energy %.2fx",
+		p.Name, p.Sources, p.MuxLevels(), p.DelayRel(), p.NetworkMuxes(), p.EnergyRel())
+}
+
+// PaperPoints returns the §4.3.1 comparison at 10 GHz: the
+// conventional 8-way machines, the WSRS machine and the conventional
+// 4-way machine, using the Table 1 pipeline depths and producer
+// counts. Entries = 2 operand entries x issue width.
+func PaperPoints() []Point {
+	return []Point{
+		{Name: "noWS-M 8-way", Sources: Sources(8, 12), Entries: 16},
+		{Name: "noWS-D 8-way", Sources: Sources(6, 12), Entries: 16},
+		{Name: "WS 8-way", Sources: Sources(5, 12), Entries: 16},
+		{Name: "WSRS 8-way", Sources: Sources(4, 6), Entries: 16},
+		{Name: "noWS-2 4-way", Sources: Sources(4, 6), Entries: 8},
+	}
+}

@@ -1,0 +1,84 @@
+package bypass
+
+import "testing"
+
+func TestSourcesMatchTable1(t *testing.T) {
+	cases := []struct {
+		pipe, producers, want int
+	}{
+		{8, 12, 97}, {6, 12, 73}, {5, 12, 61}, {4, 6, 25},
+		{5, 12, 61}, {4, 12, 49}, {3, 12, 37}, {3, 6, 19},
+	}
+	for _, c := range cases {
+		if got := Sources(c.pipe, c.producers); got != c.want {
+			t.Errorf("Sources(%d,%d) = %d, want %d", c.pipe, c.producers, got, c.want)
+		}
+	}
+}
+
+func TestMuxStructure(t *testing.T) {
+	p := Point{Sources: 25, Entries: 16}
+	if p.MuxLevels() != 5 {
+		t.Errorf("25 sources -> %d levels, want 5", p.MuxLevels())
+	}
+	if p.MuxCount() != 24 {
+		t.Errorf("mux count = %d", p.MuxCount())
+	}
+	if p.NetworkMuxes() != 24*16 {
+		t.Errorf("network muxes = %d", p.NetworkMuxes())
+	}
+	if (Point{Sources: 1}).MuxLevels() != 0 {
+		t.Error("single source needs no muxes")
+	}
+	if (Point{Sources: 0}).MuxCount() != 0 {
+		t.Error("degenerate point")
+	}
+}
+
+func TestDelayMonotone(t *testing.T) {
+	small := Point{Sources: 25}
+	large := Point{Sources: 97}
+	if large.DelayRel() <= small.DelayRel() {
+		t.Error("more sources must be slower")
+	}
+	ref := Point{Sources: 16}
+	if d := ref.DelayRel(); d < 0.99 || d > 1.01 {
+		t.Errorf("reference delay = %v, want 1", d)
+	}
+}
+
+func TestPaperHeadline(t *testing.T) {
+	pts := PaperPoints()
+	byName := map[string]Point{}
+	for _, p := range pts {
+		byName[p.Name] = p
+		if p.String() == "" {
+			t.Error("render broken")
+		}
+	}
+	wsrs := byName["WSRS 8-way"]
+	conv4 := byName["noWS-2 4-way"]
+	conv8 := byName["noWS-M 8-way"]
+	// §4.3.1: the WSRS bypass point arbitrates exactly as many
+	// sources as the conventional 4-way machine's (25 at 10 GHz).
+	if wsrs.Sources != 25 || wsrs.Sources != conv4.Sources {
+		t.Errorf("WSRS sources %d, conv4 %d, want equal 25", wsrs.Sources, conv4.Sources)
+	}
+	if wsrs.DelayRel() != conv4.DelayRel() {
+		t.Error("per-point delay must match the 4-way machine")
+	}
+	// Versus the monolithic 8-way machine (97 sources) the WSRS point
+	// is dramatically simpler.
+	if conv8.Sources != 97 || conv8.DelayRel() < 1.5*wsrs.DelayRel() {
+		t.Errorf("conv8 %d sources, delay %.2f vs WSRS %.2f",
+			conv8.Sources, conv8.DelayRel(), wsrs.DelayRel())
+	}
+	// The whole-network energy of WSRS (16 entries) is double the
+	// 4-way machine's (8 entries) but far below the 8-way machines'.
+	if wsrs.EnergyRel() != 2*conv4.EnergyRel() {
+		t.Error("WSRS network energy should double the 4-way machine's")
+	}
+	if wsrs.EnergyRel() >= byName["noWS-D 8-way"].EnergyRel() {
+		t.Error("WSRS network energy must be below the conventional 8-way's")
+	}
+}

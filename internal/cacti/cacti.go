@@ -1,0 +1,99 @@
+// Package cacti is a simplified CACTI-2.0-style analytical timing and
+// energy model for multiported register-file banks, standing in for
+// the modified CACTI 2.0 package the paper used (§4.2.1: "we used the
+// CACTI2.0 package ... We also modify CACTI2.0 in order to take in
+// account register write specialization").
+//
+// The model follows CACTI's structure — decode, wordline, bitline and
+// sense components whose wire lengths derive from the multiported cell
+// geometry of Zyuban & Kogge (a cell with Nr read and Nw write ports
+// is crossed by Nr+2Nw bitlines and Nr+Nw wordlines) — with
+// coefficients calibrated at 0.09 µm CMOS so that the five register
+// file organizations of the paper's Table 1 reproduce its published
+// access times and energies to within ~12 %. Other feature sizes use
+// first-order constant-field scaling.
+package cacti
+
+import "math"
+
+// Tech describes the process technology.
+type Tech struct {
+	// FeatureUm is the drawn feature size in micrometres. The paper
+	// evaluates a two-generation-ahead 0.09 µm technology.
+	FeatureUm float64
+}
+
+// Tech009 returns the paper's 0.09 µm CMOS technology point.
+func Tech009() Tech { return Tech{FeatureUm: 0.09} }
+
+// refFeature is the calibration feature size.
+const refFeature = 0.09
+
+// Bank describes one physical register-file bank: a contiguous array
+// of registers sharing decoders, wordlines and bitlines. Replicated
+// register files consist of several identical banks.
+type Bank struct {
+	Regs       int // registers stored in the bank
+	Bits       int // bits per register (64 in the paper)
+	ReadPorts  int // read ports on each cell
+	WritePorts int // write ports on each cell
+}
+
+// WordlineLen returns the wordline length in wire pitches: one cell
+// per bit, each cell Nr+2Nw wires wide (Zyuban & Kogge).
+func (b Bank) WordlineLen() float64 {
+	return float64(b.Bits) * float64(b.ReadPorts+2*b.WritePorts)
+}
+
+// BitlineLen returns the bitline length in wire pitches: one cell per
+// register, each cell Nr+Nw wires tall.
+func (b Bank) BitlineLen() float64 {
+	return float64(b.Regs) * float64(b.ReadPorts+b.WritePorts)
+}
+
+// CellArea returns the area of one storage cell in units of w², the
+// squared wire pitch — Formula (1) of the paper:
+// (Nr+Nw) x (Nr+2Nw).
+func (b Bank) CellArea() int {
+	return (b.ReadPorts + b.WritePorts) * (b.ReadPorts + 2*b.WritePorts)
+}
+
+// Calibrated coefficients (0.09 µm). See the package comment; fitted
+// by least squares against the paper's Table 1.
+const (
+	tBase  = 0.19981   // ns: sense amp + drive overhead
+	tDec   = 0.0037600 // ns per decoder level (log2 of rows)
+	tSqrt  = 8.8286e-5 // ns per wire pitch of sqrt(wl*bl) (array diagonal)
+	tLin   = 9.5843e-6 // ns per wire pitch of wl+bl
+	eBase  = 0.030048  // nJ fixed cost per port access
+	eBit   = 8.5365e-6 // nJ per wire pitch of bitline
+	eWord  = 3.5105e-5 // nJ per wire pitch of wordline
+	wScale = 0.10718   // write-port access cost relative to a read
+)
+
+// AccessTimeNs returns the bank's read access time in nanoseconds.
+func AccessTimeNs(t Tech, b Bank) float64 {
+	wl, bl := b.WordlineLen(), b.BitlineLen()
+	ns := tBase +
+		tDec*math.Log2(float64(b.Regs)) +
+		tSqrt*math.Sqrt(wl*bl) +
+		tLin*(wl+bl)
+	return ns * t.FeatureUm / refFeature
+}
+
+// portEnergyNJ is the energy of one read-port access of the bank.
+func portEnergyNJ(t Tech, b Bank) float64 {
+	scale := t.FeatureUm / refFeature
+	return (eBase + eBit*b.BitlineLen() + eWord*b.WordlineLen()) * scale * scale
+}
+
+// EnergyPerCycleNJ returns the peak energy per cycle of a register
+// file built from this bank, given the machine-level port activity:
+// reads per cycle (across all banks) and writes per cycle, where every
+// write is replicated into `copies` banks. Writes are cheaper than
+// reads per CACTI (no sense amplification); the calibrated ratio is
+// wScale.
+func EnergyPerCycleNJ(t Tech, b Bank, reads, writes, copies int) float64 {
+	activity := float64(reads) + wScale*float64(writes)*float64(copies)
+	return activity * portEnergyNJ(t, b)
+}

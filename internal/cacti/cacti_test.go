@@ -1,0 +1,128 @@
+package cacti
+
+import "testing"
+
+func bank(regs, nr, nw int) Bank {
+	return Bank{Regs: regs, Bits: 64, ReadPorts: nr, WritePorts: nw}
+}
+
+func TestCellAreaFormula1(t *testing.T) {
+	// Paper Formula (1): (Nr+Nw)(Nr+2Nw) in units of w².
+	cases := []struct {
+		nr, nw, want int
+	}{
+		{16, 12, 1120}, // noWS-M
+		{4, 12, 448},   // noWS-D per copy
+		{4, 3, 70},     // WS / WSRS per copy
+		{4, 6, 160},    // noWS-2 per copy
+	}
+	for _, c := range cases {
+		if got := bank(256, c.nr, c.nw).CellArea(); got != c.want {
+			t.Errorf("CellArea(%d,%d) = %d, want %d", c.nr, c.nw, got, c.want)
+		}
+	}
+}
+
+func TestWireLengths(t *testing.T) {
+	b := bank(256, 16, 12)
+	if b.WordlineLen() != 64*40 {
+		t.Errorf("wordline = %v", b.WordlineLen())
+	}
+	if b.BitlineLen() != 256*28 {
+		t.Errorf("bitline = %v", b.BitlineLen())
+	}
+}
+
+func TestAccessTimeMonotoneInPorts(t *testing.T) {
+	tech := Tech009()
+	few := AccessTimeNs(tech, bank(256, 4, 3))
+	many := AccessTimeNs(tech, bank(256, 16, 12))
+	if few >= many {
+		t.Errorf("more ports must be slower: %v vs %v", few, many)
+	}
+}
+
+func TestAccessTimeMonotoneInRegs(t *testing.T) {
+	tech := Tech009()
+	small := AccessTimeNs(tech, bank(128, 4, 3))
+	large := AccessTimeNs(tech, bank(512, 4, 3))
+	if small >= large {
+		t.Errorf("more registers must be slower: %v vs %v", small, large)
+	}
+}
+
+func TestTechnologyScaling(t *testing.T) {
+	b := bank(256, 4, 12)
+	t009 := AccessTimeNs(Tech009(), b)
+	t018 := AccessTimeNs(Tech{FeatureUm: 0.18}, b)
+	if t018 <= t009 {
+		t.Error("coarser technology must be slower")
+	}
+	e009 := EnergyPerCycleNJ(Tech009(), b, 16, 12, 4)
+	e018 := EnergyPerCycleNJ(Tech{FeatureUm: 0.18}, b, 16, 12, 4)
+	if e018 <= e009 {
+		t.Error("coarser technology must burn more energy")
+	}
+}
+
+func TestCalibrationAgainstPaperTable1(t *testing.T) {
+	// Access times must land within 15 % of the paper's CACTI-2.0
+	// measurements and preserve the ordering.
+	tech := Tech009()
+	cases := []struct {
+		name string
+		b    Bank
+		want float64
+	}{
+		{"noWS-M", bank(256, 16, 12), 0.71},
+		{"noWS-D", bank(256, 4, 12), 0.52},
+		{"WS", bank(512, 4, 3), 0.40},
+		{"WSRS", bank(128, 4, 3), 0.35},
+		{"noWS-2", bank(128, 4, 6), 0.34},
+	}
+	var prev float64 = 1e9
+	for i, c := range cases {
+		got := AccessTimeNs(tech, c.b)
+		if got < c.want*0.85 || got > c.want*1.15 {
+			t.Errorf("%s access = %.3f ns, paper %.2f (>15%% off)", c.name, got, c.want)
+		}
+		if i < 4 && got >= prev { // strictly decreasing through WSRS
+			t.Errorf("%s: access times must decrease down the table", c.name)
+		}
+		prev = got
+	}
+}
+
+func TestEnergyAgainstPaperTable1(t *testing.T) {
+	tech := Tech009()
+	cases := []struct {
+		name          string
+		b             Bank
+		reads, writes int
+		copies        int
+		want          float64
+	}{
+		{"noWS-M", bank(256, 16, 12), 16, 12, 1, 3.20},
+		{"noWS-D", bank(256, 4, 12), 16, 12, 4, 2.90},
+		{"WS", bank(512, 4, 3), 16, 12, 4, 1.70},
+		{"WSRS", bank(128, 4, 3), 16, 12, 2, 1.25},
+		{"noWS-2", bank(128, 4, 6), 8, 6, 2, 0.63},
+	}
+	for _, c := range cases {
+		got := EnergyPerCycleNJ(tech, c.b, c.reads, c.writes, c.copies)
+		if got < c.want*0.80 || got > c.want*1.20 {
+			t.Errorf("%s energy = %.2f nJ, paper %.2f (>20%% off)", c.name, got, c.want)
+		}
+	}
+	// Headline claims: WSRS more than halves noWS-D's power...
+	d := EnergyPerCycleNJ(tech, bank(256, 4, 12), 16, 12, 4)
+	w := EnergyPerCycleNJ(tech, bank(128, 4, 3), 16, 12, 2)
+	if w > d/2 {
+		t.Errorf("WSRS energy %.2f must be under half of noWS-D %.2f", w, d)
+	}
+	// ...and roughly doubles the 2-cluster 4-way machine's.
+	c2 := EnergyPerCycleNJ(tech, bank(128, 4, 6), 8, 6, 2)
+	if w < c2*1.2 || w > c2*2.6 {
+		t.Errorf("WSRS %.2f vs noWS-2 %.2f: expected roughly double", w, c2)
+	}
+}

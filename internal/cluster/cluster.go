@@ -1,0 +1,171 @@
+// Package cluster models the execution resources of one cluster of the
+// simulated processor (paper §4, §5.2): a 2-issue cluster with two
+// integer ALUs, one load/store unit and one fully pipelined FPU —
+// the EV6-like cluster the paper builds its 8-way 4-cluster machines
+// from. Long-latency non-pipelined units (integer divide, fp
+// divide/sqrt) block their unit until done; the cluster can write at
+// most three register results per cycle (the 3 write ports of the
+// specialized register subsets).
+//
+// The package provides a pure resource scoreboard; wakeup/select and
+// the issue queue live in internal/pipeline.
+package cluster
+
+import "wsrs/internal/isa"
+
+// Config describes one cluster's resources.
+type Config struct {
+	IssueWidth int // micro-ops selected per cycle (paper: 2)
+	NumALU     int // integer ALUs, also execute branches (paper: 2)
+	NumLSU     int // load/store units (paper: 1)
+	NumFPU     int // floating-point units (paper: 1)
+	// IQSize is the per-cluster scheduler capacity. The paper's
+	// clusters "accept up to 56 in-flight instructions" with no
+	// separate smaller scheduler, so the default equals MaxInflight
+	// (an RUU-style window).
+	IQSize      int
+	MaxInflight int // in-flight micro-ops per cluster (paper: 56)
+	// WritePorts is the per-cycle register writeback limit; with
+	// register write specialization each subset has 3 write ports
+	// (2 ALU results + 1 load result, as on the EV6).
+	WritePorts int
+}
+
+// DefaultConfig returns the paper's cluster design point.
+func DefaultConfig() Config {
+	return Config{
+		IssueWidth:  2,
+		NumALU:      2,
+		NumLSU:      1,
+		NumFPU:      1,
+		IQSize:      56,
+		MaxInflight: 56,
+		WritePorts:  3,
+	}
+}
+
+// window is the scheduling horizon of the scoreboard's ring buffers.
+// It must exceed the longest latency plus any queueing slack.
+const window = 256
+
+// Scoreboard tracks per-cycle resource usage of one cluster. Cycles
+// only move forward; querying a cycle lower than an already-issued one
+// is allowed (counts are kept per absolute cycle modulo the window).
+type Scoreboard struct {
+	cfg Config
+
+	stamp [window]int64
+	issue [window]int8
+	alu   [window]int8
+	lsu   [window]int8
+	fpu   [window]int8
+
+	wbStamp [window]int64
+	wb      [window]int8
+
+	divBusyUntil   int64
+	fpdivBusyUntil int64
+}
+
+// NewScoreboard returns an empty scoreboard.
+func NewScoreboard(cfg Config) *Scoreboard {
+	s := &Scoreboard{cfg: cfg}
+	for i := range s.stamp {
+		s.stamp[i] = -1
+		s.wbStamp[i] = -1
+	}
+	return s
+}
+
+// Config returns the cluster configuration.
+func (s *Scoreboard) Config() Config { return s.cfg }
+
+func (s *Scoreboard) slot(cycle int64) int {
+	i := int(cycle % window)
+	if s.stamp[i] != cycle {
+		s.stamp[i] = cycle
+		s.issue[i], s.alu[i], s.lsu[i], s.fpu[i] = 0, 0, 0, 0
+	}
+	return i
+}
+
+// CanIssue reports whether a micro-op of the given class can be
+// selected at cycle.
+func (s *Scoreboard) CanIssue(cycle int64, class isa.Class) bool {
+	i := s.slot(cycle)
+	if int(s.issue[i]) >= s.cfg.IssueWidth {
+		return false
+	}
+	switch class {
+	case isa.ClassALU, isa.ClassMul:
+		return int(s.alu[i]) < s.cfg.NumALU
+	case isa.ClassDiv:
+		// The divider is fed through an ALU port and is non-pipelined.
+		return int(s.alu[i]) < s.cfg.NumALU && cycle >= s.divBusyUntil
+	case isa.ClassLoad, isa.ClassStore:
+		return int(s.lsu[i]) < s.cfg.NumLSU
+	case isa.ClassFP:
+		return int(s.fpu[i]) < s.cfg.NumFPU && cycle >= s.fpdivBusyUntil
+	case isa.ClassFPDiv:
+		return int(s.fpu[i]) < s.cfg.NumFPU && cycle >= s.fpdivBusyUntil
+	case isa.ClassNop:
+		return true
+	}
+	return false
+}
+
+// Issue commits the resources for a micro-op of the given class with
+// the given execution latency. Callers must have checked CanIssue.
+func (s *Scoreboard) Issue(cycle int64, class isa.Class, latency int) {
+	i := s.slot(cycle)
+	s.issue[i]++
+	switch class {
+	case isa.ClassALU, isa.ClassMul:
+		s.alu[i]++
+	case isa.ClassDiv:
+		s.alu[i]++
+		s.divBusyUntil = cycle + int64(latency)
+	case isa.ClassLoad, isa.ClassStore:
+		s.lsu[i]++
+	case isa.ClassFP:
+		s.fpu[i]++
+	case isa.ClassFPDiv:
+		s.fpu[i]++
+		s.fpdivBusyUntil = cycle + int64(latency)
+	}
+}
+
+// ReserveWriteback finds the first cycle >= want with a free register
+// write port, reserves it, and returns it. Results that arrive when
+// all WritePorts are taken are delayed (the structural hazard created
+// by the 3-write-port register subsets).
+func (s *Scoreboard) ReserveWriteback(want int64) int64 {
+	for c := want; ; c++ {
+		i := int(c % window)
+		if s.wbStamp[i] != c {
+			s.wbStamp[i] = c
+			s.wb[i] = 0
+		}
+		if int(s.wb[i]) < s.cfg.WritePorts {
+			s.wb[i]++
+			return c
+		}
+	}
+}
+
+// CanExecute reports whether a cluster with this configuration can
+// ever execute micro-ops of the given class (used to validate
+// heterogeneous pool organizations, paper Figure 2b).
+func (c Config) CanExecute(class isa.Class) bool {
+	switch class {
+	case isa.ClassALU, isa.ClassMul, isa.ClassDiv:
+		return c.NumALU > 0
+	case isa.ClassLoad, isa.ClassStore:
+		return c.NumLSU > 0
+	case isa.ClassFP, isa.ClassFPDiv:
+		return c.NumFPU > 0
+	case isa.ClassNop:
+		return true
+	}
+	return false
+}

@@ -1,0 +1,149 @@
+package cluster
+
+import (
+	"testing"
+
+	"wsrs/internal/isa"
+)
+
+func TestIssueWidthLimit(t *testing.T) {
+	s := NewScoreboard(DefaultConfig())
+	if !s.CanIssue(10, isa.ClassALU) {
+		t.Fatal("empty cycle must accept")
+	}
+	s.Issue(10, isa.ClassALU, 1)
+	s.Issue(10, isa.ClassALU, 1)
+	if s.CanIssue(10, isa.ClassLoad) {
+		t.Error("issue width 2 must block a third op in the same cycle")
+	}
+	if !s.CanIssue(11, isa.ClassLoad) {
+		t.Error("next cycle must be free")
+	}
+}
+
+func TestALULimit(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.IssueWidth = 4 // isolate the ALU constraint
+	s := NewScoreboard(cfg)
+	s.Issue(5, isa.ClassALU, 1)
+	s.Issue(5, isa.ClassALU, 1)
+	if s.CanIssue(5, isa.ClassALU) {
+		t.Error("2 ALUs must block a third ALU op")
+	}
+	if !s.CanIssue(5, isa.ClassLoad) {
+		t.Error("LSU must still be free")
+	}
+}
+
+func TestLSULimit(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.IssueWidth = 4
+	s := NewScoreboard(cfg)
+	s.Issue(5, isa.ClassLoad, 2)
+	if s.CanIssue(5, isa.ClassStore) {
+		t.Error("single LSU must block a second memory op per cycle")
+	}
+	if !s.CanIssue(6, isa.ClassStore) {
+		t.Error("LSU free next cycle")
+	}
+}
+
+func TestDivNonPipelined(t *testing.T) {
+	s := NewScoreboard(DefaultConfig())
+	s.Issue(0, isa.ClassDiv, 15)
+	for c := int64(1); c < 15; c++ {
+		if s.CanIssue(c, isa.ClassDiv) {
+			t.Fatalf("divider must be busy at cycle %d", c)
+		}
+		if !s.CanIssue(c, isa.ClassALU) {
+			t.Fatalf("ALUs must stay available during divide at cycle %d", c)
+		}
+	}
+	if !s.CanIssue(15, isa.ClassDiv) {
+		t.Error("divider must be free at cycle 15")
+	}
+}
+
+func TestFPDivBlocksFPU(t *testing.T) {
+	s := NewScoreboard(DefaultConfig())
+	s.Issue(0, isa.ClassFPDiv, 15)
+	if s.CanIssue(5, isa.ClassFP) {
+		t.Error("non-pipelined fp divide must block the FPU")
+	}
+	if !s.CanIssue(15, isa.ClassFP) {
+		t.Error("FPU free after divide")
+	}
+}
+
+func TestFPPipelined(t *testing.T) {
+	s := NewScoreboard(DefaultConfig())
+	for c := int64(0); c < 5; c++ {
+		if !s.CanIssue(c, isa.ClassFP) {
+			t.Fatalf("pipelined FPU must accept one op every cycle (cycle %d)", c)
+		}
+		s.Issue(c, isa.ClassFP, 4)
+	}
+}
+
+func TestMulPipelined(t *testing.T) {
+	s := NewScoreboard(DefaultConfig())
+	s.Issue(0, isa.ClassMul, 15)
+	if !s.CanIssue(1, isa.ClassMul) {
+		t.Error("pipelined multiplier must accept back-to-back multiplies")
+	}
+}
+
+func TestWritebackPorts(t *testing.T) {
+	s := NewScoreboard(DefaultConfig())
+	// 3 write ports: the 4th result slated for cycle 20 slips to 21.
+	for i := 0; i < 3; i++ {
+		if got := s.ReserveWriteback(20); got != 20 {
+			t.Fatalf("writeback %d at %d, want 20", i, got)
+		}
+	}
+	if got := s.ReserveWriteback(20); got != 21 {
+		t.Errorf("4th writeback at %d, want 21", got)
+	}
+	if got := s.ReserveWriteback(21); got != 21 {
+		t.Errorf("5th writeback at %d, want 21 (one port left)", got)
+	}
+}
+
+func TestScoreboardLongRun(t *testing.T) {
+	// The ring buffers must stay correct far past the window size.
+	s := NewScoreboard(DefaultConfig())
+	for c := int64(0); c < 5*window; c += 3 {
+		if !s.CanIssue(c, isa.ClassALU) {
+			t.Fatalf("cycle %d unexpectedly full", c)
+		}
+		s.Issue(c, isa.ClassALU, 1)
+		s.Issue(c, isa.ClassALU, 1)
+		if s.CanIssue(c, isa.ClassALU) {
+			t.Fatalf("cycle %d must be ALU-full", c)
+		}
+	}
+}
+
+func TestNopClassAlwaysIssuable(t *testing.T) {
+	s := NewScoreboard(DefaultConfig())
+	if !s.CanIssue(0, isa.ClassNop) {
+		t.Error("nop class needs no resources")
+	}
+}
+
+func TestCanExecute(t *testing.T) {
+	full := DefaultConfig()
+	for _, c := range []isa.Class{isa.ClassALU, isa.ClassMul, isa.ClassDiv,
+		isa.ClassLoad, isa.ClassStore, isa.ClassFP, isa.ClassFPDiv, isa.ClassNop} {
+		if !full.CanExecute(c) {
+			t.Errorf("default cluster must execute %v", c)
+		}
+	}
+	lsuOnly := Config{NumLSU: 2, IssueWidth: 2, IQSize: 8, MaxInflight: 16, WritePorts: 2}
+	if lsuOnly.CanExecute(isa.ClassALU) || !lsuOnly.CanExecute(isa.ClassLoad) {
+		t.Error("LSU-only pool classification wrong")
+	}
+	if !lsuOnly.CanExecute(isa.ClassNop) {
+		t.Error("nops execute anywhere")
+	}
+}

@@ -1,0 +1,558 @@
+// Package funcsim architecturally executes programs of the simulator
+// ISA and emits the annotated dynamic micro-op stream consumed by the
+// timing model. It implements the register-window semantics of paper
+// §5.1.1 — four windows mapped onto 80 logical general-purpose
+// registers, with an exception taken on window overflow/underflow —
+// and the decode-time cracking of three-register-operand instructions
+// (indexed stores) into two micro-operations.
+//
+// The simulator is "execute-first": values, effective addresses and
+// branch outcomes are computed here so the timing model can replay the
+// stream without re-executing it.
+package funcsim
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/bits"
+
+	"wsrs/internal/isa"
+	"wsrs/internal/trace"
+)
+
+// ErrRestoreUnderflow is reported when a RESTORE executes with an
+// empty window spill stack (returning past program entry).
+var ErrRestoreUnderflow = errors.New("funcsim: restore past program entry")
+
+// savedWindow holds the 16 registers (ins + locals) of a spilled
+// window; the abstracted trap handler of the OS keeps them here.
+type savedWindow [16]int64
+
+// Sim executes a program architecturally. It implements trace.Reader:
+// each Next call retires one micro-op in program order.
+type Sim struct {
+	prog *isa.Program
+	mem  *Memory
+
+	intRegs [isa.NumIntLogical]int64
+	fpRegs  [isa.NumFPLogical]float64
+	cwp     int
+	pc      int
+
+	spills []savedWindow
+
+	seq       uint64
+	instSeq   uint64
+	pending   *trace.MicroOp // second half of a cracked instruction
+	crackTemp int            // rotating hidden temp selector
+	halted    bool
+	err       error
+
+	// Stats counts classification events while executing; useful for
+	// characterizing kernels.
+	Stats Stats
+}
+
+// Stats aggregates dynamic instruction-stream characteristics.
+type Stats struct {
+	Insts    uint64
+	MicroOps uint64
+	ByArity  [4]uint64 // indexed by isa.Arity
+	Branches uint64
+	Taken    uint64
+	Loads    uint64
+	Stores   uint64
+	FPOps    uint64
+	Traps    uint64
+}
+
+// New returns a simulator for prog starting at PC 0 with the given
+// memory image (nil allocates an empty one).
+func New(prog *isa.Program, mem *Memory) *Sim {
+	if mem == nil {
+		mem = NewMemory()
+	}
+	return &Sim{prog: prog, mem: mem}
+}
+
+// NewAt is New starting at the instruction labelled entry.
+func NewAt(prog *isa.Program, mem *Memory, entry string) (*Sim, error) {
+	pc := prog.PCOf(entry)
+	if pc < 0 {
+		return nil, fmt.Errorf("funcsim: undefined entry label %q", entry)
+	}
+	s := New(prog, mem)
+	s.pc = pc
+	return s, nil
+}
+
+// Err returns the execution error, if any, once the stream has ended.
+func (s *Sim) Err() error { return s.err }
+
+// Memory returns the simulator's memory image.
+func (s *Sim) Memory() *Memory { return s.mem }
+
+// IntReg returns the architectural value of a visible integer register
+// in the current window (for test assertions).
+func (s *Sim) IntReg(r isa.Reg) int64 {
+	l := isa.Translate(r, s.cwp)
+	return s.intRegs[l.Index]
+}
+
+// SetIntReg sets a visible integer register in the current window.
+func (s *Sim) SetIntReg(r isa.Reg, v int64) {
+	if r.IsZero() {
+		return
+	}
+	l := isa.Translate(r, s.cwp)
+	s.intRegs[l.Index] = v
+}
+
+// FPRegVal returns the architectural value of a floating-point register.
+func (s *Sim) FPRegVal(i int) float64 { return s.fpRegs[i] }
+
+// SetFPReg sets a floating-point register.
+func (s *Sim) SetFPReg(i int, v float64) { s.fpRegs[i] = v }
+
+// CWP returns the current window pointer (for tests).
+func (s *Sim) CWP() int { return s.cwp }
+
+func (s *Sim) readInt(r isa.Reg) int64 {
+	if r.IsZero() {
+		return 0
+	}
+	return s.intRegs[isa.Translate(r, s.cwp).Index]
+}
+
+func (s *Sim) readFP(r isa.Reg) float64 {
+	if r.Class == isa.RegFP {
+		return s.fpRegs[r.Index]
+	}
+	return float64(s.readInt(r))
+}
+
+func (s *Sim) writeInt(r isa.Reg, v int64) {
+	if r.IsZero() {
+		return
+	}
+	s.intRegs[isa.Translate(r, s.cwp).Index] = v
+}
+
+func (s *Sim) writeFP(r isa.Reg, v float64) {
+	s.fpRegs[r.Index] = v
+}
+
+// overflow spills the oldest mapped window and shifts the register
+// file so the current window frame becomes free again. This is the
+// architectural effect of the window-overflow trap handler; the timing
+// model charges a pipeline flush for the trap.
+func (s *Sim) overflow() {
+	var w savedWindow
+	copy(w[:], s.intRegs[8:24]) // ins + locals of window 0
+	s.spills = append(s.spills, w)
+	copy(s.intRegs[8:64], s.intRegs[24:80])
+	for i := 64; i < 80; i++ {
+		s.intRegs[i] = 0
+	}
+	s.Stats.Traps++
+}
+
+// underflow reloads the most recently spilled window.
+func (s *Sim) underflow() error {
+	if len(s.spills) == 0 {
+		return ErrRestoreUnderflow
+	}
+	copy(s.intRegs[24:80], s.intRegs[8:64])
+	w := s.spills[len(s.spills)-1]
+	s.spills = s.spills[:len(s.spills)-1]
+	copy(s.intRegs[8:24], w[:])
+	s.Stats.Traps++
+	return nil
+}
+
+// logicalSrcs translates the instruction's dynamic register sources in
+// operand-position order.
+func (s *Sim) logicalSrcs(in isa.Inst) (srcs [2]isa.LogicalReg, n int) {
+	for _, r := range in.SrcRegs() {
+		if n < 2 {
+			srcs[n] = isa.Translate(r, s.cwp)
+		}
+		n++
+	}
+	if n > 2 {
+		n = 2
+	}
+	return srcs, n
+}
+
+// baseMicroOp fills the fields shared by every micro-op of the
+// instruction at the current PC.
+func (s *Sim) baseMicroOp(in isa.Inst) trace.MicroOp {
+	return trace.MicroOp{
+		Seq:          s.seq,
+		InstSeq:      s.instSeq,
+		PC:           uint64(s.pc) * 4,
+		Op:           in.Op,
+		Class:        isa.ClassOf(in.Op),
+		Commutative:  isa.IsCommutative(in.Op),
+		HWCommutable: isa.CommutableByHW(in.Op),
+		MemSize:      8,
+	}
+}
+
+// Next executes and returns the next micro-op. It reports false when
+// the program halts, runs off the end, or faults (see Err).
+func (s *Sim) Next() (trace.MicroOp, bool) {
+	if s.pending != nil {
+		m := *s.pending
+		s.pending = nil
+		return m, true
+	}
+	if s.halted || s.err != nil {
+		return trace.MicroOp{}, false
+	}
+	if s.pc < 0 || s.pc >= s.prog.Len() {
+		s.err = fmt.Errorf("funcsim: pc %d out of program bounds", s.pc)
+		return trace.MicroOp{}, false
+	}
+
+	in := s.prog.Insts[s.pc]
+	m := s.baseMicroOp(in)
+	srcs, nsrc := s.logicalSrcs(in)
+	m.Src, m.NSrc = srcs, nsrc
+	m.LastOfInst = true
+	nextPC := s.pc + 1
+
+	switch in.Op {
+	case isa.OpADD, isa.OpSUB, isa.OpAND, isa.OpANDN, isa.OpOR, isa.OpORN,
+		isa.OpXOR, isa.OpXNOR, isa.OpSLL, isa.OpSRL, isa.OpSRA,
+		isa.OpMUL, isa.OpDIV, isa.OpUDIV:
+		a := s.readInt(in.Rs1)
+		var b int64
+		if in.HasImm {
+			b = in.Imm
+		} else {
+			b = s.readInt(in.Rs2)
+		}
+		v := evalIntALU(in.Op, a, b)
+		s.writeInt(in.Rd, v)
+		s.setDst(&m, in)
+
+	case isa.OpPOPC:
+		s.writeInt(in.Rd, int64(bits.OnesCount64(uint64(s.readInt(in.Rs1)))))
+		s.setDst(&m, in)
+
+	case isa.OpMOV:
+		if in.HasImm {
+			s.writeInt(in.Rd, in.Imm)
+		} else {
+			s.writeInt(in.Rd, s.readInt(in.Rs1))
+		}
+		s.setDst(&m, in)
+
+	case isa.OpLI:
+		s.writeInt(in.Rd, in.Imm)
+		s.setDst(&m, in)
+
+	case isa.OpLD, isa.OpLDI:
+		ea := s.effectiveAddr(in)
+		s.writeInt(in.Rd, s.mem.ReadInt64(ea))
+		m.Addr = ea
+		s.setDst(&m, in)
+		s.Stats.Loads++
+
+	case isa.OpFLD, isa.OpFLDI:
+		ea := s.effectiveAddr(in)
+		s.writeFP(in.Rd, s.mem.ReadFloat64(ea))
+		m.Addr = ea
+		s.setDst(&m, in)
+		s.Stats.Loads++
+
+	case isa.OpST:
+		ea := s.effectiveAddr(in)
+		s.mem.WriteInt64(ea, s.readInt(in.Rs2))
+		m.Addr = ea
+		s.Stats.Stores++
+
+	case isa.OpFST:
+		ea := s.effectiveAddr(in)
+		s.mem.WriteFloat64(ea, s.readFP(in.Rs2))
+		m.Addr = ea
+		s.Stats.Stores++
+
+	case isa.OpSTI, isa.OpFSTI:
+		// Crack: µop 1 computes the address into a hidden temp, µop 2
+		// performs the store through it (paper §5.1.1).
+		ea := s.effectiveAddr(in)
+		tmp := isa.CrackTemp(s.crackTemp)
+		s.crackTemp = (s.crackTemp + 1) % isa.NumCrackTemps
+
+		m.Op, m.Class = isa.OpADD, isa.ClassALU
+		m.Commutative, m.HWCommutable = true, true
+		m.Src[0] = isa.Translate(in.Rs1, s.cwp)
+		m.Src[1] = isa.Translate(in.Rs2, s.cwp)
+		m.NSrc = 2
+		m.Dst, m.HasDst = tmp, true
+		m.LastOfInst = false
+
+		st := s.baseMicroOp(in)
+		st.Seq = s.seq + 1
+		if in.Op == isa.OpSTI {
+			st.Op = isa.OpST
+			s.mem.WriteInt64(ea, s.readInt(in.Rd))
+		} else {
+			st.Op = isa.OpFST
+			s.mem.WriteFloat64(ea, s.readFP(in.Rd))
+		}
+		st.Class = isa.ClassStore
+		st.Commutative, st.HWCommutable = false, false
+		st.Src[0] = tmp
+		st.Src[1] = isa.Translate(in.Rd, s.cwp)
+		st.NSrc = 2
+		if in.Rd.IsZero() {
+			st.NSrc = 1
+		}
+		st.Addr = ea
+		st.LastOfInst = true
+		s.pending = &st
+		s.seq++ // account for the pending µop below
+		s.Stats.Stores++
+
+	case isa.OpBEQ, isa.OpBNE, isa.OpBLT, isa.OpBGE, isa.OpBLE, isa.OpBGT:
+		a, b := s.readInt(in.Rs1), s.readInt(in.Rs2)
+		taken := evalIntCond(in.Op, a, b)
+		m.IsBranch, m.IsCond, m.Taken = true, true, taken
+		if taken {
+			nextPC = in.Target
+			m.Target = uint64(nextPC) * 4
+		}
+		s.Stats.Branches++
+		if taken {
+			s.Stats.Taken++
+		}
+
+	case isa.OpFBEQ, isa.OpFBNE, isa.OpFBLT, isa.OpFBGE:
+		a, b := s.readFP(in.Rs1), s.readFP(in.Rs2)
+		taken := evalFPCond(in.Op, a, b)
+		m.IsBranch, m.IsCond, m.Taken = true, true, taken
+		if taken {
+			nextPC = in.Target
+			m.Target = uint64(nextPC) * 4
+		}
+		s.Stats.Branches++
+		if taken {
+			s.Stats.Taken++
+		}
+
+	case isa.OpBA:
+		m.IsBranch, m.Taken = true, true
+		nextPC = in.Target
+		m.Target = uint64(nextPC) * 4
+		s.Stats.Branches++
+		s.Stats.Taken++
+
+	case isa.OpCALL:
+		s.writeInt(in.Rd, int64(s.pc+1))
+		s.setDst(&m, in)
+		m.IsBranch, m.Taken, m.IsCall = true, true, true
+		nextPC = in.Target
+		m.Target = uint64(nextPC) * 4
+		s.Stats.Branches++
+		s.Stats.Taken++
+
+	case isa.OpJR:
+		dest := int(s.readInt(in.Rs1))
+		m.IsBranch, m.Taken = true, true
+		m.IsReturn = in.Rs1 == isa.OReg(7) || in.Rs1 == isa.IReg(7)
+		nextPC = dest
+		m.Target = uint64(nextPC) * 4
+		s.Stats.Branches++
+		s.Stats.Taken++
+
+	case isa.OpSAVE:
+		if s.cwp == isa.NumWindows-1 {
+			s.overflow()
+			m.Trap = true
+		} else {
+			s.cwp++
+		}
+
+	case isa.OpRESTORE:
+		if s.cwp == 0 {
+			if err := s.underflow(); err != nil {
+				s.err = err
+				return trace.MicroOp{}, false
+			}
+			m.Trap = true
+		} else {
+			s.cwp--
+		}
+
+	case isa.OpFADD, isa.OpFSUB, isa.OpFMUL, isa.OpFDIV:
+		a, b := s.readFP(in.Rs1), s.readFP(in.Rs2)
+		s.writeFP(in.Rd, evalFPALU(in.Op, a, b))
+		s.setDst(&m, in)
+		s.Stats.FPOps++
+
+	case isa.OpFSQRT:
+		s.writeFP(in.Rd, math.Sqrt(s.readFP(in.Rs1)))
+		s.setDst(&m, in)
+		s.Stats.FPOps++
+
+	case isa.OpFNEG:
+		s.writeFP(in.Rd, -s.readFP(in.Rs1))
+		s.setDst(&m, in)
+		s.Stats.FPOps++
+
+	case isa.OpFABS:
+		s.writeFP(in.Rd, math.Abs(s.readFP(in.Rs1)))
+		s.setDst(&m, in)
+		s.Stats.FPOps++
+
+	case isa.OpFMOV:
+		s.writeFP(in.Rd, s.readFP(in.Rs1))
+		s.setDst(&m, in)
+		s.Stats.FPOps++
+
+	case isa.OpFITOD:
+		s.writeFP(in.Rd, float64(s.readInt(in.Rs1)))
+		s.setDst(&m, in)
+		s.Stats.FPOps++
+
+	case isa.OpFDTOI:
+		s.writeInt(in.Rd, int64(s.readFP(in.Rs1)))
+		s.setDst(&m, in)
+		s.Stats.FPOps++
+
+	case isa.OpNOP:
+		// nothing
+
+	case isa.OpHALT:
+		s.halted = true
+		return trace.MicroOp{}, false
+
+	default:
+		s.err = fmt.Errorf("funcsim: unimplemented opcode %v at pc %d", in.Op, s.pc)
+		return trace.MicroOp{}, false
+	}
+
+	s.pc = nextPC
+	s.seq++
+	s.instSeq++
+	s.Stats.Insts++
+	s.Stats.MicroOps++
+	s.Stats.ByArity[m.Arity()]++
+	if s.pending != nil {
+		s.Stats.MicroOps++
+		s.Stats.ByArity[s.pending.Arity()]++
+	}
+	return m, true
+}
+
+func (s *Sim) setDst(m *trace.MicroOp, in isa.Inst) {
+	if !in.HasDest() {
+		return
+	}
+	m.Dst = isa.Translate(in.Rd, s.cwp)
+	m.HasDst = true
+}
+
+func (s *Sim) effectiveAddr(in isa.Inst) uint64 {
+	base := s.readInt(in.Rs1)
+	if in.HasImm {
+		return uint64(base + in.Imm)
+	}
+	var idx int64
+	switch in.Op {
+	case isa.OpSTI, isa.OpFSTI, isa.OpLDI, isa.OpFLDI:
+		idx = s.readInt(in.Rs2)
+	}
+	return uint64(base + idx)
+}
+
+func evalIntALU(op isa.Op, a, b int64) int64 {
+	switch op {
+	case isa.OpADD:
+		return a + b
+	case isa.OpSUB:
+		return a - b
+	case isa.OpAND:
+		return a & b
+	case isa.OpANDN:
+		return a &^ b
+	case isa.OpOR:
+		return a | b
+	case isa.OpORN:
+		return a | ^b
+	case isa.OpXOR:
+		return a ^ b
+	case isa.OpXNOR:
+		return ^(a ^ b)
+	case isa.OpSLL:
+		return a << (uint64(b) & 63)
+	case isa.OpSRL:
+		return int64(uint64(a) >> (uint64(b) & 63))
+	case isa.OpSRA:
+		return a >> (uint64(b) & 63)
+	case isa.OpMUL:
+		return a * b
+	case isa.OpDIV:
+		if b == 0 {
+			return 0 // division by zero yields 0; no trap modelled
+		}
+		return a / b
+	case isa.OpUDIV:
+		if b == 0 {
+			return 0
+		}
+		return int64(uint64(a) / uint64(b))
+	}
+	panic("funcsim: not an int ALU op")
+}
+
+func evalIntCond(op isa.Op, a, b int64) bool {
+	switch op {
+	case isa.OpBEQ:
+		return a == b
+	case isa.OpBNE:
+		return a != b
+	case isa.OpBLT:
+		return a < b
+	case isa.OpBGE:
+		return a >= b
+	case isa.OpBLE:
+		return a <= b
+	case isa.OpBGT:
+		return a > b
+	}
+	panic("funcsim: not an int condition")
+}
+
+func evalFPCond(op isa.Op, a, b float64) bool {
+	switch op {
+	case isa.OpFBEQ:
+		return a == b
+	case isa.OpFBNE:
+		return a != b
+	case isa.OpFBLT:
+		return a < b
+	case isa.OpFBGE:
+		return a >= b
+	}
+	panic("funcsim: not an fp condition")
+}
+
+func evalFPALU(op isa.Op, a, b float64) float64 {
+	switch op {
+	case isa.OpFADD:
+		return a + b
+	case isa.OpFSUB:
+		return a - b
+	case isa.OpFMUL:
+		return a * b
+	case isa.OpFDIV:
+		return a / b
+	}
+	panic("funcsim: not an fp ALU op")
+}

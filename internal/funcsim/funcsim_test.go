@@ -1,0 +1,468 @@
+package funcsim
+
+import (
+	"testing"
+
+	"wsrs/internal/asm"
+	"wsrs/internal/isa"
+	"wsrs/internal/trace"
+)
+
+// run executes the program until halt and returns the simulator and
+// the collected micro-ops.
+func run(t *testing.T, src string) (*Sim, []trace.MicroOp) {
+	t.Helper()
+	prog, err := asm.Assemble(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := New(prog, nil)
+	var ops []trace.MicroOp
+	for {
+		m, ok := s.Next()
+		if !ok {
+			break
+		}
+		ops = append(ops, m)
+		if len(ops) > 1_000_000 {
+			t.Fatal("runaway program")
+		}
+	}
+	if err := s.Err(); err != nil {
+		t.Fatalf("execution error: %v", err)
+	}
+	return s, ops
+}
+
+func TestArithmetic(t *testing.T) {
+	s, _ := run(t, `
+		li  %o0, 6
+		li  %o1, 7
+		mul %o2, %o0, %o1
+		add %o3, %o2, 8
+		sub %o4, %o3, %o0
+		xor %o5, %o0, %o1
+		sll %l0, %o0, 4
+		sra %l1, %l0, 2
+		div %l2, %o2, %o1
+		halt
+	`)
+	cases := []struct {
+		r    isa.Reg
+		want int64
+	}{
+		{isa.OReg(2), 42},
+		{isa.OReg(3), 50},
+		{isa.OReg(4), 44},
+		{isa.OReg(5), 1},
+		{isa.LReg(0), 96},
+		{isa.LReg(1), 24},
+		{isa.LReg(2), 6},
+	}
+	for _, c := range cases {
+		if got := s.IntReg(c.r); got != c.want {
+			t.Errorf("%v = %d, want %d", c.r, got, c.want)
+		}
+	}
+}
+
+func TestG0IsHardwiredZero(t *testing.T) {
+	s, _ := run(t, `
+		li  %g0, 99
+		add %o0, %g0, 5
+		halt
+	`)
+	if got := s.IntReg(isa.GReg(0)); got != 0 {
+		t.Errorf("%%g0 = %d, want 0", got)
+	}
+	if got := s.IntReg(isa.OReg(0)); got != 5 {
+		t.Errorf("%%o0 = %d, want 5", got)
+	}
+}
+
+func TestLoopAndBranches(t *testing.T) {
+	// Sum 1..10 with a countdown loop.
+	s, ops := run(t, `
+		li %o0, 10
+		li %o1, 0
+	loop:
+		add %o1, %o1, %o0
+		sub %o0, %o0, 1
+		bgt %o0, %g0, loop
+		halt
+	`)
+	if got := s.IntReg(isa.OReg(1)); got != 55 {
+		t.Errorf("sum = %d, want 55", got)
+	}
+	var taken, branches int
+	for _, m := range ops {
+		if m.IsCond {
+			branches++
+			if m.Taken {
+				taken++
+			}
+		}
+	}
+	if branches != 10 || taken != 9 {
+		t.Errorf("branches=%d taken=%d, want 10/9", branches, taken)
+	}
+}
+
+func TestMemoryOps(t *testing.T) {
+	s, ops := run(t, `
+		li %o0, 4096
+		li %o1, 1234
+		st %o1, [%o0+8]
+		ld %o2, [%o0+8]
+		li %o3, 3
+		sll %o3, %o3, 3
+		st  %o2, [%o0+%o3]   ; indexed store: cracked
+		ldi %o4, [%o0+%o3]
+		halt
+	`)
+	if got := s.IntReg(isa.OReg(2)); got != 1234 {
+		t.Errorf("loaded %d, want 1234", got)
+	}
+	if got := s.IntReg(isa.OReg(4)); got != 1234 {
+		t.Errorf("indexed loaded %d, want 1234", got)
+	}
+	if got := s.Memory().ReadInt64(4096 + 24); got != 1234 {
+		t.Errorf("mem[4120] = %d", got)
+	}
+	// The indexed store must appear as two micro-ops with one InstSeq.
+	var addrOp, stOp *trace.MicroOp
+	for i := range ops {
+		if ops[i].Class == isa.ClassStore && ops[i].Addr == 4096+24 {
+			stOp = &ops[i]
+			addrOp = &ops[i-1]
+		}
+	}
+	if stOp == nil {
+		t.Fatal("cracked store not found")
+	}
+	if addrOp.InstSeq != stOp.InstSeq {
+		t.Error("cracked µops must share InstSeq")
+	}
+	if addrOp.LastOfInst || !stOp.LastOfInst {
+		t.Error("LastOfInst must mark only the second µop")
+	}
+	if !addrOp.HasDst || addrOp.Dst.Index < isa.NumIntLogical {
+		t.Errorf("address µop must write a hidden temp, got %v", addrOp.Dst)
+	}
+	if stOp.Src[0] != addrOp.Dst {
+		t.Error("store µop must read the hidden temp as first operand")
+	}
+	if stOp.Seq != addrOp.Seq+1 {
+		t.Error("cracked µops must have consecutive Seq")
+	}
+}
+
+func TestCallReturnAndWindows(t *testing.T) {
+	s, _ := run(t, `
+		li   %o0, 5
+		call double
+		add  %o2, %o0, 100    ; %o0 holds the result after return
+		halt
+	double:
+		save
+		add  %l0, %i0, %i0    ; callee sees caller %o0 as %i0
+		mov  %i0, %l0         ; return value through the window overlap
+		restore
+		jr   %o7
+	`)
+	if got := s.IntReg(isa.OReg(0)); got != 10 {
+		t.Errorf("returned %%o0 = %d, want 10", got)
+	}
+	if got := s.IntReg(isa.OReg(2)); got != 110 {
+		t.Errorf("%%o2 = %d, want 110", got)
+	}
+	if s.CWP() != 0 {
+		t.Errorf("cwp = %d, want 0", s.CWP())
+	}
+}
+
+func TestWindowOverflowTrap(t *testing.T) {
+	// Recurse deep enough to overflow 4 windows: each level does
+	// save; depth 6 overflows twice, then underflows on the way out.
+	s, ops := run(t, `
+		li   %o0, 6
+		call rec
+		halt
+	rec:
+		save
+		ble  %i0, %g0, base
+		sub  %o0, %i0, 1
+		call rec
+	base:
+		restore
+		jr   %o7
+	`)
+	var traps int
+	for _, m := range ops {
+		if m.Trap {
+			traps++
+		}
+	}
+	// save chain: cwp 0->1->2->3 then overflow traps for deeper
+	// levels, symmetric underflows on return.
+	if traps == 0 {
+		t.Fatal("expected window traps")
+	}
+	if traps%2 != 0 {
+		t.Errorf("traps = %d, expected matched overflow/underflow pairs", traps)
+	}
+	if s.CWP() != 0 {
+		t.Errorf("cwp = %d after return, want 0", s.CWP())
+	}
+	if got := s.Stats.Traps; got != uint64(traps) {
+		t.Errorf("Stats.Traps = %d, want %d", got, traps)
+	}
+}
+
+func TestWindowOverflowPreservesValues(t *testing.T) {
+	// Each recursion level stores its depth in a local and checks it
+	// after the recursive call returns; spills/fills must preserve
+	// the values.
+	s, _ := run(t, `
+		li   %o0, 8
+		li   %o1, 0       ; error flag
+		call rec
+		halt
+	rec:
+		save
+		mov  %l0, %i0          ; remember my depth
+		ble  %i0, %g0, base
+		sub  %o0, %i0, 1
+		call rec
+		bne  %l0, %i0, corrupt ; %l0 must still equal my depth... (compare to saved copy)
+	base:
+		mov  %i1, 0
+		ba   out
+	corrupt:
+		mov  %i1, 1
+	out:
+		restore
+		bne  %o1, %g0, fail    ; propagate error flag
+		jr   %o7
+	fail:
+		jr   %o7
+	`)
+	// %l0 vs %i0 differ (depth vs depth) — the comparison above is
+	// depth==depth so corrupt is never taken unless spill broke %l0.
+	if got := s.IntReg(isa.OReg(1)); got != 0 {
+		t.Errorf("corruption detected: flag = %d", got)
+	}
+	if s.CWP() != 0 {
+		t.Errorf("cwp = %d, want 0", s.CWP())
+	}
+}
+
+func TestRestoreUnderflowAtEntryFails(t *testing.T) {
+	prog, err := asm.Assemble("restore\nhalt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := New(prog, nil)
+	for {
+		if _, ok := s.Next(); !ok {
+			break
+		}
+	}
+	if s.Err() == nil {
+		t.Fatal("restore at entry must fail")
+	}
+}
+
+func TestFloatingPoint(t *testing.T) {
+	s, _ := run(t, `
+		li    %o0, 9
+		fitod %f0, %o0
+		fsqrt %f1, %f0
+		fadd  %f2, %f1, %f1
+		fmul  %f3, %f2, %f0
+		fdiv  %f4, %f3, %f2
+		fneg  %f5, %f4
+		fabs  %f6, %f5
+		fdtoi %o1, %f3
+		halt
+	`)
+	if got := s.FPRegVal(1); got != 3 {
+		t.Errorf("fsqrt = %v", got)
+	}
+	if got := s.FPRegVal(3); got != 54 {
+		t.Errorf("fmul = %v", got)
+	}
+	if got := s.FPRegVal(6); got != 9 {
+		t.Errorf("fabs = %v", got)
+	}
+	if got := s.IntReg(isa.OReg(1)); got != 54 {
+		t.Errorf("fdtoi = %d", got)
+	}
+}
+
+func TestFPBranch(t *testing.T) {
+	s, _ := run(t, `
+		li    %o0, 3
+		fitod %f0, %o0
+		li    %o1, 4
+		fitod %f1, %o1
+		fblt  %f0, %f1, less
+		mov   %o2, 0
+		ba    done
+	less:
+		mov   %o2, 1
+	done:
+		halt
+	`)
+	if got := s.IntReg(isa.OReg(2)); got != 1 {
+		t.Errorf("fblt path = %d, want 1", got)
+	}
+}
+
+func TestMicroOpAnnotations(t *testing.T) {
+	_, ops := run(t, `
+		li  %o0, 4096
+		ld  %o1, [%o0+16]
+		add %o2, %o1, %o0
+		beq %o1, %g0, skip   ; loaded zero == %g0: taken
+	skip:
+		halt
+	`)
+	ld := ops[1]
+	if ld.Class != isa.ClassLoad || ld.Addr != 4112 || ld.NSrc != 1 {
+		t.Errorf("load µop: %+v", ld)
+	}
+	add := ops[2]
+	if add.NSrc != 2 || !add.Commutative {
+		t.Errorf("add µop: %+v", add)
+	}
+	beq := ops[3]
+	if !beq.IsCond || beq.NSrc != 1 { // %g0 elided
+		t.Errorf("beq µop: %+v", beq)
+	}
+	if !beq.Taken {
+		t.Error("beq 0,0 must be taken")
+	}
+	for i, m := range ops {
+		if m.PC%4 != 0 {
+			t.Errorf("op %d has unaligned PC", i)
+		}
+	}
+}
+
+func TestReturnAnnotation(t *testing.T) {
+	_, ops := run(t, `
+		call f
+		halt
+	f:
+		jr %o7
+	`)
+	var call, ret *trace.MicroOp
+	for i := range ops {
+		if ops[i].IsCall {
+			call = &ops[i]
+		}
+		if ops[i].IsReturn {
+			ret = &ops[i]
+		}
+	}
+	if call == nil || !call.HasDst {
+		t.Fatal("call must link")
+	}
+	if ret == nil || !ret.Taken {
+		t.Fatal("jr through the link register must be marked as return")
+	}
+}
+
+func TestDivByZeroYieldsZero(t *testing.T) {
+	s, _ := run(t, `
+		li  %o0, 5
+		div %o1, %o0, %g0
+		udiv %o2, %o0, %g0
+		halt
+	`)
+	if s.IntReg(isa.OReg(1)) != 0 || s.IntReg(isa.OReg(2)) != 0 {
+		t.Error("division by zero must yield 0")
+	}
+}
+
+func TestStatsAccounting(t *testing.T) {
+	s, ops := run(t, `
+		li %o0, 4096
+		li %o1, 2
+		st %o1, [%o0]
+		ld %o2, [%o0]
+		sll %o3, %o1, 3
+		st %o2, [%o0+%o3]
+		beq %o2, %o1, next
+	next:
+		halt
+	`)
+	if s.Stats.Insts != 7 {
+		t.Errorf("Insts = %d, want 7", s.Stats.Insts)
+	}
+	if s.Stats.MicroOps != 8 { // indexed store cracked
+		t.Errorf("MicroOps = %d, want 8", s.Stats.MicroOps)
+	}
+	if s.Stats.Loads != 1 || s.Stats.Stores != 2 {
+		t.Errorf("loads/stores = %d/%d", s.Stats.Loads, s.Stats.Stores)
+	}
+	if uint64(len(ops)) != s.Stats.MicroOps {
+		t.Errorf("emitted %d ops, stats say %d", len(ops), s.Stats.MicroOps)
+	}
+}
+
+func TestMemorySpansPages(t *testing.T) {
+	m := NewMemory()
+	addr := uint64(pageSize - 4) // straddles a page boundary
+	m.WriteInt64(addr, 0x1122334455667788)
+	if got := m.ReadInt64(addr); got != 0x1122334455667788 {
+		t.Errorf("straddling read = %#x", got)
+	}
+	if got := m.ReadInt64(1 << 40); got != 0 {
+		t.Errorf("untouched memory = %d, want 0", got)
+	}
+	m.WriteFloat64(64, 3.25)
+	if got := m.ReadFloat64(64); got != 3.25 {
+		t.Errorf("float round trip = %v", got)
+	}
+}
+
+func TestNewAt(t *testing.T) {
+	prog := asm.MustAssemble(`
+	a:	halt
+	b:	li %o0, 1
+		halt
+	`)
+	s, err := NewAt(prog, nil, "b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if _, ok := s.Next(); !ok {
+			break
+		}
+	}
+	if s.IntReg(isa.OReg(0)) != 1 {
+		t.Error("NewAt must start at the label")
+	}
+	if _, err := NewAt(prog, nil, "nope"); err == nil {
+		t.Error("NewAt with undefined label must fail")
+	}
+}
+
+func TestSaveRestoreMicroOpsAreNops(t *testing.T) {
+	_, ops := run(t, `
+		save
+		restore
+		halt
+	`)
+	for _, m := range ops {
+		if m.Class != isa.ClassNop {
+			t.Errorf("save/restore class = %v", m.Class)
+		}
+		if m.HasDst || m.NSrc != 0 {
+			t.Errorf("save/restore must carry no register operands: %+v", m)
+		}
+	}
+}

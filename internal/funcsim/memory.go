@@ -1,0 +1,91 @@
+package funcsim
+
+import (
+	"encoding/binary"
+	"math"
+)
+
+const (
+	pageShift = 12
+	pageSize  = 1 << pageShift
+	pageMask  = pageSize - 1
+)
+
+// Memory is a sparse, paged, little-endian byte-addressable memory
+// image. The zero of every byte is 0; pages are allocated on first
+// write (reads of untouched memory return zero).
+type Memory struct {
+	pages map[uint64]*[pageSize]byte
+}
+
+// NewMemory returns an empty memory image.
+func NewMemory() *Memory {
+	return &Memory{pages: make(map[uint64]*[pageSize]byte)}
+}
+
+func (m *Memory) page(addr uint64, alloc bool) *[pageSize]byte {
+	pn := addr >> pageShift
+	p := m.pages[pn]
+	if p == nil && alloc {
+		p = new([pageSize]byte)
+		m.pages[pn] = p
+	}
+	return p
+}
+
+// ReadInt64 reads an 8-byte little-endian integer. Accesses may span
+// page boundaries.
+func (m *Memory) ReadInt64(addr uint64) int64 {
+	if addr&pageMask <= pageSize-8 {
+		p := m.page(addr, false)
+		if p == nil {
+			return 0
+		}
+		return int64(binary.LittleEndian.Uint64(p[addr&pageMask:]))
+	}
+	var v uint64
+	for i := uint64(0); i < 8; i++ {
+		v |= uint64(m.readByte(addr+i)) << (8 * i)
+	}
+	return int64(v)
+}
+
+// WriteInt64 writes an 8-byte little-endian integer.
+func (m *Memory) WriteInt64(addr uint64, v int64) {
+	if addr&pageMask <= pageSize-8 {
+		p := m.page(addr, true)
+		binary.LittleEndian.PutUint64(p[addr&pageMask:], uint64(v))
+		return
+	}
+	for i := uint64(0); i < 8; i++ {
+		m.writeByte(addr+i, byte(uint64(v)>>(8*i)))
+	}
+}
+
+// ReadFloat64 reads an IEEE-754 double.
+func (m *Memory) ReadFloat64(addr uint64) float64 {
+	return math.Float64frombits(uint64(m.ReadInt64(addr)))
+}
+
+// WriteFloat64 writes an IEEE-754 double.
+func (m *Memory) WriteFloat64(addr uint64, v float64) {
+	m.WriteInt64(addr, int64(math.Float64bits(v)))
+}
+
+func (m *Memory) readByte(addr uint64) byte {
+	p := m.page(addr, false)
+	if p == nil {
+		return 0
+	}
+	return p[addr&pageMask]
+}
+
+func (m *Memory) writeByte(addr uint64, b byte) {
+	m.page(addr, true)[addr&pageMask] = b
+}
+
+// Footprint returns the number of bytes in allocated pages; a rough
+// working-set indicator for kernels.
+func (m *Memory) Footprint() uint64 {
+	return uint64(len(m.pages)) * pageSize
+}

@@ -1,0 +1,255 @@
+package isa
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// Binary instruction encoding. The ISA encodes to a stream of 32-bit
+// little-endian words:
+//
+//	[31:26] opcode
+//	[25:21] rd    (visible register index)
+//	[20:16] rs1
+//	[15]    immediate-form flag
+//	[14:0]  rs2 in [19:15]... see field helpers below
+//
+// Three-register form:    op rd rs1 rs2            (1 word)
+// Register-immediate:     op rd rs1 imm14 (signed) (1 word; larger
+//
+//	immediates use the extended form)
+//
+// Extended immediate:     op word with extFlag, followed by the
+//
+//	64-bit immediate as two words (3 words).
+//
+// Branches:               conditional branches carry rs2 in the rd
+//
+//	field (they have no destination) and the
+//	absolute PC-index target in the immediate;
+//	CALL carries its link register in rd.
+//
+// The encoding exists so programs can be stored and shipped as
+// artifacts; the simulator consumes decoded []Inst directly.
+const (
+	opShift  = 26
+	rdShift  = 21
+	rs1Shift = 16
+	rs2Shift = 10
+	regMask  = 0x1F
+
+	immFlag = 1 << 15 // low-field holds an immediate
+	extFlag = 1 << 14 // 64-bit immediate payload follows
+	immMask = 0x3FFF  // 14-bit inline immediate (sign-extended)
+)
+
+// fits14 reports whether v fits the inline signed immediate field.
+func fits14(v int64) bool { return v >= -(1<<13) && v < 1<<13 }
+
+// usesRs2 reports whether the opcode reads a second register source
+// in its three-register form (decoding leaves Rs2 zero otherwise, so
+// unused fields do not manufacture phantom fp-register operands).
+func usesRs2(op Op) bool {
+	switch op {
+	case OpMOV, OpPOPC, OpFSQRT, OpFNEG, OpFABS, OpFMOV, OpFITOD, OpFDTOI,
+		OpJR, OpLI, OpNOP, OpHALT, OpSAVE, OpRESTORE, OpBA, OpCALL:
+		return false
+	}
+	return true
+}
+
+// regClass returns the register classes of (rd, rs1, rs2) implied by
+// the opcode; the binary format stores only the 5-bit indices.
+func regClass(op Op) (rd, rs1, rs2 RegClass) {
+	switch op {
+	case OpFADD, OpFSUB, OpFMUL, OpFDIV, OpFSQRT, OpFNEG, OpFABS, OpFMOV:
+		return RegFP, RegFP, RegFP
+	case OpFITOD:
+		return RegFP, RegInt, RegInt
+	case OpFDTOI:
+		return RegInt, RegFP, RegFP
+	case OpFLD, OpFLDI:
+		return RegFP, RegInt, RegInt
+	case OpFST, OpFSTI:
+		// Data register (rs2 / rd for the indexed form) is FP.
+		return RegFP, RegInt, RegFP
+	case OpFBEQ, OpFBNE, OpFBLT, OpFBGE:
+		return RegInt, RegFP, RegFP
+	default:
+		return RegInt, RegInt, RegInt
+	}
+}
+
+// EncodeInst appends the binary encoding of in to buf.
+func EncodeInst(buf []uint32, in Inst) ([]uint32, error) {
+	if int(in.Op) >= 1<<6 {
+		return nil, fmt.Errorf("isa: opcode %v does not fit the encoding", in.Op)
+	}
+	w := uint32(in.Op) << opShift
+	w |= (uint32(in.Rd.Index) & regMask) << rdShift
+	w |= (uint32(in.Rs1.Index) & regMask) << rs1Shift
+
+	var imm int64
+	hasImm := false
+	switch {
+	case IsCondBranch(in.Op):
+		// No destination: rs2 travels in the rd field, the target in
+		// the immediate.
+		w &^= uint32(regMask) << rdShift
+		w |= (uint32(in.Rs2.Index) & regMask) << rdShift
+		imm, hasImm = int64(in.Target), true
+	case in.Op == OpBA || in.Op == OpCALL:
+		imm, hasImm = int64(in.Target), true
+	case IsStore(in.Op) && in.HasImm:
+		// Displacement stores have no destination: the data register
+		// (Rs2) travels in the rd field.
+		w &^= uint32(regMask) << rdShift
+		w |= (uint32(in.Rs2.Index) & regMask) << rdShift
+		imm, hasImm = in.Imm, true
+	case in.HasImm:
+		imm, hasImm = in.Imm, true
+	default:
+		w |= (uint32(in.Rs2.Index) & regMask) << rs2Shift
+	}
+
+	if !hasImm {
+		return append(buf, w), nil
+	}
+	w |= immFlag
+	if fits14(imm) {
+		w |= uint32(imm) & immMask
+		return append(buf, w), nil
+	}
+	w |= extFlag
+	buf = append(buf, w)
+	buf = append(buf, uint32(uint64(imm)), uint32(uint64(imm)>>32))
+	return buf, nil
+}
+
+// Encode serializes a program's instructions (labels are not
+// preserved; branch targets are absolute PC indices).
+func Encode(p *Program) ([]uint32, error) {
+	var out []uint32
+	for i, in := range p.Insts {
+		var err error
+		out, err = EncodeInst(out, in)
+		if err != nil {
+			return nil, fmt.Errorf("isa: instruction %d: %w", i, err)
+		}
+	}
+	return out, nil
+}
+
+// DecodeInst decodes one instruction starting at words[0], returning
+// the instruction and the number of words consumed.
+func DecodeInst(words []uint32) (Inst, int, error) {
+	if len(words) == 0 {
+		return Inst{}, 0, io.ErrUnexpectedEOF
+	}
+	w := words[0]
+	op := Op(w >> opShift)
+	if op == OpInvalid || op >= opLast {
+		return Inst{}, 0, fmt.Errorf("isa: invalid opcode %d", uint32(op))
+	}
+	rdC, rs1C, rs2C := regClass(op)
+	in := Inst{
+		Op:  op,
+		Rd:  Reg{Class: rdC, Index: uint8((w >> rdShift) & regMask)},
+		Rs1: Reg{Class: rs1C, Index: uint8((w >> rs1Shift) & regMask)},
+	}
+	n := 1
+	var imm int64
+	hasImm := w&immFlag != 0
+	if hasImm {
+		if w&extFlag != 0 {
+			if len(words) < 3 {
+				return Inst{}, 0, io.ErrUnexpectedEOF
+			}
+			imm = int64(uint64(words[1]) | uint64(words[2])<<32)
+			n = 3
+		} else {
+			imm = int64(w & immMask)
+			if imm >= 1<<13 { // sign-extend 14 bits
+				imm -= 1 << 14
+			}
+		}
+	} else if usesRs2(op) {
+		in.Rs2 = Reg{Class: rs2C, Index: uint8((w >> rs2Shift) & regMask)}
+	}
+
+	switch {
+	case IsCondBranch(op):
+		if !hasImm {
+			return Inst{}, 0, fmt.Errorf("isa: branch without target")
+		}
+		in.Target = int(imm)
+		// rs2 travelled in the rd field; the branch has no dest.
+		in.Rs2 = Reg{Class: rs2C, Index: in.Rd.Index}
+		in.Rd = Reg{Class: rdC}
+		// Conditional branches compare fp values for FBcc: both
+		// sources share rs1's class.
+		in.Rs2.Class = rs1C
+	case op == OpBA || op == OpCALL:
+		if !hasImm {
+			return Inst{}, 0, fmt.Errorf("isa: branch without target")
+		}
+		in.Target = int(imm)
+	case IsStore(op) && hasImm:
+		in.Rs2 = Reg{Class: rs2C, Index: in.Rd.Index}
+		in.Rd = Reg{Class: RegInt}
+		in.Imm, in.HasImm = imm, true
+	case hasImm:
+		in.Imm, in.HasImm = imm, true
+	}
+	return in, n, nil
+}
+
+// Decode deserializes an encoded program.
+func Decode(words []uint32) (*Program, error) {
+	p := &Program{Symbols: map[string]int{}}
+	for i := 0; i < len(words); {
+		in, n, err := DecodeInst(words[i:])
+		if err != nil {
+			return nil, fmt.Errorf("isa: word %d: %w", i, err)
+		}
+		p.Insts = append(p.Insts, in)
+		i += n
+	}
+	return p, nil
+}
+
+// WriteProgram writes the encoded program to w with a small header
+// (magic, version, instruction-word count).
+func WriteProgram(w io.Writer, p *Program) error {
+	words, err := Encode(p)
+	if err != nil {
+		return err
+	}
+	hdr := []uint32{0x57535253 /* "WSRS" */, 1, uint32(len(words))}
+	for _, v := range append(hdr, words...) {
+		if err := binary.Write(w, binary.LittleEndian, v); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReadProgram reads a program written by WriteProgram.
+func ReadProgram(r io.Reader) (*Program, error) {
+	var hdr [3]uint32
+	if err := binary.Read(r, binary.LittleEndian, &hdr); err != nil {
+		return nil, err
+	}
+	if hdr[0] != 0x57535253 {
+		return nil, fmt.Errorf("isa: bad magic %#x", hdr[0])
+	}
+	if hdr[1] != 1 {
+		return nil, fmt.Errorf("isa: unsupported version %d", hdr[1])
+	}
+	words := make([]uint32, hdr[2])
+	if err := binary.Read(r, binary.LittleEndian, &words); err != nil {
+		return nil, err
+	}
+	return Decode(words)
+}

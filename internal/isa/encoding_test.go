@@ -1,0 +1,125 @@
+package isa
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestEncodeDecodeForms(t *testing.T) {
+	cases := []Inst{
+		{Op: OpADD, Rd: OReg(0), Rs1: OReg(1), Rs2: OReg(2)},
+		{Op: OpSUB, Rd: LReg(3), Rs1: LReg(4), Imm: -42, HasImm: true},
+		{Op: OpLI, Rd: GReg(1), Imm: 0x123456789abcdef0 - (1 << 63), HasImm: true},
+		{Op: OpLD, Rd: OReg(0), Rs1: OReg(1), Imm: 8, HasImm: true},
+		{Op: OpLDI, Rd: OReg(0), Rs1: OReg(1), Rs2: OReg(2)},
+		{Op: OpST, Rs1: OReg(1), Rs2: OReg(2), Imm: -16, HasImm: true},
+		{Op: OpSTI, Rd: OReg(3), Rs1: OReg(1), Rs2: OReg(2)},
+		{Op: OpBEQ, Rs1: OReg(1), Rs2: OReg(2), Target: 12},
+		{Op: OpFBLT, Rs1: FPReg(1), Rs2: FPReg(2), Target: 3},
+		{Op: OpBA, Target: 9000},
+		{Op: OpCALL, Rd: OReg(7), Target: 5},
+		{Op: OpJR, Rs1: OReg(7)},
+		{Op: OpSAVE}, {Op: OpRESTORE}, {Op: OpNOP}, {Op: OpHALT},
+		{Op: OpFADD, Rd: FPReg(0), Rs1: FPReg(1), Rs2: FPReg(2)},
+		{Op: OpFITOD, Rd: FPReg(4), Rs1: OReg(0)},
+		{Op: OpFDTOI, Rd: OReg(1), Rs1: FPReg(4)},
+		{Op: OpFST, Rs1: OReg(1), Rs2: FPReg(2), Imm: 24, HasImm: true},
+		{Op: OpMOV, Rd: OReg(0), Imm: 7, HasImm: true},
+		{Op: OpPOPC, Rd: OReg(0), Rs1: OReg(1)},
+	}
+	for _, in := range cases {
+		words, err := EncodeInst(nil, in)
+		if err != nil {
+			t.Fatalf("encode %v: %v", in, err)
+		}
+		got, n, err := DecodeInst(words)
+		if err != nil {
+			t.Fatalf("decode %v: %v", in, err)
+		}
+		if n != len(words) {
+			t.Errorf("%v: consumed %d of %d words", in, n, len(words))
+		}
+		if got.Op != in.Op || got.Imm != in.Imm || got.HasImm != in.HasImm ||
+			got.Target != in.Target {
+			t.Errorf("round trip:\n  in  %+v\n  out %+v", in, got)
+		}
+		// Semantic equality: same dynamic sources and destination
+		// (fields unused by the opcode are don't-care).
+		gs, is := got.SrcRegs(), in.SrcRegs()
+		if len(gs) != len(is) {
+			t.Fatalf("source count: in %v out %v (%v)", is, gs, in)
+		}
+		for j := range is {
+			if gs[j] != is[j] {
+				t.Errorf("source %d: in %v out %v (%v)", j, is[j], gs[j], in)
+			}
+		}
+		if got.HasDest() != in.HasDest() || (in.HasDest() && got.Rd != in.Rd) {
+			t.Errorf("dest round trip: in %v out %v (%v)", in.Rd, got.Rd, in)
+		}
+	}
+}
+
+func TestExtendedImmediateLength(t *testing.T) {
+	small, _ := EncodeInst(nil, Inst{Op: OpADD, Rd: OReg(0), Rs1: OReg(1), Imm: 100, HasImm: true})
+	if len(small) != 1 {
+		t.Errorf("small immediate should be 1 word, got %d", len(small))
+	}
+	big, _ := EncodeInst(nil, Inst{Op: OpLI, Rd: OReg(0), Imm: 1 << 40, HasImm: true})
+	if len(big) != 3 {
+		t.Errorf("big immediate should be 3 words, got %d", len(big))
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	if _, _, err := DecodeInst(nil); err == nil {
+		t.Error("empty stream must fail")
+	}
+	// Extended form truncated.
+	w, _ := EncodeInst(nil, Inst{Op: OpLI, Rd: OReg(0), Imm: 1 << 40, HasImm: true})
+	if _, _, err := DecodeInst(w[:1]); err == nil {
+		t.Error("truncated extended immediate must fail")
+	}
+	// Invalid opcode.
+	if _, _, err := DecodeInst([]uint32{uint32(opLast) << opShift}); err == nil {
+		t.Error("invalid opcode must fail")
+	}
+	if _, err := Decode([]uint32{0}); err == nil {
+		t.Error("zero word (OpInvalid) must fail")
+	}
+}
+
+func TestWriteReadProgram(t *testing.T) {
+	p := &Program{Insts: []Inst{
+		{Op: OpLI, Rd: OReg(0), Imm: 10, HasImm: true},
+		{Op: OpSUB, Rd: OReg(0), Rs1: OReg(0), Imm: 1, HasImm: true},
+		{Op: OpBGT, Rs1: OReg(0), Rs2: GReg(0), Target: 1},
+		{Op: OpHALT},
+	}}
+	var buf bytes.Buffer
+	if err := WriteProgram(&buf, p); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadProgram(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Insts) != len(p.Insts) {
+		t.Fatalf("got %d instructions", len(got.Insts))
+	}
+	for i := range p.Insts {
+		if got.Insts[i].Op != p.Insts[i].Op || got.Insts[i].Target != p.Insts[i].Target {
+			t.Errorf("inst %d: %+v vs %+v", i, got.Insts[i], p.Insts[i])
+		}
+	}
+	// Corrupt magic.
+	raw := buf.Bytes()
+	var buf2 bytes.Buffer
+	WriteProgram(&buf2, p)
+	b := buf2.Bytes()
+	b[0] ^= 0xFF
+	if _, err := ReadProgram(bytes.NewReader(b)); err == nil {
+		t.Error("bad magic must fail")
+	}
+	_ = raw
+}

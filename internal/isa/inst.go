@@ -1,0 +1,186 @@
+package isa
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Inst is a static instruction as produced by the assembler. Operand
+// roles follow the assembler syntax:
+//
+//	op   rd, rs1, rs2        three-register form
+//	op   rd, rs1, imm        register-immediate form
+//	ld   rd, [rs1+imm]       load
+//	st   rs2, [rs1+imm]      store (rs2 is the data source)
+//	sti  rd,  [rs1+rs2]      indexed store (rd is the data source)
+//	beq  rs1, rs2, label     compare-and-branch
+//	call label               Target holds the callee PC, Rd the link reg
+type Inst struct {
+	Op     Op
+	Rd     Reg   // destination (or store-data source for STI/FSTI)
+	Rs1    Reg   // first source
+	Rs2    Reg   // second source
+	Imm    int64 // immediate operand
+	HasImm bool  // true when the second operand is Imm, not Rs2
+	Target int   // branch/call target, as a program PC index
+	Label  string
+}
+
+// String renders the instruction in assembler-like syntax.
+func (in Inst) String() string {
+	var b strings.Builder
+	b.WriteString(in.Op.String())
+	switch {
+	case IsCondBranch(in.Op):
+		fmt.Fprintf(&b, " %s, %s, @%d", in.Rs1, in.Rs2, in.Target)
+	case in.Op == OpBA || in.Op == OpCALL:
+		fmt.Fprintf(&b, " @%d", in.Target)
+	case in.Op == OpJR:
+		fmt.Fprintf(&b, " %s", in.Rs1)
+	case IsLoad(in.Op):
+		if in.HasImm {
+			fmt.Fprintf(&b, " %s, [%s%+d]", in.Rd, in.Rs1, in.Imm)
+		} else {
+			fmt.Fprintf(&b, " %s, [%s+%s]", in.Rd, in.Rs1, in.Rs2)
+		}
+	case IsStore(in.Op):
+		if in.HasImm {
+			fmt.Fprintf(&b, " %s, [%s%+d]", in.Rs2, in.Rs1, in.Imm)
+		} else {
+			fmt.Fprintf(&b, " %s, [%s+%s]", in.Rd, in.Rs1, in.Rs2)
+		}
+	case in.Op == OpLI:
+		fmt.Fprintf(&b, " %s, %d", in.Rd, in.Imm)
+	case in.Op == OpNOP || in.Op == OpHALT || in.Op == OpSAVE || in.Op == OpRESTORE:
+		// no operands
+	default:
+		if in.HasImm {
+			fmt.Fprintf(&b, " %s, %s, %d", in.Rd, in.Rs1, in.Imm)
+		} else {
+			fmt.Fprintf(&b, " %s, %s, %s", in.Rd, in.Rs1, in.Rs2)
+		}
+	}
+	return b.String()
+}
+
+// HasDest reports whether the instruction writes a register result.
+// Writes to %g0 are discarded and count as producing no result (the
+// paper's "noadic" accounting considers dynamic register results only).
+func (in Inst) HasDest() bool {
+	switch {
+	case IsStore(in.Op), IsCondBranch(in.Op), in.Op == OpBA, in.Op == OpJR,
+		in.Op == OpNOP, in.Op == OpHALT, in.Op == OpSAVE, in.Op == OpRESTORE:
+		return false
+	case in.Op == OpCALL:
+		return !in.Rd.IsZero()
+	default:
+		return !in.Rd.IsZero()
+	}
+}
+
+// SrcRegs returns the dynamic register sources of the instruction, in
+// operand-position order (first operand, then second operand), with
+// hardwired-zero reads elided — matching the paper's definition of
+// monadic/dyadic instructions, which counts register operands only.
+//
+// Position matters for WSRS: the first returned register is the one
+// presented on the functional unit's first (left) entry and the second
+// on its second (right) entry.
+func (in Inst) SrcRegs() []Reg {
+	var srcs []Reg
+	add := func(r Reg) {
+		if !r.IsZero() {
+			srcs = append(srcs, r)
+		}
+	}
+	switch {
+	case in.Op == OpLI, in.Op == OpBA, in.Op == OpCALL,
+		in.Op == OpNOP, in.Op == OpHALT, in.Op == OpSAVE, in.Op == OpRESTORE:
+		return nil
+	case in.Op == OpJR:
+		add(in.Rs1)
+	case IsLoad(in.Op):
+		add(in.Rs1)
+		if !in.HasImm {
+			add(in.Rs2)
+		}
+	case in.Op == OpST || in.Op == OpFST:
+		// st rs2, [rs1+imm]: address base first, data second.
+		add(in.Rs1)
+		add(in.Rs2)
+	case in.Op == OpSTI || in.Op == OpFSTI:
+		// Indexed store: three register operands (rs1, rs2, rd-as-data).
+		add(in.Rs1)
+		add(in.Rs2)
+		add(in.Rd)
+	default:
+		add(in.Rs1)
+		if !in.HasImm {
+			add(in.Rs2)
+		}
+	}
+	return srcs
+}
+
+// Arity classifies the instruction by its count of dynamic register
+// operands, the classification §3.3 of the paper builds on.
+type Arity uint8
+
+// Arity values.
+const (
+	Noadic  Arity = iota // no register operands
+	Monadic              // one register operand
+	Dyadic               // two register operands
+	Triadic              // three register operands (cracked into 2 µops)
+)
+
+// String returns the paper's name for the arity.
+func (a Arity) String() string {
+	switch a {
+	case Noadic:
+		return "noadic"
+	case Monadic:
+		return "monadic"
+	case Dyadic:
+		return "dyadic"
+	default:
+		return "triadic"
+	}
+}
+
+// ArityOf returns the instruction's register-operand arity.
+func (in Inst) ArityOf() Arity {
+	switch n := len(in.SrcRegs()); n {
+	case 0:
+		return Noadic
+	case 1:
+		return Monadic
+	case 2:
+		return Dyadic
+	default:
+		return Triadic
+	}
+}
+
+// NeedsCracking reports whether the instruction must be decoded into
+// two micro-operations because it carries three register operands
+// (paper §5.1.1: "instructions using three register operands (i.e.
+// indexed stores) are translated at decode in two microoperations").
+func (in Inst) NeedsCracking() bool { return in.ArityOf() == Triadic }
+
+// Program is an assembled unit: instructions plus symbol metadata.
+type Program struct {
+	Insts   []Inst
+	Symbols map[string]int // label -> PC index
+}
+
+// PCOf returns the PC index of a label, or -1 when undefined.
+func (p *Program) PCOf(label string) int {
+	if pc, ok := p.Symbols[label]; ok {
+		return pc
+	}
+	return -1
+}
+
+// Len returns the static instruction count.
+func (p *Program) Len() int { return len(p.Insts) }

@@ -1,0 +1,295 @@
+// Package isa defines the SPARC-flavoured 64-bit RISC instruction set
+// used throughout the simulator: opcodes, functional-unit classes,
+// instruction latencies (paper Table 2), the windowed logical register
+// model (80 integer logical registers: 8 globals, 4 mapped windows of
+// 16, plus the 8 "in" registers of the bottom window) and the
+// monadic/dyadic/commutative classification that drives WSRS cluster
+// allocation.
+//
+// The ISA deliberately mirrors the properties of SPARC V9 that the
+// paper depends on:
+//
+//   - a single logical general-purpose register file (plus a logical
+//     floating-point file),
+//   - register windows with overflow/underflow exceptions (paper §5.1.1:
+//     4 windows mapped at once, 80 logical general-purpose registers),
+//   - instructions with three register operands (indexed stores) are
+//     cracked into two micro-operations at decode,
+//   - %g0 is hardwired to zero and never constitutes a register
+//     dependence.
+package isa
+
+import "fmt"
+
+// Op enumerates the instruction opcodes.
+type Op uint8
+
+// Opcode values. The groups matter: classification and latency are
+// derived from them.
+const (
+	OpInvalid Op = iota
+
+	// Integer ALU, register-register or register-immediate.
+	OpADD
+	OpSUB
+	OpAND
+	OpANDN
+	OpOR
+	OpORN
+	OpXOR
+	OpXNOR
+	OpSLL
+	OpSRL
+	OpSRA
+	OpPOPC // population count (monadic)
+	OpMOV  // rd := rs1 (monadic) or rd := imm (noadic)
+	OpLI   // rd := 64-bit immediate (noadic)
+
+	// Long-latency integer.
+	OpMUL
+	OpDIV
+	OpUDIV
+
+	// Integer memory.
+	OpLD  // rd := mem[rs1+imm]
+	OpLDI // rd := mem[rs1+rs2] (indexed load, dyadic)
+	OpST  // mem[rs1+imm] := rs2
+	OpSTI // mem[rs1+rs2] := rd (3 register operands: cracked)
+
+	// Floating-point memory.
+	OpFLD  // fd := mem[rs1+imm]
+	OpFLDI // fd := mem[rs1+rs2]
+	OpFST  // mem[rs1+imm] := fs2
+	OpFSTI // mem[rs1+rs2] := fd (cracked)
+
+	// Control transfer. Conditional branches compare two integer
+	// registers (no condition-code register in this ISA).
+	OpBEQ
+	OpBNE
+	OpBLT
+	OpBGE
+	OpBLE
+	OpBGT
+	OpBA   // branch always (noadic)
+	OpCALL // rd (conventionally %o7) := return address; jump
+	OpJR   // jump register (monadic), used for returns and indirect calls
+	OpSAVE // rotate register window down (procedure entry)
+	OpRESTORE
+
+	// Floating point. FBEQ..FBGT are FP compare-and-branch.
+	OpFADD
+	OpFSUB
+	OpFMUL
+	OpFDIV
+	OpFSQRT
+	OpFNEG
+	OpFABS
+	OpFMOV
+	OpFITOD // fd := float64(rs1), integer source
+	OpFDTOI // rd := int64(fs1), floating-point source
+	OpFBEQ
+	OpFBNE
+	OpFBLT
+	OpFBGE
+
+	OpNOP
+	OpHALT
+
+	opLast // sentinel; keep last
+)
+
+var opNames = map[Op]string{
+	OpInvalid: "invalid",
+	OpADD:     "add", OpSUB: "sub", OpAND: "and", OpANDN: "andn",
+	OpOR: "or", OpORN: "orn", OpXOR: "xor", OpXNOR: "xnor",
+	OpSLL: "sll", OpSRL: "srl", OpSRA: "sra", OpPOPC: "popc",
+	OpMOV: "mov", OpLI: "li",
+	OpMUL: "mul", OpDIV: "div", OpUDIV: "udiv",
+	OpLD: "ld", OpLDI: "ldi", OpST: "st", OpSTI: "sti",
+	OpFLD: "fld", OpFLDI: "fldi", OpFST: "fst", OpFSTI: "fsti",
+	OpBEQ: "beq", OpBNE: "bne", OpBLT: "blt", OpBGE: "bge",
+	OpBLE: "ble", OpBGT: "bgt", OpBA: "ba",
+	OpCALL: "call", OpJR: "jr", OpSAVE: "save", OpRESTORE: "restore",
+	OpFADD: "fadd", OpFSUB: "fsub", OpFMUL: "fmul", OpFDIV: "fdiv",
+	OpFSQRT: "fsqrt", OpFNEG: "fneg", OpFABS: "fabs", OpFMOV: "fmov",
+	OpFITOD: "fitod", OpFDTOI: "fdtoi",
+	OpFBEQ: "fbeq", OpFBNE: "fbne", OpFBLT: "fblt", OpFBGE: "fbge",
+	OpNOP: "nop", OpHALT: "halt",
+}
+
+// String returns the assembler mnemonic for the opcode.
+func (o Op) String() string {
+	if s, ok := opNames[o]; ok {
+		return s
+	}
+	return fmt.Sprintf("op(%d)", uint8(o))
+}
+
+// NumOps reports the number of defined opcodes (for table sizing).
+func NumOps() int { return int(opLast) }
+
+// Class identifies the functional-unit class executing a micro-op.
+type Class uint8
+
+// Functional-unit classes. Each 2-issue cluster provides two integer
+// ALUs (MUL pipelined and DIV non-pipelined occupy ALU 0), one
+// load/store unit and one fully pipelined FPU (FDIV/FSQRT
+// non-pipelined).
+const (
+	ClassALU   Class = iota // single-cycle integer, branches
+	ClassMul                // pipelined long-latency integer
+	ClassDiv                // non-pipelined integer divide
+	ClassLoad               // loads (int and fp)
+	ClassStore              // stores (int and fp)
+	ClassFP                 // pipelined fp add/sub/mul/convert/move
+	ClassFPDiv              // non-pipelined fp divide / sqrt
+	ClassNop                // nop/halt/save/restore: no functional unit
+	numClasses
+)
+
+var classNames = [numClasses]string{
+	"alu", "mul", "div", "load", "store", "fp", "fpdiv", "nop",
+}
+
+// String returns a short lowercase class name.
+func (c Class) String() string {
+	if int(c) < len(classNames) {
+		return classNames[c]
+	}
+	return fmt.Sprintf("class(%d)", uint8(c))
+}
+
+// NumClasses reports the number of functional-unit classes.
+func NumClasses() int { return int(numClasses) }
+
+// Latencies holds the execution latency, in cycles, of each
+// functional-unit class. The defaults reproduce Table 2 of the paper.
+type Latencies struct {
+	ALU   int // simple integer operations and branches
+	Mul   int // integer multiply
+	Div   int // integer divide
+	Load  int // L1 hit latency (misses handled by the memory model)
+	Store int // address/data hand-off to the store queue
+	FP    int // fadd/fsub/fmul/convert
+	FPDiv int // fdiv/fsqrt
+}
+
+// DefaultLatencies returns the latencies of paper Table 2: loads 2,
+// ALU 1, mul/div 15, fadd/fmul 4, fdiv/fsqrt 15.
+func DefaultLatencies() Latencies {
+	return Latencies{ALU: 1, Mul: 15, Div: 15, Load: 2, Store: 1, FP: 4, FPDiv: 15}
+}
+
+// Of returns the latency for class c.
+func (l Latencies) Of(c Class) int {
+	switch c {
+	case ClassALU:
+		return l.ALU
+	case ClassMul:
+		return l.Mul
+	case ClassDiv:
+		return l.Div
+	case ClassLoad:
+		return l.Load
+	case ClassStore:
+		return l.Store
+	case ClassFP:
+		return l.FP
+	case ClassFPDiv:
+		return l.FPDiv
+	default:
+		return 1
+	}
+}
+
+// ClassOf returns the functional-unit class for an opcode.
+func ClassOf(op Op) Class {
+	switch op {
+	case OpMUL:
+		return ClassMul
+	case OpDIV, OpUDIV:
+		return ClassDiv
+	case OpLD, OpLDI, OpFLD, OpFLDI:
+		return ClassLoad
+	case OpST, OpSTI, OpFST, OpFSTI:
+		return ClassStore
+	case OpFADD, OpFSUB, OpFMUL, OpFNEG, OpFABS, OpFMOV, OpFITOD, OpFDTOI:
+		return ClassFP
+	case OpFDIV, OpFSQRT:
+		return ClassFPDiv
+	case OpNOP, OpHALT, OpSAVE, OpRESTORE:
+		return ClassNop
+	default:
+		return ClassALU
+	}
+}
+
+// IsBranch reports whether op is a control-transfer instruction.
+func IsBranch(op Op) bool {
+	switch op {
+	case OpBEQ, OpBNE, OpBLT, OpBGE, OpBLE, OpBGT, OpBA, OpCALL, OpJR,
+		OpFBEQ, OpFBNE, OpFBLT, OpFBGE:
+		return true
+	}
+	return false
+}
+
+// IsCondBranch reports whether op is a conditional branch (its
+// direction is predicted by the branch predictor).
+func IsCondBranch(op Op) bool {
+	switch op {
+	case OpBEQ, OpBNE, OpBLT, OpBGE, OpBLE, OpBGT,
+		OpFBEQ, OpFBNE, OpFBLT, OpFBGE:
+		return true
+	}
+	return false
+}
+
+// IsMem reports whether op accesses data memory.
+func IsMem(op Op) bool {
+	c := ClassOf(op)
+	return c == ClassLoad || c == ClassStore
+}
+
+// IsStore reports whether op writes data memory.
+func IsStore(op Op) bool { return ClassOf(op) == ClassStore }
+
+// IsLoad reports whether op reads data memory.
+func IsLoad(op Op) bool { return ClassOf(op) == ClassLoad }
+
+// IsFP reports whether op executes on the floating-point data path.
+func IsFP(op Op) bool {
+	c := ClassOf(op)
+	return c == ClassFP || c == ClassFPDiv
+}
+
+// IsCommutative reports whether the two register operands of op may be
+// exchanged without changing the result, possibly by executing the
+// instruction "in two forms" as §3.3 of the paper describes (e.g. SUB
+// executed as either A-B or -A+B by a commutative cluster). The base
+// set contains the genuinely commutative operations; CommutableByHW
+// extends it.
+func IsCommutative(op Op) bool {
+	switch op {
+	case OpADD, OpAND, OpOR, OpXOR, OpXNOR, OpMUL,
+		OpFADD, OpFMUL,
+		OpBEQ, OpBNE, OpFBEQ, OpFBNE:
+		return true
+	}
+	return false
+}
+
+// CommutableByHW reports whether "commutative cluster" hardware (paper
+// §3.3) can execute op with its operands exchanged even though the
+// operation itself is not commutative, by supporting a second form
+// (e.g. computing -A+B for SUB, or flipping the comparison for BLT).
+func CommutableByHW(op Op) bool {
+	if IsCommutative(op) {
+		return true
+	}
+	switch op {
+	case OpSUB, OpFSUB, OpBLT, OpBGE, OpBLE, OpBGT, OpFBLT, OpFBGE:
+		return true
+	}
+	return false
+}

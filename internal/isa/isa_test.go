@@ -1,0 +1,270 @@
+package isa
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestDefaultLatenciesMatchPaperTable2(t *testing.T) {
+	l := DefaultLatencies()
+	cases := []struct {
+		class Class
+		want  int
+	}{
+		{ClassLoad, 2},
+		{ClassALU, 1},
+		{ClassMul, 15},
+		{ClassDiv, 15},
+		{ClassFP, 4},
+		{ClassFPDiv, 15},
+	}
+	for _, c := range cases {
+		if got := l.Of(c.class); got != c.want {
+			t.Errorf("latency(%v) = %d, want %d", c.class, got, c.want)
+		}
+	}
+}
+
+func TestClassOf(t *testing.T) {
+	cases := []struct {
+		op   Op
+		want Class
+	}{
+		{OpADD, ClassALU},
+		{OpBEQ, ClassALU},
+		{OpMUL, ClassMul},
+		{OpDIV, ClassDiv},
+		{OpLD, ClassLoad},
+		{OpFLDI, ClassLoad},
+		{OpST, ClassStore},
+		{OpFSTI, ClassStore},
+		{OpFADD, ClassFP},
+		{OpFITOD, ClassFP},
+		{OpFSQRT, ClassFPDiv},
+		{OpSAVE, ClassNop},
+	}
+	for _, c := range cases {
+		if got := ClassOf(c.op); got != c.want {
+			t.Errorf("ClassOf(%v) = %v, want %v", c.op, got, c.want)
+		}
+	}
+}
+
+func TestBranchPredicates(t *testing.T) {
+	for _, op := range []Op{OpBEQ, OpBNE, OpBLT, OpBGE, OpBLE, OpBGT, OpFBEQ, OpFBNE, OpFBLT, OpFBGE} {
+		if !IsBranch(op) || !IsCondBranch(op) {
+			t.Errorf("%v should be a conditional branch", op)
+		}
+	}
+	for _, op := range []Op{OpBA, OpCALL, OpJR} {
+		if !IsBranch(op) || IsCondBranch(op) {
+			t.Errorf("%v should be an unconditional branch", op)
+		}
+	}
+	if IsBranch(OpADD) || IsCondBranch(OpLD) {
+		t.Error("non-branches misclassified")
+	}
+}
+
+func TestCommutativity(t *testing.T) {
+	for _, op := range []Op{OpADD, OpAND, OpOR, OpXOR, OpMUL, OpFADD, OpFMUL, OpBEQ} {
+		if !IsCommutative(op) {
+			t.Errorf("%v should be commutative", op)
+		}
+	}
+	for _, op := range []Op{OpSUB, OpSLL, OpDIV, OpFSUB, OpBLT, OpLD} {
+		if IsCommutative(op) {
+			t.Errorf("%v should not be commutative", op)
+		}
+	}
+	// Commutative-cluster hardware extends commutativity to
+	// subtraction and ordered compares (two-form execution).
+	for _, op := range []Op{OpSUB, OpFSUB, OpBLT, OpBGE, OpADD} {
+		if !CommutableByHW(op) {
+			t.Errorf("%v should be commutable by hardware", op)
+		}
+	}
+	for _, op := range []Op{OpSLL, OpSRA, OpDIV, OpLD} {
+		if CommutableByHW(op) {
+			t.Errorf("%v should not be commutable by hardware", op)
+		}
+	}
+}
+
+func TestWindowGeometry(t *testing.T) {
+	if NumIntLogical != 80 {
+		t.Fatalf("NumIntLogical = %d, want 80 (paper §5.1.1)", NumIntLogical)
+	}
+	if NumWindows != 4 {
+		t.Fatalf("NumWindows = %d, want 4", NumWindows)
+	}
+}
+
+func TestTranslateGlobals(t *testing.T) {
+	for cwp := 0; cwp < NumWindows; cwp++ {
+		for i := 0; i < 8; i++ {
+			got := Translate(GReg(i), cwp)
+			if got.Class != RegInt || int(got.Index) != i {
+				t.Errorf("global %%g%d cwp=%d -> %v", i, cwp, got)
+			}
+		}
+	}
+}
+
+func TestTranslateWindowOverlap(t *testing.T) {
+	// The outs of window w must be the ins of window w+1.
+	for w := 0; w < NumWindows-1; w++ {
+		for i := 0; i < 8; i++ {
+			out := Translate(OReg(i), w)
+			in := Translate(IReg(i), w+1)
+			if out != in {
+				t.Errorf("outs(w=%d)[%d]=%v != ins(w=%d)[%d]=%v", w, i, out, w+1, i, in)
+			}
+		}
+	}
+}
+
+func TestTranslateDisjointLocals(t *testing.T) {
+	seen := map[LogicalReg]string{}
+	for w := 0; w < NumWindows; w++ {
+		for i := 0; i < 8; i++ {
+			l := Translate(LReg(i), w)
+			key := l
+			if prev, ok := seen[key]; ok {
+				t.Errorf("local collision: %v already used by %s", l, prev)
+			}
+			seen[key] = "locals"
+		}
+	}
+}
+
+func TestTranslateCoversExactly80(t *testing.T) {
+	used := map[uint8]bool{}
+	for w := 0; w < NumWindows; w++ {
+		for v := 0; v < 32; v++ {
+			l := Translate(IntReg(v), w)
+			if int(l.Index) >= NumIntLogical {
+				t.Fatalf("Translate(%v, %d) = %v out of range", IntReg(v), w, l)
+			}
+			used[l.Index] = true
+		}
+	}
+	if len(used) != NumIntLogical {
+		t.Errorf("windows cover %d logical registers, want %d", len(used), NumIntLogical)
+	}
+}
+
+func TestTranslateFP(t *testing.T) {
+	l := Translate(FPReg(12), 2)
+	if l.Class != RegFP || l.Index != 12 {
+		t.Errorf("fp translate = %v", l)
+	}
+}
+
+func TestTranslateDeterministicProperty(t *testing.T) {
+	// Property: translation is injective per (cwp) over visible
+	// registers, and never escapes the logical space.
+	f := func(vis uint8, cwp uint8) bool {
+		v := int(vis % 32)
+		w := int(cwp % NumWindows)
+		l := Translate(IntReg(v), w)
+		return int(l.Index) < NumIntLogical
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRegString(t *testing.T) {
+	cases := []struct {
+		r    Reg
+		want string
+	}{
+		{GReg(0), "%g0"},
+		{GReg(7), "%g7"},
+		{OReg(3), "%o3"},
+		{LReg(5), "%l5"},
+		{IReg(2), "%i2"},
+		{FPReg(31), "%f31"},
+	}
+	for _, c := range cases {
+		if got := c.r.String(); got != c.want {
+			t.Errorf("String() = %q, want %q", got, c.want)
+		}
+	}
+}
+
+func TestSrcRegsAndArity(t *testing.T) {
+	add := Inst{Op: OpADD, Rd: OReg(0), Rs1: OReg(1), Rs2: OReg(2)}
+	if a := add.ArityOf(); a != Dyadic {
+		t.Errorf("add r,r,r arity = %v, want dyadic", a)
+	}
+	addi := Inst{Op: OpADD, Rd: OReg(0), Rs1: OReg(1), Imm: 4, HasImm: true}
+	if a := addi.ArityOf(); a != Monadic {
+		t.Errorf("add r,r,imm arity = %v, want monadic", a)
+	}
+	li := Inst{Op: OpLI, Rd: OReg(0), Imm: 42}
+	if a := li.ArityOf(); a != Noadic {
+		t.Errorf("li arity = %v, want noadic", a)
+	}
+	// Reads of %g0 are not register operands.
+	addz := Inst{Op: OpADD, Rd: OReg(0), Rs1: GReg(0), Rs2: OReg(2)}
+	if a := addz.ArityOf(); a != Monadic {
+		t.Errorf("add %%g0,r arity = %v, want monadic", a)
+	}
+	sti := Inst{Op: OpSTI, Rd: OReg(0), Rs1: OReg(1), Rs2: OReg(2)}
+	if a := sti.ArityOf(); a != Triadic {
+		t.Errorf("sti arity = %v, want triadic", a)
+	}
+	if !sti.NeedsCracking() {
+		t.Error("indexed store must crack into two micro-ops")
+	}
+	if add.NeedsCracking() {
+		t.Error("plain add must not crack")
+	}
+}
+
+func TestSrcRegOrderMatchesOperandPositions(t *testing.T) {
+	// st rs2, [rs1+imm]: first operand (left FU entry) is the
+	// address base, second is the data.
+	st := Inst{Op: OpST, Rs1: OReg(1), Rs2: OReg(2), Imm: 8, HasImm: true}
+	srcs := st.SrcRegs()
+	if len(srcs) != 2 || srcs[0] != OReg(1) || srcs[1] != OReg(2) {
+		t.Errorf("st sources = %v", srcs)
+	}
+	ld := Inst{Op: OpLD, Rd: OReg(0), Rs1: OReg(1), Imm: 8, HasImm: true}
+	srcs = ld.SrcRegs()
+	if len(srcs) != 1 || srcs[0] != OReg(1) {
+		t.Errorf("ld sources = %v", srcs)
+	}
+}
+
+func TestHasDest(t *testing.T) {
+	cases := []struct {
+		in   Inst
+		want bool
+	}{
+		{Inst{Op: OpADD, Rd: OReg(0), Rs1: OReg(1), Rs2: OReg(2)}, true},
+		{Inst{Op: OpADD, Rd: GReg(0), Rs1: OReg(1), Rs2: OReg(2)}, false}, // writes %g0
+		{Inst{Op: OpST, Rs1: OReg(1), Rs2: OReg(2), HasImm: true}, false},
+		{Inst{Op: OpBEQ, Rs1: OReg(1), Rs2: OReg(2)}, false},
+		{Inst{Op: OpCALL, Rd: OReg(7)}, true},
+		{Inst{Op: OpCALL, Rd: GReg(0)}, false},
+		{Inst{Op: OpLD, Rd: OReg(0), Rs1: OReg(1), HasImm: true}, true},
+		{Inst{Op: OpNOP}, false},
+	}
+	for _, c := range cases {
+		if got := c.in.HasDest(); got != c.want {
+			t.Errorf("HasDest(%v) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestOpStrings(t *testing.T) {
+	if OpADD.String() != "add" || OpFSQRT.String() != "fsqrt" {
+		t.Error("opcode names wrong")
+	}
+	if Op(200).String() == "" {
+		t.Error("unknown opcode must still render")
+	}
+}

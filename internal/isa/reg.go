@@ -1,0 +1,172 @@
+package isa
+
+import "fmt"
+
+// RegClass separates the two logical register files of the ISA.
+type RegClass uint8
+
+// Register classes: the general-purpose (integer) file and the
+// floating-point file. The paper's mechanisms apply to both; its
+// quantitative evaluation focuses on the integer file.
+const (
+	RegInt RegClass = iota
+	RegFP
+)
+
+// String returns "int" or "fp".
+func (c RegClass) String() string {
+	if c == RegInt {
+		return "int"
+	}
+	return "fp"
+}
+
+// Window geometry of the ISA, per paper §5.1.1: four register windows
+// are mapped in the physical register file at once, for a total of 80
+// logical general-purpose registers (8 globals + 4x16 window registers
+// + the 8 "in" registers of the bottom window). A window overflow or
+// underflow raises an exception.
+const (
+	NumWindows = 4
+	// NumIntLogical is the number of integer logical registers
+	// visible to register renaming: 8 + 16*NumWindows + 8.
+	NumIntLogical = 8 + 16*NumWindows + 8 // 80
+	// NumFPLogical is the number of floating-point logical registers.
+	NumFPLogical = 32
+	// NumCrackTemps is the number of hidden logical registers
+	// reserved for micro-op cracking of 3-register-operand
+	// instructions (indexed stores). They live past the
+	// architectural space, are renamed like ordinary registers, and
+	// are never visible to the assembler.
+	NumCrackTemps = 4
+	// IntMapSize is the size of the integer rename map table.
+	IntMapSize = NumIntLogical + NumCrackTemps
+)
+
+// Visible integer register indices (what the assembler sees; 0..31
+// within the current window).
+const (
+	visGlobals = 0  // %g0..%g7
+	visOuts    = 8  // %o0..%o7
+	visLocals  = 16 // %l0..%l7
+	visIns     = 24 // %i0..%i7
+)
+
+// Reg names a register as written in assembly: a class plus a visible
+// index (0..31 for integer, 0..31 for fp). The zero value is integer
+// %g0, the hardwired-zero register.
+type Reg struct {
+	Class RegClass
+	Index uint8
+}
+
+// G0 is the hardwired-zero integer register. Reads of G0 do not create
+// register dependences and writes to it are discarded.
+var G0 = Reg{Class: RegInt, Index: 0}
+
+// IsZero reports whether r is the hardwired-zero register %g0.
+func (r Reg) IsZero() bool { return r.Class == RegInt && r.Index == 0 }
+
+// String renders the register in assembler syntax (%g0, %o3, %l7,
+// %i2, %f12, ...).
+func (r Reg) String() string {
+	if r.Class == RegFP {
+		return fmt.Sprintf("%%f%d", r.Index)
+	}
+	switch {
+	case r.Index < visOuts:
+		return fmt.Sprintf("%%g%d", r.Index)
+	case r.Index < visLocals:
+		return fmt.Sprintf("%%o%d", r.Index-visOuts)
+	case r.Index < visIns:
+		return fmt.Sprintf("%%l%d", r.Index-visLocals)
+	default:
+		return fmt.Sprintf("%%i%d", r.Index-visIns)
+	}
+}
+
+// IntReg returns the integer register with visible index i (0..31).
+func IntReg(i int) Reg { return Reg{Class: RegInt, Index: uint8(i)} }
+
+// FPReg returns the floating-point register %f<i>.
+func FPReg(i int) Reg { return Reg{Class: RegFP, Index: uint8(i)} }
+
+// Convenience visible-register constructors.
+func GReg(i int) Reg { return IntReg(visGlobals + i) } // %g<i>
+func OReg(i int) Reg { return IntReg(visOuts + i) }    // %o<i>
+func LReg(i int) Reg { return IntReg(visLocals + i) }  // %l<i>
+func IReg(i int) Reg { return IntReg(visIns + i) }     // %i<i>
+
+// LogicalReg identifies a register after window translation: the index
+// a rename map table is addressed with. Integer logical indices lie in
+// [0, IntMapSize); fp indices in [0, NumFPLogical).
+type LogicalReg struct {
+	Class RegClass
+	Index uint8
+}
+
+// String renders the logical register as e.g. "r17" or "f4".
+func (l LogicalReg) String() string {
+	if l.Class == RegFP {
+		return fmt.Sprintf("f%d", l.Index)
+	}
+	return fmt.Sprintf("r%d", l.Index)
+}
+
+// CrackTemp returns the i-th hidden integer logical register reserved
+// for micro-op cracking.
+func CrackTemp(i int) LogicalReg {
+	if i < 0 || i >= NumCrackTemps {
+		panic("isa: crack temp index out of range")
+	}
+	return LogicalReg{Class: RegInt, Index: uint8(NumIntLogical + i)}
+}
+
+// WindowError is returned (as a trap) when a SAVE overflows or a
+// RESTORE underflows the mapped register windows.
+type WindowError struct {
+	Overflow bool // true for SAVE overflow, false for RESTORE underflow
+	CWP      int
+}
+
+// Error implements the error interface.
+func (e *WindowError) Error() string {
+	if e.Overflow {
+		return fmt.Sprintf("register window overflow at cwp=%d", e.CWP)
+	}
+	return fmt.Sprintf("register window underflow at cwp=%d", e.CWP)
+}
+
+// Translate maps a visible register to its logical index given the
+// current window pointer cwp in [0, NumWindows).
+//
+// Layout of the 80-entry integer logical space:
+//
+//	0..7                      globals
+//	8..15                     ins of window 0
+//	8+16(w+1)-8 .. +8         window w locals  = 16+16w .. 23+16w
+//	8+16(w+1)   .. +8         window w outs    = 24+16w .. 31+16w
+//
+// so that the outs of window w coincide with the ins of window w+1
+// (the caller's outs are the callee's ins after SAVE increments cwp).
+func Translate(r Reg, cwp int) LogicalReg {
+	if r.Class == RegFP {
+		return LogicalReg{Class: RegFP, Index: r.Index}
+	}
+	if cwp < 0 || cwp >= NumWindows {
+		panic(fmt.Sprintf("isa: cwp %d out of range", cwp))
+	}
+	v := int(r.Index)
+	var idx int
+	switch {
+	case v < visOuts: // globals
+		idx = v
+	case v < visLocals: // outs of window cwp == ins of window cwp+1
+		idx = 8 + 16*(cwp+1) + (v - visOuts)
+	case v < visIns: // locals of window cwp
+		idx = 8 + 16*cwp + 8 + (v - visLocals)
+	default: // ins of window cwp
+		idx = 8 + 16*cwp + (v - visIns)
+	}
+	return LogicalReg{Class: RegInt, Index: uint8(idx)}
+}

@@ -1,0 +1,60 @@
+package kernels
+
+import "wsrs/internal/funcsim"
+
+// applu proxy: lower-upper SSOR solver. Serially dependent
+// multiply-subtract chains per point (back-substitution) with a
+// pivot divide every fourth iteration — the non-pipelined FP divide
+// throttles the machine exactly as applu's pivoting does. The 64 KB
+// working set sits between L1 and L2.
+const (
+	appluData = 0x10_0000 // 8 Ki doubles = 64 KB
+	appluLen  = 8 * 1024
+)
+
+func init() {
+	register(Kernel{
+		Name:        "applu",
+		Class:       FP,
+		Description: "SSOR back-substitution with pivot divides (SPECfp applu proxy)",
+		Init: func(m *funcsim.Memory) {
+			fillFloats(m, appluData, appluLen, 909)
+			// Keep pivots away from zero.
+			for i := 0; i < appluLen; i++ {
+				v := m.ReadFloat64(appluData + uint64(8*i))
+				m.WriteFloat64(appluData+uint64(8*i), v+0.5)
+			}
+			m.WriteFloat64(0x9000, 0.9)
+			m.WriteFloat64(0x9008, 1.1)
+		},
+		Source: `
+	; %l0 data pointer  %g4 scan end  %g5 divide-gate mask
+	li   %g4, 0x10fff0
+	li   %g5, 3
+	li   %g6, 0x9000
+	fld  %f26, [%g6+0]
+	fld  %f27, [%g6+8]
+	li   %l0, 0x100000
+	li   %l4, 0           ; iteration counter
+	fmov %f20, %f27       ; running solution value
+outer:
+	fld  %f0, [%l0+0]     ; a[k]
+	; dependent chain: x = (x - a*c1) * c2 + a
+	fmul %f1, %f0, %f26
+	fsub %f2, %f20, %f1
+	fmul %f3, %f2, %f27
+	fadd %f20, %f3, %f0
+	; pivot divide every 4th iteration
+	and  %o0, %l4, %g5
+	bne  %o0, %g0, nodiv
+	fdiv %f20, %f20, %f0  ; non-pipelined 15-cycle divide
+nodiv:
+	fst  %f20, [%l0+0]
+	add  %l0, %l0, 8
+	add  %l4, %l4, 1
+	blt  %l0, %g4, outer
+	li   %l0, 0x100000
+	ba   outer
+`,
+	})
+}

@@ -1,0 +1,71 @@
+package kernels
+
+import (
+	"math/rand"
+
+	"wsrs/internal/funcsim"
+)
+
+// equake proxy: sparse matrix-vector product (earthquake wave
+// propagation). Column indices are loaded sequentially, then used as
+// irregular gather offsets into the solution vector — the
+// double-indirection memory pattern of CSR sparse algebra. The 512 KB
+// value array streams through the L2 while the 64 KB vector stays
+// hot. The gather itself is the one genuinely indexed access.
+const (
+	equakeVal = 0x100_0000 // 64 Ki doubles = 512 KB
+	equakeIdx = 0x180_0000 // 64 Ki words: gather byte offsets
+	equakeVec = 0x20_0000  // 8 Ki doubles = 64 KB
+	equakeOut = 0x30_0000
+	equakeNNZ = 64 * 1024
+)
+
+func init() {
+	register(Kernel{
+		Name:        "equake",
+		Class:       FP,
+		Description: "CSR sparse matrix-vector gather (SPECfp equake proxy)",
+		Init: func(m *funcsim.Memory) {
+			fillFloats(m, equakeVal, equakeNNZ, 222)
+			rng := rand.New(rand.NewSource(223))
+			for i := 0; i < equakeNNZ; i++ {
+				// Random column, as a ready-to-use byte offset.
+				m.WriteInt64(equakeIdx+uint64(8*i), int64(rng.Intn(8*1024))*8)
+			}
+			fillFloats(m, equakeVec, 8*1024, 224)
+		},
+		Source: `
+	; %l0 index pointer  %l1 value pointer  %l3 out pointer
+	; %g3 vector base  %g4 index end  %g5 row gate  %g7 out end
+	li   %g3, 0x200000
+	li   %g4, 0x187ff00
+	li   %g5, 120
+	li   %g7, 0x301ff0
+	li   %l0, 0x1800000
+	li   %l1, 0x1000000
+	li   %l3, 0x300000
+	li   %l4, 0          ; row element counter
+outer:
+	ld   %o0, [%l0+0]    ; column byte offset
+	fld  %f0, [%l1+0]    ; matrix value (streaming)
+	fldi %f1, [%g3+%o0]  ; x[col] gather (irregular, indexed)
+	fmul %f2, %f0, %f1
+	fadd %f8, %f8, %f2   ; row accumulator
+	add  %l0, %l0, 8
+	add  %l1, %l1, 8
+	add  %l4, %l4, 8
+	blt  %l4, %g5, next
+	fst  %f8, [%l3+0]    ; store row result
+	fsub %f8, %f8, %f8   ; reset accumulator
+	add  %l3, %l3, 8
+	li   %l4, 0
+	blt  %l3, %g7, next
+	li   %l3, 0x300000
+next:
+	blt  %l0, %g4, outer
+	li   %l0, 0x1800000
+	li   %l1, 0x1000000
+	ba   outer
+`,
+	})
+}

@@ -1,0 +1,86 @@
+package kernels
+
+import "wsrs/internal/funcsim"
+
+// facerec proxy: face-graph correlation — long dot products between a
+// probe feature vector and gallery rows, four-way unrolled with
+// independent accumulators and two register-held invariant gains.
+// Branches are loop-counting and essentially perfectly predicted; the
+// 256 KB gallery is L2-resident. Like wupwise, the invariant register
+// operands pin allocation freedom, making facerec the other
+// ~100 %-unbalanced benchmark of Figure 5.
+const (
+	facerecGallery = 0x100_0000 // 32 Ki doubles = 256 KB
+	facerecProbe   = 0x20_0000  // 2 Ki doubles = 16 KB
+	facerecOut     = 0x30_0000
+)
+
+func init() {
+	register(Kernel{
+		Name:        "facerec",
+		Class:       FP,
+		Description: "gallery correlation dot products, unrolled (SPECfp facerec proxy)",
+		Init: func(m *funcsim.Memory) {
+			fillFloats(m, facerecGallery, 32*1024, 333)
+			fillFloats(m, facerecProbe, 2*1024, 334)
+			m.WriteFloat64(0x9000, 1.0625)
+			m.WriteFloat64(0x9008, 0.975)
+		},
+		Source: `
+	; %l0 gallery pointer  %l2 probe pointer  %l3 out pointer
+	; %g4 gallery end  %g7 out end; invariant gains in %f30/%f31
+	li   %o5, 0x9000
+	fld  %f30, [%o5+0]
+	fld  %f31, [%o5+8]
+	li   %g4, 0x103fe00
+	li   %g7, 0x300ff0
+	li   %l0, 0x1000000
+	li   %l3, 0x300000
+outer:
+	li   %l1, 0          ; inner trip (bytes)
+	li   %l2, 0x200000   ; probe pointer
+	li   %l5, 512        ; inner trip count (bytes)
+	fsub %f16, %f16, %f16
+	fsub %f17, %f17, %f17
+	fsub %f18, %f18, %f18
+	fsub %f19, %f19, %f19
+inner:
+	; four-way unrolled dot product; lanes 1 and 3 apply the
+	; register-held gains (invariant operands, paper 3.3)
+	fld  %f0, [%l0+0]
+	fld  %f1, [%l2+0]
+	fmul %f2, %f0, %f1
+	fadd %f16, %f16, %f2
+	fld  %f4, [%l0+8]
+	fld  %f5, [%l2+8]
+	fmul %f6, %f4, %f30
+	fmul %f7, %f6, %f5
+	fadd %f17, %f17, %f7
+	fld  %f8, [%l0+16]
+	fld  %f9, [%l2+16]
+	fmul %f10, %f8, %f9
+	fadd %f18, %f18, %f10
+	fld  %f12, [%l0+24]
+	fld  %f13, [%l2+24]
+	fmul %f14, %f12, %f31
+	fmul %f15, %f14, %f13
+	fadd %f19, %f19, %f15
+	add  %l0, %l0, 32
+	add  %l2, %l2, 32
+	add  %l1, %l1, 32
+	blt  %l1, %l5, inner
+	; combine and emit the correlation score
+	fadd %f20, %f16, %f17
+	fadd %f21, %f18, %f19
+	fadd %f22, %f20, %f21
+	fst  %f22, [%l3+0]
+	add  %l3, %l3, 8
+	blt  %l3, %g7, norow
+	li   %l3, 0x300000
+norow:
+	blt  %l0, %g4, outer
+	li   %l0, 0x1000000
+	ba   outer
+`,
+	})
+}

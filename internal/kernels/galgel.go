@@ -1,0 +1,63 @@
+package kernels
+
+import "wsrs/internal/funcsim"
+
+// galgel proxy: Galerkin spectral method — dense matrix-vector
+// products with pairwise reductions. Two alternating accumulators
+// hide part of the 4-cycle fadd latency; a 64 KB matrix tile plus
+// basis vectors straddle the L1. Each inner product ends on a
+// predictable loop branch with a result store.
+const (
+	galgelMat = 0x10_0000 // 8 Ki doubles = 64 KB
+	galgelVec = 0x20_0000 // 4 Ki doubles = 32 KB
+	galgelOut = 0x30_0000
+)
+
+func init() {
+	register(Kernel{
+		Name:        "galgel",
+		Class:       FP,
+		Description: "dense Galerkin inner products with reductions (SPECfp galgel proxy)",
+		Init: func(m *funcsim.Memory) {
+			fillFloats(m, galgelMat, 8*1024, 111)
+			fillFloats(m, galgelVec, 4*1024, 112)
+		},
+		Source: `
+	; %l0 matrix pointer  %l2 vector pointer  %l3 out pointer
+	; %g4 matrix end  %g5 vector end  %g7 out end
+	li   %g4, 0x10fe00   ; leaves one full row of slack
+	li   %g5, 0x207ff0
+	li   %g7, 0x301ff0
+	li   %l0, 0x100000
+	li   %l3, 0x300000
+outer:
+	li   %l1, 0          ; inner trip (bytes)
+	li   %l2, 0x200000   ; vector pointer for this row
+	fsub %f16, %f16, %f16  ; acc0 = 0
+	fsub %f17, %f17, %f17  ; acc1 = 0
+	li   %l5, 256
+inner:
+	fld  %f0, [%l0+0]
+	fld  %f1, [%l2+0]
+	fmul %f2, %f0, %f1
+	fadd %f16, %f16, %f2
+	fld  %f3, [%l0+8]
+	fld  %f4, [%l2+8]
+	fmul %f5, %f3, %f4
+	fadd %f17, %f17, %f5
+	add  %l0, %l0, 16
+	add  %l2, %l2, 16
+	add  %l1, %l1, 16
+	blt  %l1, %l5, inner
+	fadd %f18, %f16, %f17
+	fst  %f18, [%l3+0]
+	add  %l3, %l3, 8
+	blt  %l3, %g7, norow
+	li   %l3, 0x300000
+norow:
+	blt  %l0, %g4, outer
+	li   %l0, 0x100000
+	ba   outer
+`,
+	})
+}

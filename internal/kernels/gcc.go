@@ -1,0 +1,94 @@
+package kernels
+
+import (
+	"math/rand"
+
+	"wsrs/internal/funcsim"
+)
+
+// gcc proxy: IR-tree walking. A 128 KB ring of 64-byte "nodes" is
+// chased through next pointers; a branch ladder dispatches on each
+// node's tag (the switch-heavy character of the compiler; the tag
+// distribution is skewed toward the common case like real IR node
+// kinds), one rare case calls a helper through the register-window
+// calling convention (SAVE/RESTORE micro-ops), and a result field is
+// written back per node.
+const (
+	gccNodes  = 0x10_0000 // 2 Ki nodes x 64 B = 128 KB
+	gccNNodes = 2048
+	gccStride = 64
+)
+
+func init() {
+	register(Kernel{
+		Name:        "gcc",
+		Class:       Int,
+		Description: "tag-dispatched IR walk over pointer-linked nodes (SPECint gcc proxy)",
+		Init: func(m *funcsim.Memory) {
+			fillRing(m, gccNodes, gccNNodes, gccStride, 303)
+			rng := rand.New(rand.NewSource(304))
+			for i := 0; i < gccNNodes; i++ {
+				base := uint64(gccNodes + i*gccStride)
+				payload := int64(rng.Int63() &^ 3)
+				// Skewed tag mix, like IR node kinds: 70 % the
+				// common case, rare helper calls.
+				var tag int64
+				switch r := rng.Intn(100); {
+				case r < 70:
+					tag = 0
+				case r < 85:
+					tag = 1
+				case r < 96:
+					tag = 2
+				default:
+					tag = 3
+				}
+				m.WriteInt64(base+8, payload|tag)
+			}
+		},
+		Source: `
+	; %g4,%g5,%g6 tag comparison constants; %l0 current node pointer
+	li   %g4, 1
+	li   %g5, 2
+	li   %g6, 3
+	li   %l0, 0x100000
+	li   %l1, 0          ; running hash
+outer:
+	ld   %o1, [%l0+8]    ; payload
+	and  %o2, %o1, 3     ; tag
+	beq  %o2, %g0, t0
+	beq  %o2, %g4, t1
+	beq  %o2, %g5, t2
+	; tag 3 (rare): helper call through a register window
+	call helper
+	ba   done
+t0:
+	add  %l1, %l1, %o1
+	srl  %o3, %l1, 5
+	xor  %l1, %l1, %o3
+	ba   done
+t1:
+	sub  %l1, %l1, %o1
+	ba   done
+t2:
+	srl  %o3, %o1, 3
+	xor  %l1, %l1, %o3
+	ba   done
+done:
+	st   %l1, [%l0+16]   ; write back a computed field
+	ld   %l0, [%l0]      ; chase: next node pointer
+	ba   outer
+
+helper:
+	; mix the payload through a fresh window (exercises SAVE/RESTORE)
+	save
+	srl  %l2, %i1, 7
+	xor  %l2, %l2, %i1
+	add  %l2, %l2, 99
+	mov  %i1, %l2        ; return through the window overlap
+	restore
+	xor  %l1, %l1, %o1
+	jr   %o7
+`,
+	})
+}

@@ -1,0 +1,99 @@
+package kernels
+
+import "wsrs/internal/funcsim"
+
+// gzip proxy: LZ77-style match finding. A hash of the current input
+// word selects a chain head; the candidate match is extended word by
+// word. Data-dependent match/no-match branches give gzip its
+// characteristic misprediction rate; the 128 KB sliding window plus
+// 64 KB hash table keep the working set L2-resident with regular L1
+// misses. As in compiled SPARC code, the scan and match loops use
+// register+immediate (monadic) addressing; only the hash-table probe
+// is an indexed access.
+const (
+	gzipInput = 0x10_0000 // 16 Ki words = 128 KB window
+	gzipHash  = 0x20_0000 // 8 Ki words = 64 KB heads
+	gzipOut   = 0x30_0000 // emitted tokens
+)
+
+func init() {
+	register(Kernel{
+		Name:        "gzip",
+		Class:       Int,
+		Description: "LZ77 hash-chain match finder (SPECint gzip proxy)",
+		Init: func(m *funcsim.Memory) {
+			// Compressible input: small alphabet so matches happen.
+			fillWords(m, gzipInput, 16*1024, 101)
+			for i := 0; i < 16*1024; i++ {
+				v := m.ReadInt64(gzipInput + uint64(8*i))
+				m.WriteInt64(gzipInput+uint64(8*i), v&0x3F) // 64 symbols
+			}
+		},
+		Source: `
+	; %g1 window base  %g2 hash base  %g3 candidate offset mask
+	; %g4 hash offset mask  %g5 scan end (with match slack)
+	; %g7 out end  %l6 max match length
+	li   %g1, 0x100000
+	li   %g2, 0x200000
+	li   %g3, 0x1ff00
+	li   %g4, 0xfff8
+	li   %g5, 0x11fe00
+	li   %g7, 0x30ff00
+	li   %l0, 0x100000   ; scan pointer
+	li   %l3, 0x300000   ; out pointer
+	li   %l5, 0          ; checksum
+	li   %l6, 64
+outer:
+	ld   %o0, [%l0+0]    ; x = *scan
+	; h = (x ^ x>>13 ^ x>>29) & hashmask
+	srl  %o1, %o0, 13
+	xor  %o1, %o1, %o0
+	srl  %o2, %o0, 29
+	xor  %o1, %o1, %o2
+	sll  %o1, %o1, 3
+	and  %o1, %o1, %g4
+	ldi  %o3, [%g2+%o1]  ; chain head (hash probe: indexed)
+	sub  %o6, %l0, %g1   ; current window offset
+	sti  %o6, [%g2+%o1]  ; head = current (indexed store: cracked)
+	and  %o3, %o3, %g3
+	add  %o3, %o3, %g1   ; candidate pointer
+	mov  %l1, %l0        ; current match pointer
+	li   %l2, 0          ; match length (bytes)
+match:
+	ld   %o4, [%o3+0]
+	ld   %o5, [%l1+0]
+	bne  %o4, %o5, emit  ; data-dependent: the gzip mispredict source
+	add  %l2, %l2, 8
+	add  %o3, %o3, 8
+	add  %l1, %l1, 8
+	blt  %l2, %l6, match
+emit:
+	st   %l2, [%l3+0]    ; emit token
+	add  %l3, %l3, 8
+	add  %l5, %l5, %l2   ; checksum
+	xor  %l5, %l5, %o0
+	blt  %l3, %g7, nowrap
+	li   %l3, 0x300000
+nowrap:
+	add  %l0, %l0, 8
+	blt  %l0, %g5, outer
+	; literal-emission phase: after each window pass, stream a block
+	; of literals to the output (the copy-dominated half of deflate)
+	li   %l0, 0x100000
+	li   %l1, 0x100000
+	li   %l2, 0x101000   ; 512-word literal block
+copy:
+	ld   %o0, [%l1+0]
+	ld   %o1, [%l1+8]
+	st   %o0, [%l3+0]
+	xor  %l5, %l5, %o0
+	add  %l1, %l1, 16
+	add  %l3, %l3, 8
+	blt  %l3, %g7, nowrap2
+	li   %l3, 0x300000
+nowrap2:
+	blt  %l1, %l2, copy
+	ba   outer
+`,
+	})
+}

@@ -1,0 +1,161 @@
+// Package kernels provides the benchmark workloads of the evaluation:
+// twelve proxy kernels standing in for the 5 SPECint2000 and 7
+// SPECfp2000 programs of the paper's Figure 4 (gzip, vpr, gcc, mcf,
+// crafty; wupwise, swim, mgrid, applu, galgel, equake, facerec).
+//
+// Each proxy is written in the simulator's assembly and captures the
+// dominant dynamic character of its namesake: instruction mix
+// (loads/stores/branches/fp), dependence structure (pointer chasing vs
+// independent accumulators), branch predictability and working-set
+// size relative to the 32 KB L1 / 512 KB L2 hierarchy. Kernels loop
+// forever; the simulation harness decides warmup and measured slice
+// lengths, mirroring the paper's fast-forward/warm/measure protocol.
+//
+// These are substitutions for the real SPEC binaries (see DESIGN.md):
+// the paper's conclusions are relative comparisons across machine
+// configurations on identical workloads, which the proxies preserve.
+package kernels
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"wsrs/internal/asm"
+	"wsrs/internal/funcsim"
+	"wsrs/internal/isa"
+)
+
+// Class tags a kernel as integer or floating-point.
+type Class string
+
+// Kernel classes.
+const (
+	Int Class = "int"
+	FP  Class = "fp"
+)
+
+// Kernel is one benchmark proxy.
+type Kernel struct {
+	Name        string
+	Class       Class
+	Description string
+	Source      string
+	// Init populates the memory image before execution.
+	Init func(m *funcsim.Memory)
+}
+
+// Program assembles the kernel source.
+func (k Kernel) Program() (*isa.Program, error) {
+	return asm.Assemble(k.Source)
+}
+
+// NewSim returns a functional simulator positioned at the kernel
+// entry, with memory initialized. The returned trace is endless.
+func (k Kernel) NewSim() (*funcsim.Sim, error) {
+	prog, err := k.Program()
+	if err != nil {
+		return nil, fmt.Errorf("kernel %s: %w", k.Name, err)
+	}
+	mem := funcsim.NewMemory()
+	if k.Init != nil {
+		k.Init(mem)
+	}
+	return funcsim.New(prog, mem), nil
+}
+
+var registry = map[string]Kernel{}
+
+func register(k Kernel) {
+	if _, dup := registry[k.Name]; dup {
+		panic("kernels: duplicate " + k.Name)
+	}
+	registry[k.Name] = k
+}
+
+// ByName returns the kernel with the given name.
+func ByName(name string) (Kernel, bool) {
+	k, ok := registry[name]
+	return k, ok
+}
+
+// All returns every kernel, integer benchmarks first, each group in
+// the paper's Figure 4 order.
+func All() []Kernel {
+	order := map[string]int{
+		"gzip": 0, "vpr": 1, "gcc": 2, "mcf": 3, "crafty": 4,
+		"wupwise": 5, "swim": 6, "mgrid": 7, "applu": 8,
+		"galgel": 9, "equake": 10, "facerec": 11,
+	}
+	out := make([]Kernel, 0, len(registry))
+	for _, k := range registry {
+		out = append(out, k)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		oi, iok := order[out[i].Name]
+		oj, jok := order[out[j].Name]
+		if iok && jok {
+			return oi < oj
+		}
+		if iok != jok {
+			return iok
+		}
+		return out[i].Name < out[j].Name
+	})
+	return out
+}
+
+// Names returns all kernel names in Figure 4 order.
+func Names() []string {
+	ks := All()
+	names := make([]string, len(ks))
+	for i, k := range ks {
+		names[i] = k.Name
+	}
+	return names
+}
+
+// Integers and Floats return the benchmark subsets of Figure 4.
+func Integers() []Kernel { return filter(Int) }
+
+// Floats returns the floating-point kernels.
+func Floats() []Kernel { return filter(FP) }
+
+func filter(c Class) []Kernel {
+	var out []Kernel
+	for _, k := range All() {
+		if k.Class == c {
+			out = append(out, k)
+		}
+	}
+	return out
+}
+
+// fillWords writes n pseudo-random 64-bit words at base.
+func fillWords(m *funcsim.Memory, base uint64, n int, seed int64) {
+	rng := rand.New(rand.NewSource(seed))
+	for i := 0; i < n; i++ {
+		m.WriteInt64(base+uint64(8*i), rng.Int63())
+	}
+}
+
+// fillFloats writes n pseudo-random doubles in [0,1) at base.
+func fillFloats(m *funcsim.Memory, base uint64, n int, seed int64) {
+	rng := rand.New(rand.NewSource(seed))
+	for i := 0; i < n; i++ {
+		m.WriteFloat64(base+uint64(8*i), rng.Float64())
+	}
+}
+
+// fillRing writes a pseudo-random permutation cycle of n word-sized
+// pointers at base: entry i holds the byte address of the next entry,
+// forming one cycle that visits all n slots (for pointer chasing).
+func fillRing(m *funcsim.Memory, base uint64, n int, stride int, seed int64) {
+	rng := rand.New(rand.NewSource(seed))
+	perm := rng.Perm(n)
+	for i := 0; i < n; i++ {
+		from := perm[i]
+		to := perm[(i+1)%n]
+		m.WriteInt64(base+uint64(stride*from), int64(base+uint64(stride*to)))
+	}
+}

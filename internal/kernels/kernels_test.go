@@ -1,0 +1,287 @@
+package kernels
+
+import (
+	"bytes"
+	"testing"
+
+	"wsrs/internal/funcsim"
+	"wsrs/internal/isa"
+	"wsrs/internal/trace"
+)
+
+func TestRegistryComplete(t *testing.T) {
+	ks := All()
+	if len(ks) != 12 {
+		t.Fatalf("registry has %d kernels, want 12 (5 int + 7 fp, Figure 4)", len(ks))
+	}
+	wantOrder := []string{
+		"gzip", "vpr", "gcc", "mcf", "crafty",
+		"wupwise", "swim", "mgrid", "applu", "galgel", "equake", "facerec",
+	}
+	for i, k := range ks {
+		if k.Name != wantOrder[i] {
+			t.Errorf("kernel %d = %s, want %s", i, k.Name, wantOrder[i])
+		}
+	}
+	if len(Integers()) != 5 || len(Floats()) != 7 {
+		t.Errorf("class split %d/%d, want 5/7", len(Integers()), len(Floats()))
+	}
+	if _, ok := ByName("gzip"); !ok {
+		t.Error("ByName failed")
+	}
+	if _, ok := ByName("nonesuch"); ok {
+		t.Error("ByName must reject unknown names")
+	}
+	if len(Names()) != 12 {
+		t.Error("Names length")
+	}
+}
+
+func TestAllKernelsAssemble(t *testing.T) {
+	for _, k := range All() {
+		if _, err := k.Program(); err != nil {
+			t.Errorf("%s does not assemble: %v", k.Name, err)
+		}
+	}
+}
+
+// runKernel executes n µops of the kernel, collecting stream stats.
+func runKernel(t *testing.T, k Kernel, n int) (*funcsim.Sim, []trace.MicroOp) {
+	t.Helper()
+	sim, err := k.NewSim()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ops := make([]trace.MicroOp, 0, n)
+	for i := 0; i < n; i++ {
+		m, ok := sim.Next()
+		if !ok {
+			t.Fatalf("%s: trace ended after %d µops: %v", k.Name, i, sim.Err())
+		}
+		ops = append(ops, m)
+	}
+	return sim, ops
+}
+
+func TestAllKernelsExecuteIndefinitely(t *testing.T) {
+	for _, k := range All() {
+		k := k
+		t.Run(k.Name, func(t *testing.T) {
+			sim, ops := runKernel(t, k, 30000)
+			if sim.Err() != nil {
+				t.Fatalf("execution error: %v", sim.Err())
+			}
+			// Sanity: every kernel must branch (it loops).
+			var branches, loads int
+			for _, m := range ops {
+				if m.IsBranch {
+					branches++
+				}
+				if m.Class == isa.ClassLoad {
+					loads++
+				}
+			}
+			if branches == 0 {
+				t.Error("kernel never branches")
+			}
+			if loads == 0 {
+				t.Error("kernel never loads")
+			}
+		})
+	}
+}
+
+func TestKernelClassCharacter(t *testing.T) {
+	for _, k := range All() {
+		k := k
+		t.Run(k.Name, func(t *testing.T) {
+			_, ops := runKernel(t, k, 20000)
+			var fp int
+			for _, m := range ops {
+				if m.Class == isa.ClassFP || m.Class == isa.ClassFPDiv ||
+					m.Op == isa.OpFLD || m.Op == isa.OpFLDI || m.Op == isa.OpFST {
+					fp++
+				}
+			}
+			frac := float64(fp) / float64(len(ops))
+			if k.Class == FP && frac < 0.15 {
+				t.Errorf("fp kernel has only %.1f%% fp work", 100*frac)
+			}
+			if k.Class == Int && frac > 0.02 {
+				t.Errorf("int kernel has %.1f%% fp work", 100*frac)
+			}
+		})
+	}
+}
+
+func TestWorkingSetsDiffer(t *testing.T) {
+	// mcf must touch far more memory than crafty over the same
+	// window (its L2-missing character depends on it).
+	mcf, _ := ByName("mcf")
+	crafty, _ := ByName("crafty")
+	simM, _ := runKernel(t, mcf, 50000)
+	simC, _ := runKernel(t, crafty, 50000)
+	if simM.Memory().Footprint() < 16*simC.Memory().Footprint() {
+		t.Errorf("mcf footprint %d vs crafty %d: expected >= 16x",
+			simM.Memory().Footprint(), simC.Memory().Footprint())
+	}
+}
+
+func TestPointerChaseKernelsSerializeLoads(t *testing.T) {
+	// gcc and mcf chase pointers: some loads' address registers are
+	// produced by an immediately preceding load (dependent loads).
+	for _, name := range []string{"gcc", "mcf"} {
+		k, _ := ByName(name)
+		_, ops := runKernel(t, k, 20000)
+		writers := map[isa.LogicalReg]isa.Class{}
+		depLoads := 0
+		for _, m := range ops {
+			if m.Class == isa.ClassLoad && m.NSrc >= 1 {
+				if writers[m.Src[0]] == isa.ClassLoad {
+					depLoads++
+				}
+			}
+			if m.HasDst {
+				writers[m.Dst] = m.Class
+			}
+		}
+		if depLoads == 0 {
+			t.Errorf("%s: no load-dependent loads found", name)
+		}
+	}
+}
+
+func TestGccExercisesWindows(t *testing.T) {
+	k, _ := ByName("gcc")
+	_, ops := runKernel(t, k, 40000)
+	var saves int
+	for _, m := range ops {
+		if m.Op == isa.OpSAVE {
+			saves++
+		}
+	}
+	if saves == 0 {
+		t.Error("gcc proxy must exercise register windows")
+	}
+}
+
+func TestIndexedStoresCracked(t *testing.T) {
+	// vpr swaps via indexed stores: cracked µop pairs must appear.
+	k, _ := ByName("vpr")
+	_, ops := runKernel(t, k, 20000)
+	pairs := 0
+	for _, m := range ops {
+		if !m.LastOfInst {
+			pairs++
+		}
+	}
+	if pairs == 0 {
+		t.Error("vpr must emit cracked indexed stores")
+	}
+}
+
+func TestInvariantOperandsInFPKernels(t *testing.T) {
+	// wupwise/facerec hold invariant coefficients in fp registers:
+	// some fp registers must be read many times without being
+	// rewritten (the unbalancing mechanism of §3.3).
+	for _, name := range []string{"wupwise", "facerec"} {
+		k, _ := ByName(name)
+		_, ops := runKernel(t, k, 30000)
+		reads := map[isa.LogicalReg]int{}
+		writes := map[isa.LogicalReg]int{}
+		for _, m := range ops {
+			for i := 0; i < m.NSrc; i++ {
+				if m.Src[i].Class == isa.RegFP {
+					reads[m.Src[i]]++
+				}
+			}
+			if m.HasDst && m.Dst.Class == isa.RegFP {
+				writes[m.Dst]++
+			}
+		}
+		found := false
+		for r, n := range reads {
+			if n > 1000 && writes[r] <= 1 {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("%s: no register-held invariant operands found", name)
+		}
+	}
+}
+
+func TestBranchPredictabilityVaries(t *testing.T) {
+	// Count taken-rate entropy proxies: vpr's accept branch should
+	// be near 50/50; facerec's loop branches heavily taken.
+	rate := func(name string) float64 {
+		k, _ := ByName(name)
+		_, ops := runKernel(t, k, 40000)
+		var cond, taken int
+		for _, m := range ops {
+			if m.IsCond {
+				cond++
+				if m.Taken {
+					taken++
+				}
+			}
+		}
+		if cond == 0 {
+			t.Fatalf("%s has no conditional branches", name)
+		}
+		return float64(taken) / float64(cond)
+	}
+	if r := rate("facerec"); r < 0.85 {
+		t.Errorf("facerec loop branches taken rate = %.2f, want high", r)
+	}
+	if r := rate("vpr"); r < 0.2 || r > 0.8 {
+		t.Errorf("vpr accept branch taken rate = %.2f, want mid-range", r)
+	}
+}
+
+func TestKernelsEncodeDecodeExecuteIdentically(t *testing.T) {
+	// Round-trip every kernel through the binary encoding and verify
+	// the decoded program produces a bit-identical micro-op trace.
+	for _, k := range All() {
+		k := k
+		t.Run(k.Name, func(t *testing.T) {
+			prog, err := k.Program()
+			if err != nil {
+				t.Fatal(err)
+			}
+			var buf bytes.Buffer
+			if err := isa.WriteProgram(&buf, prog); err != nil {
+				t.Fatal(err)
+			}
+			decoded, err := isa.ReadProgram(&buf)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if decoded.Len() != prog.Len() {
+				t.Fatalf("decoded %d instructions, want %d", decoded.Len(), prog.Len())
+			}
+			memA := funcsim.NewMemory()
+			memB := funcsim.NewMemory()
+			if k.Init != nil {
+				k.Init(memA)
+				k.Init(memB)
+			}
+			a := funcsim.New(prog, memA)
+			b := funcsim.New(decoded, memB)
+			for i := 0; i < 5000; i++ {
+				ma, oka := a.Next()
+				mb, okb := b.Next()
+				if oka != okb {
+					t.Fatalf("µop %d: stream divergence", i)
+				}
+				if !oka {
+					break
+				}
+				if ma != mb {
+					t.Fatalf("µop %d differs:\n  orig    %+v\n  decoded %+v", i, ma, mb)
+				}
+			}
+		})
+	}
+}

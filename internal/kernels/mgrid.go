@@ -1,0 +1,61 @@
+package kernels
+
+import "wsrs/internal/funcsim"
+
+// mgrid proxy: multigrid V-cycle relaxation. A 7-point stencil over a
+// 256 KB grid (L2-resident, regularly L1-missing) with two invariant
+// smoothing coefficients; neighbours are reached with displacement
+// addressing (±8 east/west, ±256 rows, ±8192 planes). Long fadd
+// reduction trees per point give the moderate FP IPC of the original.
+const (
+	mgridGrid = 0x100_0000 // 32 Ki doubles = 256 KB
+	mgridOut  = 0x140_0000
+	mgridLen  = 32 * 1024
+)
+
+func init() {
+	register(Kernel{
+		Name:        "mgrid",
+		Class:       FP,
+		Description: "7-point multigrid relaxation stencil (SPECfp mgrid proxy)",
+		Init: func(m *funcsim.Memory) {
+			fillFloats(m, mgridGrid, mgridLen, 808)
+			m.WriteFloat64(0x9000, 0.5)
+			m.WriteFloat64(0x9008, 0.0833333333)
+		},
+		Source: `
+	; %l0 grid pointer (starts one plane in)  %l1 out pointer
+	; %g5 scan end (one plane short)
+	li   %g7, 0x9000
+	fld  %f28, [%g7+0]
+	fld  %f29, [%g7+8]
+	li   %g5, 0x103dff8
+	li   %l0, 0x1002000
+	li   %l1, 0x1402000
+outer:
+	fld  %f0, [%l0+0]      ; centre
+	fld  %f1, [%l0+8]      ; east
+	fld  %f2, [%l0-8]      ; west
+	fld  %f3, [%l0+256]    ; north
+	fld  %f4, [%l0-256]    ; south
+	fld  %f5, [%l0+8192]   ; up
+	fld  %f6, [%l0-8192]   ; down
+	; reduction tree
+	fadd %f8, %f1, %f2
+	fadd %f9, %f3, %f4
+	fadd %f10, %f5, %f6
+	fadd %f11, %f8, %f9
+	fadd %f12, %f11, %f10
+	fmul %f13, %f12, %f29  ; invariant weight
+	fmul %f14, %f0, %f28   ; invariant centre weight
+	fadd %f15, %f13, %f14
+	fst  %f15, [%l1+0]
+	add  %l0, %l0, 8
+	add  %l1, %l1, 8
+	blt  %l0, %g5, outer
+	li   %l0, 0x1002000
+	li   %l1, 0x1402000
+	ba   outer
+`,
+	})
+}

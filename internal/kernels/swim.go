@@ -1,0 +1,60 @@
+package kernels
+
+import "wsrs/internal/funcsim"
+
+// swim proxy: shallow-water finite-difference stencil. Three 1 MB
+// arrays streamed with displacement-addressed neighbour accesses and
+// an invariant coefficient; the 3 MB combined working set defeats the
+// 512 KB L2, so performance is bandwidth-bound like the original.
+const (
+	swimU   = 0x100_0000 // 128 Ki doubles = 1 MB
+	swimV   = 0x140_0000
+	swimP   = 0x180_0000
+	swimLen = 128 * 1024
+)
+
+func init() {
+	register(Kernel{
+		Name:        "swim",
+		Class:       FP,
+		Description: "streaming shallow-water stencil, memory-bound (SPECfp swim proxy)",
+		Init: func(m *funcsim.Memory) {
+			fillFloats(m, swimU, swimLen, 707)
+			fillFloats(m, swimV, swimLen, 708)
+			m.WriteFloat64(0x9000, 0.125) // dt/dx coefficient
+		},
+		Source: `
+	; %l0 u pointer  %l1 v pointer  %l2 p pointer  %g5 u scan end
+	li   %g6, 0x9000
+	fld  %f29, [%g6+0]   ; invariant coefficient
+	li   %g5, 0x10fe000  ; stop one row short of the array end
+	li   %l0, 0x1000000
+	li   %l1, 0x1400000
+	li   %l2, 0x1800000
+outer:
+	fld  %f0, [%l0+0]    ; u[i,j]
+	fld  %f1, [%l0+8]    ; u[i,j+1]   (east)
+	fld  %f2, [%l0+4096] ; u[i+1,j]   (south, 512-double rows)
+	fld  %f3, [%l1+0]    ; v[i,j]
+	fadd %f4, %f0, %f1
+	fadd %f5, %f4, %f2
+	fmul %f6, %f5, %f29  ; invariant operand
+	fsub %f7, %f6, %f3
+	fst  %f7, [%l2+0]    ; p[i,j]
+	; second half-step on v
+	fld  %f8, [%l1+8]
+	fsub %f9, %f8, %f3
+	fmul %f10, %f9, %f29
+	fadd %f11, %f10, %f0
+	fst  %f11, [%l1+0]
+	add  %l0, %l0, 8
+	add  %l1, %l1, 8
+	add  %l2, %l2, 8
+	blt  %l0, %g5, outer
+	li   %l0, 0x1000000
+	li   %l1, 0x1400000
+	li   %l2, 0x1800000
+	ba   outer
+`,
+	})
+}

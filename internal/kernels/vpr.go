@@ -1,0 +1,79 @@
+package kernels
+
+import "wsrs/internal/funcsim"
+
+// vpr proxy: simulated-annealing placement. An xorshift generator
+// picks two random grid cells, a |a-b| placement cost is computed and
+// the swap is accepted on a ~50 % data-dependent branch — the
+// poorly-predictable accept/reject decision that dominates the real
+// placer. Accepted swaps execute two indexed stores (cracked µop
+// pairs). The 128 KB grid is L2-resident.
+const vprGrid = 0x10_0000 // 16 Ki words = 128 KB
+
+func init() {
+	register(Kernel{
+		Name:        "vpr",
+		Class:       Int,
+		Description: "annealing placement with random swaps (SPECint vpr proxy)",
+		Init: func(m *funcsim.Memory) {
+			fillWords(m, vprGrid, 16*1024, 202)
+		},
+		Source: `
+	; %g1 grid base  %g2 grid byte mask  %g4 accept threshold
+	li   %g1, 0x100000
+	li   %g2, 0x1fff8
+	li   %g4, 127
+	li   %l6, 0x9e3779b97f4a7c15  ; rng state
+	li   %l2, 0                   ; accumulated cost
+	li   %l4, 0                   ; accepted swaps
+	li   %l5, 0                   ; move counter
+	li   %g5, 1024
+	li   %g6, 0x101000            ; recompute scan end (4 KB slice)
+outer:
+	; xorshift64
+	sll  %o0, %l6, 13
+	xor  %l6, %l6, %o0
+	srl  %o0, %l6, 7
+	xor  %l6, %l6, %o0
+	sll  %o0, %l6, 17
+	xor  %l6, %l6, %o0
+	; two random cell offsets
+	and  %o1, %l6, %g2
+	srl  %o2, %l6, 24
+	and  %o2, %o2, %g2
+	ldi  %o3, [%g1+%o1]
+	ldi  %o4, [%g1+%o2]
+	; delta = |a - b|
+	sub  %o5, %o3, %o4
+	sra  %l0, %o5, 63
+	xor  %o5, %o5, %l0
+	sub  %o5, %o5, %l0
+	; accept ~50% of the time on rng low bits
+	and  %l1, %l6, 255
+	bgt  %l1, %g4, reject
+	sti  %o3, [%g1+%o2]   ; swap: two indexed stores (cracked)
+	sti  %o4, [%g1+%o1]
+	add  %l4, %l4, 1
+reject:
+	add  %l2, %l2, %o5
+	add  %l5, %l5, 1
+	blt  %l5, %g5, outer
+	; periodic full-cost recompute (the annealer's bookkeeping pass)
+	li   %l5, 0
+	li   %i0, 0x100000
+	li   %i1, 0
+recost:
+	ld   %i2, [%i0+0]
+	ld   %i3, [%i0+8]
+	sub  %i4, %i2, %i3
+	sra  %i5, %i4, 63
+	xor  %i4, %i4, %i5
+	sub  %i4, %i4, %i5
+	add  %i1, %i1, %i4
+	add  %i0, %i0, 16
+	blt  %i0, %g6, recost
+	mov  %l2, %i1
+	ba   outer
+`,
+	})
+}

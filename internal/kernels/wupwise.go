@@ -1,0 +1,62 @@
+package kernels
+
+import "wsrs/internal/funcsim"
+
+// wupwise proxy: complex BLAS-like matrix-vector kernel (quantum
+// chromodynamics SU(3) multiplies). Four independent multiply-
+// accumulate streams with loop-invariant coefficients held in
+// registers — the classic optimized-FP-code pattern the paper calls
+// out in §3.3: "the compiler tends to maintain invariant operands in
+// the registers", which is precisely what unbalances WSRS cluster
+// allocation on this benchmark (~100 % unbalancing degree in
+// Figure 5). The 16 KB working set is L1-resident; IPC is the highest
+// of the FP suite.
+const wupwiseData = 0x10_0000 // 2 Ki doubles = 16 KB
+
+func init() {
+	register(Kernel{
+		Name:        "wupwise",
+		Class:       FP,
+		Description: "complex MACs with register-held invariants (SPECfp wupwise proxy)",
+		Init: func(m *funcsim.Memory) {
+			fillFloats(m, wupwiseData, 2048, 606)
+			m.WriteFloat64(0x9000, 0.7310585786)  // coefficient c1
+			m.WriteFloat64(0x9008, -0.2689414213) // coefficient c2
+		},
+		Source: `
+	; stream pointers %l0/%l1; invariant alpha in %f30/%f31
+	li   %g3, 0x9000
+	fld  %f30, [%g3+0]
+	fld  %f31, [%g3+8]
+	li   %g5, 0x101fe0   ; stream 0 end
+	li   %l0, 0x100000
+	li   %l1, 0x102000
+outer:
+	; complex a = (f0,f1), b = (f2,f3): all loaded operands
+	fld  %f0, [%l0+0]
+	fld  %f1, [%l0+8]
+	fld  %f2, [%l1+0]
+	fld  %f3, [%l1+8]
+	; complex multiply a*b (loaded x loaded)
+	fmul %f8, %f0, %f2
+	fmul %f9, %f1, %f3
+	fsub %f10, %f8, %f9    ; real part
+	fmul %f11, %f0, %f3
+	fmul %f12, %f1, %f2
+	fadd %f13, %f11, %f12  ; imaginary part
+	; zaxpy tail: alpha held in registers (the invariant operands
+	; of paper 3.3 that unbalance WSRS allocation)
+	fmul %f14, %f10, %f30
+	fmul %f15, %f13, %f31
+	fadd %f16, %f16, %f14
+	fadd %f17, %f17, %f15
+	; advance the streams
+	add  %l0, %l0, 16
+	add  %l1, %l1, 16
+	blt  %l0, %g5, outer
+	li   %l0, 0x100000
+	li   %l1, 0x102000
+	ba   outer
+`,
+	})
+}

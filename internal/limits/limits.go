@@ -1,0 +1,110 @@
+// Package limits computes dataflow limit studies over dynamic
+// micro-op traces: the IPC an idealized machine (infinite window,
+// infinite functional units, perfect prediction, perfect caches)
+// could reach given only true dependences. The limit contextualizes
+// the simulated IPCs of Figure 4 — how much of each benchmark's
+// dataflow parallelism the 8-way clustered machines harvest — and
+// quantifies the serial-chain character that makes some proxies
+// locality-sensitive under WSRS.
+package limits
+
+import (
+	"wsrs/internal/isa"
+	"wsrs/internal/trace"
+)
+
+// Report summarizes one trace's dataflow structure.
+type Report struct {
+	Uops uint64
+
+	// CriticalPath is the longest register-dependence chain through
+	// the trace, in cycles (using the machine's latencies).
+	CriticalPath int64
+	// DataflowIPC is Uops / CriticalPath: the register-dataflow limit.
+	DataflowIPC float64
+
+	// MemCriticalPath additionally orders loads after the latest
+	// earlier store to the same word (true memory dependences).
+	MemCriticalPath int64
+	// MemDataflowIPC is the limit with memory dependences honoured.
+	MemDataflowIPC float64
+
+	// MaxChain is the longest chain measured in micro-ops rather than
+	// cycles (latency-independent dependence height).
+	MaxChain int64
+}
+
+// Analyze computes the dataflow limits of a trace under the given
+// latencies. Stores are given their latency but create no register
+// results; loads depend on the last store to the same address in the
+// memory-aware variant.
+func Analyze(ops []trace.MicroOp, lat isa.Latencies) Report {
+	var rep Report
+	rep.Uops = uint64(len(ops))
+	if len(ops) == 0 {
+		return rep
+	}
+
+	type writer struct {
+		done  int64 // register dataflow completion
+		mdone int64 // memory-aware completion
+		chain int64 // chain length in µops
+	}
+	intW := make([]writer, 256)
+	fpW := make([]writer, 64)
+	get := func(r isa.LogicalReg) *writer {
+		if r.Class == isa.RegInt {
+			return &intW[r.Index]
+		}
+		return &fpW[r.Index]
+	}
+	lastStore := map[uint64]writer{}
+
+	for i := range ops {
+		m := &ops[i]
+		l := int64(lat.Of(m.Class))
+		var start, mstart, chain int64
+		for j := 0; j < m.NSrc; j++ {
+			w := get(m.Src[j])
+			if w.done > start {
+				start = w.done
+			}
+			if w.mdone > mstart {
+				mstart = w.mdone
+			}
+			if w.chain > chain {
+				chain = w.chain
+			}
+		}
+		if m.Class == isa.ClassLoad {
+			if st, ok := lastStore[m.Addr]; ok {
+				if st.mdone > mstart {
+					mstart = st.mdone
+				}
+				if st.chain > chain {
+					chain = st.chain
+				}
+			}
+		}
+		done, mdone := start+l, mstart+l
+		chain++
+		if m.Class == isa.ClassStore {
+			lastStore[m.Addr] = writer{done: done, mdone: mdone, chain: chain}
+		}
+		if m.HasDst {
+			*get(m.Dst) = writer{done: done, mdone: mdone, chain: chain}
+		}
+		if done > rep.CriticalPath {
+			rep.CriticalPath = done
+		}
+		if mdone > rep.MemCriticalPath {
+			rep.MemCriticalPath = mdone
+		}
+		if chain > rep.MaxChain {
+			rep.MaxChain = chain
+		}
+	}
+	rep.DataflowIPC = float64(rep.Uops) / float64(rep.CriticalPath)
+	rep.MemDataflowIPC = float64(rep.Uops) / float64(rep.MemCriticalPath)
+	return rep
+}

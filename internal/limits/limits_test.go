@@ -1,0 +1,106 @@
+package limits
+
+import (
+	"testing"
+
+	"wsrs/internal/isa"
+	"wsrs/internal/trace"
+)
+
+func alu(seq uint64, dst int, srcs ...int) trace.MicroOp {
+	m := trace.MicroOp{
+		Seq: seq, InstSeq: seq,
+		Op: isa.OpADD, Class: isa.ClassALU,
+		Dst: isa.LogicalReg{Class: isa.RegInt, Index: uint8(dst)}, HasDst: true,
+		LastOfInst: true,
+	}
+	for i, s := range srcs {
+		if i < 2 {
+			m.Src[i] = isa.LogicalReg{Class: isa.RegInt, Index: uint8(s)}
+			m.NSrc = i + 1
+		}
+	}
+	return m
+}
+
+func TestChainLimit(t *testing.T) {
+	// r1 = r1 + 1, N times: critical path = N cycles, IPC = 1.
+	var ops []trace.MicroOp
+	for i := 0; i < 100; i++ {
+		ops = append(ops, alu(uint64(i), 1, 1))
+	}
+	rep := Analyze(ops, isa.DefaultLatencies())
+	if rep.CriticalPath != 100 {
+		t.Errorf("chain critical path = %d, want 100", rep.CriticalPath)
+	}
+	if rep.DataflowIPC != 1 {
+		t.Errorf("chain dataflow IPC = %v, want 1", rep.DataflowIPC)
+	}
+	if rep.MaxChain != 100 {
+		t.Errorf("max chain = %d, want 100", rep.MaxChain)
+	}
+}
+
+func TestIndependentLimit(t *testing.T) {
+	// 100 independent ops: critical path 1, IPC 100.
+	var ops []trace.MicroOp
+	for i := 0; i < 100; i++ {
+		ops = append(ops, alu(uint64(i), 1+i%100))
+	}
+	rep := Analyze(ops, isa.DefaultLatencies())
+	if rep.CriticalPath != 1 {
+		t.Errorf("critical path = %d", rep.CriticalPath)
+	}
+	if rep.DataflowIPC != 100 {
+		t.Errorf("IPC = %v", rep.DataflowIPC)
+	}
+}
+
+func TestLatencyWeighting(t *testing.T) {
+	// A divide chain weighs 15 cycles per link.
+	var ops []trace.MicroOp
+	for i := 0; i < 10; i++ {
+		m := alu(uint64(i), 1, 1)
+		m.Op, m.Class = isa.OpDIV, isa.ClassDiv
+		ops = append(ops, m)
+	}
+	rep := Analyze(ops, isa.DefaultLatencies())
+	if rep.CriticalPath != 150 {
+		t.Errorf("divide chain = %d cycles, want 150", rep.CriticalPath)
+	}
+}
+
+func TestMemoryDependence(t *testing.T) {
+	// store [A] <- r1; load r2 <- [A]; use r2: the load must wait for
+	// the store in the memory-aware limit, not in the register limit.
+	st := trace.MicroOp{
+		Seq: 0, Op: isa.OpST, Class: isa.ClassStore,
+		NSrc: 1, Src: [2]isa.LogicalReg{{Class: isa.RegInt, Index: 1}},
+		Addr: 0x100, LastOfInst: true,
+	}
+	ld := trace.MicroOp{
+		Seq: 1, Op: isa.OpLD, Class: isa.ClassLoad,
+		Dst: isa.LogicalReg{Class: isa.RegInt, Index: 2}, HasDst: true,
+		Addr: 0x100, LastOfInst: true,
+	}
+	use := alu(2, 3, 2)
+	rep := Analyze([]trace.MicroOp{st, ld, use}, isa.DefaultLatencies())
+	// Register-only: load independent (path: load 2 + use 1 = 3).
+	if rep.CriticalPath != 3 {
+		t.Errorf("register critical path = %d, want 3", rep.CriticalPath)
+	}
+	// Memory-aware: store 1 + load 2 + use 1 = 4.
+	if rep.MemCriticalPath != 4 {
+		t.Errorf("memory critical path = %d, want 4", rep.MemCriticalPath)
+	}
+	if rep.MemDataflowIPC >= rep.DataflowIPC {
+		t.Error("memory dependences can only lower the limit")
+	}
+}
+
+func TestEmptyTrace(t *testing.T) {
+	rep := Analyze(nil, isa.DefaultLatencies())
+	if rep.Uops != 0 || rep.CriticalPath != 0 {
+		t.Errorf("empty: %+v", rep)
+	}
+}

@@ -1,0 +1,285 @@
+// Package mem models the data-memory hierarchy of the simulated
+// processor: a two-level writeback cache hierarchy with the geometry,
+// latencies and bandwidths of Table 3 in the paper:
+//
+//	L1 D-cache  32 KB, 2-cycle latency, 12-cycle miss penalty, 4 words/cycle
+//	L2 cache   512 KB, 12-cycle latency, 80-cycle miss penalty, 16 B/cycle
+//
+// The model is timing-only: data values live in the functional
+// simulator; the hierarchy answers "when is this access done"
+// and tracks occupancy of the L2 bus (16 bytes/cycle means a 64-byte
+// refill holds the bus for 4 cycles).
+package mem
+
+// Config describes the hierarchy. The zero value is not useful; use
+// DefaultConfig (paper Table 3).
+type Config struct {
+	LineSize int // bytes per cache line
+
+	L1Size        int // bytes
+	L1Assoc       int
+	L1HitLatency  int // cycles (paper: 2)
+	L1MissPenalty int // additional cycles to reach L2 (paper: 12)
+
+	L2Size        int // bytes
+	L2Assoc       int
+	L2MissPenalty int // additional cycles to reach memory (paper: 80)
+
+	// L2BytesPerCycle is the L2 bus bandwidth; refills and writebacks
+	// occupy the bus for LineSize/L2BytesPerCycle cycles.
+	L2BytesPerCycle int
+}
+
+// DefaultConfig returns the hierarchy of paper Table 3.
+func DefaultConfig() Config {
+	return Config{
+		LineSize:        64,
+		L1Size:          32 * 1024,
+		L1Assoc:         4,
+		L1HitLatency:    2,
+		L1MissPenalty:   12,
+		L2Size:          512 * 1024,
+		L2Assoc:         8,
+		L2MissPenalty:   80,
+		L2BytesPerCycle: 16,
+	}
+}
+
+// Stats counts accesses per level.
+type Stats struct {
+	Loads, Stores    uint64
+	L1Hits, L1Misses uint64
+	L2Hits, L2Misses uint64
+	Writebacks       uint64
+	BusBusyCycles    uint64
+}
+
+// line is one cache line's tag state. fillAt records when the line's
+// refill completes: accesses that hit a line still in flight cannot
+// return data before the refill does (MSHR-style merging).
+type line struct {
+	tag    uint64
+	valid  bool
+	dirty  bool
+	lru    uint64 // larger = more recently used
+	fillAt int64
+}
+
+// cache is a set-associative tag array with true-LRU replacement.
+type cache struct {
+	sets      [][]line
+	setMask   uint64
+	lineShift uint
+	tick      uint64
+}
+
+func newCache(size, lineSize, assoc int) *cache {
+	nSets := size / (lineSize * assoc)
+	if nSets < 1 {
+		nSets = 1
+	}
+	// Round down to a power of two for mask indexing.
+	for nSets&(nSets-1) != 0 {
+		nSets &= nSets - 1
+	}
+	sets := make([][]line, nSets)
+	backing := make([]line, nSets*assoc)
+	for i := range sets {
+		sets[i] = backing[i*assoc : (i+1)*assoc]
+	}
+	shift := uint(0)
+	for 1<<shift < lineSize {
+		shift++
+	}
+	return &cache{sets: sets, setMask: uint64(nSets - 1), lineShift: shift}
+}
+
+func (c *cache) index(addr uint64) (set uint64, tag uint64) {
+	blk := addr >> c.lineShift
+	return blk & c.setMask, blk >> 0
+}
+
+// lookup probes the cache; on hit it refreshes LRU, applies dirty,
+// and returns the cycle the line's data is available (0 for settled
+// lines, the refill completion for in-flight ones).
+func (c *cache) lookup(addr uint64, markDirty bool) (hit bool, fillAt int64) {
+	set, tag := c.index(addr)
+	c.tick++
+	for i := range c.sets[set] {
+		l := &c.sets[set][i]
+		if l.valid && l.tag == tag {
+			l.lru = c.tick
+			if markDirty {
+				l.dirty = true
+			}
+			return true, l.fillAt
+		}
+	}
+	return false, 0
+}
+
+// insert allocates a line for addr filling at fillAt, returning
+// whether a dirty victim was evicted.
+func (c *cache) insert(addr uint64, dirty bool, fillAt int64) (evictedDirty bool) {
+	set, tag := c.index(addr)
+	c.tick++
+	victim := 0
+	for i := range c.sets[set] {
+		l := &c.sets[set][i]
+		if !l.valid {
+			victim = i
+			break
+		}
+		if l.lru < c.sets[set][victim].lru {
+			victim = i
+		}
+	}
+	v := &c.sets[set][victim]
+	evictedDirty = v.valid && v.dirty
+	*v = line{tag: tag, valid: true, dirty: dirty, lru: c.tick, fillAt: fillAt}
+	return evictedDirty
+}
+
+// Hierarchy is the two-level timing model. It is not safe for
+// concurrent use; the pipeline is single-threaded per simulated core.
+type Hierarchy struct {
+	cfg Config
+	l1  *cache
+	l2  *cache
+	// l2BusFree is the first cycle at which the L2 bus is available.
+	l2BusFree int64
+	Stats     Stats
+}
+
+// New returns a hierarchy with the given configuration.
+func New(cfg Config) *Hierarchy {
+	return &Hierarchy{
+		cfg: cfg,
+		l1:  newCache(cfg.L1Size, cfg.LineSize, cfg.L1Assoc),
+		l2:  newCache(cfg.L2Size, cfg.LineSize, cfg.L2Assoc),
+	}
+}
+
+// Config returns the hierarchy configuration.
+func (h *Hierarchy) Config() Config { return h.cfg }
+
+// transferCycles is the L2 bus occupancy of one line transfer.
+func (h *Hierarchy) transferCycles() int64 {
+	if h.cfg.L2BytesPerCycle <= 0 {
+		return 0
+	}
+	t := int64(h.cfg.LineSize / h.cfg.L2BytesPerCycle)
+	if t < 1 {
+		t = 1
+	}
+	return t
+}
+
+// claimBus reserves the L2 bus starting no earlier than from; it
+// returns the cycle at which the transfer completes.
+func (h *Hierarchy) claimBus(from int64) int64 {
+	start := from
+	if h.l2BusFree > start {
+		start = h.l2BusFree
+	}
+	t := h.transferCycles()
+	h.l2BusFree = start + t
+	h.Stats.BusBusyCycles += uint64(t)
+	return start + t
+}
+
+// AccessLoad performs a load issued at cycle now and returns the cycle
+// at which the data is available to dependents. A hit on a line whose
+// refill is still in flight waits for the refill (MSHR merging).
+func (h *Hierarchy) AccessLoad(addr uint64, now int64) int64 {
+	h.Stats.Loads++
+	done := now + int64(h.cfg.L1HitLatency)
+	if hit, fill := h.l1.lookup(addr, false); hit {
+		h.Stats.L1Hits++
+		if fill > done {
+			done = fill
+		}
+		return done
+	}
+	h.Stats.L1Misses++
+	done += int64(h.cfg.L1MissPenalty)
+	if hit, fill := h.l2.lookup(addr, false); hit {
+		h.Stats.L2Hits++
+		if fill > done {
+			done = fill
+		}
+		done = h.claimBusAt(done)
+	} else {
+		h.Stats.L2Misses++
+		done += int64(h.cfg.L2MissPenalty)
+		done = h.claimBusAt(done)
+		if h.l2.insert(addr, false, done) {
+			h.Stats.Writebacks++
+			h.claimBus(done) // dirty victim writeback occupies the bus later
+		}
+	}
+	if h.l1.insert(addr, false, done) {
+		h.Stats.Writebacks++
+		h.claimBus(done)
+	}
+	return done
+}
+
+// claimBusAt folds bus occupancy into an access that would otherwise
+// complete at cycle done: the refill cannot finish before the bus has
+// carried the line.
+func (h *Hierarchy) claimBusAt(done int64) int64 {
+	t := h.transferCycles()
+	end := h.claimBus(done - t)
+	if end > done {
+		return end
+	}
+	return done
+}
+
+// AccessStore performs a store whose data is written at cycle now
+// (commit-time store release). It returns the cycle at which the line
+// is owned; stores do not stall dependents, but misses consume L2
+// bandwidth and perturb cache state.
+func (h *Hierarchy) AccessStore(addr uint64, now int64) int64 {
+	h.Stats.Stores++
+	done := now + int64(h.cfg.L1HitLatency)
+	if hit, fill := h.l1.lookup(addr, true); hit {
+		h.Stats.L1Hits++
+		if fill > done {
+			done = fill
+		}
+		return done
+	}
+	h.Stats.L1Misses++
+	done += int64(h.cfg.L1MissPenalty)
+	if hit, fill := h.l2.lookup(addr, false); hit {
+		h.Stats.L2Hits++
+		if fill > done {
+			done = fill
+		}
+		done = h.claimBusAt(done)
+	} else {
+		h.Stats.L2Misses++
+		done += int64(h.cfg.L2MissPenalty)
+		done = h.claimBusAt(done)
+		if h.l2.insert(addr, false, done) {
+			h.Stats.Writebacks++
+			h.claimBus(done)
+		}
+	}
+	if h.l1.insert(addr, true, done) {
+		h.Stats.Writebacks++
+		h.claimBus(done)
+	}
+	return done
+}
+
+// L1HitRate returns the fraction of accesses that hit in the L1.
+func (s Stats) L1HitRate() float64 {
+	total := s.L1Hits + s.L1Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.L1Hits) / float64(total)
+}

@@ -1,0 +1,202 @@
+package mem
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestDefaultConfigMatchesPaperTable3(t *testing.T) {
+	c := DefaultConfig()
+	if c.L1Size != 32*1024 || c.L1HitLatency != 2 || c.L1MissPenalty != 12 {
+		t.Errorf("L1 config %+v does not match Table 3", c)
+	}
+	if c.L2Size != 512*1024 || c.L2MissPenalty != 80 || c.L2BytesPerCycle != 16 {
+		t.Errorf("L2 config %+v does not match Table 3", c)
+	}
+}
+
+func TestL1HitLatency(t *testing.T) {
+	h := New(DefaultConfig())
+	// First access misses everywhere.
+	first := h.AccessLoad(0x1000, 100)
+	if first < 100+2+12+80 {
+		t.Errorf("cold miss done at +%d, want >= 94", first-100)
+	}
+	// Second access to the same line is an L1 hit.
+	second := h.AccessLoad(0x1008, 1000)
+	if second != 1002 {
+		t.Errorf("L1 hit done at %d, want 1002", second)
+	}
+	if h.Stats.L1Hits != 1 || h.Stats.L1Misses != 1 {
+		t.Errorf("stats: %+v", h.Stats)
+	}
+}
+
+func TestL2HitLatency(t *testing.T) {
+	cfg := DefaultConfig()
+	h := New(cfg)
+	h.AccessLoad(0x1000, 0) // install in both levels
+	// Evict from L1 by filling its set: L1 is 32KB 4-way with 64B
+	// lines -> 128 sets; same set repeats every 128*64 = 8192 bytes.
+	for i := 1; i <= 4; i++ {
+		h.AccessLoad(0x1000+uint64(i)*8192, 0)
+	}
+	h.Stats = Stats{}
+	done := h.AccessLoad(0x1000, 10000)
+	if h.Stats.L2Hits != 1 {
+		t.Fatalf("expected an L2 hit, stats %+v", h.Stats)
+	}
+	// 2 (L1) + 12 (to L2) plus possible bus occupancy.
+	min := int64(10000 + 2 + 12)
+	if done < min || done > min+8 {
+		t.Errorf("L2 hit done at +%d, want about +14", done-10000)
+	}
+}
+
+func TestL2MissLatency(t *testing.T) {
+	h := New(DefaultConfig())
+	done := h.AccessLoad(0x40_0000, 0)
+	if h.Stats.L2Misses != 1 {
+		t.Fatalf("expected L2 miss, stats %+v", h.Stats)
+	}
+	min := int64(2 + 12 + 80)
+	if done < min || done > min+8 {
+		t.Errorf("memory access done at +%d, want about +94", done)
+	}
+}
+
+func TestBusBandwidthSerializesRefills(t *testing.T) {
+	h := New(DefaultConfig())
+	// Issue many refills at the same cycle; the 16 B/cycle bus must
+	// serialize the 64-byte transfers (4 cycles apiece).
+	var last int64
+	for i := 0; i < 16; i++ {
+		done := h.AccessLoad(uint64(0x100_0000+i*64), 0)
+		if done < last {
+			t.Errorf("refill %d completes at %d, before previous %d", i, done, last)
+		}
+		last = done
+	}
+	// 16 transfers x 4 cycles = 64 bus cycles minimum beyond the
+	// first completion (whose transfer is folded into the miss tail).
+	first := int64(2 + 12 + 80)
+	if last < first+15*4 {
+		t.Errorf("last refill at %d; bus must add >= %d", last, first+15*4)
+	}
+}
+
+func TestStoreMarksDirtyAndWritesBack(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.L1Size = 4 * 64 // 1 set, 4 ways
+	cfg.L1Assoc = 4
+	cfg.L2Size = 16 * 64
+	cfg.L2Assoc = 4
+	h := New(cfg)
+	h.AccessStore(0, 0) // dirty line in L1
+	// Evict it with 4 more lines mapping to the same (only) set.
+	for i := 1; i <= 4; i++ {
+		h.AccessLoad(uint64(i)*64, 0)
+	}
+	if h.Stats.Writebacks == 0 {
+		t.Error("evicting a dirty line must cause a writeback")
+	}
+}
+
+func TestStoreHitFast(t *testing.T) {
+	h := New(DefaultConfig())
+	h.AccessLoad(0x2000, 0)
+	h.Stats = Stats{}
+	done := h.AccessStore(0x2000, 500)
+	if done != 502 {
+		t.Errorf("store hit done at %d, want 502", done)
+	}
+	if h.Stats.L1Hits != 1 {
+		t.Errorf("stats %+v", h.Stats)
+	}
+}
+
+func TestWorkingSetFitsL1(t *testing.T) {
+	h := New(DefaultConfig())
+	rng := rand.New(rand.NewSource(1))
+	// 16 KB working set in a 32 KB L1: after warmup, ~all hits.
+	warm := func(n int) {
+		for i := 0; i < n; i++ {
+			h.AccessLoad(uint64(rng.Intn(16*1024))&^7, 0)
+		}
+	}
+	warm(20000)
+	h.Stats = Stats{}
+	warm(20000)
+	if r := h.Stats.L1HitRate(); r < 0.99 {
+		t.Errorf("L1 hit rate = %.3f for L1-resident set, want ~1", r)
+	}
+}
+
+func TestWorkingSetThrashesL1FitsL2(t *testing.T) {
+	h := New(DefaultConfig())
+	rng := rand.New(rand.NewSource(2))
+	// 256 KB working set: misses L1 often, fits 512 KB L2.
+	warm := func(n int) {
+		for i := 0; i < n; i++ {
+			h.AccessLoad(uint64(rng.Intn(256*1024))&^7, 0)
+		}
+	}
+	warm(60000)
+	h.Stats = Stats{}
+	warm(60000)
+	if r := h.Stats.L1HitRate(); r > 0.95 {
+		t.Errorf("L1 hit rate = %.3f, expected thrashing below 0.95", r)
+	}
+	l2rate := float64(h.Stats.L2Hits) / float64(h.Stats.L2Hits+h.Stats.L2Misses)
+	if l2rate < 0.95 {
+		t.Errorf("L2 hit rate = %.3f for L2-resident set, want ~1", l2rate)
+	}
+}
+
+func TestLRUReplacement(t *testing.T) {
+	c := newCache(4*64, 64, 4) // one set, 4 ways
+	for i := 0; i < 4; i++ {
+		c.insert(uint64(i)*64, false, 0)
+	}
+	// Touch line 0 so line 1 becomes LRU.
+	if hit, _ := c.lookup(0, false); !hit {
+		t.Fatal("line 0 must be resident")
+	}
+	c.insert(4*64, false, 0) // evicts line 1
+	if hit, _ := c.lookup(0, false); !hit {
+		t.Error("recently used line 0 must survive")
+	}
+	if hit, _ := c.lookup(64, false); hit {
+		t.Error("LRU line 1 must have been evicted")
+	}
+}
+
+func TestNonPowerOfTwoSizeRoundsDown(t *testing.T) {
+	// 3 sets rounds down to 2; must not panic and must still work.
+	c := newCache(3*2*64, 64, 2)
+	c.insert(0, false, 0)
+	if hit, _ := c.lookup(0, false); !hit {
+		t.Error("lookup after insert failed")
+	}
+}
+
+func TestInFlightLineMergesWithRefill(t *testing.T) {
+	// Two accesses to the same cold line back to back: the second
+	// "hits" the in-flight line but cannot complete before the
+	// refill (MSHR merging) — this is what serializes dependent
+	// pointer chases through cache misses.
+	h := New(DefaultConfig())
+	first := h.AccessLoad(0x5000, 100)
+	second := h.AccessLoad(0x5008, 101)
+	if second < first {
+		t.Errorf("merged access done at %d, before refill at %d", second, first)
+	}
+	if h.Stats.L1Hits != 1 {
+		t.Errorf("second access should hit the in-flight line: %+v", h.Stats)
+	}
+	// Long after the refill, hits are fast again.
+	late := h.AccessLoad(0x5010, 10_000)
+	if late != 10_002 {
+		t.Errorf("settled hit done at %d, want 10002", late)
+	}
+}

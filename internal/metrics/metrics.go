@@ -1,0 +1,104 @@
+// Package metrics collects the evaluation-section statistics of the
+// paper: IPC and the workload unbalancing degree of §5.4.2 ("we split
+// the applications in groups of 128 instructions and measure the ratio
+// of these groups that are unbalanced. We arbitrarily define a group
+// as unbalanced whenever one of the four clusters gets less than 24
+// instructions or more than 40 instructions.").
+package metrics
+
+// UnbalancingConfig parameterizes the §5.4.2 metric.
+type UnbalancingConfig struct {
+	GroupSize int // instructions per group (paper: 128)
+	Low       int // unbalanced when any cluster gets fewer (paper: 24)
+	High      int // unbalanced when any cluster gets more (paper: 40)
+	Clusters  int
+}
+
+// DefaultUnbalancing returns the paper's parameters for 4 clusters.
+func DefaultUnbalancing() UnbalancingConfig {
+	return UnbalancingConfig{GroupSize: 128, Low: 24, High: 40, Clusters: 4}
+}
+
+// ClusterLoad tracks the per-cluster distribution of committed
+// instructions and computes the unbalancing degree.
+type ClusterLoad struct {
+	cfg     UnbalancingConfig
+	current []int
+	inGroup int
+
+	Groups          uint64
+	Unbalanced      uint64
+	TotalPerCluster []uint64
+}
+
+// NewClusterLoad returns a tracker.
+func NewClusterLoad(cfg UnbalancingConfig) *ClusterLoad {
+	return &ClusterLoad{
+		cfg:             cfg,
+		current:         make([]int, cfg.Clusters),
+		TotalPerCluster: make([]uint64, cfg.Clusters),
+	}
+}
+
+// Commit records one committed instruction executed on cluster c (for
+// cracked instructions, the cluster of the final micro-op).
+func (u *ClusterLoad) Commit(c int) {
+	u.current[c]++
+	u.TotalPerCluster[c]++
+	u.inGroup++
+	if u.inGroup >= u.cfg.GroupSize {
+		u.closeGroup()
+	}
+}
+
+func (u *ClusterLoad) closeGroup() {
+	u.Groups++
+	for _, n := range u.current {
+		if n < u.cfg.Low || n > u.cfg.High {
+			u.Unbalanced++
+			break
+		}
+	}
+	for i := range u.current {
+		u.current[i] = 0
+	}
+	u.inGroup = 0
+}
+
+// Degree returns the unbalancing degree in percent: the ratio of
+// unbalanced 128-instruction groups.
+func (u *ClusterLoad) Degree() float64 {
+	if u.Groups == 0 {
+		return 0
+	}
+	return 100 * float64(u.Unbalanced) / float64(u.Groups)
+}
+
+// Reset clears all accumulated state (used at the warmup boundary).
+func (u *ClusterLoad) Reset() {
+	for i := range u.current {
+		u.current[i] = 0
+		u.TotalPerCluster[i] = 0
+	}
+	u.inGroup = 0
+	u.Groups = 0
+	u.Unbalanced = 0
+}
+
+// Spread returns max/min of the total per-cluster instruction counts,
+// a coarse whole-run balance indicator (1.0 = perfectly balanced).
+func (u *ClusterLoad) Spread() float64 {
+	min, max := ^uint64(0), uint64(0)
+	for _, n := range u.TotalPerCluster {
+		if n < min {
+			min = n
+		}
+		if n > max {
+			max = n
+		}
+	}
+	if min == 0 {
+		return 0
+	}
+	return float64(max) / float64(min)
+}

@@ -1,0 +1,101 @@
+package metrics
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestPerfectBalanceIsZero(t *testing.T) {
+	u := NewClusterLoad(DefaultUnbalancing())
+	// Round-robin: exactly 32 per cluster per 128-group.
+	for i := 0; i < 128*100; i++ {
+		u.Commit(i % 4)
+	}
+	if u.Groups != 100 {
+		t.Fatalf("groups = %d, want 100", u.Groups)
+	}
+	if u.Degree() != 0 {
+		t.Errorf("round-robin degree = %.1f, want 0 (paper: RR exhibits perfect balancing)", u.Degree())
+	}
+}
+
+func TestFullySkewedIs100(t *testing.T) {
+	u := NewClusterLoad(DefaultUnbalancing())
+	for i := 0; i < 128*10; i++ {
+		u.Commit(0)
+	}
+	if u.Degree() != 100 {
+		t.Errorf("single-cluster degree = %.1f, want 100", u.Degree())
+	}
+}
+
+func TestThresholds(t *testing.T) {
+	u := NewClusterLoad(DefaultUnbalancing())
+	// 24/40/32/32 sums to 128 and is balanced (bounds inclusive).
+	emit := func(counts [4]int) {
+		for c, n := range counts {
+			for i := 0; i < n; i++ {
+				u.Commit(c)
+			}
+		}
+	}
+	emit([4]int{24, 40, 32, 32})
+	if u.Groups != 1 || u.Unbalanced != 0 {
+		t.Errorf("24/40 group must be balanced: %d/%d", u.Unbalanced, u.Groups)
+	}
+	// 23 on one cluster -> unbalanced.
+	emit([4]int{23, 41, 32, 32})
+	if u.Unbalanced != 1 {
+		t.Errorf("23-instruction cluster must be unbalanced")
+	}
+	// 41 on one cluster -> unbalanced even if none is below 24.
+	emit([4]int{41, 29, 29, 29})
+	if u.Unbalanced != 2 {
+		t.Errorf("41-instruction cluster must be unbalanced")
+	}
+}
+
+func TestPartialGroupNotCounted(t *testing.T) {
+	u := NewClusterLoad(DefaultUnbalancing())
+	for i := 0; i < 100; i++ {
+		u.Commit(0)
+	}
+	if u.Groups != 0 {
+		t.Error("incomplete group must not be scored")
+	}
+}
+
+func TestRandomUniformMostlyBalanced(t *testing.T) {
+	u := NewClusterLoad(DefaultUnbalancing())
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 128*2000; i++ {
+		u.Commit(rng.Intn(4))
+	}
+	// Uniform random placement: per-group counts ~ Binomial(128, 1/4)
+	// (mean 32, sd ~4.9); |count-32|>8 per cluster is uncommon but
+	// not rare — the degree should land well inside (5, 60) %.
+	d := u.Degree()
+	if d < 5 || d > 60 {
+		t.Errorf("uniform random degree = %.1f%%, expected 5-60%%", d)
+	}
+}
+
+func TestResetAndSpread(t *testing.T) {
+	u := NewClusterLoad(DefaultUnbalancing())
+	for i := 0; i < 128*4; i++ {
+		u.Commit(0)
+	}
+	if u.Spread() != 0 {
+		t.Error("spread with idle clusters must be 0")
+	}
+	u.Reset()
+	if u.Groups != 0 || u.Degree() != 0 {
+		t.Error("reset must clear state")
+	}
+	for i := 0; i < 128; i++ {
+		u.Commit(i % 4)
+	}
+	if got := u.Spread(); got != 1 {
+		t.Errorf("spread = %v, want 1", got)
+	}
+}

@@ -1,0 +1,903 @@
+// Package pipeline is the cycle-level timing model of the 8-way
+// 4-cluster dynamically scheduled processor of the paper's evaluation
+// (§5.2): an ideal 8-µop/cycle front end, register renaming with or
+// without write specialization, cluster allocation with or without
+// read specialization (WSRS), per-cluster 2-issue out-of-order
+// scheduling with intra-cluster fast-forwarding and a one-cycle
+// cross-cluster forwarding delay, in-order memory address computation
+// with loads bypassing stores, a two-level cache hierarchy, and
+// in-order commit.
+//
+// Pipeline-depth differences between the configurations are folded
+// into the minimum branch-misprediction penalty, exactly as §5.2.1
+// does (17 cycles for the conventional machine, 16 with write
+// specialization alone, 16/18 for WSRS depending on the renaming
+// implementation).
+package pipeline
+
+import (
+	"fmt"
+	"math"
+
+	"wsrs/internal/alloc"
+	"wsrs/internal/bpred"
+	"wsrs/internal/cluster"
+	"wsrs/internal/isa"
+	"wsrs/internal/mem"
+	"wsrs/internal/metrics"
+	"wsrs/internal/rename"
+	"wsrs/internal/trace"
+)
+
+// notReady marks a physical register whose producer has not issued.
+const notReady = math.MaxInt64 / 4
+
+// Config describes one simulated machine configuration.
+type Config struct {
+	Name string
+
+	FetchWidth  int // µops renamed per cycle (paper: 8)
+	CommitWidth int // µops committed per cycle (paper: 8)
+	NumClusters int // paper: 4
+	ROBSize     int // total in-flight µops (paper: 224 = 4 x 56)
+
+	// Threads is the number of SMT hardware contexts (default 1).
+	// Contexts share the fetch/rename bandwidth (fine-grained,
+	// round-robin per slot), the window, the caches, the predictor
+	// and the physical register file; each has its own map table. The
+	// §2.3 deadlock becomes a real concern here: the combined
+	// architectural state of several contexts can exceed a register
+	// subset. Memory addresses of context t are offset into a private
+	// region (separate address spaces).
+	Threads int
+
+	Cluster cluster.Config
+	// ClusterConfigs optionally overrides Cluster per cluster,
+	// enabling the heterogeneous pools-of-functional-units
+	// organization of paper Figure 2b (e.g. a load/store pool, a
+	// simple-ALU pool, a complex pool and a branch pool, each
+	// writing its own register subset). nil replicates Cluster.
+	ClusterConfigs []cluster.Config
+	Rename         rename.Config
+
+	// WSRS enables register read specialization: the allocation
+	// policy's placements are validated against the read-port
+	// constraints and operand subsets are fed to the policy.
+	WSRS bool
+
+	// MispredictPenalty is the per-configuration minimum branch
+	// misprediction penalty (paper §5.2.1: 17 / 16 / 18 cycles),
+	// charged from branch resolution to first correct-path rename.
+	MispredictPenalty int
+	// TrapPenalty is charged for window overflow/underflow
+	// exceptions, from trap commit to first post-trap rename.
+	TrapPenalty int
+
+	// XClusterDelay is the extra forwarding latency between clusters
+	// (paper §5.2: fast-forwarding inside a cluster, one cycle
+	// cluster-to-cluster).
+	XClusterDelay int
+
+	// ForwardDelay optionally refines XClusterDelay into a full
+	// producer-cluster x consumer-cluster delay matrix, modelling the
+	// three fast-forwarding hardware options of §4.3.1 (complete
+	// fast-forwarding, fast-forwarding inside pairs of adjacent
+	// clusters, intra-cluster only). nil uses the uniform
+	// XClusterDelay for all cross-cluster forwards.
+	ForwardDelay [][]int
+
+	Lat isa.Latencies
+	Mem mem.Config
+
+	// PredictorLogSize sizes the 2Bc-gskew predictor (16 = the
+	// paper's 512 Kbit). PerfectBP replaces it with an oracle.
+	PredictorLogSize uint
+	PerfectBP        bool
+
+	// DeadlockMoves enables workaround (b) of §2.3: injecting move
+	// micro-ops when a register subset deadlocks.
+	DeadlockMoves bool
+
+	// SharedDividers models §4.1's alternative to replicating complex
+	// integer units on every cluster: one divider shared between each
+	// pair of adjacent clusters with static arbitration (even cycles:
+	// even cluster; odd cycles: odd cluster).
+	SharedDividers bool
+
+	// DeadlockAvoidAlloc enables workaround (a) of §2.3: the
+	// allocation of instructions to clusters is in charge of avoiding
+	// the deadlock — when the chosen cluster's register subset has no
+	// free register, dispatch re-steers the micro-op to another
+	// allowed cluster whose subset has one (respecting read
+	// specialization on WSRS machines).
+	DeadlockAvoidAlloc bool
+
+	Unbalancing metrics.UnbalancingConfig
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if c.FetchWidth < 1 || c.CommitWidth < 1 {
+		return fmt.Errorf("pipeline: fetch/commit width must be positive")
+	}
+	if c.NumClusters < 1 {
+		return fmt.Errorf("pipeline: NumClusters %d < 1", c.NumClusters)
+	}
+	if c.WSRS && c.NumClusters != alloc.NumClusters {
+		return fmt.Errorf("pipeline: WSRS placement rule is defined for %d clusters", alloc.NumClusters)
+	}
+	if c.ROBSize < c.FetchWidth {
+		return fmt.Errorf("pipeline: ROB smaller than fetch width")
+	}
+	if c.ClusterConfigs != nil && len(c.ClusterConfigs) != c.NumClusters {
+		return fmt.Errorf("pipeline: %d cluster configs for %d clusters",
+			len(c.ClusterConfigs), c.NumClusters)
+	}
+	if c.ForwardDelay != nil {
+		if len(c.ForwardDelay) != c.NumClusters {
+			return fmt.Errorf("pipeline: forward-delay matrix has %d rows for %d clusters",
+				len(c.ForwardDelay), c.NumClusters)
+		}
+		for i, row := range c.ForwardDelay {
+			if len(row) != c.NumClusters {
+				return fmt.Errorf("pipeline: forward-delay row %d has %d entries", i, len(row))
+			}
+			if row[i] != 0 {
+				return fmt.Errorf("pipeline: intra-cluster forwarding delay must be 0 (cluster %d)", i)
+			}
+		}
+	}
+	for _, class := range []isa.Class{isa.ClassALU, isa.ClassMul, isa.ClassDiv,
+		isa.ClassLoad, isa.ClassStore, isa.ClassFP, isa.ClassFPDiv} {
+		ok := false
+		for _, cc := range c.clusterConfigs() {
+			if cc.CanExecute(class) {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return fmt.Errorf("pipeline: no cluster can execute %v micro-ops", class)
+		}
+	}
+	return c.Rename.Validate()
+}
+
+// clusterConfigs returns the per-cluster resource configurations.
+func (c Config) clusterConfigs() []cluster.Config {
+	if c.ClusterConfigs != nil {
+		return c.ClusterConfigs
+	}
+	out := make([]cluster.Config, c.NumClusters)
+	for i := range out {
+		out[i] = c.Cluster
+	}
+	return out
+}
+
+// RunOpts bounds a simulation.
+type RunOpts struct {
+	// WarmupInsts are committed before statistics collection starts
+	// (caches, predictor and renamer state carry over).
+	WarmupInsts uint64
+	// MeasureInsts is the measured slice length; 0 runs to the end of
+	// the trace.
+	MeasureInsts uint64
+	// StallLimit aborts the run when no µop commits for this many
+	// cycles (a livelock guard; 0 uses a generous default).
+	StallLimit int64
+}
+
+// Result reports one simulation run. All counters cover the measured
+// slice only (post-warmup).
+type Result struct {
+	Name   string
+	Cycles int64
+	Insts  uint64
+	Uops   uint64
+
+	IPC    float64
+	UopIPC float64
+
+	CondBranches   uint64
+	Mispredicts    uint64
+	MispredictRate float64
+	Traps          uint64
+
+	// Dispatch stall breakdown, in dispatch-slot-cycles.
+	StallRedirect uint64 // waiting on mispredict/trap redirect
+	StallRename   uint64 // no free destination register
+	StallWindow   uint64 // ROB / cluster window / IQ full
+
+	InjectedMoves uint64
+	// Resteers counts workaround-(a) allocation re-steers.
+	Resteers      uint64
+	StoreForwards uint64
+
+	Mem mem.Stats
+
+	UnbalancingDegree float64
+	ClusterSpread     float64
+	ClusterLoads      []uint64
+
+	// PerThreadInsts breaks Insts down by SMT context.
+	PerThreadInsts []uint64
+}
+
+type regInfo struct {
+	readyAt  int64
+	producer int32 // producing cluster; -1 = architectural (no forward cost)
+}
+
+type robEntry struct {
+	m        trace.MicroOp
+	tid      int
+	cluster  int
+	swapped  bool
+	srcPhys  [2]rename.PhysReg
+	dstPhys  rename.PhysReg
+	prevPhys rename.PhysReg
+	memSeq   int64 // -1 when not a memory op
+	issued   bool
+	doneAt   int64
+	mispred  bool
+	synth    bool // injected deadlock-workaround move
+}
+
+// threadState is the per-SMT-context front-end state.
+type threadState struct {
+	src     trace.Reader
+	pending *trace.MicroOp
+	pendDec *alloc.Decision
+	srcDone bool
+
+	fetchResumeAt   int64
+	pendingRedirect int
+	pendingTrap     int
+
+	// Per-thread in-order memory address computation (§5.2); threads
+	// have private address spaces and do not order against each other.
+	nextMemSeq   int64
+	nextMemIssue int64
+
+	insts uint64
+}
+
+func (t *threadState) drained() bool { return t.srcDone && t.pending == nil }
+
+type engine struct {
+	cfg  Config
+	ccfg []cluster.Config
+	pol  alloc.Policy
+	ren  *rename.Renamer
+	bp   bpred.Predictor
+	hi   *mem.Hierarchy
+	sb   []*cluster.Scoreboard
+
+	rob      []robEntry
+	robHead  int
+	robTail  int
+	robCount int
+
+	iq       [][]int // per-cluster ROB indices, age order
+	inflight []int
+
+	intReady []regInfo
+	fpReady  []regInfo
+
+	stores []int // ROB indices of in-flight stores, age order
+
+	// sharedDivBusy is the per-cluster-pair divider occupancy when
+	// SharedDividers is enabled (§4.1).
+	sharedDivBusy []int64
+
+	th []*threadState
+
+	cycle int64
+
+	load *metrics.ClusterLoad
+	fail error
+
+	insts, uops     uint64
+	condBr, mispred uint64
+	traps           uint64
+	stallRedirect   uint64
+	stallRename     uint64
+	stallWindow     uint64
+	forwards        uint64
+	moves           uint64
+	resteers        uint64
+}
+
+// Run simulates the trace src on configuration cfg using allocation
+// policy pol and returns the measured-slice statistics.
+func Run(cfg Config, pol alloc.Policy, src trace.Reader, opts RunOpts) (Result, error) {
+	return RunSMT(cfg, pol, []trace.Reader{src}, opts)
+}
+
+// RunSMT simulates one trace per SMT context. len(srcs) must match
+// cfg.Threads (or 1 with Threads unset).
+func RunSMT(cfg Config, pol alloc.Policy, srcs []trace.Reader, opts RunOpts) (Result, error) {
+	if cfg.Threads == 0 {
+		cfg.Threads = 1
+	}
+	cfg.Rename.Threads = cfg.Threads
+	if len(srcs) != cfg.Threads {
+		return Result{}, fmt.Errorf("pipeline: %d traces for %d SMT contexts", len(srcs), cfg.Threads)
+	}
+	if err := cfg.Validate(); err != nil {
+		return Result{}, err
+	}
+	ren, err := rename.New(cfg.Rename)
+	if err != nil {
+		return Result{}, err
+	}
+	var bp bpred.Predictor
+	if cfg.PerfectBP {
+		bp = &bpred.Oracle{}
+	} else {
+		logSize := cfg.PredictorLogSize
+		if logSize == 0 {
+			logSize = 16
+		}
+		bp = bpred.NewTwoBcGskew(logSize)
+	}
+	ub := cfg.Unbalancing
+	if ub.GroupSize == 0 {
+		ub = metrics.DefaultUnbalancing()
+		ub.Clusters = cfg.NumClusters
+	}
+	e := &engine{
+		cfg:      cfg,
+		ccfg:     cfg.clusterConfigs(),
+		pol:      pol,
+		ren:      ren,
+		bp:       bp,
+		hi:       mem.New(cfg.Mem),
+		rob:      make([]robEntry, cfg.ROBSize),
+		iq:       make([][]int, cfg.NumClusters),
+		inflight: make([]int, cfg.NumClusters),
+		intReady: make([]regInfo, cfg.Rename.IntRegs),
+		fpReady:  make([]regInfo, cfg.Rename.FPRegs),
+		load:     metrics.NewClusterLoad(ub),
+	}
+	for tid, src := range srcs {
+		_ = tid
+		e.th = append(e.th, &threadState{
+			src:             src,
+			pendingRedirect: -1,
+			pendingTrap:     -1,
+		})
+	}
+	for i := range e.intReady {
+		e.intReady[i] = regInfo{producer: -1}
+	}
+	for i := range e.fpReady {
+		e.fpReady[i] = regInfo{producer: -1}
+	}
+	for _, cc := range e.ccfg {
+		e.sb = append(e.sb, cluster.NewScoreboard(cc))
+	}
+	e.sharedDivBusy = make([]int64, (cfg.NumClusters+1)/2)
+	return e.run(opts)
+}
+
+func (e *engine) run(opts RunOpts) (Result, error) {
+	stallLimit := opts.StallLimit
+	if stallLimit <= 0 {
+		stallLimit = 200_000
+	}
+	target := uint64(math.MaxUint64)
+	if opts.MeasureInsts > 0 {
+		target = opts.WarmupInsts + opts.MeasureInsts
+	}
+
+	var base Result
+	var baseCycle int64
+	baseTh := make([]uint64, len(e.th))
+	warmed := opts.WarmupInsts == 0
+
+	lastCommitCycle := int64(0)
+	for {
+		allDrained := true
+		for _, t := range e.th {
+			if !t.drained() {
+				allDrained = false
+				break
+			}
+		}
+		if allDrained && e.robCount == 0 {
+			break
+		}
+		if e.insts >= target {
+			break
+		}
+		e.cycle++
+		e.ren.BeginCycle()
+		if n := e.commit(); n > 0 {
+			lastCommitCycle = e.cycle
+		}
+		if !warmed && e.insts >= opts.WarmupInsts {
+			warmed = true
+			baseCycle = e.cycle
+			base = e.snapshot()
+			for i, t := range e.th {
+				baseTh[i] = t.insts
+			}
+			e.load.Reset()
+		}
+		e.issue()
+		e.dispatch()
+		if e.fail != nil {
+			return Result{}, e.fail
+		}
+		if e.cycle-lastCommitCycle > stallLimit {
+			h := &e.rob[e.robHead]
+			var avail [2]int64
+			for i := 0; i < h.m.NSrc; i++ {
+				avail[i] = e.availAt(h.m.Src[i].Class, h.srcPhys[i], h.cluster)
+			}
+			return Result{}, fmt.Errorf("pipeline: no commit for %d cycles at cycle %d (rob=%d)\nhead: op=%v class=%v tid=%d cluster=%d issued=%v doneAt=%d memSeq=%d nextMemIssue=%d nsrc=%d srcPhys=%v avail=%v",
+				stallLimit, e.cycle, e.robCount,
+				h.m.Op, h.m.Class, h.tid, h.cluster, h.issued, h.doneAt, h.memSeq, e.th[h.tid].nextMemIssue, h.m.NSrc, h.srcPhys, avail)
+		}
+	}
+
+	if !warmed {
+		return Result{}, fmt.Errorf("pipeline: trace ended during warmup (%d of %d instructions)",
+			e.insts, opts.WarmupInsts)
+	}
+
+	cur := e.snapshot()
+	res := Result{
+		Name:              e.cfg.Name,
+		Cycles:            e.cycle - baseCycle,
+		Insts:             cur.Insts - base.Insts,
+		Uops:              cur.Uops - base.Uops,
+		CondBranches:      cur.CondBranches - base.CondBranches,
+		Mispredicts:       cur.Mispredicts - base.Mispredicts,
+		Traps:             cur.Traps - base.Traps,
+		StallRedirect:     cur.StallRedirect - base.StallRedirect,
+		StallRename:       cur.StallRename - base.StallRename,
+		StallWindow:       cur.StallWindow - base.StallWindow,
+		InjectedMoves:     cur.InjectedMoves - base.InjectedMoves,
+		Resteers:          cur.Resteers - base.Resteers,
+		StoreForwards:     cur.StoreForwards - base.StoreForwards,
+		Mem:               memStatsDiff(e.hi.Stats, base.Mem),
+		UnbalancingDegree: e.load.Degree(),
+		ClusterSpread:     e.load.Spread(),
+		ClusterLoads:      append([]uint64(nil), e.load.TotalPerCluster...),
+	}
+	for i, t := range e.th {
+		res.PerThreadInsts = append(res.PerThreadInsts, t.insts-baseTh[i])
+	}
+	if res.Cycles > 0 {
+		res.IPC = float64(res.Insts) / float64(res.Cycles)
+		res.UopIPC = float64(res.Uops) / float64(res.Cycles)
+	}
+	if res.CondBranches > 0 {
+		res.MispredictRate = float64(res.Mispredicts) / float64(res.CondBranches)
+	}
+	return res, nil
+}
+
+// memStatsDiff subtracts two cumulative memory-stat snapshots.
+func memStatsDiff(cur, base mem.Stats) mem.Stats {
+	return mem.Stats{
+		Loads:         cur.Loads - base.Loads,
+		Stores:        cur.Stores - base.Stores,
+		L1Hits:        cur.L1Hits - base.L1Hits,
+		L1Misses:      cur.L1Misses - base.L1Misses,
+		L2Hits:        cur.L2Hits - base.L2Hits,
+		L2Misses:      cur.L2Misses - base.L2Misses,
+		Writebacks:    cur.Writebacks - base.Writebacks,
+		BusBusyCycles: cur.BusBusyCycles - base.BusBusyCycles,
+	}
+}
+
+// snapshot captures the raw counters (for warmup differencing).
+func (e *engine) snapshot() Result {
+	return Result{
+		Insts:         e.insts,
+		Uops:          e.uops,
+		CondBranches:  e.condBr,
+		Mispredicts:   e.mispred,
+		Traps:         e.traps,
+		StallRedirect: e.stallRedirect,
+		StallRename:   e.stallRename,
+		StallWindow:   e.stallWindow,
+		InjectedMoves: e.moves,
+		Resteers:      e.resteers,
+		StoreForwards: e.forwards,
+		Mem:           e.hi.Stats,
+	}
+}
+
+func (e *engine) readyInfo(c isa.RegClass, p rename.PhysReg) *regInfo {
+	if c == isa.RegInt {
+		return &e.intReady[p]
+	}
+	return &e.fpReady[p]
+}
+
+// availAt returns the cycle at which operand (class, phys) is usable
+// by a consumer on cluster c, accounting for cross-cluster forwarding
+// (the uniform XClusterDelay, or the §4.3.1 delay matrix when set).
+func (e *engine) availAt(cl isa.RegClass, p rename.PhysReg, c int) int64 {
+	ri := e.readyInfo(cl, p)
+	t := ri.readyAt
+	if ri.producer >= 0 && int(ri.producer) != c {
+		if e.cfg.ForwardDelay != nil {
+			t += int64(e.cfg.ForwardDelay[ri.producer][c])
+		} else {
+			t += int64(e.cfg.XClusterDelay)
+		}
+	}
+	return t
+}
+
+// fetchNext returns thread tid's next µop to dispatch, using a
+// one-entry lookahead buffer so a stalled µop keeps its allocation
+// decision.
+func (e *engine) fetchNext(tid int) (*trace.MicroOp, *alloc.Decision) {
+	t := e.th[tid]
+	if t.pending == nil {
+		if t.srcDone {
+			return nil, nil
+		}
+		m, ok := t.src.Next()
+		if !ok {
+			t.srcDone = true
+			return nil, nil
+		}
+		if isa.IsMem(m.Op) && tid > 0 {
+			// Private per-context address spaces.
+			m.Addr += uint64(tid) << 40
+		}
+		t.pending = &m
+		t.pendDec = nil
+	}
+	if t.pendDec == nil {
+		var subsets [2]int
+		for i := 0; i < t.pending.NSrc; i++ {
+			subsets[i] = e.ren.SubsetOfLogicalT(tid, t.pending.Src[i])
+		}
+		d := e.pol.Allocate(t.pending, subsets, e.inflight)
+		if e.cfg.WSRS && !alloc.WSRSValid(t.pending, subsets, d.Cluster, d.Swapped) {
+			panic(fmt.Sprintf("pipeline: policy %s violated read specialization: op=%v subsets=%v decision=%+v",
+				e.pol.Name(), t.pending.Op, subsets, d))
+		}
+		t.pendDec = &d
+	}
+	return t.pending, t.pendDec
+}
+
+// fetchable reports whether thread tid can deliver µops this cycle.
+func (e *engine) fetchable(tid int) bool {
+	t := e.th[tid]
+	return t.pendingRedirect < 0 && t.pendingTrap < 0 &&
+		e.cycle >= t.fetchResumeAt && !t.drained()
+}
+
+// pickThread rotates fine-grained SMT fetch across fetchable threads.
+func (e *engine) pickThread(slot int) int {
+	n := len(e.th)
+	for i := 0; i < n; i++ {
+		tid := (int(e.cycle) + slot + i) % n
+		if e.fetchable(tid) {
+			return tid
+		}
+	}
+	return -1
+}
+
+func (e *engine) dispatch() {
+	for slot := 0; slot < e.cfg.FetchWidth; slot++ {
+		tid := e.pickThread(slot)
+		if tid < 0 {
+			// All contexts stalled on redirects or drained.
+			for _, t := range e.th {
+				if !t.drained() {
+					e.stallRedirect += uint64(e.cfg.FetchWidth - slot)
+					return
+				}
+			}
+			return
+		}
+		t := e.th[tid]
+		m, dec := e.fetchNext(tid)
+		if m == nil {
+			// This context just drained; other contexts may still
+			// have µops for the remaining slots.
+			continue
+		}
+		cl := dec.Cluster
+
+		if m.Class != isa.ClassNop && !e.ccfg[cl].CanExecute(m.Class) {
+			e.fail = fmt.Errorf("pipeline: policy %s sent a %v micro-op to cluster %d, which cannot execute it",
+				e.pol.Name(), m.Class, cl)
+			return
+		}
+
+		// Structural checks.
+		if e.robCount >= e.cfg.ROBSize ||
+			e.inflight[cl] >= e.ccfg[cl].MaxInflight ||
+			(m.Class != isa.ClassNop && len(e.iq[cl]) >= e.ccfg[cl].IQSize) {
+			e.stallWindow += uint64(e.cfg.FetchWidth - slot)
+			return
+		}
+
+		// Capture source physical registers before renaming the
+		// destination (an instruction may read and write the same
+		// logical register); earlier µops of the group have already
+		// updated the map table — dependency propagation.
+		var srcs [2]rename.PhysReg
+		for i := 0; i < m.NSrc; i++ {
+			srcs[i] = e.ren.LookupT(tid, m.Src[i])
+		}
+
+		// Rename the destination into the cluster's subset (write
+		// specialization); conventional machines use subset 0.
+		subset := 0
+		if e.cfg.Rename.NumSubsets > 1 {
+			subset = cl
+		}
+		var dst, prev rename.PhysReg = rename.None, rename.None
+		if m.HasDst {
+			if !e.ren.CanRename(m.Dst.Class, subset) && e.cfg.DeadlockAvoidAlloc {
+				// Workaround (a): re-steer to an allowed cluster
+				// whose subset can still rename.
+				if alt, ok := e.resteer(tid, m, cl); ok {
+					cl = alt
+					t.pendDec.Cluster = alt
+					dec = t.pendDec
+					if e.cfg.Rename.NumSubsets > 1 {
+						subset = cl
+					}
+					e.resteers++
+				}
+			}
+			if !e.ren.CanRename(m.Dst.Class, subset) {
+				if e.cfg.DeadlockMoves && e.ren.Deadlocked(m.Dst.Class, subset) {
+					if e.injectMove(m.Dst.Class, subset) {
+						continue // the move consumed this dispatch slot
+					}
+				}
+				e.stallRename += uint64(e.cfg.FetchWidth - slot)
+				return
+			}
+			var ok bool
+			dst, prev, ok = e.ren.RenameT(tid, m.Dst, subset)
+			if !ok {
+				e.stallRename += uint64(e.cfg.FetchWidth - slot)
+				return
+			}
+		}
+
+		idx := e.robAlloc()
+		ent := &e.rob[idx]
+		*ent = robEntry{
+			m:        *m,
+			tid:      tid,
+			cluster:  cl,
+			swapped:  dec.Swapped,
+			srcPhys:  srcs,
+			dstPhys:  dst,
+			prevPhys: prev,
+			memSeq:   -1,
+			doneAt:   notReady,
+		}
+		if m.HasDst {
+			*e.readyInfo(m.Dst.Class, dst) = regInfo{readyAt: notReady, producer: int32(cl)}
+		}
+		if isa.IsMem(m.Op) {
+			ent.memSeq = t.nextMemSeq
+			t.nextMemSeq++
+			if m.Class == isa.ClassStore {
+				e.stores = append(e.stores, idx)
+			}
+		}
+		e.inflight[cl]++
+
+		if m.IsCond {
+			e.condBr++
+			if o, isOracle := e.bp.(*bpred.Oracle); isOracle {
+				o.SetNext(m.Taken)
+			}
+			pred := e.bp.Predict(m.PC)
+			e.bp.Update(m.PC, m.Taken)
+			if pred != m.Taken {
+				e.mispred++
+				ent.mispred = true
+				// Only this context stalls; others keep fetching.
+				t.pendingRedirect = idx
+			}
+		}
+		if m.Trap {
+			e.traps++
+			t.pendingTrap = idx
+		}
+
+		if m.Class == isa.ClassNop {
+			// Window-management and nop µops complete at dispatch.
+			ent.issued = true
+			ent.doneAt = e.cycle
+		} else {
+			e.iq[cl] = append(e.iq[cl], idx)
+		}
+
+		t.pending, t.pendDec = nil, nil
+	}
+}
+
+// resteer finds an alternative cluster for m whose register subset
+// can still rename, honouring read specialization on WSRS machines
+// and the cluster's executability otherwise. It prefers clusters
+// other than the original choice.
+func (e *engine) resteer(tid int, m *trace.MicroOp, orig int) (int, bool) {
+	if e.cfg.WSRS {
+		var subsets [2]int
+		for i := 0; i < m.NSrc; i++ {
+			subsets[i] = e.ren.SubsetOfLogicalT(tid, m.Src[i])
+		}
+		for _, d := range alloc.AllowedClusters(m, subsets, m.HWCommutable) {
+			if d.Cluster != orig && e.ren.CanRename(m.Dst.Class, d.Cluster) &&
+				e.ccfg[d.Cluster].CanExecute(m.Class) {
+				return d.Cluster, true
+			}
+		}
+		return 0, false
+	}
+	for c := 0; c < e.cfg.NumClusters; c++ {
+		subset := 0
+		if e.cfg.Rename.NumSubsets > 1 {
+			subset = c
+		}
+		if c != orig && e.ren.CanRename(m.Dst.Class, subset) && e.ccfg[c].CanExecute(m.Class) {
+			return c, true
+		}
+	}
+	return 0, false
+}
+
+// injectMove applies the deadlock workaround: an architectural move
+// re-mapping one logical register out of the saturated subset, charged
+// as a dispatch slot. Returns false when no donor subset exists.
+func (e *engine) injectMove(c isa.RegClass, subset int) bool {
+	_, _, ok := e.ren.InjectMove(c, subset)
+	if ok {
+		e.moves++
+	}
+	return ok
+}
+
+func (e *engine) robAlloc() int {
+	idx := e.robTail
+	e.robTail = (e.robTail + 1) % len(e.rob)
+	e.robCount++
+	return idx
+}
+
+func (e *engine) issue() {
+	for c := 0; c < e.cfg.NumClusters; c++ {
+		issued := 0
+		q := e.iq[c]
+		for qi := 0; qi < len(q) && issued < e.ccfg[c].IssueWidth; qi++ {
+			idx := q[qi]
+			ent := &e.rob[idx]
+			if !e.canIssue(ent, c) {
+				continue
+			}
+			e.doIssue(idx, ent, c)
+			issued++
+			q = append(q[:qi], q[qi+1:]...)
+			qi--
+		}
+		e.iq[c] = q
+	}
+}
+
+func (e *engine) canIssue(ent *robEntry, c int) bool {
+	for i := 0; i < ent.m.NSrc; i++ {
+		if e.availAt(ent.m.Src[i].Class, ent.srcPhys[i], c) > e.cycle {
+			return false
+		}
+	}
+	if ent.memSeq >= 0 && ent.memSeq != e.th[ent.tid].nextMemIssue {
+		// Addresses are computed in program order within a context (§5.2).
+		return false
+	}
+	if e.cfg.SharedDividers && ent.m.Class == isa.ClassDiv {
+		// §4.1: one divider per adjacent cluster pair, statically
+		// arbitrated by cycle parity.
+		if e.cycle < e.sharedDivBusy[c/2] || int(e.cycle)%2 != c%2 {
+			return false
+		}
+	}
+	return e.sb[c].CanIssue(e.cycle, ent.m.Class)
+}
+
+func (e *engine) doIssue(idx int, ent *robEntry, c int) {
+	lat := e.cfg.Lat.Of(ent.m.Class)
+	e.sb[c].Issue(e.cycle, ent.m.Class, lat)
+	if e.cfg.SharedDividers && ent.m.Class == isa.ClassDiv {
+		e.sharedDivBusy[c/2] = e.cycle + int64(lat)
+	}
+	var done int64
+	switch ent.m.Class {
+	case isa.ClassLoad:
+		if e.forwardHit(ent) {
+			e.forwards++
+			done = e.cycle + int64(lat)
+		} else {
+			done = e.hi.AccessLoad(ent.m.Addr, e.cycle)
+		}
+	default:
+		done = e.cycle + int64(lat)
+	}
+	if ent.m.HasDst {
+		done = e.sb[c].ReserveWriteback(done)
+		ri := e.readyInfo(ent.m.Dst.Class, ent.dstPhys)
+		ri.readyAt = done
+		ri.producer = int32(c)
+	}
+	ent.issued = true
+	ent.doneAt = done
+	if ent.memSeq >= 0 {
+		e.th[ent.tid].nextMemIssue++
+	}
+	if t := e.th[ent.tid]; ent.mispred && t.pendingRedirect == idx {
+		// The branch resolves at done; correct-path rename resumes
+		// after the configuration's minimum misprediction penalty.
+		t.fetchResumeAt = done + int64(e.cfg.MispredictPenalty)
+		t.pendingRedirect = -1
+	}
+}
+
+// forwardHit reports whether an older in-flight store to the same
+// 8-byte word can forward its data to the load (store-to-load
+// forwarding; all accesses are 8-byte-aligned words in this ISA).
+func (e *engine) forwardHit(ld *robEntry) bool {
+	for i := len(e.stores) - 1; i >= 0; i-- {
+		st := &e.rob[e.stores[i]]
+		if st.tid == ld.tid && st.memSeq < ld.memSeq && st.m.Addr == ld.m.Addr {
+			return true
+		}
+	}
+	return false
+}
+
+func (e *engine) commit() int {
+	n := 0
+	for n < e.cfg.CommitWidth && e.robCount > 0 {
+		idx := e.robHead
+		ent := &e.rob[idx]
+		if !ent.issued || ent.doneAt > e.cycle {
+			break
+		}
+		if ent.m.Class == isa.ClassStore {
+			e.hi.AccessStore(ent.m.Addr, e.cycle)
+			if len(e.stores) > 0 && e.stores[0] == idx {
+				e.stores = e.stores[1:]
+			}
+		}
+		if ent.prevPhys != rename.None {
+			e.ren.Free(ent.m.Dst.Class, ent.prevPhys)
+		}
+		e.inflight[ent.cluster]--
+		e.uops++
+		if ent.m.LastOfInst && !ent.synth {
+			e.insts++
+			e.th[ent.tid].insts++
+			e.load.Commit(ent.cluster)
+		}
+		if t := e.th[ent.tid]; t.pendingTrap == idx {
+			t.fetchResumeAt = e.cycle + int64(e.cfg.TrapPenalty)
+			t.pendingTrap = -1
+		}
+		e.robHead = (e.robHead + 1) % len(e.rob)
+		e.robCount--
+		n++
+	}
+	return n
+}

@@ -1,0 +1,467 @@
+package pipeline
+
+import (
+	"testing"
+
+	"wsrs/internal/alloc"
+	"wsrs/internal/asm"
+	"wsrs/internal/cluster"
+	"wsrs/internal/funcsim"
+	"wsrs/internal/isa"
+	"wsrs/internal/mem"
+	"wsrs/internal/rename"
+	"wsrs/internal/trace"
+)
+
+// conv returns the conventional 8-way 4-cluster configuration (RR 256).
+func conv() Config {
+	return Config{
+		Name:        "conv",
+		FetchWidth:  8,
+		CommitWidth: 8,
+		NumClusters: 4,
+		ROBSize:     224,
+		Cluster:     cluster.DefaultConfig(),
+		Rename: rename.Config{
+			NumSubsets: 1, IntRegs: 256, FPRegs: 256,
+			Impl: rename.ImplExactCount,
+		},
+		MispredictPenalty: 17,
+		TrapPenalty:       17,
+		XClusterDelay:     1,
+		Lat:               isa.DefaultLatencies(),
+		Mem:               mem.DefaultConfig(),
+		PerfectBP:         true,
+	}
+}
+
+// wsrs512 returns the 4-cluster WSRS configuration with 512 registers.
+func wsrs512() Config {
+	c := conv()
+	c.Name = "wsrs"
+	c.Rename = rename.Config{
+		NumSubsets: 4, IntRegs: 512, FPRegs: 512,
+		Impl: rename.ImplExactCount,
+	}
+	c.WSRS = true
+	c.MispredictPenalty = 18
+	return c
+}
+
+// aluOp builds an independent single-cycle µop writing reg d.
+func aluOp(seq uint64, d int) trace.MicroOp {
+	return trace.MicroOp{
+		Seq: seq, InstSeq: seq, PC: seq * 4,
+		Op: isa.OpLI, Class: isa.ClassALU,
+		Dst: isa.LogicalReg{Class: isa.RegInt, Index: uint8(d)}, HasDst: true,
+		LastOfInst: true,
+	}
+}
+
+// chainOp builds a µop depending on register s and writing d.
+func chainOp(seq uint64, d, s int) trace.MicroOp {
+	m := aluOp(seq, d)
+	m.Op = isa.OpADD
+	m.Src[0] = isa.LogicalReg{Class: isa.RegInt, Index: uint8(s)}
+	m.NSrc = 1
+	m.Commutative, m.HWCommutable = true, true
+	return m
+}
+
+func mustRun(t *testing.T, cfg Config, pol alloc.Policy, ops []trace.MicroOp) Result {
+	t.Helper()
+	res, err := Run(cfg, pol, trace.NewSliceReader(ops), RunOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestIndependentOpsReachHighIPC(t *testing.T) {
+	var ops []trace.MicroOp
+	for i := 0; i < 4000; i++ {
+		ops = append(ops, aluOp(uint64(i), 1+i%60))
+	}
+	res := mustRun(t, conv(), alloc.NewRoundRobin(4), ops)
+	if res.Insts != 4000 {
+		t.Fatalf("committed %d, want 4000", res.Insts)
+	}
+	// 8-wide fetch, 4x2 issue: the machine should sustain close to 8.
+	if res.IPC < 7 {
+		t.Errorf("independent-op IPC = %.2f, want >= 7", res.IPC)
+	}
+}
+
+func TestDependenceChainIPCNearOne(t *testing.T) {
+	// A strict chain on a SINGLE cluster executes back-to-back
+	// (fast-forwarding inside the cluster): IPC ~ 1.
+	ops := []trace.MicroOp{aluOp(0, 1)}
+	for i := 1; i < 2000; i++ {
+		ops = append(ops, chainOp(uint64(i), 1+i%2, 1+(i-1)%2))
+	}
+	cfg := conv()
+	cfg.NumClusters = 1
+	res := mustRun(t, cfg, alloc.NewRoundRobin(1), ops)
+	if res.IPC < 0.9 || res.IPC > 1.1 {
+		t.Errorf("single-cluster chain IPC = %.2f, want ~1", res.IPC)
+	}
+}
+
+func TestCrossClusterForwardingCost(t *testing.T) {
+	// The same chain round-robined across 4 clusters pays the
+	// one-cycle inter-cluster delay on every hop: IPC ~ 0.5.
+	ops := []trace.MicroOp{aluOp(0, 1)}
+	for i := 1; i < 2000; i++ {
+		ops = append(ops, chainOp(uint64(i), 1+i%2, 1+(i-1)%2))
+	}
+	res := mustRun(t, conv(), alloc.NewRoundRobin(4), ops)
+	if res.IPC < 0.45 || res.IPC > 0.6 {
+		t.Errorf("cross-cluster chain IPC = %.2f, want ~0.5", res.IPC)
+	}
+	// With a zero-cost bypass network it returns to ~1.
+	cfg := conv()
+	cfg.XClusterDelay = 0
+	res = mustRun(t, cfg, alloc.NewRoundRobin(4), ops)
+	if res.IPC < 0.9 {
+		t.Errorf("zero-delay chain IPC = %.2f, want ~1", res.IPC)
+	}
+}
+
+func TestMispredictionPenaltyScales(t *testing.T) {
+	// Branch-heavy stream with a predictor that is always wrong
+	// (Taken predictor, never-taken branches).
+	var ops []trace.MicroOp
+	for i := 0; i < 3000; i++ {
+		if i%10 == 9 {
+			m := trace.MicroOp{
+				Seq: uint64(i), InstSeq: uint64(i), PC: uint64(i) * 4,
+				Op: isa.OpBNE, Class: isa.ClassALU,
+				NSrc: 1, Src: [2]isa.LogicalReg{{Class: isa.RegInt, Index: 1}},
+				IsBranch: true, IsCond: true, Taken: false,
+				LastOfInst: true,
+			}
+			ops = append(ops, m)
+		} else {
+			ops = append(ops, aluOp(uint64(i), 1+i%60))
+		}
+	}
+	run := func(pen int) float64 {
+		cfg := conv()
+		cfg.PerfectBP = false
+		cfg.PredictorLogSize = 4 // tiny, but the pattern is learnable...
+		cfg.MispredictPenalty = pen
+		res := mustRun(t, cfg, alloc.NewRoundRobin(4), ops)
+		return res.IPC
+	}
+	// Compare a perfect-prediction run against the real predictor.
+	cfg := conv()
+	res := mustRun(t, cfg, alloc.NewRoundRobin(4), ops)
+	if res.Mispredicts != 0 {
+		t.Fatalf("oracle mispredicted %d times", res.Mispredicts)
+	}
+	ipcPerfect := res.IPC
+	ipc17 := run(17)
+	if ipc17 > ipcPerfect {
+		t.Errorf("real predictor IPC %.2f cannot beat oracle %.2f", ipc17, ipcPerfect)
+	}
+	ipc40 := run(40)
+	if ipc40 >= ipc17 {
+		t.Errorf("larger penalty must not raise IPC: %.2f vs %.2f", ipc40, ipc17)
+	}
+}
+
+func TestMispredictsCounted(t *testing.T) {
+	// Never-taken branches with random-ish history still mispredict
+	// under an always-taken bias at the start; just check counters.
+	var ops []trace.MicroOp
+	for i := 0; i < 500; i++ {
+		m := trace.MicroOp{
+			Seq: uint64(i), InstSeq: uint64(i), PC: 0x40,
+			Op: isa.OpBNE, Class: isa.ClassALU,
+			IsBranch: true, IsCond: true, Taken: i%2 == 0,
+			LastOfInst: true,
+		}
+		ops = append(ops, m)
+	}
+	cfg := conv()
+	cfg.PerfectBP = false
+	res := mustRun(t, cfg, alloc.NewRoundRobin(4), ops)
+	if res.CondBranches != 500 {
+		t.Errorf("cond branches = %d", res.CondBranches)
+	}
+	if res.Mispredicts == 0 {
+		t.Error("alternating branch at one PC must mispredict sometimes")
+	}
+}
+
+func TestLoadLatencyAndCacheEffects(t *testing.T) {
+	// Load -> use pairs, same address (L1 hits after the first).
+	// Consecutive pairs are independent, so the single LSU's one
+	// load per cycle bounds throughput: IPC approaches 2.
+	var ops []trace.MicroOp
+	for i := 0; i < 1000; i++ {
+		ld := trace.MicroOp{
+			Seq: uint64(2 * i), InstSeq: uint64(2 * i), PC: uint64(i) * 8,
+			Op: isa.OpLD, Class: isa.ClassLoad,
+			Dst: isa.LogicalReg{Class: isa.RegInt, Index: 1}, HasDst: true,
+			Addr: 64, MemSize: 8, LastOfInst: true,
+		}
+		ops = append(ops, ld, chainOp(uint64(2*i+1), 2, 1))
+	}
+	cfg := conv()
+	cfg.NumClusters = 1
+	res := mustRun(t, cfg, alloc.NewRoundRobin(1), ops)
+	if res.Mem.L1Hits == 0 {
+		t.Error("repeated address must hit in L1")
+	}
+	if res.IPC < 1.5 || res.IPC > 2.05 {
+		t.Errorf("load-use IPC = %.2f, want ~2 (LSU-bound)", res.IPC)
+	}
+}
+
+func TestStoreForwarding(t *testing.T) {
+	// store [A]; load [A] back-to-back: the load must forward.
+	var ops []trace.MicroOp
+	for i := 0; i < 300; i++ {
+		a := uint64(0x1000 + 8*(i%4))
+		st := trace.MicroOp{
+			Seq: uint64(2 * i), InstSeq: uint64(2 * i), PC: uint64(i) * 8,
+			Op: isa.OpST, Class: isa.ClassStore,
+			NSrc: 1, Src: [2]isa.LogicalReg{{Class: isa.RegInt, Index: 3}},
+			Addr: a, MemSize: 8, LastOfInst: true,
+		}
+		ld := trace.MicroOp{
+			Seq: uint64(2*i + 1), InstSeq: uint64(2*i + 1), PC: uint64(i)*8 + 4,
+			Op: isa.OpLD, Class: isa.ClassLoad,
+			Dst: isa.LogicalReg{Class: isa.RegInt, Index: 3}, HasDst: true,
+			Addr: a, MemSize: 8, LastOfInst: true,
+		}
+		ops = append(ops, st, ld)
+	}
+	res := mustRun(t, conv(), alloc.NewRoundRobin(4), ops)
+	if res.StoreForwards == 0 {
+		t.Error("expected store-to-load forwarding")
+	}
+}
+
+func TestWSRSPolicyRunsAndBalancesImperfectly(t *testing.T) {
+	gen := trace.NewSynth(trace.DefaultSynthConfig())
+	ops := make([]trace.MicroOp, 0, 60000)
+	for i := 0; i < 60000; i++ {
+		m, _ := gen.Next()
+		ops = append(ops, m)
+	}
+	// RR on the conventional machine: perfectly balanced.
+	resRR := mustRun(t, conv(), alloc.NewRoundRobin(4), ops)
+	if resRR.UnbalancingDegree != 0 {
+		t.Errorf("RR unbalancing = %.1f, want 0", resRR.UnbalancingDegree)
+	}
+	// WSRS with RC: runs, commits everything, is less balanced.
+	resRC := mustRun(t, wsrs512(), alloc.NewRC(1), ops)
+	if resRC.Insts != 60000 {
+		t.Fatalf("WSRS committed %d, want 60000", resRC.Insts)
+	}
+	if resRC.UnbalancingDegree == 0 {
+		t.Error("WSRS RC should exhibit some unbalancing")
+	}
+	// RM uses fewer degrees of freedom; in most cases its degree is
+	// at least RC's. Allow slack but require same order of magnitude.
+	resRM := mustRun(t, wsrs512(), alloc.NewRM(1), ops)
+	if resRM.UnbalancingDegree < resRC.UnbalancingDegree*0.5 {
+		t.Errorf("RM degree %.1f unexpectedly far below RC %.1f",
+			resRM.UnbalancingDegree, resRC.UnbalancingDegree)
+	}
+	// IPCs must be in the same ballpark (paper: within a few %).
+	if resRC.IPC < resRR.IPC*0.8 || resRC.IPC > resRR.IPC*1.25 {
+		t.Errorf("WSRS RC IPC %.2f vs conventional %.2f: outside ballpark", resRC.IPC, resRR.IPC)
+	}
+}
+
+func TestRenameStallWithTinyRegisterFile(t *testing.T) {
+	cfg := conv()
+	cfg.Rename.IntRegs = 96 // barely above the 84-entry map
+	cfg.Rename.FPRegs = 96
+	var ops []trace.MicroOp
+	for i := 0; i < 3000; i++ {
+		ops = append(ops, aluOp(uint64(i), 1+i%60))
+	}
+	res := mustRun(t, cfg, alloc.NewRoundRobin(4), ops)
+	if res.Insts != 3000 {
+		t.Fatalf("committed %d", res.Insts)
+	}
+	if res.StallRename == 0 {
+		t.Error("12 spare registers must cause rename stalls on a 224-window machine")
+	}
+	big := mustRun(t, conv(), alloc.NewRoundRobin(4), ops)
+	if res.IPC >= big.IPC {
+		t.Errorf("tiny register file IPC %.2f must be below %.2f", res.IPC, big.IPC)
+	}
+}
+
+// pinPolicy always allocates cluster 0 (to force subset-0 deadlock).
+type pinPolicy struct{}
+
+func (pinPolicy) Name() string { return "pin0" }
+func (pinPolicy) Allocate(*trace.MicroOp, [2]int, []int) alloc.Decision {
+	return alloc.Decision{Cluster: 0}
+}
+
+func TestDeadlockWorkaroundInPipeline(t *testing.T) {
+	cfg := conv()
+	cfg.Rename = rename.Config{
+		NumSubsets: 4, IntRegs: 96, FPRegs: 128, // 24 int regs per subset < 84 logical
+		Impl: rename.ImplExactCount,
+	}
+	cfg.DeadlockMoves = true
+	var ops []trace.MicroOp
+	for i := 0; i < 2000; i++ {
+		ops = append(ops, aluOp(uint64(i), 1+i%60))
+	}
+	res, err := Run(cfg, pinPolicy{}, trace.NewSliceReader(ops), RunOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Insts != 2000 {
+		t.Fatalf("committed %d, want 2000", res.Insts)
+	}
+	if res.InjectedMoves == 0 {
+		t.Error("pinning all results to subset 0 must trigger the deadlock workaround")
+	}
+}
+
+func TestDeadlockWithoutWorkaroundAborts(t *testing.T) {
+	cfg := conv()
+	cfg.Rename = rename.Config{
+		NumSubsets: 4, IntRegs: 96, FPRegs: 128,
+		Impl: rename.ImplExactCount,
+	}
+	cfg.DeadlockMoves = false
+	var ops []trace.MicroOp
+	for i := 0; i < 2000; i++ {
+		ops = append(ops, aluOp(uint64(i), 1+i%60))
+	}
+	_, err := Run(cfg, pinPolicy{}, trace.NewSliceReader(ops), RunOpts{StallLimit: 2000})
+	if err == nil {
+		t.Fatal("expected the livelock guard to fire without the workaround")
+	}
+}
+
+func TestWarmupDiscardsStats(t *testing.T) {
+	gen := trace.NewSynth(trace.DefaultSynthConfig())
+	var ops []trace.MicroOp
+	for i := 0; i < 30000; i++ {
+		m, _ := gen.Next()
+		ops = append(ops, m)
+	}
+	cfg := conv()
+	res, err := Run(cfg, alloc.NewRoundRobin(4), trace.NewSliceReader(ops),
+		RunOpts{WarmupInsts: 10000, MeasureInsts: 10000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Insts < 10000 || res.Insts > 10000+uint64(cfg.CommitWidth) {
+		t.Errorf("measured %d instructions, want ~10000", res.Insts)
+	}
+	// Warmup ending mid-trace must leave a sane IPC.
+	if res.IPC <= 0 || res.IPC > 8 {
+		t.Errorf("IPC = %.2f", res.IPC)
+	}
+}
+
+func TestWarmupLongerThanTraceErrors(t *testing.T) {
+	ops := []trace.MicroOp{aluOp(0, 1)}
+	_, err := Run(conv(), alloc.NewRoundRobin(4), trace.NewSliceReader(ops),
+		RunOpts{WarmupInsts: 100})
+	if err == nil {
+		t.Fatal("warmup past end of trace must error")
+	}
+}
+
+func TestWindowTrapFlushes(t *testing.T) {
+	var ops []trace.MicroOp
+	for i := 0; i < 100; i++ {
+		m := aluOp(uint64(i), 1+i%60)
+		if i == 50 {
+			m = trace.MicroOp{
+				Seq: uint64(i), InstSeq: uint64(i), PC: uint64(i) * 4,
+				Op: isa.OpSAVE, Class: isa.ClassNop, Trap: true,
+				LastOfInst: true,
+			}
+		}
+		ops = append(ops, m)
+	}
+	res := mustRun(t, conv(), alloc.NewRoundRobin(4), ops)
+	if res.Traps != 1 {
+		t.Errorf("traps = %d, want 1", res.Traps)
+	}
+	// The trap costs at least TrapPenalty cycles on a ~13-cycle run.
+	if res.Cycles < int64(conv().TrapPenalty) {
+		t.Errorf("cycles = %d, trap penalty not charged", res.Cycles)
+	}
+}
+
+func TestInvalidConfigRejected(t *testing.T) {
+	cfg := conv()
+	cfg.FetchWidth = 0
+	if _, err := Run(cfg, alloc.NewRoundRobin(4), trace.NewSliceReader(nil), RunOpts{}); err == nil {
+		t.Error("zero fetch width must be rejected")
+	}
+	cfg = conv()
+	cfg.WSRS = true
+	cfg.NumClusters = 2
+	if _, err := Run(cfg, alloc.NewRC(0), trace.NewSliceReader(nil), RunOpts{}); err == nil {
+		t.Error("WSRS with 2 clusters must be rejected")
+	}
+}
+
+func TestEndToEndProgramTrace(t *testing.T) {
+	// Run a real program (sum over an array with a store per
+	// iteration) through funcsim into the pipeline.
+	prog := asm.MustAssemble(`
+		li   %o0, 65536      ; base
+		li   %o1, 512        ; n
+		li   %o2, 0          ; acc
+		li   %o3, 0          ; i
+	loop:
+		sll  %o4, %o3, 3
+		ldi  %o5, [%o0+%o4]
+		add  %o2, %o2, %o5
+		st   %o2, [%o0+%o4]
+		add  %o3, %o3, 1
+		blt  %o3, %o1, loop
+		halt
+	`)
+	sim := funcsim.New(prog, nil)
+	for i := 0; i < 512; i++ {
+		sim.Memory().WriteInt64(uint64(65536+8*i), int64(i))
+	}
+	var ops []trace.MicroOp
+	for {
+		m, ok := sim.Next()
+		if !ok {
+			break
+		}
+		ops = append(ops, m)
+	}
+	if err := sim.Err(); err != nil {
+		t.Fatal(err)
+	}
+
+	for _, mk := range []struct {
+		name string
+		cfg  Config
+		pol  alloc.Policy
+	}{
+		{"conv", conv(), alloc.NewRoundRobin(4)},
+		{"wsrs-rc", wsrs512(), alloc.NewRC(7)},
+		{"wsrs-rm", wsrs512(), alloc.NewRM(7)},
+	} {
+		res := mustRun(t, mk.cfg, mk.pol, ops)
+		if res.Insts == 0 || res.IPC <= 0.2 || res.IPC > 8 {
+			t.Errorf("%s: implausible result: insts=%d ipc=%.2f", mk.name, res.Insts, res.IPC)
+		}
+		if res.Uops != uint64(len(ops)) {
+			t.Errorf("%s: committed %d µops, trace has %d", mk.name, res.Uops, len(ops))
+		}
+	}
+}

@@ -1,0 +1,198 @@
+package pipeline
+
+import (
+	"testing"
+
+	"wsrs/internal/alloc"
+	"wsrs/internal/rename"
+	"wsrs/internal/trace"
+)
+
+// synthOps builds a deterministic synthetic stream.
+func synthOps(seed int64, n int) []trace.MicroOp {
+	cfg := trace.DefaultSynthConfig()
+	cfg.Seed = seed
+	gen := trace.NewSynth(cfg)
+	ops := make([]trace.MicroOp, n)
+	for i := range ops {
+		ops[i], _ = gen.Next()
+	}
+	return ops
+}
+
+func TestSMTBasicTwoThreads(t *testing.T) {
+	cfg := conv()
+	cfg.Threads = 2
+	cfg.Rename.IntRegs, cfg.Rename.FPRegs = 512, 512 // 2 x 84 logical int contexts
+	a := trace.NewSliceReader(synthOps(1, 15000))
+	b := trace.NewSliceReader(synthOps(2, 15000))
+	res, err := RunSMT(cfg, alloc.NewRoundRobin(4), []trace.Reader{a, b}, RunOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Insts != 30000 {
+		t.Fatalf("committed %d, want 30000", res.Insts)
+	}
+	if len(res.PerThreadInsts) != 2 {
+		t.Fatalf("per-thread breakdown: %v", res.PerThreadInsts)
+	}
+	if res.PerThreadInsts[0]+res.PerThreadInsts[1] != res.Insts {
+		t.Errorf("per-thread sums %v != total %d", res.PerThreadInsts, res.Insts)
+	}
+	// Fine-grained fetch should keep the contexts roughly balanced.
+	lo, hi := res.PerThreadInsts[0], res.PerThreadInsts[1]
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	if float64(lo) < 0.7*float64(hi) {
+		t.Errorf("thread imbalance: %v", res.PerThreadInsts)
+	}
+}
+
+func TestSMTThroughputExceedsSingleThread(t *testing.T) {
+	// Two memory-bound contexts overlap their stalls: combined IPC
+	// should exceed one context's.
+	mk := func(seed int64) []trace.MicroOp {
+		c := trace.DefaultSynthConfig()
+		c.Seed = seed
+		c.FracLoad = 0.4
+		c.Footprint = 16 << 20 // misses everywhere
+		c.MeanDepDist = 2
+		gen := trace.NewSynth(c)
+		ops := make([]trace.MicroOp, 12000)
+		for i := range ops {
+			ops[i], _ = gen.Next()
+		}
+		return ops
+	}
+	single := conv()
+	resSingle, err := Run(single, alloc.NewRoundRobin(4), trace.NewSliceReader(mk(3)), RunOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	smt := conv()
+	smt.Threads = 2
+	smt.Rename.IntRegs, smt.Rename.FPRegs = 512, 512
+	resSMT, err := RunSMT(smt, alloc.NewRoundRobin(4),
+		[]trace.Reader{trace.NewSliceReader(mk(3)), trace.NewSliceReader(mk(4))}, RunOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resSMT.IPC <= resSingle.IPC*1.1 {
+		t.Errorf("SMT IPC %.2f should clearly exceed single-thread %.2f on stall-bound work",
+			resSMT.IPC, resSingle.IPC)
+	}
+}
+
+func TestSMTDeadlockScenario(t *testing.T) {
+	// §2.3: "for SMTs ... this might not be a realistic solution" —
+	// with two contexts, 2x84 = 168 int logical registers exceed a
+	// 128-register subset, so the move-injection workaround becomes
+	// load-bearing. Pin everything to cluster 0 to force it.
+	cfg := conv()
+	cfg.Threads = 2
+	cfg.Rename = rename.Config{
+		NumSubsets: 4, IntRegs: 512, FPRegs: 512,
+		Impl: rename.ImplExactCount,
+	}
+	cfg.DeadlockMoves = true
+	a := trace.NewSliceReader(synthOps(5, 8000))
+	b := trace.NewSliceReader(synthOps(6, 8000))
+	res, err := RunSMT(cfg, pinPolicy{}, []trace.Reader{a, b}, RunOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Insts != 16000 {
+		t.Fatalf("committed %d", res.Insts)
+	}
+	if res.InjectedMoves == 0 {
+		t.Error("two contexts pinned to one subset must exercise the deadlock workaround")
+	}
+}
+
+func TestSMTRedirectIsolation(t *testing.T) {
+	// A mispredicting thread must not block the other thread's fetch:
+	// thread A is branch-heavy and always mispredicted, thread B is
+	// branch-free; B should retire the bulk of the instructions.
+	var a []trace.MicroOp
+	for i := 0; i < 2000; i++ {
+		m := trace.MicroOp{
+			Seq: uint64(i), InstSeq: uint64(i), PC: uint64(i%7) * 4,
+			Op: 30 /* BNE-ish */, Class: 0,
+			IsBranch: true, IsCond: true, Taken: i%2 == 0,
+			LastOfInst: true,
+		}
+		a = append(a, m)
+	}
+	var b []trace.MicroOp
+	for i := 0; i < 2000; i++ {
+		b = append(b, aluOp(uint64(i), 1+i%60))
+	}
+	cfg := conv()
+	cfg.Threads = 2
+	cfg.Rename.IntRegs, cfg.Rename.FPRegs = 512, 512
+	cfg.PerfectBP = false
+	res, err := RunSMT(cfg, alloc.NewRoundRobin(4),
+		[]trace.Reader{trace.NewSliceReader(a), trace.NewSliceReader(b)}, RunOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Insts != 4000 {
+		t.Fatalf("committed %d", res.Insts)
+	}
+	// The combined run is dominated by the branch thread's redirect
+	// stalls; adding thread B must cost little extra because B's
+	// fetch proceeds while A waits on redirects.
+	aCfg := conv()
+	aCfg.PerfectBP = false
+	aOnly, err := Run(aCfg, alloc.NewRoundRobin(4), trace.NewSliceReader(a), RunOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cycles > aOnly.Cycles*11/10 {
+		t.Errorf("SMT run (%d cycles) should ride the branch thread's stalls (alone: %d)",
+			res.Cycles, aOnly.Cycles)
+	}
+}
+
+func TestSMTTraceCountMismatch(t *testing.T) {
+	cfg := conv()
+	cfg.Threads = 2
+	_, err := RunSMT(cfg, alloc.NewRoundRobin(4),
+		[]trace.Reader{trace.NewSliceReader(nil)}, RunOpts{})
+	if err == nil {
+		t.Fatal("trace/thread count mismatch must fail")
+	}
+}
+
+func TestSMTNeedsEnoughRegisters(t *testing.T) {
+	cfg := conv()
+	cfg.Threads = 4 // 4 x 84 = 336 > 256
+	srcs := make([]trace.Reader, 4)
+	for i := range srcs {
+		srcs[i] = trace.NewSliceReader(nil)
+	}
+	_, err := RunSMT(cfg, alloc.NewRoundRobin(4), srcs, RunOpts{})
+	if err == nil {
+		t.Fatal("4 contexts on 256 registers must be rejected")
+	}
+}
+
+func TestSMTAddressSpacesPrivate(t *testing.T) {
+	// Both threads run the same trace at the same virtual addresses;
+	// without address-space separation the store-forwarding logic and
+	// caches would alias them. The run must complete with exactly 2x
+	// the instructions and per-thread memory regions offset.
+	ops := synthOps(9, 10000)
+	cfg := conv()
+	cfg.Threads = 2
+	cfg.Rename.IntRegs, cfg.Rename.FPRegs = 512, 512
+	res, err := RunSMT(cfg, alloc.NewRoundRobin(4),
+		[]trace.Reader{trace.NewSliceReader(ops), trace.NewSliceReader(ops)}, RunOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Insts != 20000 {
+		t.Fatalf("committed %d", res.Insts)
+	}
+}

@@ -1,0 +1,229 @@
+// Package regfile models the five physical register file organizations
+// compared in Table 1 of the paper for an 8-way (and one 4-way)
+// superscalar processor:
+//
+//	noWS-M  conventional 8-way, monolithic register file
+//	noWS-D  conventional 8-way, 4-cluster distributed register file
+//	WS      4-cluster with register Write Specialization
+//	WSRS    4-cluster WSRS (write + read specialization)
+//	noWS-2  conventional 4-way, 2-cluster
+//
+// For each organization the package derives the Table 1 quantities:
+// register copies, (read, write) ports per copy, subfile count, the
+// bit silicon area from the paper's Formula (1), CACTI-style access
+// time and peak energy per cycle, register read pipeline depth at a
+// given clock, and the number of sources a bypass point must arbitrate.
+package regfile
+
+import (
+	"fmt"
+	"math"
+
+	"wsrs/internal/cacti"
+)
+
+// Organization describes one register file design point.
+type Organization struct {
+	Name string
+
+	// TotalRegs is the architecturally visible physical register
+	// count; Bits the register width.
+	TotalRegs int
+	Bits      int
+
+	// Copies is the number of replicas of each individual register;
+	// every write is broadcast to all copies.
+	Copies int
+	// ReadPorts / WritePorts are the ports on each copy.
+	ReadPorts, WritePorts int
+	// Subfiles is the number of physical subfiles (Table 1 row).
+	Subfiles int
+	// BankRegs is the number of registers sharing one physical bank's
+	// wordlines/bitlines — the quantity that drives access time. With
+	// read specialization a bank holds a single 128-register subset;
+	// a WS-only replica holds all 512.
+	BankRegs int
+
+	// ReadsPerCycle / WritesPerCycle are machine-level peak port
+	// activities (16 reads and 12 writes for the 8-way machines).
+	ReadsPerCycle, WritesPerCycle int
+
+	// ResultProducers is the number of result buses that can feed one
+	// operand entry's bypass point: 12 (4 clusters x 3 results) on
+	// the conventional 8-way machines, 6 on WSRS (2 clusters visible
+	// per operand) and 6 on the 2-cluster 4-way machine.
+	ResultProducers int
+}
+
+// NoWSMono returns the conventional monolithic 8-way organization.
+func NoWSMono(regs int) Organization {
+	return Organization{
+		Name: "noWS-M", TotalRegs: regs, Bits: 64,
+		Copies: 1, ReadPorts: 16, WritePorts: 12, Subfiles: 1,
+		BankRegs: regs, ReadsPerCycle: 16, WritesPerCycle: 12,
+		ResultProducers: 12,
+	}
+}
+
+// NoWSDistributed returns the conventional 4-cluster 8-way
+// organization (one full-register-file replica per cluster, as on the
+// Alpha 21264).
+func NoWSDistributed(regs int) Organization {
+	return Organization{
+		Name: "noWS-D", TotalRegs: regs, Bits: 64,
+		Copies: 4, ReadPorts: 4, WritePorts: 12, Subfiles: 4,
+		BankRegs: regs, ReadsPerCycle: 16, WritesPerCycle: 12,
+		ResultProducers: 12,
+	}
+}
+
+// WS returns the 4-cluster organization with register write
+// specialization only: each register still has four copies (one per
+// cluster replica) but only 3 write ports.
+func WS(regs int) Organization {
+	return Organization{
+		Name: "WS", TotalRegs: regs, Bits: 64,
+		Copies: 4, ReadPorts: 4, WritePorts: 3, Subfiles: 4,
+		BankRegs: regs, ReadsPerCycle: 16, WritesPerCycle: 12,
+		ResultProducers: 12,
+	}
+}
+
+// WSRS returns the 4-cluster WSRS organization: read specialization
+// halves the copies to two, and each bank holds a single
+// 128-register subset, shortening its bitlines.
+func WSRS(regs int) Organization {
+	return Organization{
+		Name: "WSRS", TotalRegs: regs, Bits: 64,
+		Copies: 2, ReadPorts: 4, WritePorts: 3, Subfiles: 4,
+		BankRegs: regs / 4, ReadsPerCycle: 16, WritesPerCycle: 12,
+		ResultProducers: 6,
+	}
+}
+
+// NoWS2 returns the conventional 2-cluster 4-way comparison point.
+func NoWS2(regs int) Organization {
+	return Organization{
+		Name: "noWS-2", TotalRegs: regs, Bits: 64,
+		Copies: 2, ReadPorts: 4, WritePorts: 6, Subfiles: 2,
+		BankRegs: regs, ReadsPerCycle: 8, WritesPerCycle: 6,
+		ResultProducers: 6,
+	}
+}
+
+// PaperConfigs returns the five organizations with the register counts
+// of Table 1 (256 conventional 8-way, 512 for WS/WSRS, 128 for the
+// 4-way machine).
+func PaperConfigs() []Organization {
+	return []Organization{
+		NoWSMono(256),
+		NoWSDistributed(256),
+		WS(512),
+		WSRS(512),
+		NoWS2(128),
+	}
+}
+
+// bank returns the organization's physical bank geometry.
+func (o Organization) bank() cacti.Bank {
+	return cacti.Bank{
+		Regs:       o.BankRegs,
+		Bits:       o.Bits,
+		ReadPorts:  o.ReadPorts,
+		WritePorts: o.WritePorts,
+	}
+}
+
+// BitArea returns the silicon area of one bit of one physical
+// register in units of w² (the squared wire pitch), Formula (1) of the
+// paper summed over the register's copies.
+func (o Organization) BitArea() int {
+	return o.Copies * o.bank().CellArea()
+}
+
+// TotalAreaRel returns the organization's total register file cell
+// area relative to base: BitArea x TotalRegs, normalized.
+func (o Organization) TotalAreaRel(base Organization) float64 {
+	return float64(o.BitArea()*o.TotalRegs) / float64(base.BitArea()*base.TotalRegs)
+}
+
+// AccessTimeNs returns the read access time (CACTI-style model).
+func (o Organization) AccessTimeNs(t cacti.Tech) float64 {
+	return cacti.AccessTimeNs(t, o.bank())
+}
+
+// EnergyPerCycleNJ returns the peak power consumption in nJ per cycle.
+func (o Organization) EnergyPerCycleNJ(t cacti.Tech) float64 {
+	return cacti.EnergyPerCycleNJ(t, o.bank(), o.ReadsPerCycle, o.WritesPerCycle, o.Copies)
+}
+
+// PipelineCycles returns the number of pipeline stages needed to read
+// the register file at the given clock: the paper assumes "an extra
+// half cycle in order to drive the data to the functional units".
+func PipelineCycles(accessNs float64, clockGHz float64) int {
+	period := 1.0 / clockGHz
+	return int(math.Ceil(accessNs/period + 0.5))
+}
+
+// BypassSources returns the number of possible sources a bypass point
+// must arbitrate (§4.3.1): with an X-cycle register read-write
+// pipeline and N possible producers, X*N results are potentially
+// inaccessible from the register file, plus the register file output
+// itself.
+func BypassSources(pipelineCycles, producers int) int {
+	return pipelineCycles*producers + 1
+}
+
+// WakeupComparators returns the comparators per wake-up logic entry
+// for a dyadic instruction monitoring the given number of producers
+// (§4.3.2: 2*N comparators).
+func WakeupComparators(producers int) int { return 2 * producers }
+
+// Row is one line of the Table 1 reproduction.
+type Row struct {
+	Org         Organization
+	AccessNs    float64
+	EnergyNJ    float64
+	Pipe10GHz   int
+	Bypass10GHz int
+	Pipe5GHz    int
+	Bypass5GHz  int
+	BitArea     int
+	AreaRel     float64
+}
+
+// Table1 computes the full Table 1 reproduction at the given
+// technology, normalizing total area to the last organization
+// (noWS-2), as the paper does.
+func Table1(t cacti.Tech, orgs []Organization) []Row {
+	if len(orgs) == 0 {
+		return nil
+	}
+	base := orgs[len(orgs)-1]
+	rows := make([]Row, 0, len(orgs))
+	for _, o := range orgs {
+		acc := o.AccessTimeNs(t)
+		p10 := PipelineCycles(acc, 10)
+		p5 := PipelineCycles(acc, 5)
+		rows = append(rows, Row{
+			Org:         o,
+			AccessNs:    acc,
+			EnergyNJ:    o.EnergyPerCycleNJ(t),
+			Pipe10GHz:   p10,
+			Bypass10GHz: BypassSources(p10, o.ResultProducers),
+			Pipe5GHz:    p5,
+			Bypass5GHz:  BypassSources(p5, o.ResultProducers),
+			BitArea:     o.BitArea(),
+			AreaRel:     o.TotalAreaRel(base),
+		})
+	}
+	return rows
+}
+
+// String renders a row compactly.
+func (r Row) String() string {
+	return fmt.Sprintf("%-7s regs=%d copies=%d (%d,%d) subfiles=%d %.2fnJ %.2fns p10=%d byp10=%d p5=%d byp5=%d bit=%dw2 area=%.2fx",
+		r.Org.Name, r.Org.TotalRegs, r.Org.Copies, r.Org.ReadPorts, r.Org.WritePorts,
+		r.Org.Subfiles, r.EnergyNJ, r.AccessNs, r.Pipe10GHz, r.Bypass10GHz,
+		r.Pipe5GHz, r.Bypass5GHz, r.BitArea, r.AreaRel)
+}

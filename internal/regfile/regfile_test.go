@@ -1,0 +1,162 @@
+package regfile
+
+import (
+	"testing"
+
+	"wsrs/internal/cacti"
+)
+
+func TestTable1StructuralRows(t *testing.T) {
+	// The structural (exact) rows of Table 1.
+	cases := []struct {
+		org      Organization
+		copies   int
+		r, w     int
+		subfiles int
+		bitArea  int
+	}{
+		{NoWSMono(256), 1, 16, 12, 1, 1120},
+		{NoWSDistributed(256), 4, 4, 12, 4, 1792},
+		{WS(512), 4, 4, 3, 4, 280},
+		{WSRS(512), 2, 4, 3, 4, 140},
+		{NoWS2(128), 2, 4, 6, 2, 320},
+	}
+	for _, c := range cases {
+		o := c.org
+		if o.Copies != c.copies || o.ReadPorts != c.r || o.WritePorts != c.w || o.Subfiles != c.subfiles {
+			t.Errorf("%s structure: %+v", o.Name, o)
+		}
+		if got := o.BitArea(); got != c.bitArea {
+			t.Errorf("%s bit area = %d w², paper %d", o.Name, got, c.bitArea)
+		}
+	}
+}
+
+func TestTable1AreaRatios(t *testing.T) {
+	base := NoWS2(128)
+	cases := []struct {
+		org  Organization
+		want float64
+	}{
+		{NoWSMono(256), 7.0},
+		{NoWSDistributed(256), 11.2},
+		{WS(512), 3.5},
+		{WSRS(512), 1.75},
+		{NoWS2(128), 1.0},
+	}
+	for _, c := range cases {
+		got := c.org.TotalAreaRel(base)
+		if got < c.want*0.999 || got > c.want*1.001 {
+			t.Errorf("%s area ratio = %.3f, paper %.2f", c.org.Name, got, c.want)
+		}
+	}
+}
+
+func TestHeadlineAreaReduction(t *testing.T) {
+	// Abstract claim: WSRS divides the conventional clustered file's
+	// area "by a factor four to six" (more than six in Table 1).
+	d := NoWSDistributed(256)
+	w := WSRS(512)
+	ratio := d.TotalAreaRel(w)
+	if ratio < 4 {
+		t.Errorf("noWS-D/WSRS area ratio = %.2f, paper reports more than 6", ratio)
+	}
+}
+
+func TestPipelineCycles(t *testing.T) {
+	// ceil(access/period + 0.5 drive): checked against the paper's
+	// exact access times.
+	cases := []struct {
+		access float64
+		ghz    float64
+		want   int
+	}{
+		{0.71, 10, 8}, {0.52, 10, 6}, {0.40, 10, 5}, {0.35, 10, 4}, {0.34, 10, 4},
+		{0.71, 5, 5}, {0.52, 5, 4}, {0.40, 5, 3}, {0.35, 5, 3}, {0.34, 5, 3},
+	}
+	for _, c := range cases {
+		if got := PipelineCycles(c.access, c.ghz); got != c.want {
+			t.Errorf("PipelineCycles(%.2f, %.0f GHz) = %d, want %d", c.access, c.ghz, got, c.want)
+		}
+	}
+}
+
+func TestBypassSources(t *testing.T) {
+	// Table 1: sources = pipeline cycles x producers + 1.
+	cases := []struct {
+		pipe, producers, want int
+	}{
+		{8, 12, 97}, {6, 12, 73}, {5, 12, 61}, {4, 6, 25}, // 10 GHz rows
+		{5, 12, 61}, {4, 12, 49}, {3, 12, 37}, {3, 6, 19}, // 5 GHz rows
+	}
+	for _, c := range cases {
+		if got := BypassSources(c.pipe, c.producers); got != c.want {
+			t.Errorf("BypassSources(%d,%d) = %d, want %d", c.pipe, c.producers, got, c.want)
+		}
+	}
+}
+
+func TestTable1FullReproduction(t *testing.T) {
+	rows := Table1(cacti.Tech009(), PaperConfigs())
+	if len(rows) != 5 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	// Paper's Table 1 pipeline depths and bypass sources.
+	want := []struct {
+		p10, b10, p5, b5 int
+	}{
+		{8, 97, 5, 61},
+		{6, 73, 4, 49},
+		{5, 61, 3, 37},
+		{4, 25, 3, 19},
+		{4, 25, 3, 19},
+	}
+	for i, r := range rows {
+		w := want[i]
+		if r.Pipe10GHz != w.p10 || r.Bypass10GHz != w.b10 || r.Pipe5GHz != w.p5 || r.Bypass5GHz != w.b5 {
+			t.Errorf("%s: pipe/bypass = %d/%d @10GHz, %d/%d @5GHz; paper %d/%d, %d/%d",
+				r.Org.Name, r.Pipe10GHz, r.Bypass10GHz, r.Pipe5GHz, r.Bypass5GHz,
+				w.p10, w.b10, w.p5, w.b5)
+		}
+		if r.String() == "" {
+			t.Error("empty row rendering")
+		}
+	}
+	// Key headline: the WSRS bypass point has the complexity of the
+	// conventional 4-way machine's.
+	if rows[3].Bypass10GHz != rows[4].Bypass10GHz || rows[3].Bypass5GHz != rows[4].Bypass5GHz {
+		t.Error("WSRS and noWS-2 bypass complexity must be equal")
+	}
+}
+
+func TestWakeupComparators(t *testing.T) {
+	// §4.3.2: a WSRS wake-up entry monitors 2 clusters x 3 results
+	// per operand: same comparator count as a conventional 4-way.
+	if got := WakeupComparators(WSRS(512).ResultProducers); got != 12 {
+		t.Errorf("WSRS comparators = %d, want 12", got)
+	}
+	if WakeupComparators(WSRS(512).ResultProducers) != WakeupComparators(NoWS2(128).ResultProducers) {
+		t.Error("WSRS wake-up complexity must equal the 4-way machine's")
+	}
+	if got := WakeupComparators(NoWSDistributed(256).ResultProducers); got != 24 {
+		t.Errorf("conventional 8-way comparators = %d, want 24", got)
+	}
+}
+
+func TestAccessTimeShortenedByOneThird(t *testing.T) {
+	// Headline: WSRS access time is shorter than noWS-D's "by more
+	// than one third" (0.35 vs 0.52 in the paper). Allow the model
+	// some slack around the exact third.
+	tech := cacti.Tech009()
+	d := NoWSDistributed(256).AccessTimeNs(tech)
+	w := WSRS(512).AccessTimeNs(tech)
+	if w > d*0.72 {
+		t.Errorf("WSRS access %.3f vs noWS-D %.3f: reduction under ~1/3", w, d)
+	}
+}
+
+func TestEmptyTable(t *testing.T) {
+	if Table1(cacti.Tech009(), nil) != nil {
+		t.Error("empty input must yield empty table")
+	}
+}

@@ -1,0 +1,57 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRenderAligned(t *testing.T) {
+	tb := NewTable("Title", "name", "value")
+	tb.AddRow("short", 1)
+	tb.AddRow("a-much-longer-name", 2.5)
+	out := tb.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 { // title, header, separator, 2 rows
+		t.Fatalf("got %d lines:\n%s", len(lines), out)
+	}
+	if lines[0] != "Title" {
+		t.Errorf("title line = %q", lines[0])
+	}
+	// Column starts must align between header and rows.
+	headerIdx := strings.Index(lines[1], "value")
+	rowIdx := strings.Index(lines[3], "1")
+	if headerIdx != rowIdx {
+		t.Errorf("column misaligned: header at %d, row at %d\n%s", headerIdx, rowIdx, out)
+	}
+	if !strings.Contains(out, "2.50") {
+		t.Error("floats must render with two decimals")
+	}
+}
+
+func TestRenderNoTitle(t *testing.T) {
+	tb := NewTable("", "a")
+	tb.AddRow("x")
+	if strings.HasPrefix(tb.String(), "\n") {
+		t.Error("empty title must not emit a blank line")
+	}
+}
+
+func TestCSV(t *testing.T) {
+	tb := NewTable("ignored", "a", "b")
+	tb.AddRow("x", 1)
+	tb.AddRow("y", 2)
+	var sb strings.Builder
+	tb.CSV(&sb)
+	want := "a,b\nx,1\ny,2\n"
+	if sb.String() != want {
+		t.Errorf("CSV = %q, want %q", sb.String(), want)
+	}
+}
+
+func TestRaggedRowsDoNotPanic(t *testing.T) {
+	tb := NewTable("t", "a", "b", "c")
+	tb.AddRow("only-one")
+	if tb.String() == "" {
+		t.Error("ragged table must still render")
+	}
+}

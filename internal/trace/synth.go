@@ -1,0 +1,253 @@
+package trace
+
+import (
+	"math/rand"
+
+	"wsrs/internal/isa"
+)
+
+// SynthConfig parameterizes the synthetic micro-op generator. The
+// generator produces a register-consistent stream (every source was
+// written by an earlier micro-op or is a live-in) with controllable
+// instruction mix, dependence distances and memory behaviour. It is
+// used by unit tests and ablation studies; the paper-reproduction runs
+// use real program traces from internal/funcsim.
+type SynthConfig struct {
+	Seed int64
+
+	// Instruction mix; fractions should sum to <= 1, the remainder
+	// is single-cycle integer ALU work.
+	FracLoad   float64
+	FracStore  float64
+	FracBranch float64
+	FracFP     float64 // pipelined fp (fadd/fmul)
+	FracMul    float64
+	FracDiv    float64
+
+	// FracMonadic is the fraction of ALU/FP operations using a single
+	// register operand (register-immediate forms). FracNoadic
+	// produces immediate loads.
+	FracMonadic float64
+	FracNoadic  float64
+
+	// MeanDepDist is the mean distance (in micro-ops) between a
+	// consumer and its producer; small values create tight dependence
+	// chains, large values expose ILP.
+	MeanDepDist float64
+
+	// BranchTakenRate and BranchMispredictRate shape control flow.
+	// The generator marks branch outcomes randomly; a predictor in
+	// the timing model will mispredict roughly at the entropy implied
+	// by the outcome stream. For direct penalty control the pipeline
+	// also supports a forced misprediction rate in tests.
+	BranchTakenRate float64
+
+	// Memory footprint in bytes; addresses are drawn uniformly from
+	// it (with 8-byte alignment), so the L1/L2 miss rates follow from
+	// footprint vs cache capacity.
+	Footprint uint64
+
+	// LiveIns is the number of integer logical registers assumed live
+	// at stream start.
+	LiveIns int
+}
+
+// DefaultSynthConfig returns a balanced integer-code-like mix.
+func DefaultSynthConfig() SynthConfig {
+	return SynthConfig{
+		Seed:            1,
+		FracLoad:        0.22,
+		FracStore:       0.10,
+		FracBranch:      0.15,
+		FracFP:          0,
+		FracMul:         0.01,
+		FracDiv:         0.002,
+		FracMonadic:     0.35,
+		FracNoadic:      0.05,
+		MeanDepDist:     6,
+		BranchTakenRate: 0.6,
+		Footprint:       1 << 16,
+		LiveIns:         16,
+	}
+}
+
+// Synth generates an endless synthetic micro-op stream.
+type Synth struct {
+	cfg SynthConfig
+	rng *rand.Rand
+
+	seq uint64
+	pc  uint64
+	// lastWriter[i] is the sequence number of the most recent writer
+	// of integer logical register i (or -1); used only to keep the
+	// stream register-consistent.
+	intWriters []int
+	fpWriters  []int
+}
+
+// NewSynth returns a generator for the given configuration.
+func NewSynth(cfg SynthConfig) *Synth {
+	s := &Synth{
+		cfg:        cfg,
+		rng:        rand.New(rand.NewSource(cfg.Seed)),
+		intWriters: make([]int, 0, isa.NumIntLogical),
+		fpWriters:  make([]int, 0, isa.NumFPLogical),
+	}
+	if cfg.LiveIns <= 0 {
+		cfg.LiveIns = 8
+	}
+	for i := 1; i <= cfg.LiveIns && i < isa.NumIntLogical; i++ {
+		s.intWriters = append(s.intWriters, i)
+	}
+	for i := 0; i < 8; i++ {
+		s.fpWriters = append(s.fpWriters, i)
+	}
+	return s
+}
+
+// pickSrc selects a source register biased toward recently written
+// registers with mean distance MeanDepDist.
+func (s *Synth) pickSrc(writers []int) isa.LogicalReg {
+	n := len(writers)
+	d := int(s.rng.ExpFloat64()*s.cfg.MeanDepDist) + 1
+	if d > n {
+		d = n
+	}
+	idx := writers[n-d]
+	return isa.LogicalReg{Class: isa.RegInt, Index: uint8(idx)}
+}
+
+func (s *Synth) pickFPSrc() isa.LogicalReg {
+	n := len(s.fpWriters)
+	d := int(s.rng.ExpFloat64()*s.cfg.MeanDepDist) + 1
+	if d > n {
+		d = n
+	}
+	return isa.LogicalReg{Class: isa.RegFP, Index: uint8(s.fpWriters[n-d])}
+}
+
+func (s *Synth) noteIntWrite(r isa.LogicalReg) {
+	s.intWriters = append(s.intWriters, int(r.Index))
+	if len(s.intWriters) > 4*isa.NumIntLogical {
+		s.intWriters = s.intWriters[len(s.intWriters)-2*isa.NumIntLogical:]
+	}
+}
+
+func (s *Synth) noteFPWrite(r isa.LogicalReg) {
+	s.fpWriters = append(s.fpWriters, int(r.Index))
+	if len(s.fpWriters) > 4*isa.NumFPLogical {
+		s.fpWriters = s.fpWriters[len(s.fpWriters)-2*isa.NumFPLogical:]
+	}
+}
+
+func (s *Synth) freshIntDst() isa.LogicalReg {
+	// Any architectural register except %g0.
+	idx := 1 + s.rng.Intn(isa.NumIntLogical-1)
+	return isa.LogicalReg{Class: isa.RegInt, Index: uint8(idx)}
+}
+
+func (s *Synth) freshFPDst() isa.LogicalReg {
+	return isa.LogicalReg{Class: isa.RegFP, Index: uint8(s.rng.Intn(isa.NumFPLogical))}
+}
+
+func (s *Synth) addr() uint64 {
+	fp := s.cfg.Footprint
+	if fp < 64 {
+		fp = 64
+	}
+	return (s.rng.Uint64() % fp) &^ 7
+}
+
+// Next implements Reader; the stream never ends.
+func (s *Synth) Next() (MicroOp, bool) {
+	m := MicroOp{
+		Seq:        s.seq,
+		InstSeq:    s.seq,
+		PC:         s.pc,
+		LastOfInst: true,
+		MemSize:    8,
+	}
+	s.seq++
+	s.pc += 4
+
+	r := s.rng.Float64()
+	c := s.cfg
+	switch {
+	case r < c.FracLoad:
+		m.Op, m.Class = isa.OpLD, isa.ClassLoad
+		m.Src[0] = s.pickSrc(s.intWriters)
+		m.NSrc = 1
+		m.Dst, m.HasDst = s.freshIntDst(), true
+		m.Addr = s.addr()
+		s.noteIntWrite(m.Dst)
+	case r < c.FracLoad+c.FracStore:
+		m.Op, m.Class = isa.OpST, isa.ClassStore
+		m.Src[0] = s.pickSrc(s.intWriters)
+		m.Src[1] = s.pickSrc(s.intWriters)
+		m.NSrc = 2
+		m.Addr = s.addr()
+	case r < c.FracLoad+c.FracStore+c.FracBranch:
+		m.Op, m.Class = isa.OpBNE, isa.ClassALU
+		m.Src[0] = s.pickSrc(s.intWriters)
+		m.Src[1] = s.pickSrc(s.intWriters)
+		m.NSrc = 2
+		m.IsBranch, m.IsCond = true, true
+		m.Commutative, m.HWCommutable = true, true
+		m.Taken = s.rng.Float64() < c.BranchTakenRate
+		if m.Taken {
+			m.Target = s.pc - 4*uint64(1+s.rng.Intn(16))
+		}
+	case r < c.FracLoad+c.FracStore+c.FracBranch+c.FracFP:
+		if s.rng.Intn(2) == 0 {
+			m.Op = isa.OpFADD
+		} else {
+			m.Op = isa.OpFMUL
+		}
+		m.Class = isa.ClassFP
+		m.Src[0] = s.pickFPSrc()
+		m.Src[1] = s.pickFPSrc()
+		m.NSrc = 2
+		m.Commutative, m.HWCommutable = true, true
+		m.Dst, m.HasDst = s.freshFPDst(), true
+		s.noteFPWrite(m.Dst)
+	case r < c.FracLoad+c.FracStore+c.FracBranch+c.FracFP+c.FracMul:
+		m.Op, m.Class = isa.OpMUL, isa.ClassMul
+		m.Src[0] = s.pickSrc(s.intWriters)
+		m.Src[1] = s.pickSrc(s.intWriters)
+		m.NSrc = 2
+		m.Commutative, m.HWCommutable = true, true
+		m.Dst, m.HasDst = s.freshIntDst(), true
+		s.noteIntWrite(m.Dst)
+	case r < c.FracLoad+c.FracStore+c.FracBranch+c.FracFP+c.FracMul+c.FracDiv:
+		m.Op, m.Class = isa.OpDIV, isa.ClassDiv
+		m.Src[0] = s.pickSrc(s.intWriters)
+		m.Src[1] = s.pickSrc(s.intWriters)
+		m.NSrc = 2
+		m.Dst, m.HasDst = s.freshIntDst(), true
+		s.noteIntWrite(m.Dst)
+	default:
+		m.Class = isa.ClassALU
+		m.Dst, m.HasDst = s.freshIntDst(), true
+		ar := s.rng.Float64()
+		switch {
+		case ar < c.FracNoadic:
+			m.Op = isa.OpLI
+		case ar < c.FracNoadic+c.FracMonadic:
+			m.Op = isa.OpADD // register-immediate form
+			m.Src[0] = s.pickSrc(s.intWriters)
+			m.NSrc = 1
+			m.Commutative, m.HWCommutable = true, true
+		default:
+			if s.rng.Intn(2) == 0 {
+				m.Op, m.Commutative, m.HWCommutable = isa.OpADD, true, true
+			} else {
+				m.Op, m.Commutative, m.HWCommutable = isa.OpSUB, false, true
+			}
+			m.Src[0] = s.pickSrc(s.intWriters)
+			m.Src[1] = s.pickSrc(s.intWriters)
+			m.NSrc = 2
+		}
+		s.noteIntWrite(m.Dst)
+	}
+	return m, true
+}

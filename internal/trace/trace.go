@@ -1,0 +1,139 @@
+// Package trace defines the dynamic micro-operation stream exchanged
+// between the functional front end (internal/funcsim) and the timing
+// model (internal/pipeline), plus a synthetic statistical generator
+// used to exercise the timing model under controlled instruction
+// mixes.
+//
+// The simulator is trace-driven and execute-first: the functional
+// simulator runs the program architecturally and annotates each
+// micro-op with its effective address and branch outcome. The timing
+// model replays the stream, modelling wrong-path effects as redirect
+// bubbles — exactly the front-end abstraction of the paper (§5.2: the
+// front end "delivers eight instructions/microoperations per cycle at
+// a sustained rate").
+package trace
+
+import (
+	"wsrs/internal/isa"
+)
+
+// MicroOp is one dynamic micro-operation. Instructions with three
+// register operands (indexed stores) appear as two consecutive
+// micro-ops sharing an InstSeq.
+type MicroOp struct {
+	Seq     uint64 // dynamic micro-op number, starting at 0
+	InstSeq uint64 // dynamic instruction number (shared by cracked pairs)
+	PC      uint64 // byte address of the parent instruction
+
+	Op    isa.Op
+	Class isa.Class
+
+	// Register operands after window translation. Src[0] is the
+	// operand presented on the first (left) functional-unit entry and
+	// Src[1] the second (right) entry — the positions WSRS register
+	// read specialization is defined over.
+	Src    [2]isa.LogicalReg
+	NSrc   int
+	Dst    isa.LogicalReg
+	HasDst bool
+
+	// Commutative reports true commutativity of the operation;
+	// HWCommutable additionally covers two-form execution on
+	// "commutative cluster" hardware (paper §3.3).
+	Commutative  bool
+	HWCommutable bool
+
+	// Memory annotation (valid when Class is Load or Store).
+	Addr    uint64
+	MemSize uint8
+
+	// Control-flow annotation.
+	IsBranch bool
+	IsCond   bool
+	Taken    bool
+	Target   uint64 // byte address of the (actual) next PC if taken
+	IsCall   bool
+	IsReturn bool
+
+	// Trap marks a micro-op that raised a window overflow/underflow
+	// exception; the pipeline flushes behind it (paper §5.1.1: "an
+	// exception is taken on a window overflow").
+	Trap bool
+
+	// LastOfInst marks the final micro-op of its instruction; the
+	// committed-instruction count (IPC numerator) advances when a
+	// micro-op with LastOfInst retires.
+	LastOfInst bool
+}
+
+// Arity returns the micro-op's register-operand arity.
+func (m *MicroOp) Arity() isa.Arity {
+	switch m.NSrc {
+	case 0:
+		return isa.Noadic
+	case 1:
+		return isa.Monadic
+	default:
+		return isa.Dyadic
+	}
+}
+
+// Reader yields micro-ops in program order. Next reports false when
+// the stream is exhausted.
+type Reader interface {
+	Next() (MicroOp, bool)
+}
+
+// SliceReader replays a fixed slice of micro-ops; it is used heavily
+// in tests.
+type SliceReader struct {
+	ops []MicroOp
+	pos int
+}
+
+// NewSliceReader returns a Reader over ops.
+func NewSliceReader(ops []MicroOp) *SliceReader { return &SliceReader{ops: ops} }
+
+// Next implements Reader.
+func (r *SliceReader) Next() (MicroOp, bool) {
+	if r.pos >= len(r.ops) {
+		return MicroOp{}, false
+	}
+	op := r.ops[r.pos]
+	r.pos++
+	return op, true
+}
+
+// Reset rewinds the reader to the beginning of the slice.
+func (r *SliceReader) Reset() { r.pos = 0 }
+
+// LimitReader caps an underlying Reader at n micro-ops.
+type LimitReader struct {
+	R Reader
+	N uint64
+	n uint64
+}
+
+// Next implements Reader.
+func (l *LimitReader) Next() (MicroOp, bool) {
+	if l.n >= l.N {
+		return MicroOp{}, false
+	}
+	op, ok := l.R.Next()
+	if ok {
+		l.n++
+	}
+	return op, ok
+}
+
+// Skip discards n micro-ops from r (fast-forward). It returns the
+// number actually skipped (less than n if the stream ended).
+func Skip(r Reader, n uint64) uint64 {
+	var i uint64
+	for i = 0; i < n; i++ {
+		if _, ok := r.Next(); !ok {
+			break
+		}
+	}
+	return i
+}

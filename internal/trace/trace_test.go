@@ -1,0 +1,174 @@
+package trace
+
+import (
+	"testing"
+
+	"wsrs/internal/isa"
+)
+
+func TestSliceReader(t *testing.T) {
+	ops := []MicroOp{{Seq: 0}, {Seq: 1}, {Seq: 2}}
+	r := NewSliceReader(ops)
+	for i := 0; i < 3; i++ {
+		op, ok := r.Next()
+		if !ok || op.Seq != uint64(i) {
+			t.Fatalf("read %d: %v %v", i, op, ok)
+		}
+	}
+	if _, ok := r.Next(); ok {
+		t.Error("reader should be exhausted")
+	}
+	r.Reset()
+	if op, ok := r.Next(); !ok || op.Seq != 0 {
+		t.Error("reset failed")
+	}
+}
+
+func TestLimitReader(t *testing.T) {
+	s := NewSynth(DefaultSynthConfig())
+	l := &LimitReader{R: s, N: 10}
+	n := 0
+	for {
+		if _, ok := l.Next(); !ok {
+			break
+		}
+		n++
+	}
+	if n != 10 {
+		t.Errorf("limit reader yielded %d, want 10", n)
+	}
+}
+
+func TestSkip(t *testing.T) {
+	ops := make([]MicroOp, 5)
+	for i := range ops {
+		ops[i].Seq = uint64(i)
+	}
+	r := NewSliceReader(ops)
+	if got := Skip(r, 3); got != 3 {
+		t.Fatalf("skip = %d", got)
+	}
+	op, _ := r.Next()
+	if op.Seq != 3 {
+		t.Errorf("after skip, seq = %d", op.Seq)
+	}
+	if got := Skip(r, 10); got != 1 {
+		t.Errorf("skip past end = %d, want 1", got)
+	}
+}
+
+func TestMicroOpArity(t *testing.T) {
+	m := MicroOp{NSrc: 0}
+	if m.Arity() != isa.Noadic {
+		t.Error("0 sources should be noadic")
+	}
+	m.NSrc = 1
+	if m.Arity() != isa.Monadic {
+		t.Error("1 source should be monadic")
+	}
+	m.NSrc = 2
+	if m.Arity() != isa.Dyadic {
+		t.Error("2 sources should be dyadic")
+	}
+}
+
+func TestSynthDeterministic(t *testing.T) {
+	cfg := DefaultSynthConfig()
+	a, b := NewSynth(cfg), NewSynth(cfg)
+	for i := 0; i < 1000; i++ {
+		ma, _ := a.Next()
+		mb, _ := b.Next()
+		if ma != mb {
+			t.Fatalf("divergence at %d: %+v vs %+v", i, ma, mb)
+		}
+	}
+}
+
+func TestSynthRegisterConsistency(t *testing.T) {
+	// Every source register must have been written earlier in the
+	// stream or be a live-in.
+	cfg := DefaultSynthConfig()
+	cfg.FracFP = 0.2
+	s := NewSynth(cfg)
+	written := map[isa.LogicalReg]bool{}
+	for i := 1; i <= cfg.LiveIns; i++ {
+		written[isa.LogicalReg{Class: isa.RegInt, Index: uint8(i)}] = true
+	}
+	for i := 0; i < 8; i++ {
+		written[isa.LogicalReg{Class: isa.RegFP, Index: uint8(i)}] = true
+	}
+	for i := 0; i < 20000; i++ {
+		m, _ := s.Next()
+		for j := 0; j < m.NSrc; j++ {
+			if !written[m.Src[j]] {
+				t.Fatalf("op %d (%v) reads never-written %v", i, m.Op, m.Src[j])
+			}
+		}
+		if m.HasDst {
+			written[m.Dst] = true
+		}
+	}
+}
+
+func TestSynthMixRoughlyMatchesConfig(t *testing.T) {
+	cfg := DefaultSynthConfig()
+	cfg.Seed = 7
+	s := NewSynth(cfg)
+	const n = 100000
+	var loads, stores, branches float64
+	for i := 0; i < n; i++ {
+		m, _ := s.Next()
+		switch m.Class {
+		case isa.ClassLoad:
+			loads++
+		case isa.ClassStore:
+			stores++
+		}
+		if m.IsBranch {
+			branches++
+		}
+	}
+	check := func(name string, got, want float64) {
+		if got < want-0.02 || got > want+0.02 {
+			t.Errorf("%s fraction = %.3f, want ~%.3f", name, got, want)
+		}
+	}
+	check("load", loads/n, cfg.FracLoad)
+	check("store", stores/n, cfg.FracStore)
+	check("branch", branches/n, cfg.FracBranch)
+}
+
+func TestSynthSequencing(t *testing.T) {
+	s := NewSynth(DefaultSynthConfig())
+	var prev uint64
+	for i := 0; i < 100; i++ {
+		m, ok := s.Next()
+		if !ok {
+			t.Fatal("synth ended")
+		}
+		if i > 0 && m.Seq != prev+1 {
+			t.Fatalf("non-contiguous seq %d after %d", m.Seq, prev)
+		}
+		if !m.LastOfInst {
+			t.Error("synth ops are whole instructions")
+		}
+		prev = m.Seq
+	}
+}
+
+func TestSynthAddressesWithinFootprint(t *testing.T) {
+	cfg := DefaultSynthConfig()
+	cfg.Footprint = 4096
+	s := NewSynth(cfg)
+	for i := 0; i < 5000; i++ {
+		m, _ := s.Next()
+		if m.Class == isa.ClassLoad || m.Class == isa.ClassStore {
+			if m.Addr >= cfg.Footprint {
+				t.Fatalf("address %#x outside footprint", m.Addr)
+			}
+			if m.Addr%8 != 0 {
+				t.Fatalf("unaligned address %#x", m.Addr)
+			}
+		}
+	}
+}

@@ -1,0 +1,70 @@
+package wakeup
+
+import (
+	"math"
+	"testing"
+)
+
+func TestComparatorCounts(t *testing.T) {
+	// §4.3.2: 2N comparators per dyadic wake-up entry.
+	if ComparatorsPerEntry(12) != 24 || ComparatorsPerEntry(6) != 12 {
+		t.Error("comparator counts wrong")
+	}
+	if TotalComparators(6, 56) != 12*56 {
+		t.Error("total comparators wrong")
+	}
+}
+
+func TestPalacharlaCalibration(t *testing.T) {
+	// Doubling sources 4 -> 8 must increase response time by 46 %
+	// (the paper's quoted number), independent of window size.
+	for _, entries := range []int{16, 32, 56} {
+		ratio := DelayRel(8, entries) / DelayRel(4, entries)
+		if math.Abs(ratio-1.46) > 0.01 {
+			t.Errorf("delay(8)/delay(4) = %.3f at %d entries, want 1.46", ratio, entries)
+		}
+	}
+	if math.Abs(DelayRel(4, 16)-1.0) > 1e-9 {
+		t.Errorf("reference delay = %v, want 1", DelayRel(4, 16))
+	}
+}
+
+func TestDelayMonotone(t *testing.T) {
+	if DelayRel(12, 56) <= DelayRel(6, 56) {
+		t.Error("more sources must be slower")
+	}
+	if DelayRel(6, 56) <= DelayRel(6, 16) {
+		t.Error("bigger windows must be slower")
+	}
+}
+
+func TestWSRSHeadline(t *testing.T) {
+	// The central §4.3.2 claim: the 8-way WSRS wake-up entry equals
+	// the conventional 4-way machine's.
+	rows := make(map[string]Row)
+	for _, d := range PaperDesigns() {
+		rows[d.Name] = Evaluate(d)
+	}
+	wsrs := rows["WSRS 8-way"]
+	conv4 := rows["conventional 4-way"]
+	conv8 := rows["conventional 8-way"]
+	if wsrs.Comparators != conv4.Comparators || wsrs.Delay != conv4.Delay || wsrs.Energy != conv4.Energy {
+		t.Errorf("WSRS wake-up complexity must equal the 4-way machine's: %+v vs %+v", wsrs, conv4)
+	}
+	if conv8.Comparators != 2*wsrs.Comparators {
+		t.Errorf("conventional 8-way must have twice the comparators: %d vs %d",
+			conv8.Comparators, wsrs.Comparators)
+	}
+	if conv8.Delay <= wsrs.Delay {
+		t.Error("conventional 8-way wake-up must be slower")
+	}
+	if wsrs.String() == "" || conv8.String() == "" {
+		t.Error("row rendering broken")
+	}
+}
+
+func TestEnergyScalesWithComparators(t *testing.T) {
+	if EnergyRel(12, 56) != 2*EnergyRel(6, 56) {
+		t.Error("energy must scale with comparator count")
+	}
+}

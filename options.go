@@ -1,0 +1,171 @@
+package wsrs
+
+import (
+	"fmt"
+
+	"wsrs/internal/alloc"
+	"wsrs/internal/kernels"
+	"wsrs/internal/pipeline"
+	"wsrs/internal/rename"
+)
+
+// MachineOption mutates a machine configuration; used by the ablation
+// studies in bench_test.go and the example programs.
+type MachineOption func(*pipeline.Config)
+
+// WithRenameImpl1 selects the paper's first renaming implementation
+// (§2.2.1): over-picking registers from every subset free list each
+// cycle, with the unused picks recycled through a pipeline of the
+// given depth.
+func WithRenameImpl1(recycleDepth int) MachineOption {
+	return func(c *pipeline.Config) {
+		c.Rename.Impl = rename.ImplOverPick
+		c.Rename.OverPickWidth = c.FetchWidth
+		c.Rename.RecycleDepth = recycleDepth
+		// §5.2.1: the first implementation saves two renaming stages
+		// relative to the second on WSRS machines (16 vs 18 cycles).
+		if c.WSRS {
+			c.MispredictPenalty = 16
+		}
+	}
+}
+
+// WithRegisters overrides the total physical register count of both
+// register classes (must divide evenly into the subsets).
+func WithRegisters(n int) MachineOption {
+	return func(c *pipeline.Config) {
+		c.Rename.IntRegs = n
+		c.Rename.FPRegs = n
+	}
+}
+
+// WithXClusterDelay overrides the inter-cluster forwarding delay
+// (paper §5.2 uses 1 cycle).
+func WithXClusterDelay(d int) MachineOption {
+	return func(c *pipeline.Config) { c.XClusterDelay = d }
+}
+
+// WithPerfectBP replaces the 2Bc-gskew predictor with an oracle.
+func WithPerfectBP() MachineOption {
+	return func(c *pipeline.Config) { c.PerfectBP = true }
+}
+
+// WithMispredictPenalty overrides the minimum misprediction penalty.
+func WithMispredictPenalty(p int) MachineOption {
+	return func(c *pipeline.Config) { c.MispredictPenalty = p }
+}
+
+// WithDeadlockMoves enables the §2.3 move-injection workaround.
+func WithDeadlockMoves() MachineOption {
+	return func(c *pipeline.Config) { c.DeadlockMoves = true }
+}
+
+// RunKernelWith is RunKernel with configuration overrides and an
+// optional policy replacement (pass "" to keep the configuration's
+// own policy; "RC-bal" selects the least-loaded ablation policy).
+func RunKernelWith(conf ConfigName, kernel string, opts SimOpts, policy string, mods ...MachineOption) (Result, error) {
+	k, ok := kernels.ByName(kernel)
+	if !ok {
+		return Result{}, fmt.Errorf("wsrs: unknown kernel %q", kernel)
+	}
+	opts = opts.withDefaults()
+	cfg, pol, err := Build(conf, opts.Seed)
+	if err != nil {
+		return Result{}, err
+	}
+	for _, m := range mods {
+		m(&cfg)
+	}
+	if policy != "" {
+		pol, err = NewPolicy(policy, opts.Seed)
+		if err != nil {
+			return Result{}, err
+		}
+	}
+	sim, err := k.NewSim()
+	if err != nil {
+		return Result{}, err
+	}
+	return pipeline.Run(cfg, pol, sim, pipeline.RunOpts{
+		WarmupInsts:  opts.WarmupInsts,
+		MeasureInsts: opts.MeasureInsts,
+	})
+}
+
+// NewPolicy builds an allocation policy by name: "RR", "RM", "RC",
+// "RC-bal" (least-loaded) or "RC-dep" (locality-first).
+func NewPolicy(name string, seed int64) (alloc.Policy, error) {
+	switch name {
+	case "RR":
+		return alloc.NewRoundRobin(4), nil
+	case "RM":
+		return alloc.NewRM(seed), nil
+	case "RC":
+		return alloc.NewRC(seed), nil
+	case "RC-bal":
+		return alloc.NewRCBalanced(seed), nil
+	case "RC-dep":
+		return alloc.NewRCDep(seed), nil
+	}
+	return nil, fmt.Errorf("wsrs: unknown policy %q", name)
+}
+
+// Forwarding hardware options of paper §4.3.1 for the 4-cluster WSRS
+// layout of Figure 3, where clusters form a 2x2 grid (C0 C1 / C2 C3)
+// and every consumer cluster touches its producer's row or column.
+const (
+	// ForwardComplete is a complete fast-forwarding network: one
+	// cycle between any two clusters (the paper's simulated design).
+	ForwardComplete = "complete"
+	// ForwardPairs provides fast-forwarding inside pairs of adjacent
+	// clusters: one cycle to grid neighbours, two to the diagonal.
+	ForwardPairs = "pairs"
+	// ForwardIntra provides no inter-cluster fast-forwarding: remote
+	// results take two cycles (a register-file trip).
+	ForwardIntra = "intra"
+)
+
+// WithForwarding installs one of the §4.3.1 fast-forwarding options.
+func WithForwarding(option string) MachineOption {
+	return func(c *pipeline.Config) {
+		n := c.NumClusters
+		m := make([][]int, n)
+		for p := 0; p < n; p++ {
+			m[p] = make([]int, n)
+			for q := 0; q < n; q++ {
+				if p == q {
+					continue
+				}
+				switch option {
+				case ForwardComplete:
+					m[p][q] = 1
+				case ForwardPairs:
+					// Adjacent in the 2x2 layout: share a row bit or
+					// a column bit; the diagonal differs in both.
+					if p^q == 3 {
+						m[p][q] = 2
+					} else {
+						m[p][q] = 1
+					}
+				case ForwardIntra:
+					m[p][q] = 2
+				}
+			}
+		}
+		c.ForwardDelay = m
+	}
+}
+
+// WithDeadlockAvoidance enables workaround (a) of §2.3: allocation
+// re-steers micro-ops away from register subsets with no free
+// registers (within the read-specialization constraints).
+func WithDeadlockAvoidance() MachineOption {
+	return func(c *pipeline.Config) { c.DeadlockAvoidAlloc = true }
+}
+
+// WithSharedDividers enables §4.1's shared-divider organization: one
+// integer divider per adjacent cluster pair instead of one per
+// cluster, with static (cycle-parity) arbitration.
+func WithSharedDividers() MachineOption {
+	return func(c *pipeline.Config) { c.SharedDividers = true }
+}

@@ -1,0 +1,78 @@
+package wsrs
+
+import (
+	"fmt"
+	"math"
+)
+
+// SeedStats summarizes a quantity across allocation-policy seeds. The
+// RM/RC policies are randomized (§5.2.1), so headline IPCs carry
+// seed-to-seed variation; this is the error bar for Figure 4.
+type SeedStats struct {
+	N         int
+	Mean, Std float64
+	Min, Max  float64
+}
+
+// String renders "mean ± std [min, max]".
+func (s SeedStats) String() string {
+	return fmt.Sprintf("%.3f ± %.3f [%.3f, %.3f] (n=%d)", s.Mean, s.Std, s.Min, s.Max, s.N)
+}
+
+// RunKernelSeeds runs the same (configuration, kernel) simulation
+// under n different allocation-policy seeds (1..n) and returns all
+// results.
+func RunKernelSeeds(conf ConfigName, kernel string, opts SimOpts, n int) ([]Result, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("wsrs: need at least one seed")
+	}
+	out := make([]Result, 0, n)
+	for seed := int64(1); seed <= int64(n); seed++ {
+		o := opts
+		o.Seed = seed
+		res, err := RunKernel(conf, kernel, o)
+		if err != nil {
+			return nil, fmt.Errorf("seed %d: %w", seed, err)
+		}
+		out = append(out, res)
+	}
+	return out, nil
+}
+
+// IPCStats aggregates the IPCs of a multi-seed run.
+func IPCStats(results []Result) SeedStats {
+	return statsOf(results, func(r Result) float64 { return r.IPC })
+}
+
+// UnbalancingStats aggregates the unbalancing degrees.
+func UnbalancingStats(results []Result) SeedStats {
+	return statsOf(results, func(r Result) float64 { return r.UnbalancingDegree })
+}
+
+func statsOf(results []Result, f func(Result) float64) SeedStats {
+	s := SeedStats{N: len(results), Min: math.Inf(1), Max: math.Inf(-1)}
+	if s.N == 0 {
+		return SeedStats{}
+	}
+	for _, r := range results {
+		v := f(r)
+		s.Mean += v
+		if v < s.Min {
+			s.Min = v
+		}
+		if v > s.Max {
+			s.Max = v
+		}
+	}
+	s.Mean /= float64(s.N)
+	for _, r := range results {
+		d := f(r) - s.Mean
+		s.Std += d * d
+	}
+	if s.N > 1 {
+		s.Std = math.Sqrt(s.Std / float64(s.N-1))
+	} else {
+		s.Std = 0
+	}
+	return s
+}

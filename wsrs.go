@@ -1,0 +1,318 @@
+// Package wsrs is a from-scratch reproduction of "Register Write
+// Specialization Register Read Specialization: A Path to
+// Complexity-Effective Wide-Issue Superscalar Processors" (Seznec,
+// Toullec, Rochecouste — MICRO-35, 2002).
+//
+// The package exposes the paper's machinery through a small facade:
+//
+//   - Machine configurations: the six design points of Figure 4
+//     (conventional RR-256, write-specialized WSRR-384/512 and
+//     WSRS-RC/RM with 384/512 physical registers), built on a
+//     cycle-level 8-way 4-cluster out-of-order timing model.
+//   - Workloads: twelve SPEC CPU2000 proxy kernels (internal/kernels)
+//     plus custom programs assembled from source (RunProgram).
+//   - Complexity models: Table1 regenerates the paper's register-file
+//     area / energy / access-time / bypass comparison.
+//   - Experiments: Figure4 (IPC) and Figure5 (workload unbalancing
+//     degree), plus the ablations described in DESIGN.md.
+//
+// Quick start:
+//
+//	res, err := wsrs.RunKernel(wsrs.ConfWSRSRC512, "gzip", wsrs.SimOpts{})
+//	fmt.Printf("IPC = %.2f\n", res.IPC)
+package wsrs
+
+import (
+	"fmt"
+
+	"wsrs/internal/alloc"
+	"wsrs/internal/asm"
+	"wsrs/internal/cluster"
+	"wsrs/internal/funcsim"
+	"wsrs/internal/isa"
+	"wsrs/internal/kernels"
+	"wsrs/internal/mem"
+	"wsrs/internal/pipeline"
+	"wsrs/internal/rename"
+	"wsrs/internal/trace"
+)
+
+// ConfigName identifies one of the paper's simulated configurations
+// (§5.2.1 and Figure 4's legend).
+type ConfigName string
+
+// The six Figure 4 configurations.
+const (
+	// ConfRR256 is the conventional 4-cluster processor: round-robin
+	// allocation, 256 physical registers, 17-cycle minimum
+	// misprediction penalty.
+	ConfRR256 ConfigName = "RR 256"
+	// ConfWSRR384 / ConfWSRR512 use register Write Specialization
+	// alone with round-robin allocation (second renaming
+	// implementation, 16-cycle penalty: the register read pipeline is
+	// one cycle shorter).
+	ConfWSRR384 ConfigName = "WSRR 384"
+	ConfWSRR512 ConfigName = "WSRR 512"
+	// ConfWSRSRC384 / ConfWSRSRC512 are 4-cluster WSRS machines with
+	// the "random commutative cluster" policy and the second renaming
+	// implementation (18-cycle penalty).
+	ConfWSRSRC384 ConfigName = "WSRS RC S 384"
+	ConfWSRSRC512 ConfigName = "WSRS RC S 512"
+	// ConfWSRSRM512 uses the "random monadic" policy.
+	ConfWSRSRM512 ConfigName = "WSRS RM S 512"
+
+	// ConfWSPools512 is the second write-specialization organization
+	// of paper Figure 2b: heterogeneous pools of identical functional
+	// units (load/store, simple ALU, complex, branch), each fed by
+	// dedicated reservation stations and writing its own register
+	// subset. Pool allocation is class-static ("predecoded bits in
+	// the instruction cache", §2.4), so renaming needs no extra
+	// stages (16-cycle penalty). Not part of Figure 4; provided as an
+	// extension experiment.
+	ConfWSPools512 ConfigName = "WS pools 512"
+)
+
+// Figure4Configs returns the six configuration names in the paper's
+// legend order.
+func Figure4Configs() []ConfigName {
+	return []ConfigName{
+		ConfRR256, ConfWSRR384, ConfWSRR512,
+		ConfWSRSRC384, ConfWSRSRC512, ConfWSRSRM512,
+	}
+}
+
+// DefaultLatencies re-exports the paper's Table 2 latencies.
+func DefaultLatencies() isa.Latencies { return isa.DefaultLatencies() }
+
+// DefaultMemory re-exports the paper's Table 3 memory hierarchy.
+func DefaultMemory() mem.Config { return mem.DefaultConfig() }
+
+// baseConfig is the machine frame shared by every configuration:
+// 8-way 4-cluster, 224-entry window, Table 2 latencies, Table 3
+// memory, 512-Kbit 2Bc-gskew predictor.
+func baseConfig(name string) pipeline.Config {
+	return pipeline.Config{
+		Name:             name,
+		FetchWidth:       8,
+		CommitWidth:      8,
+		NumClusters:      4,
+		ROBSize:          224,
+		Cluster:          cluster.DefaultConfig(),
+		XClusterDelay:    1,
+		TrapPenalty:      17,
+		Lat:              isa.DefaultLatencies(),
+		Mem:              mem.DefaultConfig(),
+		PredictorLogSize: 16,
+	}
+}
+
+// Build returns the pipeline configuration and a fresh allocation
+// policy for a named configuration. Policies embedding randomness are
+// seeded with seed for reproducibility.
+func Build(name ConfigName, seed int64) (pipeline.Config, alloc.Policy, error) {
+	cfg := baseConfig(string(name))
+	switch name {
+	case ConfRR256:
+		cfg.Rename = rename.Config{NumSubsets: 1, IntRegs: 256, FPRegs: 256, Impl: rename.ImplExactCount}
+		cfg.MispredictPenalty = 17
+		return cfg, alloc.NewRoundRobin(4), nil
+	case ConfWSRR384, ConfWSRR512:
+		regs := 384
+		if name == ConfWSRR512 {
+			regs = 512
+		}
+		cfg.Rename = rename.Config{NumSubsets: 4, IntRegs: regs, FPRegs: regs, Impl: rename.ImplExactCount}
+		cfg.MispredictPenalty = 16
+		return cfg, alloc.NewRoundRobin(4), nil
+	case ConfWSPools512:
+		cfg.Rename = rename.Config{NumSubsets: 4, IntRegs: 512, FPRegs: 512, Impl: rename.ImplExactCount}
+		cfg.MispredictPenalty = 16
+		cfg.ClusterConfigs = poolConfigs()
+		return cfg, alloc.NewClassPools(), nil
+	case ConfWSRSRC384, ConfWSRSRC512, ConfWSRSRM512:
+		regs := 384
+		if name != ConfWSRSRC384 {
+			regs = 512
+		}
+		cfg.Rename = rename.Config{NumSubsets: 4, IntRegs: regs, FPRegs: regs, Impl: rename.ImplExactCount}
+		cfg.WSRS = true
+		cfg.MispredictPenalty = 18 // second renaming implementation ("S")
+		if name == ConfWSRSRM512 {
+			return cfg, alloc.NewRM(seed), nil
+		}
+		return cfg, alloc.NewRC(seed), nil
+	}
+	return pipeline.Config{}, nil, fmt.Errorf("wsrs: unknown configuration %q", name)
+}
+
+// poolConfigs sizes the Figure 2b pools to the same aggregate
+// resources as the 4-identical-cluster machine: 3 load/store units,
+// 4 simple ALUs, a complex pool (2 multiply/divide-capable ALUs + 2
+// FPUs) and 2 branch units. Write ports per subset stay at 3 or
+// fewer, preserving the WS register file of Table 1.
+func poolConfigs() []cluster.Config {
+	return []cluster.Config{
+		alloc.PoolLdSt:    {IssueWidth: 3, NumLSU: 3, IQSize: 56, MaxInflight: 56, WritePorts: 3},
+		alloc.PoolALU:     {IssueWidth: 4, NumALU: 4, IQSize: 56, MaxInflight: 56, WritePorts: 3},
+		alloc.PoolComplex: {IssueWidth: 2, NumALU: 2, NumFPU: 2, IQSize: 56, MaxInflight: 56, WritePorts: 3},
+		alloc.PoolBranch:  {IssueWidth: 2, NumALU: 2, IQSize: 56, MaxInflight: 56, WritePorts: 2},
+	}
+}
+
+// SimOpts bounds a simulation run. Zero values select the defaults
+// used throughout the test suite (a scaled-down version of the
+// paper's 20 M-warm / 10 M-measured protocol).
+type SimOpts struct {
+	WarmupInsts  uint64 // default 20 000
+	MeasureInsts uint64 // default 60 000
+	Seed         int64  // allocation-policy seed, default 1
+}
+
+func (o SimOpts) withDefaults() SimOpts {
+	if o.WarmupInsts == 0 {
+		o.WarmupInsts = 20_000
+	}
+	if o.MeasureInsts == 0 {
+		o.MeasureInsts = 60_000
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	return o
+}
+
+// Result is the outcome of one simulation (re-exported from the
+// timing model).
+type Result = pipeline.Result
+
+// RunKernel simulates the named benchmark kernel on the named
+// configuration.
+func RunKernel(conf ConfigName, kernel string, opts SimOpts) (Result, error) {
+	k, ok := kernels.ByName(kernel)
+	if !ok {
+		return Result{}, fmt.Errorf("wsrs: unknown kernel %q (have %v)", kernel, kernels.Names())
+	}
+	opts = opts.withDefaults()
+	cfg, pol, err := Build(conf, opts.Seed)
+	if err != nil {
+		return Result{}, err
+	}
+	sim, err := k.NewSim()
+	if err != nil {
+		return Result{}, err
+	}
+	return pipeline.Run(cfg, pol, sim, pipeline.RunOpts{
+		WarmupInsts:  opts.WarmupInsts,
+		MeasureInsts: opts.MeasureInsts,
+	})
+}
+
+// Kernels returns the names of the twelve SPEC proxy kernels in
+// Figure 4 order.
+func Kernels() []string { return kernels.Names() }
+
+// IntKernels and FPKernels return the Figure 4 benchmark groups.
+func IntKernels() []string { return names(kernels.Integers()) }
+
+// FPKernels returns the floating-point benchmark names.
+func FPKernels() []string { return names(kernels.Floats()) }
+
+func names(ks []kernels.Kernel) []string {
+	out := make([]string, len(ks))
+	for i, k := range ks {
+		out[i] = k.Name
+	}
+	return out
+}
+
+// RunProgram assembles source, initializes memory via init (which may
+// be nil), and simulates it on the named configuration until it halts
+// or opts' instruction budget is exhausted.
+func RunProgram(conf ConfigName, source string, init func(*funcsim.Memory), opts SimOpts) (Result, error) {
+	prog, err := asm.Assemble(source)
+	if err != nil {
+		return Result{}, err
+	}
+	if opts.Seed == 0 {
+		opts.Seed = 1
+	}
+	cfg, pol, err := Build(conf, opts.Seed)
+	if err != nil {
+		return Result{}, err
+	}
+	m := funcsim.NewMemory()
+	if init != nil {
+		init(m)
+	}
+	sim := funcsim.New(prog, m)
+	res, err := pipeline.Run(cfg, pol, sim, pipeline.RunOpts{
+		WarmupInsts:  opts.WarmupInsts,
+		MeasureInsts: opts.MeasureInsts,
+	})
+	if err != nil {
+		return res, err
+	}
+	return res, sim.Err()
+}
+
+// Trace exposes the annotated dynamic micro-op stream of a kernel for
+// custom experiments (the first n micro-ops).
+func Trace(kernel string, n int) ([]trace.MicroOp, error) {
+	k, ok := kernels.ByName(kernel)
+	if !ok {
+		return nil, fmt.Errorf("wsrs: unknown kernel %q", kernel)
+	}
+	sim, err := k.NewSim()
+	if err != nil {
+		return nil, err
+	}
+	ops := make([]trace.MicroOp, 0, n)
+	for i := 0; i < n; i++ {
+		m, ok := sim.Next()
+		if !ok {
+			break
+		}
+		ops = append(ops, m)
+	}
+	return ops, sim.Err()
+}
+
+// runPipeline runs a pre-collected micro-op slice through the timing
+// model (used by the throughput benchmark and examples).
+func runPipeline(cfg pipeline.Config, pol alloc.Policy, ops []trace.MicroOp) (Result, error) {
+	return pipeline.Run(cfg, pol, trace.NewSliceReader(ops), pipeline.RunOpts{})
+}
+
+// RunKernelSMT simulates several SMT hardware contexts, one benchmark
+// kernel per context, sharing the machine (paper §2.3 flags SMT as
+// the scenario where register subsets realistically hold fewer
+// registers than the combined logical state — making the deadlock
+// workarounds load-bearing; they are enabled here).
+func RunKernelSMT(conf ConfigName, kernelNames []string, opts SimOpts) (Result, error) {
+	if len(kernelNames) < 1 {
+		return Result{}, fmt.Errorf("wsrs: need at least one context")
+	}
+	opts = opts.withDefaults()
+	cfg, pol, err := Build(conf, opts.Seed)
+	if err != nil {
+		return Result{}, err
+	}
+	cfg.Threads = len(kernelNames)
+	cfg.DeadlockMoves = true
+	var srcs []trace.Reader
+	for _, name := range kernelNames {
+		k, ok := kernels.ByName(name)
+		if !ok {
+			return Result{}, fmt.Errorf("wsrs: unknown kernel %q", name)
+		}
+		sim, err := k.NewSim()
+		if err != nil {
+			return Result{}, err
+		}
+		srcs = append(srcs, sim)
+	}
+	return pipeline.RunSMT(cfg, pol, srcs, pipeline.RunOpts{
+		WarmupInsts:  opts.WarmupInsts,
+		MeasureInsts: opts.MeasureInsts,
+	})
+}

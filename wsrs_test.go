@@ -1,0 +1,487 @@
+package wsrs
+
+import (
+	"strings"
+	"testing"
+)
+
+// Short simulation windows keep the test suite fast; the reproduction
+// invariants below are robust at this scale.
+var testOpts = SimOpts{WarmupInsts: 8000, MeasureInsts: 25000}
+
+func TestBuildAllConfigs(t *testing.T) {
+	for _, c := range Figure4Configs() {
+		cfg, pol, err := Build(c, 1)
+		if err != nil {
+			t.Fatalf("%s: %v", c, err)
+		}
+		if err := cfg.Validate(); err != nil {
+			t.Errorf("%s: invalid config: %v", c, err)
+		}
+		if pol == nil {
+			t.Errorf("%s: nil policy", c)
+		}
+	}
+	if _, _, err := Build("bogus", 1); err == nil {
+		t.Error("unknown config must fail")
+	}
+}
+
+func TestConfigParametersMatchPaper(t *testing.T) {
+	cfg, _, _ := Build(ConfRR256, 1)
+	if cfg.MispredictPenalty != 17 || cfg.Rename.IntRegs != 256 || cfg.Rename.NumSubsets != 1 {
+		t.Errorf("RR256: %+v", cfg)
+	}
+	cfg, _, _ = Build(ConfWSRR384, 1)
+	if cfg.MispredictPenalty != 16 || cfg.Rename.IntRegs != 384 || cfg.Rename.NumSubsets != 4 || cfg.WSRS {
+		t.Errorf("WSRR384: %+v", cfg)
+	}
+	cfg, _, _ = Build(ConfWSRSRC512, 1)
+	if cfg.MispredictPenalty != 18 || cfg.Rename.IntRegs != 512 || !cfg.WSRS {
+		t.Errorf("WSRSRC512: %+v", cfg)
+	}
+	if cfg.FetchWidth != 8 || cfg.NumClusters != 4 || cfg.ROBSize != 224 {
+		t.Errorf("machine frame: %+v", cfg)
+	}
+	lat := DefaultLatencies()
+	if lat.Load != 2 || lat.FP != 4 || lat.Div != 15 {
+		t.Error("Table 2 latencies wrong")
+	}
+	m := DefaultMemory()
+	if m.L1Size != 32*1024 || m.L2MissPenalty != 80 {
+		t.Error("Table 3 memory config wrong")
+	}
+}
+
+func TestKernelLists(t *testing.T) {
+	if len(Kernels()) != 12 || len(IntKernels()) != 5 || len(FPKernels()) != 7 {
+		t.Fatalf("kernel lists: %d/%d/%d", len(Kernels()), len(IntKernels()), len(FPKernels()))
+	}
+}
+
+func TestRunKernelBasics(t *testing.T) {
+	res, err := RunKernel(ConfRR256, "crafty", testOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.IPC <= 0.5 || res.IPC > 8 {
+		t.Errorf("crafty IPC = %.2f", res.IPC)
+	}
+	if res.Insts < testOpts.MeasureInsts {
+		t.Errorf("measured %d instructions", res.Insts)
+	}
+	if _, err := RunKernel(ConfRR256, "nonesuch", testOpts); err == nil {
+		t.Error("unknown kernel must fail")
+	} else if !strings.Contains(err.Error(), "unknown kernel") {
+		t.Errorf("unhelpful error: %v", err)
+	}
+}
+
+func TestRunKernelDeterministic(t *testing.T) {
+	a, err := RunKernel(ConfWSRSRC512, "gzip", testOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunKernel(ConfWSRSRC512, "gzip", testOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.IPC != b.IPC || a.Cycles != b.Cycles || a.UnbalancingDegree != b.UnbalancingDegree {
+		t.Error("same seed must reproduce identical results")
+	}
+	c, err := RunKernel(ConfWSRSRC512, "gzip", SimOpts{WarmupInsts: 8000, MeasureInsts: 25000, Seed: 99})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Cycles == c.Cycles && a.UnbalancingDegree == c.UnbalancingDegree {
+		t.Log("different seeds produced identical results (possible but unlikely)")
+	}
+}
+
+// TestReproductionInvariants asserts the qualitative claims of the
+// paper's evaluation section on a fast subset of benchmarks.
+func TestReproductionInvariants(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy")
+	}
+	type runs struct{ rr, wsrr, rc, rm Result }
+	get := func(k string) runs {
+		t.Helper()
+		var r runs
+		var err error
+		if r.rr, err = RunKernel(ConfRR256, k, testOpts); err != nil {
+			t.Fatal(err)
+		}
+		if r.wsrr, err = RunKernel(ConfWSRR512, k, testOpts); err != nil {
+			t.Fatal(err)
+		}
+		if r.rc, err = RunKernel(ConfWSRSRC512, k, testOpts); err != nil {
+			t.Fatal(err)
+		}
+		if r.rm, err = RunKernel(ConfWSRSRM512, k, testOpts); err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+
+	for _, k := range []string{"gzip", "crafty", "wupwise", "facerec"} {
+		r := get(k)
+		// §5.4.1: write specialization alone does not impair
+		// performance (round-robin allocation).
+		if r.wsrr.IPC < r.rr.IPC*0.97 {
+			t.Errorf("%s: WSRR IPC %.2f fell below RR %.2f", k, r.wsrr.IPC, r.rr.IPC)
+		}
+		// §5.4.2: WSRS stands the comparison with the conventional
+		// machine (we allow a wider band than the paper's 3 % since
+		// the proxies are purer loops than SPEC).
+		if r.rc.IPC < r.rr.IPC*0.75 || r.rc.IPC > r.rr.IPC*1.30 {
+			t.Errorf("%s: WSRS RC IPC %.2f vs RR %.2f out of band", k, r.rc.IPC, r.rr.IPC)
+		}
+		// RR is perfectly balanced; WSRS policies are not.
+		if r.rr.UnbalancingDegree != 0 {
+			t.Errorf("%s: RR unbalancing %.1f, want 0", k, r.rr.UnbalancingDegree)
+		}
+		if r.rc.UnbalancingDegree == 0 || r.rm.UnbalancingDegree == 0 {
+			t.Errorf("%s: WSRS unbalancing degrees are zero", k)
+		}
+		// RM uses fewer degrees of freedom than RC: its unbalancing
+		// is at least RC's (paper: "in most of the cases").
+		if r.rm.UnbalancingDegree < r.rc.UnbalancingDegree-5 {
+			t.Errorf("%s: RM degree %.1f clearly below RC %.1f", k,
+				r.rm.UnbalancingDegree, r.rc.UnbalancingDegree)
+		}
+		// RM never beats RC by much (fewer placement choices).
+		if r.rm.IPC > r.rc.IPC*1.1 {
+			t.Errorf("%s: RM IPC %.2f above RC %.2f", k, r.rm.IPC, r.rc.IPC)
+		}
+	}
+}
+
+func TestRegisterCountMinorEffect(t *testing.T) {
+	// Paper §5.4.2: "increasing the total number of registers from
+	// 384 to 512 has a minor impact on performance".
+	a, err := RunKernel(ConfWSRSRC384, "gzip", testOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunKernel(ConfWSRSRC512, "gzip", testOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.IPC < a.IPC*0.95 || b.IPC > a.IPC*1.15 {
+		t.Errorf("384 -> 512 registers: IPC %.2f -> %.2f, expected a minor effect", a.IPC, b.IPC)
+	}
+}
+
+func TestTable1Facade(t *testing.T) {
+	rows := Table1()
+	if len(rows) != 5 {
+		t.Fatalf("Table1 rows = %d", len(rows))
+	}
+	var sb strings.Builder
+	RenderTable1(&sb)
+	out := sb.String()
+	for _, name := range []string{"noWS-M", "noWS-D", "WS", "WSRS", "noWS-2"} {
+		if !strings.Contains(out, name) {
+			t.Errorf("Table 1 output missing %s", name)
+		}
+	}
+}
+
+func TestFigureDriversRenderOnSubset(t *testing.T) {
+	cells, err := RunFigure4([]ConfigName{ConfRR256, ConfWSRSRC512}, []string{"crafty"}, testOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != 2 {
+		t.Fatalf("cells = %d", len(cells))
+	}
+	var sb strings.Builder
+	RenderFigure4(&sb, cells)
+	if !strings.Contains(sb.String(), "crafty") {
+		t.Error("figure 4 rendering broken")
+	}
+	f5, err := RunFigure5([]string{"crafty"}, testOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sb.Reset()
+	RenderFigure5(&sb, f5)
+	if !strings.Contains(sb.String(), "crafty") {
+		t.Error("figure 5 rendering broken")
+	}
+}
+
+func TestRunProgram(t *testing.T) {
+	res, err := RunProgram(ConfRR256, `
+		li  %o0, 100
+		li  %o1, 0
+	loop:
+		add %o1, %o1, %o0
+		sub %o0, %o0, 1
+		bgt %o0, %g0, loop
+		halt
+	`, nil, SimOpts{MeasureInsts: 0, WarmupInsts: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Insts == 0 || res.IPC <= 0 {
+		t.Errorf("program result: %+v", res)
+	}
+	if _, err := RunProgram(ConfRR256, "bogus", nil, SimOpts{}); err == nil {
+		t.Error("bad program must fail")
+	}
+}
+
+func TestTraceExposure(t *testing.T) {
+	ops, err := Trace("gzip", 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ops) != 1000 {
+		t.Fatalf("trace length %d", len(ops))
+	}
+	if _, err := Trace("nope", 10); err == nil {
+		t.Error("unknown kernel must fail")
+	}
+}
+
+func TestOptionsAndPolicies(t *testing.T) {
+	// Rename implementation 1 must run and not beat implementation 2
+	// by much (it wastes registers in the recycling pipeline).
+	res1, err := RunKernelWith(ConfWSRSRC512, "gzip", testOpts, "", WithRenameImpl1(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res2, err := RunKernel(ConfWSRSRC512, "gzip", testOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Impl 1 runs with a 16-cycle penalty (vs 18): results should be
+	// close overall ("simulation results did not exhibit any
+	// significant difference", §5.2.1).
+	if res1.IPC < res2.IPC*0.85 || res1.IPC > res2.IPC*1.20 {
+		t.Errorf("rename impl1 IPC %.2f vs impl2 %.2f: too far apart", res1.IPC, res2.IPC)
+	}
+
+	// The balanced ablation policy must not be (much) worse than RC.
+	bal, err := RunKernelWith(ConfWSRSRC512, "facerec", testOpts, "RC-bal")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rc, err := RunKernel(ConfWSRSRC512, "facerec", testOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bal.IPC < rc.IPC*0.9 {
+		t.Errorf("balanced policy IPC %.2f well below RC %.2f", bal.IPC, rc.IPC)
+	}
+	if bal.UnbalancingDegree > rc.UnbalancingDegree+10 {
+		t.Errorf("balanced policy more unbalanced than RC: %.1f vs %.1f",
+			bal.UnbalancingDegree, rc.UnbalancingDegree)
+	}
+
+	if _, err := NewPolicy("zork", 1); err == nil {
+		t.Error("unknown policy must fail")
+	}
+	for _, p := range []string{"RR", "RM", "RC", "RC-bal", "RC-dep"} {
+		if _, err := NewPolicy(p, 1); err != nil {
+			t.Errorf("policy %s: %v", p, err)
+		}
+	}
+}
+
+func TestXClusterDelayAblation(t *testing.T) {
+	// A free bypass network can only help.
+	fast, err := RunKernelWith(ConfRR256, "galgel", testOpts, "", WithXClusterDelay(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	slow, err := RunKernelWith(ConfRR256, "galgel", testOpts, "", WithXClusterDelay(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fast.IPC <= slow.IPC {
+		t.Errorf("0-cycle forwarding IPC %.2f must beat 3-cycle %.2f", fast.IPC, slow.IPC)
+	}
+}
+
+func TestPoolsOrganization(t *testing.T) {
+	// The Figure 2b pools machine: class-static allocation, WS-only.
+	cfg, pol, err := Build(ConfWSPools512, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pol.Name() != "pools" || cfg.WSRS {
+		t.Errorf("pools config: policy=%s wsrs=%v", pol.Name(), cfg.WSRS)
+	}
+	if len(cfg.ClusterConfigs) != 4 {
+		t.Fatal("pools need 4 heterogeneous clusters")
+	}
+	res, err := RunKernel(ConfWSPools512, "wupwise", testOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Insts < testOpts.MeasureInsts {
+		t.Fatalf("pools committed only %d", res.Insts)
+	}
+	// All fp work must land on the complex pool, loads on the
+	// load/store pool: pool loads reflect the class split.
+	if res.ClusterLoads[2] == 0 {
+		t.Error("complex pool idle on an fp benchmark")
+	}
+	if res.ClusterLoads[0] == 0 {
+		t.Error("load/store pool idle")
+	}
+	rr, err := RunKernel(ConfRR256, "wupwise", testOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Pools keep wupwise within a reasonable band of the clustered
+	// machine (the complex pool aggregates the FPUs).
+	if res.IPC < rr.IPC*0.6 {
+		t.Errorf("pools IPC %.2f far below clustered %.2f", res.IPC, rr.IPC)
+	}
+}
+
+func TestForwardingOptionsOrdering(t *testing.T) {
+	// §4.3.1: restricting fast-forwarding can only cost performance;
+	// WSRS should suffer less from the restriction than round-robin
+	// (its consumers are placed nearer their producers).
+	ipc := func(conf ConfigName, fw string) float64 {
+		t.Helper()
+		res, err := RunKernelWith(conf, "galgel", testOpts, "", WithForwarding(fw))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.IPC
+	}
+	for _, conf := range []ConfigName{ConfRR256, ConfWSRSRC512} {
+		complete := ipc(conf, ForwardComplete)
+		pairs := ipc(conf, ForwardPairs)
+		intra := ipc(conf, ForwardIntra)
+		if !(complete >= pairs-0.01 && pairs >= intra-0.01) {
+			t.Errorf("%s: forwarding IPCs not ordered: complete %.3f, pairs %.3f, intra %.3f",
+				conf, complete, pairs, intra)
+		}
+	}
+	// Relative cost of losing complete forwarding.
+	rrLoss := 1 - ipc(ConfRR256, ForwardIntra)/ipc(ConfRR256, ForwardComplete)
+	wsLoss := 1 - ipc(ConfWSRSRC512, ForwardIntra)/ipc(ConfWSRSRC512, ForwardComplete)
+	if wsLoss > rrLoss+0.05 {
+		t.Errorf("WSRS forwarding-restriction loss %.3f should not exceed RR's %.3f by much",
+			wsLoss, rrLoss)
+	}
+}
+
+func TestCharacterizeMatchesPaperArgument(t *testing.T) {
+	// §3.3: "A large fraction of the instructions are either monadic
+	// or noadic" — the degrees-of-freedom argument requires it.
+	mixes, err := CharacterizeAll(20000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mixes) != 12 {
+		t.Fatalf("mixes = %d", len(mixes))
+	}
+	for _, m := range mixes {
+		free := m.Noadic + m.Monadic
+		if free < 0.25 {
+			t.Errorf("%s: noadic+monadic fraction %.2f too low for the §3.3 argument", m.Kernel, free)
+		}
+		if m.Noadic+m.Monadic+m.Dyadic < 0.999 {
+			t.Errorf("%s: arity fractions do not sum to 1", m.Kernel)
+		}
+		// RC always offers at least as many choices as RM.
+		if m.AvgChoicesRC < m.AvgChoicesRM {
+			t.Errorf("%s: RC choices %.2f below RM %.2f", m.Kernel, m.AvgChoicesRC, m.AvgChoicesRM)
+		}
+		if m.AvgChoicesRM < 1 || m.AvgChoicesRC > 4 {
+			t.Errorf("%s: choice bounds violated: RM %.2f RC %.2f", m.Kernel, m.AvgChoicesRM, m.AvgChoicesRC)
+		}
+	}
+	var sb strings.Builder
+	RenderMixes(&sb, mixes)
+	if !strings.Contains(sb.String(), "gzip") {
+		t.Error("mix rendering broken")
+	}
+	if _, err := Characterize("nope", 10); err == nil {
+		t.Error("unknown kernel must fail")
+	}
+}
+
+func TestSeedStability(t *testing.T) {
+	// The randomized RC policy's IPC should be stable across seeds:
+	// the paper's conclusions do not hinge on a lucky seed.
+	results, err := RunKernelSeeds(ConfWSRSRC512, "gzip", testOpts, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ipc := IPCStats(results)
+	if ipc.N != 5 || ipc.Mean <= 0 {
+		t.Fatalf("stats: %+v", ipc)
+	}
+	if ipc.Std > 0.05*ipc.Mean {
+		t.Errorf("RC IPC varies too much across seeds: %s", ipc)
+	}
+	if ipc.Min > ipc.Mean || ipc.Max < ipc.Mean {
+		t.Errorf("inconsistent stats: %s", ipc)
+	}
+	ub := UnbalancingStats(results)
+	if ub.Mean <= 0 || ub.Mean > 100 {
+		t.Errorf("unbalancing stats: %s", ub)
+	}
+	if ipc.String() == "" {
+		t.Error("render broken")
+	}
+	if _, err := RunKernelSeeds(ConfWSRSRC512, "gzip", testOpts, 0); err == nil {
+		t.Error("zero seeds must fail")
+	}
+}
+
+func TestRunKernelSMT(t *testing.T) {
+	res, err := RunKernelSMT(ConfWSRSRC512, []string{"gzip", "wupwise"}, testOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Insts < testOpts.MeasureInsts {
+		t.Fatalf("committed %d", res.Insts)
+	}
+	if len(res.PerThreadInsts) != 2 {
+		t.Fatalf("per-thread: %v", res.PerThreadInsts)
+	}
+	// Both contexts must make progress.
+	for tid, n := range res.PerThreadInsts {
+		if n == 0 {
+			t.Errorf("context %d starved", tid)
+		}
+	}
+	// A co-run should out-commit either kernel alone per cycle.
+	solo, err := RunKernel(ConfWSRSRC512, "gzip", testOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.IPC <= solo.IPC {
+		t.Errorf("SMT co-run IPC %.2f should exceed gzip alone %.2f", res.IPC, solo.IPC)
+	}
+	if _, err := RunKernelSMT(ConfRR256, nil, testOpts); err == nil {
+		t.Error("empty context list must fail")
+	}
+	if _, err := RunKernelSMT(ConfRR256, []string{"zork"}, testOpts); err == nil {
+		t.Error("unknown kernel must fail")
+	}
+}
+
+func TestSMTConventionalNeedsMoreRegisters(t *testing.T) {
+	// RR-256 cannot host two contexts (2 x 84 logical int registers
+	// need > 256 physical with in-flight slack... it CAN map 168 into
+	// 256, so it builds; verify it still runs).
+	res, err := RunKernelSMT(ConfRR256, []string{"crafty", "mcf"}, testOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The latency-bound mcf context must not starve the crafty one.
+	if res.PerThreadInsts[0] == 0 || res.PerThreadInsts[1] == 0 {
+		t.Errorf("starved context: %v", res.PerThreadInsts)
+	}
+}
