@@ -1,11 +1,9 @@
 package wsrs
 
 import (
-	"fmt"
 	"io"
 
 	"wsrs/internal/isa"
-	"wsrs/internal/kernels"
 	"wsrs/internal/limits"
 	"wsrs/internal/report"
 )
@@ -37,20 +35,16 @@ type Mix struct {
 }
 
 // Characterize computes the dynamic mix of the first n micro-ops of a
-// kernel.
+// kernel (replayed from the shared trace cache).
 func Characterize(kernel string, n int) (Mix, error) {
-	k, ok := kernels.ByName(kernel)
-	if !ok {
-		return Mix{}, fmt.Errorf("wsrs: unknown kernel %q", kernel)
-	}
-	sim, err := k.NewSim()
+	cur, err := kernelReader(kernel)
 	if err != nil {
 		return Mix{}, err
 	}
 	mix := Mix{Kernel: kernel}
 	var choicesRM, choicesRC float64
 	for i := 0; i < n; i++ {
-		m, ok := sim.Next()
+		m, ok := cur.Next()
 		if !ok {
 			break
 		}
@@ -92,7 +86,7 @@ func Characterize(kernel string, n int) (Mix, error) {
 		}
 	}
 	if mix.Uops == 0 {
-		return mix, sim.Err()
+		return mix, cur.Err()
 	}
 	total := float64(mix.Uops)
 	mix.Noadic /= total
@@ -106,7 +100,7 @@ func Characterize(kernel string, n int) (Mix, error) {
 	mix.FPOps /= total
 	mix.AvgChoicesRM = choicesRM / total
 	mix.AvgChoicesRC = choicesRC / total
-	return mix, sim.Err()
+	return mix, cur.Err()
 }
 
 // CharacterizeAll characterizes every kernel over n micro-ops each.

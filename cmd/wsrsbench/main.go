@@ -3,12 +3,19 @@
 // configurations) and Figure 5 (workload unbalancing degree), plus
 // the repository's ablation sweeps.
 //
+// Simulations fan out across a worker pool (-parallel, default
+// GOMAXPROCS) over a shared memoized trace cache: each kernel's
+// functional simulation runs once regardless of how many
+// configurations and seeds replay it, and output is byte-identical to
+// the serial harness (-parallel=1) for a fixed seed.
+//
 // Usage:
 //
 //	wsrsbench                       # everything, default slice sizes
 //	wsrsbench -exp figure4          # one experiment
 //	wsrsbench -warmup 50000 -measure 200000
 //	wsrsbench -kernels gzip,crafty  # subset of benchmarks
+//	wsrsbench -parallel 1           # serial reference run
 package main
 
 import (
@@ -29,12 +36,19 @@ func main() {
 	seed := flag.Int64("seed", 1, "allocation-policy seed")
 	seeds := flag.Int("seeds", 1, "number of seeds for figure4 (mean ± std error bars)")
 	kernelCSV := flag.String("kernels", "", "comma-separated benchmark subset (default: all 12)")
+	parallel := flag.Int("parallel", 0, "simulation worker goroutines (0 = GOMAXPROCS, 1 = serial)")
 	flag.Parse()
 
-	opts := wsrs.SimOpts{WarmupInsts: *warmup, MeasureInsts: *measure, Seed: *seed}
-	var kernelList []string
-	if *kernelCSV != "" {
-		kernelList = strings.Split(*kernelCSV, ",")
+	opts := wsrs.SimOpts{
+		WarmupInsts:  *warmup,
+		MeasureInsts: *measure,
+		Seed:         *seed,
+		Parallelism:  *parallel,
+	}
+	kernelList, err := parseKernels(*kernelCSV)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "wsrsbench:", err)
+		os.Exit(2)
 	}
 
 	start := time.Now()
@@ -67,7 +81,38 @@ func main() {
 		fmt.Fprintf(os.Stderr, "wsrsbench: unknown experiment %q\n", *exp)
 		os.Exit(2)
 	}
-	fmt.Printf("\ntotal elapsed: %s\n", time.Since(start).Round(time.Millisecond))
+	fmt.Printf("\ntotal elapsed: %s; %s\n",
+		time.Since(start).Round(time.Millisecond), wsrs.TraceStats())
+}
+
+// parseKernels validates the -kernels list against the registered
+// benchmark names up front, so a typo fails before any simulation
+// runs (not mid-grid with a partial table already printed).
+func parseKernels(csv string) ([]string, error) {
+	if csv == "" {
+		return nil, nil
+	}
+	valid := map[string]bool{}
+	for _, k := range wsrs.Kernels() {
+		valid[k] = true
+	}
+	var out []string
+	for _, name := range strings.Split(csv, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		if !valid[name] {
+			return nil, fmt.Errorf("unknown kernel %q; valid kernels: %s",
+				name, strings.Join(wsrs.Kernels(), ", "))
+		}
+		out = append(out, name)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("-kernels %q names no benchmarks; valid kernels: %s",
+			csv, strings.Join(wsrs.Kernels(), ", "))
+	}
+	return out, nil
 }
 
 func table1() {
@@ -125,98 +170,110 @@ func figure5(kernels []string, opts wsrs.SimOpts) {
 	wsrs.RenderFigure5(os.Stdout, cells)
 }
 
+// grid fans a cell list through the worker pool and aborts on the
+// first failure; results come back in cell order, so each ablation
+// table renders identically to the old serial loops.
+func grid(cells []wsrs.GridCell, opts wsrs.SimOpts) []wsrs.GridResult {
+	out, err := wsrs.RunGrid(cells, opts, opts.Parallelism)
+	if err != nil {
+		fatal(err)
+	}
+	return out
+}
+
 func ablations(opts wsrs.SimOpts) {
 	// Renaming implementation 1 vs 2 (§2.2).
+	impl := grid([]wsrs.GridCell{
+		{Kernel: "gzip", Config: wsrs.ConfWSRSRC512},
+		{Kernel: "gzip", Config: wsrs.ConfWSRSRC512,
+			Mods: []wsrs.MachineOption{wsrs.WithRenameImpl1(3)}},
+	}, opts)
 	t := report.NewTable("Ablation — renaming implementation (WSRS RC 512, gzip)",
 		"implementation", "IPC", "rename-stall slots")
-	if res, err := wsrs.RunKernel(wsrs.ConfWSRSRC512, "gzip", opts); err == nil {
-		t.AddRow("impl 2 (exact-count, 18-cycle penalty)", res.IPC, res.StallRename)
-	} else {
-		fatal(err)
-	}
-	if res, err := wsrs.RunKernelWith(wsrs.ConfWSRSRC512, "gzip", opts, "",
-		wsrs.WithRenameImpl1(3)); err == nil {
-		t.AddRow("impl 1 (over-pick d=3, 16-cycle penalty)", res.IPC, res.StallRename)
-	} else {
-		fatal(err)
-	}
+	t.AddRow("impl 2 (exact-count, 18-cycle penalty)", impl[0].Result.IPC, impl[0].Result.StallRename)
+	t.AddRow("impl 1 (over-pick d=3, 16-cycle penalty)", impl[1].Result.IPC, impl[1].Result.StallRename)
 	t.Render(os.Stdout)
 	fmt.Println()
 
 	// Register budget sweep with the deadlock workaround.
+	budgets := []int{256, 384, 512, 768}
+	var cells []wsrs.GridCell
+	for _, regs := range budgets {
+		cells = append(cells, wsrs.GridCell{Kernel: "gzip", Config: wsrs.ConfWSRSRC512,
+			Mods: []wsrs.MachineOption{wsrs.WithRegisters(regs), wsrs.WithDeadlockMoves()}})
+	}
 	t = report.NewTable("Ablation — WSRS register budget (gzip, RC)",
 		"registers", "per subset", "IPC", "injected moves", "rename-stall slots")
-	for _, regs := range []int{256, 384, 512, 768} {
-		res, err := wsrs.RunKernelWith(wsrs.ConfWSRSRC512, "gzip", opts, "",
-			wsrs.WithRegisters(regs), wsrs.WithDeadlockMoves())
-		if err != nil {
-			fatal(err)
-		}
-		t.AddRow(regs, regs/4, res.IPC, res.InjectedMoves, res.StallRename)
+	for i, g := range grid(cells, opts) {
+		t.AddRow(budgets[i], budgets[i]/4, g.Result.IPC, g.Result.InjectedMoves, g.Result.StallRename)
 	}
 	t.Render(os.Stdout)
 	fmt.Println()
 
 	// Inter-cluster forwarding delay sweep.
+	delays := []int{0, 1, 2, 3}
+	cells = cells[:0]
+	for _, d := range delays {
+		for _, conf := range []wsrs.ConfigName{wsrs.ConfRR256, wsrs.ConfWSRSRC512} {
+			cells = append(cells, wsrs.GridCell{Kernel: "gzip", Config: conf,
+				Mods: []wsrs.MachineOption{wsrs.WithXClusterDelay(d)}})
+		}
+	}
+	res := grid(cells, opts)
 	t = report.NewTable("Ablation — inter-cluster forwarding delay (gzip)",
 		"delay", "RR 256 IPC", "WSRS RC 512 IPC")
-	for _, d := range []int{0, 1, 2, 3} {
-		rr, err := wsrs.RunKernelWith(wsrs.ConfRR256, "gzip", opts, "", wsrs.WithXClusterDelay(d))
-		if err != nil {
-			fatal(err)
-		}
-		rc, err := wsrs.RunKernelWith(wsrs.ConfWSRSRC512, "gzip", opts, "", wsrs.WithXClusterDelay(d))
-		if err != nil {
-			fatal(err)
-		}
-		t.AddRow(d, rr.IPC, rc.IPC)
+	for i, d := range delays {
+		t.AddRow(d, res[2*i].Result.IPC, res[2*i+1].Result.IPC)
 	}
 	t.Render(os.Stdout)
 	fmt.Println()
 
 	// Figure 2a vs 2b: identical clusters vs pools of functional units.
+	orgKernels := []string{"gzip", "crafty", "wupwise"}
+	cells = cells[:0]
+	for _, k := range orgKernels {
+		cells = append(cells,
+			wsrs.GridCell{Kernel: k, Config: wsrs.ConfWSRR512},
+			wsrs.GridCell{Kernel: k, Config: wsrs.ConfWSPools512})
+	}
+	res = grid(cells, opts)
 	t = report.NewTable("Ablation — WS organization (Figure 2a clusters vs 2b pools)",
 		"benchmark", "WSRR 512 (clusters) IPC", "WS pools 512 IPC")
-	for _, k := range []string{"gzip", "crafty", "wupwise"} {
-		cl, err := wsrs.RunKernel(wsrs.ConfWSRR512, k, opts)
-		if err != nil {
-			fatal(err)
-		}
-		po, err := wsrs.RunKernel(wsrs.ConfWSPools512, k, opts)
-		if err != nil {
-			fatal(err)
-		}
-		t.AddRow(k, cl.IPC, po.IPC)
+	for i, k := range orgKernels {
+		t.AddRow(k, res[2*i].Result.IPC, res[2*i+1].Result.IPC)
 	}
 	t.Render(os.Stdout)
 	fmt.Println()
 
 	// Fast-forwarding hardware options (§4.3.1).
+	fws := []string{wsrs.ForwardComplete, wsrs.ForwardPairs, wsrs.ForwardIntra}
+	cells = cells[:0]
+	for _, fw := range fws {
+		for _, conf := range []wsrs.ConfigName{wsrs.ConfRR256, wsrs.ConfWSRSRC512} {
+			cells = append(cells, wsrs.GridCell{Kernel: "galgel", Config: conf,
+				Mods: []wsrs.MachineOption{wsrs.WithForwarding(fw)}})
+		}
+	}
+	res = grid(cells, opts)
 	t = report.NewTable("Ablation — fast-forwarding options (galgel)",
 		"forwarding", "RR 256 IPC", "WSRS RC 512 IPC")
-	for _, fw := range []string{wsrs.ForwardComplete, wsrs.ForwardPairs, wsrs.ForwardIntra} {
-		rr, err := wsrs.RunKernelWith(wsrs.ConfRR256, "galgel", opts, "", wsrs.WithForwarding(fw))
-		if err != nil {
-			fatal(err)
-		}
-		rc, err := wsrs.RunKernelWith(wsrs.ConfWSRSRC512, "galgel", opts, "", wsrs.WithForwarding(fw))
-		if err != nil {
-			fatal(err)
-		}
-		t.AddRow(fw, rr.IPC, rc.IPC)
+	for i, fw := range fws {
+		t.AddRow(fw, res[2*i].Result.IPC, res[2*i+1].Result.IPC)
 	}
 	t.Render(os.Stdout)
 	fmt.Println()
 
 	// Allocation policies, including the future-work balanced policy.
+	policies := []string{"RM", "RC", "RC-bal", "RC-dep"}
+	cells = cells[:0]
+	for _, p := range policies {
+		cells = append(cells, wsrs.GridCell{Kernel: "facerec", Config: wsrs.ConfWSRSRC512, Policy: p})
+	}
+	res = grid(cells, opts)
 	t = report.NewTable("Ablation — allocation policy (WSRS 512, facerec)",
 		"policy", "IPC", "unbalancing %")
-	for _, p := range []string{"RM", "RC", "RC-bal", "RC-dep"} {
-		res, err := wsrs.RunKernelWith(wsrs.ConfWSRSRC512, "facerec", opts, p)
-		if err != nil {
-			fatal(err)
-		}
-		t.AddRow(p, res.IPC, fmt.Sprintf("%.1f", res.UnbalancingDegree))
+	for i, p := range policies {
+		t.AddRow(p, res[i].Result.IPC, fmt.Sprintf("%.1f", res[i].Result.UnbalancingDegree))
 	}
 	t.Render(os.Stdout)
 }

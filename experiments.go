@@ -44,6 +44,11 @@ type Figure4Cell struct {
 // RunFigure4 regenerates the paper's Figure 4: IPC of every benchmark
 // on every configuration. Errors abort (they indicate a broken
 // configuration, not a property of the workload).
+//
+// The grid fans out across opts.Parallelism workers (0 = GOMAXPROCS)
+// over the shared trace cache: each kernel's functional simulation
+// runs once for all configurations, and the returned cells are in the
+// same deterministic (kernel, config) order as the serial harness.
 func RunFigure4(confs []ConfigName, kernelNames []string, opts SimOpts) ([]Figure4Cell, error) {
 	if confs == nil {
 		confs = Figure4Configs()
@@ -51,15 +56,19 @@ func RunFigure4(confs []ConfigName, kernelNames []string, opts SimOpts) ([]Figur
 	if kernelNames == nil {
 		kernelNames = Kernels()
 	}
-	var out []Figure4Cell
+	cells := make([]GridCell, 0, len(kernelNames)*len(confs))
 	for _, k := range kernelNames {
 		for _, c := range confs {
-			res, err := RunKernel(c, k, opts)
-			if err != nil {
-				return nil, fmt.Errorf("figure4 %s/%s: %w", k, c, err)
-			}
-			out = append(out, Figure4Cell{Kernel: k, Config: c, Result: res})
+			cells = append(cells, GridCell{Kernel: k, Config: c})
 		}
+	}
+	grid, err := RunGrid(cells, opts, opts.Parallelism)
+	if err != nil {
+		return nil, fmt.Errorf("figure4 %w", err)
+	}
+	out := make([]Figure4Cell, len(grid))
+	for i, g := range grid {
+		out[i] = Figure4Cell{Kernel: g.Cell.Kernel, Config: g.Cell.Config, Result: g.Result}
 	}
 	return out, nil
 }
@@ -113,15 +122,19 @@ func RunFigure5(kernelNames []string, opts SimOpts) ([]Figure5Cell, error) {
 		kernelNames = Kernels()
 	}
 	confs := []ConfigName{ConfWSRSRC512, ConfWSRSRM512}
-	var out []Figure5Cell
+	cells := make([]GridCell, 0, len(kernelNames)*len(confs))
 	for _, k := range kernelNames {
 		for _, c := range confs {
-			res, err := RunKernel(c, k, opts)
-			if err != nil {
-				return nil, fmt.Errorf("figure5 %s/%s: %w", k, c, err)
-			}
-			out = append(out, Figure5Cell{Kernel: k, Config: c, Degree: res.UnbalancingDegree})
+			cells = append(cells, GridCell{Kernel: k, Config: c})
 		}
+	}
+	grid, err := RunGrid(cells, opts, opts.Parallelism)
+	if err != nil {
+		return nil, fmt.Errorf("figure5 %w", err)
+	}
+	out := make([]Figure5Cell, len(grid))
+	for i, g := range grid {
+		out[i] = Figure5Cell{Kernel: g.Cell.Kernel, Config: g.Cell.Config, Degree: g.Result.UnbalancingDegree}
 	}
 	return out, nil
 }

@@ -1,0 +1,74 @@
+package wsrs
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// update regenerates the golden files instead of comparing:
+//
+//	go test -run Golden -update
+var update = flag.Bool("update", false, "rewrite testdata/*.golden files")
+
+// goldenOpts keeps the golden simulations fast; everything feeding
+// the files below is deterministic (fixed seed, integer cycle
+// counts, seeded policy RNGs), so byte-for-byte comparison is sound.
+var goldenOpts = SimOpts{WarmupInsts: 3000, MeasureInsts: 10000, Seed: 1}
+
+func checkGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (regenerate with `go test -run Golden -update`): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("%s: output differs from golden file.\n--- got ---\n%s\n--- want ---\n%s\nIf the change is intended, regenerate with `go test -run Golden -update`.",
+			name, got, want)
+	}
+}
+
+func TestGoldenTable1(t *testing.T) {
+	var buf bytes.Buffer
+	RenderTable1(&buf)
+	checkGolden(t, "table1.golden", buf.Bytes())
+}
+
+func TestGoldenFigure4(t *testing.T) {
+	cells, err := RunFigure4(nil, []string{"gzip", "wupwise"}, goldenOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	RenderFigure4(&buf, cells)
+	checkGolden(t, "figure4.golden", buf.Bytes())
+}
+
+func TestGoldenFigure5(t *testing.T) {
+	cells, err := RunFigure5([]string{"gzip", "wupwise"}, goldenOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	RenderFigure5(&buf, cells)
+	checkGolden(t, "figure5.golden", buf.Bytes())
+}
+
+func TestGoldenMixTable(t *testing.T) {
+	mixes, err := CharacterizeAll(20000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	RenderMixes(&buf, mixes)
+	checkGolden(t, "mix.golden", buf.Bytes())
+}

@@ -1,0 +1,153 @@
+package wsrs
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"wsrs/internal/kernels"
+	"wsrs/internal/pipeline"
+	"wsrs/internal/tracecache"
+)
+
+// traceCache memoizes the annotated µop stream of each kernel: the
+// architectural trace depends only on the kernel (the warmup/measure
+// windows consume a prefix of one infinite stream), so the functional
+// simulation runs once per kernel and is replayed read-only by every
+// (configuration, seed) grid cell, serial or concurrent.
+var traceCache = tracecache.New()
+
+// kernelReader returns a fresh read-only cursor over kernel's
+// memoized trace, creating the cache entry on first use.
+func kernelReader(kernel string) (*tracecache.Cursor, error) {
+	k, ok := kernels.ByName(kernel)
+	if !ok {
+		return nil, fmt.Errorf("wsrs: unknown kernel %q (have %v)", kernel, kernels.Names())
+	}
+	ent, err := traceCache.Get(k.Name, func() (tracecache.Source, error) {
+		return k.NewSim()
+	})
+	if err != nil {
+		return nil, err
+	}
+	return ent.Reader(), nil
+}
+
+// TraceCacheStats re-exports the trace-cache counter snapshot.
+type TraceCacheStats = tracecache.Stats
+
+// TraceStats snapshots the shared trace cache: funcsim runs (misses),
+// reuses (hits) and memoized µops. cmd/wsrsbench prints it on the
+// summary line.
+func TraceStats() TraceCacheStats { return traceCache.Stats() }
+
+// ResetTraceCache drops every memoized trace (they can hold tens of
+// megabytes per kernel at large measure windows) and zeroes the
+// counters.
+func ResetTraceCache() { traceCache.Reset() }
+
+// GridCell identifies one point of an experiment grid: a kernel, a
+// configuration, and optionally a seed override, a policy replacement
+// and machine-option modifiers (the RunKernelWith degrees of
+// freedom).
+type GridCell struct {
+	Kernel string
+	Config ConfigName
+	// Seed overrides the SimOpts seed when non-zero, so one grid can
+	// span seeds (RunKernelSeeds is built this way).
+	Seed int64
+	// Policy optionally replaces the configuration's own allocation
+	// policy (see NewPolicy); "" keeps it.
+	Policy string
+	// Mods are applied to the machine configuration in order.
+	Mods []MachineOption
+}
+
+// GridResult pairs a cell with its simulation outcome.
+type GridResult struct {
+	Cell   GridCell
+	Result Result
+	Err    error
+}
+
+// runCell simulates one grid cell against the shared trace cache. It
+// is the common backend of RunKernel, RunKernelWith and RunGrid.
+func runCell(c GridCell, opts SimOpts) (Result, error) {
+	opts = opts.withDefaults()
+	if c.Seed != 0 {
+		opts.Seed = c.Seed
+	}
+	cfg, pol, err := Build(c.Config, opts.Seed)
+	if err != nil {
+		return Result{}, err
+	}
+	for _, m := range c.Mods {
+		m(&cfg)
+	}
+	if c.Policy != "" {
+		pol, err = NewPolicy(c.Policy, opts.Seed)
+		if err != nil {
+			return Result{}, err
+		}
+	}
+	src, err := kernelReader(c.Kernel)
+	if err != nil {
+		return Result{}, err
+	}
+	return pipeline.Run(cfg, pol, src, pipeline.RunOpts{
+		WarmupInsts:  opts.WarmupInsts,
+		MeasureInsts: opts.MeasureInsts,
+	})
+}
+
+// RunGrid fans the cells out across a worker pool of the given
+// parallelism (<= 0 selects GOMAXPROCS; 1 runs strictly serially on
+// the calling goroutine). Results are returned in cell order
+// regardless of completion order, and every simulation replays the
+// read-only memoized traces, so a parallel grid is deterministic:
+// byte-identical to the serial run for a fixed seed.
+//
+// The returned error is the first failure in cell order (nil if all
+// cells succeeded); the full result slice, including every per-cell
+// Err, is returned either way so callers can render partial grids.
+func RunGrid(cells []GridCell, opts SimOpts, parallelism int) ([]GridResult, error) {
+	if parallelism <= 0 {
+		parallelism = runtime.GOMAXPROCS(0)
+	}
+	if parallelism > len(cells) {
+		parallelism = len(cells)
+	}
+	out := make([]GridResult, len(cells))
+	work := func(i int) {
+		res, err := runCell(cells[i], opts)
+		out[i] = GridResult{Cell: cells[i], Result: res, Err: err}
+	}
+	if parallelism <= 1 {
+		for i := range cells {
+			work(i)
+		}
+	} else {
+		idx := make(chan int)
+		var wg sync.WaitGroup
+		for w := 0; w < parallelism; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range idx {
+					work(i)
+				}
+			}()
+		}
+		for i := range cells {
+			idx <- i
+		}
+		close(idx)
+		wg.Wait()
+	}
+	for i := range out {
+		if out[i].Err != nil {
+			return out, fmt.Errorf("%s/%s: %w", out[i].Cell.Kernel, out[i].Cell.Config, out[i].Err)
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,114 @@
+package wsrs
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// TestGridMatchesSerial is the no-state-leak guard for the parallel
+// harness: Figure 4 cells computed by RunGrid at parallelism 8 must
+// be identical — full Result structs, not just IPC — to the strictly
+// serial RunKernel loop with the same seed. A failure here means the
+// trace cache or the worker pool let state cross between runs.
+func TestGridMatchesSerial(t *testing.T) {
+	kernelNames := []string{"gzip", "crafty", "wupwise"}
+	confs := Figure4Configs()
+
+	var cells []GridCell
+	for _, k := range kernelNames {
+		for _, c := range confs {
+			cells = append(cells, GridCell{Kernel: k, Config: c})
+		}
+	}
+	par, err := RunGrid(cells, testOpts, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(par) != len(cells) {
+		t.Fatalf("got %d results for %d cells", len(par), len(cells))
+	}
+	for i, c := range cells {
+		serial, err := RunKernel(c.Config, c.Kernel, testOpts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if par[i].Cell.Kernel != c.Kernel || par[i].Cell.Config != c.Config {
+			t.Fatalf("cell %d reordered: %+v", i, par[i].Cell)
+		}
+		if !reflect.DeepEqual(par[i].Result, serial) {
+			t.Errorf("%s/%s: parallel result diverges from serial:\n par:    %+v\n serial: %+v",
+				c.Kernel, c.Config, par[i].Result, serial)
+		}
+	}
+}
+
+func TestRunGridSeedOverride(t *testing.T) {
+	res, err := RunGrid([]GridCell{
+		{Kernel: "gzip", Config: ConfWSRSRC512, Seed: 1},
+		{Kernel: "gzip", Config: ConfWSRSRC512, Seed: 7},
+	}, testOpts, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct, err := RunKernel(ConfWSRSRC512, "gzip", SimOpts{
+		WarmupInsts: testOpts.WarmupInsts, MeasureInsts: testOpts.MeasureInsts, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(res[1].Result, direct) {
+		t.Error("per-cell seed override not honored")
+	}
+	if reflect.DeepEqual(res[0].Result, res[1].Result) {
+		t.Log("seeds 1 and 7 produced identical results (possible but unlikely)")
+	}
+}
+
+func TestRunGridReportsFirstErrorInCellOrder(t *testing.T) {
+	res, err := RunGrid([]GridCell{
+		{Kernel: "gzip", Config: ConfRR256},
+		{Kernel: "nonesuch", Config: ConfRR256},
+		{Kernel: "gzip", Config: "bogus"},
+	}, testOpts, 4)
+	if err == nil {
+		t.Fatal("grid with broken cells must fail")
+	}
+	if !strings.Contains(err.Error(), "nonesuch") {
+		t.Errorf("first error (cell order) should name the unknown kernel, got %v", err)
+	}
+	if res[0].Err != nil || res[1].Err == nil || res[2].Err == nil {
+		t.Errorf("per-cell errors wrong: %v / %v / %v", res[0].Err, res[1].Err, res[2].Err)
+	}
+}
+
+func TestRunGridEmpty(t *testing.T) {
+	res, err := RunGrid(nil, testOpts, 8)
+	if err != nil || len(res) != 0 {
+		t.Fatalf("empty grid: %v, %d results", err, len(res))
+	}
+}
+
+func TestTraceCacheCountsFuncsimRuns(t *testing.T) {
+	ResetTraceCache()
+	defer ResetTraceCache()
+	if _, err := RunFigure4([]ConfigName{ConfRR256, ConfWSRSRC512, ConfWSRSRM512},
+		[]string{"gzip", "vpr"}, testOpts); err != nil {
+		t.Fatal(err)
+	}
+	st := TraceStats()
+	if st.Misses != 2 {
+		t.Errorf("funcsim ran %d times for 2 kernels", st.Misses)
+	}
+	if st.Hits != 4 {
+		t.Errorf("hits = %d, want 4 (6 cells - 2 misses)", st.Hits)
+	}
+	if st.Ops == 0 {
+		t.Error("no µops memoized")
+	}
+	if got := st.HitRate(); got < 0.66 || got > 0.67 {
+		t.Errorf("hit rate %.3f", got)
+	}
+	if !strings.Contains(st.String(), "funcsim") {
+		t.Errorf("stats render: %q", st.String())
+	}
+}

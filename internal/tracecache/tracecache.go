@@ -1,0 +1,204 @@
+// Package tracecache memoizes annotated micro-op traces so the
+// functional simulation of a workload runs once and its stream is
+// replayed read-only by any number of timing-model runs, serial or
+// concurrent.
+//
+// The architectural µop trace of a kernel depends only on the kernel
+// itself — never on the timing configuration, the allocation policy
+// or its seed — and the warmup/measure windows consumed by a run are
+// always a prefix of that single infinite stream. One cache entry per
+// kernel therefore serves every (configuration, seed, slice-length)
+// combination: a Figure 4 sweep touches each kernel's functional
+// simulator exactly once instead of once per grid cell.
+//
+// Concurrency model: an Entry owns its Source and a grow-only
+// []trace.MicroOp. Extension happens in chunks under the entry mutex;
+// elements below any published length are never written again, so
+// cursors iterate over snapshots without further locking. MicroOp is
+// a value type, so consumers always receive copies and nothing
+// mutable escapes the cache.
+package tracecache
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"wsrs/internal/trace"
+)
+
+// Source produces the micro-op stream memoized by an entry. Err
+// reports the terminal error, if any, once Next has returned false
+// (internal/funcsim's Sim satisfies this).
+type Source interface {
+	Next() (trace.MicroOp, bool)
+	Err() error
+}
+
+// chunk is the extension granularity: cursors that outrun the
+// memoized prefix pull this many µops at once, amortizing the entry
+// lock across the pipeline's fetch loop.
+const chunk = 4096
+
+// Cache memoizes one trace per key. All methods are safe for
+// concurrent use.
+type Cache struct {
+	mu      sync.Mutex
+	entries map[string]*Entry
+
+	hits   atomic.Uint64
+	misses atomic.Uint64
+}
+
+// New returns an empty cache.
+func New() *Cache {
+	return &Cache{entries: map[string]*Entry{}}
+}
+
+// Get returns the entry for key, calling open to create its source on
+// the first request. open runs at most once per key (it is cheap —
+// assembling a kernel — compared to the simulation it seeds).
+func (c *Cache) Get(key string, open func() (Source, error)) (*Entry, error) {
+	c.mu.Lock()
+	if e, ok := c.entries[key]; ok {
+		c.mu.Unlock()
+		c.hits.Add(1)
+		return e, nil
+	}
+	src, err := open()
+	if err != nil {
+		c.mu.Unlock()
+		return nil, err
+	}
+	e := &Entry{src: src}
+	c.entries[key] = e
+	c.mu.Unlock()
+	c.misses.Add(1)
+	return e, nil
+}
+
+// Reset drops every entry and zeroes the counters, releasing the
+// memoized traces to the garbage collector.
+func (c *Cache) Reset() {
+	c.mu.Lock()
+	c.entries = map[string]*Entry{}
+	c.mu.Unlock()
+	c.hits.Store(0)
+	c.misses.Store(0)
+}
+
+// Stats is a point-in-time snapshot of the cache counters.
+type Stats struct {
+	// Misses counts functional simulations actually run (one per
+	// distinct key); Hits counts requests served by an existing entry.
+	Misses, Hits uint64
+	// Ops is the total number of micro-ops memoized across entries.
+	Ops uint64
+}
+
+// HitRate returns Hits / (Hits + Misses), or 0 before any request.
+func (s Stats) HitRate() float64 {
+	if s.Hits+s.Misses == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(s.Hits+s.Misses)
+}
+
+// String renders the summary-line form used by cmd/wsrsbench.
+func (s Stats) String() string {
+	return fmt.Sprintf("trace cache: %d funcsim runs, %d reuses (%.1f%% hit rate), %d uops memoized",
+		s.Misses, s.Hits, 100*s.HitRate(), s.Ops)
+}
+
+// Stats snapshots the cache counters.
+func (c *Cache) Stats() Stats {
+	st := Stats{Hits: c.hits.Load(), Misses: c.misses.Load()}
+	c.mu.Lock()
+	entries := make([]*Entry, 0, len(c.entries))
+	for _, e := range c.entries {
+		entries = append(entries, e)
+	}
+	c.mu.Unlock()
+	for _, e := range entries {
+		st.Ops += uint64(e.Len())
+	}
+	return st
+}
+
+// Entry is one memoized trace: a grow-only µop slice fed on demand by
+// its source.
+type Entry struct {
+	mu   sync.Mutex
+	src  Source
+	ops  []trace.MicroOp
+	done bool
+	err  error
+}
+
+// snapshot returns the memoized prefix, extended (in chunk-sized
+// steps) until it holds at least n µops or the source is exhausted.
+// Elements below the returned length are immutable: the entry only
+// ever appends, and the mutex hand-off orders those writes before any
+// reader that observes them.
+func (e *Entry) snapshot(n int) []trace.MicroOp {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for len(e.ops) < n && !e.done {
+		target := len(e.ops) + chunk
+		for len(e.ops) < target {
+			m, ok := e.src.Next()
+			if !ok {
+				e.done = true
+				e.err = e.src.Err()
+				break
+			}
+			e.ops = append(e.ops, m)
+		}
+	}
+	return e.ops
+}
+
+// Len returns the number of µops currently memoized.
+func (e *Entry) Len() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return len(e.ops)
+}
+
+// Err returns the source's terminal error, if it has ended.
+func (e *Entry) Err() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.err
+}
+
+// Reader returns a fresh cursor positioned at the start of the trace.
+// Cursors are independent: any number may iterate concurrently, each
+// at its own pace.
+func (e *Entry) Reader() *Cursor { return &Cursor{e: e} }
+
+// Cursor replays an entry from the beginning, implementing
+// trace.Reader. A cursor is not itself safe for concurrent use; use
+// one per goroutine.
+type Cursor struct {
+	e    *Entry
+	snap []trace.MicroOp
+	pos  int
+}
+
+// Next implements trace.Reader.
+func (c *Cursor) Next() (trace.MicroOp, bool) {
+	if c.pos >= len(c.snap) {
+		c.snap = c.e.snapshot(c.pos + 1)
+		if c.pos >= len(c.snap) {
+			return trace.MicroOp{}, false
+		}
+	}
+	m := c.snap[c.pos]
+	c.pos++
+	return m, true
+}
+
+// Err reports the underlying source's terminal error (nil while the
+// source is still live).
+func (c *Cursor) Err() error { return c.e.Err() }

@@ -1,0 +1,158 @@
+package tracecache
+
+import (
+	"errors"
+	"sync"
+	"testing"
+
+	"wsrs/internal/trace"
+)
+
+// countSource yields n µops with Seq = 0..n-1, then ends with err.
+type countSource struct {
+	n    uint64
+	next uint64
+	err  error
+}
+
+func (s *countSource) Next() (trace.MicroOp, bool) {
+	if s.next >= s.n {
+		return trace.MicroOp{}, false
+	}
+	m := trace.MicroOp{Seq: s.next}
+	s.next++
+	return m, true
+}
+
+func (s *countSource) Err() error { return s.err }
+
+func TestGetMemoizesSource(t *testing.T) {
+	c := New()
+	opens := 0
+	open := func() (Source, error) {
+		opens++
+		return &countSource{n: 10}, nil
+	}
+	a, err := c.Get("k", open)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := c.Get("k", open)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b || opens != 1 {
+		t.Fatalf("entry not shared: opens=%d", opens)
+	}
+	st := c.Stats()
+	if st.Misses != 1 || st.Hits != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+	if _, err := c.Get("bad", func() (Source, error) { return nil, errors.New("boom") }); err == nil {
+		t.Error("open error must propagate")
+	}
+}
+
+func TestCursorReplaysFullStream(t *testing.T) {
+	c := New()
+	e, _ := c.Get("k", func() (Source, error) { return &countSource{n: 3*chunk + 17}, nil })
+	for pass := 0; pass < 2; pass++ {
+		cur := e.Reader()
+		var i uint64
+		for {
+			m, ok := cur.Next()
+			if !ok {
+				break
+			}
+			if m.Seq != i {
+				t.Fatalf("pass %d: op %d has Seq %d", pass, i, m.Seq)
+			}
+			i++
+		}
+		if i != 3*chunk+17 {
+			t.Fatalf("pass %d: replayed %d ops", pass, i)
+		}
+	}
+	if e.Len() != 3*chunk+17 {
+		t.Errorf("Len = %d", e.Len())
+	}
+	if st := c.Stats(); st.Ops != 3*chunk+17 {
+		t.Errorf("stats ops = %d", st.Ops)
+	}
+}
+
+func TestTerminalErrorSurfaces(t *testing.T) {
+	c := New()
+	boom := errors.New("boom")
+	e, _ := c.Get("k", func() (Source, error) { return &countSource{n: 5, err: boom}, nil })
+	cur := e.Reader()
+	if err := cur.Err(); err != nil {
+		t.Errorf("premature error %v", err)
+	}
+	n := 0
+	for {
+		if _, ok := cur.Next(); !ok {
+			break
+		}
+		n++
+	}
+	if n != 5 || cur.Err() != boom {
+		t.Errorf("n=%d err=%v", n, cur.Err())
+	}
+}
+
+// TestConcurrentCursors drives many cursors over one entry from
+// different goroutines (the RunGrid usage pattern); run under -race
+// this is the memoization safety proof.
+func TestConcurrentCursors(t *testing.T) {
+	const total = 2*chunk + 123
+	c := New()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			e, err := c.Get("k", func() (Source, error) { return &countSource{n: total}, nil })
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			cur := e.Reader()
+			var i uint64
+			for {
+				m, ok := cur.Next()
+				if !ok {
+					break
+				}
+				if m.Seq != i {
+					t.Errorf("op %d has Seq %d", i, m.Seq)
+					return
+				}
+				i++
+			}
+			if i != total {
+				t.Errorf("replayed %d ops", i)
+			}
+		}()
+	}
+	wg.Wait()
+	st := c.Stats()
+	if st.Misses != 1 || st.Hits != 7 || st.Ops != total {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestReset(t *testing.T) {
+	c := New()
+	c.Get("k", func() (Source, error) { return &countSource{n: 1}, nil })
+	c.Reset()
+	st := c.Stats()
+	if st.Misses != 0 || st.Hits != 0 || st.Ops != 0 {
+		t.Errorf("stats after reset = %+v", st)
+	}
+	opens := 0
+	c.Get("k", func() (Source, error) { opens++; return &countSource{n: 1}, nil })
+	if opens != 1 {
+		t.Error("entry survived reset")
+	}
+}

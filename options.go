@@ -4,7 +4,6 @@ import (
 	"fmt"
 
 	"wsrs/internal/alloc"
-	"wsrs/internal/kernels"
 	"wsrs/internal/pipeline"
 	"wsrs/internal/rename"
 )
@@ -64,32 +63,7 @@ func WithDeadlockMoves() MachineOption {
 // optional policy replacement (pass "" to keep the configuration's
 // own policy; "RC-bal" selects the least-loaded ablation policy).
 func RunKernelWith(conf ConfigName, kernel string, opts SimOpts, policy string, mods ...MachineOption) (Result, error) {
-	k, ok := kernels.ByName(kernel)
-	if !ok {
-		return Result{}, fmt.Errorf("wsrs: unknown kernel %q", kernel)
-	}
-	opts = opts.withDefaults()
-	cfg, pol, err := Build(conf, opts.Seed)
-	if err != nil {
-		return Result{}, err
-	}
-	for _, m := range mods {
-		m(&cfg)
-	}
-	if policy != "" {
-		pol, err = NewPolicy(policy, opts.Seed)
-		if err != nil {
-			return Result{}, err
-		}
-	}
-	sim, err := k.NewSim()
-	if err != nil {
-		return Result{}, err
-	}
-	return pipeline.Run(cfg, pol, sim, pipeline.RunOpts{
-		WarmupInsts:  opts.WarmupInsts,
-		MeasureInsts: opts.MeasureInsts,
-	})
+	return runCell(GridCell{Kernel: kernel, Config: conf, Policy: policy, Mods: mods}, opts)
 }
 
 // NewPolicy builds an allocation policy by name: "RR", "RM", "RC",

@@ -21,20 +21,23 @@ func (s SeedStats) String() string {
 
 // RunKernelSeeds runs the same (configuration, kernel) simulation
 // under n different allocation-policy seeds (1..n) and returns all
-// results.
+// results in seed order. The seeds fan out across opts.Parallelism
+// workers over one memoized trace.
 func RunKernelSeeds(conf ConfigName, kernel string, opts SimOpts, n int) ([]Result, error) {
 	if n < 1 {
 		return nil, fmt.Errorf("wsrs: need at least one seed")
 	}
-	out := make([]Result, 0, n)
-	for seed := int64(1); seed <= int64(n); seed++ {
-		o := opts
-		o.Seed = seed
-		res, err := RunKernel(conf, kernel, o)
-		if err != nil {
-			return nil, fmt.Errorf("seed %d: %w", seed, err)
-		}
-		out = append(out, res)
+	cells := make([]GridCell, n)
+	for i := range cells {
+		cells[i] = GridCell{Kernel: kernel, Config: conf, Seed: int64(i + 1)}
+	}
+	grid, err := RunGrid(cells, opts, opts.Parallelism)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Result, n)
+	for i, g := range grid {
+		out[i] = g.Result
 	}
 	return out, nil
 }

@@ -166,6 +166,13 @@ type SimOpts struct {
 	WarmupInsts  uint64 // default 20 000
 	MeasureInsts uint64 // default 60 000
 	Seed         int64  // allocation-policy seed, default 1
+
+	// Parallelism bounds the worker pool used by the grid-shaped
+	// drivers (RunFigure4, RunFigure5, RunKernelSeeds): 0 selects
+	// GOMAXPROCS, 1 restores the strictly serial harness. Individual
+	// RunKernel calls are unaffected. Results are deterministic at
+	// any setting (see RunGrid).
+	Parallelism int
 }
 
 func (o SimOpts) withDefaults() SimOpts {
@@ -186,25 +193,11 @@ func (o SimOpts) withDefaults() SimOpts {
 type Result = pipeline.Result
 
 // RunKernel simulates the named benchmark kernel on the named
-// configuration.
+// configuration. The kernel's functional simulation is memoized in
+// the shared trace cache: repeated runs (other configurations, other
+// seeds) replay the same annotated stream.
 func RunKernel(conf ConfigName, kernel string, opts SimOpts) (Result, error) {
-	k, ok := kernels.ByName(kernel)
-	if !ok {
-		return Result{}, fmt.Errorf("wsrs: unknown kernel %q (have %v)", kernel, kernels.Names())
-	}
-	opts = opts.withDefaults()
-	cfg, pol, err := Build(conf, opts.Seed)
-	if err != nil {
-		return Result{}, err
-	}
-	sim, err := k.NewSim()
-	if err != nil {
-		return Result{}, err
-	}
-	return pipeline.Run(cfg, pol, sim, pipeline.RunOpts{
-		WarmupInsts:  opts.WarmupInsts,
-		MeasureInsts: opts.MeasureInsts,
-	})
+	return runCell(GridCell{Kernel: kernel, Config: conf}, opts)
 }
 
 // Kernels returns the names of the twelve SPEC proxy kernels in
@@ -256,25 +249,23 @@ func RunProgram(conf ConfigName, source string, init func(*funcsim.Memory), opts
 }
 
 // Trace exposes the annotated dynamic micro-op stream of a kernel for
-// custom experiments (the first n micro-ops).
+// custom experiments (the first n micro-ops). The stream comes from
+// the shared trace cache; the returned slice is the caller's to
+// mutate.
 func Trace(kernel string, n int) ([]trace.MicroOp, error) {
-	k, ok := kernels.ByName(kernel)
-	if !ok {
-		return nil, fmt.Errorf("wsrs: unknown kernel %q", kernel)
-	}
-	sim, err := k.NewSim()
+	cur, err := kernelReader(kernel)
 	if err != nil {
 		return nil, err
 	}
 	ops := make([]trace.MicroOp, 0, n)
 	for i := 0; i < n; i++ {
-		m, ok := sim.Next()
+		m, ok := cur.Next()
 		if !ok {
 			break
 		}
 		ops = append(ops, m)
 	}
-	return ops, sim.Err()
+	return ops, cur.Err()
 }
 
 // runPipeline runs a pre-collected micro-op slice through the timing
@@ -301,15 +292,11 @@ func RunKernelSMT(conf ConfigName, kernelNames []string, opts SimOpts) (Result, 
 	cfg.DeadlockMoves = true
 	var srcs []trace.Reader
 	for _, name := range kernelNames {
-		k, ok := kernels.ByName(name)
-		if !ok {
-			return Result{}, fmt.Errorf("wsrs: unknown kernel %q", name)
-		}
-		sim, err := k.NewSim()
+		cur, err := kernelReader(name)
 		if err != nil {
 			return Result{}, err
 		}
-		srcs = append(srcs, sim)
+		srcs = append(srcs, cur)
 	}
 	return pipeline.RunSMT(cfg, pol, srcs, pipeline.RunOpts{
 		WarmupInsts:  opts.WarmupInsts,
