@@ -22,6 +22,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -37,13 +39,29 @@ func main() {
 	seeds := flag.Int("seeds", 1, "number of seeds for figure4 (mean ± std error bars)")
 	kernelCSV := flag.String("kernels", "", "comma-separated benchmark subset (default: all 12)")
 	parallel := flag.Int("parallel", 0, "simulation worker goroutines (0 = GOMAXPROCS, 1 = serial)")
+	stats := flag.Bool("stats", false, "append per-cell wall time and stall-stack columns to figure4")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file")
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
 
 	opts := wsrs.SimOpts{
 		WarmupInsts:  *warmup,
 		MeasureInsts: *measure,
 		Seed:         *seed,
 		Parallelism:  *parallel,
+		Stats:        *stats,
 	}
 	kernelList, err := parseKernels(*kernelCSV)
 	if err != nil {
@@ -83,6 +101,18 @@ func main() {
 	}
 	fmt.Printf("\ntotal elapsed: %s; %s\n",
 		time.Since(start).Round(time.Millisecond), wsrs.TraceStats())
+
+	if *memprofile != "" {
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fatal(err)
+		}
+	}
 }
 
 // parseKernels validates the -kernels list against the registered
@@ -133,6 +163,10 @@ func figure4(kernels []string, opts wsrs.SimOpts) {
 		fatal(err)
 	}
 	wsrs.RenderFigure4(os.Stdout, cells)
+	if opts.Stats {
+		fmt.Println()
+		wsrs.RenderFigure4Stats(os.Stdout, cells)
+	}
 }
 
 // figure4Seeds prints Figure 4 with multi-seed error bars for the

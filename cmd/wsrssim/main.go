@@ -6,14 +6,20 @@
 //
 //	wsrssim -kernel gzip -config "WSRS RC S 512"
 //	wsrssim -kernel mcf -config "RR 256" -warmup 50000 -measure 200000
+//	wsrssim -kernel gzip -config "WSRS RC S 512" -stats
+//	wsrssim -kernel gzip -pipeview -measure 2000
+//	wsrssim -kernel gzip -events trace.jsonl
 //	wsrssim -program prog.s -config "RR 256"
 //	wsrssim -list
 package main
 
 import (
+	"bufio"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"wsrs"
@@ -23,27 +29,65 @@ func main() {
 	kernel := flag.String("kernel", "gzip", "benchmark kernel name")
 	program := flag.String("program", "", "assembly file to run instead of a kernel")
 	config := flag.String("config", string(wsrs.ConfRR256), "machine configuration")
-	policy := flag.String("policy", "", "override allocation policy (RR, RM, RC, RC-bal)")
+	policy := flag.String("policy", "", "override allocation policy (RR, RM, RC, RC-bal, RC-dep)")
 	warmup := flag.Uint64("warmup", 20_000, "warmup instructions")
 	measure := flag.Uint64("measure", 100_000, "measured instructions (0: to end of program)")
 	seed := flag.Int64("seed", 1, "allocation-policy random seed")
 	xdelay := flag.Int("xdelay", -1, "override inter-cluster forwarding delay")
 	regs := flag.Int("regs", 0, "override total physical register count")
 	impl1 := flag.Int("impl1", 0, "use renaming implementation 1 with this recycle depth")
-	list := flag.Bool("list", false, "list kernels and configurations")
+	stats := flag.Bool("stats", false, "print the commit-slot stall stack, dispatch-stall refinement and occupancy histograms")
+	pipeview := flag.Bool("pipeview", false, "print a per-micro-op pipeline timeline (Konata-style text) of the measured window")
+	events := flag.String("events", "", "write per-micro-op lifecycle events as JSONL to this file")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file")
+	list := flag.Bool("list", false, "list kernels, configurations and policies")
 	flag.Parse()
 
 	if *list {
 		fmt.Println("kernels:       ", strings.Join(wsrs.Kernels(), ", "))
 		fmt.Print("configurations:")
-		for _, c := range wsrs.Figure4Configs() {
+		for _, c := range wsrs.AllConfigs() {
 			fmt.Printf("  %q", string(c))
 		}
 		fmt.Println()
+		fmt.Println("policies:      ", strings.Join(wsrs.PolicyNames(), ", "))
 		return
 	}
 
+	// Validate the configuration and policy names before any
+	// simulation (or profile file) is touched, so a typo fails fast
+	// with the valid choices listed.
+	conf, err := wsrs.ValidateConfigName(*config)
+	if err != nil {
+		fatal(err)
+	}
+	if err := wsrs.ValidatePolicyName(*policy); err != nil {
+		fatal(err)
+	}
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+
 	opts := wsrs.SimOpts{WarmupInsts: *warmup, MeasureInsts: *measure, Seed: *seed}
+	var prb *wsrs.Probe
+	if *stats || *pipeview || *events != "" {
+		prb = wsrs.NewProbe(wsrs.ProbeOptions{
+			Events:    *pipeview || *events != "",
+			Stalls:    true,
+			Occupancy: *stats,
+		})
+		opts.Probe = prb
+	}
 	var mods []wsrs.MachineOption
 	if *xdelay >= 0 {
 		mods = append(mods, wsrs.WithXClusterDelay(*xdelay))
@@ -56,20 +100,78 @@ func main() {
 	}
 
 	var res wsrs.Result
-	var err error
 	if *program != "" {
 		src, rerr := os.ReadFile(*program)
 		if rerr != nil {
 			fatal(rerr)
 		}
-		res, err = wsrs.RunProgram(wsrs.ConfigName(*config), string(src), nil, opts)
+		res, err = wsrs.RunProgram(conf, string(src), nil, opts)
 	} else {
-		res, err = wsrs.RunKernelWith(wsrs.ConfigName(*config), *kernel, opts, *policy, mods...)
+		res, err = wsrs.RunKernelWith(conf, *kernel, opts, *policy, mods...)
 	}
 	if err != nil {
 		fatal(err)
 	}
 	print(res)
+
+	if prb != nil {
+		report(prb, *stats, *pipeview, *events)
+	}
+	if *memprofile != "" {
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+// report renders the probe's observations after the summary: stall
+// tables on stdout, the pipeview timeline on stdout, and the JSONL
+// event dump to its file.
+func report(p *wsrs.Probe, stats, pipeview bool, events string) {
+	if stats {
+		fmt.Println()
+		p.Stall.Table("commit-slot stall stack").Render(os.Stdout)
+		fmt.Println()
+		p.Disp.Table("dispatch-slot stalls").Render(os.Stdout)
+		fmt.Println()
+		p.Occ.Table("occupancy (per measured cycle)").Render(os.Stdout)
+	}
+	if p.Dropped > 0 {
+		fmt.Fprintf(os.Stderr, "wsrssim: event buffer full, %d micro-ops not recorded\n", p.Dropped)
+	}
+	if pipeview {
+		fmt.Println()
+		w := bufio.NewWriter(os.Stdout)
+		if err := wsrs.WritePipeview(w, p.Events); err != nil {
+			fatal(err)
+		}
+		if err := w.Flush(); err != nil {
+			fatal(err)
+		}
+	}
+	if events != "" {
+		f, err := os.Create(events)
+		if err != nil {
+			fatal(err)
+		}
+		w := bufio.NewWriter(f)
+		if err := wsrs.WriteJSONL(w, p.Events); err != nil {
+			fatal(err)
+		}
+		if err := w.Flush(); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %d lifecycle events to %s\n", len(p.Events), events)
+	}
 }
 
 func fatal(err error) {

@@ -3,8 +3,10 @@ package wsrs
 import (
 	"fmt"
 	"io"
+	"time"
 
 	"wsrs/internal/cacti"
+	"wsrs/internal/probe"
 	"wsrs/internal/regfile"
 	"wsrs/internal/report"
 )
@@ -39,6 +41,8 @@ type Figure4Cell struct {
 	Kernel string
 	Config ConfigName
 	Result Result
+	// Wall is the cell's host wall-clock simulation time.
+	Wall time.Duration
 }
 
 // RunFigure4 regenerates the paper's Figure 4: IPC of every benchmark
@@ -68,7 +72,7 @@ func RunFigure4(confs []ConfigName, kernelNames []string, opts SimOpts) ([]Figur
 	}
 	out := make([]Figure4Cell, len(grid))
 	for i, g := range grid {
-		out[i] = Figure4Cell{Kernel: g.Cell.Kernel, Config: g.Cell.Config, Result: g.Result}
+		out[i] = Figure4Cell{Kernel: g.Cell.Kernel, Config: g.Cell.Config, Result: g.Result, Wall: g.Wall}
 	}
 	return out, nil
 }
@@ -101,6 +105,37 @@ func RenderFigure4(w io.Writer, cells []Figure4Cell) {
 			}
 		}
 		t.AddRow(row...)
+	}
+	t.Render(w)
+}
+
+// RenderFigure4Stats writes the observability companion of Figure 4:
+// one row per (benchmark, configuration) cell with its IPC, host
+// wall-clock simulation time, and the commit-slot stall stack grouped
+// into broad categories (% of all commit slots). Cells must come from
+// a run with SimOpts.Stats set; cells without a stall stack render
+// dashes.
+func RenderFigure4Stats(w io.Writer, cells []Figure4Cell) {
+	t := report.NewTable("Figure 4 — wall time and commit-slot breakdown (% of slots)",
+		"benchmark", "config", "IPC", "wall ms",
+		"commit", "mispred", "memory", "exec", "issue", "rename", "front")
+	for _, c := range cells {
+		s := c.Result.Stalls
+		wall := fmt.Sprintf("%.1f", float64(c.Wall.Microseconds())/1000)
+		if s == nil || s.TotalSlots() == 0 {
+			t.AddRow(c.Kernel, string(c.Config), c.Result.IPC, wall,
+				"-", "-", "-", "-", "-", "-", "-")
+			continue
+		}
+		pct := func(f float64) string { return fmt.Sprintf("%.1f", 100*f) }
+		t.AddRow(c.Kernel, string(c.Config), c.Result.IPC, wall,
+			pct(float64(s.Committed)/float64(s.TotalSlots())),
+			pct(s.Share(probe.CauseMispredict, probe.CauseTrap)),
+			pct(s.Share(probe.CauseCacheMiss, probe.CauseMemOrder)),
+			pct(s.Share(probe.CauseExecDep, probe.CauseExecLat, probe.CauseXClusterForward)),
+			pct(s.Share(probe.CauseIssueWait)),
+			pct(s.Share(probe.CauseFreeList)),
+			pct(s.Share(probe.CauseFrontend, probe.CauseDrain)))
 	}
 	t.Render(w)
 }

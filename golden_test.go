@@ -3,6 +3,7 @@ package wsrs
 import (
 	"bytes"
 	"flag"
+	"fmt"
 	"os"
 	"path/filepath"
 	"testing"
@@ -71,4 +72,33 @@ func TestGoldenMixTable(t *testing.T) {
 	var buf bytes.Buffer
 	RenderMixes(&buf, mixes)
 	checkGolden(t, "mix.golden", buf.Bytes())
+}
+
+// TestGoldenStallStack pins the commit-slot stall stack of gzip on
+// the conventional and WSRS machines. The table is fully
+// deterministic (fixed seed, integer slot counts), so a behavioral
+// change anywhere in commit-slot attribution shows up as a diff.
+func TestGoldenStallStack(t *testing.T) {
+	var buf bytes.Buffer
+	for i, conf := range []ConfigName{ConfRR256, ConfWSRSRC512} {
+		opts := goldenOpts
+		p := NewProbe(ProbeOptions{Stalls: true})
+		opts.Probe = p
+		res, err := RunKernel(conf, "gzip", opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !p.Stall.Check() {
+			t.Fatalf("%s: stall stack does not account every slot", conf)
+		}
+		if p.Stall.Committed != res.Uops {
+			t.Fatalf("%s: committed slots %d != retired micro-ops %d",
+				conf, p.Stall.Committed, res.Uops)
+		}
+		if i > 0 {
+			buf.WriteByte('\n')
+		}
+		p.Stall.Table(fmt.Sprintf("stall stack — gzip on %s", conf)).Render(&buf)
+	}
+	checkGolden(t, "stalls.golden", buf.Bytes())
 }

@@ -4,9 +4,11 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"time"
 
 	"wsrs/internal/kernels"
 	"wsrs/internal/pipeline"
+	"wsrs/internal/probe"
 	"wsrs/internal/tracecache"
 )
 
@@ -68,6 +70,10 @@ type GridResult struct {
 	Cell   GridCell
 	Result Result
 	Err    error
+	// Wall is the host wall-clock time the cell's simulation took
+	// (including a possible cold functional-simulation run when the
+	// cell is the first user of its kernel's trace).
+	Wall time.Duration
 }
 
 // runCell simulates one grid cell against the shared trace cache. It
@@ -94,9 +100,16 @@ func runCell(c GridCell, opts SimOpts) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
+	prb := opts.Probe
+	if prb == nil && opts.Stats {
+		// Stats mode gives the cell its own private probe, so grids
+		// stay safe at any parallelism.
+		prb = probe.New(probe.Options{Stalls: true})
+	}
 	return pipeline.Run(cfg, pol, src, pipeline.RunOpts{
 		WarmupInsts:  opts.WarmupInsts,
 		MeasureInsts: opts.MeasureInsts,
+		Probe:        prb,
 	})
 }
 
@@ -111,6 +124,9 @@ func runCell(c GridCell, opts SimOpts) (Result, error) {
 // cells succeeded); the full result slice, including every per-cell
 // Err, is returned either way so callers can render partial grids.
 func RunGrid(cells []GridCell, opts SimOpts, parallelism int) ([]GridResult, error) {
+	if opts.Probe != nil {
+		return nil, fmt.Errorf("wsrs: a probe cannot be shared across grid cells; set SimOpts.Stats instead")
+	}
 	if parallelism <= 0 {
 		parallelism = runtime.GOMAXPROCS(0)
 	}
@@ -119,8 +135,9 @@ func RunGrid(cells []GridCell, opts SimOpts, parallelism int) ([]GridResult, err
 	}
 	out := make([]GridResult, len(cells))
 	work := func(i int) {
+		start := time.Now()
 		res, err := runCell(cells[i], opts)
-		out[i] = GridResult{Cell: cells[i], Result: res, Err: err}
+		out[i] = GridResult{Cell: cells[i], Result: res, Err: err, Wall: time.Since(start)}
 	}
 	if parallelism <= 1 {
 		for i := range cells {

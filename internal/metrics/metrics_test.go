@@ -80,6 +80,78 @@ func TestRandomUniformMostlyBalanced(t *testing.T) {
 	}
 }
 
+func TestPartialTrailingGroupDegree(t *testing.T) {
+	u := NewClusterLoad(DefaultUnbalancing())
+	// One complete, fully-skewed group followed by a balanced partial
+	// tail: the tail must not dilute (or join) the score.
+	for i := 0; i < 128; i++ {
+		u.Commit(0)
+	}
+	for i := 0; i < 60; i++ {
+		u.Commit(i % 4)
+	}
+	if u.Groups != 1 {
+		t.Fatalf("groups = %d, want 1 (trailing partial group must not close)", u.Groups)
+	}
+	if u.Degree() != 100 {
+		t.Errorf("degree = %.1f, want 100: only the complete group is scored", u.Degree())
+	}
+	if u.TotalPerCluster[0] != 128+15 {
+		t.Errorf("TotalPerCluster[0] = %d, want %d (totals do include the tail)",
+			u.TotalPerCluster[0], 128+15)
+	}
+}
+
+func TestResetRestoresFreshTracker(t *testing.T) {
+	u := NewClusterLoad(DefaultUnbalancing())
+	// Dirty every piece of state, including a half-open group.
+	for i := 0; i < 128*3+50; i++ {
+		u.Commit(0)
+	}
+	u.Reset()
+	if u.Groups != 0 || u.Unbalanced != 0 || u.Degree() != 0 {
+		t.Errorf("reset left scores: groups=%d unbalanced=%d", u.Groups, u.Unbalanced)
+	}
+	for c, n := range u.TotalPerCluster {
+		if n != 0 {
+			t.Errorf("reset left TotalPerCluster[%d] = %d", c, n)
+		}
+	}
+	// A reset tracker must behave exactly like a fresh one: the 50
+	// in-group instructions from before the reset must not leak into
+	// the first post-reset group.
+	fresh := NewClusterLoad(DefaultUnbalancing())
+	for i := 0; i < 128*2; i++ {
+		u.Commit(i % 4)
+		fresh.Commit(i % 4)
+	}
+	if u.Groups != fresh.Groups || u.Unbalanced != fresh.Unbalanced {
+		t.Errorf("reset tracker diverged from fresh: %d/%d vs %d/%d",
+			u.Unbalanced, u.Groups, fresh.Unbalanced, fresh.Groups)
+	}
+	for c := range u.TotalPerCluster {
+		if u.TotalPerCluster[c] != fresh.TotalPerCluster[c] {
+			t.Errorf("cluster %d totals diverged: %d vs %d",
+				c, u.TotalPerCluster[c], fresh.TotalPerCluster[c])
+		}
+	}
+}
+
+func TestSpreadDegenerate(t *testing.T) {
+	u := NewClusterLoad(DefaultUnbalancing())
+	// No commits at all: every cluster is at zero, spread is defined
+	// as 0 (not NaN/Inf from 0/0).
+	if got := u.Spread(); got != 0 {
+		t.Errorf("empty-tracker spread = %v, want 0", got)
+	}
+	// Any cluster still at zero keeps the degenerate value even when
+	// others have committed (max/0 must not overflow to +Inf).
+	u.Commit(1)
+	if got := u.Spread(); got != 0 {
+		t.Errorf("zero-commit-cluster spread = %v, want 0", got)
+	}
+}
+
 func TestResetAndSpread(t *testing.T) {
 	u := NewClusterLoad(DefaultUnbalancing())
 	for i := 0; i < 128*4; i++ {

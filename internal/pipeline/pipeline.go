@@ -25,6 +25,7 @@ import (
 	"wsrs/internal/isa"
 	"wsrs/internal/mem"
 	"wsrs/internal/metrics"
+	"wsrs/internal/probe"
 	"wsrs/internal/rename"
 	"wsrs/internal/trace"
 )
@@ -186,6 +187,10 @@ type RunOpts struct {
 	// StallLimit aborts the run when no µop commits for this many
 	// cycles (a livelock guard; 0 uses a generous default).
 	StallLimit int64
+	// Probe is the optional observability sink (nil disables all
+	// probing; the hot loop then only pays nil checks). A probe must
+	// not be shared between concurrent runs.
+	Probe *probe.Probe
 }
 
 // Result reports one simulation run. All counters cover the measured
@@ -222,11 +227,24 @@ type Result struct {
 
 	// PerThreadInsts breaks Insts down by SMT context.
 	PerThreadInsts []uint64
+
+	// Stalls is the commit-slot CPI stall stack of the measured
+	// slice, filled only when the run was probed with stall
+	// accounting enabled (RunOpts.Probe with Options.Stalls); nil
+	// otherwise. The accounting invariant holds: Stalls.Committed
+	// (== Uops) plus the attributed bubbles equal Cycles x
+	// CommitWidth.
+	Stalls *probe.StallStack
 }
 
 type regInfo struct {
 	readyAt  int64
 	producer int32 // producing cluster; -1 = architectural (no forward cost)
+	// producerRob is the ROB index of the in-flight producer (-1 for
+	// architectural state). Only meaningful while readyAt is in the
+	// future — the producer cannot have committed then — and used by
+	// the stall-stack attribution to chase dependence chains.
+	producerRob int32
 }
 
 type robEntry struct {
@@ -242,6 +260,8 @@ type robEntry struct {
 	doneAt   int64
 	mispred  bool
 	synth    bool // injected deadlock-workaround move
+	l1Miss   bool // load that went past the L1 (set at issue)
+	prec     *probe.UopRecord
 }
 
 // threadState is the per-SMT-context front-end state.
@@ -254,6 +274,11 @@ type threadState struct {
 	fetchResumeAt   int64
 	pendingRedirect int
 	pendingTrap     int
+	// fetchedAt stamps when the current pending µop entered the
+	// lookahead buffer; resumeTrap records whether fetchResumeAt was
+	// set by a trap (vs a mispredict) for stall attribution.
+	fetchedAt  int64
+	resumeTrap bool
 
 	// Per-thread in-order memory address computation (§5.2); threads
 	// have private address spaces and do not order against each other.
@@ -297,6 +322,14 @@ type engine struct {
 
 	load *metrics.ClusterLoad
 	fail error
+
+	// prb is the optional observability sink (nil = all probing
+	// off); evOn/stOn/occOn cache the per-feature switches so each
+	// stage checks a single boolean.
+	prb   *probe.Probe
+	evOn  bool
+	stOn  bool
+	occOn bool
 
 	insts, uops     uint64
 	condBr, mispred uint64
@@ -361,6 +394,13 @@ func RunSMT(cfg Config, pol alloc.Policy, srcs []trace.Reader, opts RunOpts) (Re
 		fpReady:  make([]regInfo, cfg.Rename.FPRegs),
 		load:     metrics.NewClusterLoad(ub),
 	}
+	if p := opts.Probe; p != nil {
+		e.prb = p
+		e.evOn = p.Opt.Events
+		e.stOn = p.Opt.Stalls
+		e.occOn = p.Opt.Occupancy
+		p.Stall.Width = cfg.CommitWidth
+	}
 	for tid, src := range srcs {
 		_ = tid
 		e.th = append(e.th, &threadState{
@@ -370,10 +410,10 @@ func RunSMT(cfg Config, pol alloc.Policy, srcs []trace.Reader, opts RunOpts) (Re
 		})
 	}
 	for i := range e.intReady {
-		e.intReady[i] = regInfo{producer: -1}
+		e.intReady[i] = regInfo{producer: -1, producerRob: -1}
 	}
 	for i := range e.fpReady {
-		e.fpReady[i] = regInfo{producer: -1}
+		e.fpReady[i] = regInfo{producer: -1, producerRob: -1}
 	}
 	for _, cc := range e.ccfg {
 		e.sb = append(e.sb, cluster.NewScoreboard(cc))
@@ -414,8 +454,12 @@ func (e *engine) run(opts RunOpts) (Result, error) {
 		}
 		e.cycle++
 		e.ren.BeginCycle()
-		if n := e.commit(); n > 0 {
+		n := e.commit()
+		if n > 0 {
 			lastCommitCycle = e.cycle
+		}
+		if e.stOn {
+			e.accountCommit(n)
 		}
 		if !warmed && e.insts >= opts.WarmupInsts {
 			warmed = true
@@ -425,11 +469,20 @@ func (e *engine) run(opts RunOpts) (Result, error) {
 				baseTh[i] = t.insts
 			}
 			e.load.Reset()
+			if e.prb != nil {
+				// The probe covers exactly the measured slice: the
+				// boundary cycle is excluded from Cycles above, so
+				// its attribution is dropped with the warmup's.
+				e.prb.Reset()
+			}
 		}
 		e.issue()
 		e.dispatch()
 		if e.fail != nil {
 			return Result{}, e.fail
+		}
+		if e.occOn && warmed && e.cycle > baseCycle {
+			e.sampleOccupancy()
 		}
 		if e.cycle-lastCommitCycle > stallLimit {
 			h := &e.rob[e.robHead]
@@ -478,7 +531,110 @@ func (e *engine) run(opts RunOpts) (Result, error) {
 	if res.CondBranches > 0 {
 		res.MispredictRate = float64(res.Mispredicts) / float64(res.CondBranches)
 	}
+	if e.stOn {
+		s := e.prb.Stall
+		res.Stalls = &s
+	}
 	return res, nil
+}
+
+// accountCommit attributes this cycle's commit slots for the CPI
+// stall stack: n slots retired a µop, the remaining CommitWidth-n are
+// bubbles blamed on a single cause. Pure observation — it must not
+// mutate any simulation state.
+func (e *engine) accountCommit(n int) {
+	bubbles := e.cfg.CommitWidth - n
+	var cause probe.Cause
+	if bubbles > 0 {
+		cause = e.blameCommit()
+	}
+	e.prb.Stall.Record(n, bubbles, cause)
+}
+
+// blameCommit decides why the commit stream ran dry this cycle. With
+// µops in flight the oldest one is the blocker: not-yet-ready
+// operands are chased to cross-cluster forwarding, a missing load, or
+// a plain dependence; an issued head is executing. With an empty
+// window the front end is to blame: mispredict/trap refill, a
+// register-subset free-list stall, the end-of-trace drain, or other
+// fill latency.
+func (e *engine) blameCommit() probe.Cause {
+	if e.robCount > 0 {
+		ent := &e.rob[e.robHead]
+		if ent.issued {
+			if ent.l1Miss {
+				return probe.CauseCacheMiss
+			}
+			return probe.CauseExecLat
+		}
+		for i := 0; i < ent.m.NSrc; i++ {
+			cl := ent.m.Src[i].Class
+			if e.availAt(cl, ent.srcPhys[i], ent.cluster) <= e.cycle {
+				continue
+			}
+			ri := e.readyInfo(cl, ent.srcPhys[i])
+			if ri.readyAt <= e.cycle {
+				// Ready at the producer; the consumer only waits for
+				// the cross-cluster forwarding network.
+				return probe.CauseXClusterForward
+			}
+			if ri.producerRob >= 0 {
+				if p := &e.rob[ri.producerRob]; p.issued && p.l1Miss {
+					return probe.CauseCacheMiss
+				}
+			}
+			return probe.CauseExecDep
+		}
+		if ent.memSeq >= 0 && ent.memSeq != e.th[ent.tid].nextMemIssue {
+			return probe.CauseMemOrder
+		}
+		return probe.CauseIssueWait
+	}
+	// Empty window: find a front-end reason across the contexts.
+	live := false
+	for _, t := range e.th {
+		if t.drained() {
+			continue
+		}
+		live = true
+		if t.fetchResumeAt > e.cycle {
+			if t.resumeTrap {
+				return probe.CauseTrap
+			}
+			return probe.CauseMispredict
+		}
+	}
+	if !live {
+		return probe.CauseDrain
+	}
+	for _, t := range e.th {
+		if t.drained() || t.pending == nil || t.pendDec == nil || !t.pending.HasDst {
+			continue
+		}
+		subset := 0
+		if e.cfg.Rename.NumSubsets > 1 {
+			subset = t.pendDec.Cluster
+		}
+		if !e.ren.CanRename(t.pending.Dst.Class, subset) {
+			return probe.CauseFreeList
+		}
+	}
+	return probe.CauseFrontend
+}
+
+// sampleOccupancy records the cycle-end occupancy of the queueing
+// structures (window, per-cluster issue queues, per-subset free
+// lists).
+func (e *engine) sampleOccupancy() {
+	occ := &e.prb.Occ
+	occ.ROB.Add(e.robCount)
+	for c := 0; c < e.cfg.NumClusters; c++ {
+		occ.SampleIQ(c, len(e.iq[c]))
+	}
+	for s := 0; s < e.cfg.Rename.NumSubsets; s++ {
+		occ.SampleIntFree(s, e.ren.FreeCount(isa.RegInt, s))
+		occ.SampleFPFree(s, e.ren.FreeCount(isa.RegFP, s))
+	}
 }
 
 // memStatsDiff subtracts two cumulative memory-stat snapshots.
@@ -556,6 +712,7 @@ func (e *engine) fetchNext(tid int) (*trace.MicroOp, *alloc.Decision) {
 		}
 		t.pending = &m
 		t.pendDec = nil
+		t.fetchedAt = e.cycle
 	}
 	if t.pendDec == nil {
 		var subsets [2]int
@@ -599,6 +756,9 @@ func (e *engine) dispatch() {
 			for _, t := range e.th {
 				if !t.drained() {
 					e.stallRedirect += uint64(e.cfg.FetchWidth - slot)
+					if e.stOn {
+						e.prb.Disp.Redirect += uint64(e.cfg.FetchWidth - slot)
+					}
 					return
 				}
 			}
@@ -624,6 +784,17 @@ func (e *engine) dispatch() {
 			e.inflight[cl] >= e.ccfg[cl].MaxInflight ||
 			(m.Class != isa.ClassNop && len(e.iq[cl]) >= e.ccfg[cl].IQSize) {
 			e.stallWindow += uint64(e.cfg.FetchWidth - slot)
+			if e.stOn {
+				n := uint64(e.cfg.FetchWidth - slot)
+				switch {
+				case e.robCount >= e.cfg.ROBSize:
+					e.prb.Disp.ROBFull += n
+				case e.inflight[cl] >= e.ccfg[cl].MaxInflight:
+					e.prb.Disp.ClusterFull += n
+				default:
+					e.prb.Disp.IQFull += n
+				}
+			}
 			return
 		}
 
@@ -664,12 +835,18 @@ func (e *engine) dispatch() {
 					}
 				}
 				e.stallRename += uint64(e.cfg.FetchWidth - slot)
+				if e.stOn {
+					e.prb.Disp.AddFreeList(subset, e.cfg.FetchWidth-slot)
+				}
 				return
 			}
 			var ok bool
 			dst, prev, ok = e.ren.RenameT(tid, m.Dst, subset)
 			if !ok {
 				e.stallRename += uint64(e.cfg.FetchWidth - slot)
+				if e.stOn {
+					e.prb.Disp.AddFreeList(subset, e.cfg.FetchWidth-slot)
+				}
 				return
 			}
 		}
@@ -688,7 +865,17 @@ func (e *engine) dispatch() {
 			doneAt:   notReady,
 		}
 		if m.HasDst {
-			*e.readyInfo(m.Dst.Class, dst) = regInfo{readyAt: notReady, producer: int32(cl)}
+			*e.readyInfo(m.Dst.Class, dst) = regInfo{readyAt: notReady, producer: int32(cl), producerRob: int32(idx)}
+		}
+		if e.evOn {
+			r := e.prb.NewRecord()
+			*r = probe.UopRecord{
+				Seq: m.Seq, InstSeq: m.InstSeq, Tid: tid, PC: m.PC,
+				Op: m.Op, Class: m.Class, Cluster: cl, Subset: subset,
+				Fetch: t.fetchedAt, Dispatch: e.cycle,
+				Issue: notReady, Done: notReady,
+			}
+			ent.prec = r
 		}
 		if isa.IsMem(m.Op) {
 			ent.memSeq = t.nextMemSeq
@@ -722,6 +909,10 @@ func (e *engine) dispatch() {
 			// Window-management and nop µops complete at dispatch.
 			ent.issued = true
 			ent.doneAt = e.cycle
+			if ent.prec != nil {
+				ent.prec.Issue = e.cycle
+				ent.prec.Done = e.cycle
+			}
 		} else {
 			e.iq[cl] = append(e.iq[cl], idx)
 		}
@@ -831,6 +1022,10 @@ func (e *engine) doIssue(idx int, ent *robEntry, c int) {
 			done = e.cycle + int64(lat)
 		} else {
 			done = e.hi.AccessLoad(ent.m.Addr, e.cycle)
+			// Anything beyond the L1 hit latency went past the L1
+			// (or merged into an in-flight refill) — stall-stack
+			// attribution treats both as cache-miss time.
+			ent.l1Miss = done > e.cycle+int64(e.cfg.Mem.L1HitLatency)
 		}
 	default:
 		done = e.cycle + int64(lat)
@@ -843,6 +1038,10 @@ func (e *engine) doIssue(idx int, ent *robEntry, c int) {
 	}
 	ent.issued = true
 	ent.doneAt = done
+	if ent.prec != nil {
+		ent.prec.Issue = e.cycle
+		ent.prec.Done = done
+	}
 	if ent.memSeq >= 0 {
 		e.th[ent.tid].nextMemIssue++
 	}
@@ -851,6 +1050,7 @@ func (e *engine) doIssue(idx int, ent *robEntry, c int) {
 		// after the configuration's minimum misprediction penalty.
 		t.fetchResumeAt = done + int64(e.cfg.MispredictPenalty)
 		t.pendingRedirect = -1
+		t.resumeTrap = false
 	}
 }
 
@@ -894,6 +1094,12 @@ func (e *engine) commit() int {
 		if t := e.th[ent.tid]; t.pendingTrap == idx {
 			t.fetchResumeAt = e.cycle + int64(e.cfg.TrapPenalty)
 			t.pendingTrap = -1
+			t.resumeTrap = true
+		}
+		if ent.prec != nil {
+			ent.prec.Mispredict = ent.mispred
+			e.prb.Retire(ent.prec, e.cycle)
+			ent.prec = nil
 		}
 		e.robHead = (e.robHead + 1) % len(e.rob)
 		e.robCount--

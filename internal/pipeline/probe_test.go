@@ -1,0 +1,175 @@
+package pipeline
+
+import (
+	"testing"
+
+	"wsrs/internal/alloc"
+	"wsrs/internal/probe"
+	"wsrs/internal/trace"
+)
+
+func fullProbe() *probe.Probe {
+	return probe.New(probe.Options{Events: true, Stalls: true, Occupancy: true})
+}
+
+// TestProbeDoesNotPerturbTiming is the zero-overhead contract: a
+// probed run must produce exactly the same architectural and timing
+// statistics as an unprobed run of the same cell.
+func TestProbeDoesNotPerturbTiming(t *testing.T) {
+	ops := synthOps(7, 6000)
+	for _, cfg := range []Config{conv(), wsrs512()} {
+		opts := RunOpts{WarmupInsts: 500, MeasureInsts: 2000}
+		plain, err := Run(cfg, alloc.NewRC(1), trace.NewSliceReader(ops), opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		opts.Probe = fullProbe()
+		probed, err := Run(cfg, alloc.NewRC(1), trace.NewSliceReader(ops), opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		stalls := probed.Stalls
+		probed.Stalls = nil
+		if plain.Cycles != probed.Cycles || plain.IPC != probed.IPC ||
+			plain.Uops != probed.Uops || plain.StallWindow != probed.StallWindow ||
+			plain.StallRename != probed.StallRename || plain.Mispredicts != probed.Mispredicts {
+			t.Errorf("%s: probed run diverged: plain=%+v probed=%+v", cfg.Name, plain, probed)
+		}
+		if stalls == nil {
+			t.Fatalf("%s: probed run did not report a stall stack", cfg.Name)
+		}
+	}
+}
+
+// TestStallStackAccountsEverySlot checks the tentpole invariant:
+// committed slots plus attributed bubbles equal measured cycles times
+// the commit width, and the committed-slot count equals the µop
+// count.
+func TestStallStackAccountsEverySlot(t *testing.T) {
+	ops := synthOps(11, 6000)
+	for _, cfg := range []Config{conv(), wsrs512()} {
+		for _, warmup := range []uint64{0, 700} {
+			p := fullProbe()
+			res, err := Run(cfg, alloc.NewRC(1), trace.NewSliceReader(ops),
+				RunOpts{WarmupInsts: warmup, MeasureInsts: 1500, Probe: p})
+			if err != nil {
+				t.Fatal(err)
+			}
+			s := res.Stalls
+			if s.Width != cfg.CommitWidth {
+				t.Fatalf("stall width = %d, want %d", s.Width, cfg.CommitWidth)
+			}
+			if s.Cycles != uint64(res.Cycles) {
+				t.Errorf("%s warmup=%d: stall cycles %d != measured cycles %d",
+					cfg.Name, warmup, s.Cycles, res.Cycles)
+			}
+			if s.Committed != res.Uops {
+				t.Errorf("%s warmup=%d: committed slots %d != µops %d",
+					cfg.Name, warmup, s.Committed, res.Uops)
+			}
+			if !s.Check() {
+				t.Errorf("%s warmup=%d: %d committed + %d bubbles != %d total slots",
+					cfg.Name, warmup, s.Committed, s.BubbleTotal(), s.TotalSlots())
+			}
+		}
+	}
+}
+
+// TestLifecycleEventsConsistent checks the recorded per-µop stamps:
+// monotonic stage order, matching µop count, and commit order.
+func TestLifecycleEventsConsistent(t *testing.T) {
+	ops := synthOps(3, 4000)
+	p := fullProbe()
+	res, err := Run(wsrs512(), alloc.NewRC(1), trace.NewSliceReader(ops),
+		RunOpts{WarmupInsts: 300, MeasureInsts: 1200, Probe: p})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Records spanning the warmup boundary commit into the measured
+	// window, so at least the measured µops must be present.
+	if uint64(len(p.Events)) < res.Uops {
+		t.Fatalf("recorded %d events for %d measured µops", len(p.Events), res.Uops)
+	}
+	var prevCommit int64
+	for i := range p.Events {
+		r := &p.Events[i]
+		// Done == Commit is legal: commit runs at the top of the cycle
+		// and retires µops whose result completes that same cycle.
+		if r.Fetch > r.Dispatch || r.Dispatch > r.Issue || r.Issue > r.Done || r.Done > r.Commit {
+			t.Fatalf("event %d has non-monotonic stamps: %+v", i, r)
+		}
+		if r.Commit < prevCommit {
+			t.Fatalf("events out of commit order at %d", i)
+		}
+		prevCommit = r.Commit
+		if r.Cluster < 0 || r.Cluster > 3 || r.Subset != r.Cluster {
+			// WSRS: write specialization maps subset == cluster.
+			t.Fatalf("event %d has bad placement: cluster %d subset %d", i, r.Cluster, r.Subset)
+		}
+	}
+}
+
+// TestOccupancySamplesMatchCycles: one occupancy sample per measured
+// cycle, bounded by the structure capacities.
+func TestOccupancySamplesMatchCycles(t *testing.T) {
+	ops := synthOps(5, 4000)
+	cfg := wsrs512()
+	p := fullProbe()
+	res, err := Run(cfg, alloc.NewRC(1), trace.NewSliceReader(ops),
+		RunOpts{WarmupInsts: 300, MeasureInsts: 1200, Probe: p})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Occ.ROB.N != uint64(res.Cycles) {
+		t.Errorf("ROB samples %d != measured cycles %d", p.Occ.ROB.N, res.Cycles)
+	}
+	if p.Occ.ROB.Max() > cfg.ROBSize {
+		t.Errorf("ROB occupancy %d exceeds capacity %d", p.Occ.ROB.Max(), cfg.ROBSize)
+	}
+	if len(p.Occ.IQ) != cfg.NumClusters || len(p.Occ.IntFree) != 4 || len(p.Occ.FPFree) != 4 {
+		t.Fatalf("histogram shapes: IQ=%d intfree=%d fpfree=%d",
+			len(p.Occ.IQ), len(p.Occ.IntFree), len(p.Occ.FPFree))
+	}
+	for c := range p.Occ.IQ {
+		if p.Occ.IQ[c].Max() > cfg.Cluster.IQSize {
+			t.Errorf("IQ %d occupancy %d exceeds capacity", c, p.Occ.IQ[c].Max())
+		}
+	}
+	for s := range p.Occ.IntFree {
+		if p.Occ.IntFree[s].Max() > cfg.Rename.IntRegs/4 {
+			t.Errorf("free list %d level %d exceeds subset size", s, p.Occ.IntFree[s].Max())
+		}
+	}
+}
+
+// TestDispatchStallRefinementSumsToAggregates: the probe's
+// dispatch-slot split must re-sum to the pipeline's own counters.
+func TestDispatchStallRefinementSumsToAggregates(t *testing.T) {
+	cfg := wsrs512()
+	// A tight register budget forces rename (free-list) stalls without
+	// deadlocking a subset outright.
+	cfg.Rename.IntRegs, cfg.Rename.FPRegs = 192, 192
+	ops := synthOps(9, 6000)
+	p := fullProbe()
+	res, err := Run(cfg, alloc.NewRC(1), trace.NewSliceReader(ops),
+		RunOpts{MeasureInsts: 1500, Probe: p})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Disp.FreeList != res.StallRename {
+		t.Errorf("free-list split %d != StallRename %d", p.Disp.FreeList, res.StallRename)
+	}
+	if got := p.Disp.ROBFull + p.Disp.IQFull + p.Disp.ClusterFull; got != res.StallWindow {
+		t.Errorf("window split %d != StallWindow %d", got, res.StallWindow)
+	}
+	if p.Disp.Redirect != res.StallRedirect {
+		t.Errorf("redirect split %d != StallRedirect %d", p.Disp.Redirect, res.StallRedirect)
+	}
+	var perSubset uint64
+	for _, n := range p.Disp.FreeListBySubset {
+		perSubset += n
+	}
+	if perSubset != p.Disp.FreeList {
+		t.Errorf("per-subset free-list %d != total %d", perSubset, p.Disp.FreeList)
+	}
+}

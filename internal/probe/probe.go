@@ -1,0 +1,124 @@
+// Package probe is the pipeline observability layer: per-µop
+// lifecycle tracing, CPI stall-stack accounting and occupancy
+// histograms for the timing model in internal/pipeline.
+//
+// The layer is strictly opt-in and zero-overhead when disabled: the
+// pipeline holds a *Probe that is nil in normal runs and checks it
+// once per stage, so the hot simulation loop is unchanged when no
+// probing is requested (the existing golden files stay byte-identical
+// and wall time is unaffected).
+//
+// Three independent features can be enabled per run:
+//
+//   - Events: every µop's fetch/dispatch/issue/writeback/commit cycle
+//     stamps plus its assigned cluster and register subset, retained
+//     in commit order and exportable as JSONL or as a pipeview-style
+//     text timeline (WriteJSONL, WritePipeview).
+//   - Stalls: a CPI stall stack over commit slots — every empty
+//     commit slot of every measured cycle is attributed to exactly
+//     one cause (branch mispredict, cache miss, cross-cluster
+//     forwarding, execution latency, memory ordering, subset
+//     free-list exhaustion, ...), so committed slots plus attributed
+//     bubbles always equal cycles x commit width. A dispatch-slot
+//     refinement (DispatchStalls) additionally splits front-end
+//     stalls into ROB-full / IQ-full / cluster-full / free-list.
+//   - Occupancy: per-cycle histograms of ROB occupancy, per-cluster
+//     issue-queue occupancy and per-subset free-list levels — the
+//     §2.3 register-subset pressure made visible.
+package probe
+
+import "wsrs/internal/isa"
+
+// Options selects the probe features for one run.
+type Options struct {
+	// Events retains per-µop lifecycle records (memory-heavy: one
+	// record per committed µop, so bound the run or MaxEvents).
+	Events bool
+	// MaxEvents caps the retained lifecycle records; further commits
+	// are counted in Dropped instead of recorded. 0 selects 1<<20.
+	MaxEvents int
+	// Stalls enables the commit-slot stall stack and the
+	// dispatch-slot stall refinement.
+	Stalls bool
+	// Occupancy enables the per-cycle occupancy histograms.
+	Occupancy bool
+}
+
+// UopRecord is the recorded lifecycle of one µop. Cycle stamps are
+// absolute simulation cycles: Fetch is when the µop entered the
+// front-end lookahead buffer, Dispatch when it was renamed and
+// entered the window, Issue when it was selected for execution, Done
+// when its result was written back, Commit when it retired.
+type UopRecord struct {
+	Seq     uint64
+	InstSeq uint64
+	Tid     int
+	PC      uint64
+
+	Op    isa.Op
+	Class isa.Class
+
+	Cluster int
+	Subset  int
+
+	Fetch    int64
+	Dispatch int64
+	Issue    int64
+	Done     int64
+	Commit   int64
+
+	Mispredict bool
+}
+
+// Probe is one run's observability sink. It is not safe for
+// concurrent use; attach one probe per simulation run.
+type Probe struct {
+	Opt Options
+
+	// Stall is the commit-slot CPI stack (valid with Opt.Stalls).
+	Stall StallStack
+	// Disp refines dispatch-slot stalls (valid with Opt.Stalls).
+	Disp DispatchStalls
+	// Occ holds the occupancy histograms (valid with Opt.Occupancy).
+	Occ Occupancy
+
+	// Events are the committed µop records in commit order (valid
+	// with Opt.Events); Dropped counts records lost to MaxEvents.
+	Events  []UopRecord
+	Dropped uint64
+}
+
+// New returns a probe with the given features enabled.
+func New(opt Options) *Probe {
+	if opt.MaxEvents <= 0 {
+		opt.MaxEvents = 1 << 20
+	}
+	return &Probe{Opt: opt}
+}
+
+// NewRecord returns a fresh lifecycle record for the pipeline to
+// stamp. The pointer stays valid until Retire.
+func (p *Probe) NewRecord() *UopRecord { return new(UopRecord) }
+
+// Retire finalizes a record at its commit cycle and retains it
+// (subject to MaxEvents).
+func (p *Probe) Retire(r *UopRecord, commitCycle int64) {
+	r.Commit = commitCycle
+	if len(p.Events) >= p.Opt.MaxEvents {
+		p.Dropped++
+		return
+	}
+	p.Events = append(p.Events, *r)
+}
+
+// Reset clears every accumulated statistic and retained record. The
+// pipeline calls it at the warmup boundary so the probe covers
+// exactly the measured slice, mirroring the counter snapshotting of
+// the timing model.
+func (p *Probe) Reset() {
+	p.Stall.reset()
+	p.Disp.reset()
+	p.Occ.reset()
+	p.Events = p.Events[:0]
+	p.Dropped = 0
+}

@@ -1,0 +1,163 @@
+package probe
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"wsrs/internal/report"
+)
+
+// Table renders the stall stack as a per-cause breakdown of all
+// commit slots: committed slots first, then every bubble cause, then
+// the total (which always equals cycles x commit width).
+func (s *StallStack) Table(title string) *report.Table {
+	t := report.NewTable(title, "commit slots", "count", "% of slots", "CPI add")
+	total := s.TotalSlots()
+	pct := func(n uint64) string {
+		if total == 0 {
+			return "0.0"
+		}
+		return fmt.Sprintf("%.1f", 100*float64(n)/float64(total))
+	}
+	// CPI contribution: bubble slots per committed µop, scaled by the
+	// commit width so the per-cause column sums (with the committed
+	// row's base CPI) to the run's µop CPI.
+	cpi := func(n uint64) string {
+		if s.Committed == 0 {
+			return "-"
+		}
+		return fmt.Sprintf("%.3f", float64(n)/float64(s.Committed))
+	}
+	t.AddRow("committed", s.Committed, pct(s.Committed), cpi(s.Committed))
+	for c := Cause(0); c < NumCauses; c++ {
+		t.AddRow(c.String(), s.Bubbles[c], pct(s.Bubbles[c]), cpi(s.Bubbles[c]))
+	}
+	t.AddRow("total", total, pct(total), cpi(total))
+	return t
+}
+
+// Table renders the dispatch-slot stall refinement.
+func (d *DispatchStalls) Table(title string) *report.Table {
+	t := report.NewTable(title, "dispatch stall", "slot-cycles")
+	t.AddRow("redirect", d.Redirect)
+	t.AddRow("ROB full", d.ROBFull)
+	t.AddRow("issue queue full", d.IQFull)
+	t.AddRow("cluster in-flight full", d.ClusterFull)
+	t.AddRow("subset free-list", d.FreeList)
+	for s, n := range d.FreeListBySubset {
+		t.AddRow(fmt.Sprintf("  subset %d", s), n)
+	}
+	return t
+}
+
+// Table renders the occupancy histograms as summary rows.
+func (o *Occupancy) Table(title string) *report.Table {
+	t := report.NewTable(title, "structure", "samples", "mean", "p50", "p90", "max")
+	row := func(name string, h *Histogram) {
+		t.AddRow(name, h.N, fmt.Sprintf("%.1f", h.Mean()),
+			h.Percentile(0.50), h.Percentile(0.90), h.Max())
+	}
+	row("ROB", &o.ROB)
+	for c := range o.IQ {
+		row(fmt.Sprintf("IQ cluster %d", c), &o.IQ[c])
+	}
+	for s := range o.IntFree {
+		row(fmt.Sprintf("int free subset %d", s), &o.IntFree[s])
+	}
+	for s := range o.FPFree {
+		row(fmt.Sprintf("fp free subset %d", s), &o.FPFree[s])
+	}
+	return t
+}
+
+// WriteJSONL exports lifecycle records as one JSON object per line,
+// in commit order, with a fixed field order (deterministic output;
+// hand-rolled so no reflection cost on multi-megabyte dumps).
+func WriteJSONL(w io.Writer, recs []UopRecord) error {
+	for i := range recs {
+		r := &recs[i]
+		_, err := fmt.Fprintf(w,
+			`{"seq":%d,"inst":%d,"tid":%d,"pc":%d,"op":%q,"class":%q,"cluster":%d,"subset":%d,"fetch":%d,"dispatch":%d,"issue":%d,"done":%d,"commit":%d,"mispredict":%t}`+"\n",
+			r.Seq, r.InstSeq, r.Tid, r.PC, r.Op.String(), r.Class.String(),
+			r.Cluster, r.Subset, r.Fetch, r.Dispatch, r.Issue, r.Done,
+			r.Commit, r.Mispredict)
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// pipeviewMaxWidth caps one record's timeline glyphs; longer
+// lifetimes (e.g. L2 misses behind a full window) are truncated with
+// an ellipsis — the absolute cycle stamps on the same line carry the
+// exact timing.
+const pipeviewMaxWidth = 64
+
+// WritePipeview renders lifecycle records as a Konata-inspired text
+// timeline, one µop per line in commit order:
+//
+//	F fetch   D dispatched/waiting in queue   I issue   E executing
+//	W writeback   . waiting to retire   C commit
+func WritePipeview(w io.Writer, recs []UopRecord) error {
+	if _, err := fmt.Fprintln(w,
+		"pipeview: F=fetch D=dispatch/wait I=issue E=execute W=writeback .=wait-retire C=commit"); err != nil {
+		return err
+	}
+	for i := range recs {
+		r := &recs[i]
+		if _, err := fmt.Fprintf(w, "%8d t%d %08x %-8s c%d/s%d f=%-7d d=%-7d i=%-7d w=%-7d c=%-7d |%s|\n",
+			r.Seq, r.Tid, r.PC, r.Op.String(), r.Cluster, r.Subset,
+			r.Fetch, r.Dispatch, r.Issue, r.Done, r.Commit, timeline(r)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// timeline draws one record's per-cycle glyph string from fetch to
+// commit.
+func timeline(r *UopRecord) string {
+	glyph := func(cycle int64) byte {
+		switch {
+		case cycle >= r.Commit:
+			return 'C'
+		case cycle == r.Done:
+			return 'W'
+		case cycle > r.Done:
+			return '.'
+		case cycle == r.Issue:
+			return 'I'
+		case cycle > r.Issue:
+			return 'E'
+		case cycle >= r.Dispatch:
+			return 'D'
+		default:
+			return 'F'
+		}
+	}
+	span := r.Commit - r.Fetch + 1
+	if span < 1 {
+		span = 1
+	}
+	if span > pipeviewMaxWidth {
+		// Keep the head and the tail; elide the middle.
+		var b strings.Builder
+		head := int64(pipeviewMaxWidth) / 2
+		tail := int64(pipeviewMaxWidth) - head - 1
+		for c := r.Fetch; c < r.Fetch+head; c++ {
+			b.WriteByte(glyph(c))
+		}
+		b.WriteByte('~')
+		for c := r.Commit - tail + 1; c <= r.Commit; c++ {
+			b.WriteByte(glyph(c))
+		}
+		return b.String()
+	}
+	var b strings.Builder
+	for c := r.Fetch; c <= r.Commit; c++ {
+		b.WriteByte(glyph(c))
+	}
+	return b.String()
+}

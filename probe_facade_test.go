@@ -1,0 +1,75 @@
+package wsrs
+
+import "testing"
+
+// probeOpts keeps the facade probe tests fast.
+var probeOpts = SimOpts{WarmupInsts: 2000, MeasureInsts: 6000, Seed: 1}
+
+// TestStatsGridInvariant runs a Stats grid over every Figure 4
+// configuration and checks the tentpole acceptance criterion on each
+// cell: committed slots plus attributed bubbles exactly equal the
+// measured commit-slot total, and committed slots equal retired
+// micro-ops.
+func TestStatsGridInvariant(t *testing.T) {
+	opts := probeOpts
+	opts.Stats = true
+	cells, err := RunFigure4(nil, []string{"gzip"}, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range cells {
+		s := c.Result.Stalls
+		if s == nil {
+			t.Fatalf("%s: Stats grid cell has no stall stack", c.Config)
+		}
+		if !s.Check() {
+			t.Errorf("%s: %d committed + %d bubbles != %d slots",
+				c.Config, s.Committed, s.BubbleTotal(), s.TotalSlots())
+		}
+		if s.Committed != c.Result.Uops {
+			t.Errorf("%s: committed slots %d != micro-ops %d",
+				c.Config, s.Committed, c.Result.Uops)
+		}
+		if s.Cycles != uint64(c.Result.Cycles) {
+			t.Errorf("%s: stall cycles %d != measured cycles %d",
+				c.Config, s.Cycles, c.Result.Cycles)
+		}
+		if c.Wall <= 0 {
+			t.Errorf("%s: cell wall time not measured", c.Config)
+		}
+	}
+}
+
+// TestStatsDoesNotPerturbResults: a Stats grid must report exactly
+// the timing statistics of a plain grid (the probe only observes).
+func TestStatsDoesNotPerturbResults(t *testing.T) {
+	plain, err := RunFigure4(nil, []string{"gzip"}, probeOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := probeOpts
+	opts.Stats = true
+	probed, err := RunFigure4(nil, []string{"gzip"}, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range plain {
+		p, q := plain[i].Result, probed[i].Result
+		if p.Cycles != q.Cycles || p.Uops != q.Uops || p.IPC != q.IPC ||
+			p.StallRedirect != q.StallRedirect || p.StallRename != q.StallRename ||
+			p.StallWindow != q.StallWindow || p.Mispredicts != q.Mispredicts {
+			t.Errorf("%s: Stats run diverged:\nplain  %+v\nprobed %+v",
+				plain[i].Config, p, q)
+		}
+	}
+}
+
+// TestGridRejectsSharedProbe: one probe cannot observe concurrent
+// simulations, so the grid drivers must refuse it up front.
+func TestGridRejectsSharedProbe(t *testing.T) {
+	opts := probeOpts
+	opts.Probe = NewProbe(ProbeOptions{Stalls: true})
+	if _, err := RunGrid([]GridCell{{Kernel: "gzip", Config: ConfRR256}}, opts, 1); err == nil {
+		t.Fatal("RunGrid accepted a shared probe")
+	}
+}

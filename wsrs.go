@@ -24,6 +24,8 @@ package wsrs
 
 import (
 	"fmt"
+	"io"
+	"strings"
 
 	"wsrs/internal/alloc"
 	"wsrs/internal/asm"
@@ -33,6 +35,7 @@ import (
 	"wsrs/internal/kernels"
 	"wsrs/internal/mem"
 	"wsrs/internal/pipeline"
+	"wsrs/internal/probe"
 	"wsrs/internal/rename"
 	"wsrs/internal/trace"
 )
@@ -79,6 +82,49 @@ func Figure4Configs() []ConfigName {
 		ConfRR256, ConfWSRR384, ConfWSRR512,
 		ConfWSRSRC384, ConfWSRSRC512, ConfWSRSRM512,
 	}
+}
+
+// AllConfigs returns every buildable configuration name: the Figure 4
+// set plus the pools extension.
+func AllConfigs() []ConfigName {
+	return append(Figure4Configs(), ConfWSPools512)
+}
+
+// PolicyNames returns the allocation-policy names NewPolicy accepts.
+func PolicyNames() []string {
+	return []string{"RR", "RM", "RC", "RC-bal", "RC-dep"}
+}
+
+// ValidateConfigName resolves a configuration name, returning an error
+// that lists the valid choices on a miss. The command-line tools call
+// it up front so a typo fails before any simulation runs.
+func ValidateConfigName(name string) (ConfigName, error) {
+	for _, c := range AllConfigs() {
+		if string(c) == name {
+			return c, nil
+		}
+	}
+	valid := make([]string, 0, len(AllConfigs()))
+	for _, c := range AllConfigs() {
+		valid = append(valid, string(c))
+	}
+	return "", fmt.Errorf("wsrs: unknown configuration %q (valid: %s)",
+		name, strings.Join(valid, ", "))
+}
+
+// ValidatePolicyName checks an allocation-policy name ("" means "keep
+// the configuration's own policy" and is always valid).
+func ValidatePolicyName(name string) error {
+	if name == "" {
+		return nil
+	}
+	for _, p := range PolicyNames() {
+		if p == name {
+			return nil
+		}
+	}
+	return fmt.Errorf("wsrs: unknown policy %q (valid: %s)",
+		name, strings.Join(PolicyNames(), ", "))
 }
 
 // DefaultLatencies re-exports the paper's Table 2 latencies.
@@ -173,6 +219,17 @@ type SimOpts struct {
 	// RunKernel calls are unaffected. Results are deterministic at
 	// any setting (see RunGrid).
 	Parallelism int
+
+	// Probe attaches an observability probe (lifecycle events, stall
+	// stack, occupancy histograms) to the run. Nil keeps every probe
+	// branch off the hot path. A probe must not be shared between
+	// concurrent simulations, so the grid drivers reject it — use
+	// Stats to get per-cell stall stacks from a grid.
+	Probe *Probe
+
+	// Stats gives every grid cell its own private stall-stack probe;
+	// the result travels in Result.Stalls. Safe at any parallelism.
+	Stats bool
 }
 
 func (o SimOpts) withDefaults() SimOpts {
@@ -191,6 +248,28 @@ func (o SimOpts) withDefaults() SimOpts {
 // Result is the outcome of one simulation (re-exported from the
 // timing model).
 type Result = pipeline.Result
+
+// Probe, ProbeOptions, StallStack and StallCause re-export the
+// observability layer (internal/probe) so command-line tools and
+// experiments can request traces without importing internal packages.
+type (
+	Probe        = probe.Probe
+	ProbeOptions = probe.Options
+	StallStack   = probe.StallStack
+	StallCause   = probe.Cause
+)
+
+// NewProbe builds an observability probe; attach it via SimOpts.Probe.
+func NewProbe(o ProbeOptions) *Probe { return probe.New(o) }
+
+// UopRecord is one recorded µop lifecycle (re-exported).
+type UopRecord = probe.UopRecord
+
+// WriteJSONL exports lifecycle records as one JSON object per line.
+func WriteJSONL(w io.Writer, recs []UopRecord) error { return probe.WriteJSONL(w, recs) }
+
+// WritePipeview renders lifecycle records as a text pipeline timeline.
+func WritePipeview(w io.Writer, recs []UopRecord) error { return probe.WritePipeview(w, recs) }
 
 // RunKernel simulates the named benchmark kernel on the named
 // configuration. The kernel's functional simulation is memoized in
@@ -241,6 +320,7 @@ func RunProgram(conf ConfigName, source string, init func(*funcsim.Memory), opts
 	res, err := pipeline.Run(cfg, pol, sim, pipeline.RunOpts{
 		WarmupInsts:  opts.WarmupInsts,
 		MeasureInsts: opts.MeasureInsts,
+		Probe:        opts.Probe,
 	})
 	if err != nil {
 		return res, err
@@ -301,5 +381,6 @@ func RunKernelSMT(conf ConfigName, kernelNames []string, opts SimOpts) (Result, 
 	return pipeline.RunSMT(cfg, pol, srcs, pipeline.RunOpts{
 		WarmupInsts:  opts.WarmupInsts,
 		MeasureInsts: opts.MeasureInsts,
+		Probe:        opts.Probe,
 	})
 }
