@@ -19,6 +19,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -40,6 +41,9 @@ func main() {
 	kernelCSV := flag.String("kernels", "", "comma-separated benchmark subset (default: all 12)")
 	parallel := flag.Int("parallel", 0, "simulation worker goroutines (0 = GOMAXPROCS, 1 = serial)")
 	stats := flag.Bool("stats", false, "append per-cell wall time and stall-stack columns to figure4")
+	checkFlag := flag.Bool("check", false, "run the self-checking layer (co-simulation oracle, legality checks, structural audits) in every cell")
+	maxCycles := flag.Int64("max-cycles", 0, "fail any cell that reaches this many simulated cycles (0 = unbounded)")
+	resume := flag.String("resume", "", "checkpoint file: skip cells already recorded there and append newly finished ones")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file")
 	flag.Parse()
@@ -62,6 +66,9 @@ func main() {
 		Seed:         *seed,
 		Parallelism:  *parallel,
 		Stats:        *stats,
+		Check:        *checkFlag,
+		MaxCycles:    *maxCycles,
+		Checkpoint:   *resume,
 	}
 	kernelList, err := parseKernels(*kernelCSV)
 	if err != nil {
@@ -312,7 +319,18 @@ func ablations(opts wsrs.SimOpts) {
 	t.Render(os.Stdout)
 }
 
+// fatal prints the one-line diagnostic — for checker failures the
+// verdict names the failing cell, the cycle and the checker — then
+// any multi-line diagnostic dump, and exits non-zero.
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "wsrsbench:", err)
+	var v *wsrs.CheckViolation
+	if errors.As(err, &v) && v.Detail != "" {
+		fmt.Fprintln(os.Stderr, v.Detail)
+	}
+	var p *wsrs.CellPanicError
+	if errors.As(err, &p) {
+		fmt.Fprintln(os.Stderr, p.Stack)
+	}
 	os.Exit(1)
 }

@@ -10,11 +10,18 @@
 //	wsrssim -kernel gzip -pipeview -measure 2000
 //	wsrssim -kernel gzip -events trace.jsonl
 //	wsrssim -program prog.s -config "RR 256"
+//	wsrssim -kernel gzip -check
+//	wsrssim -kernel gzip -check -inject map@5000
 //	wsrssim -list
+//
+// On a self-check failure the process prints the one-line checker
+// verdict (cell, cycle, checker) plus the diagnostic dump and exits
+// non-zero; it never dies with a Go panic trace.
 package main
 
 import (
 	"bufio"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -36,6 +43,11 @@ func main() {
 	xdelay := flag.Int("xdelay", -1, "override inter-cluster forwarding delay")
 	regs := flag.Int("regs", 0, "override total physical register count")
 	impl1 := flag.Int("impl1", 0, "use renaming implementation 1 with this recycle depth")
+	checkFlag := flag.Bool("check", false, "run the self-checking layer: co-simulation oracle, WS/RS legality checks, structural audits")
+	injectSpec := flag.String("inject", "", "inject one fault as kind@cycle (kinds: "+strings.Join(wsrs.FaultKinds(), ", ")+"); implies -check")
+	maxCycles := flag.Int64("max-cycles", 0, "fail the run once it reaches this many simulated cycles (0 = unbounded)")
+	watchdog := flag.Int64("watchdog", 0, "forward-progress watchdog window in cycles (0 = default 200000)")
+	auditEvery := flag.Int64("audit-every", 0, "structural-audit cadence in cycles (0 = default 1024, negative disables)")
 	stats := flag.Bool("stats", false, "print the commit-slot stall stack, dispatch-stall refinement and occupancy histograms")
 	pipeview := flag.Bool("pipeview", false, "print a per-micro-op pipeline timeline (Konata-style text) of the measured window")
 	events := flag.String("events", "", "write per-micro-op lifecycle events as JSONL to this file")
@@ -78,7 +90,22 @@ func main() {
 		defer pprof.StopCPUProfile()
 	}
 
-	opts := wsrs.SimOpts{WarmupInsts: *warmup, MeasureInsts: *measure, Seed: *seed}
+	opts := wsrs.SimOpts{
+		WarmupInsts:  *warmup,
+		MeasureInsts: *measure,
+		Seed:         *seed,
+		Check:        *checkFlag,
+		AuditEvery:   *auditEvery,
+		Watchdog:     *watchdog,
+		MaxCycles:    *maxCycles,
+	}
+	if *injectSpec != "" {
+		fault, ferr := wsrs.ParseFault(*injectSpec)
+		if ferr != nil {
+			fatal(ferr)
+		}
+		opts.Inject = fault
+	}
 	var prb *wsrs.Probe
 	if *stats || *pipeview || *events != "" {
 		prb = wsrs.NewProbe(wsrs.ProbeOptions{
@@ -99,20 +126,37 @@ func main() {
 		mods = append(mods, wsrs.WithRenameImpl1(*impl1))
 	}
 
-	var res wsrs.Result
+	cell := *kernel
 	if *program != "" {
-		src, rerr := os.ReadFile(*program)
-		if rerr != nil {
-			fatal(rerr)
-		}
-		res, err = wsrs.RunProgram(conf, string(src), nil, opts)
-	} else {
-		res, err = wsrs.RunKernelWith(conf, *kernel, opts, *policy, mods...)
+		cell = *program
 	}
+	res, err := contained(func() (wsrs.Result, error) {
+		if *program != "" {
+			src, rerr := os.ReadFile(*program)
+			if rerr != nil {
+				return wsrs.Result{}, rerr
+			}
+			return wsrs.RunProgram(conf, string(src), nil, opts)
+		}
+		return wsrs.RunKernelWith(conf, *kernel, opts, *policy, mods...)
+	})
 	if err != nil {
-		fatal(err)
+		fatal(fmt.Errorf("%s/%s: %w", cell, conf, err))
+	}
+	if opts.Inject != nil {
+		// An injected fault that the run survives is itself a failure:
+		// it means the checker guarding that structure did not fire.
+		if desc, at, ok := opts.Inject.Applied(); ok {
+			fatal(fmt.Errorf("%s/%s: fault %s injected at cycle %d (%s) but no checker fired",
+				cell, conf, opts.Inject, at, desc))
+		}
+		fatal(fmt.Errorf("%s/%s: fault %s never found a victim to corrupt",
+			cell, conf, opts.Inject))
 	}
 	print(res)
+	if *checkFlag {
+		fmt.Println("self-check            passed (oracle, legality checks, structural audits)")
+	}
 
 	if prb != nil {
 		report(prb, *stats, *pipeview, *events)
@@ -174,8 +218,26 @@ func report(p *wsrs.Probe, stats, pipeview bool, events string) {
 	}
 }
 
+// contained runs one simulation behind a recover barrier so an
+// internal panic becomes a one-line diagnostic, not a stack trace.
+func contained(f func() (wsrs.Result, error)) (res wsrs.Result, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("internal panic: %v", r)
+		}
+	}()
+	return f()
+}
+
+// fatal prints the one-line diagnostic — for checker failures the
+// verdict names the cell, the cycle and the checker — then any
+// multi-line diagnostic dump, and exits non-zero.
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "wsrssim:", err)
+	var v *wsrs.CheckViolation
+	if errors.As(err, &v) && v.Detail != "" {
+		fmt.Fprintln(os.Stderr, v.Detail)
+	}
 	os.Exit(1)
 }
 

@@ -3,9 +3,11 @@ package wsrs
 import (
 	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"time"
 
+	"wsrs/internal/check"
 	"wsrs/internal/kernels"
 	"wsrs/internal/pipeline"
 	"wsrs/internal/probe"
@@ -74,6 +76,39 @@ type GridResult struct {
 	// (including a possible cold functional-simulation run when the
 	// cell is the first user of its kernel's trace).
 	Wall time.Duration
+	// Resumed marks a cell whose result was restored from the
+	// SimOpts.Checkpoint file instead of being simulated.
+	Resumed bool
+}
+
+// CellPanicError wraps a panic that escaped one grid cell's
+// simulation: the cell keeps its identity, the goroutine stack is
+// preserved, and the remaining cells complete normally.
+type CellPanicError struct {
+	Kernel string
+	Config ConfigName
+	Value  any
+	Stack  string
+}
+
+func (e *CellPanicError) Error() string {
+	return fmt.Sprintf("cell panicked: %v", e.Value)
+}
+
+// kernelRef builds a fresh functional simulation of a kernel as the
+// co-simulation oracle's reference stream. Deliberately NOT the
+// memoized trace cache the pipeline reads from — an independent
+// replay also catches corruption of the cache itself.
+func kernelRef(kernel string) (check.RefSource, error) {
+	k, ok := kernels.ByName(kernel)
+	if !ok {
+		return nil, fmt.Errorf("wsrs: unknown kernel %q (have %v)", kernel, kernels.Names())
+	}
+	ref, err := k.NewSim()
+	if err != nil {
+		return nil, err
+	}
+	return ref, nil
 }
 
 // runCell simulates one grid cell against the shared trace cache. It
@@ -106,11 +141,33 @@ func runCell(c GridCell, opts SimOpts) (Result, error) {
 		// stay safe at any parallelism.
 		prb = probe.New(probe.Options{Stalls: true})
 	}
-	return pipeline.Run(cfg, pol, src, pipeline.RunOpts{
-		WarmupInsts:  opts.WarmupInsts,
-		MeasureInsts: opts.MeasureInsts,
-		Probe:        prb,
-	})
+	ro := opts.runOpts()
+	ro.Probe = prb
+	if opts.checking() {
+		ref, err := kernelRef(c.Kernel)
+		if err != nil {
+			return Result{}, err
+		}
+		ro.Check = opts.newChecker([]check.RefSource{ref})
+	}
+	return pipeline.Run(cfg, pol, src, ro)
+}
+
+// runCellSafe is runCell behind a recover barrier: a panicking cell
+// yields a per-cell *CellPanicError instead of taking down the whole
+// grid.
+func runCellSafe(c GridCell, opts SimOpts) (res Result, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = &CellPanicError{
+				Kernel: c.Kernel,
+				Config: c.Config,
+				Value:  r,
+				Stack:  string(debug.Stack()),
+			}
+		}
+	}()
+	return runCell(c, opts)
 }
 
 // RunGrid fans the cells out across a worker pool of the given
@@ -127,6 +184,18 @@ func RunGrid(cells []GridCell, opts SimOpts, parallelism int) ([]GridResult, err
 	if opts.Probe != nil {
 		return nil, fmt.Errorf("wsrs: a probe cannot be shared across grid cells; set SimOpts.Stats instead")
 	}
+	if opts.Inject != nil {
+		return nil, fmt.Errorf("wsrs: a fault cannot be shared across grid cells; inject into a single run instead")
+	}
+	var ckpt *checkpoint
+	if opts.Checkpoint != "" {
+		var err error
+		ckpt, err = openCheckpoint(opts.Checkpoint)
+		if err != nil {
+			return nil, err
+		}
+		defer ckpt.close()
+	}
 	if parallelism <= 0 {
 		parallelism = runtime.GOMAXPROCS(0)
 	}
@@ -135,9 +204,20 @@ func RunGrid(cells []GridCell, opts SimOpts, parallelism int) ([]GridResult, err
 	}
 	out := make([]GridResult, len(cells))
 	work := func(i int) {
+		key := ""
+		if ckpt != nil {
+			key = cellKey(i, cells[i], opts)
+			if res, ok := ckpt.lookup(key); ok {
+				out[i] = GridResult{Cell: cells[i], Result: res, Resumed: true}
+				return
+			}
+		}
 		start := time.Now()
-		res, err := runCell(cells[i], opts)
+		res, err := runCellSafe(cells[i], opts)
 		out[i] = GridResult{Cell: cells[i], Result: res, Err: err, Wall: time.Since(start)}
+		if ckpt != nil && err == nil {
+			ckpt.record(key, res)
+		}
 	}
 	if parallelism <= 1 {
 		for i := range cells {
@@ -161,10 +241,29 @@ func RunGrid(cells []GridCell, opts SimOpts, parallelism int) ([]GridResult, err
 		close(idx)
 		wg.Wait()
 	}
+	return out, gridError(out)
+}
+
+// gridError summarizes a grid's failures: nil when every cell
+// succeeded, otherwise the first failure in cell order, prefixed with
+// the failure count when more than one cell failed.
+func gridError(out []GridResult) error {
+	nfail := 0
+	first := -1
 	for i := range out {
 		if out[i].Err != nil {
-			return out, fmt.Errorf("%s/%s: %w", out[i].Cell.Kernel, out[i].Cell.Config, out[i].Err)
+			nfail++
+			if first < 0 {
+				first = i
+			}
 		}
 	}
-	return out, nil
+	if nfail == 0 {
+		return nil
+	}
+	err := fmt.Errorf("%s/%s: %w", out[first].Cell.Kernel, out[first].Cell.Config, out[first].Err)
+	if nfail > 1 {
+		err = fmt.Errorf("%d of %d cells failed; first: %w", nfail, len(out), err)
+	}
+	return err
 }

@@ -449,12 +449,3 @@ func Assemble(src string) (*isa.Program, error) {
 	return prog, nil
 }
 
-// MustAssemble is Assemble that panics on error; intended for
-// compiled-in kernels whose sources are constants.
-func MustAssemble(src string) *isa.Program {
-	p, err := Assemble(src)
-	if err != nil {
-		panic(err)
-	}
-	return p
-}

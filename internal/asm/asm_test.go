@@ -215,19 +215,24 @@ func TestErrorHasLineNumber(t *testing.T) {
 	}
 }
 
-func TestMustAssemblePanics(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Error("MustAssemble must panic on bad source")
-		}
-	}()
-	MustAssemble("bogus")
+func TestAssembleBadSourceError(t *testing.T) {
+	_, err := Assemble("bogus")
+	if err == nil {
+		t.Fatal("Assemble must report bad source")
+	}
+	ae, ok := err.(*Error)
+	if !ok {
+		t.Fatalf("error type %T, want *Error", err)
+	}
+	if ae.Line != 1 {
+		t.Errorf("error line = %d, want 1", ae.Line)
+	}
 }
 
 func TestRoundTripStrings(t *testing.T) {
 	// Instruction String() should render without panicking for all
 	// parsed forms.
-	p := MustAssemble(`
+	p, err := Assemble(`
 		add %o0, %o1, %o2
 		add %o0, %o1, 5
 		ld %o0, [%o1+8]
@@ -242,6 +247,9 @@ func TestRoundTripStrings(t *testing.T) {
 		save
 		halt
 	`)
+	if err != nil {
+		t.Fatal(err)
+	}
 	for _, in := range p.Insts {
 		if in.String() == "" {
 			t.Errorf("empty String for %+v", in)

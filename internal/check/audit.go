@@ -1,0 +1,255 @@
+package check
+
+import (
+	"fmt"
+	"strings"
+
+	"wsrs/internal/isa"
+	"wsrs/internal/rename"
+)
+
+// InFlight describes one ROB entry to the structural audits.
+type InFlight struct {
+	ROBIndex int
+	Tid      int
+	Seq      uint64
+	Cluster  int
+	Issued   bool
+	DoneAt   int64
+
+	// Destination wakeup-table view (valid when HasDst): DstReadyAt
+	// is the wakeup entry's broadcast time, DstWaiting whether it is
+	// still marked not-ready, ProducerROB the ROB index the entry
+	// names as its producer.
+	HasDst      bool
+	DstClass    isa.RegClass
+	DstPhys     int32
+	DstReadyAt  int64
+	DstWaiting  bool
+	ProducerROB int32
+
+	// PrevPhys is the superseded previous mapping of the destination
+	// (freed at commit; -1 when none). Its class is DstClass.
+	PrevPhys int32
+
+	NSrc       int
+	SrcClass   [2]isa.RegClass
+	SrcPhys    [2]int32
+	SrcWaiting [2]bool
+}
+
+// State is the read-only machine snapshot the audits walk; the
+// pipeline engine implements it.
+type State interface {
+	NumSubsets() int
+	// Counts snapshots the renamer's exact accounting for class c.
+	Counts(c isa.RegClass) rename.AuditCounts
+	// ClusterInflight returns the engine's per-cluster in-flight
+	// counters (to be cross-checked against the ROB walk).
+	ClusterInflight() []int
+	// ScanROB calls fn for every in-flight entry from oldest to
+	// youngest. The pointed-to value is reused across calls.
+	ScanROB(fn func(f *InFlight))
+}
+
+// regClasses orders the audited register classes.
+var regClasses = [2]isa.RegClass{isa.RegInt, isa.RegFP}
+
+// Audit runs the structural invariant audits against st at the end
+// of a cycle: free-list conservation (exact per-register
+// accounting), ROB commit ordering plus in-flight counter
+// consistency, and wakeup-table consistency. The first violation is
+// returned, conservation first — a corrupted free list usually
+// explains downstream wakeup anomalies.
+func (c *Checker) Audit(cycle int64, st State) error {
+	c.stats.AuditsRun++
+
+	var counts [2]rename.AuditCounts
+	var robPrev [2][]uint16 // per-class, per-phys: times held as an in-flight prevPhys
+	var dstOwner [2][]int32 // per-class, per-phys: ROB index of the in-flight producer (-1 none)
+	for i, cl := range regClasses {
+		counts[i] = st.Counts(cl)
+		n := len(counts[i].FreeSide)
+		robPrev[i] = make([]uint16, n)
+		dstOwner[i] = make([]int32, n)
+		for p := range dstOwner[i] {
+			dstOwner[i][p] = -1
+		}
+	}
+
+	type orphan struct {
+		rob  int
+		seq  uint64
+		cls  isa.RegClass
+		phys int32
+	}
+	var (
+		orphans      []orphan
+		wakeupViol   *Violation
+		orderViol    *Violation
+		lastSeq      = map[int]uint64{}
+		clusterCount = make([]int, len(st.ClusterInflight()))
+	)
+
+	st.ScanROB(func(f *InFlight) {
+		if f.Cluster >= 0 && f.Cluster < len(clusterCount) {
+			clusterCount[f.Cluster]++
+		}
+		if last, seen := lastSeq[f.Tid]; seen && f.Seq <= last && orderViol == nil {
+			orderViol = &Violation{Checker: "rob-order", Cycle: cycle,
+				Summary: fmt.Sprintf("ROB commit order broken: context %d µop seq %d (rob[%d]) follows seq %d",
+					f.Tid, f.Seq, f.ROBIndex, last)}
+		}
+		lastSeq[f.Tid] = f.Seq
+		if f.PrevPhys >= 0 && int(f.PrevPhys) < len(robPrev[f.DstClass]) {
+			robPrev[f.DstClass][f.PrevPhys]++
+		}
+		if f.HasDst && int(f.DstPhys) < len(dstOwner[f.DstClass]) {
+			if own := dstOwner[f.DstClass][f.DstPhys]; own >= 0 && wakeupViol == nil {
+				wakeupViol = &Violation{Checker: "wakeup", Cycle: cycle,
+					Summary: fmt.Sprintf("%v p%d is the in-flight destination of both rob[%d] and rob[%d]",
+						f.DstClass, f.DstPhys, own, f.ROBIndex)}
+			}
+			dstOwner[f.DstClass][f.DstPhys] = int32(f.ROBIndex)
+			if wakeupViol == nil {
+				switch {
+				case f.Issued && f.DstReadyAt != f.DoneAt:
+					wakeupViol = &Violation{Checker: "wakeup", Cycle: cycle,
+						Summary: fmt.Sprintf("result broadcast lost: rob[%d] (µop seq %d) issued, completing %v p%d at cycle %d, but its wakeup entry says %s",
+							f.ROBIndex, f.Seq, f.DstClass, f.DstPhys, f.DoneAt, readyAtString(f.DstReadyAt, f.DstWaiting))}
+				case !f.Issued && !f.DstWaiting:
+					wakeupViol = &Violation{Checker: "wakeup", Cycle: cycle,
+						Summary: fmt.Sprintf("wakeup entry for %v p%d marked ready at cycle %d before its producer rob[%d] (µop seq %d) issued",
+							f.DstClass, f.DstPhys, f.DstReadyAt, f.ROBIndex, f.Seq)}
+				case f.ProducerROB != int32(f.ROBIndex):
+					wakeupViol = &Violation{Checker: "wakeup", Cycle: cycle,
+						Summary: fmt.Sprintf("wakeup entry for %v p%d names rob[%d] as its producer; the actual in-flight producer is rob[%d] (µop seq %d)",
+							f.DstClass, f.DstPhys, f.ProducerROB, f.ROBIndex, f.Seq)}
+				}
+			}
+		}
+		if !f.Issued {
+			for i := 0; i < f.NSrc; i++ {
+				if f.SrcWaiting[i] {
+					orphans = append(orphans, orphan{f.ROBIndex, f.Seq, f.SrcClass[i], f.SrcPhys[i]})
+				}
+			}
+		}
+	})
+
+	if v := conservationViolation(cycle, counts, robPrev); v != nil {
+		return v
+	}
+	if orderViol != nil {
+		return orderViol
+	}
+	for cl, want := range st.ClusterInflight() {
+		if clusterCount[cl] != want {
+			return &Violation{Checker: "rob-order", Cycle: cycle,
+				Summary: fmt.Sprintf("cluster %d in-flight counter says %d µops but the ROB holds %d",
+					cl, want, clusterCount[cl])}
+		}
+	}
+	if wakeupViol != nil {
+		return wakeupViol
+	}
+	// A not-ready operand whose producer is nowhere in flight will
+	// never receive a broadcast: the consumer is stuck forever.
+	for _, o := range orphans {
+		if int(o.phys) < len(dstOwner[o.cls]) && dstOwner[o.cls][o.phys] < 0 {
+			return &Violation{Checker: "wakeup", Cycle: cycle,
+				Summary: fmt.Sprintf("orphaned operand: rob[%d] (µop seq %d) waits on %v p%d, which no in-flight µop produces",
+					o.rob, o.seq, o.cls, o.phys)}
+		}
+	}
+	return nil
+}
+
+func readyAtString(readyAt int64, waiting bool) string {
+	if waiting {
+		return "not ready (no broadcast pending)"
+	}
+	return fmt.Sprintf("ready at cycle %d", readyAt)
+}
+
+// conservationViolation checks that every physical register is in
+// exactly one place — a free structure (free list, reservation,
+// recycling pipeline, pending-free queue), a map-table entry, or an
+// in-flight µop's to-be-freed previous mapping. This is the
+// per-subset invariant free + reserved + recycling + pending-free +
+// mapped + rob-held == subset size, refined to per-register exact
+// accounting so the report can name the lost or duplicated register.
+func conservationViolation(cycle int64, counts [2]rename.AuditCounts, robPrev [2][]uint16) *Violation {
+	for i, cl := range regClasses {
+		ac := counts[i]
+		var lost, dup []int
+		for p := range ac.FreeSide {
+			occ := int(ac.FreeSide[p]) + int(ac.MapSide[p]) + int(robPrev[i][p])
+			switch {
+			case occ == 1:
+			case occ == 0:
+				lost = append(lost, p)
+			default:
+				dup = append(dup, p)
+			}
+		}
+		if len(lost) == 0 && len(dup) == 0 {
+			continue
+		}
+		return &Violation{
+			Checker: "conservation",
+			Cycle:   cycle,
+			Summary: fmt.Sprintf("%v register conservation broken: %d lost, %d duplicated (%s)",
+				cl, len(lost), len(dup), firstCulprit(cl, lost, dup, ac.PerSubset)),
+			Detail: accountingTable(cl, ac, robPrev[i], lost, dup),
+		}
+	}
+	return nil
+}
+
+func firstCulprit(cl isa.RegClass, lost, dup []int, perSub int) string {
+	if len(lost) > 0 {
+		return fmt.Sprintf("first lost: %v p%d, subset %d", cl, lost[0], lost[0]/perSub)
+	}
+	return fmt.Sprintf("first duplicated: %v p%d, subset %d", cl, dup[0], dup[0]/perSub)
+}
+
+// accountingTable renders the exact per-subset accounting plus the
+// per-register culprit lists.
+func accountingTable(cl isa.RegClass, ac rename.AuditCounts, robPrev []uint16, lost, dup []int) string {
+	var b strings.Builder
+	robHeld := make([]int, ac.NumSubsets)
+	for p, n := range robPrev {
+		robHeld[p/ac.PerSubset] += int(n)
+	}
+	fmt.Fprintf(&b, "%v exact accounting (want %d per subset):\n", cl, ac.PerSubset)
+	for s := 0; s < ac.NumSubsets; s++ {
+		got := ac.Free[s] + ac.Reserved[s] + ac.Recycling[s] + ac.PendingFree[s] + ac.Mapped[s] + robHeld[s]
+		mark := ""
+		if got != ac.PerSubset {
+			mark = fmt.Sprintf("   <-- off by %+d", got-ac.PerSubset)
+		}
+		fmt.Fprintf(&b, "  subset %d: free %d + reserved %d + recycling %d + pending-free %d + mapped %d + rob-held %d = %d%s\n",
+			s, ac.Free[s], ac.Reserved[s], ac.Recycling[s], ac.PendingFree[s], ac.Mapped[s], robHeld[s], got, mark)
+	}
+	if len(lost) > 0 {
+		fmt.Fprintf(&b, "  lost registers (in no structure): %s\n", regList(lost))
+	}
+	if len(dup) > 0 {
+		fmt.Fprintf(&b, "  duplicated registers (in more than one structure): %s\n", regList(dup))
+	}
+	return strings.TrimRight(b.String(), "\n")
+}
+
+func regList(ps []int) string {
+	const max = 8
+	var parts []string
+	for i, p := range ps {
+		if i == max {
+			parts = append(parts, fmt.Sprintf("... (%d more)", len(ps)-max))
+			break
+		}
+		parts = append(parts, fmt.Sprintf("p%d", p))
+	}
+	return strings.Join(parts, ", ")
+}

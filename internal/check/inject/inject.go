@@ -1,0 +1,159 @@
+// Package inject is the fault-injection harness of the self-checking
+// simulation layer (internal/check): it deliberately corrupts one
+// micro-architectural structure at a chosen cycle so tests and CI can
+// prove that every checker actually fires on the fault class it is
+// meant to catch — the discipline DIVA-style checker cores are
+// validated with.
+//
+// Five fault classes are modelled, one per checker family:
+//
+//	map    — flip a rename-map entry without touching any free list
+//	         (caught by the free-list conservation audit: one physical
+//	         register is lost, another is double-booked)
+//	leak   — pop a register from a free list and drop it (conservation:
+//	         a register vanishes from the exact accounting)
+//	dup    — push an architecturally mapped register back onto its free
+//	         list (conservation: a register appears twice)
+//	wakeup — suppress a result broadcast: a produced register is never
+//	         marked ready (caught by the wakeup-table audit, or by the
+//	         forward-progress watchdog when audits are off)
+//	stream — corrupt one committed micro-op's annotations (caught by
+//	         the co-simulation oracle)
+//
+// The package knows nothing about the pipeline: the simulation engine
+// implements Target and the fault asks it to perform the corruption.
+package inject
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Kind names a fault class.
+type Kind string
+
+// The fault classes.
+const (
+	KindMap    Kind = "map"
+	KindLeak   Kind = "leak"
+	KindDup    Kind = "dup"
+	KindWakeup Kind = "wakeup"
+	KindStream Kind = "stream"
+)
+
+// Kinds returns every fault class, in documentation order.
+func Kinds() []Kind {
+	return []Kind{KindMap, KindLeak, KindDup, KindWakeup, KindStream}
+}
+
+// Fault is one scheduled corruption. A fault arms at Cycle and is
+// applied on the first subsequent cycle where the target structure has
+// a suitable victim (e.g. the wakeup fault needs an in-flight producer
+// with a waiting consumer); it is applied exactly once.
+type Fault struct {
+	Kind  Kind
+	Cycle int64
+
+	applied   bool
+	appliedAt int64
+	desc      string
+}
+
+// Parse reads a fault specification of the form "kind@cycle", e.g.
+// "map@5000" or "wakeup@12000".
+func Parse(s string) (*Fault, error) {
+	kind, at, ok := strings.Cut(s, "@")
+	if !ok {
+		return nil, fmt.Errorf("inject: fault %q is not of the form kind@cycle (kinds: %s)",
+			s, kindList())
+	}
+	k := Kind(kind)
+	valid := false
+	for _, known := range Kinds() {
+		if k == known {
+			valid = true
+			break
+		}
+	}
+	if !valid {
+		return nil, fmt.Errorf("inject: unknown fault kind %q (kinds: %s)", kind, kindList())
+	}
+	cycle, err := strconv.ParseInt(at, 10, 64)
+	if err != nil || cycle < 1 {
+		return nil, fmt.Errorf("inject: fault cycle %q must be a positive integer", at)
+	}
+	return &Fault{Kind: k, Cycle: cycle}, nil
+}
+
+func kindList() string {
+	names := make([]string, 0, len(Kinds()))
+	for _, k := range Kinds() {
+		names = append(names, string(k))
+	}
+	return strings.Join(names, ", ")
+}
+
+// Target is the corruption surface the simulation engine exposes. Each
+// method attempts one corruption and reports what it did; ok is false
+// when no suitable victim exists this cycle (the fault retries next
+// cycle).
+type Target interface {
+	// CorruptMap flips a rename-map entry to a different physical
+	// register without updating any free list.
+	CorruptMap() (desc string, ok bool)
+	// LeakFree removes a register from a free list and drops it.
+	LeakFree() (desc string, ok bool)
+	// DupFree pushes an architecturally mapped register onto its
+	// subset's free list.
+	DupFree() (desc string, ok bool)
+	// DropWakeup suppresses the result broadcast of an in-flight
+	// producer that has a waiting consumer.
+	DropWakeup() (desc string, ok bool)
+	// CorruptStream corrupts the annotations of the next committed
+	// micro-op.
+	CorruptStream() (desc string, ok bool)
+}
+
+// TryApply applies the fault against t if it is armed and not yet
+// applied. It returns true when the corruption happened this call.
+func (f *Fault) TryApply(cycle int64, t Target) bool {
+	if f == nil || f.applied || cycle < f.Cycle {
+		return false
+	}
+	var desc string
+	var ok bool
+	switch f.Kind {
+	case KindMap:
+		desc, ok = t.CorruptMap()
+	case KindLeak:
+		desc, ok = t.LeakFree()
+	case KindDup:
+		desc, ok = t.DupFree()
+	case KindWakeup:
+		desc, ok = t.DropWakeup()
+	case KindStream:
+		desc, ok = t.CorruptStream()
+	}
+	if !ok {
+		return false
+	}
+	f.applied = true
+	f.appliedAt = cycle
+	f.desc = desc
+	return true
+}
+
+// Applied reports whether the fault has been injected, and if so at
+// which cycle and what exactly was corrupted.
+func (f *Fault) Applied() (desc string, cycle int64, ok bool) {
+	if f == nil || !f.applied {
+		return "", 0, false
+	}
+	return f.desc, f.appliedAt, true
+}
+
+// String renders the fault specification.
+func (f *Fault) String() string {
+	return fmt.Sprintf("%s@%d", f.Kind, f.Cycle)
+}

@@ -1,0 +1,144 @@
+package inject
+
+import (
+	"strings"
+	"testing"
+)
+
+// fakeTarget records which corruption was requested and yields a
+// victim only after a scripted number of refusals.
+type fakeTarget struct {
+	calls   []string
+	refuse  int // refuse this many attempts before succeeding
+	refused int
+}
+
+func (t *fakeTarget) attempt(name string) (string, bool) {
+	t.calls = append(t.calls, name)
+	if t.refused < t.refuse {
+		t.refused++
+		return "", false
+	}
+	return "corrupted " + name, true
+}
+
+func (t *fakeTarget) CorruptMap() (string, bool)    { return t.attempt("map") }
+func (t *fakeTarget) LeakFree() (string, bool)      { return t.attempt("leak") }
+func (t *fakeTarget) DupFree() (string, bool)       { return t.attempt("dup") }
+func (t *fakeTarget) DropWakeup() (string, bool)    { return t.attempt("wakeup") }
+func (t *fakeTarget) CorruptStream() (string, bool) { return t.attempt("stream") }
+
+func TestParse(t *testing.T) {
+	f, err := Parse("map@5000")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Kind != KindMap || f.Cycle != 5000 {
+		t.Fatalf("Parse(map@5000) = %+v", f)
+	}
+	if got := f.String(); got != "map@5000" {
+		t.Fatalf("String() = %q, want map@5000", got)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, spec := range []string{
+		"map",         // no @cycle
+		"bogus@100",   // unknown kind
+		"map@",        // empty cycle
+		"map@x",       // non-numeric cycle
+		"map@0",       // cycle must be positive
+		"map@-3",      // negative cycle
+		"@100",        // empty kind
+		"wakeup@1e3",  // no float cycles
+		"stream@ 100", // no spaces
+	} {
+		if _, err := Parse(spec); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", spec)
+		}
+	}
+	// The unknown-kind error should list the valid kinds.
+	_, err := Parse("bogus@100")
+	if err == nil || !strings.Contains(err.Error(), "map, leak, dup, wakeup, stream") {
+		t.Fatalf("unknown-kind error %v does not list the kinds", err)
+	}
+}
+
+func TestKindsCoverDispatch(t *testing.T) {
+	// Every advertised kind must dispatch to its own Target method.
+	for _, k := range Kinds() {
+		f := &Fault{Kind: k, Cycle: 10}
+		tgt := &fakeTarget{}
+		if !f.TryApply(10, tgt) {
+			t.Fatalf("kind %s: TryApply did not fire", k)
+		}
+		if len(tgt.calls) != 1 || tgt.calls[0] != string(k) {
+			t.Fatalf("kind %s dispatched to %v", k, tgt.calls)
+		}
+	}
+}
+
+func TestTryApplyArmsAtCycle(t *testing.T) {
+	f := &Fault{Kind: KindLeak, Cycle: 100}
+	tgt := &fakeTarget{}
+	for cycle := int64(97); cycle < 100; cycle++ {
+		if f.TryApply(cycle, tgt) {
+			t.Fatalf("fault fired at cycle %d, before its arm cycle", cycle)
+		}
+	}
+	if len(tgt.calls) != 0 {
+		t.Fatalf("target touched before the arm cycle: %v", tgt.calls)
+	}
+	if !f.TryApply(100, tgt) {
+		t.Fatal("fault did not fire at its arm cycle")
+	}
+}
+
+func TestTryApplyRetriesUntilVictim(t *testing.T) {
+	f := &Fault{Kind: KindWakeup, Cycle: 5}
+	tgt := &fakeTarget{refuse: 3}
+	fired := int64(-1)
+	for cycle := int64(5); cycle < 20; cycle++ {
+		if f.TryApply(cycle, tgt) {
+			fired = cycle
+			break
+		}
+	}
+	if fired != 8 {
+		t.Fatalf("fault fired at cycle %d, want 8 (after 3 refusals)", fired)
+	}
+	desc, at, ok := f.Applied()
+	if !ok || at != 8 || desc != "corrupted wakeup" {
+		t.Fatalf("Applied() = (%q, %d, %v)", desc, at, ok)
+	}
+}
+
+func TestTryApplyAppliesOnce(t *testing.T) {
+	f := &Fault{Kind: KindDup, Cycle: 1}
+	tgt := &fakeTarget{}
+	if !f.TryApply(1, tgt) {
+		t.Fatal("fault did not fire")
+	}
+	for cycle := int64(2); cycle < 10; cycle++ {
+		if f.TryApply(cycle, tgt) {
+			t.Fatalf("fault fired a second time at cycle %d", cycle)
+		}
+	}
+	if len(tgt.calls) != 1 {
+		t.Fatalf("target corrupted %d times, want exactly once", len(tgt.calls))
+	}
+}
+
+func TestAppliedBeforeInjection(t *testing.T) {
+	f := &Fault{Kind: KindStream, Cycle: 50}
+	if _, _, ok := f.Applied(); ok {
+		t.Fatal("Applied() reported true before injection")
+	}
+	var nilFault *Fault
+	if nilFault.TryApply(100, &fakeTarget{}) {
+		t.Fatal("nil fault fired")
+	}
+	if _, _, ok := nilFault.Applied(); ok {
+		t.Fatal("nil fault reported applied")
+	}
+}

@@ -1,0 +1,115 @@
+package check
+
+import (
+	"fmt"
+	"strings"
+
+	"wsrs/internal/isa"
+	"wsrs/internal/trace"
+)
+
+// RefSource is an independent reference micro-op stream the oracle
+// replays in lockstep with the commit stream — in practice a fresh
+// internal/funcsim instance of the same program (the shape also
+// matches tracecache.Source, but the oracle deliberately takes its
+// own funcsim so that trace-cache corruption is caught too).
+type RefSource interface {
+	Next() (trace.MicroOp, bool)
+	Err() error
+}
+
+// digester is the optional diagnostic surface of a reference source
+// (funcsim implements it): a hash of its architectural state,
+// included in mismatch reports.
+type digester interface {
+	StateDigest() uint64
+}
+
+// Oracle diffs every committed micro-op against per-context
+// reference streams. Because the timing model is trace-driven and
+// execute-first, the committed stream must equal the reference
+// stream exactly, per context, in commit order — any divergence
+// means the pipeline dropped, duplicated, reordered or corrupted a
+// micro-op.
+type Oracle struct {
+	refs    []RefSource
+	checked uint64
+}
+
+// NewOracle builds an oracle over one reference stream per SMT
+// context (nil entries skip that context).
+func NewOracle(refs []RefSource) *Oracle { return &Oracle{refs: refs} }
+
+// Checked returns the number of retirements diffed so far.
+func (o *Oracle) Checked() uint64 { return o.checked }
+
+// Step diffs one retirement. It returns nil when the committed µop
+// matches the reference.
+func (o *Oracle) Step(ci *Commit) *Violation {
+	if ci.Tid < 0 || ci.Tid >= len(o.refs) || o.refs[ci.Tid] == nil {
+		return nil
+	}
+	ref := o.refs[ci.Tid]
+	want, ok := ref.Next()
+	if !ok {
+		if err := ref.Err(); err != nil {
+			return &Violation{Checker: "oracle", Cycle: ci.Cycle,
+				Summary: fmt.Sprintf("reference simulator failed at µop seq %d: %v", ci.Uop.Seq, err)}
+		}
+		return &Violation{Checker: "oracle", Cycle: ci.Cycle,
+			Summary: fmt.Sprintf("pipeline committed µop seq %d (op %v, pc %#x) past the end of the reference stream",
+				ci.Uop.Seq, ci.Uop.Op, ci.Uop.PC)}
+	}
+	// The pipeline offsets context t>0 memory addresses into a
+	// private region (tid << 40); mirror it before diffing.
+	if ci.Tid > 0 && isa.IsMem(want.Op) {
+		want.Addr += uint64(ci.Tid) << 40
+	}
+	if *ci.Uop == want {
+		o.checked++
+		return nil
+	}
+	detail := diffUops(ci.Uop, &want)
+	if d, okd := ref.(digester); okd {
+		detail += fmt.Sprintf("\nreference architectural state digest: %#016x", d.StateDigest())
+	}
+	return &Violation{
+		Checker: "oracle",
+		Cycle:   ci.Cycle,
+		Summary: fmt.Sprintf("committed µop diverges from the reference at context %d, µop seq %d (op %v, pc %#x)",
+			ci.Tid, want.Seq, want.Op, want.PC),
+		Detail: detail,
+	}
+}
+
+// diffUops renders a field-by-field diff of two micro-ops.
+func diffUops(got, want *trace.MicroOp) string {
+	var d []string
+	add := func(field string, g, w any) {
+		if g != w {
+			d = append(d, fmt.Sprintf("%-12s got %v, want %v", field, g, w))
+		}
+	}
+	add("Seq", got.Seq, want.Seq)
+	add("InstSeq", got.InstSeq, want.InstSeq)
+	add("PC", fmt.Sprintf("%#x", got.PC), fmt.Sprintf("%#x", want.PC))
+	add("Op", got.Op, want.Op)
+	add("Class", got.Class, want.Class)
+	add("NSrc", got.NSrc, want.NSrc)
+	add("Src", got.Src, want.Src)
+	add("HasDst", got.HasDst, want.HasDst)
+	add("Dst", got.Dst, want.Dst)
+	add("Commutative", got.Commutative, want.Commutative)
+	add("HWCommutable", got.HWCommutable, want.HWCommutable)
+	add("Addr", fmt.Sprintf("%#x", got.Addr), fmt.Sprintf("%#x", want.Addr))
+	add("MemSize", got.MemSize, want.MemSize)
+	add("IsBranch", got.IsBranch, want.IsBranch)
+	add("IsCond", got.IsCond, want.IsCond)
+	add("Taken", got.Taken, want.Taken)
+	add("Target", fmt.Sprintf("%#x", got.Target), fmt.Sprintf("%#x", want.Target))
+	add("IsCall", got.IsCall, want.IsCall)
+	add("IsReturn", got.IsReturn, want.IsReturn)
+	add("Trap", got.Trap, want.Trap)
+	add("LastOfInst", got.LastOfInst, want.LastOfInst)
+	return "committed vs reference:\n  " + strings.Join(d, "\n  ")
+}

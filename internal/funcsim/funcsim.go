@@ -235,7 +235,10 @@ func (s *Sim) Next() (trace.MicroOp, bool) {
 		} else {
 			b = s.readInt(in.Rs2)
 		}
-		v := evalIntALU(in.Op, a, b)
+		v, err := evalIntALU(in.Op, a, b)
+		if err != nil {
+			return s.fail(err)
+		}
 		s.writeInt(in.Rd, v)
 		s.setDst(&m, in)
 
@@ -321,7 +324,10 @@ func (s *Sim) Next() (trace.MicroOp, bool) {
 
 	case isa.OpBEQ, isa.OpBNE, isa.OpBLT, isa.OpBGE, isa.OpBLE, isa.OpBGT:
 		a, b := s.readInt(in.Rs1), s.readInt(in.Rs2)
-		taken := evalIntCond(in.Op, a, b)
+		taken, err := evalIntCond(in.Op, a, b)
+		if err != nil {
+			return s.fail(err)
+		}
 		m.IsBranch, m.IsCond, m.Taken = true, true, taken
 		if taken {
 			nextPC = in.Target
@@ -334,7 +340,10 @@ func (s *Sim) Next() (trace.MicroOp, bool) {
 
 	case isa.OpFBEQ, isa.OpFBNE, isa.OpFBLT, isa.OpFBGE:
 		a, b := s.readFP(in.Rs1), s.readFP(in.Rs2)
-		taken := evalFPCond(in.Op, a, b)
+		taken, err := evalFPCond(in.Op, a, b)
+		if err != nil {
+			return s.fail(err)
+		}
 		m.IsBranch, m.IsCond, m.Taken = true, true, taken
 		if taken {
 			nextPC = in.Target
@@ -391,7 +400,11 @@ func (s *Sim) Next() (trace.MicroOp, bool) {
 
 	case isa.OpFADD, isa.OpFSUB, isa.OpFMUL, isa.OpFDIV:
 		a, b := s.readFP(in.Rs1), s.readFP(in.Rs2)
-		s.writeFP(in.Rd, evalFPALU(in.Op, a, b))
+		v, err := evalFPALU(in.Op, a, b)
+		if err != nil {
+			return s.fail(err)
+		}
+		s.writeFP(in.Rd, v)
 		s.setDst(&m, in)
 		s.Stats.FPOps++
 
@@ -471,88 +484,127 @@ func (s *Sim) effectiveAddr(in isa.Inst) uint64 {
 	return uint64(base + idx)
 }
 
-func evalIntALU(op isa.Op, a, b int64) int64 {
+// fail records err, annotated with the faulting PC, and ends the
+// micro-op stream; the caller surfaces it through Err.
+func (s *Sim) fail(err error) (trace.MicroOp, bool) {
+	s.err = fmt.Errorf("%w (pc %d)", err, s.pc)
+	return trace.MicroOp{}, false
+}
+
+// StateDigest hashes the architectural state — registers, window
+// pointer, PC, spill stack — into one FNV-1a word. The co-simulation
+// oracle (internal/check) includes it in mismatch reports so two
+// divergent reference states are cheap to compare.
+func (s *Sim) StateDigest() uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	mix := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			h ^= (v >> (8 * i)) & 0xff
+			h *= prime64
+		}
+	}
+	for _, r := range s.intRegs {
+		mix(uint64(r))
+	}
+	for _, r := range s.fpRegs {
+		mix(math.Float64bits(r))
+	}
+	mix(uint64(s.cwp))
+	mix(uint64(s.pc))
+	for _, w := range s.spills {
+		for _, r := range w {
+			mix(uint64(r))
+		}
+	}
+	return h
+}
+
+func evalIntALU(op isa.Op, a, b int64) (int64, error) {
 	switch op {
 	case isa.OpADD:
-		return a + b
+		return a + b, nil
 	case isa.OpSUB:
-		return a - b
+		return a - b, nil
 	case isa.OpAND:
-		return a & b
+		return a & b, nil
 	case isa.OpANDN:
-		return a &^ b
+		return a &^ b, nil
 	case isa.OpOR:
-		return a | b
+		return a | b, nil
 	case isa.OpORN:
-		return a | ^b
+		return a | ^b, nil
 	case isa.OpXOR:
-		return a ^ b
+		return a ^ b, nil
 	case isa.OpXNOR:
-		return ^(a ^ b)
+		return ^(a ^ b), nil
 	case isa.OpSLL:
-		return a << (uint64(b) & 63)
+		return a << (uint64(b) & 63), nil
 	case isa.OpSRL:
-		return int64(uint64(a) >> (uint64(b) & 63))
+		return int64(uint64(a) >> (uint64(b) & 63)), nil
 	case isa.OpSRA:
-		return a >> (uint64(b) & 63)
+		return a >> (uint64(b) & 63), nil
 	case isa.OpMUL:
-		return a * b
+		return a * b, nil
 	case isa.OpDIV:
 		if b == 0 {
-			return 0 // division by zero yields 0; no trap modelled
+			return 0, nil // division by zero yields 0; no trap modelled
 		}
-		return a / b
+		return a / b, nil
 	case isa.OpUDIV:
 		if b == 0 {
-			return 0
+			return 0, nil
 		}
-		return int64(uint64(a) / uint64(b))
+		return int64(uint64(a) / uint64(b)), nil
 	}
-	panic("funcsim: not an int ALU op")
+	return 0, fmt.Errorf("funcsim: op %v is not an int ALU op", op)
 }
 
-func evalIntCond(op isa.Op, a, b int64) bool {
+func evalIntCond(op isa.Op, a, b int64) (bool, error) {
 	switch op {
 	case isa.OpBEQ:
-		return a == b
+		return a == b, nil
 	case isa.OpBNE:
-		return a != b
+		return a != b, nil
 	case isa.OpBLT:
-		return a < b
+		return a < b, nil
 	case isa.OpBGE:
-		return a >= b
+		return a >= b, nil
 	case isa.OpBLE:
-		return a <= b
+		return a <= b, nil
 	case isa.OpBGT:
-		return a > b
+		return a > b, nil
 	}
-	panic("funcsim: not an int condition")
+	return false, fmt.Errorf("funcsim: op %v is not an int condition", op)
 }
 
-func evalFPCond(op isa.Op, a, b float64) bool {
+func evalFPCond(op isa.Op, a, b float64) (bool, error) {
 	switch op {
 	case isa.OpFBEQ:
-		return a == b
+		return a == b, nil
 	case isa.OpFBNE:
-		return a != b
+		return a != b, nil
 	case isa.OpFBLT:
-		return a < b
+		return a < b, nil
 	case isa.OpFBGE:
-		return a >= b
+		return a >= b, nil
 	}
-	panic("funcsim: not an fp condition")
+	return false, fmt.Errorf("funcsim: op %v is not an fp condition", op)
 }
 
-func evalFPALU(op isa.Op, a, b float64) float64 {
+func evalFPALU(op isa.Op, a, b float64) (float64, error) {
 	switch op {
 	case isa.OpFADD:
-		return a + b
+		return a + b, nil
 	case isa.OpFSUB:
-		return a - b
+		return a - b, nil
 	case isa.OpFMUL:
-		return a * b
+		return a * b, nil
 	case isa.OpFDIV:
-		return a / b
+		return a / b, nil
 	}
-	panic("funcsim: not an fp ALU op")
+	return 0, fmt.Errorf("funcsim: op %v is not an fp ALU op", op)
 }

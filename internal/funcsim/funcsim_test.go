@@ -429,11 +429,14 @@ func TestMemorySpansPages(t *testing.T) {
 }
 
 func TestNewAt(t *testing.T) {
-	prog := asm.MustAssemble(`
+	prog, err := asm.Assemble(`
 	a:	halt
 	b:	li %o0, 1
 		halt
 	`)
+	if err != nil {
+		t.Fatal(err)
+	}
 	s, err := NewAt(prog, nil, "b")
 	if err != nil {
 		t.Fatal(err)

@@ -1,0 +1,205 @@
+// Pipeline side of the self-checking layer (internal/check): the
+// commit hook feeding the per-retirement checkers, the adapters
+// exposing the engine's state to the structural audits and to the
+// fault-injection harness, and the watchdog's diagnostic dump.
+package pipeline
+
+import (
+	"fmt"
+	"strings"
+
+	"wsrs/internal/check"
+	"wsrs/internal/isa"
+	"wsrs/internal/rename"
+)
+
+// checkCommit describes a retiring ROB entry to the checker.
+func (e *engine) checkCommit(ent *robEntry) error {
+	ci := check.Commit{
+		Cycle:      e.cycle,
+		Tid:        ent.tid,
+		Cluster:    ent.cluster,
+		Swapped:    ent.swapped,
+		NumSubsets: e.cfg.Rename.NumSubsets,
+		WSRS:       e.cfg.WSRS,
+		Uop:        &ent.m,
+	}
+	if ent.m.HasDst {
+		ci.DstSubset = e.ren.SubsetOf(ent.m.Dst.Class, ent.dstPhys)
+	}
+	for i := 0; i < ent.m.NSrc; i++ {
+		ci.SrcSubsets[i] = e.ren.SubsetOf(ent.m.Src[i].Class, ent.srcPhys[i])
+	}
+	return e.chk.OnCommit(&ci)
+}
+
+// auditState exposes the engine's window and rename state, read-only,
+// to the structural audits of internal/check.
+type auditState engine
+
+func (a *auditState) NumSubsets() int { return a.cfg.Rename.NumSubsets }
+
+func (a *auditState) Counts(c isa.RegClass) rename.AuditCounts { return a.ren.Audit(c) }
+
+func (a *auditState) ClusterInflight() []int { return a.inflight }
+
+func (a *auditState) ScanROB(fn func(f *check.InFlight)) {
+	e := (*engine)(a)
+	var f check.InFlight
+	for i := 0; i < e.robCount; i++ {
+		idx := (e.robHead + i) % len(e.rob)
+		ent := &e.rob[idx]
+		f = check.InFlight{
+			ROBIndex: idx,
+			Tid:      ent.tid,
+			Seq:      ent.m.Seq,
+			Cluster:  ent.cluster,
+			Issued:   ent.issued,
+			DoneAt:   ent.doneAt,
+			HasDst:   ent.m.HasDst,
+			PrevPhys: int32(ent.prevPhys),
+			NSrc:     ent.m.NSrc,
+		}
+		if ent.m.HasDst {
+			ri := e.readyInfo(ent.m.Dst.Class, ent.dstPhys)
+			f.DstClass = ent.m.Dst.Class
+			f.DstPhys = int32(ent.dstPhys)
+			f.DstReadyAt = ri.readyAt
+			f.DstWaiting = ri.readyAt == notReady
+			f.ProducerROB = ri.producerRob
+		}
+		for s := 0; s < ent.m.NSrc; s++ {
+			cl := ent.m.Src[s].Class
+			f.SrcClass[s] = cl
+			f.SrcPhys[s] = int32(ent.srcPhys[s])
+			f.SrcWaiting[s] = e.readyInfo(cl, ent.srcPhys[s]).readyAt == notReady
+		}
+		fn(&f)
+	}
+}
+
+// injectTarget exposes the engine's corruption surface to the
+// fault-injection harness. Every method deliberately breaks an
+// invariant a checker guards; none may be reached outside injection.
+type injectTarget engine
+
+func (t *injectTarget) CorruptMap() (string, bool) {
+	e := (*engine)(t)
+	l, from, to, ok := e.ren.CorruptMapEntry(isa.RegInt)
+	if !ok {
+		return "", false
+	}
+	return fmt.Sprintf("rename-map entry %v flipped from p%d to p%d (no free-list update)", l, from, to), true
+}
+
+func (t *injectTarget) LeakFree() (string, bool) {
+	e := (*engine)(t)
+	p, subset, ok := e.ren.LeakFreeRegister(isa.RegInt)
+	if !ok {
+		return "", false
+	}
+	return fmt.Sprintf("free integer register p%d leaked from subset %d", p, subset), true
+}
+
+func (t *injectTarget) DupFree() (string, bool) {
+	e := (*engine)(t)
+	p, ok := e.ren.DupFreeRegister(isa.RegInt)
+	if !ok {
+		return "", false
+	}
+	return fmt.Sprintf("mapped integer register p%d pushed back onto its free list", p), true
+}
+
+// DropWakeup picks a victim whose loss is observable: a not-yet-issued
+// consumer waiting on a broadcast that is still in the future and whose
+// producer is in flight. Marking that register not-ready strands the
+// consumer — the wakeup audit sees the issued producer with a lost
+// broadcast, and the watchdog backstops when audits are off.
+func (t *injectTarget) DropWakeup() (string, bool) {
+	e := (*engine)(t)
+	for i := 0; i < e.robCount; i++ {
+		ent := &e.rob[(e.robHead+i)%len(e.rob)]
+		if ent.issued {
+			continue
+		}
+		for s := 0; s < ent.m.NSrc; s++ {
+			cl := ent.m.Src[s].Class
+			ri := e.readyInfo(cl, ent.srcPhys[s])
+			if ri.readyAt != notReady && ri.readyAt > e.cycle && ri.producerRob >= 0 {
+				ri.readyAt = notReady
+				return fmt.Sprintf("result broadcast of %v p%d (producer rob[%d]) dropped; consumer µop seq %d stranded",
+					cl, ent.srcPhys[s], ri.producerRob, ent.m.Seq), true
+			}
+		}
+	}
+	return "", false
+}
+
+func (t *injectTarget) CorruptStream() (string, bool) {
+	e := (*engine)(t)
+	if e.robCount == 0 {
+		return "", false
+	}
+	e.corruptNext = true
+	return "annotations of the next committed micro-op corrupted (Seq and PC bits flipped)", true
+}
+
+// watchdogViolation builds the forward-progress failure: the one-line
+// verdict plus a diagnostic dump of the stuck machine — the window
+// head and its operand state, per-context front-end state, occupancy,
+// and per-subset register accounting.
+func (e *engine) watchdogViolation(stallLimit int64) error {
+	var b strings.Builder
+	if e.robCount > 0 {
+		h := &e.rob[e.robHead]
+		var avail [2]int64
+		for i := 0; i < h.m.NSrc; i++ {
+			avail[i] = e.availAt(h.m.Src[i].Class, h.srcPhys[i], h.cluster)
+		}
+		fmt.Fprintf(&b, "window head: µop seq %d op=%v class=%v tid=%d cluster=%d issued=%v doneAt=%d memSeq=%d nextMemIssue=%d nsrc=%d srcPhys=%v avail=%v\n",
+			h.m.Seq, h.m.Op, h.m.Class, h.tid, h.cluster, h.issued, h.doneAt,
+			h.memSeq, e.th[h.tid].nextMemIssue, h.m.NSrc, h.srcPhys, avail)
+	} else {
+		b.WriteString("window empty: the front end cannot dispatch\n")
+	}
+	for tid, t := range e.th {
+		fmt.Fprintf(&b, "context %d: insts=%d drained=%v fetchResumeAt=%d pendingRedirect=%d pendingTrap=%d",
+			tid, t.insts, t.drained(), t.fetchResumeAt, t.pendingRedirect, t.pendingTrap)
+		if t.pending != nil {
+			fmt.Fprintf(&b, " pending µop seq %d (op %v", t.pending.Seq, t.pending.Op)
+			if t.pending.HasDst {
+				fmt.Fprintf(&b, ", dst %v", t.pending.Dst)
+			}
+			b.WriteString(")")
+		}
+		b.WriteString("\n")
+	}
+	fmt.Fprintf(&b, "occupancy: rob %d/%d, inflight %v, iq", e.robCount, len(e.rob), e.inflight)
+	for c := range e.iq {
+		fmt.Fprintf(&b, " %d", len(e.iq[c]))
+	}
+	b.WriteString("\n")
+	for _, cl := range []isa.RegClass{isa.RegInt, isa.RegFP} {
+		live := e.ren.LiveSubsetCounts(cl)
+		fmt.Fprintf(&b, "%v subsets:", cl)
+		for s := 0; s < e.cfg.Rename.NumSubsets; s++ {
+			fmt.Fprintf(&b, " [%d] free %d live %d", s, e.ren.FreeCount(cl, s), live[s])
+		}
+		b.WriteString("\n")
+	}
+	fmt.Fprintf(&b, "injected moves: %d, re-steers: %d", e.moves, e.resteers)
+	if e.chk != nil {
+		if desc, at, ok := e.chk.Fault().Applied(); ok {
+			fmt.Fprintf(&b, "\ninjected fault: %s (at cycle %d)", desc, at)
+		}
+	}
+	if e.stOn && e.prb.Stall.Cycles > 0 {
+		fmt.Fprintf(&b, "\n%s", e.prb.Stall.Table("commit-slot stall stack so far"))
+	}
+	return &check.Violation{
+		Checker: "watchdog",
+		Cycle:   e.cycle,
+		Summary: fmt.Sprintf("no commit for %d cycles (rob=%d)", stallLimit, e.robCount),
+		Detail:  strings.TrimRight(b.String(), "\n"),
+	}
+}

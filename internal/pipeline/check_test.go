@@ -1,0 +1,186 @@
+package pipeline
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+	"time"
+
+	"wsrs/internal/alloc"
+	"wsrs/internal/check"
+	"wsrs/internal/check/inject"
+	"wsrs/internal/trace"
+)
+
+// refReader adapts a slice reader to the oracle's RefSource shape.
+type refReader struct{ *trace.SliceReader }
+
+func (refReader) Err() error { return nil }
+
+// checker builds a full Checker replaying ops as the oracle reference.
+func checker(ops []trace.MicroOp, fault *inject.Fault, auditEvery int64) *check.Checker {
+	return check.New(check.Config{
+		Refs:       []check.RefSource{refReader{trace.NewSliceReader(ops)}},
+		AuditEvery: auditEvery,
+		Fault:      fault,
+	})
+}
+
+func TestCheckedRunIsCycleIdentical(t *testing.T) {
+	// The checkers are read-only observers: a checked run must produce
+	// the exact Result of the unchecked run, on both the conventional
+	// and the WSRS machine.
+	for _, tc := range []struct {
+		name string
+		cfg  Config
+		pol  alloc.Policy
+	}{
+		{"conv", conv(), alloc.NewRoundRobin(4)},
+		{"wsrs", wsrs512(), alloc.NewRC(7)},
+	} {
+		ops := synthOps(11, 25000)
+		plain, err := Run(tc.cfg, tc.pol, trace.NewSliceReader(ops), RunOpts{})
+		if err != nil {
+			t.Fatalf("%s unchecked: %v", tc.name, err)
+		}
+		// Fresh policy instance: stateful policies must see the same
+		// decision sequence.
+		pol := tc.pol
+		if _, ok := pol.(*alloc.RC); ok {
+			pol = alloc.NewRC(7)
+		}
+		chk := checker(ops, nil, 0)
+		checked, err := Run(tc.cfg, pol, trace.NewSliceReader(ops), RunOpts{Check: chk})
+		if err != nil {
+			t.Fatalf("%s checked: %v", tc.name, err)
+		}
+		if !reflect.DeepEqual(plain, checked) {
+			t.Errorf("%s: checked run diverges from unchecked:\nplain   %+v\nchecked %+v", tc.name, plain, checked)
+		}
+		st := chk.Stats()
+		if st.CommitsChecked == 0 || st.AuditsRun == 0 {
+			t.Errorf("%s: checker idle: %+v", tc.name, st)
+		}
+	}
+}
+
+func runWithFault(t *testing.T, fault *inject.Fault, auditEvery int64, stallLimit int64) error {
+	t.Helper()
+	ops := synthOps(11, 60000)
+	chk := checker(ops, fault, auditEvery)
+	_, err := Run(wsrs512(), alloc.NewRC(7), trace.NewSliceReader(ops),
+		RunOpts{Check: chk, StallLimit: stallLimit})
+	return err
+}
+
+func TestFaultMatrix(t *testing.T) {
+	// Every fault class must be caught, by the checker family built to
+	// catch it. This is the harness's self-validation: a checker that
+	// never fires is indistinguishable from a correct machine.
+	matrix := []struct {
+		kind    inject.Kind
+		checker string
+	}{
+		{inject.KindMap, "conservation"},
+		{inject.KindLeak, "conservation"},
+		{inject.KindDup, "conservation"},
+		{inject.KindWakeup, "wakeup"},
+		{inject.KindStream, "oracle"},
+	}
+	if len(matrix) != len(inject.Kinds()) {
+		t.Fatalf("matrix covers %d kinds, package has %d", len(matrix), len(inject.Kinds()))
+	}
+	for _, tc := range matrix {
+		t.Run(string(tc.kind), func(t *testing.T) {
+			fault := &inject.Fault{Kind: tc.kind, Cycle: 2000}
+			err := runWithFault(t, fault, 0, 0)
+			var v *check.Violation
+			if !errors.As(err, &v) {
+				t.Fatalf("run returned %v, want a violation", err)
+			}
+			if v.Checker != tc.checker {
+				t.Fatalf("fault %s caught by %q, want %q (%s)", tc.kind, v.Checker, tc.checker, v.Summary)
+			}
+			desc, at, ok := fault.Applied()
+			if !ok {
+				t.Fatal("fault reports not applied")
+			}
+			if at < 2000 || v.Cycle < at {
+				t.Fatalf("fault %s applied at %d, caught at %d", desc, at, v.Cycle)
+			}
+		})
+	}
+}
+
+func TestWakeupFaultFallsBackToWatchdog(t *testing.T) {
+	// With the structural audits disabled, a suppressed broadcast
+	// still cannot hang the simulator: the stuck consumer starves
+	// commit and the forward-progress watchdog fires with a dump.
+	fault := &inject.Fault{Kind: inject.KindWakeup, Cycle: 2000}
+	err := runWithFault(t, fault, -1, 3000)
+	var v *check.Violation
+	if !errors.As(err, &v) {
+		t.Fatalf("run returned %v, want a violation", err)
+	}
+	if v.Checker != "watchdog" {
+		t.Fatalf("caught by %q, want watchdog (%s)", v.Checker, v.Summary)
+	}
+	if v.Detail == "" {
+		t.Fatal("watchdog violation has no diagnostic dump")
+	}
+}
+
+func TestCycleBudget(t *testing.T) {
+	ops := synthOps(3, 60000)
+	_, err := Run(conv(), alloc.NewRoundRobin(4), trace.NewSliceReader(ops),
+		RunOpts{MaxCycles: 500})
+	var v *check.Violation
+	if !errors.As(err, &v) || v.Checker != "cycle-budget" {
+		t.Fatalf("run returned %v, want a cycle-budget violation", err)
+	}
+	if v.Cycle != 500 {
+		t.Fatalf("cycle-budget fired at %d, want 500", v.Cycle)
+	}
+}
+
+func TestTimeBudget(t *testing.T) {
+	// An already-expired deadline trips at the first 4096-cycle check.
+	ops := synthOps(3, 60000)
+	_, err := Run(conv(), alloc.NewRoundRobin(4), trace.NewSliceReader(ops),
+		RunOpts{Deadline: time.Now().Add(-time.Second)})
+	var v *check.Violation
+	if !errors.As(err, &v) || v.Checker != "time-budget" {
+		t.Fatalf("run returned %v, want a time-budget violation", err)
+	}
+}
+
+func TestIllegalPolicyDecisionIsRSLegalViolation(t *testing.T) {
+	// A policy that ignores read specialization (always cluster 0)
+	// must be rejected with an rs-legal verdict naming the decision,
+	// not a panic.
+	ops := synthOps(3, 5000)
+	_, err := Run(wsrs512(), pinPolicy{}, trace.NewSliceReader(ops), RunOpts{})
+	var v *check.Violation
+	if !errors.As(err, &v) || v.Checker != "rs-legal" {
+		t.Fatalf("run returned %v, want an rs-legal violation", err)
+	}
+}
+
+func TestWatchdogViolationShape(t *testing.T) {
+	// The §2.3 deadlock (no moves, pinned policy) now surfaces as a
+	// watchdog violation carrying the diagnostic dump.
+	cfg := conv()
+	cfg.Rename.NumSubsets, cfg.Rename.IntRegs, cfg.Rename.FPRegs = 4, 96, 128
+	var ops []trace.MicroOp
+	for i := 0; i < 2000; i++ {
+		ops = append(ops, aluOp(uint64(i), 1+i%60))
+	}
+	_, err := Run(cfg, pinPolicy{}, trace.NewSliceReader(ops), RunOpts{StallLimit: 2000})
+	var v *check.Violation
+	if !errors.As(err, &v) || v.Checker != "watchdog" {
+		t.Fatalf("run returned %v, want a watchdog violation", err)
+	}
+	if v.Detail == "" {
+		t.Fatal("watchdog violation has no diagnostic dump")
+	}
+}

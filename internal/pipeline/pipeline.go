@@ -18,9 +18,11 @@ package pipeline
 import (
 	"fmt"
 	"math"
+	"time"
 
 	"wsrs/internal/alloc"
 	"wsrs/internal/bpred"
+	"wsrs/internal/check"
 	"wsrs/internal/cluster"
 	"wsrs/internal/isa"
 	"wsrs/internal/mem"
@@ -184,13 +186,31 @@ type RunOpts struct {
 	// MeasureInsts is the measured slice length; 0 runs to the end of
 	// the trace.
 	MeasureInsts uint64
-	// StallLimit aborts the run when no µop commits for this many
-	// cycles (a livelock guard; 0 uses a generous default).
+	// StallLimit is the forward-progress watchdog window: the run
+	// fails with a check.Violation (checker "watchdog") and a
+	// diagnostic dump when no µop commits for this many cycles (0
+	// uses a generous default).
 	StallLimit int64
 	// Probe is the optional observability sink (nil disables all
 	// probing; the hot loop then only pays nil checks). A probe must
 	// not be shared between concurrent runs.
 	Probe *probe.Probe
+
+	// Check attaches the self-checking layer (nil disables it): the
+	// co-simulation oracle and per-commit legality checks run at
+	// every retirement, the structural audits at the checker's
+	// cadence. Checkers are read-only, so a checked run is
+	// cycle-identical to an unchecked one. A Checker must not be
+	// shared between concurrent runs.
+	Check *check.Checker
+	// MaxCycles fails the run with a "cycle-budget" violation once
+	// the cycle counter reaches it (0 = unbounded).
+	MaxCycles int64
+	// Deadline fails the run with a "time-budget" violation once the
+	// host wall clock passes it (zero = unbounded). Checked every
+	// 4096 cycles, so runs with a deadline remain deterministic in
+	// simulated behavior — only the abort point depends on the host.
+	Deadline time.Time
 }
 
 // Result reports one simulation run. All counters cover the measured
@@ -323,6 +343,12 @@ type engine struct {
 	load *metrics.ClusterLoad
 	fail error
 
+	// chk is the optional self-checking layer (nil = off, costing
+	// the hot loop one nil check per stage); corruptNext arms the
+	// stream-corruption fault for the next retirement.
+	chk         *check.Checker
+	corruptNext bool
+
 	// prb is the optional observability sink (nil = all probing
 	// off); evOn/stOn/occOn cache the per-feature switches so each
 	// stage checks a single boolean.
@@ -393,6 +419,7 @@ func RunSMT(cfg Config, pol alloc.Policy, srcs []trace.Reader, opts RunOpts) (Re
 		intReady: make([]regInfo, cfg.Rename.IntRegs),
 		fpReady:  make([]regInfo, cfg.Rename.FPRegs),
 		load:     metrics.NewClusterLoad(ub),
+		chk:      opts.Check,
 	}
 	if p := opts.Probe; p != nil {
 		e.prb = p
@@ -431,6 +458,7 @@ func (e *engine) run(opts RunOpts) (Result, error) {
 	if opts.MeasureInsts > 0 {
 		target = opts.WarmupInsts + opts.MeasureInsts
 	}
+	deadlineOn := !opts.Deadline.IsZero()
 
 	var base Result
 	var baseCycle int64
@@ -454,7 +482,13 @@ func (e *engine) run(opts RunOpts) (Result, error) {
 		}
 		e.cycle++
 		e.ren.BeginCycle()
+		if e.chk != nil {
+			e.chk.TryInject(e.cycle, (*injectTarget)(e))
+		}
 		n := e.commit()
+		if e.fail != nil {
+			return Result{}, e.fail
+		}
 		if n > 0 {
 			lastCommitCycle = e.cycle
 		}
@@ -481,18 +515,25 @@ func (e *engine) run(opts RunOpts) (Result, error) {
 		if e.fail != nil {
 			return Result{}, e.fail
 		}
+		if e.chk != nil && e.chk.AuditDue(e.cycle) {
+			if err := e.chk.Audit(e.cycle, (*auditState)(e)); err != nil {
+				return Result{}, err
+			}
+		}
 		if e.occOn && warmed && e.cycle > baseCycle {
 			e.sampleOccupancy()
 		}
 		if e.cycle-lastCommitCycle > stallLimit {
-			h := &e.rob[e.robHead]
-			var avail [2]int64
-			for i := 0; i < h.m.NSrc; i++ {
-				avail[i] = e.availAt(h.m.Src[i].Class, h.srcPhys[i], h.cluster)
-			}
-			return Result{}, fmt.Errorf("pipeline: no commit for %d cycles at cycle %d (rob=%d)\nhead: op=%v class=%v tid=%d cluster=%d issued=%v doneAt=%d memSeq=%d nextMemIssue=%d nsrc=%d srcPhys=%v avail=%v",
-				stallLimit, e.cycle, e.robCount,
-				h.m.Op, h.m.Class, h.tid, h.cluster, h.issued, h.doneAt, h.memSeq, e.th[h.tid].nextMemIssue, h.m.NSrc, h.srcPhys, avail)
+			return Result{}, e.watchdogViolation(stallLimit)
+		}
+		if opts.MaxCycles > 0 && e.cycle >= opts.MaxCycles {
+			return Result{}, &check.Violation{Checker: "cycle-budget", Cycle: e.cycle,
+				Summary: fmt.Sprintf("cycle budget of %d exhausted with %d instructions committed",
+					opts.MaxCycles, e.insts)}
+		}
+		if deadlineOn && e.cycle&4095 == 0 && time.Now().After(opts.Deadline) {
+			return Result{}, &check.Violation{Checker: "time-budget", Cycle: e.cycle,
+				Summary: fmt.Sprintf("wall-clock budget exhausted with %d instructions committed", e.insts)}
 		}
 	}
 
@@ -721,8 +762,10 @@ func (e *engine) fetchNext(tid int) (*trace.MicroOp, *alloc.Decision) {
 		}
 		d := e.pol.Allocate(t.pending, subsets, e.inflight)
 		if e.cfg.WSRS && !alloc.WSRSValid(t.pending, subsets, d.Cluster, d.Swapped) {
-			panic(fmt.Sprintf("pipeline: policy %s violated read specialization: op=%v subsets=%v decision=%+v",
-				e.pol.Name(), t.pending.Op, subsets, d))
+			e.fail = &check.Violation{Checker: "rs-legal", Cycle: e.cycle,
+				Summary: fmt.Sprintf("policy %s violated read specialization: op=%v subsets=%v decision=%+v",
+					e.pol.Name(), t.pending.Op, subsets, d)}
+			return nil, nil
 		}
 		t.pendDec = &d
 	}
@@ -766,6 +809,9 @@ func (e *engine) dispatch() {
 		}
 		t := e.th[tid]
 		m, dec := e.fetchNext(tid)
+		if e.fail != nil {
+			return
+		}
 		if m == nil {
 			// This context just drained; other contexts may still
 			// have µops for the remaining slots.
@@ -953,11 +999,38 @@ func (e *engine) resteer(tid int, m *trace.MicroOp, orig int) (int, bool) {
 
 // injectMove applies the deadlock workaround: an architectural move
 // re-mapping one logical register out of the saturated subset, charged
-// as a dispatch slot. Returns false when no donor subset exists.
+// as a dispatch slot. Registers an in-flight µop still refers to are
+// not movable: a destination's value does not architecturally exist
+// yet, and a waiting consumer's captured source would dangle once the
+// register is freed and re-allocated (it would then wait on the wrong,
+// possibly younger, producer — a deadlock). Returns false when no
+// donor subset exists or every mapping is pinned that way; the
+// workaround retries as in-flight µops drain.
 func (e *engine) injectMove(c isa.RegClass, subset int) bool {
-	_, _, ok := e.ren.InjectMove(c, subset)
+	_, _, ok := e.ren.InjectMoveAvoiding(c, subset, func(p rename.PhysReg) bool {
+		for i := 0; i < e.robCount; i++ {
+			ent := &e.rob[(e.robHead+i)%len(e.rob)]
+			if ent.m.HasDst && ent.m.Dst.Class == c && ent.dstPhys == p {
+				return true
+			}
+			if !ent.issued {
+				for s := 0; s < ent.m.NSrc; s++ {
+					if ent.m.Src[s].Class == c && ent.srcPhys[s] == p {
+						return true
+					}
+				}
+			}
+		}
+		return false
+	})
 	if ok {
 		e.moves++
+		// The move changed operand subsets; allocation decisions taken
+		// against the old map are stale (a WSRS placement may now be
+		// read-illegal). Drop them so fetchNext re-allocates.
+		for _, t := range e.th {
+			t.pendDec = nil
+		}
 	}
 	return ok
 }
@@ -1074,6 +1147,19 @@ func (e *engine) commit() int {
 		ent := &e.rob[idx]
 		if !ent.issued || ent.doneAt > e.cycle {
 			break
+		}
+		if e.chk != nil {
+			if e.corruptNext {
+				// Armed stream-corruption fault: damage the µop just
+				// before the oracle sees it.
+				ent.m.Seq ^= 1 << 62
+				ent.m.PC ^= 1 << 12
+				e.corruptNext = false
+			}
+			if err := e.checkCommit(ent); err != nil {
+				e.fail = err
+				break
+			}
 		}
 		if ent.m.Class == isa.ClassStore {
 			e.hi.AccessStore(ent.m.Addr, e.cycle)

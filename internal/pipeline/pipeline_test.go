@@ -417,7 +417,7 @@ func TestInvalidConfigRejected(t *testing.T) {
 func TestEndToEndProgramTrace(t *testing.T) {
 	// Run a real program (sum over an array with a store per
 	// iteration) through funcsim into the pipeline.
-	prog := asm.MustAssemble(`
+	prog, err := asm.Assemble(`
 		li   %o0, 65536      ; base
 		li   %o1, 512        ; n
 		li   %o2, 0          ; acc
@@ -431,6 +431,9 @@ func TestEndToEndProgramTrace(t *testing.T) {
 		blt  %o3, %o1, loop
 		halt
 	`)
+	if err != nil {
+		t.Fatal(err)
+	}
 	sim := funcsim.New(prog, nil)
 	for i := 0; i < 512; i++ {
 		sim.Memory().WriteInt64(uint64(65536+8*i), int64(i))

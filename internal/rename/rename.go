@@ -423,6 +423,18 @@ func (r *Renamer) Deadlocked(c isa.RegClass, s int) bool {
 // The caller is responsible for charging the cost of the architectural
 // move (the pipeline models it as an injected micro-op).
 func (r *Renamer) InjectMove(c isa.RegClass, s int) (moved isa.LogicalReg, to int, ok bool) {
+	return r.InjectMoveAvoiding(c, s, nil)
+}
+
+// InjectMoveAvoiding is InjectMove restricted to mappings the caller
+// considers safe to move: logical registers whose current physical
+// register satisfies avoid are skipped. The pipeline passes its set
+// of in-flight destinations — re-mapping one of those would copy a
+// value that does not architecturally exist yet and would free a
+// register whose producer is still executing. ok=false also when
+// every mapping of s is excluded; the workaround then retries once
+// an in-flight producer commits.
+func (r *Renamer) InjectMoveAvoiding(c isa.RegClass, s int, avoid func(PhysReg) bool) (moved isa.LogicalReg, to int, ok bool) {
 	cs := r.cls[c]
 	// Find a donor subset with a free register.
 	donor := -1
@@ -438,15 +450,150 @@ func (r *Renamer) InjectMove(c isa.RegClass, s int) (moved isa.LogicalReg, to in
 	// Find a logical register (in any context) mapped into s.
 	for _, mt := range cs.mapTable {
 		for l := range mt {
-			if r.subsetOfState(cs, mt[l]) == s {
-				p, _ := cs.free[donor].pop()
-				old := mt[l]
-				mt[l] = p
-				cs.free[s].push(old)
-				r.Moves++
-				return isa.LogicalReg{Class: c, Index: uint8(l)}, donor, true
+			if r.subsetOfState(cs, mt[l]) != s {
+				continue
 			}
+			if avoid != nil && avoid(mt[l]) {
+				continue
+			}
+			p, _ := cs.free[donor].pop()
+			old := mt[l]
+			mt[l] = p
+			cs.free[s].push(old)
+			r.Moves++
+			return isa.LogicalReg{Class: c, Index: uint8(l)}, donor, true
 		}
 	}
 	return isa.LogicalReg{}, 0, false
+}
+
+// AuditCounts is a read-only exact-accounting snapshot of one
+// register class, consumed by the conservation audit of
+// internal/check. Conservation demands that every physical register
+// sit in exactly one place: FreeSide[p] + MapSide[p] plus the
+// pipeline's count of in-flight previous mappings (which only the
+// ROB knows) must equal 1 for every p.
+type AuditCounts struct {
+	NumSubsets int
+	PerSubset  int
+
+	// Per-subset totals of each free-side structure and of the map
+	// tables.
+	Free        []int
+	Reserved    []int
+	Recycling   []int
+	PendingFree []int
+	Mapped      []int
+
+	// Per-physical-register occurrence counts: FreeSide[p] counts how
+	// many times p sits in a free structure (free list, this cycle's
+	// reservation, the recycling pipeline, the pending-free queue);
+	// MapSide[p] counts map-table entries across all SMT contexts
+	// pointing at p.
+	FreeSide []uint16
+	MapSide  []uint16
+}
+
+// Audit snapshots the exact accounting of class c. It allocates and
+// walks every structure, so it is meant for a periodic audit cadence,
+// not per cycle.
+func (r *Renamer) Audit(c isa.RegClass) AuditCounts {
+	cs := r.cls[c]
+	n := cs.perSub * r.cfg.NumSubsets
+	ac := AuditCounts{
+		NumSubsets:  r.cfg.NumSubsets,
+		PerSubset:   cs.perSub,
+		Free:        make([]int, r.cfg.NumSubsets),
+		Reserved:    make([]int, r.cfg.NumSubsets),
+		Recycling:   make([]int, r.cfg.NumSubsets),
+		PendingFree: make([]int, r.cfg.NumSubsets),
+		Mapped:      make([]int, r.cfg.NumSubsets),
+		FreeSide:    make([]uint16, n),
+		MapSide:     make([]uint16, n),
+	}
+	count := func(p PhysReg, side []uint16, perSubset []int) {
+		if int(p) < 0 || int(p) >= n {
+			return // corrupt entry; the exact accounting reports the victim as lost
+		}
+		side[p]++
+		perSubset[r.subsetOfState(cs, p)]++
+	}
+	for _, f := range cs.free {
+		for _, p := range f.regs {
+			count(p, ac.FreeSide, ac.Free)
+		}
+	}
+	for _, res := range cs.reserved {
+		for _, p := range res {
+			count(p, ac.FreeSide, ac.Reserved)
+		}
+	}
+	for _, st := range cs.recycle {
+		for _, p := range st {
+			count(p, ac.FreeSide, ac.Recycling)
+		}
+	}
+	for _, p := range cs.pendingFree {
+		count(p, ac.FreeSide, ac.PendingFree)
+	}
+	for _, mt := range cs.mapTable {
+		for _, p := range mt {
+			count(p, ac.MapSide, ac.Mapped)
+		}
+	}
+	return ac
+}
+
+// The three helpers below deliberately corrupt renamer state for the
+// fault-injection harness (internal/check/inject); they exist so
+// tests and CI can prove the conservation audit actually fires. They
+// must never be called outside fault injection.
+
+// CorruptMapEntry flips the context-0 mapping of the first logical
+// register of class c to a different physical register WITHOUT
+// updating any free list: the old register leaks out of the
+// accounting and the new one becomes double-booked.
+func (r *Renamer) CorruptMapEntry(c isa.RegClass) (l isa.LogicalReg, from, to PhysReg, ok bool) {
+	cs := r.cls[c]
+	total := cs.perSub * r.cfg.NumSubsets
+	if total < 2 {
+		return isa.LogicalReg{}, None, None, false
+	}
+	from = cs.mapTable[0][0]
+	step := cs.perSub // land in the next subset when there is one
+	if r.cfg.NumSubsets == 1 {
+		step = 1
+	}
+	to = PhysReg((int(from) + step) % total)
+	cs.mapTable[0][0] = to
+	return isa.LogicalReg{Class: c, Index: 0}, from, to, true
+}
+
+// LeakFreeRegister pops a register from the first non-empty free
+// structure of class c and drops it on the floor.
+func (r *Renamer) LeakFreeRegister(c isa.RegClass) (p PhysReg, subset int, ok bool) {
+	cs := r.cls[c]
+	for s, f := range cs.free {
+		if p, got := f.pop(); got {
+			return p, s, true
+		}
+	}
+	for s, res := range cs.reserved {
+		if len(res) > 0 {
+			p := res[0]
+			cs.reserved[s] = res[1:]
+			return p, s, true
+		}
+	}
+	return None, 0, false
+}
+
+// DupFreeRegister pushes the context-0 mapping of the first logical
+// register of class c back onto its subset's free list while it is
+// still architecturally mapped — the register now exists twice.
+func (r *Renamer) DupFreeRegister(c isa.RegClass) (p PhysReg, ok bool) {
+	cs := r.cls[c]
+	p = cs.mapTable[0][0]
+	cs.free[r.subsetOfState(cs, p)].push(p)
+	return p, true
 }

@@ -26,9 +26,12 @@ import (
 	"fmt"
 	"io"
 	"strings"
+	"time"
 
 	"wsrs/internal/alloc"
 	"wsrs/internal/asm"
+	"wsrs/internal/check"
+	"wsrs/internal/check/inject"
 	"wsrs/internal/cluster"
 	"wsrs/internal/funcsim"
 	"wsrs/internal/isa"
@@ -230,6 +233,46 @@ type SimOpts struct {
 	// Stats gives every grid cell its own private stall-stack probe;
 	// the result travels in Result.Stalls. Safe at any parallelism.
 	Stats bool
+
+	// Check enables the self-checking layer: a co-simulation oracle (a
+	// fresh functional reference diffed against every retired µop),
+	// per-commit write/read-specialization legality checks, and
+	// periodic structural audits (free-list conservation with exact
+	// per-register accounting, ROB commit order, wakeup-table
+	// consistency). Checkers are read-only observers — a checked run
+	// is cycle-identical to an unchecked one. Failures surface as a
+	// *CheckViolation error.
+	Check bool
+	// AuditEvery overrides the structural-audit cadence in cycles (0
+	// selects the checker default of 1024; negative disables the
+	// audits). Only meaningful with Check or Inject set.
+	AuditEvery int64
+	// Watchdog overrides the forward-progress window in cycles: a run
+	// that commits nothing for this long fails with a "watchdog"
+	// CheckViolation carrying a diagnostic dump of the stuck machine
+	// (0 selects the pipeline default of 200 000). Active even
+	// without Check.
+	Watchdog int64
+	// MaxCycles bounds each run in simulated cycles; exceeding it
+	// fails the run with a "cycle-budget" CheckViolation (0 =
+	// unbounded).
+	MaxCycles int64
+	// CellTimeout bounds each run in host wall-clock time; exceeding
+	// it fails the run with a "time-budget" CheckViolation (0 =
+	// unbounded). In a grid the budget is per cell.
+	CellTimeout time.Duration
+	// Checkpoint names a JSONL file RunGrid uses to persist finished
+	// cells: a re-run with the same file skips cells already recorded
+	// (marking them Resumed) and appends newly finished ones, so an
+	// interrupted grid resumes where it stopped. Failed cells are
+	// never recorded and re-run.
+	Checkpoint string
+	// Inject schedules one deliberate fault (see ParseFault). It
+	// implies Check, so the checker guarding the corrupted structure
+	// can catch it. A Fault is single-shot state shared with the
+	// caller (its Applied method reports what happened), so RunGrid
+	// rejects it — inject into individual runs.
+	Inject *Fault
 }
 
 func (o SimOpts) withDefaults() SimOpts {
@@ -245,9 +288,63 @@ func (o SimOpts) withDefaults() SimOpts {
 	return o
 }
 
+// checking reports whether the self-checking layer must be built.
+func (o SimOpts) checking() bool { return o.Check || o.Inject != nil }
+
+// runOpts translates the facade options into pipeline bounds; the
+// checker, when any, is attached by the caller.
+func (o SimOpts) runOpts() pipeline.RunOpts {
+	ro := pipeline.RunOpts{
+		WarmupInsts:  o.WarmupInsts,
+		MeasureInsts: o.MeasureInsts,
+		Probe:        o.Probe,
+		StallLimit:   o.Watchdog,
+		MaxCycles:    o.MaxCycles,
+	}
+	if o.CellTimeout > 0 {
+		ro.Deadline = time.Now().Add(o.CellTimeout)
+	}
+	return ro
+}
+
+// newChecker assembles the self-checking layer over the given
+// per-context reference streams.
+func (o SimOpts) newChecker(refs []check.RefSource) *check.Checker {
+	return check.New(check.Config{Refs: refs, AuditEvery: o.AuditEvery, Fault: o.Inject})
+}
+
 // Result is the outcome of one simulation (re-exported from the
 // timing model).
 type Result = pipeline.Result
+
+// CheckViolation is the error every checker reports (re-exported from
+// internal/check): which checker fired ("oracle", "conservation",
+// "rob-order", "wakeup", "ws-legal", "rs-legal", "watchdog",
+// "cycle-budget", "time-budget"), at which cycle, a one-line verdict
+// and an optional multi-line diagnostic dump. Unwrap with errors.As.
+type CheckViolation = check.Violation
+
+// Fault is one scheduled fault injection (re-exported from
+// internal/check/inject): a fault class and an arming cycle. After a
+// run, its Applied method reports whether — and what — it corrupted.
+type Fault = inject.Fault
+
+// ParseFault reads a fault specification of the form "kind@cycle",
+// e.g. "map@5000"; see FaultKinds for the classes.
+func ParseFault(s string) (*Fault, error) { return inject.Parse(s) }
+
+// FaultKinds returns the fault-class names ParseFault accepts: "map"
+// (flip a rename-map entry), "leak" (lose a free register), "dup"
+// (double-book a mapped register), "wakeup" (drop a result
+// broadcast), "stream" (corrupt a committed µop's annotations).
+func FaultKinds() []string {
+	kinds := inject.Kinds()
+	out := make([]string, len(kinds))
+	for i, k := range kinds {
+		out[i] = string(k)
+	}
+	return out
+}
 
 // Probe, ProbeOptions, StallStack and StallCause re-export the
 // observability layer (internal/probe) so command-line tools and
@@ -317,11 +414,17 @@ func RunProgram(conf ConfigName, source string, init func(*funcsim.Memory), opts
 		init(m)
 	}
 	sim := funcsim.New(prog, m)
-	res, err := pipeline.Run(cfg, pol, sim, pipeline.RunOpts{
-		WarmupInsts:  opts.WarmupInsts,
-		MeasureInsts: opts.MeasureInsts,
-		Probe:        opts.Probe,
-	})
+	ro := opts.runOpts()
+	if opts.checking() {
+		// The oracle replays an independent functional simulation of
+		// the same program over identically initialized memory.
+		rm := funcsim.NewMemory()
+		if init != nil {
+			init(rm)
+		}
+		ro.Check = opts.newChecker([]check.RefSource{funcsim.New(prog, rm)})
+	}
+	res, err := pipeline.Run(cfg, pol, sim, ro)
 	if err != nil {
 		return res, err
 	}
@@ -378,9 +481,19 @@ func RunKernelSMT(conf ConfigName, kernelNames []string, opts SimOpts) (Result, 
 		}
 		srcs = append(srcs, cur)
 	}
-	return pipeline.RunSMT(cfg, pol, srcs, pipeline.RunOpts{
-		WarmupInsts:  opts.WarmupInsts,
-		MeasureInsts: opts.MeasureInsts,
-		Probe:        opts.Probe,
-	})
+	ro := opts.runOpts()
+	if opts.checking() {
+		// One independent reference stream per hardware context; the
+		// oracle re-applies the private-address-space offset itself.
+		refs := make([]check.RefSource, len(kernelNames))
+		for i, name := range kernelNames {
+			ref, err := kernelRef(name)
+			if err != nil {
+				return Result{}, err
+			}
+			refs[i] = ref
+		}
+		ro.Check = opts.newChecker(refs)
+	}
+	return pipeline.RunSMT(cfg, pol, srcs, ro)
 }

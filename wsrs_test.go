@@ -6,8 +6,11 @@ import (
 )
 
 // Short simulation windows keep the test suite fast; the reproduction
-// invariants below are robust at this scale.
-var testOpts = SimOpts{WarmupInsts: 8000, MeasureInsts: 25000}
+// invariants below are robust at this scale. Check runs the
+// self-checking layer (co-simulation oracle, legality checks,
+// structural audits) on every simulation the suite performs —
+// checkers are read-only, so the measured results are identical.
+var testOpts = SimOpts{WarmupInsts: 8000, MeasureInsts: 25000, Check: true}
 
 func TestBuildAllConfigs(t *testing.T) {
 	for _, c := range Figure4Configs() {
