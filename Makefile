@@ -1,0 +1,28 @@
+# Development targets. The module needs only the Go toolchain.
+
+GO ?= go
+
+.PHONY: build test race bench golden
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race . ./internal/trace ./internal/tracecache ./internal/pipeline ./internal/telemetry
+
+# bench reruns the BenchmarkCore* hot-path microbenchmarks (rename map
+# lookup, wake-up broadcast pricing, bypass arbitration, counter
+# increments, metered vs plain pipeline, grid dispatch) and rewrites
+# the committed baseline at the repository root.
+bench:
+	$(GO) test -bench Core -benchmem -run NONE \
+		. ./internal/rename ./internal/wakeup ./internal/bypass \
+		./internal/telemetry ./internal/pipeline \
+		| $(GO) run ./cmd/benchjson > BENCH_core.json
+	@echo wrote BENCH_core.json
+
+golden:
+	$(GO) test -run Golden -update .

@@ -1,0 +1,217 @@
+// Command telcheck validates the telemetry artifacts a wsrsbench run
+// produces, so CI can assert they are well-formed without external
+// tooling:
+//
+//	telcheck -manifest run.json            # JSON run manifest
+//	telcheck -trace host.json              # Chrome trace JSON
+//	telcheck -metrics metrics.txt          # Prometheus text exposition
+//	telcheck -manifest run.json -require-activity
+//
+// Each artifact is parsed structurally (digest shape, per-cell
+// outcomes, trace event phases, exposition grammar) and the process
+// exits non-zero on the first violation, naming it.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+func main() {
+	manifest := flag.String("manifest", "", "validate this JSON run manifest")
+	trace := flag.String("trace", "", "validate this Chrome trace JSON file")
+	metrics := flag.String("metrics", "", "validate this Prometheus text exposition file")
+	requireActivity := flag.Bool("require-activity", false, "fail if the manifest lacks aggregated activity counts (telemetry was off)")
+	allowFailed := flag.Bool("allow-failed", false, "tolerate failed cells in the manifest")
+	flag.Parse()
+
+	if *manifest == "" && *trace == "" && *metrics == "" {
+		fmt.Fprintln(os.Stderr, "telcheck: nothing to check; pass -manifest, -trace and/or -metrics")
+		os.Exit(2)
+	}
+	if *manifest != "" {
+		checkManifest(*manifest, *requireActivity, *allowFailed)
+	}
+	if *trace != "" {
+		checkTrace(*trace)
+	}
+	if *metrics != "" {
+		checkMetrics(*metrics)
+	}
+	fmt.Println("telcheck: all artifacts OK")
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "telcheck: "+format+"\n", args...)
+	os.Exit(1)
+}
+
+var hexDigest = regexp.MustCompile(`^[0-9a-f]{64}$`)
+
+func checkManifest(path string, requireActivity, allowFailed bool) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	var m struct {
+		ConfigDigest string            `json:"config_digest"`
+		CellsTotal   int               `json:"cells_total"`
+		CellsFailed  int               `json:"cells_failed"`
+		Counters     map[string]uint64 `json:"counters"`
+		Activity     map[string]uint64 `json:"activity"`
+		Cells        []struct {
+			Index  int     `json:"index"`
+			Kernel string  `json:"kernel"`
+			Config string  `json:"config"`
+			IPC    float64 `json:"ipc"`
+			Error  string  `json:"error"`
+		} `json:"cells"`
+	}
+	if err := json.Unmarshal(data, &m); err != nil {
+		fatalf("%s: not valid JSON: %v", path, err)
+	}
+	if !hexDigest.MatchString(m.ConfigDigest) {
+		fatalf("%s: config_digest %q is not a sha256 hex string", path, m.ConfigDigest)
+	}
+	if m.CellsTotal != len(m.Cells) {
+		fatalf("%s: cells_total %d but %d cells recorded", path, m.CellsTotal, len(m.Cells))
+	}
+	if m.CellsTotal == 0 {
+		fatalf("%s: manifest records no cells", path)
+	}
+	failed := 0
+	for i, c := range m.Cells {
+		if c.Index != i {
+			fatalf("%s: cells not sorted by index (cell %d has index %d)", path, i, c.Index)
+		}
+		if c.Kernel == "" || c.Config == "" {
+			fatalf("%s: cell %d missing kernel/config identity", path, i)
+		}
+		if c.Error != "" {
+			failed++
+		} else if c.IPC <= 0 {
+			fatalf("%s: cell %d (%s/%s) succeeded with non-positive IPC %g", path, i, c.Kernel, c.Config, c.IPC)
+		}
+	}
+	if failed != m.CellsFailed {
+		fatalf("%s: cells_failed %d but %d cells carry errors", path, m.CellsFailed, failed)
+	}
+	if failed > 0 && !allowFailed {
+		fatalf("%s: %d cells failed", path, failed)
+	}
+	if len(m.Counters) == 0 {
+		fatalf("%s: manifest has no counter snapshot", path)
+	}
+	if requireActivity && m.Activity["wakeup_events"] == 0 {
+		fatalf("%s: no aggregated activity counts (was the grid run with telemetry?)", path)
+	}
+	fmt.Printf("telcheck: manifest %s: %d cells, %d failed, digest %s...\n",
+		path, m.CellsTotal, failed, m.ConfigDigest[:12])
+}
+
+func checkTrace(path string) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	var t struct {
+		TraceEvents []struct {
+			Name string  `json:"name"`
+			Ph   string  `json:"ph"`
+			Ts   float64 `json:"ts"`
+			Dur  float64 `json:"dur"`
+			Pid  int     `json:"pid"`
+			Tid  int     `json:"tid"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(data, &t); err != nil {
+		fatalf("%s: not valid JSON: %v", path, err)
+	}
+	if len(t.TraceEvents) == 0 {
+		fatalf("%s: trace has no events", path)
+	}
+	slices := 0
+	for i, e := range t.TraceEvents {
+		switch e.Ph {
+		case "X":
+			slices++
+			if e.Dur <= 0 {
+				fatalf("%s: event %d (%s) is a complete slice with non-positive duration", path, i, e.Name)
+			}
+		case "M":
+		default:
+			fatalf("%s: event %d (%s) has unexpected phase %q", path, i, e.Name, e.Ph)
+		}
+		if e.Name == "" {
+			fatalf("%s: event %d has no name", path, i)
+		}
+	}
+	if slices == 0 {
+		fatalf("%s: trace has metadata but no slices", path)
+	}
+	fmt.Printf("telcheck: trace %s: %d events (%d slices)\n", path, len(t.TraceEvents), slices)
+}
+
+// checkMetrics validates the Prometheus text exposition format 0.0.4
+// grammar: every sample line is `name{labels} value`, every family
+// seen in a sample has a preceding # TYPE line, and histogram families
+// carry _bucket/_sum/_count series.
+func checkMetrics(path string) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	typed := map[string]string{}
+	samples := 0
+	sampleRe := regexp.MustCompile(`^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[^}]*\})? (.+)$`)
+	for n, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "# TYPE ") {
+			f := strings.Fields(line)
+			if len(f) != 4 {
+				fatalf("%s:%d: malformed TYPE line %q", path, n+1, line)
+			}
+			switch f[3] {
+			case "counter", "gauge", "histogram", "summary", "untyped":
+			default:
+				fatalf("%s:%d: unknown metric type %q", path, n+1, f[3])
+			}
+			typed[f[2]] = f[3]
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		m := sampleRe.FindStringSubmatch(line)
+		if m == nil {
+			fatalf("%s:%d: malformed sample line %q", path, n+1, line)
+		}
+		if _, err := strconv.ParseFloat(m[3], 64); err != nil {
+			fatalf("%s:%d: sample value %q is not a number", path, n+1, m[3])
+		}
+		family := m[1]
+		for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+			if base := strings.TrimSuffix(family, suffix); base != family && typed[base] == "histogram" {
+				family = base
+				break
+			}
+		}
+		if typed[family] == "" {
+			fatalf("%s:%d: sample %q has no preceding # TYPE line", path, n+1, m[1])
+		}
+		samples++
+	}
+	if samples == 0 {
+		fatalf("%s: exposition has no samples", path)
+	}
+	fmt.Printf("telcheck: metrics %s: %d samples across %d families\n", path, samples, len(typed))
+}

@@ -22,6 +22,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
 	"runtime/pprof"
@@ -33,7 +34,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: table1, figure4, figure5, mix, ablations, all")
+	exp := flag.String("exp", "all", "experiment: table1, figure4, figure5, energy, mix, ablations, all")
 	warmup := flag.Uint64("warmup", 20_000, "warmup instructions per run")
 	measure := flag.Uint64("measure", 100_000, "measured instructions per run")
 	seed := flag.Int64("seed", 1, "allocation-policy seed")
@@ -41,6 +42,12 @@ func main() {
 	kernelCSV := flag.String("kernels", "", "comma-separated benchmark subset (default: all 12)")
 	parallel := flag.Int("parallel", 0, "simulation worker goroutines (0 = GOMAXPROCS, 1 = serial)")
 	stats := flag.Bool("stats", false, "append per-cell wall time and stall-stack columns to figure4")
+	telFlag := flag.Bool("telemetry", false, "count dynamic activity in every cell (adds the pJ/inst column to -stats tables)")
+	progress := flag.Bool("progress", false, "print one line per completed grid cell to stderr (cell, IPC, wall time, trace cache state)")
+	listen := flag.String("listen", "", "serve the live run endpoint (/metrics, /manifest, /debug/vars, /debug/pprof) on this address, e.g. :8080")
+	linger := flag.Duration("linger", 0, "keep the -listen endpoint alive this long after the experiments finish")
+	manifest := flag.String("manifest", "", "write the JSON run manifest (config digest, per-cell outcomes, counters) to this file")
+	hostTrace := flag.String("trace", "", "write a Chrome trace (Perfetto-loadable) of the worker pool to this file")
 	checkFlag := flag.Bool("check", false, "run the self-checking layer (co-simulation oracle, legality checks, structural audits) in every cell")
 	maxCycles := flag.Int64("max-cycles", 0, "fail any cell that reaches this many simulated cycles (0 = unbounded)")
 	resume := flag.String("resume", "", "checkpoint file: skip cells already recorded there and append newly finished ones")
@@ -66,6 +73,7 @@ func main() {
 		Seed:         *seed,
 		Parallelism:  *parallel,
 		Stats:        *stats,
+		Telemetry:    *telFlag || *exp == "energy",
 		Check:        *checkFlag,
 		MaxCycles:    *maxCycles,
 		Checkpoint:   *resume,
@@ -74,6 +82,32 @@ func main() {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "wsrsbench:", err)
 		os.Exit(2)
+	}
+
+	// The grid observer feeds the progress lines, the live endpoint,
+	// the manifest and the host trace; build it whenever any of those
+	// outputs is requested.
+	var gt *wsrs.GridTelemetry
+	if *progress || *listen != "" || *manifest != "" || *hostTrace != "" {
+		gt = wsrs.NewGridTelemetry()
+		gt.Label = *exp
+		gt.Meta = map[string]string{
+			"warmup":  fmt.Sprint(*warmup),
+			"measure": fmt.Sprint(*measure),
+			"seed":    fmt.Sprint(*seed),
+			"kernels": *kernelCSV,
+		}
+		if *progress {
+			gt.Progress = os.Stderr
+		}
+		opts.Observer = gt
+	}
+	if *listen != "" {
+		addr, err := startServer(*listen, gt)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "wsrsbench: serving live endpoint on http://%s\n", addr)
 	}
 
 	start := time.Now()
@@ -88,6 +122,8 @@ func main() {
 		}
 	case "figure5":
 		figure5(kernelList, opts)
+	case "energy":
+		energy(kernelList, opts)
 	case "mix":
 		mix()
 	case "ablations":
@@ -101,6 +137,8 @@ func main() {
 		fmt.Println()
 		figure5(kernelList, opts)
 		fmt.Println()
+		energy(kernelList, opts)
+		fmt.Println()
 		ablations(opts)
 	default:
 		fmt.Fprintf(os.Stderr, "wsrsbench: unknown experiment %q\n", *exp)
@@ -108,6 +146,19 @@ func main() {
 	}
 	fmt.Printf("\ntotal elapsed: %s; %s\n",
 		time.Since(start).Round(time.Millisecond), wsrs.TraceStats())
+
+	if gt != nil {
+		if *manifest != "" {
+			writeFile(*manifest, gt.WriteManifest)
+		}
+		if *hostTrace != "" {
+			writeFile(*hostTrace, gt.WriteHostTrace)
+		}
+	}
+	if *listen != "" && *linger > 0 {
+		fmt.Fprintf(os.Stderr, "wsrsbench: lingering %s for scrapes\n", *linger)
+		time.Sleep(*linger)
+	}
 
 	if *memprofile != "" {
 		f, err := os.Create(*memprofile)
@@ -209,6 +260,30 @@ func figure5(kernels []string, opts wsrs.SimOpts) {
 		fatal(err)
 	}
 	wsrs.RenderFigure5(os.Stdout, cells)
+}
+
+func energy(kernels []string, opts wsrs.SimOpts) {
+	cells, err := wsrs.RunEnergy(nil, kernels, opts)
+	if err != nil {
+		fatal(err)
+	}
+	wsrs.RenderEnergy(os.Stdout, cells)
+}
+
+// writeFile opens path and streams write into it, failing loudly —
+// a half-written manifest or trace is worse than none.
+func writeFile(path string, write func(io.Writer) error) {
+	f, err := os.Create(path)
+	if err != nil {
+		fatal(err)
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		fatal(err)
+	}
 }
 
 // grid fans a cell list through the worker pool and aborts on the

@@ -1,0 +1,60 @@
+package main
+
+import (
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+
+	"wsrs"
+)
+
+// startServer opens the live run endpoint on addr and serves:
+//
+//	/metrics      Prometheus text exposition of the grid telemetry
+//	/manifest     the JSON run manifest accumulated so far
+//	/debug/vars   expvar (includes wsrs_grid with the manifest summary)
+//	/debug/pprof  the standard Go profiling endpoints
+//
+// The server runs on a background goroutine for the life of the
+// process; the resolved listen address is returned so ":0" works in
+// tests and scripts.
+func startServer(addr string, gt *wsrs.GridTelemetry) (string, error) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if err := gt.Registry().WritePrometheus(w); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	mux.HandleFunc("/manifest", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		if err := gt.WriteManifest(w); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	expvar.Publish("wsrs_grid", expvar.Func(func() any { return gt.BuildManifest() }))
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		fmt.Fprintln(w, "wsrsbench live endpoint: /metrics /manifest /debug/vars /debug/pprof/")
+	})
+
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	srv := &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	go func() { _ = srv.Serve(ln) }()
+	return ln.Addr().String(), nil
+}

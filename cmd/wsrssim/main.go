@@ -49,8 +49,10 @@ func main() {
 	watchdog := flag.Int64("watchdog", 0, "forward-progress watchdog window in cycles (0 = default 200000)")
 	auditEvery := flag.Int64("audit-every", 0, "structural-audit cadence in cycles (0 = default 1024, negative disables)")
 	stats := flag.Bool("stats", false, "print the commit-slot stall stack, dispatch-stall refinement and occupancy histograms")
+	telemetry := flag.Bool("telemetry", false, "count dynamic activity (RF ports, wake-up broadcasts, bypass transfers) and print the per-event energy stack")
 	pipeview := flag.Bool("pipeview", false, "print a per-micro-op pipeline timeline (Konata-style text) of the measured window")
 	events := flag.String("events", "", "write per-micro-op lifecycle events as JSONL to this file")
+	traceOut := flag.String("trace", "", "write a Chrome trace (Perfetto-loadable) of the measured pipeline window to this file")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file")
 	list := flag.Bool("list", false, "list kernels, configurations and policies")
@@ -106,10 +108,11 @@ func main() {
 		}
 		opts.Inject = fault
 	}
+	opts.Telemetry = *telemetry
 	var prb *wsrs.Probe
-	if *stats || *pipeview || *events != "" {
+	if *stats || *pipeview || *events != "" || *traceOut != "" {
 		prb = wsrs.NewProbe(wsrs.ProbeOptions{
-			Events:    *pipeview || *events != "",
+			Events:    *pipeview || *events != "" || *traceOut != "",
 			Stalls:    true,
 			Occupancy: *stats,
 		})
@@ -157,9 +160,12 @@ func main() {
 	if *checkFlag {
 		fmt.Println("self-check            passed (oracle, legality checks, structural audits)")
 	}
+	if *telemetry {
+		printEnergy(conf, res)
+	}
 
 	if prb != nil {
-		report(prb, *stats, *pipeview, *events)
+		report(prb, *stats, *pipeview, *events, *traceOut)
 	}
 	if *memprofile != "" {
 		f, err := os.Create(*memprofile)
@@ -174,10 +180,41 @@ func main() {
 	}
 }
 
+// printEnergy renders the activity counts and the priced dynamic
+// energy stack of a telemetry-enabled run.
+func printEnergy(conf wsrs.ConfigName, r wsrs.Result) {
+	a := r.Activity
+	if a == nil {
+		return
+	}
+	fmt.Println()
+	fmt.Printf("activity (measured window)\n")
+	fmt.Printf("  RF reads / writes    %d / %d  (per subset: reads %v, writes %v)\n",
+		a.RegReadTotal(), a.RegWriteTotal(), a.RegReads, a.RegWrites)
+	fmt.Printf("  wake-up events       %d  (per domain: %v)\n", a.WakeupTotal(), a.Wakeup)
+	fmt.Printf("  bypass drives        %d  (per domain: %v)\n", a.BypassDriveTotal(), a.BypassDrives)
+	fmt.Printf("  bypass uses          %d  (local %d, cross %d)\n", a.BypassUseTotal(), a.BypassLocal, a.BypassCross)
+	fmt.Printf("  cross-cluster moves  %d\n", a.Moves)
+	fmt.Printf("  free-list stalls     %d slots\n", a.FreeListStallTotal())
+	m, err := wsrs.EnergyModelFor(conf)
+	if err != nil {
+		fmt.Printf("  (no energy model: %v)\n", err)
+		return
+	}
+	s := m.Stack(a, r.Insts)
+	fmt.Printf("energy stack (pJ/instruction, model)\n")
+	fmt.Printf("  RF read              %.2f\n", s.PJPerInst(s.RegReadNJ))
+	fmt.Printf("  RF write             %.2f\n", s.PJPerInst(s.RegWriteNJ))
+	fmt.Printf("  wake-up broadcast    %.2f\n", s.PJPerInst(s.WakeupNJ))
+	fmt.Printf("  bypass network       %.2f\n", s.PJPerInst(s.BypassNJ))
+	fmt.Printf("  move micro-ops       %.2f\n", s.PJPerInst(s.MoveNJ))
+	fmt.Printf("  total                %.2f\n", s.TotalPJPerInst())
+}
+
 // report renders the probe's observations after the summary: stall
 // tables on stdout, the pipeview timeline on stdout, and the JSONL
-// event dump to its file.
-func report(p *wsrs.Probe, stats, pipeview bool, events string) {
+// event dump and Chrome trace to their files.
+func report(p *wsrs.Probe, stats, pipeview bool, events, traceOut string) {
 	if stats {
 		fmt.Println()
 		p.Stall.Table("commit-slot stall stack").Render(os.Stdout)
@@ -215,6 +252,20 @@ func report(p *wsrs.Probe, stats, pipeview bool, events string) {
 			fatal(err)
 		}
 		fmt.Printf("wrote %d lifecycle events to %s\n", len(p.Events), events)
+	}
+	if traceOut != "" {
+		f, err := os.Create(traceOut)
+		if err != nil {
+			fatal(err)
+		}
+		evs := wsrs.PipelineTrace(p.Events)
+		if err := wsrs.WriteTrace(f, evs); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %d trace events to %s (load in Perfetto / chrome://tracing)\n", len(evs), traceOut)
 	}
 }
 

@@ -118,13 +118,21 @@ func RenderFigure4(w io.Writer, cells []Figure4Cell) {
 func RenderFigure4Stats(w io.Writer, cells []Figure4Cell) {
 	t := report.NewTable("Figure 4 — wall time and commit-slot breakdown (% of slots)",
 		"benchmark", "config", "IPC", "wall ms",
-		"commit", "mispred", "memory", "exec", "issue", "rename", "front")
+		"commit", "mispred", "memory", "exec", "issue", "rename", "front", "pJ/inst")
 	for _, c := range cells {
+		// The energy column fills only for cells run with telemetry on
+		// (SimOpts.Telemetry); others render a dash.
+		energy := "-"
+		if a := c.Result.Activity; a != nil && c.Result.Insts > 0 {
+			if m, err := EnergyModelFor(c.Config); err == nil {
+				energy = fmt.Sprintf("%.1f", m.Stack(a, c.Result.Insts).TotalPJPerInst())
+			}
+		}
 		s := c.Result.Stalls
 		wall := fmt.Sprintf("%.1f", float64(c.Wall.Microseconds())/1000)
 		if s == nil || s.TotalSlots() == 0 {
 			t.AddRow(c.Kernel, string(c.Config), c.Result.IPC, wall,
-				"-", "-", "-", "-", "-", "-", "-")
+				"-", "-", "-", "-", "-", "-", "-", energy)
 			continue
 		}
 		pct := func(f float64) string { return fmt.Sprintf("%.1f", 100*f) }
@@ -135,7 +143,7 @@ func RenderFigure4Stats(w io.Writer, cells []Figure4Cell) {
 			pct(s.Share(probe.CauseExecDep, probe.CauseExecLat, probe.CauseXClusterForward)),
 			pct(s.Share(probe.CauseIssueWait)),
 			pct(s.Share(probe.CauseFreeList)),
-			pct(s.Share(probe.CauseFrontend, probe.CauseDrain)))
+			pct(s.Share(probe.CauseFrontend, probe.CauseDrain)), energy)
 	}
 	t.Render(w)
 }

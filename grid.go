@@ -79,6 +79,22 @@ type GridResult struct {
 	// Resumed marks a cell whose result was restored from the
 	// SimOpts.Checkpoint file instead of being simulated.
 	Resumed bool
+	// Worker is the index of the pool worker that ran the cell
+	// (0..parallelism-1); 0 in a serial grid. It keys the host-side
+	// Chrome trace tracks.
+	Worker int
+}
+
+// GridObserver receives RunGrid progress callbacks. Both methods are
+// called from worker goroutines — implementations must be safe for
+// concurrent use — and must be cheap and read-only: observers see
+// results, they never influence scheduling or outcomes. Resumed cells
+// (checkpoint hits) report both callbacks too, with Resumed set.
+type GridObserver interface {
+	// CellStarted fires when worker begins simulating cell i.
+	CellStarted(i int, cell GridCell, worker int)
+	// CellFinished fires when cell i's outcome is known.
+	CellFinished(i int, res GridResult)
 }
 
 // CellPanicError wraps a panic that escaped one grid cell's
@@ -203,37 +219,47 @@ func RunGrid(cells []GridCell, opts SimOpts, parallelism int) ([]GridResult, err
 		parallelism = len(cells)
 	}
 	out := make([]GridResult, len(cells))
-	work := func(i int) {
+	obs := opts.Observer
+	work := func(i, worker int) {
+		if obs != nil {
+			obs.CellStarted(i, cells[i], worker)
+		}
 		key := ""
 		if ckpt != nil {
 			key = cellKey(i, cells[i], opts)
 			if res, ok := ckpt.lookup(key); ok {
-				out[i] = GridResult{Cell: cells[i], Result: res, Resumed: true}
+				out[i] = GridResult{Cell: cells[i], Result: res, Resumed: true, Worker: worker}
+				if obs != nil {
+					obs.CellFinished(i, out[i])
+				}
 				return
 			}
 		}
 		start := time.Now()
 		res, err := runCellSafe(cells[i], opts)
-		out[i] = GridResult{Cell: cells[i], Result: res, Err: err, Wall: time.Since(start)}
+		out[i] = GridResult{Cell: cells[i], Result: res, Err: err, Wall: time.Since(start), Worker: worker}
 		if ckpt != nil && err == nil {
 			ckpt.record(key, res)
+		}
+		if obs != nil {
+			obs.CellFinished(i, out[i])
 		}
 	}
 	if parallelism <= 1 {
 		for i := range cells {
-			work(i)
+			work(i, 0)
 		}
 	} else {
 		idx := make(chan int)
 		var wg sync.WaitGroup
 		for w := 0; w < parallelism; w++ {
 			wg.Add(1)
-			go func() {
+			go func(worker int) {
 				defer wg.Done()
 				for i := range idx {
-					work(i)
+					work(i, worker)
 				}
-			}()
+			}(w)
 		}
 		for i := range cells {
 			idx <- i

@@ -1,0 +1,19 @@
+package bypass
+
+import "testing"
+
+var benchSink float64
+
+// BenchmarkCoreBypassArbitration measures evaluating one bypass
+// point's mux-tree delay plus pricing one value drive across a
+// cluster's operand entries — the per-event cost behind the telemetry
+// energy stack's bypass row.
+func BenchmarkCoreBypassArbitration(b *testing.B) {
+	p := Point{Name: "WSRS 8-way", Sources: Sources(2, 6), Entries: 4}
+	b.ReportAllocs()
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		sink += p.DelayRel() + DriveEnergyNJ(p.Entries)
+	}
+	benchSink = sink
+}

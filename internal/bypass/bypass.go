@@ -69,6 +69,21 @@ func (p Point) EnergyRel() float64 {
 	return float64(p.Sources*p.Entries) / float64(16*16)
 }
 
+// eSourceWireNJ is the energy of toggling one result bus across one
+// bypass point's input mux: ~50 fJ at 0.09 µm (longer wires than a
+// wake-up comparator, no sense amp), so driving a result into one
+// cluster's operand entries costs a fraction of a pJ.
+const eSourceWireNJ = 5.0e-5
+
+// DriveEnergyNJ returns the energy of driving one result into the
+// bypass points of a cluster with the given number of operand entries
+// — the per-event cost the dynamic energy telemetry charges for each
+// bypass-network drive. Entries is per cluster (2 operand entries x
+// issue width), not the machine total.
+func DriveEnergyNJ(entries int) float64 {
+	return eSourceWireNJ * float64(entries)
+}
+
 // String renders the point summary.
 func (p Point) String() string {
 	return fmt.Sprintf("%-20s %3d sources, %d mux levels, delay %.2fx, %5d muxes, energy %.2fx",

@@ -87,6 +87,21 @@ func portEnergyNJ(t Tech, b Bank) float64 {
 	return (eBase + eBit*b.BitlineLen() + eWord*b.WordlineLen()) * scale * scale
 }
 
+// ReadAccessEnergyNJ returns the energy of one read-port access of the
+// bank — the per-event cost the dynamic energy telemetry charges for
+// each register-file read the timing model observes.
+func ReadAccessEnergyNJ(t Tech, b Bank) float64 {
+	return portEnergyNJ(t, b)
+}
+
+// WriteAccessEnergyNJ returns the energy of one write-port access of
+// one copy of the bank (writes skip sense amplification; the
+// calibrated ratio is wScale). Replicated organizations multiply by
+// their copy count, since every write is broadcast to all copies.
+func WriteAccessEnergyNJ(t Tech, b Bank) float64 {
+	return wScale * portEnergyNJ(t, b)
+}
+
 // EnergyPerCycleNJ returns the peak energy per cycle of a register
 // file built from this bank, given the machine-level port activity:
 // reads per cycle (across all banks) and writes per cycle, where every

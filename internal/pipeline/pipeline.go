@@ -29,6 +29,7 @@ import (
 	"wsrs/internal/metrics"
 	"wsrs/internal/probe"
 	"wsrs/internal/rename"
+	"wsrs/internal/telemetry"
 	"wsrs/internal/trace"
 )
 
@@ -196,6 +197,16 @@ type RunOpts struct {
 	// not be shared between concurrent runs.
 	Probe *probe.Probe
 
+	// Activity is the optional dynamic activity-counter block (nil
+	// disables it, same discipline as Probe): the engine counts
+	// register-file port accesses per subset, monitored wake-up
+	// broadcasts and bypass drives per cluster, bypass consumptions,
+	// injected moves, renames and free-list pressure into it. Counters
+	// are reset at the warmup boundary so they cover the measured
+	// slice. Counting is read-only observation: an instrumented run is
+	// cycle-identical to a plain one.
+	Activity *telemetry.Activity
+
 	// Check attaches the self-checking layer (nil disables it): the
 	// co-simulation oracle and per-commit legality checks run at
 	// every retirement, the structural audits at the checker's
@@ -255,6 +266,11 @@ type Result struct {
 	// (== Uops) plus the attributed bubbles equal Cycles x
 	// CommitWidth.
 	Stalls *probe.StallStack
+
+	// Activity echoes RunOpts.Activity when telemetry was enabled
+	// (nil otherwise): the measured slice's dynamic event counts,
+	// ready to be priced by a telemetry.EnergyModel.
+	Activity *telemetry.Activity
 }
 
 type regInfo struct {
@@ -357,6 +373,14 @@ type engine struct {
 	stOn  bool
 	occOn bool
 
+	// act is the optional activity-counter block (nil = telemetry
+	// off); actOn caches the switch. monitors is the broadcast
+	// visibility table [subset][cluster] -> monitored operand sides,
+	// built once at engine setup when telemetry is on.
+	act      *telemetry.Activity
+	actOn    bool
+	monitors [][]uint8
+
 	insts, uops     uint64
 	condBr, mispred uint64
 	traps           uint64
@@ -427,6 +451,11 @@ func RunSMT(cfg Config, pol alloc.Policy, srcs []trace.Reader, opts RunOpts) (Re
 		e.stOn = p.Opt.Stalls
 		e.occOn = p.Opt.Occupancy
 		p.Stall.Width = cfg.CommitWidth
+	}
+	if a := opts.Activity; a != nil {
+		e.act = a
+		e.actOn = true
+		e.monitors = telemetry.MonitorCounts(cfg.Rename.NumSubsets, cfg.NumClusters, cfg.WSRS)
 	}
 	for tid, src := range srcs {
 		_ = tid
@@ -509,6 +538,10 @@ func (e *engine) run(opts RunOpts) (Result, error) {
 				// its attribution is dropped with the warmup's.
 				e.prb.Reset()
 			}
+			if e.actOn {
+				// Same boundary discipline as the probe.
+				e.act.Reset()
+			}
 		}
 		e.issue()
 		e.dispatch()
@@ -575,6 +608,9 @@ func (e *engine) run(opts RunOpts) (Result, error) {
 	if e.stOn {
 		s := e.prb.Stall
 		res.Stalls = &s
+	}
+	if e.actOn {
+		res.Activity = e.act
 	}
 	return res, nil
 }
@@ -884,6 +920,9 @@ func (e *engine) dispatch() {
 				if e.stOn {
 					e.prb.Disp.AddFreeList(subset, e.cfg.FetchWidth-slot)
 				}
+				if e.actOn {
+					e.act.AddFreeListStall(subset, uint64(e.cfg.FetchWidth-slot))
+				}
 				return
 			}
 			var ok bool
@@ -893,7 +932,13 @@ func (e *engine) dispatch() {
 				if e.stOn {
 					e.prb.Disp.AddFreeList(subset, e.cfg.FetchWidth-slot)
 				}
+				if e.actOn {
+					e.act.AddFreeListStall(subset, uint64(e.cfg.FetchWidth-slot))
+				}
 				return
+			}
+			if e.actOn {
+				e.act.AddRename(subset)
 			}
 		}
 
@@ -1025,6 +1070,9 @@ func (e *engine) injectMove(c isa.RegClass, subset int) bool {
 	})
 	if ok {
 		e.moves++
+		if e.actOn {
+			e.act.AddMove()
+		}
 		// The move changed operand subsets; allocation decisions taken
 		// against the old map are stale (a WSRS placement may now be
 		// read-illegal). Drop them so fetchNext re-allocates.
@@ -1082,6 +1130,11 @@ func (e *engine) canIssue(ent *robEntry, c int) bool {
 }
 
 func (e *engine) doIssue(idx int, ent *robEntry, c int) {
+	if e.actOn {
+		// Count before any state changes: the source regInfo entries
+		// still describe this µop's operands as it sees them.
+		e.countIssueActivity(ent, c)
+	}
 	lat := e.cfg.Lat.Of(ent.m.Class)
 	e.sb[c].Issue(e.cycle, ent.m.Class, lat)
 	if e.cfg.SharedDividers && ent.m.Class == isa.ClassDiv {
@@ -1124,6 +1177,46 @@ func (e *engine) doIssue(idx int, ent *robEntry, c int) {
 		t.fetchResumeAt = done + int64(e.cfg.MispredictPenalty)
 		t.pendingRedirect = -1
 		t.resumeTrap = false
+	}
+}
+
+// countIssueActivity records this µop's dynamic events into the
+// activity block — the measured form of the paper's Table 1 prices.
+// Each source operand either arrives off the forwarding network this
+// very cycle (a bypass catch: no register-file access) or is read
+// through a read port of its subset. A produced result costs one
+// replicated write on its subset plus one wake-up comparison and one
+// bypass drive per operand side that monitors the subset (all 2 x
+// NumClusters sides without read specialization, half of them with
+// it). Pure observation — no simulation state is mutated.
+func (e *engine) countIssueActivity(ent *robEntry, c int) {
+	for i := 0; i < ent.m.NSrc; i++ {
+		cl := ent.m.Src[i].Class
+		ri := e.readyInfo(cl, ent.srcPhys[i])
+		if ri.producer >= 0 && e.availAt(cl, ent.srcPhys[i], c) == e.cycle {
+			// The value lands at this cluster exactly now: caught off
+			// the bypass network, no port access.
+			if int(ri.producer) == c {
+				e.act.AddBypassLocal()
+			} else {
+				e.act.AddBypassCross()
+			}
+			continue
+		}
+		e.act.AddRegRead(e.ren.SubsetOf(cl, ent.srcPhys[i]))
+	}
+	if ent.m.HasDst {
+		s := 0
+		if e.cfg.Rename.NumSubsets > 1 {
+			s = c
+		}
+		e.act.AddRegWrite(s)
+		for c2 := 0; c2 < e.cfg.NumClusters; c2++ {
+			if n := uint64(e.monitors[s][c2]); n > 0 {
+				e.act.AddWakeup(c2, n)
+				e.act.AddBypassDrive(c2, n)
+			}
+		}
 	}
 }
 

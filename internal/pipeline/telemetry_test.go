@@ -1,0 +1,170 @@
+package pipeline
+
+import (
+	"reflect"
+	"testing"
+
+	"wsrs/internal/alloc"
+	"wsrs/internal/telemetry"
+	"wsrs/internal/trace"
+)
+
+// TestTelemetryRunIsCycleIdentical is the neutrality guarantee: the
+// activity counters are pure observation, so a telemetry-enabled run
+// must produce the exact Result of a plain run (mirroring the checked
+// run neutrality test in check_test.go).
+func TestTelemetryRunIsCycleIdentical(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		cfg  Config
+		pol  func() alloc.Policy
+	}{
+		{"conv", conv(), func() alloc.Policy { return alloc.NewRoundRobin(4) }},
+		{"wsrs", wsrs512(), func() alloc.Policy { return alloc.NewRC(7) }},
+	} {
+		ops := synthOps(13, 25000)
+		plain, err := Run(tc.cfg, tc.pol(), trace.NewSliceReader(ops),
+			RunOpts{WarmupInsts: 2000, MeasureInsts: 20000})
+		if err != nil {
+			t.Fatalf("%s plain: %v", tc.name, err)
+		}
+		act := telemetry.NewActivity()
+		// Fresh policy instance: stateful policies must see the same
+		// decision sequence.
+		metered, err := Run(tc.cfg, tc.pol(), trace.NewSliceReader(ops),
+			RunOpts{WarmupInsts: 2000, MeasureInsts: 20000, Activity: act})
+		if err != nil {
+			t.Fatalf("%s metered: %v", tc.name, err)
+		}
+		if metered.Activity != act {
+			t.Fatalf("%s: Result.Activity not echoed", tc.name)
+		}
+		metered.Activity = nil
+		if !reflect.DeepEqual(plain, metered) {
+			t.Errorf("%s: telemetry-enabled run diverges from plain:\nplain   %+v\nmetered %+v",
+				tc.name, plain, metered)
+		}
+		if act.RegWriteTotal() == 0 || act.WakeupTotal() == 0 {
+			t.Errorf("%s: activity counters stayed empty", tc.name)
+		}
+	}
+}
+
+// TestActivityConservation pins the structural identities between the
+// activity counters and the run's own statistics.
+func TestActivityConservation(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		cfg  Config
+		pol  alloc.Policy
+	}{
+		{"conv", conv(), alloc.NewRoundRobin(4)},
+		{"wsrs", wsrs512(), alloc.NewRC(7)},
+	} {
+		ops := synthOps(17, 30000)
+		act := telemetry.NewActivity()
+		res, err := Run(tc.cfg, tc.pol, trace.NewSliceReader(ops),
+			RunOpts{WarmupInsts: 2000, MeasureInsts: 20000, Activity: act})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Every result broadcast is monitored by sides-per-broadcast
+		// operand sides, identically for wake-up and bypass drives.
+		if act.WakeupTotal() != act.BypassDriveTotal() {
+			t.Errorf("%s: wakeup %d != bypass drives %d (same broadcasts)",
+				tc.name, act.WakeupTotal(), act.BypassDriveTotal())
+		}
+		sides := uint64(2 * tc.cfg.NumClusters)
+		if tc.cfg.WSRS {
+			sides = uint64(tc.cfg.NumClusters)
+		}
+		if act.RegWriteTotal() == 0 {
+			t.Fatalf("%s: no writes counted", tc.name)
+		}
+		if got := act.WakeupTotal(); got != sides*act.RegWriteTotal() {
+			t.Errorf("%s: wakeup events %d != %d sides x %d writes",
+				tc.name, got, sides, act.RegWriteTotal())
+		}
+		// Sources either read the register file or catch the bypass;
+		// the split must not exceed two operands per µop.
+		srcEvents := act.RegReadTotal() + act.BypassUseTotal()
+		if srcEvents > 2*res.Uops {
+			t.Errorf("%s: %d source events for %d uops", tc.name, srcEvents, res.Uops)
+		}
+		if act.RegReadTotal() == 0 || act.BypassUseTotal() == 0 {
+			t.Errorf("%s: degenerate source split: reads %d, bypass %d",
+				tc.name, act.RegReadTotal(), act.BypassUseTotal())
+		}
+		if res.InjectedMoves != act.Moves {
+			t.Errorf("%s: moves %d != activity moves %d", tc.name, res.InjectedMoves, act.Moves)
+		}
+		// Writes land only in valid subsets.
+		for s := tc.cfg.Rename.NumSubsets; s < telemetry.MaxDomains; s++ {
+			if act.RegWrites[s] != 0 {
+				t.Errorf("%s: write counted in invalid subset %d", tc.name, s)
+			}
+		}
+	}
+}
+
+// TestWSRSHalvesWakeupAndBypass is the acceptance criterion of the
+// telemetry layer: on the same kernel, the 4-cluster WSRS machine's
+// wake-up and bypass event counts are about half the conventional
+// machine's — the paper's §4.3 claim observed dynamically rather than
+// asserted structurally.
+func TestWSRSHalvesWakeupAndBypass(t *testing.T) {
+	ops := synthOps(23, 40000)
+	opts := RunOpts{WarmupInsts: 2000, MeasureInsts: 30000}
+
+	actConv := telemetry.NewActivity()
+	o := opts
+	o.Activity = actConv
+	if _, err := Run(conv(), alloc.NewRoundRobin(4), trace.NewSliceReader(ops), o); err != nil {
+		t.Fatal(err)
+	}
+	actWSRS := telemetry.NewActivity()
+	o = opts
+	o.Activity = actWSRS
+	if _, err := Run(wsrs512(), alloc.NewRC(7), trace.NewSliceReader(ops), o); err != nil {
+		t.Fatal(err)
+	}
+
+	for _, m := range []struct {
+		name       string
+		conv, wsrs uint64
+	}{
+		{"wakeup", actConv.WakeupTotal(), actWSRS.WakeupTotal()},
+		{"bypass", actConv.BypassDriveTotal(), actWSRS.BypassDriveTotal()},
+	} {
+		ratio := float64(m.wsrs) / float64(m.conv)
+		if ratio < 0.45 || ratio > 0.55 {
+			t.Errorf("%s: WSRS/conventional event ratio = %.3f, want ~0.5 (%d vs %d)",
+				m.name, ratio, m.wsrs, m.conv)
+		}
+	}
+}
+
+// BenchmarkCoreTelemetryOverhead measures the hot-loop cost of the
+// activity counters against the plain run (compare CorePipelinePlain
+// vs CorePipelineMetered).
+func BenchmarkCorePipelinePlain(b *testing.B) {
+	ops := synthOps(5, 20000)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(wsrs512(), alloc.NewRC(7), trace.NewSliceReader(ops), RunOpts{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCorePipelineMetered(b *testing.B) {
+	ops := synthOps(5, 20000)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		act := telemetry.NewActivity()
+		if _, err := Run(wsrs512(), alloc.NewRC(7), trace.NewSliceReader(ops),
+			RunOpts{Activity: act}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

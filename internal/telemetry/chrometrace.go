@@ -1,0 +1,94 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"wsrs/internal/probe"
+)
+
+// TraceEvent is one Chrome trace-event ("Trace Event Format") record.
+// Files written by WriteTrace load directly into Perfetto or
+// chrome://tracing. Ts and Dur are in microseconds by convention; the
+// simulator maps one cycle to one microsecond so the timeline reads in
+// cycles.
+type TraceEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"`
+	Dur  float64        `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// CompleteEvent builds a "X" (complete) slice.
+func CompleteEvent(name, cat string, ts, dur float64, pid, tid int) TraceEvent {
+	if dur <= 0 {
+		dur = 1
+	}
+	return TraceEvent{Name: name, Cat: cat, Ph: "X", Ts: ts, Dur: dur, Pid: pid, Tid: tid}
+}
+
+// MetadataEvent builds an "M" record naming a process or thread
+// (name is "process_name" or "thread_name", value the label).
+func MetadataEvent(name, value string, pid, tid int) TraceEvent {
+	return TraceEvent{
+		Name: name, Ph: "M", Pid: pid, Tid: tid,
+		Args: map[string]any{"name": value},
+	}
+}
+
+// WriteTrace writes the events as a Chrome trace JSON object
+// ({"traceEvents": [...]}) — the framing both Perfetto and
+// chrome://tracing accept.
+func WriteTrace(w io.Writer, events []TraceEvent) error {
+	enc := json.NewEncoder(w)
+	return enc.Encode(struct {
+		TraceEvents []TraceEvent `json:"traceEvents"`
+		DisplayUnit string       `json:"displayTimeUnit"`
+	}{TraceEvents: events, DisplayUnit: "ns"})
+}
+
+// PipelineTrace converts the probe's committed µop lifecycle records
+// into trace slices: one track (tid) per cluster within one process
+// (pid) per hardware thread, one "X" slice per µop spanning dispatch
+// to commit, with the issue/done stamps and the destination subset in
+// the slice args. Load the result in Perfetto to see cluster load
+// balance and issue bubbles cycle by cycle.
+func PipelineTrace(recs []probe.UopRecord) []TraceEvent {
+	events := make([]TraceEvent, 0, len(recs)+8)
+	seenPid := map[int]bool{}
+	seenTid := map[[2]int]bool{}
+	for i := range recs {
+		r := &recs[i]
+		pid := r.Tid + 1 // Perfetto hides pid 0
+		tid := r.Cluster + 1
+		if !seenPid[pid] {
+			seenPid[pid] = true
+			events = append(events, MetadataEvent("process_name", fmt.Sprintf("hw thread %d", r.Tid), pid, 0))
+		}
+		if k := [2]int{pid, tid}; !seenTid[k] {
+			seenTid[k] = true
+			events = append(events, MetadataEvent("thread_name", fmt.Sprintf("cluster %d", r.Cluster), pid, tid))
+		}
+		ev := CompleteEvent(r.Op.String(), "uop",
+			float64(r.Dispatch), float64(r.Commit-r.Dispatch), pid, tid)
+		ev.Args = map[string]any{
+			"seq":      r.Seq,
+			"pc":       fmt.Sprintf("%#x", r.PC),
+			"subset":   r.Subset,
+			"dispatch": r.Dispatch,
+			"issue":    r.Issue,
+			"done":     r.Done,
+			"commit":   r.Commit,
+		}
+		if r.Mispredict {
+			ev.Args["mispredict"] = true
+		}
+		events = append(events, ev)
+	}
+	return events
+}

@@ -1,0 +1,117 @@
+package telemetry
+
+import (
+	"wsrs/internal/bypass"
+	"wsrs/internal/cacti"
+	"wsrs/internal/regfile"
+	"wsrs/internal/wakeup"
+)
+
+// EnergyModel holds the per-event energy costs of one machine
+// organization — the Table 1 unit prices that, multiplied by an
+// Activity block's measured event counts, yield the dynamic energy
+// stack ("Table 1 in motion").
+type EnergyModel struct {
+	Name string
+
+	// ReadNJ is the energy of one register-file read-port access.
+	ReadNJ float64
+	// WriteNJ is the energy of one architectural write, including the
+	// replication into every register copy of the organization.
+	WriteNJ float64
+	// WakeupNJ is the energy of one tag broadcast reaching one operand
+	// side of one cluster's scheduler window.
+	WakeupNJ float64
+	// BypassNJ is the energy of driving one result into one cluster's
+	// bypass points.
+	BypassNJ float64
+	// MoveNJ is the energy of one injected cross-cluster move µop
+	// (§2.3 workaround (b)): a read plus a replicated write.
+	MoveNJ float64
+}
+
+// ModelFromOrganization derives the per-event costs from a Table 1
+// register-file organization: register-file port energies from the
+// CACTI-style bank model (read specialization shortens the bank, so
+// WSRS reads are cheaper per event, not just fewer), wake-up cost from
+// the scheduler window size, bypass cost from the per-cluster operand
+// entry count.
+func ModelFromOrganization(t cacti.Tech, org regfile.Organization, windowEntries, entriesPerCluster int) EnergyModel {
+	b := cacti.Bank{
+		Regs:       org.BankRegs,
+		Bits:       org.Bits,
+		ReadPorts:  org.ReadPorts,
+		WritePorts: org.WritePorts,
+	}
+	read := cacti.ReadAccessEnergyNJ(t, b)
+	write := cacti.WriteAccessEnergyNJ(t, b) * float64(org.Copies)
+	return EnergyModel{
+		Name:     org.Name,
+		ReadNJ:   read,
+		WriteNJ:  write,
+		WakeupNJ: wakeup.BroadcastEnergyNJ(windowEntries),
+		BypassNJ: bypass.DriveEnergyNJ(entriesPerCluster),
+		MoveNJ:   read + write,
+	}
+}
+
+// EnergyStack is the dynamic energy decomposition of one measured run:
+// event counts from the Activity block priced by an EnergyModel. All
+// energies are in nJ over the measured slice; use PJPerInst for the
+// normalized stack.
+type EnergyStack struct {
+	Model string
+	Insts uint64
+
+	RegReads     uint64
+	RegWrites    uint64
+	WakeupEvents uint64
+	BypassEvents uint64
+	BypassUses   uint64
+	Moves        uint64
+
+	RegReadNJ  float64
+	RegWriteNJ float64
+	WakeupNJ   float64
+	BypassNJ   float64
+	MoveNJ     float64
+}
+
+// Stack prices the activity block's counts over insts committed
+// instructions.
+func (m EnergyModel) Stack(a *Activity, insts uint64) EnergyStack {
+	s := EnergyStack{
+		Model:        m.Name,
+		Insts:        insts,
+		RegReads:     a.RegReadTotal(),
+		RegWrites:    a.RegWriteTotal(),
+		WakeupEvents: a.WakeupTotal(),
+		BypassEvents: a.BypassDriveTotal(),
+		BypassUses:   a.BypassUseTotal(),
+		Moves:        a.Moves,
+	}
+	s.RegReadNJ = float64(s.RegReads) * m.ReadNJ
+	s.RegWriteNJ = float64(s.RegWrites) * m.WriteNJ
+	s.WakeupNJ = float64(s.WakeupEvents) * m.WakeupNJ
+	s.BypassNJ = float64(s.BypassEvents) * m.BypassNJ
+	s.MoveNJ = float64(s.Moves) * m.MoveNJ
+	return s
+}
+
+// TotalNJ sums the component energies.
+func (s EnergyStack) TotalNJ() float64 {
+	return s.RegReadNJ + s.RegWriteNJ + s.WakeupNJ + s.BypassNJ + s.MoveNJ
+}
+
+// PJPerInst normalizes a component energy (nJ) to pJ per committed
+// instruction (0 when the run measured nothing).
+func (s EnergyStack) PJPerInst(nj float64) float64 {
+	if s.Insts == 0 {
+		return 0
+	}
+	return nj * 1000 / float64(s.Insts)
+}
+
+// TotalPJPerInst is the headline number: total dynamic energy in pJ
+// per committed instruction.
+func (s EnergyStack) TotalPJPerInst() float64 { return s.PJPerInst(s.TotalNJ()) }

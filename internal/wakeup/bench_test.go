@@ -1,0 +1,17 @@
+package wakeup
+
+import "testing"
+
+var benchSink float64
+
+// BenchmarkCoreWakeupBroadcast measures pricing one tag broadcast
+// against a 56-entry window plus the relative-delay evaluation — the
+// per-event cost behind the telemetry energy stack's wake-up row.
+func BenchmarkCoreWakeupBroadcast(b *testing.B) {
+	b.ReportAllocs()
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		sink += BroadcastEnergyNJ(56) + DelayRel(6, 56)
+	}
+	benchSink = sink
+}

@@ -66,6 +66,23 @@ func EnergyRel(sourcesPerOperand, windowEntries int) float64 {
 		float64(TotalComparators(4, refEntries))
 }
 
+// eComparatorNJ is the energy of driving one CAM comparator with one
+// broadcast tag: ~20 fJ at 0.09 µm, sized so a 56-entry window costs
+// about 1 pJ per monitored broadcast side — the same order as one
+// register-file port access of Table 1, matching the paper's framing
+// of wake-up as a first-class energy consumer.
+const eComparatorNJ = 2.0e-5
+
+// BroadcastEnergyNJ returns the energy of one tag broadcast reaching
+// one operand side of one scheduler window: the tag is compared
+// against that side's comparator in every window entry. The dynamic
+// energy telemetry charges this per monitored-broadcast event, so a
+// machine whose broadcasts reach half the operand sides (WSRS) pays
+// half the wake-up energy at equal result throughput.
+func BroadcastEnergyNJ(windowEntries int) float64 {
+	return eComparatorNJ * float64(windowEntries)
+}
+
 // Design summarizes one machine's wake-up design point.
 type Design struct {
 	Name              string

@@ -40,6 +40,7 @@ import (
 	"wsrs/internal/pipeline"
 	"wsrs/internal/probe"
 	"wsrs/internal/rename"
+	"wsrs/internal/telemetry"
 	"wsrs/internal/trace"
 )
 
@@ -234,6 +235,19 @@ type SimOpts struct {
 	// the result travels in Result.Stalls. Safe at any parallelism.
 	Stats bool
 
+	// Telemetry gives every run (grid cell or single RunKernel) its
+	// own private dynamic activity-counter block; the counts travel in
+	// Result.Activity, ready for EnergyModelFor pricing. Counting is
+	// pure observation: a telemetry-enabled run is cycle-identical to
+	// a plain one. Safe at any parallelism.
+	Telemetry bool
+
+	// Observer receives RunGrid progress callbacks (cell started /
+	// finished) from the worker goroutines; nil disables them.
+	// GridTelemetry is the batteries-included implementation
+	// (progress lines, Prometheus metrics, run manifest, host trace).
+	Observer GridObserver
+
 	// Check enables the self-checking layer: a co-simulation oracle (a
 	// fresh functional reference diffed against every retired µop),
 	// per-commit write/read-specialization legality checks, and
@@ -301,6 +315,11 @@ func (o SimOpts) runOpts() pipeline.RunOpts {
 		StallLimit:   o.Watchdog,
 		MaxCycles:    o.MaxCycles,
 	}
+	if o.Telemetry {
+		// A fresh private block per run, so grids stay safe at any
+		// parallelism; it travels out in Result.Activity.
+		ro.Activity = telemetry.NewActivity()
+	}
 	if o.CellTimeout > 0 {
 		ro.Deadline = time.Now().Add(o.CellTimeout)
 	}
@@ -361,6 +380,29 @@ func NewProbe(o ProbeOptions) *Probe { return probe.New(o) }
 
 // UopRecord is one recorded µop lifecycle (re-exported).
 type UopRecord = probe.UopRecord
+
+// Activity, EnergyModel, EnergyStack, Registry and TraceEvent
+// re-export the dynamic telemetry layer (internal/telemetry): the
+// per-run activity-counter block, the per-event energy prices and the
+// priced energy stack, the Prometheus-exposable metric registry, and
+// Chrome trace-event records.
+type (
+	Activity    = telemetry.Activity
+	EnergyModel = telemetry.EnergyModel
+	EnergyStack = telemetry.EnergyStack
+	Registry    = telemetry.Registry
+	TraceEvent  = telemetry.TraceEvent
+)
+
+// NewRegistry builds an empty metric registry (see Registry).
+func NewRegistry() *Registry { return telemetry.NewRegistry() }
+
+// WriteTrace writes Chrome trace-event JSON loadable in Perfetto.
+func WriteTrace(w io.Writer, events []TraceEvent) error { return telemetry.WriteTrace(w, events) }
+
+// PipelineTrace converts probed µop lifecycle records into Chrome
+// trace slices (one track per cluster, one process per SMT context).
+func PipelineTrace(recs []UopRecord) []TraceEvent { return telemetry.PipelineTrace(recs) }
 
 // WriteJSONL exports lifecycle records as one JSON object per line.
 func WriteJSONL(w io.Writer, recs []UopRecord) error { return probe.WriteJSONL(w, recs) }
