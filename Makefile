@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test race bench golden
+.PHONY: build test race bench bench-serve golden
 
 build:
 	$(GO) build ./...
@@ -11,7 +11,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race . ./internal/trace ./internal/tracecache ./internal/pipeline ./internal/telemetry
+	$(GO) test -race . ./internal/trace ./internal/tracecache ./internal/pipeline ./internal/telemetry ./internal/serve
 
 # bench reruns the BenchmarkCore* hot-path microbenchmarks (rename map
 # lookup, wake-up broadcast pricing, bypass arbitration, counter
@@ -23,6 +23,25 @@ bench:
 		./internal/telemetry ./internal/pipeline \
 		| $(GO) run ./cmd/benchjson > BENCH_core.json
 	@echo wrote BENCH_core.json
+
+# bench-serve load-tests the serving layer: a local wsrsd daemon, a
+# wsrsload closed-loop concurrency ramp with a 50% duplicate mix
+# (exercising the content-addressed cache and request coalescing), and
+# the p50/p95/p99 + throughput report committed at the repository root
+# alongside BENCH_core.json.
+bench-serve:
+	$(GO) build -o /tmp/wsrsd ./cmd/wsrsd
+	$(GO) build -o /tmp/wsrsload ./cmd/wsrsload
+	/tmp/wsrsd -listen 127.0.0.1:18980 & \
+	WSRSD_PID=$$!; \
+	for i in $$(seq 1 50); do \
+		curl -sf http://127.0.0.1:18980/healthz >/dev/null 2>&1 && break; sleep 0.2; \
+	done; \
+	/tmp/wsrsload -addr http://127.0.0.1:18980 -levels 1,2,4,8 -n 32 -dup 0.5 \
+		-warmup 2000 -measure 10000 -out BENCH_serve.json; \
+	STATUS=$$?; \
+	kill -TERM $$WSRSD_PID 2>/dev/null; wait $$WSRSD_PID; exit $$STATUS
+	@echo wrote BENCH_serve.json
 
 golden:
 	$(GO) test -run Golden -update .

@@ -180,19 +180,14 @@ func parseKernels(csv string) ([]string, error) {
 	if csv == "" {
 		return nil, nil
 	}
-	valid := map[string]bool{}
-	for _, k := range wsrs.Kernels() {
-		valid[k] = true
-	}
 	var out []string
 	for _, name := range strings.Split(csv, ",") {
 		name = strings.TrimSpace(name)
 		if name == "" {
 			continue
 		}
-		if !valid[name] {
-			return nil, fmt.Errorf("unknown kernel %q; valid kernels: %s",
-				name, strings.Join(wsrs.Kernels(), ", "))
+		if err := wsrs.ValidateKernelNames([]string{name}); err != nil {
+			return nil, err
 		}
 		out = append(out, name)
 	}

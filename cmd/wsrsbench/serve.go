@@ -2,16 +2,14 @@ package main
 
 import (
 	"expvar"
-	"fmt"
-	"net"
-	"net/http"
-	"net/http/pprof"
-	"time"
 
 	"wsrs"
+	"wsrs/internal/serve"
 )
 
-// startServer opens the live run endpoint on addr and serves:
+// startServer opens the live run endpoint on addr through the shared
+// mux builder of internal/serve (the same surface cmd/wsrsd extends
+// with its job API):
 //
 //	/metrics      Prometheus text exposition of the grid telemetry
 //	/manifest     the JSON run manifest accumulated so far
@@ -22,39 +20,14 @@ import (
 // process; the resolved listen address is returned so ":0" works in
 // tests and scripts.
 func startServer(addr string, gt *wsrs.GridTelemetry) (string, error) {
-	mux := http.NewServeMux()
-	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
-		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-		if err := gt.Registry().WritePrometheus(w); err != nil {
-			http.Error(w, err.Error(), http.StatusInternalServerError)
-		}
-	})
-	mux.HandleFunc("/manifest", func(w http.ResponseWriter, r *http.Request) {
-		w.Header().Set("Content-Type", "application/json")
-		if err := gt.WriteManifest(w); err != nil {
-			http.Error(w, err.Error(), http.StatusInternalServerError)
-		}
-	})
 	expvar.Publish("wsrs_grid", expvar.Func(func() any { return gt.BuildManifest() }))
-	mux.Handle("/debug/vars", expvar.Handler())
-	mux.HandleFunc("/debug/pprof/", pprof.Index)
-	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
-	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
-	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
-	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
-	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
-		if r.URL.Path != "/" {
-			http.NotFound(w, r)
-			return
-		}
-		fmt.Fprintln(w, "wsrsbench live endpoint: /metrics /manifest /debug/vars /debug/pprof/")
+	mux := serve.Mux(serve.MuxOptions{
+		Registry: gt.Registry(),
+		Manifest: gt.WriteManifest,
+		Expvar:   true,
+		Pprof:    true,
+		Index:    "wsrsbench live endpoint: /metrics /manifest /debug/vars /debug/pprof/",
 	})
-
-	ln, err := net.Listen("tcp", addr)
-	if err != nil {
-		return "", err
-	}
-	srv := &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
-	go func() { _ = srv.Serve(ln) }()
-	return ln.Addr().String(), nil
+	resolved, _, err := serve.Listen(addr, mux)
+	return resolved, err
 }

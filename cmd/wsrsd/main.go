@@ -1,0 +1,98 @@
+// Command wsrsd is the simulation-as-a-service daemon: a long-running
+// HTTP server that accepts simulation jobs (single cells, explicit
+// grids, or the named experiments figure4 / figure5 / energy), runs
+// them on a bounded worker pool over the shared memoized trace cache,
+// and remembers every completed cell in a content-addressed result
+// store so repeated and concurrent duplicate requests cost one
+// simulation.
+//
+// API:
+//
+//	POST   /v1/jobs              submit a job (202 + job record; 400
+//	                             structured validation errors; 429 +
+//	                             Retry-After when the queue is full;
+//	                             503 while draining)
+//	GET    /v1/jobs              list jobs
+//	GET    /v1/jobs/{id}         job status with per-cell outcomes
+//	GET    /v1/jobs/{id}/results raw per-cell results (byte-identical
+//	                             to a direct wsrs.RunGrid run)
+//	GET    /v1/jobs/{id}/events  server-sent event stream of per-cell
+//	                             progress
+//	DELETE /v1/jobs/{id}         cancel
+//	GET    /metrics /healthz /debug/vars /debug/pprof/
+//
+// SIGTERM/SIGINT drain gracefully: new jobs are refused, accepted
+// jobs finish, the result cache is flushed (compacted) to -cache.
+//
+// Usage:
+//
+//	wsrsd -listen :8080 -cache /var/tmp/wsrsd.cache.jsonl
+//	wsrsd -listen 127.0.0.1:0 -workers 4 -queue 256
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"wsrs/internal/serve"
+)
+
+func main() {
+	listen := flag.String("listen", ":8080", "address to serve the job API and diagnostics on")
+	workers := flag.Int("workers", 0, "simulation worker goroutines (0 = GOMAXPROCS)")
+	queue := flag.Int("queue", 1024, "admission-control cap on accepted-but-unresolved cells; beyond it POST /v1/jobs returns 429")
+	cachePath := flag.String("cache", "", "persist the content-addressed result cache to this JSONL file (empty = memory only)")
+	cacheEntries := flag.Int("cache-entries", 4096, "LRU bound on cached cell results")
+	maxMeasure := flag.Uint64("max-measure", 0, "reject jobs asking for more measured instructions per cell than this (0 = unbounded)")
+	drainTimeout := flag.Duration("drain-timeout", time.Minute, "on SIGTERM, cancel jobs still running after this long")
+	flag.Parse()
+
+	srv, err := serve.New(serve.Options{
+		Workers:        *workers,
+		MaxQueuedCells: *queue,
+		CachePath:      *cachePath,
+		CacheEntries:   *cacheEntries,
+		MaxMeasure:     *maxMeasure,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	addr, httpSrv, err := serve.Listen(*listen, srv.Handler())
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "wsrsd: serving job API on http://%s (cache %d entries)\n",
+		addr, srv.Cache().Len())
+
+	// Graceful drain: first signal stops admission and finishes
+	// accepted jobs; a second signal (or the drain timeout) cancels
+	// what is still running — either way every accepted job reaches a
+	// terminal state and the cache is flushed before exit.
+	sigCtx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
+	defer stop()
+	<-sigCtx.Done()
+	stop()
+	fmt.Fprintln(os.Stderr, "wsrsd: draining (finishing accepted jobs; signal again to cancel)")
+
+	drainCtx, cancel := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
+	defer cancel()
+	drainCtx, cancelTimeout := context.WithTimeout(drainCtx, *drainTimeout)
+	defer cancelTimeout()
+	if err := srv.Drain(drainCtx); err != nil {
+		fmt.Fprintln(os.Stderr, "wsrsd: cache flush:", err)
+	}
+	shutdownCtx, cancelShutdown := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancelShutdown()
+	_ = httpSrv.Shutdown(shutdownCtx)
+	fmt.Fprintf(os.Stderr, "wsrsd: drained; cache holds %d entries\n", srv.Cache().Len())
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "wsrsd:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,133 @@
+// Command wsrsload is the closed-loop load generator for the wsrsd
+// job API: a ramp of concurrent virtual clients, each submitting a
+// job, waiting for it to finish, and immediately submitting the next.
+// A duplicate-mix knob routes a fraction of the traffic through one
+// canonical cell identity, exercising the daemon's content-addressed
+// cache and request coalescing; the rest draws distinct seeds so it
+// really simulates.
+//
+// The report (per level: throughput, p50/p95/p99 end-to-end latency,
+// and the daemon-side sims / cache-hit / coalesced counter deltas) is
+// printed as a table and optionally written as JSON — `make
+// bench-serve` commits it as BENCH_serve.json next to BENCH_core.json.
+//
+// Usage:
+//
+//	wsrsload -addr http://127.0.0.1:8080
+//	wsrsload -addr http://127.0.0.1:8080 -levels 1,2,4,8 -n 40 -dup 0.5 -out BENCH_serve.json
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"wsrs/internal/report"
+	"wsrs/internal/serve"
+)
+
+func main() {
+	addr := flag.String("addr", "http://127.0.0.1:8080", "base URL of the wsrsd daemon")
+	levels := flag.String("levels", "1,2,4", "comma-separated concurrency ramp")
+	n := flag.Int("n", 0, "jobs per level (0 = 20 x concurrency)")
+	dup := flag.Float64("dup", 0.5, "duplicate-mix fraction in [0,1]: share of submissions reusing one canonical cell")
+	kernel := flag.String("kernel", "gzip", "benchmark kernel of each job's cell")
+	config := flag.String("config", "WSRS RC S 512", "machine configuration of each job's cell")
+	warmup := flag.Uint64("warmup", 2_000, "warmup instructions per cell")
+	measure := flag.Uint64("measure", 10_000, "measured instructions per cell")
+	seedPool := flag.Int("seed-pool", 64, "distinct seeds for the non-duplicate traffic")
+	timeout := flag.Duration("timeout", 10*time.Minute, "overall load-test deadline")
+	out := flag.String("out", "", "write the JSON report to this file (e.g. BENCH_serve.json)")
+	flag.Parse()
+
+	if *dup < 0 || *dup > 1 {
+		fatal(fmt.Errorf("-dup %g out of range [0,1]", *dup))
+	}
+	ramp, err := parseLevels(*levels)
+	if err != nil {
+		fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+	defer cancel()
+
+	client := &serve.Client{Base: strings.TrimRight(*addr, "/")}
+	if _, err := client.Metrics(ctx); err != nil {
+		fatal(fmt.Errorf("daemon not reachable at %s: %w", *addr, err))
+	}
+	spec := serve.LoadSpec{
+		Levels:           ramp,
+		RequestsPerLevel: *n,
+		DupFraction:      *dup,
+		SeedPool:         *seedPool,
+		Kernel:           *kernel,
+		Config:           *config,
+		Warmup:           *warmup,
+		Measure:          *measure,
+	}
+	rep, err := serve.RunLoad(ctx, client, spec, os.Stderr)
+	if err != nil {
+		fatal(err)
+	}
+	render(rep)
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		enc := json.NewEncoder(f)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			f.Close()
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintln(os.Stderr, "wsrsload: wrote", *out)
+	}
+}
+
+func parseLevels(csv string) ([]int, error) {
+	var out []int
+	for _, s := range strings.Split(csv, ",") {
+		s = strings.TrimSpace(s)
+		if s == "" {
+			continue
+		}
+		v, err := strconv.Atoi(s)
+		if err != nil || v < 1 {
+			return nil, fmt.Errorf("bad concurrency level %q", s)
+		}
+		out = append(out, v)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("-levels %q names no levels", csv)
+	}
+	return out, nil
+}
+
+func render(rep *serve.LoadReport) {
+	t := report.NewTable(
+		fmt.Sprintf("wsrsd closed-loop load — %s / %s, %d/%d insts, dup %.0f%%",
+			rep.Kernel, rep.Config, rep.Warmup, rep.Measure, 100*rep.DupFraction),
+		"conc", "jobs", "errors", "jobs/s", "p50 ms", "p95 ms", "p99 ms", "max ms",
+		"sims", "cache hits", "coalesced")
+	for _, l := range rep.Levels {
+		t.AddRow(l.Concurrency, l.Requests, l.Errors,
+			fmt.Sprintf("%.1f", l.Throughput),
+			fmt.Sprintf("%.1f", l.P50Ms), fmt.Sprintf("%.1f", l.P95Ms),
+			fmt.Sprintf("%.1f", l.P99Ms), fmt.Sprintf("%.1f", l.MaxMs),
+			int(l.Sims), int(l.CacheHits), int(l.Coalesced))
+	}
+	t.Render(os.Stdout)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "wsrsload:", err)
+	os.Exit(1)
+}

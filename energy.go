@@ -61,6 +61,12 @@ func RunEnergy(confs []ConfigName, kernelNames []string, opts SimOpts) ([]Energy
 	if kernelNames == nil {
 		kernelNames = Kernels()
 	}
+	// The per-configuration energy models below already reject an
+	// unknown configuration; kernels need the same up-front check so
+	// neither axis fails after the grid has started.
+	if err := ValidateKernelNames(kernelNames); err != nil {
+		return nil, err
+	}
 	models := map[ConfigName]EnergyModel{}
 	for _, c := range confs {
 		m, err := EnergyModelFor(c)

@@ -60,6 +60,16 @@ func RunFigure4(confs []ConfigName, kernelNames []string, opts SimOpts) ([]Figur
 	if kernelNames == nil {
 		kernelNames = Kernels()
 	}
+	// Validate both axes before any cell runs: a typo'd kernel or
+	// configuration fails here, not mid-grid with a partial table.
+	if err := ValidateKernelNames(kernelNames); err != nil {
+		return nil, err
+	}
+	for _, c := range confs {
+		if _, err := ValidateConfigName(string(c)); err != nil {
+			return nil, err
+		}
+	}
 	cells := make([]GridCell, 0, len(kernelNames)*len(confs))
 	for _, k := range kernelNames {
 		for _, c := range confs {
@@ -163,6 +173,9 @@ type Figure5Cell struct {
 func RunFigure5(kernelNames []string, opts SimOpts) ([]Figure5Cell, error) {
 	if kernelNames == nil {
 		kernelNames = Kernels()
+	}
+	if err := ValidateKernelNames(kernelNames); err != nil {
+		return nil, err
 	}
 	confs := []ConfigName{ConfWSRSRC512, ConfWSRSRM512}
 	cells := make([]GridCell, 0, len(kernelNames)*len(confs))

@@ -1,0 +1,274 @@
+package serve
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"wsrs"
+)
+
+// Client is a small job-API client: submit, poll, fetch results. It
+// is what cmd/wsrsload and the end-to-end tests drive, so the load
+// numbers measure exactly the path a real consumer takes.
+type Client struct {
+	// Base is the daemon address, e.g. "http://127.0.0.1:8080".
+	Base string
+	// HTTP overrides the transport (nil selects http.DefaultClient).
+	HTTP *http.Client
+}
+
+func (c *Client) http() *http.Client {
+	if c.HTTP != nil {
+		return c.HTTP
+	}
+	return http.DefaultClient
+}
+
+// APIError is a non-2xx job-API response: the status code and the
+// decoded body.
+type APIError struct {
+	Status int
+	Body   string
+	// RetryAfter carries the 429 backoff hint in seconds (0 = none).
+	RetryAfter int
+}
+
+func (e *APIError) Error() string {
+	return fmt.Sprintf("job API: HTTP %d: %s", e.Status, strings.TrimSpace(e.Body))
+}
+
+func apiError(resp *http.Response) error {
+	body, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+	e := &APIError{Status: resp.StatusCode, Body: string(body)}
+	fmt.Sscanf(resp.Header.Get("Retry-After"), "%d", &e.RetryAfter)
+	return e
+}
+
+// Submit posts one job and returns its accepted status (202).
+func (c *Client) Submit(ctx context.Context, req *JobRequest) (JobStatus, error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return JobStatus{}, err
+	}
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost,
+		c.Base+"/v1/jobs", bytes.NewReader(body))
+	if err != nil {
+		return JobStatus{}, err
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	resp, err := c.http().Do(hreq)
+	if err != nil {
+		return JobStatus{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		return JobStatus{}, apiError(resp)
+	}
+	var st JobStatus
+	return st, json.NewDecoder(resp.Body).Decode(&st)
+}
+
+// getJSON fetches one endpoint and decodes its 200 body into v.
+func (c *Client) getJSON(ctx context.Context, path string, v any) error {
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodGet, c.Base+path, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.http().Do(hreq)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return apiError(resp)
+	}
+	return json.NewDecoder(resp.Body).Decode(v)
+}
+
+// Get fetches one job's status.
+func (c *Client) Get(ctx context.Context, id string) (JobStatus, error) {
+	var st JobStatus
+	return st, c.getJSON(ctx, "/v1/jobs/"+id, &st)
+}
+
+// Cancel requests cancellation of a job.
+func (c *Client) Cancel(ctx context.Context, id string) error {
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodDelete, c.Base+"/v1/jobs/"+id, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.http().Do(hreq)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return apiError(resp)
+	}
+	return nil
+}
+
+// Wait polls a job until it reaches a terminal state. The poll
+// interval adapts nothing fancy: a fixed short sleep, because the
+// daemon also offers /events for push-style progress.
+func (c *Client) Wait(ctx context.Context, id string, poll time.Duration) (JobStatus, error) {
+	if poll <= 0 {
+		poll = 10 * time.Millisecond
+	}
+	for {
+		st, err := c.Get(ctx, id)
+		if err != nil {
+			return st, err
+		}
+		switch st.State {
+		case StateDone, StateFailed, StateCanceled:
+			return st, nil
+		}
+		select {
+		case <-ctx.Done():
+			return st, ctx.Err()
+		case <-time.After(poll):
+		}
+	}
+}
+
+// Results fetches the raw per-cell wsrs.Result slice of a done job.
+func (c *Client) Results(ctx context.Context, id string) ([]wsrs.Result, error) {
+	var out []wsrs.Result
+	return out, c.getJSON(ctx, "/v1/jobs/"+id+"/results", &out)
+}
+
+// RawResults fetches the /results body verbatim (the byte-identity
+// test compares it against a locally encoded RunGrid run).
+func (c *Client) RawResults(ctx context.Context, id string) ([]byte, error) {
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodGet, c.Base+"/v1/jobs/"+id+"/results", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.http().Do(hreq)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, apiError(resp)
+	}
+	return io.ReadAll(resp.Body)
+}
+
+// Metrics scrapes the daemon's Prometheus exposition into a
+// name -> value map (histogram series are skipped). Good enough for
+// asserting counters in tests, CI and the load report.
+func (c *Client) Metrics(ctx context.Context) (map[string]float64, error) {
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodGet, c.Base+"/metrics", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.http().Do(hreq)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, apiError(resp)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	out := map[string]float64{}
+	for _, line := range strings.Split(string(body), "\n") {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		sp := strings.LastIndexByte(line, ' ')
+		if sp < 0 {
+			continue
+		}
+		var v float64
+		if _, err := fmt.Sscanf(line[sp+1:], "%g", &v); err == nil {
+			out[line[:sp]] = v
+		}
+	}
+	return out, nil
+}
+
+// Events follows a job's server-sent event stream, invoking fn for
+// every decoded event until the job ends, the stream closes, or fn
+// returns false.
+func (c *Client) Events(ctx context.Context, id string, fn func(Event) bool) error {
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodGet, c.Base+"/v1/jobs/"+id+"/events", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.http().Do(hreq)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return apiError(resp)
+	}
+	dec := newSSEDecoder(resp.Body)
+	for {
+		data, err := dec.next()
+		if err != nil {
+			if err == io.EOF {
+				return nil
+			}
+			return err
+		}
+		var ev Event
+		if json.Unmarshal(data, &ev) != nil {
+			continue
+		}
+		if !fn(ev) {
+			return nil
+		}
+	}
+}
+
+// sseDecoder extracts the data payloads of a text/event-stream body.
+type sseDecoder struct {
+	r   *bufio.Reader
+	buf bytes.Buffer
+}
+
+func newSSEDecoder(r io.Reader) *sseDecoder {
+	return &sseDecoder{r: bufio.NewReader(r)}
+}
+
+// next returns the data of the next event (joining multi-line data
+// fields per the SSE format).
+func (d *sseDecoder) next() ([]byte, error) {
+	d.buf.Reset()
+	for {
+		line, err := d.r.ReadString('\n')
+		line = strings.TrimRight(line, "\r\n")
+		if err != nil {
+			if d.buf.Len() > 0 {
+				return d.buf.Bytes(), nil
+			}
+			return nil, err
+		}
+		if line == "" {
+			if d.buf.Len() > 0 {
+				return d.buf.Bytes(), nil
+			}
+			continue
+		}
+		if data, ok := strings.CutPrefix(line, "data: "); ok {
+			if d.buf.Len() > 0 {
+				d.buf.WriteByte('\n')
+			}
+			d.buf.WriteString(data)
+		}
+	}
+}

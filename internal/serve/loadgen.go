@@ -1,0 +1,294 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"math"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+)
+
+// LoadSpec configures one closed-loop load test against a running
+// daemon: each virtual client submits a job, waits for it to finish,
+// records the end-to-end latency, and immediately submits the next —
+// a classic closed loop, so offered load scales with concurrency and
+// observed latency.
+type LoadSpec struct {
+	// Levels is the concurrency ramp: one measurement pass per entry
+	// (e.g. 1, 2, 4, 8). Empty selects {1, 2, 4}.
+	Levels []int
+	// RequestsPerLevel is the total jobs each level completes (<= 0
+	// selects 20 x the level's concurrency).
+	RequestsPerLevel int
+	// DupFraction in [0, 1] is the duplicate-mix knob: that fraction
+	// of submissions reuses one canonical cell identity (exercising
+	// the cache and coalescing paths); the rest draw distinct seeds
+	// from SeedPool so they actually simulate.
+	DupFraction float64
+	// SeedPool bounds the distinct seeds of the non-duplicate
+	// traffic (<= 0 selects 64). A pool smaller than the request
+	// count makes the unique traffic re-hit the cache too — set it
+	// at least as large as RequestsPerLevel for pure misses.
+	SeedPool int
+
+	// Kernel/Config/Warmup/Measure shape each job's single cell.
+	// Empty kernel selects "gzip"; empty config selects WSRS RC 512.
+	Kernel  string
+	Config  string
+	Warmup  uint64
+	Measure uint64
+	// Poll is the job-completion poll interval (<= 0 selects 5ms).
+	Poll time.Duration
+}
+
+func (s *LoadSpec) withDefaults() LoadSpec {
+	o := *s
+	if len(o.Levels) == 0 {
+		o.Levels = []int{1, 2, 4}
+	}
+	if o.SeedPool <= 0 {
+		o.SeedPool = 64
+	}
+	if o.Kernel == "" {
+		o.Kernel = "gzip"
+	}
+	if o.Config == "" {
+		o.Config = "WSRS RC S 512"
+	}
+	if o.Warmup == 0 {
+		o.Warmup = 2_000
+	}
+	if o.Measure == 0 {
+		o.Measure = 10_000
+	}
+	if o.Poll <= 0 {
+		o.Poll = 5 * time.Millisecond
+	}
+	return o
+}
+
+// LevelReport is the measurement of one concurrency level.
+type LevelReport struct {
+	Concurrency int     `json:"concurrency"`
+	Requests    int     `json:"requests"`
+	Errors      int     `json:"errors"`
+	Rejected    int     `json:"rejected"` // 429 admission rejections (retried)
+	DupFraction float64 `json:"dup_fraction"`
+
+	WallMs     float64 `json:"wall_ms"`
+	Throughput float64 `json:"jobs_per_sec"`
+	P50Ms      float64 `json:"p50_ms"`
+	P95Ms      float64 `json:"p95_ms"`
+	P99Ms      float64 `json:"p99_ms"`
+	MeanMs     float64 `json:"mean_ms"`
+	MaxMs      float64 `json:"max_ms"`
+
+	// Daemon-side counter deltas across the level, scraped from
+	// /metrics: how much of the traffic the cache and the coalescer
+	// absorbed versus real simulations.
+	Sims      float64 `json:"sims"`
+	CacheHits float64 `json:"cache_hits"`
+	Coalesced float64 `json:"coalesced"`
+}
+
+// LoadReport is the full run: environment, spec echo, one entry per
+// concurrency level. cmd/wsrsload writes it as BENCH_serve.json.
+type LoadReport struct {
+	GOOS        string        `json:"goos"`
+	GOARCH      string        `json:"goarch"`
+	CPUs        int           `json:"cpus"`
+	Kernel      string        `json:"kernel"`
+	Config      string        `json:"config"`
+	Warmup      uint64        `json:"warmup"`
+	Measure     uint64        `json:"measure"`
+	DupFraction float64       `json:"dup_fraction"`
+	Levels      []LevelReport `json:"levels"`
+}
+
+// RunLoad drives the closed-loop load test against the daemon behind
+// client. Progress lines (one per level) go to progress when non-nil.
+func RunLoad(ctx context.Context, client *Client, spec LoadSpec, progress io.Writer) (*LoadReport, error) {
+	o := spec.withDefaults()
+	report := &LoadReport{
+		GOOS: runtime.GOOS, GOARCH: runtime.GOARCH, CPUs: runtime.NumCPU(),
+		Kernel: o.Kernel, Config: o.Config,
+		Warmup: o.Warmup, Measure: o.Measure,
+		DupFraction: o.DupFraction,
+	}
+	for _, level := range o.Levels {
+		lr, err := runLevel(ctx, client, o, level)
+		if err != nil {
+			return report, err
+		}
+		report.Levels = append(report.Levels, *lr)
+		if progress != nil {
+			fmt.Fprintf(progress,
+				"c=%d: %d jobs in %.0f ms (%.1f jobs/s), p50 %.1f ms, p95 %.1f ms, p99 %.1f ms; sims %.0f, cache hits %.0f, coalesced %.0f\n",
+				lr.Concurrency, lr.Requests, lr.WallMs, lr.Throughput,
+				lr.P50Ms, lr.P95Ms, lr.P99Ms, lr.Sims, lr.CacheHits, lr.Coalesced)
+		}
+	}
+	return report, nil
+}
+
+// jobSpec builds the i-th request of a level: a duplicate of the
+// canonical cell with probability DupFraction, otherwise a unique-ish
+// cell drawn from the seed pool. The mix is deterministic in i (no
+// host randomness), so reruns offer identical traffic.
+func (o *LoadSpec) jobSpec(i int) *JobRequest {
+	req := &JobRequest{
+		Warmup:  o.Warmup,
+		Measure: o.Measure,
+		Cells:   []CellSpec{{Kernel: o.Kernel, Config: o.Config}},
+	}
+	// Spread duplicates evenly through the sequence: request i is a
+	// duplicate when the integral of the mix fraction advances past
+	// the next whole duplicate.
+	dups := func(n int) int { return int(math.Floor(o.DupFraction * float64(n))) }
+	if dups(i+1) > dups(i) {
+		req.Cells[0].Seed = 1
+		req.Label = "dup"
+	} else {
+		unique := i - dups(i)
+		req.Cells[0].Seed = int64(2 + unique%o.SeedPool)
+		req.Label = "unique"
+	}
+	return req
+}
+
+func runLevel(ctx context.Context, client *Client, o LoadSpec, level int) (*LevelReport, error) {
+	n := o.RequestsPerLevel
+	if n <= 0 {
+		n = 20 * level
+	}
+	before, err := client.Metrics(ctx)
+	if err != nil {
+		return nil, fmt.Errorf("loadgen: scrape before level %d: %w", level, err)
+	}
+
+	var (
+		mu        sync.Mutex
+		latencies []float64
+		errs      int
+		rejected  int
+		next      int
+	)
+	take := func() int {
+		mu.Lock()
+		defer mu.Unlock()
+		if next >= n {
+			return -1
+		}
+		next++
+		return next - 1
+	}
+	start := time.Now()
+	var wg sync.WaitGroup
+	for c := 0; c < level; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := take()
+				if i < 0 || ctx.Err() != nil {
+					return
+				}
+				req := o.jobSpec(i)
+				t0 := time.Now()
+				var st JobStatus
+				for {
+					var err error
+					st, err = client.Submit(ctx, req)
+					if err == nil {
+						break
+					}
+					if ae, ok := err.(*APIError); ok && ae.Status == 429 {
+						// Admission rejection: honor Retry-After and
+						// resubmit — a closed loop backs off, it does
+						// not drop work.
+						mu.Lock()
+						rejected++
+						mu.Unlock()
+						backoff := time.Duration(ae.RetryAfter) * time.Second
+						if backoff <= 0 {
+							backoff = 50 * time.Millisecond
+						}
+						select {
+						case <-ctx.Done():
+							return
+						case <-time.After(backoff):
+						}
+						continue
+					}
+					mu.Lock()
+					errs++
+					mu.Unlock()
+					return
+				}
+				final, err := client.Wait(ctx, st.ID, o.Poll)
+				lat := float64(time.Since(t0).Microseconds()) / 1000
+				mu.Lock()
+				if err != nil || final.State != StateDone {
+					errs++
+				} else {
+					latencies = append(latencies, lat)
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	wall := time.Since(start)
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+
+	after, err := client.Metrics(ctx)
+	if err != nil {
+		return nil, fmt.Errorf("loadgen: scrape after level %d: %w", level, err)
+	}
+	lr := &LevelReport{
+		Concurrency: level, Requests: n, Errors: errs, Rejected: rejected,
+		DupFraction: o.DupFraction,
+		WallMs:      float64(wall.Microseconds()) / 1000,
+		Sims:        after[mSims] - before[mSims],
+		CacheHits:   after[mCacheHits] - before[mCacheHits],
+		Coalesced:   after[mCoalesced] - before[mCoalesced],
+	}
+	if wall > 0 {
+		lr.Throughput = float64(len(latencies)) / wall.Seconds()
+	}
+	fillPercentiles(lr, latencies)
+	return lr, nil
+}
+
+// fillPercentiles computes the latency summary (nearest-rank
+// percentiles over the completed jobs).
+func fillPercentiles(lr *LevelReport, lat []float64) {
+	if len(lat) == 0 {
+		return
+	}
+	sort.Float64s(lat)
+	rank := func(p float64) float64 {
+		i := int(math.Ceil(p*float64(len(lat)))) - 1
+		if i < 0 {
+			i = 0
+		}
+		if i >= len(lat) {
+			i = len(lat) - 1
+		}
+		return lat[i]
+	}
+	sum := 0.0
+	for _, v := range lat {
+		sum += v
+	}
+	lr.P50Ms = rank(0.50)
+	lr.P95Ms = rank(0.95)
+	lr.P99Ms = rank(0.99)
+	lr.MeanMs = sum / float64(len(lat))
+	lr.MaxMs = lat[len(lat)-1]
+}

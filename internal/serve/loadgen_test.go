@@ -1,0 +1,68 @@
+package serve
+
+import (
+	"context"
+	"testing"
+)
+
+// TestLoadgenClosedLoop drives a tiny ramp against an in-process
+// daemon and checks the accounting identity: every job resolves as a
+// simulation, a cache hit, or a coalesced subscriber.
+func TestLoadgenClosedLoop(t *testing.T) {
+	srv, client, _ := testServer(t, Options{Workers: 2})
+	defer srv.Drain(context.Background())
+
+	spec := LoadSpec{
+		Levels:           []int{2},
+		RequestsPerLevel: 8,
+		DupFraction:      0.5,
+		SeedPool:         4,
+		Warmup:           testWarmup,
+		Measure:          testMeasure,
+	}
+	rep, err := RunLoad(context.Background(), client, spec, nil)
+	if err != nil {
+		t.Fatalf("RunLoad: %v", err)
+	}
+	if len(rep.Levels) != 1 {
+		t.Fatalf("levels = %d, want 1", len(rep.Levels))
+	}
+	l := rep.Levels[0]
+	if l.Errors != 0 {
+		t.Fatalf("%d load errors", l.Errors)
+	}
+	if got := l.Sims + l.CacheHits + l.Coalesced; got != float64(l.Requests) {
+		t.Fatalf("sims(%v) + hits(%v) + coalesced(%v) = %v, want %d",
+			l.Sims, l.CacheHits, l.Coalesced, got, l.Requests)
+	}
+	// Half the traffic reuses one identity drawn from a 4-seed pool
+	// of 8 requests: the cache/coalescer must absorb some of it.
+	if l.CacheHits+l.Coalesced == 0 {
+		t.Fatal("duplicate mix produced no cache hits or coalesced cells")
+	}
+	if l.P50Ms <= 0 || l.P99Ms < l.P50Ms || l.Throughput <= 0 {
+		t.Fatalf("degenerate latency summary: %+v", l)
+	}
+}
+
+// TestJobSpecMix pins the deterministic duplicate schedule: the
+// fraction of duplicate submissions over N requests matches the knob.
+func TestJobSpecMix(t *testing.T) {
+	o := (&LoadSpec{DupFraction: 0.25, SeedPool: 8}).withDefaults()
+	dups := 0
+	const n = 100
+	for i := 0; i < n; i++ {
+		req := o.jobSpec(i)
+		if req.Label == "dup" {
+			if req.Cells[0].Seed != 1 {
+				t.Fatalf("duplicate %d drew seed %d, want the canonical 1", i, req.Cells[0].Seed)
+			}
+			dups++
+		} else if req.Cells[0].Seed < 2 {
+			t.Fatalf("unique request %d reused the canonical seed", i)
+		}
+	}
+	if dups != 25 {
+		t.Fatalf("%d duplicates over %d requests at 0.25, want 25", dups, n)
+	}
+}

@@ -1,0 +1,90 @@
+package serve
+
+import (
+	"fmt"
+	"net/http"
+	"time"
+
+	"wsrs/internal/telemetry"
+)
+
+// Metric families of the daemon, built on the PR 4 telemetry
+// registry: per-endpoint request counts and latency, job outcomes,
+// queue pressure, and the cache/coalescing counters the load-test
+// harness and CI assert against.
+const (
+	mRequests    = "wsrsd_http_requests_total"
+	helpRequests = "job-API requests by endpoint and status code"
+	mRequestMs   = "wsrsd_http_request_ms"
+	helpReqMs    = "job-API request latency in milliseconds"
+
+	mJobs          = "wsrsd_jobs_total"
+	helpJobs       = "jobs by outcome (done, failed, canceled, rejected, invalid)"
+	mJobsActive    = "wsrsd_jobs_active"
+	helpJobsActive = "jobs accepted and not yet terminal"
+	mPending       = "wsrsd_cells_pending"
+	helpPending    = "cells accepted and not yet resolved (admission-control level)"
+
+	mSims     = "wsrsd_sims_total"
+	helpSims  = "simulations actually executed by the worker pool"
+	mSimMs    = "wsrsd_cell_sim_ms"
+	helpSimMs = "per-simulation wall time in milliseconds"
+
+	mCacheHits       = "wsrsd_cache_hits_total"
+	helpCacheHits    = "cells served from the content-addressed result cache"
+	mCoalesced       = "wsrsd_coalesced_total"
+	helpCoalesced    = "cells that joined an identical in-flight simulation"
+	mCacheStores     = "wsrsd_cache_stores_total"
+	helpCacheStores  = "results written into the cache"
+	mCacheEntries    = "wsrsd_cache_entries"
+	helpCacheEntries = "live entries in the result cache"
+
+	mDraining    = "wsrsd_draining"
+	helpDraining = "1 while the daemon drains (refusing new jobs)"
+)
+
+// initMetrics registers the families up front so a scrape before the
+// first job already shows every series.
+func (s *Server) initMetrics() {
+	for _, outcome := range []string{"done", "failed", "canceled", "rejected", "invalid"} {
+		s.reg.Counter(mJobs+telemetry.Labels("outcome", outcome), helpJobs)
+	}
+	s.reg.Gauge(mJobsActive, helpJobsActive)
+	s.reg.Gauge(mPending, helpPending)
+	s.reg.Counter(mSims, helpSims)
+	s.reg.Histogram(mSimMs, helpSimMs)
+	s.reg.Counter(mCacheHits, helpCacheHits)
+	s.reg.Counter(mCoalesced, helpCoalesced)
+	s.reg.Counter(mCacheStores, helpCacheStores)
+	s.reg.Gauge(mCacheEntries, helpCacheEntries)
+	s.reg.Gauge(mDraining, helpDraining)
+	s.reg.Gauge(mCacheEntries, helpCacheEntries).Set(int64(s.cache.Len()))
+}
+
+// statusRecorder captures the response code for the request counter.
+type statusRecorder struct {
+	http.ResponseWriter
+	code int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	r.code = code
+	r.ResponseWriter.WriteHeader(code)
+}
+
+// instrument wraps a handler with the per-endpoint request counter
+// and latency histogram. The label is the route pattern, not the raw
+// path, so the series stay bounded.
+func (s *Server) instrument(endpoint string, h http.HandlerFunc) http.HandlerFunc {
+	endpoint = endpointLabel(endpoint)
+	hist := s.reg.Histogram(mRequestMs+telemetry.Labels("endpoint", endpoint), helpReqMs)
+	return func(w http.ResponseWriter, r *http.Request) {
+		rec := &statusRecorder{ResponseWriter: w, code: http.StatusOK}
+		start := time.Now()
+		h(rec, r)
+		hist.Observe(uint64(time.Since(start).Milliseconds()))
+		s.reg.Counter(mRequests+telemetry.Labels(
+			"endpoint", endpoint, "method", r.Method, "code", fmt.Sprint(rec.code)),
+			helpRequests).Inc()
+	}
+}

@@ -1,0 +1,508 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"wsrs"
+	"wsrs/internal/telemetry"
+)
+
+// Options sizes the daemon. The zero value is a sane single-host
+// deployment: GOMAXPROCS workers, 1024-cell queue, a 4096-entry
+// memory-only cache.
+type Options struct {
+	// Workers bounds the simulation worker pool (<= 0 selects
+	// GOMAXPROCS). The pool is shared by every job, so one huge grid
+	// cannot starve the daemon.
+	Workers int
+	// MaxQueuedCells is the admission-control cap: a job whose cells
+	// would push the pending total past it is rejected with 429 +
+	// Retry-After instead of being queued.
+	MaxQueuedCells int
+	// CachePath persists the result cache as JSONL ("" = memory
+	// only); CacheEntries bounds the LRU (<= 0 selects 4096).
+	CachePath    string
+	CacheEntries int
+	// MaxMeasure caps the per-cell measured-instruction budget a
+	// request may ask for (0 = unbounded).
+	MaxMeasure uint64
+	// KeepJobs bounds the terminal-job history (<= 0 selects 256).
+	KeepJobs int
+}
+
+// cellTask is one simulation the worker pool owes: the flight every
+// waiting job subscribed to.
+type cellTask struct {
+	id     CellID
+	digest string
+	fl     *flight
+}
+
+// flight is one in-flight simulation shared by every job that asked
+// for the same content address while it ran (singleflight): the first
+// request creates and enqueues it, duplicates subscribe, and a
+// thundering herd of identical jobs costs one simulation.
+type flight struct {
+	mu      sync.Mutex
+	waiters int
+	done    chan struct{}
+	res     wsrs.Result
+	err     error
+	wall    time.Duration
+}
+
+func (f *flight) join() { f.mu.Lock(); f.waiters++; f.mu.Unlock() }
+
+func (f *flight) abandon() { f.mu.Lock(); f.waiters--; f.mu.Unlock() }
+
+func (f *flight) abandoned() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.waiters <= 0
+}
+
+func (f *flight) resolve(res wsrs.Result, err error, wall time.Duration) {
+	f.res, f.err, f.wall = res, err, wall
+	close(f.done)
+}
+
+// Server is the wsrsd daemon core: the job API over a bounded worker
+// pool layered on wsrs.RunGrid, the content-addressed result cache,
+// request coalescing, admission control and graceful drain. Build
+// with New, mount Handler, stop with Drain.
+type Server struct {
+	opts  Options
+	reg   *telemetry.Registry
+	cache *Cache
+
+	ctx    context.Context // parent of every job context
+	cancel context.CancelFunc
+
+	queue    chan *cellTask
+	workerWG sync.WaitGroup
+	jobWG    sync.WaitGroup
+
+	pending  atomic.Int64 // cells accepted but not yet resolved
+	draining atomic.Bool
+	stopOnce sync.Once
+
+	mu      sync.Mutex
+	flights map[string]*flight
+	jobs    map[string]*job
+	order   []string
+	nextID  int
+}
+
+// New builds the daemon and starts its worker pool.
+func New(o Options) (*Server, error) {
+	if o.Workers <= 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	if o.MaxQueuedCells <= 0 {
+		o.MaxQueuedCells = 1024
+	}
+	if o.KeepJobs <= 0 {
+		o.KeepJobs = 256
+	}
+	cache, err := OpenCache(o.CachePath, o.CacheEntries)
+	if err != nil {
+		return nil, err
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Server{
+		opts:    o,
+		reg:     telemetry.NewRegistry(),
+		cache:   cache,
+		ctx:     ctx,
+		cancel:  cancel,
+		queue:   make(chan *cellTask, o.MaxQueuedCells+1),
+		flights: map[string]*flight{},
+		jobs:    map[string]*job{},
+	}
+	s.initMetrics()
+	for w := 0; w < o.Workers; w++ {
+		s.workerWG.Add(1)
+		go func() {
+			defer s.workerWG.Done()
+			for t := range s.queue {
+				s.runFlight(t)
+			}
+		}()
+	}
+	return s, nil
+}
+
+// Registry exposes the daemon's metric registry (served at /metrics).
+func (s *Server) Registry() *telemetry.Registry { return s.reg }
+
+// Cache exposes the result store (cmd/wsrsd reports its size on
+// drain).
+func (s *Server) Cache() *Cache { return s.cache }
+
+// Handler mounts the job API on top of the shared diagnostic mux, so
+// wsrsd serves the same /metrics, /debug/vars and /debug/pprof
+// surface as wsrsbench -listen plus /v1/jobs and /healthz.
+func (s *Server) Handler() http.Handler {
+	mux := Mux(MuxOptions{
+		Registry: s.reg,
+		Expvar:   true,
+		Pprof:    true,
+		Index:    "wsrsd: POST /v1/jobs, GET /v1/jobs/{id}[/results|/events], DELETE /v1/jobs/{id}; /metrics /healthz /debug/vars /debug/pprof/",
+	})
+	mux.HandleFunc("GET /healthz", s.handleHealth)
+	mux.HandleFunc("POST /v1/jobs", s.instrument("/v1/jobs", s.handleSubmit))
+	mux.HandleFunc("GET /v1/jobs", s.instrument("/v1/jobs", s.handleList))
+	mux.HandleFunc("GET /v1/jobs/{id}", s.instrument("/v1/jobs/{id}", s.handleGet))
+	mux.HandleFunc("GET /v1/jobs/{id}/results", s.instrument("/v1/jobs/{id}/results", s.handleResults))
+	mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents) // streams: latency histogram would lie
+	mux.HandleFunc("DELETE /v1/jobs/{id}", s.instrument("/v1/jobs/{id}", s.handleCancel))
+	return mux
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		http.Error(w, "draining", http.StatusServiceUnavailable)
+		return
+	}
+	fmt.Fprintln(w, "ok")
+}
+
+// writeJSON writes one JSON response with the given status.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		writeJSON(w, http.StatusServiceUnavailable,
+			map[string]string{"error": "draining: not accepting new jobs"})
+		return
+	}
+	var req JobRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, &RequestError{Field: "body", Msg: err.Error()})
+		return
+	}
+	ids, err := req.expand()
+	if err != nil {
+		s.reg.Counter(mJobs+telemetry.Labels("outcome", "invalid"), helpJobs).Inc()
+		writeJSON(w, http.StatusBadRequest, err)
+		return
+	}
+	if s.opts.MaxMeasure > 0 {
+		for i, id := range ids {
+			if id.Measure > s.opts.MaxMeasure {
+				writeJSON(w, http.StatusBadRequest, &RequestError{
+					Field: fmt.Sprintf("cells[%d].measure", i),
+					Msg:   fmt.Sprintf("measure %d exceeds the server cap %d", id.Measure, s.opts.MaxMeasure)})
+				return
+			}
+		}
+	}
+	// Admission control: reserve queue room for the whole job or
+	// reject it now, before any state is created.
+	for {
+		p := s.pending.Load()
+		if int(p)+len(ids) > s.opts.MaxQueuedCells {
+			s.reg.Counter(mJobs+telemetry.Labels("outcome", "rejected"), helpJobs).Inc()
+			w.Header().Set("Retry-After", "1")
+			writeJSON(w, http.StatusTooManyRequests, map[string]any{
+				"error":         "queue full",
+				"pending_cells": p,
+				"queue_cap":     s.opts.MaxQueuedCells,
+			})
+			return
+		}
+		if s.pending.CompareAndSwap(p, p+int64(len(ids))) {
+			break
+		}
+	}
+	s.reg.Gauge(mPending, helpPending).Set(s.pending.Load())
+
+	s.mu.Lock()
+	s.nextID++
+	j := newJob(fmt.Sprintf("j-%06d", s.nextID), s.ctx, &req, ids)
+	s.jobs[j.id] = j
+	s.order = append(s.order, j.id)
+	s.evictJobsLocked()
+	s.mu.Unlock()
+
+	s.reg.Gauge(mJobsActive, helpJobsActive).Add(1)
+	s.jobWG.Add(1)
+	go s.runJob(j, ids)
+
+	st := j.status()
+	w.Header().Set("Location", "/v1/jobs/"+j.id)
+	writeJSON(w, http.StatusAccepted, st)
+}
+
+// evictJobsLocked trims the oldest terminal jobs past the history cap.
+func (s *Server) evictJobsLocked() {
+	for len(s.order) > s.opts.KeepJobs {
+		id := s.order[0]
+		j := s.jobs[id]
+		st := j.status()
+		if st.State != StateDone && st.State != StateFailed && st.State != StateCanceled {
+			return // oldest job still live; keep the history until it settles
+		}
+		s.order = s.order[1:]
+		delete(s.jobs, id)
+	}
+}
+
+func (s *Server) lookupJob(w http.ResponseWriter, r *http.Request) *job {
+	s.mu.Lock()
+	j := s.jobs[r.PathValue("id")]
+	s.mu.Unlock()
+	if j == nil {
+		writeJSON(w, http.StatusNotFound, map[string]string{
+			"error": fmt.Sprintf("no such job %q", r.PathValue("id"))})
+	}
+	return j
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	out := make([]JobStatus, 0, len(s.order))
+	for _, id := range s.order {
+		st := s.jobs[id].status()
+		st.Cells = nil // the list stays cheap; GET the job for cells
+		out = append(out, st)
+	}
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
+	if j := s.lookupJob(w, r); j != nil {
+		writeJSON(w, http.StatusOK, j.status())
+	}
+}
+
+// handleResults serves the raw per-cell wsrs.Result slice in cell
+// order — the byte-identical counterpart of a direct RunGrid call
+// (asserted by TestJobResultsMatchRunGrid).
+func (s *Server) handleResults(w http.ResponseWriter, r *http.Request) {
+	j := s.lookupJob(w, r)
+	if j == nil {
+		return
+	}
+	st := j.status()
+	if st.State != StateDone {
+		writeJSON(w, http.StatusConflict, map[string]string{
+			"error": fmt.Sprintf("job %s is %s; results require state %q", j.id, st.State, StateDone)})
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(j.snapshotResults())
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	j := s.lookupJob(w, r)
+	if j == nil {
+		return
+	}
+	j.cancel()
+	writeJSON(w, http.StatusOK, j.status())
+}
+
+// handleEvents streams the job's event log as server-sent events:
+// every recorded event replays immediately, then the stream follows
+// live until the job reaches a terminal state or the client leaves.
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	j := s.lookupJob(w, r)
+	if j == nil {
+		return
+	}
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		http.Error(w, "streaming unsupported", http.StatusNotImplemented)
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	cursor := 0
+	for {
+		events, changed, terminal := j.eventsSince(cursor)
+		for _, ev := range events {
+			data, err := json.Marshal(ev)
+			if err != nil {
+				return
+			}
+			fmt.Fprintf(w, "event: %s\ndata: %s\n\n", ev.Type, data)
+		}
+		cursor += len(events)
+		fl.Flush()
+		if terminal && len(events) == 0 {
+			return
+		}
+		if len(events) > 0 {
+			continue // drain the log before blocking
+		}
+		select {
+		case <-changed:
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+// runJob resolves every cell of one accepted job: cache hits
+// immediately, duplicates of in-flight cells by subscribing to their
+// flight, the rest through the shared worker pool; per-cell events
+// fire as each resolves, in completion order.
+func (s *Server) runJob(j *job, ids []CellID) {
+	defer s.jobWG.Done()
+	defer s.reg.Gauge(mJobsActive, helpJobsActive).Add(-1)
+	j.setRunning()
+
+	var wg sync.WaitGroup
+	for i, id := range ids {
+		if res, ok := s.cache.Get(j.cells[i].Digest); ok {
+			s.reg.Counter(mCacheHits, helpCacheHits).Inc()
+			j.resolveCell(i, CacheHit, res, 0, nil)
+			s.cellDone()
+			continue
+		}
+		digest := j.cells[i].Digest
+		s.mu.Lock()
+		fl, coalesced := s.flights[digest]
+		if coalesced {
+			fl.join()
+		} else {
+			fl = &flight{waiters: 1, done: make(chan struct{})}
+			s.flights[digest] = fl
+		}
+		s.mu.Unlock()
+		disposition := CacheMiss
+		if coalesced {
+			disposition = CacheCoalesced
+			s.reg.Counter(mCoalesced, helpCoalesced).Inc()
+		} else {
+			s.queue <- &cellTask{id: id, digest: digest, fl: fl}
+		}
+		wg.Add(1)
+		go func(i int, fl *flight, disposition string) {
+			defer wg.Done()
+			select {
+			case <-fl.done:
+				j.resolveCell(i, disposition, fl.res, fl.wall, fl.err)
+			case <-j.ctx.Done():
+				fl.abandon()
+				j.resolveCell(i, disposition, wsrs.Result{}, 0, context.Canceled)
+			}
+			s.cellDone()
+		}(i, fl, disposition)
+	}
+	wg.Wait()
+
+	st := j.status()
+	switch {
+	case j.ctx.Err() != nil && st.State != StateDone:
+		j.finish(StateCanceled, "canceled")
+		s.reg.Counter(mJobs+telemetry.Labels("outcome", "canceled"), helpJobs).Inc()
+	case st.CellsFailed > 0:
+		msg := fmt.Sprintf("%d of %d cells failed", st.CellsFailed, st.CellsTotal)
+		for _, c := range st.Cells {
+			if c.Error != "" {
+				msg = fmt.Sprintf("%s; first: %s/%s: %s", msg, c.Cell.Kernel, c.Cell.Config, c.Error)
+				break
+			}
+		}
+		j.finish(StateFailed, msg)
+		s.reg.Counter(mJobs+telemetry.Labels("outcome", "failed"), helpJobs).Inc()
+	default:
+		j.finish(StateDone, "")
+		s.reg.Counter(mJobs+telemetry.Labels("outcome", "done"), helpJobs).Inc()
+	}
+}
+
+func (s *Server) cellDone() {
+	s.reg.Gauge(mPending, helpPending).Set(s.pending.Add(-1))
+}
+
+// runFlight simulates one coalesced cell on a pool worker. The cell
+// runs through wsrs.RunGrid (parallelism 1: the pool supplies the
+// concurrency), inheriting its panic barrier and budget plumbing.
+func (s *Server) runFlight(t *cellTask) {
+	if t.fl.abandoned() {
+		s.mu.Lock()
+		delete(s.flights, t.digest)
+		s.mu.Unlock()
+		t.fl.resolve(wsrs.Result{}, context.Canceled, 0)
+		return
+	}
+	s.reg.Counter(mSims, helpSims).Inc()
+	opts := wsrs.SimOpts{
+		WarmupInsts:  t.id.Warmup,
+		MeasureInsts: t.id.Measure,
+		Seed:         t.id.Seed,
+		Telemetry:    t.id.Telemetry,
+	}
+	cell := wsrs.GridCell{
+		Kernel: t.id.Kernel,
+		Config: wsrs.ConfigName(t.id.Config),
+		Policy: t.id.Policy,
+		Seed:   t.id.Seed,
+	}
+	start := time.Now()
+	out, err := wsrs.RunGrid([]wsrs.GridCell{cell}, opts, 1)
+	wall := time.Since(start)
+	s.reg.Histogram(mSimMs, helpSimMs).Observe(uint64(wall.Milliseconds()))
+	var res wsrs.Result
+	if len(out) == 1 {
+		res = out[0].Result
+	}
+	if err == nil {
+		s.reg.Counter(mCacheStores, helpCacheStores).Inc()
+		s.cache.Put(t.id, res)
+		s.reg.Gauge(mCacheEntries, helpCacheEntries).Set(int64(s.cache.Len()))
+	}
+	s.mu.Lock()
+	delete(s.flights, t.digest)
+	s.mu.Unlock()
+	t.fl.resolve(res, err, wall)
+}
+
+// Drain shuts the daemon down gracefully: new jobs are refused (503),
+// every accepted job runs to its terminal state, the worker pool
+// exits, and the cache is flushed (compacting the JSONL file). If ctx
+// expires first, the remaining jobs are canceled and drained as
+// canceled — still no accepted job is left unresolved.
+func (s *Server) Drain(ctx context.Context) error {
+	var err error
+	s.stopOnce.Do(func() {
+		s.draining.Store(true)
+		s.reg.Gauge(mDraining, helpDraining).Set(1)
+		done := make(chan struct{})
+		go func() { s.jobWG.Wait(); close(done) }()
+		select {
+		case <-done:
+		case <-ctx.Done():
+			s.cancel() // cancel every job context; waiters abandon their flights
+			<-done
+		}
+		close(s.queue)
+		s.workerWG.Wait()
+		s.cancel()
+		err = s.cache.Close()
+	})
+	return err
+}
+
+// endpointLabel canonicalizes a mux pattern for metric labels.
+func endpointLabel(pattern string) string {
+	return strings.TrimSpace(pattern)
+}

@@ -1,0 +1,495 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"wsrs"
+)
+
+// testServer spins up a daemon on an httptest listener and returns
+// the client pointed at it. The caller owns Drain.
+func testServer(t *testing.T, o Options) (*Server, *Client, *httptest.Server) {
+	t.Helper()
+	srv, err := New(o)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	return srv, &Client{Base: ts.URL}, ts
+}
+
+const (
+	testWarmup  = 1_000
+	testMeasure = 5_000
+)
+
+func submitWait(t *testing.T, c *Client, req *JobRequest) JobStatus {
+	t.Helper()
+	ctx := context.Background()
+	st, err := c.Submit(ctx, req)
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	final, err := c.Wait(ctx, st.ID, time.Millisecond)
+	if err != nil {
+		t.Fatalf("Wait(%s): %v", st.ID, err)
+	}
+	return final
+}
+
+// TestJobResultsMatchRunGrid is the end-to-end identity check: the
+// results fetched through the job API must be byte-identical to a
+// direct RunGrid run of the same cells.
+func TestJobResultsMatchRunGrid(t *testing.T) {
+	srv, client, _ := testServer(t, Options{Workers: 2})
+	defer srv.Drain(context.Background())
+
+	specs := []CellSpec{
+		{Kernel: "gzip", Config: string(wsrs.ConfRR256)},
+		{Kernel: "gzip", Config: string(wsrs.ConfWSRSRC512)},
+		{Kernel: "mcf", Config: string(wsrs.ConfWSRSRC512), Seed: 7},
+		{Kernel: "mcf", Config: string(wsrs.ConfWSRSRM512), Policy: "RC-bal"},
+	}
+	final := submitWait(t, client, &JobRequest{
+		Cells: specs, Warmup: testWarmup, Measure: testMeasure,
+	})
+	if final.State != StateDone {
+		t.Fatalf("job state = %s (%s), want done", final.State, final.Error)
+	}
+	got, err := client.RawResults(context.Background(), final.ID)
+	if err != nil {
+		t.Fatalf("RawResults: %v", err)
+	}
+
+	cells := make([]wsrs.GridCell, len(specs))
+	for i, s := range specs {
+		cells[i] = wsrs.GridCell{
+			Kernel: s.Kernel, Config: wsrs.ConfigName(s.Config),
+			Policy: s.Policy, Seed: s.Seed,
+		}
+	}
+	direct, err := wsrs.RunGrid(cells, wsrs.SimOpts{
+		WarmupInsts: testWarmup, MeasureInsts: testMeasure,
+	}, 2)
+	if err != nil {
+		t.Fatalf("RunGrid: %v", err)
+	}
+	results := make([]wsrs.Result, len(direct))
+	for i, g := range direct {
+		results[i] = g.Result
+	}
+	var want bytes.Buffer
+	if err := json.NewEncoder(&want).Encode(results); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want.Bytes()) {
+		t.Fatalf("job-API results differ from direct RunGrid:\n api: %.200s\ngrid: %.200s",
+			got, want.Bytes())
+	}
+}
+
+// TestNamedExperimentExpansion checks server-side expansion of a
+// named experiment against the library driver's grid shape.
+func TestNamedExperimentExpansion(t *testing.T) {
+	srv, client, _ := testServer(t, Options{Workers: 4})
+	defer srv.Drain(context.Background())
+
+	final := submitWait(t, client, &JobRequest{
+		Experiment: "figure5", Kernels: []string{"gzip"},
+		Warmup: testWarmup, Measure: testMeasure,
+	})
+	if final.State != StateDone {
+		t.Fatalf("figure5 job: state %s (%s)", final.State, final.Error)
+	}
+	if final.CellsTotal != 2 {
+		t.Fatalf("figure5 over one kernel expanded to %d cells, want 2", final.CellsTotal)
+	}
+	for _, c := range final.Cells {
+		if c.Cell.Config != string(wsrs.ConfWSRSRC512) && c.Cell.Config != string(wsrs.ConfWSRSRM512) {
+			t.Fatalf("unexpected figure5 config %q", c.Cell.Config)
+		}
+	}
+
+	energy := submitWait(t, client, &JobRequest{
+		Experiment: "energy", Kernels: []string{"gzip"},
+		Configs: []string{string(wsrs.ConfRR256)},
+		Warmup:  testWarmup, Measure: testMeasure,
+	})
+	if energy.State != StateDone {
+		t.Fatalf("energy job: state %s (%s)", energy.State, energy.Error)
+	}
+	if !energy.Cells[0].Cell.Telemetry {
+		t.Fatal("energy experiment did not force telemetry on")
+	}
+	res, err := client.Results(context.Background(), energy.ID)
+	if err != nil {
+		t.Fatalf("Results: %v", err)
+	}
+	if res[0].Activity == nil {
+		t.Fatal("energy result carries no activity counters")
+	}
+}
+
+// TestCoalescing proves the thundering-herd property: with the lone
+// worker pinned by a long blocker cell, N identical jobs submitted
+// behind it must resolve through ONE simulation — one queued flight
+// plus N-1 coalesced subscribers — and byte-identical results.
+func TestCoalescing(t *testing.T) {
+	srv, client, _ := testServer(t, Options{Workers: 1})
+	defer srv.Drain(context.Background())
+	ctx := context.Background()
+
+	blocker, err := client.Submit(ctx, &JobRequest{
+		Cells:  []CellSpec{{Kernel: "mcf", Config: string(wsrs.ConfRR256)}},
+		Warmup: 2_000, Measure: 150_000, Label: "blocker",
+	})
+	if err != nil {
+		t.Fatalf("submit blocker: %v", err)
+	}
+
+	const dup = 5
+	req := &JobRequest{
+		Cells:  []CellSpec{{Kernel: "gzip", Config: string(wsrs.ConfWSRSRC512)}},
+		Warmup: testWarmup, Measure: testMeasure,
+	}
+	ids := make([]string, dup)
+	for i := 0; i < dup; i++ {
+		st, err := client.Submit(ctx, req)
+		if err != nil {
+			t.Fatalf("submit dup %d: %v", i, err)
+		}
+		ids[i] = st.ID
+	}
+
+	var raw [][]byte
+	coalesced, misses := 0, 0
+	for _, id := range ids {
+		final, err := client.Wait(ctx, id, time.Millisecond)
+		if err != nil {
+			t.Fatalf("Wait(%s): %v", id, err)
+		}
+		if final.State != StateDone {
+			t.Fatalf("dup job %s: state %s (%s)", id, final.State, final.Error)
+		}
+		switch final.Cells[0].Cache {
+		case CacheCoalesced:
+			coalesced++
+		case CacheMiss:
+			misses++
+		case CacheHit:
+			t.Fatalf("dup job %s resolved from cache; the blocker did not hold the worker", id)
+		}
+		body, err := client.RawResults(ctx, id)
+		if err != nil {
+			t.Fatalf("RawResults(%s): %v", id, err)
+		}
+		raw = append(raw, body)
+	}
+	if misses != 1 || coalesced != dup-1 {
+		t.Fatalf("dispositions: %d misses, %d coalesced; want 1 and %d", misses, coalesced, dup-1)
+	}
+	for i := 1; i < len(raw); i++ {
+		if !bytes.Equal(raw[0], raw[i]) {
+			t.Fatalf("coalesced job %d returned different bytes", i)
+		}
+	}
+
+	// The daemon's own counters must agree: the herd cost one
+	// simulation (plus the blocker's).
+	m, err := client.Metrics(ctx)
+	if err != nil {
+		t.Fatalf("Metrics: %v", err)
+	}
+	if _, err := client.Wait(ctx, blocker.ID, time.Millisecond); err != nil {
+		t.Fatalf("wait blocker: %v", err)
+	}
+	if got := m[`wsrsd_coalesced_total`]; got != dup-1 {
+		t.Fatalf("wsrsd_coalesced_total = %v, want %d", got, dup-1)
+	}
+
+	// A resubmission after completion is a cache hit, not a new
+	// simulation.
+	again := submitWait(t, client, req)
+	if again.Cells[0].Cache != CacheHit {
+		t.Fatalf("resubmitted cell disposition = %q, want hit", again.Cells[0].Cache)
+	}
+	m2, err := client.Metrics(ctx)
+	if err != nil {
+		t.Fatalf("Metrics: %v", err)
+	}
+	if m2[`wsrsd_sims_total`] != 2 { // blocker + one dup flight
+		t.Fatalf("wsrsd_sims_total = %v, want 2", m2[`wsrsd_sims_total`])
+	}
+	if m2[`wsrsd_cache_hits_total`] < 1 {
+		t.Fatalf("wsrsd_cache_hits_total = %v, want >= 1", m2[`wsrsd_cache_hits_total`])
+	}
+}
+
+// TestDrainLosesNoJob submits a burst of jobs, immediately drains,
+// and requires every accepted job to reach "done" with every cell
+// resolved — then proves the daemon refuses new work and flushed the
+// cache to disk.
+func TestDrainLosesNoJob(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "cache.jsonl")
+	srv, client, ts := testServer(t, Options{Workers: 2, CachePath: path})
+	ctx := context.Background()
+
+	var ids []string
+	for i := 0; i < 4; i++ {
+		st, err := client.Submit(ctx, &JobRequest{
+			Cells: []CellSpec{
+				{Kernel: "gzip", Config: string(wsrs.ConfRR256), Seed: int64(i + 1)},
+				{Kernel: "mcf", Config: string(wsrs.ConfWSRSRC512), Seed: int64(i + 1)},
+			},
+			Warmup: testWarmup, Measure: testMeasure,
+		})
+		if err != nil {
+			t.Fatalf("submit %d: %v", i, err)
+		}
+		ids = append(ids, st.ID)
+	}
+	if err := srv.Drain(ctx); err != nil {
+		t.Fatalf("Drain: %v", err)
+	}
+	for _, id := range ids {
+		st, err := client.Get(ctx, id)
+		if err != nil {
+			t.Fatalf("Get(%s): %v", id, err)
+		}
+		if st.State != StateDone {
+			t.Fatalf("job %s drained to state %s (%s), want done", id, st.State, st.Error)
+		}
+		if st.CellsDone != st.CellsTotal {
+			t.Fatalf("job %s: %d/%d cells done after drain", id, st.CellsDone, st.CellsTotal)
+		}
+	}
+
+	// Draining daemon refuses new jobs with 503.
+	resp, err := http.Post(ts.URL+"/v1/jobs", "application/json",
+		strings.NewReader(`{"cells":[{"kernel":"gzip","config":"RR 256"}]}`))
+	if err != nil {
+		t.Fatalf("post during drain: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("POST while draining: HTTP %d, want 503", resp.StatusCode)
+	}
+
+	// The flushed cache reloads with every simulated cell.
+	reopened, err := OpenCache(path, 0)
+	if err != nil {
+		t.Fatalf("reopen cache: %v", err)
+	}
+	defer reopened.Close()
+	if got := reopened.Len(); got != 8 {
+		t.Fatalf("flushed cache holds %d entries, want 8", got)
+	}
+}
+
+// TestValidationErrors checks the structured-400 contract: bad
+// kernels, configs, policies and shapes are rejected up front with
+// the offending field named and no job created.
+func TestValidationErrors(t *testing.T) {
+	srv, client, ts := testServer(t, Options{Workers: 1, MaxMeasure: 50_000})
+	defer srv.Drain(context.Background())
+	ctx := context.Background()
+
+	cases := []struct {
+		name  string
+		req   JobRequest
+		field string
+	}{
+		{"unknown kernel", JobRequest{Cells: []CellSpec{{Kernel: "nope", Config: "RR 256"}}}, "cells[0].kernel"},
+		{"unknown config", JobRequest{Cells: []CellSpec{{Kernel: "gzip", Config: "RR 9000"}}}, "cells[0].config"},
+		{"unknown policy", JobRequest{Cells: []CellSpec{{Kernel: "gzip", Config: "RR 256", Policy: "XX"}}}, "cells[0].policy"},
+		{"empty job", JobRequest{}, "cells"},
+		{"unknown experiment", JobRequest{Experiment: "figure9"}, "experiment"},
+		{"both shapes", JobRequest{Experiment: "figure4", Cells: []CellSpec{{Kernel: "gzip", Config: "RR 256"}}}, "experiment"},
+		{"measure cap", JobRequest{Cells: []CellSpec{{Kernel: "gzip", Config: "RR 256"}}, Measure: 60_001}, "cells[0].measure"},
+	}
+	for _, tc := range cases {
+		body, _ := json.Marshal(tc.req)
+		resp, err := http.Post(ts.URL+"/v1/jobs", "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		var re RequestError
+		err = json.NewDecoder(resp.Body).Decode(&re)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("%s: HTTP %d, want 400", tc.name, resp.StatusCode)
+		}
+		if err != nil || re.Field != tc.field {
+			t.Fatalf("%s: error field %q (decode err %v), want %q", tc.name, re.Field, err, tc.field)
+		}
+	}
+
+	// Nothing above created a job.
+	var jobs []JobStatus
+	if err := client.getJSON(ctx, "/v1/jobs", &jobs); err != nil {
+		t.Fatalf("list: %v", err)
+	}
+	if len(jobs) != 0 {
+		t.Fatalf("invalid requests created %d jobs", len(jobs))
+	}
+	if _, err := client.Get(ctx, "j-000042"); err == nil {
+		t.Fatal("Get of unknown job did not fail")
+	}
+}
+
+// TestAdmissionControl fills the queue and requires 429 +
+// Retry-After; after the backlog clears, the same request is
+// accepted.
+func TestAdmissionControl(t *testing.T) {
+	srv, client, ts := testServer(t, Options{Workers: 1, MaxQueuedCells: 1})
+	defer srv.Drain(context.Background())
+	ctx := context.Background()
+
+	first, err := client.Submit(ctx, &JobRequest{
+		Cells:  []CellSpec{{Kernel: "gzip", Config: string(wsrs.ConfRR256)}},
+		Warmup: 2_000, Measure: 150_000,
+	})
+	if err != nil {
+		t.Fatalf("first submit: %v", err)
+	}
+	resp, err := http.Post(ts.URL+"/v1/jobs", "application/json",
+		strings.NewReader(`{"cells":[{"kernel":"gzip","config":"RR 256"},{"kernel":"mcf","config":"RR 256"}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("overflow POST: HTTP %d, want 429", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("429 carried no Retry-After header")
+	}
+	if _, err := client.Wait(ctx, first.ID, time.Millisecond); err != nil {
+		t.Fatalf("wait first: %v", err)
+	}
+	// Backlog cleared: the identical request is now admitted (and a
+	// pure cache hit).
+	again := submitWait(t, client, &JobRequest{
+		Cells:  []CellSpec{{Kernel: "gzip", Config: string(wsrs.ConfRR256)}},
+		Warmup: 2_000, Measure: 150_000,
+	})
+	if again.State != StateDone || again.Cells[0].Cache != CacheHit {
+		t.Fatalf("post-backlog job: state %s, cache %q; want done/hit",
+			again.State, again.Cells[0].Cache)
+	}
+}
+
+// TestCancel cancels a queued job and requires a terminal canceled
+// state without the daemon wedging.
+func TestCancel(t *testing.T) {
+	srv, client, _ := testServer(t, Options{Workers: 1})
+	defer srv.Drain(context.Background())
+	ctx := context.Background()
+
+	blocker, err := client.Submit(ctx, &JobRequest{
+		Cells:  []CellSpec{{Kernel: "mcf", Config: string(wsrs.ConfRR256)}},
+		Warmup: 2_000, Measure: 150_000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	victim, err := client.Submit(ctx, &JobRequest{
+		Cells:  []CellSpec{{Kernel: "gzip", Config: string(wsrs.ConfWSRR512)}},
+		Warmup: testWarmup, Measure: testMeasure,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := client.Cancel(ctx, victim.ID); err != nil {
+		t.Fatalf("Cancel: %v", err)
+	}
+	final, err := client.Wait(ctx, victim.ID, time.Millisecond)
+	if err != nil {
+		t.Fatalf("Wait canceled: %v", err)
+	}
+	if final.State != StateCanceled {
+		t.Fatalf("canceled job state = %s, want canceled", final.State)
+	}
+	if st, err := client.Wait(ctx, blocker.ID, time.Millisecond); err != nil || st.State != StateDone {
+		t.Fatalf("blocker after cancel: %v / %v", st.State, err)
+	}
+}
+
+// TestEventStream follows /events and requires one cell event per
+// cell plus a terminal job event, with replay working for a client
+// that attaches after completion.
+func TestEventStream(t *testing.T) {
+	srv, client, _ := testServer(t, Options{Workers: 2})
+	defer srv.Drain(context.Background())
+	ctx := context.Background()
+
+	st, err := client.Submit(ctx, &JobRequest{
+		Cells: []CellSpec{
+			{Kernel: "gzip", Config: string(wsrs.ConfRR256)},
+			{Kernel: "gzip", Config: string(wsrs.ConfWSRR384)},
+		},
+		Warmup: testWarmup, Measure: testMeasure,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[string]int{}
+	var mu sync.Mutex
+	err = client.Events(ctx, st.ID, func(ev Event) bool {
+		mu.Lock()
+		counts[ev.Type]++
+		done := ev.Type == "job"
+		mu.Unlock()
+		return !done
+	})
+	if err != nil {
+		t.Fatalf("Events: %v", err)
+	}
+	if counts["cell"] != 2 || counts["job"] != 1 {
+		t.Fatalf("live event counts = %v, want 2 cell + 1 job", counts)
+	}
+
+	// Late attach: the full log replays, then the stream ends
+	// because the job is terminal.
+	replay := 0
+	err = client.Events(ctx, st.ID, func(ev Event) bool { replay++; return true })
+	if err != nil {
+		t.Fatalf("replay Events: %v", err)
+	}
+	if replay != 3 {
+		t.Fatalf("replayed %d events, want 3", replay)
+	}
+}
+
+// TestResultsConflictBeforeDone requires /results to refuse (409)
+// while the job is still running.
+func TestResultsConflictBeforeDone(t *testing.T) {
+	srv, client, _ := testServer(t, Options{Workers: 1})
+	defer srv.Drain(context.Background())
+
+	st, err := client.Submit(context.Background(), &JobRequest{
+		Cells:  []CellSpec{{Kernel: "mcf", Config: string(wsrs.ConfRR256), Seed: 3}},
+		Warmup: 2_000, Measure: 150_000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := client.Results(context.Background(), st.ID); err == nil {
+		t.Fatal("Results of a running job did not 409")
+	} else if ae, ok := err.(*APIError); !ok || ae.Status != http.StatusConflict {
+		t.Fatalf("Results of a running job: %v, want HTTP 409", err)
+	}
+	if _, err := client.Wait(context.Background(), st.ID, time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+}

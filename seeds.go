@@ -27,6 +27,12 @@ func RunKernelSeeds(conf ConfigName, kernel string, opts SimOpts, n int) ([]Resu
 	if n < 1 {
 		return nil, fmt.Errorf("wsrs: need at least one seed")
 	}
+	if err := ValidateKernelNames([]string{kernel}); err != nil {
+		return nil, err
+	}
+	if _, err := ValidateConfigName(string(conf)); err != nil {
+		return nil, err
+	}
 	cells := make([]GridCell, n)
 	for i := range cells {
 		cells[i] = GridCell{Kernel: kernel, Config: conf, Seed: int64(i + 1)}

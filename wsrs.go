@@ -116,6 +116,25 @@ func ValidateConfigName(name string) (ConfigName, error) {
 		name, strings.Join(valid, ", "))
 }
 
+// ValidateKernelNames checks a list of benchmark names against the
+// registered kernels, so a typo fails up front — before any grid
+// starts — instead of mid-run from inside a worker. The grid drivers
+// (RunFigure4, RunFigure5, RunEnergy, RunKernelSeeds) and the serving
+// layer all call it before building cells.
+func ValidateKernelNames(names []string) error {
+	valid := map[string]bool{}
+	for _, k := range kernels.Names() {
+		valid[k] = true
+	}
+	for _, name := range names {
+		if !valid[name] {
+			return fmt.Errorf("wsrs: unknown kernel %q (valid: %s)",
+				name, strings.Join(kernels.Names(), ", "))
+		}
+	}
+	return nil
+}
+
 // ValidatePolicyName checks an allocation-policy name ("" means "keep
 // the configuration's own policy" and is always valid).
 func ValidatePolicyName(name string) error {
