@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test race bench bench-serve golden
+.PHONY: build test race bench bench-gate bench-serve golden
 
 build:
 	$(GO) build ./...
@@ -13,16 +13,33 @@ test:
 race:
 	$(GO) test -race . ./internal/trace ./internal/tracecache ./internal/pipeline ./internal/telemetry ./internal/serve
 
+# Pinned benchmark invocation: a single CPU, a fixed benchtime and a
+# single count make successive runs (and the committed baseline vs a
+# gate run) comparable — allocs/op in particular amortizes one-time
+# warmup over the same iteration budget everywhere. BENCH_FLAGS is
+# recorded inside the JSON so a mismatched comparison is self-evident.
+BENCH_FLAGS = -bench Core -benchmem -run NONE -count 1 -cpu 1 -benchtime 2s
+BENCH_PKGS = . ./internal/rename ./internal/wakeup ./internal/bypass \
+	./internal/telemetry ./internal/pipeline
+
 # bench reruns the BenchmarkCore* hot-path microbenchmarks (rename map
 # lookup, wake-up broadcast pricing, bypass arbitration, counter
 # increments, metered vs plain pipeline, grid dispatch) and rewrites
 # the committed baseline at the repository root.
 bench:
-	$(GO) test -bench Core -benchmem -run NONE \
-		. ./internal/rename ./internal/wakeup ./internal/bypass \
-		./internal/telemetry ./internal/pipeline \
-		| $(GO) run ./cmd/benchjson > BENCH_core.json
+	$(GO) test $(BENCH_FLAGS) $(BENCH_PKGS) \
+		| $(GO) run ./cmd/benchjson -params "$(BENCH_FLAGS)" > BENCH_core.json
 	@echo wrote BENCH_core.json
+
+# bench-gate reruns the same pinned benchmarks and fails if any of
+# them regressed against the committed baseline. Wall time gets a
+# loose tolerance (CI machines differ from whoever recorded the
+# baseline); allocation counts are deterministic and gated tightly.
+bench-gate:
+	$(GO) test $(BENCH_FLAGS) $(BENCH_PKGS) \
+		| $(GO) run ./cmd/benchjson -params "$(BENCH_FLAGS)" > /tmp/BENCH_core.new.json
+	$(GO) run ./cmd/benchjson -compare -tolerance 1.0 -tolerance-allocs 0.1 \
+		BENCH_core.json /tmp/BENCH_core.new.json
 
 # bench-serve load-tests the serving layer: a local wsrsd daemon, a
 # wsrsload closed-loop concurrency ramp with a 50% duplicate mix

@@ -3,17 +3,30 @@
 //
 //	go test -bench Core -benchmem ./... | benchjson > BENCH_core.json
 //
-// The emitted document records the host (goos/goarch/cpu), one entry
-// per benchmark with its iteration count, ns/op, B/op, allocs/op and
-// any custom b.ReportMetric columns, and the benchmark order as run.
-// CI and developers diff successive baselines to spot hot-path
-// regressions in the simulator's core structures.
+// The emitted document records the host (goos/goarch/cpu), the run
+// parameters passed via -params, one entry per benchmark with its
+// iteration count, ns/op, B/op, allocs/op and any custom
+// b.ReportMetric columns, and the benchmark order as run.
+//
+// With -compare it becomes a regression gate instead:
+//
+//	benchjson -compare BENCH_core.json new.json \
+//	    -tolerance 1.0 -tolerance-allocs 0.1
+//
+// Every benchmark in the old baseline must appear in the new one and
+// stay within the fractional tolerances (ns/op and allocs/op are
+// gated separately: wall time is noisy across machines, allocation
+// counts are deterministic). Any regression or missing benchmark
+// exits non-zero, so CI can hold the hot paths to the committed
+// baseline.
 package main
 
 import (
 	"bufio"
 	"encoding/json"
+	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strconv"
 	"strings"
@@ -36,10 +49,41 @@ type Baseline struct {
 	Goos       string      `json:"goos,omitempty"`
 	Goarch     string      `json:"goarch,omitempty"`
 	CPU        string      `json:"cpu,omitempty"`
+	Params     string      `json:"params,omitempty"`
 	Benchmarks []Benchmark `json:"benchmarks"`
 }
 
 func main() {
+	var (
+		compareMode = flag.Bool("compare", false, "compare two baselines: benchjson -compare old.json new.json")
+		tolNs       = flag.Float64("tolerance", 0.25, "allowed fractional ns/op growth in -compare mode (0.25 = 25% slower passes)")
+		tolAllocs   = flag.Float64("tolerance-allocs", 0.0, "allowed fractional allocs/op growth in -compare mode")
+		params      = flag.String("params", "", "benchmark invocation parameters to record in the baseline")
+	)
+	flag.Parse()
+
+	if *compareMode {
+		if flag.NArg() != 2 {
+			fmt.Fprintln(os.Stderr, "benchjson: -compare needs exactly two files: old.json new.json")
+			os.Exit(2)
+		}
+		oldBase, err := load(flag.Arg(0))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(2)
+		}
+		newBase, err := load(flag.Arg(1))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(2)
+		}
+		if n := compare(oldBase, newBase, *tolNs, *tolAllocs, os.Stdout); n > 0 {
+			fmt.Fprintf(os.Stderr, "benchjson: %d regression(s) beyond tolerance\n", n)
+			os.Exit(1)
+		}
+		return
+	}
+
 	base, err := parse(bufio.NewScanner(os.Stdin))
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
@@ -49,12 +93,82 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines on stdin (expected `go test -bench` output)")
 		os.Exit(1)
 	}
+	base.Params = *params
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")
 	if err := enc.Encode(base); err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}
+}
+
+func load(path string) (Baseline, error) {
+	var base Baseline
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return base, err
+	}
+	if err := json.Unmarshal(data, &base); err != nil {
+		return base, fmt.Errorf("%s: %v", path, err)
+	}
+	return base, nil
+}
+
+// key identifies a benchmark across baselines. Package qualifies the
+// name because the Core* convention repeats stems across packages.
+func key(b Benchmark) string { return b.Package + "\x00" + b.Name }
+
+// compare writes a per-benchmark report to w and returns the number of
+// regressions: benchmarks missing from newBase, ns/op beyond tolNs, or
+// allocs/op beyond tolAllocs. Benchmarks only present in newBase are
+// reported but never counted against the gate.
+func compare(oldBase, newBase Baseline, tolNs, tolAllocs float64, w io.Writer) int {
+	newByKey := make(map[string]Benchmark, len(newBase.Benchmarks))
+	for _, b := range newBase.Benchmarks {
+		newByKey[key(b)] = b
+	}
+	if oldBase.Params != "" && oldBase.Params != newBase.Params {
+		fmt.Fprintf(w, "note: run parameters differ (old %q, new %q); numbers may not be comparable\n",
+			oldBase.Params, newBase.Params)
+	}
+	regressions := 0
+	for _, ob := range oldBase.Benchmarks {
+		nb, ok := newByKey[key(ob)]
+		if !ok {
+			fmt.Fprintf(w, "FAIL %-28s missing from new baseline\n", ob.Name)
+			regressions++
+			continue
+		}
+		delete(newByKey, key(ob))
+		status := "ok  "
+		detail := fmt.Sprintf("ns/op %14.0f -> %14.0f (%+.1f%%)", ob.NsPerOp, nb.NsPerOp, pct(ob.NsPerOp, nb.NsPerOp))
+		if nb.NsPerOp > ob.NsPerOp*(1+tolNs) {
+			status = "FAIL"
+			regressions++
+		}
+		if ob.AllocsOp != nil && nb.AllocsOp != nil {
+			oa, na := float64(*ob.AllocsOp), float64(*nb.AllocsOp)
+			detail += fmt.Sprintf("  allocs/op %7.0f -> %7.0f", oa, na)
+			if na > oa*(1+tolAllocs) {
+				status = "FAIL"
+				regressions++
+			}
+		}
+		fmt.Fprintf(w, "%s %-28s %s\n", status, ob.Name, detail)
+	}
+	for _, b := range newBase.Benchmarks {
+		if _, ok := newByKey[key(b)]; ok {
+			fmt.Fprintf(w, "new  %-28s ns/op %14.0f (no baseline)\n", b.Name, b.NsPerOp)
+		}
+	}
+	return regressions
+}
+
+func pct(oldV, newV float64) float64 {
+	if oldV == 0 {
+		return 0
+	}
+	return 100 * (newV - oldV) / oldV
 }
 
 func parse(sc *bufio.Scanner) (Baseline, error) {

@@ -1,0 +1,111 @@
+package main
+
+import (
+	"bufio"
+	"strings"
+	"testing"
+)
+
+func i64(v int64) *int64 { return &v }
+
+func bench(name string, ns float64, allocs int64) Benchmark {
+	return Benchmark{Name: name, Package: "wsrs", NsPerOp: ns, AllocsOp: i64(allocs)}
+}
+
+func TestCompareWithinTolerance(t *testing.T) {
+	oldB := Baseline{Benchmarks: []Benchmark{bench("CoreGridDispatch", 1000, 30)}}
+	newB := Baseline{Benchmarks: []Benchmark{bench("CoreGridDispatch", 1200, 30)}}
+	var out strings.Builder
+	if n := compare(oldB, newB, 0.25, 0.1, &out); n != 0 {
+		t.Errorf("20%% slower under 25%% tolerance: %d regressions, want 0\n%s", n, out.String())
+	}
+}
+
+func TestCompareNsRegression(t *testing.T) {
+	oldB := Baseline{Benchmarks: []Benchmark{bench("CoreGridDispatch", 1000, 30)}}
+	newB := Baseline{Benchmarks: []Benchmark{bench("CoreGridDispatch", 1300, 30)}}
+	var out strings.Builder
+	if n := compare(oldB, newB, 0.25, 0.1, &out); n != 1 {
+		t.Errorf("30%% slower under 25%% tolerance: %d regressions, want 1\n%s", n, out.String())
+	}
+}
+
+func TestCompareAllocRegression(t *testing.T) {
+	// Wall time is fine, allocation count doubled: the tight alloc
+	// gate must fire even under a loose ns tolerance.
+	oldB := Baseline{Benchmarks: []Benchmark{bench("CorePipelinePlain", 1000, 30)}}
+	newB := Baseline{Benchmarks: []Benchmark{bench("CorePipelinePlain", 1000, 60)}}
+	var out strings.Builder
+	if n := compare(oldB, newB, 1.0, 0.1, &out); n != 1 {
+		t.Errorf("2x allocs under 10%% tolerance: %d regressions, want 1\n%s", n, out.String())
+	}
+}
+
+func TestCompareZeroAllocBaseline(t *testing.T) {
+	// A 0-alloc baseline admits no growth at any fractional tolerance.
+	oldB := Baseline{Benchmarks: []Benchmark{bench("CoreRenameLookup", 10, 0)}}
+	newB := Baseline{Benchmarks: []Benchmark{bench("CoreRenameLookup", 10, 1)}}
+	var out strings.Builder
+	if n := compare(oldB, newB, 1.0, 0.5, &out); n != 1 {
+		t.Errorf("0 -> 1 allocs: %d regressions, want 1\n%s", n, out.String())
+	}
+}
+
+func TestCompareMissingBenchmark(t *testing.T) {
+	oldB := Baseline{Benchmarks: []Benchmark{
+		bench("CoreGridDispatch", 1000, 30),
+		bench("CoreWakeupBroadcast", 50, 0),
+	}}
+	newB := Baseline{Benchmarks: []Benchmark{bench("CoreGridDispatch", 1000, 30)}}
+	var out strings.Builder
+	if n := compare(oldB, newB, 1.0, 0.1, &out); n != 1 {
+		t.Errorf("dropped benchmark: %d regressions, want 1\n%s", n, out.String())
+	}
+	if !strings.Contains(out.String(), "missing from new baseline") {
+		t.Errorf("report does not name the missing benchmark:\n%s", out.String())
+	}
+}
+
+func TestCompareNewBenchmarkNotGated(t *testing.T) {
+	oldB := Baseline{Benchmarks: []Benchmark{bench("CoreGridDispatch", 1000, 30)}}
+	newB := Baseline{Benchmarks: []Benchmark{
+		bench("CoreGridDispatch", 1000, 30),
+		bench("CoreReplayFuzz", 77, 0),
+	}}
+	var out strings.Builder
+	if n := compare(oldB, newB, 0.25, 0.1, &out); n != 0 {
+		t.Errorf("benchmark added: %d regressions, want 0\n%s", n, out.String())
+	}
+	if !strings.Contains(out.String(), "no baseline") {
+		t.Errorf("report does not flag the unbaselined benchmark:\n%s", out.String())
+	}
+}
+
+func TestParseRecordsParamsAndMetrics(t *testing.T) {
+	const text = `goos: linux
+goarch: amd64
+pkg: wsrs
+cpu: Intel(R) Xeon(R)
+BenchmarkCoreGridDispatch 	     555	   4417290 ns/op	   15072 B/op	      30 allocs/op
+BenchmarkCorePipelinePlain-8 	     100	   1234567 ns/op	    2.50 IPC
+PASS
+`
+	base, err := parse(bufio.NewScanner(strings.NewReader(text)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(base.Benchmarks) != 2 {
+		t.Fatalf("parsed %d benchmarks, want 2", len(base.Benchmarks))
+	}
+	b := base.Benchmarks[0]
+	if b.Name != "CoreGridDispatch" || b.NsPerOp != 4417290 || b.AllocsOp == nil || *b.AllocsOp != 30 {
+		t.Errorf("bad first benchmark: %+v", b)
+	}
+	if b.Procs != 0 {
+		t.Errorf("cpu-pinned run should have no procs suffix, got %d", b.Procs)
+	}
+	c := base.Benchmarks[1]
+	if c.Name != "CorePipelinePlain" || c.Procs != 8 || c.Metrics["IPC"] != 2.5 {
+		t.Errorf("bad second benchmark: %+v", c)
+	}
+}

@@ -1,0 +1,136 @@
+package wsrs
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+
+	"wsrs/internal/check"
+	"wsrs/internal/funcsim"
+	"wsrs/internal/isa"
+	"wsrs/internal/kernels"
+	"wsrs/internal/pipeline"
+	"wsrs/internal/trace"
+	"wsrs/internal/tracecache"
+)
+
+// fuzzReplayCap bounds the stream comparison: kernels (and many fuzzed
+// programs) loop forever, so only a prefix is diffed. It deliberately
+// exceeds the trace cache's internal chunk size so the grow-on-demand
+// arena path is exercised, not just the first chunk.
+const fuzzReplayCap = 6000
+
+// fuzzReplayWords reinterprets fuzz input as the little-endian 32-bit
+// word stream the binary program encoding is defined over.
+func fuzzReplayWords(data []byte) []uint32 {
+	words := make([]uint32, 0, len(data)/4)
+	for i := 0; i+4 <= len(data); i += 4 {
+		words = append(words, uint32(data[i])|uint32(data[i+1])<<8|
+			uint32(data[i+2])<<16|uint32(data[i+3])<<24)
+	}
+	return words
+}
+
+// FuzzReplayPath drives random programs through the whole replay path
+// the grid runs on — encode → functional simulation memoized in the
+// trace cache's grow-only arena → cursor replay → timing simulation —
+// and checks it against a straight funcsim execution:
+//
+//  1. the cursor must reproduce the direct µop stream exactly (the
+//     arena snapshots lose or reorder nothing, including across chunk
+//     boundaries and early source termination);
+//  2. the pipeline must simulate the replayed stream with the co-sim
+//     oracle diffing every retired µop against an independent
+//     functional reference, with no checker firing.
+//
+// The seed corpus is the encoded program of every SPEC proxy kernel,
+// so the fuzzer starts from each opcode/operand/loop shape the
+// evaluation actually uses.
+func FuzzReplayPath(f *testing.F) {
+	for _, k := range kernels.All() {
+		prog, err := k.Program()
+		if err != nil {
+			f.Fatal(err)
+		}
+		words, err := isa.Encode(prog)
+		if err != nil {
+			f.Fatal(err)
+		}
+		buf := make([]byte, 4*len(words))
+		for i, w := range words {
+			buf[4*i] = byte(w)
+			buf[4*i+1] = byte(w >> 8)
+			buf[4*i+2] = byte(w >> 16)
+			buf[4*i+3] = byte(w >> 24)
+		}
+		f.Add(buf)
+	}
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		prog, err := isa.Decode(fuzzReplayWords(data))
+		if err != nil || len(prog.Insts) == 0 {
+			return
+		}
+		// The direct stream: funcsim executed straight. Execution
+		// errors (window underflow, bad memory shapes) just end the
+		// stream; the replay must then end at the same µop.
+		direct := funcsim.New(prog, funcsim.NewMemory())
+		var want []trace.MicroOp
+		for len(want) < fuzzReplayCap {
+			m, ok := direct.Next()
+			if !ok {
+				break
+			}
+			want = append(want, m)
+		}
+
+		cache := tracecache.New()
+		ent, err := cache.Get("fuzz", func() (tracecache.Source, error) {
+			return funcsim.New(prog, funcsim.NewMemory()), nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		cur := ent.Reader()
+		for i := range want {
+			m, ok := cur.Next()
+			if !ok {
+				t.Fatalf("replay ended at µop %d of %d (source err: %v)", i, len(want), cur.Err())
+			}
+			if !reflect.DeepEqual(m, want[i]) {
+				t.Fatalf("replay diverged at µop %d:\n direct: %+v\n replay: %+v", i, want[i], m)
+			}
+		}
+		if len(want) < fuzzReplayCap {
+			if m, ok := cur.Next(); ok {
+				t.Fatalf("replay outran funcsim after %d µops: extra %+v", len(want), m)
+			}
+		}
+		if len(want) == 0 {
+			return
+		}
+
+		cfg, pol, err := Build(ConfWSRSRC512, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// No warmup: fuzzed programs may halt after a handful of
+		// instructions, and an incomplete warmup window is the one
+		// trace-end the pipeline treats as an error.
+		ro := pipeline.RunOpts{MeasureInsts: 500, MaxCycles: 100_000}
+		ro.Check = check.New(check.Config{
+			Refs:       []check.RefSource{funcsim.New(prog, funcsim.NewMemory())},
+			AuditEvery: 1000,
+		})
+		if _, err := pipeline.Run(cfg, pol, ent.Reader(), ro); err != nil {
+			var v *check.Violation
+			if errors.As(err, &v) && (v.Checker == "cycle-budget" || v.Checker == "watchdog") {
+				// Arbitrary programs can construct the §2.3 rename
+				// deadlock the paper itself documents; a budget stop
+				// is not a replay bug.
+				return
+			}
+			t.Fatalf("timing simulation of replayed stream failed: %v", err)
+		}
+	})
+}

@@ -94,14 +94,26 @@ func WSRSValid(m *trace.MicroOp, subsets [2]int, c int, swapped bool) bool {
 // non-swappable -> 1 choice; dyadic swappable in distinct subsets ->
 // 2; monadic without HW -> 2; monadic with HW -> 3; noadic -> 4.
 func AllowedClusters(m *trace.MicroOp, subsets [2]int, hwCommutative bool) []Decision {
-	var out []Decision
+	var buf [NumClusters]Decision
+	n := AllowedClustersInto(&buf, m, subsets, hwCommutative)
+	out := make([]Decision, n)
+	copy(out, buf[:n])
+	return out
+}
+
+// AllowedClustersInto is AllowedClusters writing into a caller-owned
+// buffer (at most NumClusters choices exist) and returning the choice
+// count — the allocation-free form the per-µop policies use.
+func AllowedClustersInto(buf *[NumClusters]Decision, m *trace.MicroOp, subsets [2]int, hwCommutative bool) int {
+	n := 0
 	add := func(d Decision) {
-		for _, e := range out {
+		for _, e := range buf[:n] {
 			if e.Cluster == d.Cluster {
 				return
 			}
 		}
-		out = append(out, d)
+		buf[n] = d
+		n++
 	}
 	switch m.NSrc {
 	case 0:
@@ -123,7 +135,7 @@ func AllowedClusters(m *trace.MicroOp, subsets [2]int, hwCommutative bool) []Dec
 			add(Decision{Cluster: clusterFor(subsets[1], subsets[0]), Swapped: true})
 		}
 	}
-	return out
+	return n
 }
 
 // RoundRobin cycles micro-ops across clusters regardless of operands —
@@ -212,7 +224,8 @@ func (p *RC) Allocate(m *trace.MicroOp, subsets [2]int, _ []int) Decision {
 // clusters read specialization allows (with commutative-cluster
 // hardware), pick the least-loaded one, breaking ties randomly.
 type RCBalanced struct {
-	rng *rand.Rand
+	rng     *rand.Rand
+	scratch [NumClusters]Decision
 }
 
 // NewRCBalanced returns a least-loaded RC policy.
@@ -225,7 +238,8 @@ func (p *RCBalanced) Name() string { return "RC-bal" }
 
 // Allocate implements Policy.
 func (p *RCBalanced) Allocate(m *trace.MicroOp, subsets [2]int, occupancy []int) Decision {
-	choices := AllowedClusters(m, subsets, true)
+	n := AllowedClustersInto(&p.scratch, m, subsets, true)
+	choices := p.scratch[:n]
 	best := choices[0]
 	bestOcc := int(^uint(0) >> 1)
 	nties := 0
@@ -256,7 +270,9 @@ func (p *RCBalanced) Allocate(m *trace.MicroOp, subsets [2]int, occupancy []int)
 // co-locate and skip the inter-cluster forwarding cycle. Remaining
 // ties break randomly.
 type RCDep struct {
-	rng *rand.Rand
+	rng      *rand.Rand
+	scratch  [NumClusters]Decision
+	localBuf [NumClusters]Decision
 }
 
 // NewRCDep returns a locality-first RC policy.
@@ -269,20 +285,22 @@ func (p *RCDep) Name() string { return "RC-dep" }
 
 // Allocate implements Policy.
 func (p *RCDep) Allocate(m *trace.MicroOp, subsets [2]int, _ []int) Decision {
-	choices := AllowedClusters(m, subsets, true)
+	n := AllowedClustersInto(&p.scratch, m, subsets, true)
+	choices := p.scratch[:n]
 	// Prefer a choice equal to a producer cluster (= operand subset,
 	// by write specialization).
-	var local []Decision
+	nl := 0
 	for _, d := range choices {
 		for i := 0; i < m.NSrc; i++ {
 			if d.Cluster == subsets[i] {
-				local = append(local, d)
+				p.localBuf[nl] = d
+				nl++
 				break
 			}
 		}
 	}
-	if len(local) > 0 {
-		return local[p.rng.Intn(len(local))]
+	if nl > 0 {
+		return p.localBuf[p.rng.Intn(nl)]
 	}
-	return choices[p.rng.Intn(len(choices))]
+	return choices[p.rng.Intn(n)]
 }

@@ -52,6 +52,9 @@ type Oracle struct{ next bool }
 // SetNext primes the oracle with the actual outcome of the next branch.
 func (o *Oracle) SetNext(taken bool) { o.next = taken }
 
+// Reset clears any primed outcome (engine reuse).
+func (o *Oracle) Reset() { o.next = false }
+
 // Predict implements Predictor.
 func (o *Oracle) Predict(uint64) bool { return o.next }
 
@@ -83,4 +86,11 @@ func (b *Bimodal) Predict(pc uint64) bool {
 func (b *Bimodal) Update(pc uint64, taken bool) {
 	i := (pc >> 2) & b.mask
 	b.table[i] = b.table[i].update(taken)
+}
+
+// Reset restores every counter to weakly taken without reallocating.
+func (b *Bimodal) Reset() {
+	for i := range b.table {
+		b.table[i] = 2
+	}
 }

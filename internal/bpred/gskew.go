@@ -18,6 +18,7 @@ package bpred
 // 4 x 64K x 2 bits = 512 Kbits, the budget quoted in §5.2 of the paper.
 type TwoBcGskew struct {
 	bim, g0, g1, meta []counter
+	proto             []counter // weakly-taken image, memmoved on Reset
 	mask              uint64
 	hist              uint64
 	h0Len, h1Len      uint
@@ -28,15 +29,18 @@ type TwoBcGskew struct {
 // banks. logSize 16 gives the paper's 512-Kbit budget.
 func NewTwoBcGskew(logSize uint) *TwoBcGskew {
 	n := uint64(1) << logSize
+	proto := make([]counter, n)
+	for i := range proto {
+		proto[i] = 2 // weakly taken
+	}
 	mk := func() []counter {
 		t := make([]counter, n)
-		for i := range t {
-			t[i] = 2 // weakly taken
-		}
+		copy(t, proto)
 		return t
 	}
 	return &TwoBcGskew{
 		bim: mk(), g0: mk(), g1: mk(), meta: mk(),
+		proto:   proto,
 		mask:    n - 1,
 		h0Len:   logSize - 3,    // short history
 		h1Len:   2*logSize - 11, // long history (21 bits at logSize 16)
@@ -47,6 +51,19 @@ func NewTwoBcGskew(logSize uint) *TwoBcGskew {
 // Storage returns the predictor's total storage budget in bits.
 func (p *TwoBcGskew) Storage() uint64 {
 	return 4 * (uint64(1) << p.logSize) * 2
+}
+
+// LogSize returns the per-bank index width (16 = the paper's budget).
+func (p *TwoBcGskew) LogSize() uint { return p.logSize }
+
+// Reset restores the freshly constructed state (all counters weakly
+// taken, empty history) without reallocating the banks.
+func (p *TwoBcGskew) Reset() {
+	copy(p.bim, p.proto)
+	copy(p.g0, p.proto)
+	copy(p.g1, p.proto)
+	copy(p.meta, p.proto)
+	p.hist = 0
 }
 
 // skew mixes pc and history with a per-bank rotation so the banks

@@ -1,0 +1,16 @@
+package bypass
+
+import "testing"
+
+// The arbitration pricing runs once per operand drive in the metered
+// hot loop; evaluating a pre-built point must never touch the heap.
+func TestAllocFreeArbitration(t *testing.T) {
+	p := Point{Name: "WSRS 8-way", Sources: Sources(2, 6), Entries: 4}
+	var sink float64
+	if avg := testing.AllocsPerRun(1000, func() {
+		sink += p.DelayRel() + DriveEnergyNJ(p.Entries)
+	}); avg != 0 {
+		t.Errorf("bypass arbitration: %.1f allocs/op, want 0", avg)
+	}
+	benchSink = sink
+}

@@ -69,12 +69,22 @@ type Scoreboard struct {
 
 // NewScoreboard returns an empty scoreboard.
 func NewScoreboard(cfg Config) *Scoreboard {
-	s := &Scoreboard{cfg: cfg}
+	s := &Scoreboard{}
+	s.Reset(cfg)
+	return s
+}
+
+// Reset restores the freshly constructed state for cfg. The counter
+// rings are invalidated via the cycle stamps, so nothing but the two
+// stamp arrays needs clearing.
+func (s *Scoreboard) Reset(cfg Config) {
+	s.cfg = cfg
 	for i := range s.stamp {
 		s.stamp[i] = -1
 		s.wbStamp[i] = -1
 	}
-	return s
+	s.divBusyUntil = 0
+	s.fpdivBusyUntil = 0
 }
 
 // Config returns the cluster configuration.

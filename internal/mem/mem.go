@@ -65,9 +65,12 @@ type line struct {
 	fillAt int64
 }
 
-// cache is a set-associative tag array with true-LRU replacement.
+// cache is a set-associative tag array with true-LRU replacement. The
+// sets are views into one flat backing array, so invalidating the
+// whole cache is a single linear clear.
 type cache struct {
 	sets      [][]line
+	backing   []line
 	setMask   uint64
 	lineShift uint
 	tick      uint64
@@ -91,7 +94,15 @@ func newCache(size, lineSize, assoc int) *cache {
 	for 1<<shift < lineSize {
 		shift++
 	}
-	return &cache{sets: sets, setMask: uint64(nSets - 1), lineShift: shift}
+	return &cache{sets: sets, backing: backing, setMask: uint64(nSets - 1), lineShift: shift}
+}
+
+// reset invalidates every line and rewinds the LRU clock.
+func (c *cache) reset() {
+	for i := range c.backing {
+		c.backing[i] = line{}
+	}
+	c.tick = 0
 }
 
 func (c *cache) index(addr uint64) (set uint64, tag uint64) {
@@ -162,6 +173,15 @@ func New(cfg Config) *Hierarchy {
 
 // Config returns the hierarchy configuration.
 func (h *Hierarchy) Config() Config { return h.cfg }
+
+// Reset restores the cold freshly constructed state (empty caches,
+// idle bus, zero counters) without reallocating the tag arrays.
+func (h *Hierarchy) Reset() {
+	h.l1.reset()
+	h.l2.reset()
+	h.l2BusFree = 0
+	h.Stats = Stats{}
+}
 
 // transferCycles is the L2 bus occupancy of one line transfer.
 func (h *Hierarchy) transferCycles() int64 {

@@ -40,6 +40,10 @@ func NewClusterLoad(cfg UnbalancingConfig) *ClusterLoad {
 	}
 }
 
+// Config returns the tracker's parameters (engine reuse compares it
+// before deciding between Reset and reconstruction).
+func (u *ClusterLoad) Config() UnbalancingConfig { return u.cfg }
+
 // Commit records one committed instruction executed on cluster c (for
 // cracked instructions, the cluster of the final micro-op).
 func (u *ClusterLoad) Commit(c int) {

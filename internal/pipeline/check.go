@@ -112,13 +112,15 @@ func (t *injectTarget) DupFree() (string, bool) {
 
 // DropWakeup picks a victim whose loss is observable: a not-yet-issued
 // consumer waiting on a broadcast that is still in the future and whose
-// producer is in flight. Marking that register not-ready strands the
-// consumer — the wakeup audit sees the issued producer with a lost
-// broadcast, and the watchdog backstops when audits are off.
+// producer is in flight. Marking that register not-ready and re-arming
+// the consumer's wait count strands it — the wakeup audit sees the
+// issued producer with a lost broadcast, and the watchdog backstops
+// when audits are off.
 func (t *injectTarget) DropWakeup() (string, bool) {
 	e := (*engine)(t)
 	for i := 0; i < e.robCount; i++ {
-		ent := &e.rob[(e.robHead+i)%len(e.rob)]
+		idx := (e.robHead + i) % len(e.rob)
+		ent := &e.rob[idx]
 		if ent.issued {
 			continue
 		}
@@ -127,6 +129,10 @@ func (t *injectTarget) DropWakeup() (string, bool) {
 			ri := e.readyInfo(cl, ent.srcPhys[s])
 			if ri.readyAt != notReady && ri.readyAt > e.cycle && ri.producerRob >= 0 {
 				ri.readyAt = notReady
+				// The broadcast already decremented the consumer's wait
+				// count when the producer issued; undo it so the wake-up
+				// gate never opens again (the lost-broadcast fault).
+				e.robSched[idx].wait++
 				return fmt.Sprintf("result broadcast of %v p%d (producer rob[%d]) dropped; consumer µop seq %d stranded",
 					cl, ent.srcPhys[s], ri.producerRob, ent.m.Seq), true
 			}
@@ -162,10 +168,11 @@ func (e *engine) watchdogViolation(stallLimit int64) error {
 	} else {
 		b.WriteString("window empty: the front end cannot dispatch\n")
 	}
-	for tid, t := range e.th {
+	for tid := range e.th {
+		t := &e.th[tid]
 		fmt.Fprintf(&b, "context %d: insts=%d drained=%v fetchResumeAt=%d pendingRedirect=%d pendingTrap=%d",
 			tid, t.insts, t.drained(), t.fetchResumeAt, t.pendingRedirect, t.pendingTrap)
-		if t.pending != nil {
+		if t.hasPending {
 			fmt.Fprintf(&b, " pending µop seq %d (op %v", t.pending.Seq, t.pending.Op)
 			if t.pending.HasDst {
 				fmt.Fprintf(&b, ", dst %v", t.pending.Dst)
@@ -176,7 +183,7 @@ func (e *engine) watchdogViolation(stallLimit int64) error {
 	}
 	fmt.Fprintf(&b, "occupancy: rob %d/%d, inflight %v, iq", e.robCount, len(e.rob), e.inflight)
 	for c := range e.iq {
-		fmt.Fprintf(&b, " %d", len(e.iq[c]))
+		fmt.Fprintf(&b, " %d", e.iqLen[c])
 	}
 	b.WriteString("\n")
 	for _, cl := range []isa.RegClass{isa.RegInt, isa.RegFP} {

@@ -18,6 +18,7 @@ package pipeline
 import (
 	"fmt"
 	"math"
+	"sync"
 	"time"
 
 	"wsrs/internal/alloc"
@@ -151,11 +152,11 @@ func (c Config) Validate() error {
 			}
 		}
 	}
-	for _, class := range []isa.Class{isa.ClassALU, isa.ClassMul, isa.ClassDiv,
+	for _, class := range [...]isa.Class{isa.ClassALU, isa.ClassMul, isa.ClassDiv,
 		isa.ClassLoad, isa.ClassStore, isa.ClassFP, isa.ClassFPDiv} {
 		ok := false
-		for _, cc := range c.clusterConfigs() {
-			if cc.CanExecute(class) {
+		for i := 0; i < c.NumClusters; i++ {
+			if c.clusterConfig(i).CanExecute(class) {
 				ok = true
 				break
 			}
@@ -167,12 +168,22 @@ func (c Config) Validate() error {
 	return c.Rename.Validate()
 }
 
-// clusterConfigs returns the per-cluster resource configurations.
-func (c Config) clusterConfigs() []cluster.Config {
+// clusterConfig returns cluster i's resource configuration.
+func (c Config) clusterConfig(i int) cluster.Config {
+	if c.ClusterConfigs != nil {
+		return c.ClusterConfigs[i]
+	}
+	return c.Cluster
+}
+
+// clusterConfigs returns the per-cluster resource configurations,
+// reusing buf when its capacity fits (the homogeneous case expands
+// Cluster into one entry per cluster).
+func (c Config) clusterConfigs(buf []cluster.Config) []cluster.Config {
 	if c.ClusterConfigs != nil {
 		return c.ClusterConfigs
 	}
-	out := make([]cluster.Config, c.NumClusters)
+	out := growSlice(buf, c.NumClusters)
 	for i := range out {
 		out[i] = c.Cluster
 	}
@@ -281,6 +292,13 @@ type regInfo struct {
 	// future — the producer cannot have committed then — and used by
 	// the stall-stack attribution to chase dependence chains.
 	producerRob int32
+	// consHead chains the not-yet-issued consumers waiting on this
+	// register (encoded robIndex<<1 | operandSide, -1 = none); the
+	// producer's issue walks the chain instead of every consumer
+	// polling every cycle. The chain is an acceleration structure
+	// only: readyAt/producer keep their polling semantics for the
+	// observation-side consumers (stall attribution, telemetry).
+	consHead int32
 }
 
 type robEntry struct {
@@ -300,12 +318,16 @@ type robEntry struct {
 	prec     *probe.UopRecord
 }
 
-// threadState is the per-SMT-context front-end state.
+// threadState is the per-SMT-context front-end state. The lookahead
+// µop and its allocation decision are held by value: boxing them per
+// µop used to be nearly all of the simulator's heap traffic.
 type threadState struct {
-	src     trace.Reader
-	pending *trace.MicroOp
-	pendDec *alloc.Decision
-	srcDone bool
+	src        trace.Reader
+	pending    trace.MicroOp
+	pendDec    alloc.Decision
+	hasPending bool
+	hasDec     bool
+	srcDone    bool
 
 	fetchResumeAt   int64
 	pendingRedirect int
@@ -324,11 +346,32 @@ type threadState struct {
 	insts uint64
 }
 
-func (t *threadState) drained() bool { return t.srcDone && t.pending == nil }
+func (t *threadState) drained() bool { return t.srcDone && !t.hasPending }
+
+// robSched is one ROB entry's wake-up state: wait counts operands
+// whose producer has not issued yet, ready is the max availability
+// cycle over operands whose producer is known. An entry is eligible
+// for selection once wait == 0 and ready <= cycle.
+//
+// memSeq, tid and class mirror the robEntry so the select scan can
+// decide eligibility (operands, memory ordering, divider parity,
+// scoreboard) from this 24-byte record alone — the 10x larger ROB
+// entry is only touched for the <= width entries that actually issue.
+type robSched struct {
+	ready  int64
+	memSeq int64 // -1 when not a memory op
+	wait   int16
+	tid    uint8
+	class  uint8
+}
 
 type engine struct {
 	cfg  Config
 	ccfg []cluster.Config
+	// ccfgBuf is the engine-owned backing for ccfg in the homogeneous
+	// case; heterogeneous configurations alias the caller's
+	// ClusterConfigs slice, which must never be written through.
+	ccfgBuf []cluster.Config
 	pol  alloc.Policy
 	ren  *rename.Renamer
 	bp   bpred.Predictor
@@ -340,19 +383,49 @@ type engine struct {
 	robTail  int
 	robCount int
 
-	iq       [][]int // per-cluster ROB indices, age order
+	// Hot per-entry scheduling state, kept out of the fat ROB entries:
+	// robSched packs the unissued-producer count and the max operand
+	// availability cycle into one cache line access per entry; robLink
+	// holds the per-operand-side next pointer of the regInfo consumer
+	// chains.
+	robSched []robSched
+	robLink  [][2]int32
+
+	// iq holds, per cluster in age order, only the entries whose
+	// wake-up gate is open (wait == 0): entries with unissued
+	// producers are parked in the consumer chains and re-enter via
+	// woken, so the select scan never visits them. iqLen is the total
+	// scheduler occupancy (scanned + parked) that dispatch stalls
+	// against and telemetry samples.
+	iq    [][]int32
+	iqLen []int32
+	// woken buffers entries whose wait count hit zero during this
+	// cycle's broadcast walks; they merge into iq after the scan (a
+	// freshly woken entry can never issue in the broadcasting cycle,
+	// so deferring the insert is unobservable).
+	woken    []int32
 	inflight []int
 
 	intReady []regInfo
 	fpReady  []regInfo
 
-	stores []int // ROB indices of in-flight stores, age order
+	// stores holds ROB indices of in-flight stores in age order,
+	// consumed from storesHead (commit) and appended at the tail
+	// (dispatch); appends compact the drained prefix in place instead
+	// of reallocating, so the backing array converges on the maximum
+	// in-flight store count.
+	stores     []int
+	storesHead int
 
 	// sharedDivBusy is the per-cluster-pair divider occupancy when
 	// SharedDividers is enabled (§4.1).
 	sharedDivBusy []int64
 
-	th []*threadState
+	th []threadState
+
+	// resteerBuf is scratch for the deadlock-avoidance re-steer
+	// enumeration (workaround (a) of §2.3).
+	resteerBuf [alloc.NumClusters]alloc.Decision
 
 	cycle int64
 
@@ -380,6 +453,9 @@ type engine struct {
 	act      *telemetry.Activity
 	actOn    bool
 	monitors [][]uint8
+	// monNS/monNC/monWSRS key the cached monitors table.
+	monNS, monNC int
+	monWSRS      bool
 
 	insts, uops     uint64
 	condBr, mispred uint64
@@ -398,6 +474,12 @@ func Run(cfg Config, pol alloc.Policy, src trace.Reader, opts RunOpts) (Result, 
 	return RunSMT(cfg, pol, []trace.Reader{src}, opts)
 }
 
+// enginePool recycles engines across runs: a pooled engine's Reset
+// reuses its arenas (ROB, issue queues, register scoreboard, renamer,
+// predictor tables, cache tag arrays), so a grid of N cells allocates
+// like one cell once the pool is warm.
+var enginePool = sync.Pool{New: func() any { return new(engine) }}
+
 // RunSMT simulates one trace per SMT context. len(srcs) must match
 // cfg.Threads (or 1 with Threads unset).
 func RunSMT(cfg Config, pol alloc.Policy, srcs []trace.Reader, opts RunOpts) (Result, error) {
@@ -408,43 +490,140 @@ func RunSMT(cfg Config, pol alloc.Policy, srcs []trace.Reader, opts RunOpts) (Re
 	if len(srcs) != cfg.Threads {
 		return Result{}, fmt.Errorf("pipeline: %d traces for %d SMT contexts", len(srcs), cfg.Threads)
 	}
+	e := enginePool.Get().(*engine)
+	if err := e.Reset(cfg, pol, srcs, opts); err != nil {
+		return Result{}, err
+	}
+	res, err := e.run(opts)
+	if err == nil {
+		// Failed runs may leave their error state (checker violations,
+		// diagnostic dumps) referencing engine internals; only clean
+		// engines re-enter the pool.
+		e.scrub()
+		enginePool.Put(e)
+	}
+	return res, err
+}
+
+// Reset prepares the engine to simulate a fresh run of cfg/pol/srcs,
+// reusing every internal allocation whose capacity still fits. A reset
+// engine is indistinguishable from a newly constructed one: simulated
+// behavior is a pure function of (cfg, pol, srcs, opts), never of the
+// engine's history.
+func (e *engine) Reset(cfg Config, pol alloc.Policy, srcs []trace.Reader, opts RunOpts) error {
 	if err := cfg.Validate(); err != nil {
-		return Result{}, err
+		return err
 	}
-	ren, err := rename.New(cfg.Rename)
-	if err != nil {
-		return Result{}, err
+	e.cfg = cfg
+	e.ccfg = cfg.clusterConfigs(e.ccfgBuf)
+	if cfg.ClusterConfigs == nil {
+		e.ccfgBuf = e.ccfg
 	}
-	var bp bpred.Predictor
+	e.pol = pol
+	if e.ren == nil {
+		ren, err := rename.New(cfg.Rename)
+		if err != nil {
+			return err
+		}
+		e.ren = ren
+	} else if err := e.ren.Reset(cfg.Rename); err != nil {
+		return err
+	}
 	if cfg.PerfectBP {
-		bp = &bpred.Oracle{}
+		o, ok := e.bp.(*bpred.Oracle)
+		if !ok {
+			o = &bpred.Oracle{}
+		}
+		o.Reset()
+		e.bp = o
 	} else {
 		logSize := cfg.PredictorLogSize
 		if logSize == 0 {
 			logSize = 16
 		}
-		bp = bpred.NewTwoBcGskew(logSize)
+		g, ok := e.bp.(*bpred.TwoBcGskew)
+		if !ok || g.LogSize() != logSize {
+			g = bpred.NewTwoBcGskew(logSize)
+		} else {
+			g.Reset()
+		}
+		e.bp = g
 	}
+	if e.hi == nil || e.hi.Config() != cfg.Mem {
+		e.hi = mem.New(cfg.Mem)
+	} else {
+		e.hi.Reset()
+	}
+	if cap(e.sb) >= len(e.ccfg) {
+		e.sb = e.sb[:len(e.ccfg)]
+	} else {
+		e.sb = make([]*cluster.Scoreboard, len(e.ccfg))
+	}
+	for i, cc := range e.ccfg {
+		if e.sb[i] != nil {
+			e.sb[i].Reset(cc)
+		} else {
+			e.sb[i] = cluster.NewScoreboard(cc)
+		}
+	}
+
+	e.rob = growSlice(e.rob, cfg.ROBSize)
+	clear(e.rob)
+	e.robSched = growSlice(e.robSched, cfg.ROBSize)
+	e.robLink = growSlice(e.robLink, cfg.ROBSize)
+	e.robHead, e.robTail, e.robCount = 0, 0, 0
+
+	e.iq = growSlice(e.iq, cfg.NumClusters)
+	for c := range e.iq {
+		if cap(e.iq[c]) < e.ccfg[c].IQSize {
+			e.iq[c] = make([]int32, 0, e.ccfg[c].IQSize)
+		}
+		e.iq[c] = e.iq[c][:0]
+	}
+	e.iqLen = growSlice(e.iqLen, cfg.NumClusters)
+	clear(e.iqLen)
+	e.woken = e.woken[:0]
+	e.inflight = growSlice(e.inflight, cfg.NumClusters)
+	clear(e.inflight)
+
+	e.intReady = growSlice(e.intReady, cfg.Rename.IntRegs)
+	e.fpReady = growSlice(e.fpReady, cfg.Rename.FPRegs)
+	for i := range e.intReady {
+		e.intReady[i] = regInfo{producer: -1, producerRob: -1, consHead: -1}
+	}
+	for i := range e.fpReady {
+		e.fpReady[i] = regInfo{producer: -1, producerRob: -1, consHead: -1}
+	}
+	e.stores = e.stores[:0]
+	e.storesHead = 0
+	e.sharedDivBusy = growSlice(e.sharedDivBusy, (cfg.NumClusters+1)/2)
+	clear(e.sharedDivBusy)
+
+	e.th = growSlice(e.th, len(srcs))
+	for tid, src := range srcs {
+		e.th[tid] = threadState{
+			src:             src,
+			pendingRedirect: -1,
+			pendingTrap:     -1,
+		}
+	}
+
 	ub := cfg.Unbalancing
 	if ub.GroupSize == 0 {
 		ub = metrics.DefaultUnbalancing()
 		ub.Clusters = cfg.NumClusters
 	}
-	e := &engine{
-		cfg:      cfg,
-		ccfg:     cfg.clusterConfigs(),
-		pol:      pol,
-		ren:      ren,
-		bp:       bp,
-		hi:       mem.New(cfg.Mem),
-		rob:      make([]robEntry, cfg.ROBSize),
-		iq:       make([][]int, cfg.NumClusters),
-		inflight: make([]int, cfg.NumClusters),
-		intReady: make([]regInfo, cfg.Rename.IntRegs),
-		fpReady:  make([]regInfo, cfg.Rename.FPRegs),
-		load:     metrics.NewClusterLoad(ub),
-		chk:      opts.Check,
+	if e.load == nil || e.load.Config() != ub {
+		e.load = metrics.NewClusterLoad(ub)
+	} else {
+		e.load.Reset()
 	}
+
+	e.cycle = 0
+	e.fail = nil
+	e.chk = opts.Check
+	e.corruptNext = false
+	e.prb, e.evOn, e.stOn, e.occOn = nil, false, false, false
 	if p := opts.Probe; p != nil {
 		e.prb = p
 		e.evOn = p.Opt.Events
@@ -452,30 +631,47 @@ func RunSMT(cfg Config, pol alloc.Policy, srcs []trace.Reader, opts RunOpts) (Re
 		e.occOn = p.Opt.Occupancy
 		p.Stall.Width = cfg.CommitWidth
 	}
+	e.act, e.actOn = nil, false
 	if a := opts.Activity; a != nil {
 		e.act = a
 		e.actOn = true
-		e.monitors = telemetry.MonitorCounts(cfg.Rename.NumSubsets, cfg.NumClusters, cfg.WSRS)
+		// The monitor table depends only on the machine geometry;
+		// engines cycling through the same configuration reuse it.
+		if e.monitors == nil || e.monNS != cfg.Rename.NumSubsets ||
+			e.monNC != cfg.NumClusters || e.monWSRS != cfg.WSRS {
+			e.monitors = telemetry.MonitorCounts(cfg.Rename.NumSubsets, cfg.NumClusters, cfg.WSRS)
+			e.monNS, e.monNC, e.monWSRS = cfg.Rename.NumSubsets, cfg.NumClusters, cfg.WSRS
+		}
 	}
-	for tid, src := range srcs {
-		_ = tid
-		e.th = append(e.th, &threadState{
-			src:             src,
-			pendingRedirect: -1,
-			pendingTrap:     -1,
-		})
+	e.insts, e.uops = 0, 0
+	e.condBr, e.mispred = 0, 0
+	e.traps = 0
+	e.stallRedirect, e.stallRename, e.stallWindow = 0, 0, 0
+	e.forwards, e.moves, e.resteers = 0, 0, 0
+	return nil
+}
+
+// scrub drops the engine's references to run-owned objects (trace
+// readers, probe, checker, activity block, policy, retired-µop
+// records) so a pooled engine cannot retain them.
+func (e *engine) scrub() {
+	clear(e.rob)
+	for i := range e.th {
+		e.th[i] = threadState{}
 	}
-	for i := range e.intReady {
-		e.intReady[i] = regInfo{producer: -1, producerRob: -1}
+	e.pol = nil
+	e.chk = nil
+	e.prb = nil
+	e.act = nil
+}
+
+// growSlice returns s resized to length n, reusing its backing array
+// when the capacity suffices. Newly exposed elements are NOT cleared.
+func growSlice[T any](s []T, n int) []T {
+	if cap(s) < n {
+		return make([]T, n)
 	}
-	for i := range e.fpReady {
-		e.fpReady[i] = regInfo{producer: -1, producerRob: -1}
-	}
-	for _, cc := range e.ccfg {
-		e.sb = append(e.sb, cluster.NewScoreboard(cc))
-	}
-	e.sharedDivBusy = make([]int64, (cfg.NumClusters+1)/2)
-	return e.run(opts)
+	return s[:n]
 }
 
 func (e *engine) run(opts RunOpts) (Result, error) {
@@ -497,8 +693,8 @@ func (e *engine) run(opts RunOpts) (Result, error) {
 	lastCommitCycle := int64(0)
 	for {
 		allDrained := true
-		for _, t := range e.th {
-			if !t.drained() {
+		for i := range e.th {
+			if !e.th[i].drained() {
 				allDrained = false
 				break
 			}
@@ -528,8 +724,8 @@ func (e *engine) run(opts RunOpts) (Result, error) {
 			warmed = true
 			baseCycle = e.cycle
 			base = e.snapshot()
-			for i, t := range e.th {
-				baseTh[i] = t.insts
+			for i := range e.th {
+				baseTh[i] = e.th[i].insts
 			}
 			e.load.Reset()
 			if e.prb != nil {
@@ -595,8 +791,8 @@ func (e *engine) run(opts RunOpts) (Result, error) {
 		ClusterSpread:     e.load.Spread(),
 		ClusterLoads:      append([]uint64(nil), e.load.TotalPerCluster...),
 	}
-	for i, t := range e.th {
-		res.PerThreadInsts = append(res.PerThreadInsts, t.insts-baseTh[i])
+	for i := range e.th {
+		res.PerThreadInsts = append(res.PerThreadInsts, e.th[i].insts-baseTh[i])
 	}
 	if res.Cycles > 0 {
 		res.IPC = float64(res.Insts) / float64(res.Cycles)
@@ -669,7 +865,8 @@ func (e *engine) blameCommit() probe.Cause {
 	}
 	// Empty window: find a front-end reason across the contexts.
 	live := false
-	for _, t := range e.th {
+	for i := range e.th {
+		t := &e.th[i]
 		if t.drained() {
 			continue
 		}
@@ -684,8 +881,9 @@ func (e *engine) blameCommit() probe.Cause {
 	if !live {
 		return probe.CauseDrain
 	}
-	for _, t := range e.th {
-		if t.drained() || t.pending == nil || t.pendDec == nil || !t.pending.HasDst {
+	for i := range e.th {
+		t := &e.th[i]
+		if t.drained() || !t.hasPending || !t.hasDec || !t.pending.HasDst {
 			continue
 		}
 		subset := 0
@@ -706,7 +904,7 @@ func (e *engine) sampleOccupancy() {
 	occ := &e.prb.Occ
 	occ.ROB.Add(e.robCount)
 	for c := 0; c < e.cfg.NumClusters; c++ {
-		occ.SampleIQ(c, len(e.iq[c]))
+		occ.SampleIQ(c, int(e.iqLen[c]))
 	}
 	for s := 0; s < e.cfg.Rename.NumSubsets; s++ {
 		occ.SampleIntFree(s, e.ren.FreeCount(isa.RegInt, s))
@@ -757,7 +955,11 @@ func (e *engine) readyInfo(c isa.RegClass, p rename.PhysReg) *regInfo {
 // by a consumer on cluster c, accounting for cross-cluster forwarding
 // (the uniform XClusterDelay, or the §4.3.1 delay matrix when set).
 func (e *engine) availAt(cl isa.RegClass, p rename.PhysReg, c int) int64 {
-	ri := e.readyInfo(cl, p)
+	return e.availFrom(e.readyInfo(cl, p), c)
+}
+
+// availFrom is availAt over an already-resolved register entry.
+func (e *engine) availFrom(ri *regInfo, c int) int64 {
 	t := ri.readyAt
 	if ri.producer >= 0 && int(ri.producer) != c {
 		if e.cfg.ForwardDelay != nil {
@@ -771,10 +973,11 @@ func (e *engine) availAt(cl isa.RegClass, p rename.PhysReg, c int) int64 {
 
 // fetchNext returns thread tid's next µop to dispatch, using a
 // one-entry lookahead buffer so a stalled µop keeps its allocation
-// decision.
+// decision. The returned pointers alias the thread's lookahead slot
+// (valid until the µop is consumed); nothing is heap-allocated.
 func (e *engine) fetchNext(tid int) (*trace.MicroOp, *alloc.Decision) {
-	t := e.th[tid]
-	if t.pending == nil {
+	t := &e.th[tid]
+	if !t.hasPending {
 		if t.srcDone {
 			return nil, nil
 		}
@@ -787,30 +990,32 @@ func (e *engine) fetchNext(tid int) (*trace.MicroOp, *alloc.Decision) {
 			// Private per-context address spaces.
 			m.Addr += uint64(tid) << 40
 		}
-		t.pending = &m
-		t.pendDec = nil
+		t.pending = m
+		t.hasPending = true
+		t.hasDec = false
 		t.fetchedAt = e.cycle
 	}
-	if t.pendDec == nil {
+	if !t.hasDec {
 		var subsets [2]int
 		for i := 0; i < t.pending.NSrc; i++ {
 			subsets[i] = e.ren.SubsetOfLogicalT(tid, t.pending.Src[i])
 		}
-		d := e.pol.Allocate(t.pending, subsets, e.inflight)
-		if e.cfg.WSRS && !alloc.WSRSValid(t.pending, subsets, d.Cluster, d.Swapped) {
+		d := e.pol.Allocate(&t.pending, subsets, e.inflight)
+		if e.cfg.WSRS && !alloc.WSRSValid(&t.pending, subsets, d.Cluster, d.Swapped) {
 			e.fail = &check.Violation{Checker: "rs-legal", Cycle: e.cycle,
 				Summary: fmt.Sprintf("policy %s violated read specialization: op=%v subsets=%v decision=%+v",
 					e.pol.Name(), t.pending.Op, subsets, d)}
 			return nil, nil
 		}
-		t.pendDec = &d
+		t.pendDec = d
+		t.hasDec = true
 	}
-	return t.pending, t.pendDec
+	return &t.pending, &t.pendDec
 }
 
 // fetchable reports whether thread tid can deliver µops this cycle.
 func (e *engine) fetchable(tid int) bool {
-	t := e.th[tid]
+	t := &e.th[tid]
 	return t.pendingRedirect < 0 && t.pendingTrap < 0 &&
 		e.cycle >= t.fetchResumeAt && !t.drained()
 }
@@ -832,8 +1037,8 @@ func (e *engine) dispatch() {
 		tid := e.pickThread(slot)
 		if tid < 0 {
 			// All contexts stalled on redirects or drained.
-			for _, t := range e.th {
-				if !t.drained() {
+			for i := range e.th {
+				if !e.th[i].drained() {
 					e.stallRedirect += uint64(e.cfg.FetchWidth - slot)
 					if e.stOn {
 						e.prb.Disp.Redirect += uint64(e.cfg.FetchWidth - slot)
@@ -843,7 +1048,7 @@ func (e *engine) dispatch() {
 			}
 			return
 		}
-		t := e.th[tid]
+		t := &e.th[tid]
 		m, dec := e.fetchNext(tid)
 		if e.fail != nil {
 			return
@@ -864,7 +1069,7 @@ func (e *engine) dispatch() {
 		// Structural checks.
 		if e.robCount >= e.cfg.ROBSize ||
 			e.inflight[cl] >= e.ccfg[cl].MaxInflight ||
-			(m.Class != isa.ClassNop && len(e.iq[cl]) >= e.ccfg[cl].IQSize) {
+			(m.Class != isa.ClassNop && int(e.iqLen[cl]) >= e.ccfg[cl].IQSize) {
 			e.stallWindow += uint64(e.cfg.FetchWidth - slot)
 			if e.stOn {
 				n := uint64(e.cfg.FetchWidth - slot)
@@ -903,7 +1108,6 @@ func (e *engine) dispatch() {
 				if alt, ok := e.resteer(tid, m, cl); ok {
 					cl = alt
 					t.pendDec.Cluster = alt
-					dec = t.pendDec
 					if e.cfg.Rename.NumSubsets > 1 {
 						subset = cl
 					}
@@ -955,8 +1159,25 @@ func (e *engine) dispatch() {
 			memSeq:   -1,
 			doneAt:   notReady,
 		}
+		// Wake-up bookkeeping: operands with an unissued producer join
+		// that register's consumer chain (the producer's issue will
+		// broadcast to them); operands already produced contribute
+		// their availability cycle directly.
+		sched := &e.robSched[idx]
+		*sched = robSched{memSeq: -1, tid: uint8(tid), class: uint8(m.Class)}
+		for i := 0; i < m.NSrc; i++ {
+			scl := m.Src[i].Class
+			ri := e.readyInfo(scl, srcs[i])
+			if ri.readyAt == notReady {
+				e.robLink[idx][i] = ri.consHead
+				ri.consHead = int32(idx<<1 | i)
+				sched.wait++
+			} else if a := e.availFrom(ri, cl); a > sched.ready {
+				sched.ready = a
+			}
+		}
 		if m.HasDst {
-			*e.readyInfo(m.Dst.Class, dst) = regInfo{readyAt: notReady, producer: int32(cl), producerRob: int32(idx)}
+			*e.readyInfo(m.Dst.Class, dst) = regInfo{readyAt: notReady, producer: int32(cl), producerRob: int32(idx), consHead: -1}
 		}
 		if e.evOn {
 			r := e.prb.NewRecord()
@@ -970,8 +1191,14 @@ func (e *engine) dispatch() {
 		}
 		if isa.IsMem(m.Op) {
 			ent.memSeq = t.nextMemSeq
+			sched.memSeq = t.nextMemSeq
 			t.nextMemSeq++
 			if m.Class == isa.ClassStore {
+				if len(e.stores) == cap(e.stores) && e.storesHead > 0 {
+					n := copy(e.stores, e.stores[e.storesHead:])
+					e.stores = e.stores[:n]
+					e.storesHead = 0
+				}
 				e.stores = append(e.stores, idx)
 			}
 		}
@@ -1005,10 +1232,18 @@ func (e *engine) dispatch() {
 				ent.prec.Done = e.cycle
 			}
 		} else {
-			e.iq[cl] = append(e.iq[cl], idx)
+			e.iqLen[cl]++
+			if sched.wait == 0 {
+				// Wake-up gate already open: join the select scan.
+				// The dispatched entry is the youngest in its cluster,
+				// so appending keeps the scan list age-ordered. Gated
+				// entries are parked in the consumer chains instead
+				// and re-enter through the broadcast walk.
+				e.iq[cl] = append(e.iq[cl], int32(idx))
+			}
 		}
 
-		t.pending, t.pendDec = nil, nil
+		t.hasPending, t.hasDec = false, false
 	}
 }
 
@@ -1022,7 +1257,8 @@ func (e *engine) resteer(tid int, m *trace.MicroOp, orig int) (int, bool) {
 		for i := 0; i < m.NSrc; i++ {
 			subsets[i] = e.ren.SubsetOfLogicalT(tid, m.Src[i])
 		}
-		for _, d := range alloc.AllowedClusters(m, subsets, m.HWCommutable) {
+		n := alloc.AllowedClustersInto(&e.resteerBuf, m, subsets, m.HWCommutable)
+		for _, d := range e.resteerBuf[:n] {
 			if d.Cluster != orig && e.ren.CanRename(m.Dst.Class, d.Cluster) &&
 				e.ccfg[d.Cluster].CanExecute(m.Class) {
 				return d.Cluster, true
@@ -1076,8 +1312,8 @@ func (e *engine) injectMove(c isa.RegClass, subset int) bool {
 		// The move changed operand subsets; allocation decisions taken
 		// against the old map are stale (a WSRS placement may now be
 		// read-illegal). Drop them so fetchNext re-allocates.
-		for _, t := range e.th {
-			t.pendDec = nil
+		for i := range e.th {
+			e.th[i].hasDec = false
 		}
 	}
 	return ok
@@ -1090,43 +1326,103 @@ func (e *engine) robAlloc() int {
 	return idx
 }
 
+// issue scans each cluster's queue in age order, issuing up to
+// IssueWidth ready µops and compacting the survivors in one pass
+// (no per-issue copy of the queue tail).
 func (e *engine) issue() {
+	cycle := e.cycle
+	sharedDiv := e.cfg.SharedDividers
 	for c := 0; c < e.cfg.NumClusters; c++ {
-		issued := 0
 		q := e.iq[c]
-		for qi := 0; qi < len(q) && issued < e.ccfg[c].IssueWidth; qi++ {
-			idx := q[qi]
-			ent := &e.rob[idx]
-			if !e.canIssue(ent, c) {
+		width := e.ccfg[c].IssueWidth
+		sb := e.sb[c]
+		// The scan stops as soon as the cluster's issue width is
+		// spent; the entries selected out are then closed up with at
+		// most width segment moves, so the (much longer) blocked tail
+		// is never visited.
+		var holes [8]int
+		issued := 0
+		for qi := 0; qi < len(q) && issued < width; qi++ {
+			idx := int(q[qi])
+			s := &e.robSched[idx]
+			// The wake-up gate stays as a guard: the broadcast may
+			// not have arrived yet (ready is a future cycle), and
+			// an injected lost-broadcast fault can re-arm wait on
+			// an entry that already joined the scan.
+			if s.wait != 0 || s.ready > cycle {
 				continue
 			}
-			e.doIssue(idx, ent, c)
+			if s.memSeq >= 0 && s.memSeq != e.th[s.tid].nextMemIssue {
+				// Addresses are computed in program order within a
+				// context (§5.2).
+				continue
+			}
+			cls := isa.Class(s.class)
+			if sharedDiv && cls == isa.ClassDiv {
+				// §4.1: one divider per adjacent cluster pair,
+				// statically arbitrated by cycle parity.
+				if cycle < e.sharedDivBusy[c/2] || int(cycle)%2 != c%2 {
+					continue
+				}
+			}
+			if !sb.CanIssue(cycle, cls) {
+				continue
+			}
+			e.doIssue(idx, &e.rob[idx], c)
+			if issued < len(holes) {
+				holes[issued] = qi
+			}
 			issued++
-			q = append(q[:qi], q[qi+1:]...)
-			qi--
 		}
-		e.iq[c] = q
+		if issued > 0 {
+			w := holes[0]
+			for i := 0; i < issued; i++ {
+				end := len(q)
+				if i+1 < issued {
+					end = holes[i+1]
+				}
+				w += copy(q[w:], q[holes[i]+1:end])
+			}
+			e.iq[c] = q[:w]
+		}
 	}
+	// Merge the entries woken by this cycle's broadcasts into their
+	// cluster's scan list at their age position. Done after the scan:
+	// latencies are >= 1, so none of them could issue this cycle, and
+	// inserting mid-scan would alias the slice being compacted.
+	for _, ci := range e.woken {
+		e.enqueueReady(int(e.rob[ci].cluster), ci)
+	}
+	e.woken = e.woken[:0]
 }
 
-func (e *engine) canIssue(ent *robEntry, c int) bool {
-	for i := 0; i < ent.m.NSrc; i++ {
-		if e.availAt(ent.m.Src[i].Class, ent.srcPhys[i], c) > e.cycle {
-			return false
+// enqueueReady inserts a woken entry into cluster c's scan list,
+// keeping it sorted by age (circular distance from robHead — the
+// relative order of live entries is invariant as the head advances).
+// Woken entries are usually among the youngest, so the scan walks
+// from the tail.
+func (e *engine) enqueueReady(c int, idx int32) {
+	n := len(e.rob)
+	age := int(idx) - e.robHead
+	if age < 0 {
+		age += n
+	}
+	q := e.iq[c]
+	i := len(q)
+	for i > 0 {
+		a := int(q[i-1]) - e.robHead
+		if a < 0 {
+			a += n
 		}
-	}
-	if ent.memSeq >= 0 && ent.memSeq != e.th[ent.tid].nextMemIssue {
-		// Addresses are computed in program order within a context (§5.2).
-		return false
-	}
-	if e.cfg.SharedDividers && ent.m.Class == isa.ClassDiv {
-		// §4.1: one divider per adjacent cluster pair, statically
-		// arbitrated by cycle parity.
-		if e.cycle < e.sharedDivBusy[c/2] || int(e.cycle)%2 != c%2 {
-			return false
+		if a <= age {
+			break
 		}
+		i--
 	}
-	return e.sb[c].CanIssue(e.cycle, ent.m.Class)
+	q = append(q, 0)
+	copy(q[i+1:], q[i:])
+	q[i] = idx
+	e.iq[c] = q
 }
 
 func (e *engine) doIssue(idx int, ent *robEntry, c int) {
@@ -1161,7 +1457,36 @@ func (e *engine) doIssue(idx int, ent *robEntry, c int) {
 		ri := e.readyInfo(ent.m.Dst.Class, ent.dstPhys)
 		ri.readyAt = done
 		ri.producer = int32(c)
+		// Broadcast to the waiting consumers: walk the register's
+		// chain once instead of every queued µop polling every cycle.
+		// Execution latencies are >= 1, so a woken consumer can never
+		// issue in the broadcasting cycle — the walk order within a
+		// cycle is unobservable.
+		for h := ri.consHead; h >= 0; {
+			cidx := int(h >> 1)
+			a := done
+			if cc := e.rob[cidx].cluster; cc != c {
+				if e.cfg.ForwardDelay != nil {
+					a += int64(e.cfg.ForwardDelay[c][cc])
+				} else {
+					a += int64(e.cfg.XClusterDelay)
+				}
+			}
+			cs := &e.robSched[cidx]
+			if a > cs.ready {
+				cs.ready = a
+			}
+			if cs.wait--; cs.wait == 0 {
+				// Last outstanding producer: the consumer leaves its
+				// chains and (re)joins the select scan after this
+				// cycle's pass.
+				e.woken = append(e.woken, int32(cidx))
+			}
+			h = e.robLink[cidx][h&1]
+		}
+		ri.consHead = -1
 	}
+	e.iqLen[c]--
 	ent.issued = true
 	ent.doneAt = done
 	if ent.prec != nil {
@@ -1171,7 +1496,7 @@ func (e *engine) doIssue(idx int, ent *robEntry, c int) {
 	if ent.memSeq >= 0 {
 		e.th[ent.tid].nextMemIssue++
 	}
-	if t := e.th[ent.tid]; ent.mispred && t.pendingRedirect == idx {
+	if t := &e.th[ent.tid]; ent.mispred && t.pendingRedirect == idx {
 		// The branch resolves at done; correct-path rename resumes
 		// after the configuration's minimum misprediction penalty.
 		t.fetchResumeAt = done + int64(e.cfg.MispredictPenalty)
@@ -1224,7 +1549,7 @@ func (e *engine) countIssueActivity(ent *robEntry, c int) {
 // 8-byte word can forward its data to the load (store-to-load
 // forwarding; all accesses are 8-byte-aligned words in this ISA).
 func (e *engine) forwardHit(ld *robEntry) bool {
-	for i := len(e.stores) - 1; i >= 0; i-- {
+	for i := len(e.stores) - 1; i >= e.storesHead; i-- {
 		st := &e.rob[e.stores[i]]
 		if st.tid == ld.tid && st.memSeq < ld.memSeq && st.m.Addr == ld.m.Addr {
 			return true
@@ -1256,8 +1581,8 @@ func (e *engine) commit() int {
 		}
 		if ent.m.Class == isa.ClassStore {
 			e.hi.AccessStore(ent.m.Addr, e.cycle)
-			if len(e.stores) > 0 && e.stores[0] == idx {
-				e.stores = e.stores[1:]
+			if e.storesHead < len(e.stores) && e.stores[e.storesHead] == idx {
+				e.storesHead++
 			}
 		}
 		if ent.prevPhys != rename.None {
@@ -1270,7 +1595,7 @@ func (e *engine) commit() int {
 			e.th[ent.tid].insts++
 			e.load.Commit(ent.cluster)
 		}
-		if t := e.th[ent.tid]; t.pendingTrap == idx {
+		if t := &e.th[ent.tid]; t.pendingTrap == idx {
 			t.fetchResumeAt = e.cycle + int64(e.cfg.TrapPenalty)
 			t.pendingTrap = -1
 			t.resumeTrap = true

@@ -1,0 +1,114 @@
+package rename
+
+import (
+	"testing"
+
+	"wsrs/internal/isa"
+)
+
+// Steady-state allocation budgets. The renamer's structures (map
+// tables, free-list rings, recycle stages, pending-free batches) are
+// all fixed-capacity after construction, so the per-event paths must
+// not touch the heap: a regression here silently multiplies across
+// every µop of every grid cell.
+
+func TestAllocFreeLookup(t *testing.T) {
+	r, err := New(Config{NumSubsets: 4, IntRegs: 512, FPRegs: 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := isa.LogicalReg{Class: isa.RegInt, Index: 17}
+	var sink PhysReg
+	if avg := testing.AllocsPerRun(1000, func() {
+		p := r.Lookup(l)
+		sink = p + PhysReg(r.SubsetOf(isa.RegInt, p))
+	}); avg != 0 {
+		t.Errorf("Lookup+SubsetOf: %.1f allocs/op, want 0", avg)
+	}
+	_ = sink
+}
+
+func TestAllocFreeRenameStep(t *testing.T) {
+	r, err := New(Config{NumSubsets: 4, IntRegs: 512, FPRegs: 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := isa.LogicalReg{Class: isa.RegInt, Index: 17}
+	step := func(i int) {
+		r.BeginCycle()
+		newP, prevP, ok := r.Rename(l, i&3)
+		if !ok {
+			t.Fatal("rename ran out of registers")
+		}
+		_ = newP
+		r.Free(isa.RegInt, prevP)
+	}
+	// Warm once around all four subsets so the pending-free batches
+	// reach their steady capacity.
+	for i := 0; i < 64; i++ {
+		step(i)
+	}
+	i := 0
+	if avg := testing.AllocsPerRun(1000, func() { step(i); i++ }); avg != 0 {
+		t.Errorf("rename step: %.1f allocs/op, want 0", avg)
+	}
+}
+
+func TestAllocFreeReset(t *testing.T) {
+	r, err := New(Config{NumSubsets: 4, IntRegs: 512, FPRegs: 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if avg := testing.AllocsPerRun(100, func() {
+		if err := r.Reset(Config{NumSubsets: 4, IntRegs: 512, FPRegs: 512}); err != nil {
+			t.Fatal(err)
+		}
+	}); avg != 0 {
+		t.Errorf("Reset: %.1f allocs/op, want 0", avg)
+	}
+}
+
+// TestResetMatchesNew pins the reuse contract: a renamer reset to a
+// different configuration is indistinguishable from a fresh one.
+func TestResetMatchesNew(t *testing.T) {
+	configs := []Config{
+		{NumSubsets: 4, IntRegs: 512, FPRegs: 512},
+		{NumSubsets: 1, IntRegs: 256, FPRegs: 256},
+		{NumSubsets: 4, IntRegs: 384, FPRegs: 384, RecycleDepth: 2},
+	}
+	r, err := New(configs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cfg := range configs {
+		// Disturb the reused state before resetting into cfg.
+		r.BeginCycle()
+		if _, _, ok := r.Rename(isa.LogicalReg{Class: isa.RegInt, Index: 3}, 0); !ok {
+			t.Fatal("rename failed")
+		}
+		if err := r.Reset(cfg); err != nil {
+			t.Fatal(err)
+		}
+		fresh, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, cl := range []isa.RegClass{isa.RegInt, isa.RegFP} {
+			n := isa.IntMapSize
+			if cl == isa.RegFP {
+				n = isa.NumFPLogical
+			}
+			for i := 0; i < n; i++ {
+				l := isa.LogicalReg{Class: cl, Index: uint8(i)}
+				if got, want := r.Lookup(l), fresh.Lookup(l); got != want {
+					t.Fatalf("cfg %+v: Lookup(%v) = %d after Reset, %d fresh", cfg, l, got, want)
+				}
+			}
+			for s := 0; s < cfg.NumSubsets; s++ {
+				if got, want := r.FreeCount(cl, s), fresh.FreeCount(cl, s); got != want {
+					t.Fatalf("cfg %+v: FreeCount(%v, %d) = %d after Reset, %d fresh", cfg, cl, s, got, want)
+				}
+			}
+		}
+	}
+}

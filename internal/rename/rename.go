@@ -109,23 +109,75 @@ func (c Config) Validate() error {
 	return nil
 }
 
-// freeList is a FIFO of free physical registers for one subset.
+// freeList is a FIFO of free physical registers for one subset,
+// backed by a ring buffer: pop-front does not slide the slice window
+// (the old slice-FIFO leaked capacity on every pop and reallocated
+// under churn).
 type freeList struct {
 	regs []PhysReg
+	head int
+	n    int
 }
 
-func (f *freeList) push(p PhysReg) { f.regs = append(f.regs, p) }
+func (f *freeList) push(p PhysReg) {
+	if f.n == len(f.regs) {
+		f.grow(f.n + 1)
+	}
+	i := f.head + f.n
+	if i >= len(f.regs) {
+		i -= len(f.regs)
+	}
+	f.regs[i] = p
+	f.n++
+}
 
 func (f *freeList) pop() (PhysReg, bool) {
-	if len(f.regs) == 0 {
+	if f.n == 0 {
 		return None, false
 	}
-	p := f.regs[0]
-	f.regs = f.regs[1:]
+	p := f.regs[f.head]
+	f.head++
+	if f.head == len(f.regs) {
+		f.head = 0
+	}
+	f.n--
 	return p, true
 }
 
-func (f *freeList) len() int { return len(f.regs) }
+func (f *freeList) len() int { return f.n }
+
+// at returns the i-th entry in FIFO order (0 = next to pop).
+func (f *freeList) at(i int) PhysReg {
+	j := f.head + i
+	if j >= len(f.regs) {
+		j -= len(f.regs)
+	}
+	return f.regs[j]
+}
+
+// grow re-linearizes the ring into a larger backing array. Steady
+// state never grows: a subset holds at most its register count, which
+// reset pre-sizes for (only the fault-injection double-free can push
+// beyond it).
+func (f *freeList) grow(want int) {
+	c := 2*len(f.regs) + 1
+	if c < want {
+		c = want
+	}
+	regs := make([]PhysReg, c)
+	for i := 0; i < f.n; i++ {
+		regs[i] = f.at(i)
+	}
+	f.regs, f.head = regs, 0
+}
+
+// reset empties the list, ensuring capacity for capHint registers.
+func (f *freeList) reset(capHint int) {
+	if len(f.regs) < capHint {
+		f.regs = make([]PhysReg, capHint)
+	}
+	f.head, f.n = 0, 0
+}
 
 // classState is the renaming state of one register class.
 type classState struct {
@@ -160,48 +212,93 @@ type Renamer struct {
 // physical register; initial mappings are distributed round-robin
 // across subsets so the f/s vectors start spread out.
 func New(cfg Config) (*Renamer, error) {
-	if err := cfg.Validate(); err != nil {
+	r := &Renamer{}
+	if err := r.Reset(cfg); err != nil {
 		return nil, err
 	}
-	r := &Renamer{cfg: cfg}
+	return r, nil
+}
+
+// Reset restores the freshly constructed state for cfg, reusing the
+// existing map tables, free-list rings and recycling stages whenever
+// their capacity fits (possibly a different configuration than the
+// last run — grid cells sweep register counts and subset splits). A
+// reset renamer is indistinguishable from New(cfg).
+func (r *Renamer) Reset(cfg Config) error {
+	if err := cfg.Validate(); err != nil {
+		return err
+	}
+	r.cfg = cfg
+	r.Renames, r.Wasted, r.Moves, r.StallHint = 0, 0, 0, 0
+	r.cls[isa.RegInt] = resetClass(r.cls[isa.RegInt], cfg, isa.IntMapSize, cfg.IntRegs)
+	r.cls[isa.RegFP] = resetClass(r.cls[isa.RegFP], cfg, isa.NumFPLogical, cfg.FPRegs)
+	return nil
+}
+
+// resetClass rebuilds one register class's state in place.
+func resetClass(cs *classState, cfg Config, logical, total int) *classState {
+	if cs == nil {
+		cs = &classState{}
+	}
 	threads := cfg.threads()
-	mk := func(logical, total int) *classState {
-		per := total / cfg.NumSubsets
-		cs := &classState{
-			mapTable: make([][]PhysReg, threads),
-			free:     make([]*freeList, cfg.NumSubsets),
-			perSub:   per,
-			reserved: make([][]PhysReg, cfg.NumSubsets),
-			recycle:  make([][]PhysReg, cfg.RecycleDepth),
-		}
-		for s := 0; s < cfg.NumSubsets; s++ {
+	per := total / cfg.NumSubsets
+	cs.perSub = per
+
+	cs.mapTable = resize(cs.mapTable, threads)
+	for t := range cs.mapTable {
+		cs.mapTable[t] = resize(cs.mapTable[t], logical)
+	}
+	cs.free = resize(cs.free, cfg.NumSubsets)
+	for s := range cs.free {
+		if cs.free[s] == nil {
 			cs.free[s] = &freeList{}
-			for i := 0; i < per; i++ {
-				cs.free[s].push(PhysReg(s*per + i))
-			}
 		}
-		for t := 0; t < threads; t++ {
-			cs.mapTable[t] = make([]PhysReg, logical)
-			for l := 0; l < logical; l++ {
-				s := (l + t) % cfg.NumSubsets
-				p, ok := cs.free[s].pop()
-				if !ok {
-					// Fall back to any subset with a free register
-					// (tiny-subset configurations).
-					for d := 0; d < cfg.NumSubsets; d++ {
-						if p, ok = cs.free[d].pop(); ok {
-							break
-						}
+		cs.free[s].reset(per)
+	}
+	cs.reserved = resize(cs.reserved, cfg.NumSubsets)
+	for s := range cs.reserved {
+		cs.reserved[s] = cs.reserved[s][:0]
+	}
+	cs.recycle = resize(cs.recycle, cfg.RecycleDepth)
+	for i := range cs.recycle {
+		cs.recycle[i] = cs.recycle[i][:0]
+	}
+	cs.pendingFree = cs.pendingFree[:0]
+
+	for s := 0; s < cfg.NumSubsets; s++ {
+		for i := 0; i < per; i++ {
+			cs.free[s].push(PhysReg(s*per + i))
+		}
+	}
+	for t := 0; t < threads; t++ {
+		for l := 0; l < logical; l++ {
+			s := (l + t) % cfg.NumSubsets
+			p, ok := cs.free[s].pop()
+			if !ok {
+				// Fall back to any subset with a free register
+				// (tiny-subset configurations).
+				for d := 0; d < cfg.NumSubsets; d++ {
+					if p, ok = cs.free[d].pop(); ok {
+						break
 					}
 				}
-				cs.mapTable[t][l] = p
 			}
+			cs.mapTable[t][l] = p
 		}
-		return cs
 	}
-	r.cls[isa.RegInt] = mk(isa.IntMapSize, cfg.IntRegs)
-	r.cls[isa.RegFP] = mk(isa.NumFPLogical, cfg.FPRegs)
-	return r, nil
+	return cs
+}
+
+// resize returns s with length n, reusing both the backing array and
+// (when shrinking then re-growing) the elements parked between length
+// and capacity.
+func resize[T any](s []T, n int) []T {
+	if n <= cap(s) {
+		return s[:n]
+	}
+	out := make([]T, n)
+	copy(out, s[:cap(s)])
+	return out
 }
 
 // Config returns the renamer's configuration.
@@ -519,8 +616,8 @@ func (r *Renamer) Audit(c isa.RegClass) AuditCounts {
 		perSubset[r.subsetOfState(cs, p)]++
 	}
 	for _, f := range cs.free {
-		for _, p := range f.regs {
-			count(p, ac.FreeSide, ac.Free)
+		for i := 0; i < f.len(); i++ {
+			count(f.at(i), ac.FreeSide, ac.Free)
 		}
 	}
 	for _, res := range cs.reserved {

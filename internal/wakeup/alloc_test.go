@@ -1,0 +1,15 @@
+package wakeup
+
+import "testing"
+
+// The broadcast pricing runs once per produced result in the metered
+// hot loop; it must never touch the heap.
+func TestAllocFreeBroadcast(t *testing.T) {
+	var sink float64
+	if avg := testing.AllocsPerRun(1000, func() {
+		sink += BroadcastEnergyNJ(56) + DelayRel(6, 56)
+	}); avg != 0 {
+		t.Errorf("broadcast pricing: %.1f allocs/op, want 0", avg)
+	}
+	benchSink = sink
+}
