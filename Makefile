@@ -11,7 +11,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race . ./internal/trace ./internal/tracecache ./internal/pipeline ./internal/telemetry ./internal/serve
+	$(GO) test -race . ./internal/trace ./internal/tracecache ./internal/pipeline ./internal/telemetry ./internal/otrace ./internal/serve
 
 # Pinned benchmark invocation: a single CPU, a fixed benchtime and a
 # single count make successive runs (and the committed baseline vs a
@@ -20,7 +20,7 @@ race:
 # recorded inside the JSON so a mismatched comparison is self-evident.
 BENCH_FLAGS = -bench Core -benchmem -run NONE -count 1 -cpu 1 -benchtime 2s
 BENCH_PKGS = . ./internal/rename ./internal/wakeup ./internal/bypass \
-	./internal/telemetry ./internal/pipeline
+	./internal/telemetry ./internal/pipeline ./internal/otrace
 
 # bench reruns the BenchmarkCore* hot-path microbenchmarks (rename map
 # lookup, wake-up broadcast pricing, bypass arbitration, counter
@@ -52,7 +52,7 @@ bench-serve:
 	/tmp/wsrsd -listen 127.0.0.1:18980 & \
 	WSRSD_PID=$$!; \
 	for i in $$(seq 1 50); do \
-		curl -sf http://127.0.0.1:18980/healthz >/dev/null 2>&1 && break; sleep 0.2; \
+		curl -sf http://127.0.0.1:18980/readyz >/dev/null 2>&1 && break; sleep 0.2; \
 	done; \
 	/tmp/wsrsload -addr http://127.0.0.1:18980 -levels 1,2,4,8 -n 32 -dup 0.5 \
 		-warmup 2000 -measure 10000 -out BENCH_serve.json; \

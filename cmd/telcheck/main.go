@@ -5,6 +5,7 @@
 //	telcheck -manifest run.json            # JSON run manifest
 //	telcheck -trace host.json              # Chrome trace JSON
 //	telcheck -metrics metrics.txt          # Prometheus text exposition
+//	telcheck -spans spans.json             # otrace span document
 //	telcheck -manifest run.json -require-activity
 //
 // Each artifact is parsed structurally (digest shape, per-cell
@@ -26,12 +27,14 @@ func main() {
 	manifest := flag.String("manifest", "", "validate this JSON run manifest")
 	trace := flag.String("trace", "", "validate this Chrome trace JSON file")
 	metrics := flag.String("metrics", "", "validate this Prometheus text exposition file")
+	spans := flag.String("spans", "", "validate this otrace span document (wsrsbench -spans or GET /v1/jobs/{id}/trace)")
 	requireActivity := flag.Bool("require-activity", false, "fail if the manifest lacks aggregated activity counts (telemetry was off)")
+	requireSpan := flag.String("require-span", "", "comma-separated span names the document must contain (e.g. job,cell,simulate)")
 	allowFailed := flag.Bool("allow-failed", false, "tolerate failed cells in the manifest")
 	flag.Parse()
 
-	if *manifest == "" && *trace == "" && *metrics == "" {
-		fmt.Fprintln(os.Stderr, "telcheck: nothing to check; pass -manifest, -trace and/or -metrics")
+	if *manifest == "" && *trace == "" && *metrics == "" && *spans == "" {
+		fmt.Fprintln(os.Stderr, "telcheck: nothing to check; pass -manifest, -trace, -metrics and/or -spans")
 		os.Exit(2)
 	}
 	if *manifest != "" {
@@ -42,6 +45,9 @@ func main() {
 	}
 	if *metrics != "" {
 		checkMetrics(*metrics)
+	}
+	if *spans != "" {
+		checkSpans(*spans, *requireSpan)
 	}
 	fmt.Println("telcheck: all artifacts OK")
 }
@@ -156,6 +162,85 @@ func checkTrace(path string) {
 		fatalf("%s: trace has metadata but no slices", path)
 	}
 	fmt.Printf("telcheck: trace %s: %d events (%d slices)\n", path, len(t.TraceEvents), slices)
+}
+
+var hexID = regexp.MustCompile(`^[0-9a-f]{16}$`)
+
+// checkSpans validates an otrace span document: every span carries the
+// document's trace ID (or a linked one), IDs are 16-digit hex, spans
+// are well-timed (non-negative duration), parent references resolve
+// within the document, and — when -require-span is given — the named
+// span names all occur.
+func checkSpans(path, require string) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	var doc struct {
+		JobID   string `json:"job_id"`
+		TraceID string `json:"trace_id"`
+		Spans   []struct {
+			TraceID  string         `json:"trace_id"`
+			SpanID   string         `json:"span_id"`
+			ParentID string         `json:"parent_id"`
+			Name     string         `json:"name"`
+			StartUs  float64        `json:"start_us"`
+			DurUs    float64        `json:"dur_us"`
+			Attrs    map[string]any `json:"attrs"`
+		} `json:"spans"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		fatalf("%s: not valid JSON: %v", path, err)
+	}
+	if !hexID.MatchString(doc.TraceID) {
+		fatalf("%s: trace_id %q is not 16 hex digits", path, doc.TraceID)
+	}
+	if len(doc.Spans) == 0 {
+		fatalf("%s: span document has no spans", path)
+	}
+	// Traces a span may legitimately belong to: the document's own,
+	// plus any trace named by a link_trace attribute (coalesced-waiter
+	// linkage pulls the leader's trace into the document).
+	traces := map[string]bool{doc.TraceID: true}
+	for _, s := range doc.Spans {
+		if lt, ok := s.Attrs["link_trace"].(string); ok {
+			traces[lt] = true
+		}
+	}
+	ids := map[string]bool{}
+	names := map[string]int{}
+	for i, s := range doc.Spans {
+		if s.Name == "" {
+			fatalf("%s: span %d has no name", path, i)
+		}
+		if !hexID.MatchString(s.SpanID) {
+			fatalf("%s: span %d (%s): span_id %q is not 16 hex digits", path, i, s.Name, s.SpanID)
+		}
+		if !traces[s.TraceID] {
+			fatalf("%s: span %d (%s) belongs to trace %q, neither the document's %q nor a linked one",
+				path, i, s.Name, s.TraceID, doc.TraceID)
+		}
+		if s.DurUs < 0 {
+			fatalf("%s: span %d (%s) has negative duration %g", path, i, s.Name, s.DurUs)
+		}
+		ids[s.SpanID] = true
+		names[s.Name]++
+	}
+	for i, s := range doc.Spans {
+		if s.ParentID != "" && !ids[s.ParentID] {
+			fatalf("%s: span %d (%s): parent %q not in document", path, i, s.Name, s.ParentID)
+		}
+	}
+	if require != "" {
+		for _, want := range strings.Split(require, ",") {
+			want = strings.TrimSpace(want)
+			if want != "" && names[want] == 0 {
+				fatalf("%s: no %q span in document (have: %v)", path, want, names)
+			}
+		}
+	}
+	fmt.Printf("telcheck: spans %s: %d spans, %d names, trace %s\n",
+		path, len(doc.Spans), len(names), doc.TraceID)
 }
 
 // checkMetrics validates the Prometheus text exposition format 0.0.4

@@ -48,6 +48,7 @@ func main() {
 	linger := flag.Duration("linger", 0, "keep the -listen endpoint alive this long after the experiments finish")
 	manifest := flag.String("manifest", "", "write the JSON run manifest (config digest, per-cell outcomes, counters) to this file")
 	hostTrace := flag.String("trace", "", "write a Chrome trace (Perfetto-loadable) of the worker pool to this file")
+	spansOut := flag.String("spans", "", "write the per-cell span document (otrace JSON, telcheck-validatable) to this file")
 	checkFlag := flag.Bool("check", false, "run the self-checking layer (co-simulation oracle, legality checks, structural audits) in every cell")
 	maxCycles := flag.Int64("max-cycles", 0, "fail any cell that reaches this many simulated cycles (0 = unbounded)")
 	resume := flag.String("resume", "", "checkpoint file: skip cells already recorded there and append newly finished ones")
@@ -88,7 +89,7 @@ func main() {
 	// the manifest and the host trace; build it whenever any of those
 	// outputs is requested.
 	var gt *wsrs.GridTelemetry
-	if *progress || *listen != "" || *manifest != "" || *hostTrace != "" {
+	if *progress || *listen != "" || *manifest != "" || *hostTrace != "" || *spansOut != "" {
 		gt = wsrs.NewGridTelemetry()
 		gt.Label = *exp
 		gt.Meta = map[string]string{
@@ -153,6 +154,9 @@ func main() {
 		}
 		if *hostTrace != "" {
 			writeFile(*hostTrace, gt.WriteHostTrace)
+		}
+		if *spansOut != "" {
+			writeFile(*spansOut, gt.WriteSpans)
 		}
 	}
 	if *listen != "" && *linger > 0 {

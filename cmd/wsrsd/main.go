@@ -11,29 +11,41 @@
 //	POST   /v1/jobs              submit a job (202 + job record; 400
 //	                             structured validation errors; 429 +
 //	                             Retry-After when the queue is full;
-//	                             503 while draining)
+//	                             503 while draining — every error body
+//	                             is the uniform envelope with trace_id)
 //	GET    /v1/jobs              list jobs
 //	GET    /v1/jobs/{id}         job status with per-cell outcomes
 //	GET    /v1/jobs/{id}/results raw per-cell results (byte-identical
 //	                             to a direct wsrs.RunGrid run)
+//	GET    /v1/jobs/{id}/trace   the job's span tree (add
+//	                             ?format=chrome for Perfetto)
 //	GET    /v1/jobs/{id}/events  server-sent event stream of per-cell
 //	                             progress
+//	GET    /v1/phases            per-phase latency samples + SLO targets
+//	GET    /debug/slow           ring of the slowest recent jobs
 //	DELETE /v1/jobs/{id}         cancel
-//	GET    /metrics /healthz /debug/vars /debug/pprof/
+//	GET    /metrics /healthz /readyz /debug/vars /debug/pprof/
 //
-// SIGTERM/SIGINT drain gracefully: new jobs are refused, accepted
-// jobs finish, the result cache is flushed (compacted) to -cache.
+// Every request is traced (the response carries X-Trace-Id) and logged
+// structurally; a submitted job inherits its request's trace, so one
+// trace ID follows the job from HTTP arrival through admission, queue
+// wait, coalescing, cache lookup and simulation.
+//
+// SIGTERM/SIGINT drain gracefully: /readyz flips to 503 immediately
+// (while /healthz stays 200 and the listener stays open), new jobs are
+// refused, accepted jobs finish, the result cache is flushed
+// (compacted) to -cache.
 //
 // Usage:
 //
 //	wsrsd -listen :8080 -cache /var/tmp/wsrsd.cache.jsonl
-//	wsrsd -listen 127.0.0.1:0 -workers 4 -queue 256
+//	wsrsd -listen 127.0.0.1:0 -workers 4 -queue 256 -log-format json
 package main
 
 import (
 	"context"
 	"flag"
-	"fmt"
+	"log/slog"
 	"os"
 	"os/signal"
 	"syscall"
@@ -50,49 +62,60 @@ func main() {
 	cacheEntries := flag.Int("cache-entries", 4096, "LRU bound on cached cell results")
 	maxMeasure := flag.Uint64("max-measure", 0, "reject jobs asking for more measured instructions per cell than this (0 = unbounded)")
 	drainTimeout := flag.Duration("drain-timeout", time.Minute, "on SIGTERM, cancel jobs still running after this long")
+	logFormat := flag.String("log-format", "text", "structured log format: text or json")
+	traceSpans := flag.Int("trace-spans", 0, "span-ring capacity for request tracing (0 = default 8192)")
+	slowJobs := flag.Int("slow-jobs", 0, "how many slowest jobs /debug/slow retains (0 = default 32)")
+	phaseSamples := flag.Int("phase-samples", 0, "phase-sample retention behind /v1/phases (0 = default 8192)")
 	flag.Parse()
 
+	logger := serve.NewLogger(os.Stderr, *logFormat)
 	srv, err := serve.New(serve.Options{
 		Workers:        *workers,
 		MaxQueuedCells: *queue,
 		CachePath:      *cachePath,
 		CacheEntries:   *cacheEntries,
 		MaxMeasure:     *maxMeasure,
+		TraceSpans:     *traceSpans,
+		SlowJobs:       *slowJobs,
+		PhaseSamples:   *phaseSamples,
+		Logger:         logger,
 	})
 	if err != nil {
-		fatal(err)
+		fatal(logger, err)
 	}
 	addr, httpSrv, err := serve.Listen(*listen, srv.Handler())
 	if err != nil {
-		fatal(err)
+		fatal(logger, err)
 	}
-	fmt.Fprintf(os.Stderr, "wsrsd: serving job API on http://%s (cache %d entries)\n",
-		addr, srv.Cache().Len())
+	logger.Info("serving job API",
+		slog.String("addr", "http://"+addr),
+		slog.Int("cache_entries", srv.Cache().Len()))
 
-	// Graceful drain: first signal stops admission and finishes
-	// accepted jobs; a second signal (or the drain timeout) cancels
-	// what is still running — either way every accepted job reaches a
-	// terminal state and the cache is flushed before exit.
+	// Graceful drain: first signal flips /readyz to 503 and stops
+	// admission while accepted jobs finish; a second signal (or the
+	// drain timeout) cancels what is still running — either way every
+	// accepted job reaches a terminal state and the cache is flushed
+	// before the listener closes.
 	sigCtx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
 	defer stop()
 	<-sigCtx.Done()
 	stop()
-	fmt.Fprintln(os.Stderr, "wsrsd: draining (finishing accepted jobs; signal again to cancel)")
+	logger.Info("draining", slog.String("hint", "finishing accepted jobs; signal again to cancel"))
 
 	drainCtx, cancel := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
 	defer cancel()
 	drainCtx, cancelTimeout := context.WithTimeout(drainCtx, *drainTimeout)
 	defer cancelTimeout()
 	if err := srv.Drain(drainCtx); err != nil {
-		fmt.Fprintln(os.Stderr, "wsrsd: cache flush:", err)
+		logger.Error("cache flush", slog.String("error", err.Error()))
 	}
 	shutdownCtx, cancelShutdown := context.WithTimeout(context.Background(), 5*time.Second)
 	defer cancelShutdown()
 	_ = httpSrv.Shutdown(shutdownCtx)
-	fmt.Fprintf(os.Stderr, "wsrsd: drained; cache holds %d entries\n", srv.Cache().Len())
+	logger.Info("drained", slog.Int("cache_entries", srv.Cache().Len()))
 }
 
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "wsrsd:", err)
+func fatal(logger *slog.Logger, err error) {
+	logger.Error("fatal", slog.String("error", err.Error()))
 	os.Exit(1)
 }

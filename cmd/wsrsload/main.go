@@ -10,6 +10,10 @@
 // and the daemon-side sims / cache-hit / coalesced counter deltas) is
 // printed as a table and optionally written as JSON — `make
 // bench-serve` commits it as BENCH_serve.json next to BENCH_core.json.
+// A second table per level decomposes the latency server-side (queue /
+// coalesce / cache / simulate / total phases from /v1/phases, exact
+// percentiles over the daemon's span-derived samples). Before offering
+// load, wsrsload waits on the daemon's /readyz.
 //
 // Usage:
 //
@@ -22,6 +26,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 	"strconv"
 	"strings"
@@ -42,23 +47,34 @@ func main() {
 	measure := flag.Uint64("measure", 10_000, "measured instructions per cell")
 	seedPool := flag.Int("seed-pool", 64, "distinct seeds for the non-duplicate traffic")
 	timeout := flag.Duration("timeout", 10*time.Minute, "overall load-test deadline")
+	readyWait := flag.Duration("ready-wait", 30*time.Second, "how long to wait for the daemon's /readyz before giving up")
 	out := flag.String("out", "", "write the JSON report to this file (e.g. BENCH_serve.json)")
+	logFormat := flag.String("log-format", "text", "structured log format: text or json")
 	flag.Parse()
 
+	logger := serve.NewLogger(os.Stderr, *logFormat)
 	if *dup < 0 || *dup > 1 {
-		fatal(fmt.Errorf("-dup %g out of range [0,1]", *dup))
+		fatal(logger, fmt.Errorf("-dup %g out of range [0,1]", *dup))
 	}
 	ramp, err := parseLevels(*levels)
 	if err != nil {
-		fatal(err)
+		fatal(logger, err)
 	}
 	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
 	defer cancel()
 
+	// Honor the daemon's readiness contract before offering load: a
+	// daemon that is still starting (or already draining) answers
+	// /readyz with an error, and load against it would only measure
+	// rejections.
 	client := &serve.Client{Base: strings.TrimRight(*addr, "/")}
-	if _, err := client.Metrics(ctx); err != nil {
-		fatal(fmt.Errorf("daemon not reachable at %s: %w", *addr, err))
+	readyCtx, cancelReady := context.WithTimeout(ctx, *readyWait)
+	err = client.WaitReady(readyCtx, 0)
+	cancelReady()
+	if err != nil {
+		fatal(logger, fmt.Errorf("daemon not ready at %s: %w", *addr, err))
 	}
+	logger.Info("daemon ready", slog.String("addr", *addr))
 	spec := serve.LoadSpec{
 		Levels:           ramp,
 		RequestsPerLevel: *n,
@@ -71,24 +87,24 @@ func main() {
 	}
 	rep, err := serve.RunLoad(ctx, client, spec, os.Stderr)
 	if err != nil {
-		fatal(err)
+		fatal(logger, err)
 	}
 	render(rep)
 	if *out != "" {
 		f, err := os.Create(*out)
 		if err != nil {
-			fatal(err)
+			fatal(logger, err)
 		}
 		enc := json.NewEncoder(f)
 		enc.SetIndent("", "  ")
 		if err := enc.Encode(rep); err != nil {
 			f.Close()
-			fatal(err)
+			fatal(logger, err)
 		}
 		if err := f.Close(); err != nil {
-			fatal(err)
+			fatal(logger, err)
 		}
-		fmt.Fprintln(os.Stderr, "wsrsload: wrote", *out)
+		logger.Info("wrote report", slog.String("path", *out))
 	}
 }
 
@@ -125,9 +141,30 @@ func render(rep *serve.LoadReport) {
 			int(l.Sims), int(l.CacheHits), int(l.Coalesced))
 	}
 	t.Render(os.Stdout)
+	renderPhases(rep)
 }
 
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "wsrsload:", err)
+// renderPhases prints the server-side phase decomposition per level:
+// exact percentiles over the daemon's own span-derived samples, so the
+// table says where inside the daemon the end-to-end latency went.
+func renderPhases(rep *serve.LoadReport) {
+	for _, l := range rep.Levels {
+		if len(l.Phases) == 0 {
+			continue
+		}
+		t := report.NewTable(
+			fmt.Sprintf("server-side phase latency — concurrency %d", l.Concurrency),
+			"phase", "count", "p50 ms", "p95 ms", "p99 ms", "max ms")
+		for _, p := range l.Phases {
+			t.AddRow(p.Phase, p.Count,
+				fmt.Sprintf("%.2f", p.P50Ms), fmt.Sprintf("%.2f", p.P95Ms),
+				fmt.Sprintf("%.2f", p.P99Ms), fmt.Sprintf("%.2f", p.MaxMs))
+		}
+		t.Render(os.Stdout)
+	}
+}
+
+func fatal(logger *slog.Logger, err error) {
+	logger.Error("fatal", slog.String("error", err.Error()))
 	os.Exit(1)
 }

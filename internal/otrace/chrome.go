@@ -1,0 +1,106 @@
+package otrace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"wsrs/internal/telemetry"
+)
+
+// SpanJSON is the wire shape of one span: what GET
+// /v1/jobs/{id}/trace serves, wsrsbench -spans writes, and cmd/telcheck
+// validates. IDs are zero-padded hex so they grep cleanly against the
+// trace_id fields of structured log lines.
+type SpanJSON struct {
+	TraceID  string         `json:"trace_id"`
+	SpanID   string         `json:"span_id"`
+	ParentID string         `json:"parent_id,omitempty"`
+	Name     string         `json:"name"`
+	StartUs  float64        `json:"start_us"`
+	DurUs    float64        `json:"dur_us"`
+	Attrs    map[string]any `json:"attrs,omitempty"`
+}
+
+// FormatTraceID renders a trace ID the way every export and log line
+// spells it (16 hex digits).
+func FormatTraceID(t TraceID) string { return fmt.Sprintf("%016x", uint64(t)) }
+
+// FormatSpanID renders a span ID for export.
+func FormatSpanID(s SpanID) string { return fmt.Sprintf("%016x", uint64(s)) }
+
+// JSON converts one span to its wire shape.
+func (s *Span) JSON() SpanJSON {
+	out := SpanJSON{
+		TraceID: FormatTraceID(s.Trace),
+		SpanID:  FormatSpanID(s.ID),
+		Name:    s.Name,
+		StartUs: float64(s.Start) / 1e3,
+		DurUs:   float64(s.Dur()) / 1e3,
+	}
+	if s.Parent != 0 {
+		out.ParentID = FormatSpanID(s.Parent)
+	}
+	if s.NAttrs > 0 {
+		out.Attrs = make(map[string]any, s.NAttrs)
+		for i := 0; i < s.NAttrs; i++ {
+			out.Attrs[s.Attrs[i].Key] = s.Attrs[i].Value()
+		}
+	}
+	return out
+}
+
+// Document is a span set plus its trace identity — the JSON framing
+// of the trace endpoint and the -spans artifact.
+type Document struct {
+	JobID   string     `json:"job_id,omitempty"`
+	TraceID string     `json:"trace_id"`
+	Label   string     `json:"label,omitempty"`
+	// Evicted counts spans of this recorder lost to ring wraparound
+	// since the last Reset — non-zero means the document may be
+	// missing early spans.
+	Evicted uint64     `json:"evicted_spans,omitempty"`
+	Spans   []SpanJSON `json:"spans"`
+}
+
+// NewDocument assembles the wire document for a span set.
+func NewDocument(trace TraceID, spans []Span) Document {
+	doc := Document{
+		TraceID: FormatTraceID(trace),
+		Spans:   make([]SpanJSON, len(spans)),
+	}
+	for i := range spans {
+		doc.Spans[i] = spans[i].JSON()
+	}
+	return doc
+}
+
+// WriteDocument writes the document as indented JSON.
+func WriteDocument(w io.Writer, doc Document) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}
+
+// TraceEvent converts one span to a Chrome trace-event slice on the
+// given process/thread track, carrying the trace identity and the
+// typed attributes in args. Timestamps convert from monotonic
+// nanoseconds to the microseconds Perfetto expects, so service spans
+// land on the same timeline as the host worker track emitted by
+// wsrs.GridTelemetry.
+func (s *Span) TraceEvent(pid, tid int) telemetry.TraceEvent {
+	ev := telemetry.CompleteEvent(s.Name, "span",
+		float64(s.Start)/1e3, float64(s.Dur())/1e3, pid, tid)
+	args := map[string]any{
+		"trace_id": FormatTraceID(s.Trace),
+		"span_id":  FormatSpanID(s.ID),
+	}
+	if s.Parent != 0 {
+		args["parent_id"] = FormatSpanID(s.Parent)
+	}
+	for i := 0; i < s.NAttrs; i++ {
+		args[s.Attrs[i].Key] = s.Attrs[i].Value()
+	}
+	ev.Args = args
+	return ev
+}

@@ -1,0 +1,348 @@
+package otrace
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"regexp"
+	"sync"
+	"testing"
+)
+
+func TestSpanParentingAndOrdering(t *testing.T) {
+	r := NewRecorder(16)
+
+	root := r.Begin("job", Ctx{})
+	if root.Trace == 0 {
+		t.Fatal("root span under a zero Ctx got no trace ID")
+	}
+	if root.Parent != 0 {
+		t.Fatalf("root span has parent %d", root.Parent)
+	}
+	child := r.Begin("cell", root.Ctx())
+	if child.Trace != root.Trace {
+		t.Fatalf("child trace %x != root trace %x", child.Trace, root.Trace)
+	}
+	if child.Parent != root.ID {
+		t.Fatalf("child parent %d != root ID %d", child.Parent, root.ID)
+	}
+	grand := r.Begin("simulate", child.Ctx())
+	if grand.Parent != child.ID {
+		t.Fatalf("grandchild parent %d != child ID %d", grand.Parent, child.ID)
+	}
+
+	// Innermost-first end order, as defers unwind.
+	r.End(&grand)
+	r.End(&child)
+	r.End(&root)
+
+	spans := r.Snapshot()
+	if len(spans) != 3 {
+		t.Fatalf("Snapshot holds %d spans, want 3", len(spans))
+	}
+	wantNames := []string{"simulate", "cell", "job"}
+	for i, want := range wantNames {
+		if spans[i].Name != want {
+			t.Errorf("span %d is %q, want %q (append order)", i, spans[i].Name, want)
+		}
+		if spans[i].End < spans[i].Start {
+			t.Errorf("span %q ends (%d) before it starts (%d)", spans[i].Name, spans[i].End, spans[i].Start)
+		}
+	}
+	// Parent links survive the copy into the ring.
+	byID := map[SpanID]Span{}
+	for _, sp := range spans {
+		byID[sp.ID] = sp
+	}
+	if p, ok := byID[byID[grand.ID].Parent]; !ok || p.Name != "cell" {
+		t.Errorf("grandchild's recorded parent does not resolve to the cell span")
+	}
+}
+
+// TestRetroactiveParent pins the pattern the serving layer relies on: a
+// job's root span ID is allocated up front (AllocID), children parent to
+// it immediately, and the root span itself is emitted only when the job
+// finishes (Make with explicit timestamps + ID override + Append).
+func TestRetroactiveParent(t *testing.T) {
+	r := NewRecorder(8)
+	tr := r.NewTrace()
+	rootID := r.AllocID()
+	start := Now()
+
+	child := r.Begin("cache.lookup", Ctx{Trace: tr, Span: rootID})
+	r.End(&child)
+
+	root := r.Make("job", Ctx{Trace: tr}, start, Now())
+	root.ID = rootID
+	r.Append(&root)
+
+	spans := r.TraceSpans(tr)
+	if len(spans) != 2 {
+		t.Fatalf("trace holds %d spans, want 2", len(spans))
+	}
+	ids := map[SpanID]bool{}
+	for _, sp := range spans {
+		ids[sp.ID] = true
+	}
+	for _, sp := range spans {
+		if sp.Parent != 0 && !ids[sp.Parent] {
+			t.Errorf("span %q parent %d not in trace", sp.Name, sp.Parent)
+		}
+	}
+	if spans[0].Name != "cache.lookup" || spans[0].Parent != rootID {
+		t.Errorf("child span = %q parent %d, want cache.lookup under %d", spans[0].Name, spans[0].Parent, rootID)
+	}
+	if spans[1].ID != rootID {
+		t.Errorf("retroactive root kept ID %d, want the preallocated %d", spans[1].ID, rootID)
+	}
+}
+
+func TestRingWraparound(t *testing.T) {
+	r := NewRecorder(4)
+	tr := r.NewTrace()
+	for i := 0; i < 10; i++ {
+		sp := r.Make(fmt.Sprintf("s%d", i), Ctx{Trace: tr}, int64(i), int64(i+1))
+		r.Append(&sp)
+	}
+	if r.Len() != 4 {
+		t.Fatalf("Len = %d, want the capacity 4", r.Len())
+	}
+	if r.Cap() != 4 {
+		t.Fatalf("Cap = %d, want 4", r.Cap())
+	}
+	if r.Total() != 10 {
+		t.Fatalf("Total = %d, want 10", r.Total())
+	}
+	if evicted := r.Total() - uint64(r.Len()); evicted != 6 {
+		t.Fatalf("evicted = %d, want 6", evicted)
+	}
+	snap := r.Snapshot()
+	for i, sp := range snap {
+		if want := fmt.Sprintf("s%d", 6+i); sp.Name != want {
+			t.Errorf("Snapshot[%d] = %q, want %q (oldest surviving span first)", i, sp.Name, want)
+		}
+	}
+	if got := r.TraceSpans(tr); len(got) != 4 || got[0].Name != "s6" {
+		t.Errorf("TraceSpans after wraparound = %d spans starting %q, want 4 starting s6", len(got), got[0].Name)
+	}
+}
+
+func TestTraceSpansFiltersAcrossWraparound(t *testing.T) {
+	r := NewRecorder(6)
+	a, b := r.NewTrace(), r.NewTrace()
+	if a == b {
+		t.Fatal("NewTrace repeated a trace ID")
+	}
+	// Interleave two traces past capacity: spans 0..9 alternate a,b.
+	for i := 0; i < 10; i++ {
+		tr := a
+		if i%2 == 1 {
+			tr = b
+		}
+		sp := r.Make(fmt.Sprintf("s%d", i), Ctx{Trace: tr}, int64(i), int64(i+1))
+		r.Append(&sp)
+	}
+	// Ring holds s4..s9; trace a owns the even ones.
+	got := r.TraceSpans(a)
+	want := []string{"s4", "s6", "s8"}
+	if len(got) != len(want) {
+		t.Fatalf("TraceSpans(a) = %d spans, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i].Name != want[i] {
+			t.Errorf("TraceSpans(a)[%d] = %q, want %q", i, got[i].Name, want[i])
+		}
+		if got[i].Trace != a {
+			t.Errorf("TraceSpans(a)[%d] belongs to trace %x", i, got[i].Trace)
+		}
+	}
+}
+
+func TestReset(t *testing.T) {
+	r := NewRecorder(4)
+	for i := 0; i < 7; i++ {
+		sp := r.Begin("s", Ctx{})
+		r.End(&sp)
+	}
+	r.Reset()
+	if r.Len() != 0 || r.Total() != 0 {
+		t.Fatalf("after Reset: Len=%d Total=%d, want 0/0", r.Len(), r.Total())
+	}
+	if r.Cap() != 4 {
+		t.Fatalf("Reset changed capacity to %d", r.Cap())
+	}
+	if id := r.AllocID(); id != 1 {
+		t.Fatalf("first span ID after Reset = %d, want 1 (allocator rewound)", id)
+	}
+	sp := r.Begin("again", Ctx{})
+	r.End(&sp)
+	if r.Len() != 1 || r.Snapshot()[0].Name != "again" {
+		t.Fatal("recorder unusable after Reset")
+	}
+}
+
+func TestAttrsTypedAndBounded(t *testing.T) {
+	var sp Span
+	sp.SetStr("kernel", "gzip")
+	sp.SetInt("cell", 3)
+	sp.SetBool("hit", true)
+	sp.SetBool("miss", false)
+	if v, ok := sp.Attr("kernel").(string); !ok || v != "gzip" {
+		t.Errorf("Attr(kernel) = %v", sp.Attr("kernel"))
+	}
+	if v, ok := sp.Attr("cell").(int64); !ok || v != 3 {
+		t.Errorf("Attr(cell) = %v", sp.Attr("cell"))
+	}
+	if v, ok := sp.Attr("hit").(bool); !ok || !v {
+		t.Errorf("Attr(hit) = %v", sp.Attr("hit"))
+	}
+	if v, ok := sp.Attr("miss").(bool); !ok || v {
+		t.Errorf("Attr(miss) = %v", sp.Attr("miss"))
+	}
+	if sp.Attr("absent") != nil {
+		t.Errorf("Attr(absent) = %v, want nil", sp.Attr("absent"))
+	}
+	for i := 0; sp.NAttrs < MaxAttrs; i++ {
+		sp.SetInt(fmt.Sprintf("pad%d", i), int64(i))
+	}
+	sp.SetInt("overflow", 1)
+	sp.SetStr("overflow2", "x")
+	if sp.NAttrs != MaxAttrs {
+		t.Errorf("NAttrs = %d, want the bound %d", sp.NAttrs, MaxAttrs)
+	}
+	if sp.Dropped != 2 {
+		t.Errorf("Dropped = %d, want 2", sp.Dropped)
+	}
+	if sp.Attr("overflow") != nil {
+		t.Error("over-bound attribute was stored")
+	}
+}
+
+var hexID16 = regexp.MustCompile(`^[0-9a-f]{16}$`)
+
+func TestDocumentExport(t *testing.T) {
+	r := NewRecorder(8)
+	root := r.Begin("job", Ctx{})
+	root.SetStr("job_id", "j-000001")
+	root.SetInt("cells", 2)
+	root.SetBool("ok", true)
+	r.End(&root)
+	child := r.Make("cell", root.Ctx(), root.Start, root.Start+1500)
+	r.Append(&child)
+
+	doc := NewDocument(root.Trace, r.TraceSpans(root.Trace))
+	if !hexID16.MatchString(doc.TraceID) {
+		t.Fatalf("document trace_id %q is not 16 hex digits", doc.TraceID)
+	}
+	if len(doc.Spans) != 2 {
+		t.Fatalf("document has %d spans, want 2", len(doc.Spans))
+	}
+	j := doc.Spans[0]
+	if j.ParentID != "" {
+		t.Errorf("root span exported parent_id %q", j.ParentID)
+	}
+	if j.Attrs["job_id"] != "j-000001" || j.Attrs["cells"] != int64(2) || j.Attrs["ok"] != true {
+		t.Errorf("root attrs exported as %v", j.Attrs)
+	}
+	c := doc.Spans[1]
+	if c.ParentID != j.SpanID {
+		t.Errorf("cell parent_id %q != root span_id %q", c.ParentID, j.SpanID)
+	}
+	if c.DurUs != 1.5 {
+		t.Errorf("cell dur_us = %g, want 1.5 (1500ns)", c.DurUs)
+	}
+
+	// The wire form round-trips, and omitted fields stay omitted.
+	var buf bytes.Buffer
+	if err := WriteDocument(&buf, doc); err != nil {
+		t.Fatal(err)
+	}
+	var back struct {
+		TraceID string `json:"trace_id"`
+		Spans   []struct {
+			SpanID   string `json:"span_id"`
+			ParentID string `json:"parent_id"`
+		} `json:"spans"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatalf("WriteDocument output not valid JSON: %v", err)
+	}
+	if back.TraceID != doc.TraceID || len(back.Spans) != 2 {
+		t.Fatalf("round-trip lost data: %+v", back)
+	}
+	if bytes.Contains(buf.Bytes(), []byte(`"evicted_spans"`)) {
+		t.Error("evicted_spans serialized despite being zero")
+	}
+}
+
+func TestTraceEvent(t *testing.T) {
+	r := NewRecorder(4)
+	sp := r.Make("simulate", Ctx{}, 2000, 5000)
+	sp.SetInt("worker", 1)
+	ev := sp.TraceEvent(1, 7)
+	if ev.Ph != "X" || ev.Pid != 1 || ev.Tid != 7 {
+		t.Fatalf("event = ph %q pid %d tid %d", ev.Ph, ev.Pid, ev.Tid)
+	}
+	if ev.Ts != 2 || ev.Dur != 3 {
+		t.Errorf("event ts/dur = %g/%g us, want 2/3", ev.Ts, ev.Dur)
+	}
+	if ev.Args["trace_id"] != FormatTraceID(sp.Trace) || ev.Args["worker"] != int64(1) {
+		t.Errorf("event args = %v", ev.Args)
+	}
+	// Zero-duration spans still render as visible slices.
+	zero := r.Make("instant", Ctx{}, 100, 100)
+	if d := zero.TraceEvent(1, 1).Dur; d <= 0 {
+		t.Errorf("zero-duration span exported dur %g, want clamped positive", d)
+	}
+}
+
+func TestConcurrentRecording(t *testing.T) {
+	r := NewRecorder(64)
+	const goroutines, each = 8, 200
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			tr := r.NewTrace()
+			for i := 0; i < each; i++ {
+				sp := r.Begin("w", Ctx{Trace: tr})
+				sp.SetInt("i", int64(i))
+				r.End(&sp)
+			}
+		}()
+	}
+	wg.Wait()
+	if r.Total() != goroutines*each {
+		t.Fatalf("Total = %d, want %d", r.Total(), goroutines*each)
+	}
+	if r.Len() != 64 {
+		t.Fatalf("Len = %d, want the full ring", r.Len())
+	}
+}
+
+func TestNewTraceUnique(t *testing.T) {
+	r := NewRecorder(1)
+	seen := map[TraceID]bool{}
+	for i := 0; i < 10000; i++ {
+		tr := r.NewTrace()
+		if tr == 0 {
+			t.Fatal("NewTrace returned the zero (no-trace) ID")
+		}
+		if seen[tr] {
+			t.Fatalf("trace ID %x repeated after %d draws", tr, i)
+		}
+		seen[tr] = true
+	}
+}
+
+func TestNowMonotonic(t *testing.T) {
+	a := Now()
+	b := Now()
+	if b < a {
+		t.Fatalf("Now went backwards: %d then %d", a, b)
+	}
+	if WallAt(b).Before(WallAt(a)) {
+		t.Fatal("WallAt inverted the order")
+	}
+}

@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"wsrs"
+	"wsrs/internal/otrace"
 )
 
 // Client is a small job-API client: submit, poll, fetch results. It
@@ -161,6 +162,58 @@ func (c *Client) RawResults(ctx context.Context, id string) ([]byte, error) {
 		return nil, apiError(resp)
 	}
 	return io.ReadAll(resp.Body)
+}
+
+// Ready probes GET /readyz: nil when the daemon accepts new jobs, an
+// *APIError (503 while draining) otherwise.
+func (c *Client) Ready(ctx context.Context) error {
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodGet, c.Base+"/readyz", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.http().Do(hreq)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return apiError(resp)
+	}
+	_, _ = io.Copy(io.Discard, resp.Body)
+	return nil
+}
+
+// WaitReady polls /readyz until the daemon is up and accepting jobs or
+// ctx expires — what wsrsload runs before opening load, so a daemon
+// mid-start or mid-drain is never mistaken for a broken one.
+func (c *Client) WaitReady(ctx context.Context, poll time.Duration) error {
+	if poll <= 0 {
+		poll = 50 * time.Millisecond
+	}
+	for {
+		err := c.Ready(ctx)
+		if err == nil {
+			return nil
+		}
+		select {
+		case <-ctx.Done():
+			return fmt.Errorf("daemon not ready: %w (last probe: %v)", ctx.Err(), err)
+		case <-time.After(poll):
+		}
+	}
+}
+
+// Trace fetches the span document of one job (GET /v1/jobs/{id}/trace).
+func (c *Client) Trace(ctx context.Context, id string) (otrace.Document, error) {
+	var doc otrace.Document
+	return doc, c.getJSON(ctx, "/v1/jobs/"+id+"/trace", &doc)
+}
+
+// Phases fetches the phase samples appended since the cursor; feed
+// PhasePage.Next back in to read incrementally.
+func (c *Client) Phases(ctx context.Context, since uint64) (PhasePage, error) {
+	var page PhasePage
+	return page, c.getJSON(ctx, fmt.Sprintf("/v1/phases?since=%d", since), &page)
 }
 
 // Metrics scrapes the daemon's Prometheus exposition into a

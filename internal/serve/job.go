@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"wsrs"
+	"wsrs/internal/otrace"
 )
 
 // JobRequest is the body of POST /v1/jobs. A request names either a
@@ -211,8 +212,11 @@ type CellStatus struct {
 
 // JobStatus is the job record served by GET /v1/jobs/{id}.
 type JobStatus struct {
-	ID          string       `json:"id"`
-	Label       string       `json:"label,omitempty"`
+	ID    string `json:"id"`
+	Label string `json:"label,omitempty"`
+	// TraceID identifies the job's span trace: grep it in the
+	// structured logs, or GET /v1/jobs/{id}/trace for the span tree.
+	TraceID     string       `json:"trace_id,omitempty"`
 	State       string       `json:"state"`
 	Created     time.Time    `json:"created"`
 	Finished    *time.Time   `json:"finished,omitempty"`
@@ -237,6 +241,18 @@ type job struct {
 	id    string
 	label string
 
+	// Trace identity: every span of the job lifecycle carries trace;
+	// root is the preallocated ID of the "job" span (emitted only when
+	// the job finishes, so lifecycle spans can parent to it up front),
+	// parentSpan the submit request's "http" span, cellSpans the
+	// preallocated per-cell span IDs. startNs stamps acceptance on the
+	// otrace monotonic clock (opens the "total" phase).
+	trace      otrace.TraceID
+	root       otrace.SpanID
+	parentSpan otrace.SpanID
+	cellSpans  []otrace.SpanID
+	startNs    int64
+
 	ctx    context.Context
 	cancel context.CancelFunc
 
@@ -249,23 +265,62 @@ type job struct {
 	err      string
 	events   []Event
 	changed  chan struct{} // closed and replaced on every append
+	phaseNs  map[string]int64
 }
 
-func newJob(id string, parent context.Context, req *JobRequest, ids []CellID) *job {
+func newJob(id string, parent context.Context, req *JobRequest, ids []CellID, tr *otrace.Recorder, rctx otrace.Ctx) *job {
 	ctx, cancel := context.WithCancel(parent)
+	trace := rctx.Trace
+	if trace == 0 {
+		trace = tr.NewTrace()
+	}
 	j := &job{
 		id: id, label: req.Label,
-		ctx: ctx, cancel: cancel,
+		trace:      trace,
+		root:       tr.AllocID(),
+		parentSpan: rctx.Span,
+		cellSpans:  make([]otrace.SpanID, len(ids)),
+		startNs:    otrace.Now(),
+		ctx:        ctx, cancel: cancel,
 		state:   StateQueued,
 		created: time.Now(),
 		cells:   make([]CellStatus, len(ids)),
 		results: make([]wsrs.Result, len(ids)),
 		changed: make(chan struct{}),
+		phaseNs: make(map[string]int64, len(PhaseNames)),
 	}
 	for i, id := range ids {
 		j.cells[i] = CellStatus{Index: i, Cell: id, Digest: id.Digest(), State: StateQueued}
+		j.cellSpans[i] = tr.AllocID()
 	}
 	return j
+}
+
+// rootCtx is the context that parents lifecycle spans to the job's
+// (future) root span.
+func (j *job) rootCtx() otrace.Ctx { return otrace.Ctx{Trace: j.trace, Span: j.root} }
+
+// cellCtx is the context that parents per-cell spans to cell i's
+// (future) cell span.
+func (j *job) cellCtx(i int) otrace.Ctx { return otrace.Ctx{Trace: j.trace, Span: j.cellSpans[i]} }
+
+// addPhase accrues one phase duration into the job's decomposition
+// (the phase_ms map of /debug/slow and the finish log line).
+func (j *job) addPhase(phase string, d time.Duration) {
+	j.mu.Lock()
+	j.phaseNs[phase] += int64(d)
+	j.mu.Unlock()
+}
+
+// phaseMs snapshots the accrued decomposition in milliseconds.
+func (j *job) phaseMs() map[string]float64 {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	out := make(map[string]float64, len(j.phaseNs))
+	for k, v := range j.phaseNs {
+		out[k] = float64(v/1e3) / 1e3
+	}
+	return out
 }
 
 // status snapshots the public view under the lock.
@@ -277,7 +332,8 @@ func (j *job) status() JobStatus {
 
 func (j *job) statusLocked() JobStatus {
 	s := JobStatus{
-		ID: j.id, Label: j.label, State: j.state, Created: j.created,
+		ID: j.id, Label: j.label, TraceID: otrace.FormatTraceID(j.trace),
+		State: j.state, Created: j.created,
 		CellsTotal: len(j.cells), Error: j.err,
 		Cells: append([]CellStatus(nil), j.cells...),
 	}

@@ -92,6 +92,23 @@ type LevelReport struct {
 	Sims      float64 `json:"sims"`
 	CacheHits float64 `json:"cache_hits"`
 	Coalesced float64 `json:"coalesced"`
+
+	// Phases is the server-side latency decomposition of the level:
+	// exact percentiles over the phase samples (/v1/phases) the daemon
+	// recorded while the level ran — where inside the daemon the
+	// end-to-end latency above actually went.
+	Phases []PhaseSummary `json:"phases,omitempty"`
+}
+
+// PhaseSummary is the exact percentile summary of one phase's samples
+// within one load level.
+type PhaseSummary struct {
+	Phase string  `json:"phase"`
+	Count int     `json:"count"`
+	P50Ms float64 `json:"p50_ms"`
+	P95Ms float64 `json:"p95_ms"`
+	P99Ms float64 `json:"p99_ms"`
+	MaxMs float64 `json:"max_ms"`
 }
 
 // LoadReport is the full run: environment, spec echo, one entry per
@@ -129,9 +146,24 @@ func RunLoad(ctx context.Context, client *Client, spec LoadSpec, progress io.Wri
 				"c=%d: %d jobs in %.0f ms (%.1f jobs/s), p50 %.1f ms, p95 %.1f ms, p99 %.1f ms; sims %.0f, cache hits %.0f, coalesced %.0f\n",
 				lr.Concurrency, lr.Requests, lr.WallMs, lr.Throughput,
 				lr.P50Ms, lr.P95Ms, lr.P99Ms, lr.Sims, lr.CacheHits, lr.Coalesced)
+			writePhaseTable(progress, lr.Phases)
 		}
 	}
 	return report, nil
+}
+
+// writePhaseTable renders the server-side phase decomposition of one
+// level as an aligned table.
+func writePhaseTable(w io.Writer, phases []PhaseSummary) {
+	if len(phases) == 0 {
+		return
+	}
+	fmt.Fprintf(w, "  %-10s %7s %9s %9s %9s %9s\n",
+		"phase", "count", "p50 ms", "p95 ms", "p99 ms", "max ms")
+	for _, p := range phases {
+		fmt.Fprintf(w, "  %-10s %7d %9.2f %9.2f %9.2f %9.2f\n",
+			p.Phase, p.Count, p.P50Ms, p.P95Ms, p.P99Ms, p.MaxMs)
+	}
 }
 
 // jobSpec builds the i-th request of a level: a duplicate of the
@@ -167,6 +199,12 @@ func runLevel(ctx context.Context, client *Client, o LoadSpec, level int) (*Leve
 	before, err := client.Metrics(ctx)
 	if err != nil {
 		return nil, fmt.Errorf("loadgen: scrape before level %d: %w", level, err)
+	}
+	// The phase cursor: a since beyond the log's total returns no
+	// samples but the current Next, marking where this level starts.
+	cursor := uint64(0)
+	if pre, err := client.Phases(ctx, ^uint64(0)); err == nil {
+		cursor = pre.Next
 	}
 
 	var (
@@ -262,7 +300,48 @@ func runLevel(ctx context.Context, client *Client, o LoadSpec, level int) (*Leve
 		lr.Throughput = float64(len(latencies)) / wall.Seconds()
 	}
 	fillPercentiles(lr, latencies)
+	if page, err := client.Phases(ctx, cursor); err == nil {
+		lr.Phases = phaseSummaries(page.Samples)
+	}
 	return lr, nil
+}
+
+// phaseSummaries computes exact per-phase percentiles over one level's
+// phase samples, in PhaseNames order.
+func phaseSummaries(samples []PhaseSample) []PhaseSummary {
+	byPhase := map[string][]float64{}
+	for _, s := range samples {
+		byPhase[s.Phase] = append(byPhase[s.Phase], float64(s.Us)/1000)
+	}
+	var out []PhaseSummary
+	for _, name := range PhaseNames {
+		lat := byPhase[name]
+		if len(lat) == 0 {
+			continue
+		}
+		sort.Float64s(lat)
+		out = append(out, PhaseSummary{
+			Phase: name,
+			Count: len(lat),
+			P50Ms: percentile(lat, 0.50),
+			P95Ms: percentile(lat, 0.95),
+			P99Ms: percentile(lat, 0.99),
+			MaxMs: lat[len(lat)-1],
+		})
+	}
+	return out
+}
+
+// percentile returns the nearest-rank percentile of a sorted slice.
+func percentile(lat []float64, p float64) float64 {
+	i := int(math.Ceil(p*float64(len(lat)))) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(lat) {
+		i = len(lat) - 1
+	}
+	return lat[i]
 }
 
 // fillPercentiles computes the latency summary (nearest-rank
@@ -272,23 +351,13 @@ func fillPercentiles(lr *LevelReport, lat []float64) {
 		return
 	}
 	sort.Float64s(lat)
-	rank := func(p float64) float64 {
-		i := int(math.Ceil(p*float64(len(lat)))) - 1
-		if i < 0 {
-			i = 0
-		}
-		if i >= len(lat) {
-			i = len(lat) - 1
-		}
-		return lat[i]
-	}
 	sum := 0.0
 	for _, v := range lat {
 		sum += v
 	}
-	lr.P50Ms = rank(0.50)
-	lr.P95Ms = rank(0.95)
-	lr.P99Ms = rank(0.99)
+	lr.P50Ms = percentile(lat, 0.50)
+	lr.P95Ms = percentile(lat, 0.95)
+	lr.P99Ms = percentile(lat, 0.99)
 	lr.MeanMs = sum / float64(len(lat))
 	lr.MaxMs = lat[len(lat)-1]
 }

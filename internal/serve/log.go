@@ -1,0 +1,84 @@
+package serve
+
+import (
+	"context"
+	"io"
+	"log/slog"
+	"net/http"
+	"strings"
+	"time"
+
+	"wsrs/internal/otrace"
+)
+
+// NewLogger builds the structured logger the daemon binaries share:
+// "json" selects one JSON object per line (machine-shippable),
+// anything else the slog text handler. Every job-lifecycle line the
+// server emits carries trace_id/job_id attributes so client logs,
+// server logs and span exports correlate on the same identifiers.
+func NewLogger(w io.Writer, format string) *slog.Logger {
+	if strings.EqualFold(format, "json") {
+		return slog.New(slog.NewJSONHandler(w, nil))
+	}
+	return slog.New(slog.NewTextHandler(w, nil))
+}
+
+// discardLogger silences servers built without an explicit logger
+// (tests, embedded use).
+func discardLogger() *slog.Logger {
+	return slog.New(slog.NewTextHandler(io.Discard, nil))
+}
+
+// ctxKey keys the per-request trace context.
+type ctxKey int
+
+const traceCtxKey ctxKey = iota
+
+// requestCtx returns the trace context the access-log middleware
+// assigned to this request (zero when the handler runs unwrapped,
+// e.g. in direct unit tests).
+func requestCtx(r *http.Request) otrace.Ctx {
+	if c, ok := r.Context().Value(traceCtxKey).(otrace.Ctx); ok {
+		return c
+	}
+	return otrace.Ctx{}
+}
+
+// AccessLog is the shared-mux middleware: every request gets a fresh
+// trace ID (echoed as X-Trace-Id and stored in the request context so
+// handlers and error envelopes reuse it), an "http" span in rec when
+// non-nil, and one structured access-log line. A job submitted through
+// a wrapped handler inherits the request's trace ID, so the HTTP span
+// and the whole job lifecycle share one trace.
+func AccessLog(h http.Handler, rec *otrace.Recorder, lg *slog.Logger) http.Handler {
+	if lg == nil {
+		lg = discardLogger()
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		ctx := otrace.Ctx{}
+		var sp otrace.Span
+		if rec != nil {
+			sp = rec.Begin("http", otrace.Ctx{})
+			sp.SetStr("method", r.Method)
+			sp.SetStr("path", r.URL.Path)
+			ctx = sp.Ctx()
+		}
+		w.Header().Set("X-Trace-Id", otrace.FormatTraceID(ctx.Trace))
+		rr := &statusRecorder{ResponseWriter: w, code: http.StatusOK}
+		start := time.Now()
+		h.ServeHTTP(rr, r.WithContext(context.WithValue(r.Context(), traceCtxKey, ctx)))
+		dur := time.Since(start)
+		if rec != nil {
+			sp.SetInt("status", int64(rr.code))
+			rec.End(&sp)
+		}
+		lg.LogAttrs(r.Context(), slog.LevelInfo, "http",
+			slog.String("method", r.Method),
+			slog.String("path", r.URL.Path),
+			slog.Int("status", rr.code),
+			slog.Float64("dur_ms", float64(dur.Microseconds())/1000),
+			slog.String("trace_id", otrace.FormatTraceID(ctx.Trace)),
+			slog.String("remote", r.RemoteAddr),
+		)
+	})
+}

@@ -3,7 +3,9 @@ package serve
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"runtime"
 	"strings"
@@ -12,6 +14,7 @@ import (
 	"time"
 
 	"wsrs"
+	"wsrs/internal/otrace"
 	"wsrs/internal/telemetry"
 )
 
@@ -36,6 +39,23 @@ type Options struct {
 	MaxMeasure uint64
 	// KeepJobs bounds the terminal-job history (<= 0 selects 256).
 	KeepJobs int
+	// TraceSpans bounds the span ring the job lifecycle records into
+	// (<= 0 selects otrace.DefaultCapacity). Tracing is always on —
+	// the span hot path is allocation-free, so there is nothing to
+	// turn off.
+	TraceSpans int
+	// SlowJobs bounds the /debug/slow ring of slowest recent jobs
+	// (<= 0 selects 32).
+	SlowJobs int
+	// PhaseSamples bounds the /v1/phases sample log (<= 0 selects
+	// 8192).
+	PhaseSamples int
+	// SLO overrides the recorded per-phase latency objectives (nil
+	// selects DefaultSLOTargets).
+	SLO []SLOTarget
+	// Logger receives the structured job-lifecycle and access log
+	// (nil discards).
+	Logger *slog.Logger
 }
 
 // cellTask is one simulation the worker pool owes: the flight every
@@ -51,6 +71,17 @@ type cellTask struct {
 // request creates and enqueues it, duplicates subscribe, and a
 // thundering herd of identical jobs costs one simulation.
 type flight struct {
+	// ctx is the leader cell's span context: the queue-wait and
+	// simulate spans parent here, and coalesced waiters link their
+	// wait spans to it across traces.
+	ctx otrace.Ctx
+	// owner is the job that created the flight; its phase accounting
+	// absorbs the queue and simulate time.
+	owner *job
+	// enqueued stamps when the task entered the worker queue
+	// (otrace.Now), opening the queue-wait span.
+	enqueued int64
+
 	mu      sync.Mutex
 	waiters int
 	done    chan struct{}
@@ -82,6 +113,14 @@ type Server struct {
 	opts  Options
 	reg   *telemetry.Registry
 	cache *Cache
+
+	tracer *otrace.Recorder
+	phases *phaseLog
+	slow   *slowRing
+	log    *slog.Logger
+
+	slo        map[string]*phaseSLO
+	sloTargets []SLOTarget
 
 	ctx    context.Context // parent of every job context
 	cancel context.CancelFunc
@@ -116,11 +155,19 @@ func New(o Options) (*Server, error) {
 	if err != nil {
 		return nil, err
 	}
+	lg := o.Logger
+	if lg == nil {
+		lg = discardLogger()
+	}
 	ctx, cancel := context.WithCancel(context.Background())
 	s := &Server{
 		opts:    o,
 		reg:     telemetry.NewRegistry(),
 		cache:   cache,
+		tracer:  otrace.NewRecorder(o.TraceSpans),
+		phases:  newPhaseLog(o.PhaseSamples),
+		slow:    newSlowRing(o.SlowJobs),
+		log:     lg,
 		ctx:     ctx,
 		cancel:  cancel,
 		queue:   make(chan *cellTask, o.MaxQueuedCells+1),
@@ -130,15 +177,18 @@ func New(o Options) (*Server, error) {
 	s.initMetrics()
 	for w := 0; w < o.Workers; w++ {
 		s.workerWG.Add(1)
-		go func() {
+		go func(worker int) {
 			defer s.workerWG.Done()
 			for t := range s.queue {
-				s.runFlight(t)
+				s.runFlight(t, worker)
 			}
-		}()
+		}(w)
 	}
 	return s, nil
 }
+
+// Tracer exposes the daemon's span recorder (tests and embedders).
+func (s *Server) Tracer() *otrace.Recorder { return s.tracer }
 
 // Registry exposes the daemon's metric registry (served at /metrics).
 func (s *Server) Registry() *telemetry.Registry { return s.reg }
@@ -158,21 +208,58 @@ func (s *Server) Handler() http.Handler {
 		Index:    "wsrsd: POST /v1/jobs, GET /v1/jobs/{id}[/results|/events], DELETE /v1/jobs/{id}; /metrics /healthz /debug/vars /debug/pprof/",
 	})
 	mux.HandleFunc("GET /healthz", s.handleHealth)
+	mux.HandleFunc("GET /readyz", s.handleReady)
 	mux.HandleFunc("POST /v1/jobs", s.instrument("/v1/jobs", s.handleSubmit))
 	mux.HandleFunc("GET /v1/jobs", s.instrument("/v1/jobs", s.handleList))
 	mux.HandleFunc("GET /v1/jobs/{id}", s.instrument("/v1/jobs/{id}", s.handleGet))
 	mux.HandleFunc("GET /v1/jobs/{id}/results", s.instrument("/v1/jobs/{id}/results", s.handleResults))
+	mux.HandleFunc("GET /v1/jobs/{id}/trace", s.instrument("/v1/jobs/{id}/trace", s.handleTrace))
 	mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents) // streams: latency histogram would lie
+	mux.HandleFunc("GET /v1/phases", s.instrument("/v1/phases", s.handlePhases))
+	mux.HandleFunc("GET /debug/slow", s.handleSlow)
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.instrument("/v1/jobs/{id}", s.handleCancel))
-	return mux
+	return AccessLog(mux, s.tracer, s.log)
 }
 
+// handleHealth reports liveness: the process is up and serving. It
+// stays 200 through a drain — a draining daemon is healthy, just not
+// accepting work — so supervisors don't kill a drain mid-flight.
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	fmt.Fprintln(w, "ok")
+}
+
+// handleReady reports readiness to accept NEW jobs: 503 from the
+// moment the drain starts (before the listener closes), so load
+// balancers and wsrsload stop routing work at the first SIGTERM.
+func (s *Server) handleReady(w http.ResponseWriter, r *http.Request) {
 	if s.draining.Load() {
 		http.Error(w, "draining", http.StatusServiceUnavailable)
 		return
 	}
-	fmt.Fprintln(w, "ok")
+	fmt.Fprintln(w, "ready")
+}
+
+// ErrorEnvelope is the uniform JSON error body of every non-2xx
+// response: the message, the validation detail when the request itself
+// is wrong (same field/error/valid keys as *RequestError, so existing
+// decoders keep working), the admission detail on 429, and the request
+// trace ID so a failed call can be correlated with server logs.
+type ErrorEnvelope struct {
+	Msg      string   `json:"error"`
+	Field    string   `json:"field,omitempty"`
+	Valid    []string `json:"valid,omitempty"`
+	Pending  int64    `json:"pending_cells,omitempty"`
+	QueueCap int      `json:"queue_cap,omitempty"`
+	TraceID  string   `json:"trace_id,omitempty"`
+}
+
+// writeError stamps the request's trace ID into the envelope and
+// writes it with the given status.
+func (s *Server) writeError(w http.ResponseWriter, r *http.Request, status int, env ErrorEnvelope) {
+	if c := requestCtx(r).Trace; c != 0 {
+		env.TraceID = otrace.FormatTraceID(c)
+	}
+	writeJSON(w, status, env)
 }
 
 // writeJSON writes one JSON response with the given status.
@@ -185,26 +272,45 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 }
 
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	// The admission span: decode, validation and the queue-room check,
+	// parented to the access-log middleware's http span so the whole
+	// decision shows up inside the request slice.
+	adm := s.tracer.Begin("admission", requestCtx(r))
+	outcome := "accepted"
+	defer func() {
+		adm.SetStr("outcome", outcome)
+		s.tracer.End(&adm)
+	}()
+
 	if s.draining.Load() {
-		writeJSON(w, http.StatusServiceUnavailable,
-			map[string]string{"error": "draining: not accepting new jobs"})
+		outcome = "draining"
+		s.writeError(w, r, http.StatusServiceUnavailable,
+			ErrorEnvelope{Msg: "draining: not accepting new jobs"})
 		return
 	}
 	var req JobRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeJSON(w, http.StatusBadRequest, &RequestError{Field: "body", Msg: err.Error()})
+		outcome = "invalid"
+		s.writeError(w, r, http.StatusBadRequest, ErrorEnvelope{Field: "body", Msg: err.Error()})
 		return
 	}
 	ids, err := req.expand()
 	if err != nil {
+		outcome = "invalid"
 		s.reg.Counter(mJobs+telemetry.Labels("outcome", "invalid"), helpJobs).Inc()
-		writeJSON(w, http.StatusBadRequest, err)
+		env := ErrorEnvelope{Msg: err.Error()}
+		var re *RequestError
+		if errors.As(err, &re) {
+			env = ErrorEnvelope{Msg: re.Msg, Field: re.Field, Valid: re.Valid}
+		}
+		s.writeError(w, r, http.StatusBadRequest, env)
 		return
 	}
 	if s.opts.MaxMeasure > 0 {
 		for i, id := range ids {
 			if id.Measure > s.opts.MaxMeasure {
-				writeJSON(w, http.StatusBadRequest, &RequestError{
+				outcome = "invalid"
+				s.writeError(w, r, http.StatusBadRequest, ErrorEnvelope{
 					Field: fmt.Sprintf("cells[%d].measure", i),
 					Msg:   fmt.Sprintf("measure %d exceeds the server cap %d", id.Measure, s.opts.MaxMeasure)})
 				return
@@ -216,13 +322,11 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	for {
 		p := s.pending.Load()
 		if int(p)+len(ids) > s.opts.MaxQueuedCells {
+			outcome = "rejected"
 			s.reg.Counter(mJobs+telemetry.Labels("outcome", "rejected"), helpJobs).Inc()
 			w.Header().Set("Retry-After", "1")
-			writeJSON(w, http.StatusTooManyRequests, map[string]any{
-				"error":         "queue full",
-				"pending_cells": p,
-				"queue_cap":     s.opts.MaxQueuedCells,
-			})
+			s.writeError(w, r, http.StatusTooManyRequests, ErrorEnvelope{
+				Msg: "queue full", Pending: p, QueueCap: s.opts.MaxQueuedCells})
 			return
 		}
 		if s.pending.CompareAndSwap(p, p+int64(len(ids))) {
@@ -233,15 +337,24 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 
 	s.mu.Lock()
 	s.nextID++
-	j := newJob(fmt.Sprintf("j-%06d", s.nextID), s.ctx, &req, ids)
+	// The job inherits the request's trace, so the submit http span,
+	// the admission span and the whole job lifecycle share one trace.
+	j := newJob(fmt.Sprintf("j-%06d", s.nextID), s.ctx, &req, ids, s.tracer, requestCtx(r))
 	s.jobs[j.id] = j
 	s.order = append(s.order, j.id)
 	s.evictJobsLocked()
 	s.mu.Unlock()
+	adm.SetStr("job_id", j.id)
 
 	s.reg.Gauge(mJobsActive, helpJobsActive).Add(1)
 	s.jobWG.Add(1)
 	go s.runJob(j, ids)
+
+	s.log.LogAttrs(r.Context(), slog.LevelInfo, "job accepted",
+		slog.String("job_id", j.id),
+		slog.String("trace_id", otrace.FormatTraceID(j.trace)),
+		slog.String("label", j.label),
+		slog.Int("cells", len(ids)))
 
 	st := j.status()
 	w.Header().Set("Location", "/v1/jobs/"+j.id)
@@ -267,8 +380,8 @@ func (s *Server) lookupJob(w http.ResponseWriter, r *http.Request) *job {
 	j := s.jobs[r.PathValue("id")]
 	s.mu.Unlock()
 	if j == nil {
-		writeJSON(w, http.StatusNotFound, map[string]string{
-			"error": fmt.Sprintf("no such job %q", r.PathValue("id"))})
+		s.writeError(w, r, http.StatusNotFound,
+			ErrorEnvelope{Msg: fmt.Sprintf("no such job %q", r.PathValue("id"))})
 	}
 	return j
 }
@@ -301,8 +414,8 @@ func (s *Server) handleResults(w http.ResponseWriter, r *http.Request) {
 	}
 	st := j.status()
 	if st.State != StateDone {
-		writeJSON(w, http.StatusConflict, map[string]string{
-			"error": fmt.Sprintf("job %s is %s; results require state %q", j.id, st.State, StateDone)})
+		s.writeError(w, r, http.StatusConflict, ErrorEnvelope{
+			Msg: fmt.Sprintf("job %s is %s; results require state %q", j.id, st.State, StateDone)})
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")
@@ -370,9 +483,18 @@ func (s *Server) runJob(j *job, ids []CellID) {
 
 	var wg sync.WaitGroup
 	for i, id := range ids {
-		if res, ok := s.cache.Get(j.cells[i].Digest); ok {
+		cellStart := otrace.Now()
+		lookup := s.tracer.Begin("cache.lookup", j.cellCtx(i))
+		res, hit := s.cache.Get(j.cells[i].Digest)
+		lookup.SetBool("hit", hit)
+		s.tracer.End(&lookup)
+		cacheDur := time.Duration(lookup.Dur())
+		s.observePhase(PhaseCache, cacheDur)
+		j.addPhase(PhaseCache, cacheDur)
+		if hit {
 			s.reg.Counter(mCacheHits, helpCacheHits).Inc()
 			j.resolveCell(i, CacheHit, res, 0, nil)
+			s.endCellSpan(j, i, CacheHit, cellStart)
 			s.cellDone()
 			continue
 		}
@@ -382,19 +504,35 @@ func (s *Server) runJob(j *job, ids []CellID) {
 		if coalesced {
 			fl.join()
 		} else {
-			fl = &flight{waiters: 1, done: make(chan struct{})}
+			// The new flight carries this cell's span context and
+			// owner: the queue-wait and simulate spans parent here, and
+			// the job's phase decomposition absorbs their durations.
+			fl = &flight{
+				ctx:      j.cellCtx(i),
+				owner:    j,
+				enqueued: otrace.Now(),
+				waiters:  1,
+				done:     make(chan struct{}),
+			}
 			s.flights[digest] = fl
 		}
 		s.mu.Unlock()
 		disposition := CacheMiss
+		var waitSpan otrace.Span
 		if coalesced {
 			disposition = CacheCoalesced
 			s.reg.Counter(mCoalesced, helpCoalesced).Inc()
+			// The waiter's span links (not parents) to the leader
+			// flight's cell span: the leader may belong to a different
+			// trace, so the linkage crosses traces by attribute.
+			waitSpan = s.tracer.Begin("coalesce.wait", j.cellCtx(i))
+			waitSpan.SetStr("link_trace", otrace.FormatTraceID(fl.ctx.Trace))
+			waitSpan.SetStr("link_span", otrace.FormatSpanID(fl.ctx.Span))
 		} else {
 			s.queue <- &cellTask{id: id, digest: digest, fl: fl}
 		}
 		wg.Add(1)
-		go func(i int, fl *flight, disposition string) {
+		go func(i int, fl *flight, disposition string, waitSpan otrace.Span, cellStart int64) {
 			defer wg.Done()
 			select {
 			case <-fl.done:
@@ -403,8 +541,15 @@ func (s *Server) runJob(j *job, ids []CellID) {
 				fl.abandon()
 				j.resolveCell(i, disposition, wsrs.Result{}, 0, context.Canceled)
 			}
+			if disposition == CacheCoalesced {
+				s.tracer.End(&waitSpan)
+				d := time.Duration(waitSpan.Dur())
+				s.observePhase(PhaseCoalesce, d)
+				j.addPhase(PhaseCoalesce, d)
+			}
+			s.endCellSpan(j, i, disposition, cellStart)
 			s.cellDone()
-		}(i, fl, disposition)
+		}(i, fl, disposition, waitSpan, cellStart)
 	}
 	wg.Wait()
 
@@ -427,6 +572,69 @@ func (s *Server) runJob(j *job, ids []CellID) {
 		j.finish(StateDone, "")
 		s.reg.Counter(mJobs+telemetry.Labels("outcome", "done"), helpJobs).Inc()
 	}
+
+	// Close the trace: emit the root "job" span retroactively under its
+	// preallocated ID (every lifecycle span already parents to it),
+	// record the total phase, rank the job in the /debug/slow ring, and
+	// log the outcome with its phase decomposition.
+	endNs := otrace.Now()
+	total := time.Duration(endNs - j.startNs)
+	s.observePhase(PhaseTotal, total)
+	j.addPhase(PhaseTotal, total)
+	fin := j.status()
+	root := s.tracer.Make("job", otrace.Ctx{Trace: j.trace, Span: j.parentSpan}, j.startNs, endNs)
+	root.ID = j.root
+	root.SetStr("job_id", j.id)
+	root.SetStr("state", fin.State)
+	root.SetInt("cells", int64(fin.CellsTotal))
+	if j.label != "" {
+		root.SetStr("label", j.label)
+	}
+	s.tracer.Append(&root)
+	s.syncTraceMetrics()
+	phaseMs := j.phaseMs()
+	s.slow.add(SlowJob{
+		JobID:    j.id,
+		TraceID:  otrace.FormatTraceID(j.trace),
+		Label:    j.label,
+		State:    fin.State,
+		Cells:    fin.CellsTotal,
+		TotalMs:  float64(total.Microseconds()) / 1000,
+		PhaseMs:  phaseMs,
+		Finished: time.Now(),
+	})
+	s.log.LogAttrs(context.Background(), slog.LevelInfo, "job finished",
+		slog.String("job_id", j.id),
+		slog.String("trace_id", otrace.FormatTraceID(j.trace)),
+		slog.String("state", fin.State),
+		slog.Int("cells", fin.CellsTotal),
+		slog.Int("cells_failed", fin.CellsFailed),
+		slog.Float64("total_ms", float64(total.Microseconds())/1000),
+		slog.Any("phase_ms", phaseMs))
+}
+
+// endCellSpan emits cell i's span retroactively under its preallocated
+// ID, covering acceptance to resolution, so the child spans recorded
+// meanwhile (cache.lookup, queue.wait, simulate, coalesce.wait)
+// already point at it.
+func (s *Server) endCellSpan(j *job, i int, disposition string, start int64) {
+	sp := s.tracer.Make("cell", j.rootCtx(), start, otrace.Now())
+	sp.ID = j.cellSpans[i]
+	sp.SetInt("cell", int64(i))
+	sp.SetStr("cache", disposition)
+	sp.SetStr("kernel", j.cells[i].Cell.Kernel)
+	sp.SetStr("config", j.cells[i].Cell.Config)
+	s.tracer.Append(&sp)
+}
+
+// syncTraceMetrics reconciles the trace-ring gauges with the recorder.
+func (s *Server) syncTraceMetrics() {
+	s.reg.Gauge(mTraceSpans, helpTraceSpans).Set(int64(s.tracer.Len()))
+	evicted := s.tracer.Total() - uint64(s.tracer.Len())
+	c := s.reg.Counter(mTraceEvicted, helpTraceEvict)
+	if d := evicted - c.Load(); d > 0 && d < 1<<63 {
+		c.Add(d)
+	}
 }
 
 func (s *Server) cellDone() {
@@ -435,8 +643,10 @@ func (s *Server) cellDone() {
 
 // runFlight simulates one coalesced cell on a pool worker. The cell
 // runs through wsrs.RunGrid (parallelism 1: the pool supplies the
-// concurrency), inheriting its panic barrier and budget plumbing.
-func (s *Server) runFlight(t *cellTask) {
+// concurrency), inheriting its panic barrier and budget plumbing. The
+// queue-wait and simulate spans parent to the leader cell's span, and
+// their durations accrue to the owning job's phase decomposition.
+func (s *Server) runFlight(t *cellTask, worker int) {
 	if t.fl.abandoned() {
 		s.mu.Lock()
 		delete(s.flights, t.digest)
@@ -444,12 +654,28 @@ func (s *Server) runFlight(t *cellTask) {
 		t.fl.resolve(wsrs.Result{}, context.Canceled, 0)
 		return
 	}
+	// The queue-wait span opened when the task was enqueued and closes
+	// now that a worker picked it up.
+	qsp := s.tracer.Make("queue.wait", t.fl.ctx, t.fl.enqueued, otrace.Now())
+	qsp.SetInt("worker", int64(worker))
+	s.tracer.Append(&qsp)
+	queueDur := time.Duration(qsp.Dur())
+	s.observePhase(PhaseQueue, queueDur)
+	if t.fl.owner != nil {
+		t.fl.owner.addPhase(PhaseQueue, queueDur)
+	}
+
 	s.reg.Counter(mSims, helpSims).Inc()
+	sim := s.tracer.Begin("simulate", t.fl.ctx)
+	sim.SetStr("kernel", t.id.Kernel)
+	sim.SetStr("config", t.id.Config)
+	sim.SetInt("worker", int64(worker))
 	opts := wsrs.SimOpts{
 		WarmupInsts:  t.id.Warmup,
 		MeasureInsts: t.id.Measure,
 		Seed:         t.id.Seed,
 		Telemetry:    t.id.Telemetry,
+		Observer:     wsrs.NewTraceObserver(s.tracer, sim.Ctx()),
 	}
 	cell := wsrs.GridCell{
 		Kernel: t.id.Kernel,
@@ -461,6 +687,12 @@ func (s *Server) runFlight(t *cellTask) {
 	out, err := wsrs.RunGrid([]wsrs.GridCell{cell}, opts, 1)
 	wall := time.Since(start)
 	s.reg.Histogram(mSimMs, helpSimMs).Observe(uint64(wall.Milliseconds()))
+	sim.SetBool("ok", err == nil)
+	s.tracer.End(&sim)
+	s.observePhase(PhaseSimulate, wall)
+	if t.fl.owner != nil {
+		t.fl.owner.addPhase(PhaseSimulate, wall)
+	}
 	var res wsrs.Result
 	if len(out) == 1 {
 		res = out[0].Result

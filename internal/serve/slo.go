@@ -1,0 +1,173 @@
+package serve
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// The lifecycle phases the daemon decomposes a job into. Every phase
+// observation feeds three consumers at once: the wsrsd_phase_us
+// histogram family on the registry, the bounded phase-sample log
+// served at /v1/phases (what wsrsload turns into the per-phase
+// p50/p95/p99 table), and the SLO good/breach counters behind the
+// burn-rate gauges.
+const (
+	PhaseQueue    = "queue"    // task enqueued -> a pool worker picked it up
+	PhaseCoalesce = "coalesce" // waiter subscribed -> the leader flight resolved
+	PhaseCache    = "cache"    // content-addressed result cache lookup
+	PhaseSimulate = "simulate" // RunGrid dispatch wall time
+	PhaseTotal    = "total"    // job accepted -> terminal state
+)
+
+// PhaseNames lists the phases in presentation order.
+var PhaseNames = []string{PhaseQueue, PhaseCoalesce, PhaseCache, PhaseSimulate, PhaseTotal}
+
+// SLOTarget is one recorded objective: "Objective of PhaseName
+// observations complete within TargetMs". Objectives are recorded on
+// the registry (wsrsd_slo_target_ms / wsrsd_slo_objective_milli) so a
+// scrape alone documents what the daemon is held to.
+type SLOTarget struct {
+	Phase     string  `json:"phase"`
+	TargetMs  float64 `json:"target_ms"`
+	Objective float64 `json:"objective"` // e.g. 0.99
+}
+
+// DefaultSLOTargets returns the daemon's built-in objectives. They
+// assume interactive single-cell jobs (the wsrsload shape); override
+// via Options.SLO for batch deployments.
+func DefaultSLOTargets() []SLOTarget {
+	return []SLOTarget{
+		{Phase: PhaseQueue, TargetMs: 100, Objective: 0.99},
+		{Phase: PhaseCoalesce, TargetMs: 1000, Objective: 0.99},
+		{Phase: PhaseCache, TargetMs: 5, Objective: 0.999},
+		{Phase: PhaseSimulate, TargetMs: 1000, Objective: 0.95},
+		{Phase: PhaseTotal, TargetMs: 2000, Objective: 0.95},
+	}
+}
+
+// PhaseSample is one recorded phase duration.
+type PhaseSample struct {
+	Phase string `json:"phase"`
+	Us    int64  `json:"us"`
+}
+
+// PhasePage is the GET /v1/phases response: the samples appended
+// since the ?since cursor (bounded by the retention ring), the next
+// cursor, and the recorded SLO targets. wsrsload fetches one page per
+// concurrency level and computes exact percentiles client-side —
+// sharper than decoding power-of-two histogram buckets.
+type PhasePage struct {
+	// Next is the cursor covering everything returned: pass it as
+	// ?since= on the next fetch to read only newer samples.
+	Next uint64 `json:"next"`
+	// Dropped counts samples between the cursor and the retention
+	// window that were evicted before this fetch.
+	Dropped uint64        `json:"dropped,omitempty"`
+	Targets []SLOTarget   `json:"targets"`
+	Samples []PhaseSample `json:"samples"`
+}
+
+// phaseLog is the bounded append-only sample log behind /v1/phases: a
+// preallocated ring with a monotone cursor, so the append path (one
+// per phase observation) allocates nothing.
+type phaseLog struct {
+	mu    sync.Mutex
+	ring  []PhaseSample
+	next  int
+	total uint64
+}
+
+func newPhaseLog(cap int) *phaseLog {
+	if cap <= 0 {
+		cap = 8192
+	}
+	return &phaseLog{ring: make([]PhaseSample, 0, cap)}
+}
+
+func (l *phaseLog) add(phase string, us int64) {
+	l.mu.Lock()
+	if len(l.ring) < cap(l.ring) {
+		l.ring = append(l.ring, PhaseSample{Phase: phase, Us: us})
+	} else {
+		l.ring[l.next] = PhaseSample{Phase: phase, Us: us}
+	}
+	l.next++
+	if l.next == cap(l.ring) {
+		l.next = 0
+	}
+	l.total++
+	l.mu.Unlock()
+}
+
+// page returns the samples with global index >= since, oldest first.
+func (l *phaseLog) page(since uint64) PhasePage {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	p := PhasePage{Next: l.total}
+	if since >= l.total {
+		return p
+	}
+	oldest := l.total - uint64(len(l.ring))
+	if since < oldest {
+		p.Dropped = oldest - since
+		since = oldest
+	}
+	// Ring position of global index i is i % cap once wrapped; while
+	// filling, position equals index.
+	n := int(l.total - since)
+	p.Samples = make([]PhaseSample, 0, n)
+	for g := since; g < l.total; g++ {
+		p.Samples = append(p.Samples, l.ring[int(g%uint64(cap(l.ring)))])
+	}
+	return p
+}
+
+// SlowJob is one entry of the /debug/slow ring: a finished job's
+// identity, outcome and phase decomposition, kept if it ranks among
+// the N slowest seen.
+type SlowJob struct {
+	JobID    string             `json:"job_id"`
+	TraceID  string             `json:"trace_id"`
+	Label    string             `json:"label,omitempty"`
+	State    string             `json:"state"`
+	Cells    int                `json:"cells"`
+	TotalMs  float64            `json:"total_ms"`
+	PhaseMs  map[string]float64 `json:"phase_ms"`
+	Finished time.Time          `json:"finished"`
+}
+
+// slowRing keeps the slowest recent jobs, sorted slowest first.
+type slowRing struct {
+	mu   sync.Mutex
+	max  int
+	jobs []SlowJob
+}
+
+func newSlowRing(max int) *slowRing {
+	if max <= 0 {
+		max = 32
+	}
+	return &slowRing{max: max}
+}
+
+func (r *slowRing) add(j SlowJob) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	i := sort.Search(len(r.jobs), func(i int) bool { return r.jobs[i].TotalMs < j.TotalMs })
+	if i >= r.max {
+		return
+	}
+	r.jobs = append(r.jobs, SlowJob{})
+	copy(r.jobs[i+1:], r.jobs[i:])
+	r.jobs[i] = j
+	if len(r.jobs) > r.max {
+		r.jobs = r.jobs[:r.max]
+	}
+}
+
+func (r *slowRing) snapshot() []SlowJob {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]SlowJob(nil), r.jobs...)
+}

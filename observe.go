@@ -10,8 +10,58 @@ import (
 	"sync"
 	"time"
 
+	"wsrs/internal/otrace"
 	"wsrs/internal/telemetry"
 )
+
+// TraceObserver is the span-emitting GridObserver: one "grid.cell"
+// span per cell, parented under the given context, recorded into the
+// given recorder. wsrsd attaches one per simulate dispatch so the host
+// RunGrid work shows up inside the job trace; non-daemon runs get the
+// same spans through GridTelemetry's built-in recorder instead.
+type TraceObserver struct {
+	rec    *otrace.Recorder
+	parent otrace.Ctx
+
+	mu     sync.Mutex
+	starts map[int]int64
+}
+
+// NewTraceObserver builds the observer. A zero parent starts a fresh
+// trace on first use.
+func NewTraceObserver(rec *otrace.Recorder, parent otrace.Ctx) *TraceObserver {
+	return &TraceObserver{rec: rec, parent: parent, starts: map[int]int64{}}
+}
+
+// CellStarted implements GridObserver.
+func (t *TraceObserver) CellStarted(i int, cell GridCell, worker int) {
+	now := otrace.Now()
+	t.mu.Lock()
+	t.starts[i] = now
+	t.mu.Unlock()
+}
+
+// CellFinished implements GridObserver.
+func (t *TraceObserver) CellFinished(i int, r GridResult) {
+	end := otrace.Now()
+	t.mu.Lock()
+	start, ok := t.starts[i]
+	delete(t.starts, i)
+	t.mu.Unlock()
+	if !ok {
+		start = end
+	}
+	sp := t.rec.Make("grid.cell", t.parent, start, end)
+	sp.SetStr("kernel", r.Cell.Kernel)
+	sp.SetStr("config", string(r.Cell.Config))
+	sp.SetInt("worker", int64(r.Worker))
+	if r.Err != nil {
+		sp.SetStr("error", r.Err.Error())
+	} else {
+		sp.SetInt("cycles", r.Result.Cycles)
+	}
+	t.rec.Append(&sp)
+}
 
 // GridTelemetry is the batteries-included GridObserver: it turns
 // RunGrid progress callbacks into
@@ -39,13 +89,16 @@ type GridTelemetry struct {
 	// (command-line flags, environment); optional.
 	Meta map[string]string
 
-	reg   *telemetry.Registry
-	start time.Time
+	reg    *telemetry.Registry
+	start  time.Time
+	tracer *otrace.Recorder
+	trace  otrace.TraceID
 
 	mu         sync.Mutex
 	total      int
 	seenKernel map[string]bool
 	coldCell   map[int]bool
+	cellStart  map[int]int64
 	cells      []ManifestCell
 	events     []TraceEvent
 	seenWorker map[int]bool
@@ -59,10 +112,13 @@ func NewGridTelemetry() *GridTelemetry {
 	g := &GridTelemetry{
 		reg:        telemetry.NewRegistry(),
 		start:      time.Now(),
+		tracer:     otrace.NewRecorder(0),
 		seenKernel: map[string]bool{},
 		coldCell:   map[int]bool{},
+		cellStart:  map[int]int64{},
 		seenWorker: map[int]bool{},
 	}
+	g.trace = g.tracer.NewTrace()
 	// Register the families up front so a scrape before the first
 	// cell already shows them.
 	g.reg.Counter("wsrs_grid_cells_total"+telemetry.Labels("outcome", "ok"), "grid cells by outcome")
@@ -85,6 +141,7 @@ func (g *GridTelemetry) CellStarted(i int, cell GridCell, worker int) {
 	g.reg.Gauge("wsrs_grid_cells_running", "").Add(1)
 	g.mu.Lock()
 	g.total++
+	g.cellStart[i] = otrace.Now()
 	if !g.seenKernel[cell.Kernel] {
 		g.seenKernel[cell.Kernel] = true
 		g.coldCell[i] = true
@@ -143,7 +200,25 @@ func (g *GridTelemetry) CellFinished(i int, r GridResult) {
 	ev.Args = map[string]any{"index": i, "ipc": r.Result.IPC, "resumed": r.Resumed}
 	g.events = append(g.events, ev)
 	done := len(g.cells)
+	startNs, haveStart := g.cellStart[i]
+	delete(g.cellStart, i)
 	g.mu.Unlock()
+
+	endNs := otrace.Now()
+	if !haveStart {
+		startNs = endNs
+	}
+	sp := g.tracer.Make("grid.cell", otrace.Ctx{Trace: g.trace}, startNs, endNs)
+	sp.SetStr("kernel", r.Cell.Kernel)
+	sp.SetStr("config", string(r.Cell.Config))
+	sp.SetInt("cell", int64(i))
+	sp.SetInt("worker", int64(r.Worker))
+	if r.Err != nil {
+		sp.SetStr("error", r.Err.Error())
+	} else {
+		sp.SetBool("cold_trace", cold)
+	}
+	g.tracer.Append(&sp)
 
 	if g.Progress != nil {
 		status := "cached trace"
@@ -278,4 +353,20 @@ func (g *GridTelemetry) HostTrace() []TraceEvent {
 // Chrome trace JSON.
 func (g *GridTelemetry) WriteHostTrace(w io.Writer) error {
 	return WriteTrace(w, g.HostTrace())
+}
+
+// Spans returns the per-cell "grid.cell" spans recorded so far,
+// oldest first.
+func (g *GridTelemetry) Spans() []otrace.Span {
+	return g.tracer.Snapshot()
+}
+
+// WriteSpans writes the recorded spans as an otrace document (the
+// wsrsbench -spans artifact; same wire shape as the daemon's
+// /v1/jobs/{id}/trace endpoint, validated by telcheck -spans).
+func (g *GridTelemetry) WriteSpans(w io.Writer) error {
+	doc := otrace.NewDocument(g.trace, g.Spans())
+	doc.Label = g.Label
+	doc.Evicted = g.tracer.Total() - uint64(g.tracer.Len())
+	return otrace.WriteDocument(w, doc)
 }
