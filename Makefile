@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test race bench bench-gate bench-serve golden
+.PHONY: build test race bench bench-gate bench-serve bench-fleet golden
 
 build:
 	$(GO) build ./...
@@ -11,7 +11,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race . ./internal/trace ./internal/tracecache ./internal/pipeline ./internal/telemetry ./internal/otrace ./internal/serve
+	$(GO) test -race . ./internal/trace ./internal/tracecache ./internal/pipeline ./internal/telemetry ./internal/otrace ./internal/serve ./internal/fleet ./internal/fleet/chaos
 
 # Pinned benchmark invocation: a single CPU, a fixed benchtime and a
 # single count make successive runs (and the committed baseline vs a
@@ -20,7 +20,7 @@ race:
 # recorded inside the JSON so a mismatched comparison is self-evident.
 BENCH_FLAGS = -bench Core -benchmem -run NONE -count 1 -cpu 1 -benchtime 2s
 BENCH_PKGS = . ./internal/rename ./internal/wakeup ./internal/bypass \
-	./internal/telemetry ./internal/pipeline ./internal/otrace
+	./internal/telemetry ./internal/pipeline ./internal/otrace ./internal/fleet
 
 # bench reruns the BenchmarkCore* hot-path microbenchmarks (rename map
 # lookup, wake-up broadcast pricing, bypass arbitration, counter
@@ -59,6 +59,16 @@ bench-serve:
 	STATUS=$$?; \
 	kill -TERM $$WSRSD_PID 2>/dev/null; wait $$WSRSD_PID; exit $$STATUS
 	@echo wrote BENCH_serve.json
+
+# bench-fleet measures the scatter/gather coordinator: fresh
+# in-process fleets (real wsrsd cores behind chaos proxies on
+# loopback) at each backend count, one fixed grid scattered across
+# them and verified byte-identical to a direct local run, then the
+# widest fleet again with one backend hard-killed mid-job. The run
+# fails if any fleet result diverges from the local baseline.
+bench-fleet:
+	$(GO) run ./cmd/wsrsload -fleet 1,2,3 -measure 200000 -out BENCH_fleet.json
+	@echo wrote BENCH_fleet.json
 
 golden:
 	$(GO) test -run Golden -update .

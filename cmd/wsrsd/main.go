@@ -36,10 +36,23 @@
 // refused, accepted jobs finish, the result cache is flushed
 // (compacted) to -cache.
 //
+// Fleet modes (see README "Running a fleet"):
+//
+//   - -peers turns the daemon into a fleet coordinator: cache misses
+//     are scattered to the listed member daemons by their sha256
+//     content address (consistent hashing: one cache home per cell),
+//     with retries, hedging, health-probe membership and circuit
+//     breakers; the fleet counters share this daemon's /metrics.
+//   - -cache-peers keeps the daemon a plain member but inserts the
+//     peer-fetch cache tier: a local miss first asks the digest's
+//     cache home (GET /v1/cache/{digest}) before simulating. List the
+//     other members, not this daemon itself.
+//
 // Usage:
 //
 //	wsrsd -listen :8080 -cache /var/tmp/wsrsd.cache.jsonl
 //	wsrsd -listen 127.0.0.1:0 -workers 4 -queue 256 -log-format json
+//	wsrsd -listen :8080 -peers http://sim1:8080,http://sim2:8080
 package main
 
 import (
@@ -48,10 +61,13 @@ import (
 	"log/slog"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
+	"wsrs/internal/fleet"
 	"wsrs/internal/serve"
+	"wsrs/internal/telemetry"
 )
 
 func main() {
@@ -66,10 +82,14 @@ func main() {
 	traceSpans := flag.Int("trace-spans", 0, "span-ring capacity for request tracing (0 = default 8192)")
 	slowJobs := flag.Int("slow-jobs", 0, "how many slowest jobs /debug/slow retains (0 = default 32)")
 	phaseSamples := flag.Int("phase-samples", 0, "phase-sample retention behind /v1/phases (0 = default 8192)")
+	peers := flag.String("peers", "", "comma-separated member base URLs: run as a fleet coordinator scattering cells to them")
+	cachePeers := flag.String("cache-peers", "", "comma-separated peer base URLs (excluding this daemon): fetch cache misses from their content-addressed caches before simulating")
+	hedgeAfter := flag.Duration("hedge-after", 0, "coordinator mode: hedge a straggling cell on the next backend after this long (0 = default 750ms, <0 = off)")
+	probeInterval := flag.Duration("probe-interval", 0, "coordinator mode: /readyz probe cadence for backend membership (0 = default 1s)")
 	flag.Parse()
 
 	logger := serve.NewLogger(os.Stderr, *logFormat)
-	srv, err := serve.New(serve.Options{
+	opts := serve.Options{
 		Workers:        *workers,
 		MaxQueuedCells: *queue,
 		CachePath:      *cachePath,
@@ -79,7 +99,36 @@ func main() {
 		SlowJobs:       *slowJobs,
 		PhaseSamples:   *phaseSamples,
 		Logger:         logger,
-	})
+	}
+	var coord *fleet.Coordinator
+	if backends := splitURLs(*peers); len(backends) > 0 {
+		// Coordinator mode: one registry for the job API and the fleet
+		// counters, so a single /metrics scrape shows both layers.
+		opts.Registry = telemetry.NewRegistry()
+		coord = fleet.New(fleet.Options{
+			Backends:      backends,
+			HedgeAfter:    *hedgeAfter,
+			ProbeInterval: *probeInterval,
+			Registry:      opts.Registry,
+			Logger:        logger,
+		})
+		opts.Runner = coord
+		logger.Info("fleet coordinator mode", slog.Int("backends", len(backends)))
+	} else if ps := splitURLs(*cachePeers); len(ps) > 0 {
+		// Member mode with the peer-fetch cache tier: the same ring
+		// machinery, used only to locate a digest's cache home.
+		coord = fleet.New(fleet.Options{
+			Backends:      ps,
+			ProbeInterval: *probeInterval,
+			Logger:        logger,
+		})
+		opts.Peers = coord
+		logger.Info("peer-cache mode", slog.Int("peers", len(ps)))
+	}
+	if coord != nil {
+		defer coord.Close()
+	}
+	srv, err := serve.New(opts)
 	if err != nil {
 		fatal(logger, err)
 	}
@@ -113,6 +162,17 @@ func main() {
 	defer cancelShutdown()
 	_ = httpSrv.Shutdown(shutdownCtx)
 	logger.Info("drained", slog.Int("cache_entries", srv.Cache().Len()))
+}
+
+// splitURLs parses a comma-separated URL list, dropping empties.
+func splitURLs(s string) []string {
+	var out []string
+	for _, u := range strings.Split(s, ",") {
+		if u = strings.TrimSpace(u); u != "" {
+			out = append(out, strings.TrimRight(u, "/"))
+		}
+	}
+	return out
 }
 
 func fatal(logger *slog.Logger, err error) {

@@ -15,10 +15,24 @@
 // percentiles over the daemon's span-derived samples). Before offering
 // load, wsrsload waits on the daemon's /readyz.
 //
+// Submissions the daemon rejects with 429 are resubmitted with a
+// capped, jittered exponential backoff seeded from its Retry-After
+// hint; after -retries rejections a job is abandoned, and the report
+// separates retried from abandoned work.
+//
+// A second mode, -fleet, needs no running daemon: it boots fresh
+// in-process fleets (real wsrsd cores behind chaos proxies on
+// loopback), scatters one fixed simulation grid across each backend
+// count, verifies the gathered results byte-identical to a direct
+// local run, then reruns the widest fleet with one backend
+// hard-killed mid-job — `make bench-fleet` commits the result as
+// BENCH_fleet.json.
+//
 // Usage:
 //
 //	wsrsload -addr http://127.0.0.1:8080
 //	wsrsload -addr http://127.0.0.1:8080 -levels 1,2,4,8 -n 40 -dup 0.5 -out BENCH_serve.json
+//	wsrsload -fleet 1,2,3 -measure 200000 -out BENCH_fleet.json
 package main
 
 import (
@@ -50,9 +64,23 @@ func main() {
 	readyWait := flag.Duration("ready-wait", 30*time.Second, "how long to wait for the daemon's /readyz before giving up")
 	out := flag.String("out", "", "write the JSON report to this file (e.g. BENCH_serve.json)")
 	logFormat := flag.String("log-format", "text", "structured log format: text or json")
+	retries := flag.Int("retries", 0, "resubmissions per job after 429 before abandoning it (0 = default 8)")
+	retryCap := flag.Duration("retry-cap", 0, "cap on the jittered 429 backoff (0 = default 2s)")
+	fleetCounts := flag.String("fleet", "", "comma-separated backend counts: run the self-contained fleet scatter/gather bench instead of the load test")
+	fleetWorkers := flag.Int("fleet-workers", 2, "simulation workers per fleet backend")
 	flag.Parse()
 
 	logger := serve.NewLogger(os.Stderr, *logFormat)
+	if *fleetCounts != "" {
+		counts, err := parseLevels(*fleetCounts)
+		if err != nil {
+			fatal(logger, err)
+		}
+		if err := runFleetBench(logger, counts, *warmup, *measure, *fleetWorkers, *out); err != nil {
+			fatal(logger, err)
+		}
+		return
+	}
 	if *dup < 0 || *dup > 1 {
 		fatal(logger, fmt.Errorf("-dup %g out of range [0,1]", *dup))
 	}
@@ -84,6 +112,8 @@ func main() {
 		Config:           *config,
 		Warmup:           *warmup,
 		Measure:          *measure,
+		MaxSubmitRetries: *retries,
+		RetryCap:         *retryCap,
 	}
 	rep, err := serve.RunLoad(ctx, client, spec, os.Stderr)
 	if err != nil {
@@ -132,13 +162,14 @@ func render(rep *serve.LoadReport) {
 		fmt.Sprintf("wsrsd closed-loop load — %s / %s, %d/%d insts, dup %.0f%%",
 			rep.Kernel, rep.Config, rep.Warmup, rep.Measure, 100*rep.DupFraction),
 		"conc", "jobs", "errors", "jobs/s", "p50 ms", "p95 ms", "p99 ms", "max ms",
-		"sims", "cache hits", "coalesced")
+		"sims", "cache hits", "coalesced", "retried", "abandoned")
 	for _, l := range rep.Levels {
 		t.AddRow(l.Concurrency, l.Requests, l.Errors,
 			fmt.Sprintf("%.1f", l.Throughput),
 			fmt.Sprintf("%.1f", l.P50Ms), fmt.Sprintf("%.1f", l.P95Ms),
 			fmt.Sprintf("%.1f", l.P99Ms), fmt.Sprintf("%.1f", l.MaxMs),
-			int(l.Sims), int(l.CacheHits), int(l.Coalesced))
+			int(l.Sims), int(l.CacheHits), int(l.Coalesced),
+			l.Retried, l.Abandoned)
 	}
 	t.Render(os.Stdout)
 	renderPhases(rep)

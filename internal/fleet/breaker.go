@@ -1,0 +1,104 @@
+package fleet
+
+import (
+	"sync"
+	"time"
+)
+
+// Breaker states.
+const (
+	BreakerClosed   = "closed"    // requests flow; failures are counted
+	BreakerOpen     = "open"      // requests refused until the cooldown expires
+	BreakerHalfOpen = "half-open" // one probe request is in flight
+)
+
+// Breaker is a per-backend circuit breaker: a run of consecutive
+// request failures opens it, Allow refuses traffic while open, and
+// after the cooldown exactly one probe request is let through —
+// success closes the breaker, failure re-opens it for another
+// cooldown. It protects a struggling backend from the retry storm its
+// own slowness would otherwise attract, and spares the coordinator
+// from burning its per-cell attempt budget on a backend that is known
+// to be down.
+type Breaker struct {
+	threshold int
+	cooldown  time.Duration
+	now       func() time.Time // injectable clock for tests
+
+	mu       sync.Mutex
+	state    string
+	fails    int
+	openedAt time.Time
+}
+
+// NewBreaker builds a closed breaker opening after threshold
+// consecutive failures (<= 0 selects 3) and probing again after
+// cooldown (<= 0 selects 2s).
+func NewBreaker(threshold int, cooldown time.Duration) *Breaker {
+	if threshold <= 0 {
+		threshold = 3
+	}
+	if cooldown <= 0 {
+		cooldown = 2 * time.Second
+	}
+	return &Breaker{threshold: threshold, cooldown: cooldown, now: time.Now, state: BreakerClosed}
+}
+
+// Allow reports whether a request may be sent. While open it refuses
+// until the cooldown expires, then admits exactly one probe (the
+// half-open state); the probe's Success or Failure decides what
+// happens next.
+func (b *Breaker) Allow() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerClosed:
+		return true
+	case BreakerOpen:
+		if b.now().Sub(b.openedAt) >= b.cooldown {
+			b.state = BreakerHalfOpen
+			return true
+		}
+		return false
+	default: // half-open: the probe slot is taken
+		return false
+	}
+}
+
+// Success records a completed request: the breaker closes and the
+// failure run resets.
+func (b *Breaker) Success() {
+	b.mu.Lock()
+	b.state = BreakerClosed
+	b.fails = 0
+	b.mu.Unlock()
+}
+
+// Failure records a failed request. It reports true when this failure
+// opened the breaker (for the metrics and the log line).
+func (b *Breaker) Failure() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerHalfOpen:
+		// The probe failed: back to open for another cooldown.
+		b.state = BreakerOpen
+		b.openedAt = b.now()
+		return true
+	case BreakerClosed:
+		b.fails++
+		if b.fails >= b.threshold {
+			b.state = BreakerOpen
+			b.openedAt = b.now()
+			return true
+		}
+	}
+	return false
+}
+
+// State returns the current state name.
+func (b *Breaker) State() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}

@@ -1,0 +1,108 @@
+package fleet
+
+import (
+	"testing"
+	"time"
+)
+
+// fakeClock drives a breaker through time without sleeping.
+type fakeClock struct{ t time.Time }
+
+func (c *fakeClock) now() time.Time          { return c.t }
+func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+
+func newTestBreaker(threshold int, cooldown time.Duration) (*Breaker, *fakeClock) {
+	clk := &fakeClock{t: time.Unix(0, 0)}
+	b := NewBreaker(threshold, cooldown)
+	b.now = clk.now
+	return b, clk
+}
+
+func TestBreakerOpensOnConsecutiveFailures(t *testing.T) {
+	b, _ := newTestBreaker(3, time.Second)
+	if !b.Allow() {
+		t.Fatal("fresh breaker refuses traffic")
+	}
+	b.Failure()
+	b.Failure()
+	if b.State() != BreakerClosed {
+		t.Fatalf("state after 2/3 failures = %s, want closed", b.State())
+	}
+	if !b.Failure() {
+		t.Fatal("third failure did not report the open transition")
+	}
+	if b.State() != BreakerOpen || b.Allow() {
+		t.Fatal("open breaker admits traffic")
+	}
+}
+
+func TestBreakerSuccessResetsRun(t *testing.T) {
+	b, _ := newTestBreaker(3, time.Second)
+	b.Failure()
+	b.Failure()
+	b.Success()
+	b.Failure()
+	b.Failure()
+	if b.State() != BreakerClosed {
+		t.Fatal("failure run did not reset on success")
+	}
+}
+
+func TestBreakerHalfOpenProbe(t *testing.T) {
+	b, clk := newTestBreaker(1, time.Second)
+	b.Failure()
+	if b.Allow() {
+		t.Fatal("open breaker admits before the cooldown")
+	}
+	clk.advance(time.Second)
+	if !b.Allow() {
+		t.Fatal("cooldown expiry does not admit the probe")
+	}
+	if b.State() != BreakerHalfOpen {
+		t.Fatalf("state = %s, want half-open", b.State())
+	}
+	if b.Allow() {
+		t.Fatal("half-open breaker admits a second concurrent probe")
+	}
+	// A failed probe re-opens for another full cooldown.
+	b.Failure()
+	if b.Allow() {
+		t.Fatal("failed probe did not re-open the breaker")
+	}
+	clk.advance(time.Second)
+	if !b.Allow() {
+		t.Fatal("re-opened breaker never probes again")
+	}
+	b.Success()
+	if b.State() != BreakerClosed || !b.Allow() {
+		t.Fatal("successful probe did not close the breaker")
+	}
+}
+
+func TestHealthTrackerEjectAndReadmit(t *testing.T) {
+	h := newHealthTracker(2)
+	if h.observe("a", false) != noChange {
+		t.Fatal("single failure ejected below the threshold")
+	}
+	if h.observe("a", false) != ejected {
+		t.Fatal("threshold failures did not eject")
+	}
+	if h.observe("a", false) != noChange {
+		t.Fatal("already-down member ejected twice")
+	}
+	if !h.isDown("a") {
+		t.Fatal("ejected member not marked down")
+	}
+	if h.observe("a", true) != readmitted {
+		t.Fatal("recovery did not readmit")
+	}
+	if h.isDown("a") || h.observe("a", true) != noChange {
+		t.Fatal("readmitted member still down")
+	}
+	// A success mid-run resets the failure count.
+	h.observe("b", false)
+	h.observe("b", true)
+	if h.observe("b", false) != noChange {
+		t.Fatal("failure count survived an intervening success")
+	}
+}

@@ -1,0 +1,131 @@
+package chaos
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func startEcho(t *testing.T) *httptest.Server {
+	t.Helper()
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(map[string]string{"path": r.URL.Path, "answer": strings.Repeat("x", 64)})
+	}))
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func startProxy(t *testing.T, target string) (*Proxy, string) {
+	t.Helper()
+	p := NewProxy(target)
+	ts := httptest.NewServer(p)
+	t.Cleanup(ts.Close)
+	return p, ts.URL
+}
+
+func TestProxyTransparentByDefault(t *testing.T) {
+	echo := startEcho(t)
+	_, url := startProxy(t, echo.URL)
+	resp, err := http.Get(url + "/v1/ping")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var body map[string]string
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatalf("decode through transparent proxy: %v", err)
+	}
+	if body["path"] != "/v1/ping" {
+		t.Fatalf("proxied path = %q", body["path"])
+	}
+}
+
+func TestProxyDropsEveryNth(t *testing.T) {
+	echo := startEcho(t)
+	p, url := startProxy(t, echo.URL)
+	p.SetFaults(Faults{DropEvery: 2})
+	var drops, oks int
+	for i := 0; i < 6; i++ {
+		resp, err := http.Get(url + "/x")
+		if err != nil {
+			drops++
+			continue
+		}
+		resp.Body.Close()
+		oks++
+	}
+	if drops != 3 || oks != 3 {
+		t.Fatalf("drops=%d oks=%d, want 3/3", drops, oks)
+	}
+}
+
+func TestProxyErrorsEveryNth(t *testing.T) {
+	echo := startEcho(t)
+	p, url := startProxy(t, echo.URL)
+	p.SetFaults(Faults{ErrorEvery: 3})
+	var errs int
+	for i := 1; i <= 6; i++ {
+		resp, err := http.Get(url + "/x")
+		if err != nil {
+			t.Fatalf("request %d: %v", i, err)
+		}
+		if resp.StatusCode == http.StatusBadGateway {
+			errs++
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}
+	if errs != 2 {
+		t.Fatalf("502s = %d of 6 at ErrorEvery=3", errs)
+	}
+}
+
+func TestProxyTruncationBreaksDecoding(t *testing.T) {
+	echo := startEcho(t)
+	p, url := startProxy(t, echo.URL)
+	p.SetFaults(Faults{TruncateEvery: 1})
+	resp, err := http.Get(url + "/x")
+	if err != nil {
+		t.Fatalf("truncated response refused the request itself: %v", err)
+	}
+	defer resp.Body.Close()
+	var v map[string]string
+	if err := json.NewDecoder(resp.Body).Decode(&v); err == nil {
+		t.Fatal("decoding a truncated body succeeded")
+	}
+}
+
+func TestProxyKillAndRevive(t *testing.T) {
+	echo := startEcho(t)
+	p, url := startProxy(t, echo.URL)
+	p.Kill()
+	if _, err := http.Get(url + "/x"); err == nil {
+		t.Fatal("killed proxy answered")
+	}
+	p.Revive()
+	resp, err := http.Get(url + "/x")
+	if err != nil {
+		t.Fatalf("revived proxy still dead: %v", err)
+	}
+	resp.Body.Close()
+}
+
+func TestProxyLatency(t *testing.T) {
+	echo := startEcho(t)
+	p, url := startProxy(t, echo.URL)
+	p.SetFaults(Faults{Latency: 80 * time.Millisecond})
+	start := time.Now()
+	resp, err := http.Get(url + "/x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if d := time.Since(start); d < 80*time.Millisecond {
+		t.Fatalf("request returned in %v, under the injected 80ms", d)
+	}
+}

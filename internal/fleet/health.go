@@ -1,0 +1,115 @@
+package fleet
+
+import (
+	"context"
+	"log/slog"
+	"sync"
+	"time"
+)
+
+// transition is the membership change one probe observation caused.
+type transition int
+
+const (
+	noChange transition = iota
+	ejected
+	readmitted
+)
+
+// healthTracker folds a stream of per-member probe outcomes into
+// membership transitions: ejectAfter consecutive failures ejects a
+// member, the first success after an ejection readmits it. It is the
+// pure-state half of health-driven membership; the Coordinator applies
+// the transitions to the ring.
+type healthTracker struct {
+	ejectAfter int
+
+	mu    sync.Mutex
+	fails map[string]int
+	down  map[string]bool
+}
+
+func newHealthTracker(ejectAfter int) *healthTracker {
+	if ejectAfter <= 0 {
+		ejectAfter = 2
+	}
+	return &healthTracker{
+		ejectAfter: ejectAfter,
+		fails:      map[string]int{},
+		down:       map[string]bool{},
+	}
+}
+
+// observe records one probe outcome and returns the transition it
+// caused.
+func (h *healthTracker) observe(member string, ok bool) transition {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if ok {
+		h.fails[member] = 0
+		if h.down[member] {
+			h.down[member] = false
+			return readmitted
+		}
+		return noChange
+	}
+	h.fails[member]++
+	if !h.down[member] && h.fails[member] >= h.ejectAfter {
+		h.down[member] = true
+		return ejected
+	}
+	return noChange
+}
+
+// isDown reports whether the member is currently ejected.
+func (h *healthTracker) isDown(member string) bool {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.down[member]
+}
+
+// probeLoop is the background prober: every ProbeInterval it probes
+// each configured backend's /readyz and applies the resulting
+// membership transitions, until Close stops it.
+func (c *Coordinator) probeLoop() {
+	defer c.wg.Done()
+	t := time.NewTicker(c.opts.ProbeInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-c.stop:
+			return
+		case <-t.C:
+			c.ProbeNow()
+		}
+	}
+}
+
+// ProbeNow probes every configured backend once, synchronously, and
+// applies ejections and readmissions to the ring. The background
+// prober calls it each tick; tests and the chaos harness call it
+// directly so membership transitions happen at deterministic points.
+func (c *Coordinator) ProbeNow() {
+	for _, b := range c.opts.Backends {
+		ctx, cancel := context.WithTimeout(context.Background(), c.opts.ProbeTimeout)
+		err := c.clients[b].Ready(ctx)
+		cancel()
+		switch c.health.observe(b, err == nil) {
+		case ejected:
+			c.ring.Remove(b)
+			c.reg.Counter(mEjections, helpEjections).Inc()
+			c.log.LogAttrs(context.Background(), slog.LevelWarn, "backend ejected",
+				slog.String("backend", b),
+				slog.String("probe_error", err.Error()),
+				slog.Int("healthy", c.ring.Len()))
+		case readmitted:
+			c.ring.Add(b)
+			c.breakers[b].Success() // a fresh start: don't refuse the returnee
+			c.reg.Counter(mReadmits, helpReadmits).Inc()
+			c.log.LogAttrs(context.Background(), slog.LevelInfo, "backend readmitted",
+				slog.String("backend", b),
+				slog.Int("healthy", c.ring.Len()))
+		}
+	}
+	c.reg.Gauge(mBackendsHealthy, helpBackendsHealthy).Set(int64(c.ring.Len()))
+}

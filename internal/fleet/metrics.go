@@ -1,0 +1,66 @@
+package fleet
+
+import "wsrs/internal/telemetry"
+
+// Metric families of the fleet coordinator. They live on the same
+// registry as the wsrsd job-API families when wsrsd runs in
+// coordinator mode, so one /metrics scrape shows admission, cache and
+// fleet behaviour together — the chaos smoke test asserts the retry
+// counters here are non-zero after an injected failure.
+const (
+	mBackends           = "wsrsd_fleet_backends"
+	helpBackends        = "backends configured at startup"
+	mBackendsHealthy    = "wsrsd_fleet_backends_healthy"
+	helpBackendsHealthy = "backends currently in the ring (configured minus ejected)"
+
+	mCells     = "wsrsd_fleet_cells_total"
+	helpCells  = "cells resolved by the coordinator, by outcome (remote, local, failed, canceled)"
+	mCellMs    = "wsrsd_fleet_cell_ms"
+	helpCellMs = "per-cell resolution wall time in milliseconds (including retries and hedges)"
+
+	mAttempts     = "wsrsd_fleet_attempts_total"
+	helpAttempts  = "single-cell jobs dispatched to backends (first tries, retries and hedges)"
+	mRetries      = "wsrsd_fleet_retries_total"
+	helpRetries   = "cells re-dispatched after a failed attempt (jittered exponential backoff)"
+	mHedges       = "wsrsd_fleet_hedges_total"
+	helpHedges    = "hedge requests launched against a straggling attempt"
+	mHedgeWins    = "wsrsd_fleet_hedge_wins_total"
+	helpHedgeWins = "cells whose hedge finished before the original attempt"
+
+	mEjections      = "wsrsd_fleet_ejections_total"
+	helpEjections   = "backends ejected from the ring after consecutive probe failures"
+	mReadmits       = "wsrsd_fleet_readmissions_total"
+	helpReadmits    = "ejected backends readmitted after a successful probe"
+	mBreakerOpen    = "wsrsd_fleet_breaker_opens_total"
+	helpBreakerOpen = "circuit-breaker open transitions (consecutive request failures)"
+
+	mFallbacks    = "wsrsd_fleet_local_fallbacks_total"
+	helpFallbacks = "cells executed locally, by reason (no-backend, exhausted)"
+
+	mPeerFetch    = "wsrsd_fleet_peer_fetch_total"
+	helpPeerFetch = "peer cache-home fetches, by outcome (hit, miss)"
+)
+
+// initMetrics registers every family up front so a scrape before the
+// first cell already shows the full fleet surface at zero.
+func (c *Coordinator) initMetrics() {
+	c.reg.Gauge(mBackends, helpBackends).Set(int64(len(c.opts.Backends)))
+	c.reg.Gauge(mBackendsHealthy, helpBackendsHealthy).Set(int64(c.ring.Len()))
+	for _, outcome := range []string{"remote", "local", "failed", "canceled"} {
+		c.reg.Counter(mCells+telemetry.Labels("outcome", outcome), helpCells)
+	}
+	c.reg.Histogram(mCellMs, helpCellMs)
+	c.reg.Counter(mAttempts, helpAttempts)
+	c.reg.Counter(mRetries, helpRetries)
+	c.reg.Counter(mHedges, helpHedges)
+	c.reg.Counter(mHedgeWins, helpHedgeWins)
+	c.reg.Counter(mEjections, helpEjections)
+	c.reg.Counter(mReadmits, helpReadmits)
+	c.reg.Counter(mBreakerOpen, helpBreakerOpen)
+	for _, reason := range []string{"no-backend", "exhausted"} {
+		c.reg.Counter(mFallbacks+telemetry.Labels("reason", reason), helpFallbacks)
+	}
+	for _, outcome := range []string{"hit", "miss"} {
+		c.reg.Counter(mPeerFetch+telemetry.Labels("outcome", outcome), helpPeerFetch)
+	}
+}

@@ -1,0 +1,172 @@
+// Package fleet turns a set of wsrsd daemons into one fault-tolerant
+// simulation backend: a coordinator shards grid cells across the
+// members by their sha256 content address (consistent hashing, so each
+// cell has one cache home and the fleet-wide hit rate survives
+// resharding), scatters single-cell jobs, and gathers the results in
+// cell order — byte-identical to a local wsrs.RunGrid run.
+//
+// Robustness is the point, not an afterthought: per-cell deadlines
+// with jittered exponential backoff across ring successors, hedged
+// requests for stragglers, health-probe-driven membership (eject on
+// consecutive /readyz failures, re-admit on recovery, cells re-hash to
+// the survivors), a per-backend circuit breaker, and graceful
+// degradation to local execution when no backend is usable. Failure
+// paths are traced via internal/otrace and counted on the telemetry
+// registry. The sibling package fleet/chaos injects the failures the
+// tests prove this machinery against.
+package fleet
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// ringPoint is one virtual node: a position on the 64-bit ring owned
+// by a member.
+type ringPoint struct {
+	pos    uint64
+	member string
+}
+
+// Ring is a consistent-hash ring with virtual nodes. Cells map onto
+// it by their content address; members own the arcs their virtual
+// nodes cover. Removing a member moves only that member's arcs to its
+// ring successors — every other cell keeps its cache home, which is
+// what keeps the fleet-wide hit rate intact through failures.
+type Ring struct {
+	vnodes int
+
+	mu      sync.RWMutex
+	points  []ringPoint // sorted by pos
+	members map[string]bool
+}
+
+// DefaultVnodes is the virtual-node count per member NewRing selects
+// for vnodes <= 0 — enough that a three-member fleet shards within a
+// few percent of even.
+const DefaultVnodes = 64
+
+// NewRing builds an empty ring with the given virtual-node count per
+// member.
+func NewRing(vnodes int) *Ring {
+	if vnodes <= 0 {
+		vnodes = DefaultVnodes
+	}
+	return &Ring{vnodes: vnodes, members: map[string]bool{}}
+}
+
+// pointOf hashes an arbitrary string onto the ring.
+func pointOf(s string) uint64 {
+	h := sha256.Sum256([]byte(s))
+	return binary.BigEndian.Uint64(h[:8])
+}
+
+// cellPoint maps a cell's hex sha256 content address onto the ring.
+// The digest already is a uniform hash, so its first eight bytes are
+// the position directly; a malformed digest falls back to re-hashing.
+func cellPoint(digest string) uint64 {
+	if b, err := hex.DecodeString(digest); err == nil && len(b) >= 8 {
+		return binary.BigEndian.Uint64(b[:8])
+	}
+	return pointOf(digest)
+}
+
+// Add inserts a member (idempotent), placing its virtual nodes.
+func (r *Ring) Add(member string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.members[member] {
+		return
+	}
+	r.members[member] = true
+	for i := 0; i < r.vnodes; i++ {
+		r.points = append(r.points, ringPoint{pos: pointOf(fmt.Sprintf("%s#%d", member, i)), member: member})
+	}
+	sort.Slice(r.points, func(i, j int) bool { return r.points[i].pos < r.points[j].pos })
+}
+
+// Remove ejects a member (idempotent), freeing its arcs to the ring
+// successors.
+func (r *Ring) Remove(member string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if !r.members[member] {
+		return
+	}
+	delete(r.members, member)
+	kept := r.points[:0]
+	for _, p := range r.points {
+		if p.member != member {
+			kept = append(kept, p)
+		}
+	}
+	r.points = kept
+}
+
+// Len reports the live member count.
+func (r *Ring) Len() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.members)
+}
+
+// Has reports whether member is live.
+func (r *Ring) Has(member string) bool {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.members[member]
+}
+
+// Members returns the live members, sorted.
+func (r *Ring) Members() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]string, 0, len(r.members))
+	for m := range r.members {
+		out = append(out, m)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Home returns the cell's cache home: the owner of the first virtual
+// node at or after the cell's ring position. ok is false on an empty
+// ring.
+func (r *Ring) Home(digest string) (string, bool) {
+	seq := r.Seq(digest, 1)
+	if len(seq) == 0 {
+		return "", false
+	}
+	return seq[0], true
+}
+
+// Seq returns up to n distinct members in ring order starting at the
+// cell's home (n <= 0 returns all): the retry/hedge candidate order,
+// so attempt k+1 lands on the member that would own the cell if the
+// first k were ejected.
+func (r *Ring) Seq(digest string, n int) []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if len(r.points) == 0 {
+		return nil
+	}
+	if n <= 0 || n > len(r.members) {
+		n = len(r.members)
+	}
+	pos := cellPoint(digest)
+	start := sort.Search(len(r.points), func(i int) bool { return r.points[i].pos >= pos })
+	out := make([]string, 0, n)
+	seen := make(map[string]bool, n)
+	for i := 0; i < len(r.points) && len(out) < n; i++ {
+		m := r.points[(start+i)%len(r.points)].member
+		if !seen[m] {
+			seen[m] = true
+			out = append(out, m)
+		}
+	}
+	return out
+}

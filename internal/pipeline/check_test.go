@@ -1,6 +1,7 @@
 package pipeline
 
 import (
+	"context"
 	"errors"
 	"reflect"
 	"testing"
@@ -140,6 +141,20 @@ func TestCycleBudget(t *testing.T) {
 	}
 	if v.Cycle != 500 {
 		t.Fatalf("cycle-budget fired at %d, want 500", v.Cycle)
+	}
+}
+
+func TestCancelAbortsRun(t *testing.T) {
+	// A closed cancel channel trips at the first 4096-cycle check, and
+	// the error satisfies errors.Is(err, context.Canceled) so callers
+	// can treat it exactly like a canceled context.
+	ops := synthOps(3, 60000)
+	cancel := make(chan struct{})
+	close(cancel)
+	_, err := Run(conv(), alloc.NewRoundRobin(4), trace.NewSliceReader(ops),
+		RunOpts{Cancel: cancel})
+	if !errors.Is(err, ErrCanceled) || !errors.Is(err, context.Canceled) {
+		t.Fatalf("run returned %v, want ErrCanceled wrapping context.Canceled", err)
 	}
 }
 

@@ -16,6 +16,7 @@
 package pipeline
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sync"
@@ -233,7 +234,16 @@ type RunOpts struct {
 	// 4096 cycles, so runs with a deadline remain deterministic in
 	// simulated behavior — only the abort point depends on the host.
 	Deadline time.Time
+	// Cancel aborts the run with ErrCanceled once the channel closes
+	// (nil = never). Polled at the Deadline cadence (every 4096
+	// cycles), so an in-flight simulation stops within microseconds of
+	// cancellation without the hot loop paying a per-cycle check.
+	Cancel <-chan struct{}
 }
+
+// ErrCanceled is the error of a run aborted through RunOpts.Cancel.
+// It wraps context.Canceled so callers can errors.Is against either.
+var ErrCanceled = fmt.Errorf("pipeline: run canceled: %w", context.Canceled)
 
 // Result reports one simulation run. All counters cover the measured
 // slice only (post-warmup).
@@ -372,11 +382,11 @@ type engine struct {
 	// case; heterogeneous configurations alias the caller's
 	// ClusterConfigs slice, which must never be written through.
 	ccfgBuf []cluster.Config
-	pol  alloc.Policy
-	ren  *rename.Renamer
-	bp   bpred.Predictor
-	hi   *mem.Hierarchy
-	sb   []*cluster.Scoreboard
+	pol     alloc.Policy
+	ren     *rename.Renamer
+	bp      bpred.Predictor
+	hi      *mem.Hierarchy
+	sb      []*cluster.Scoreboard
 
 	rob      []robEntry
 	robHead  int
@@ -763,6 +773,13 @@ func (e *engine) run(opts RunOpts) (Result, error) {
 		if deadlineOn && e.cycle&4095 == 0 && time.Now().After(opts.Deadline) {
 			return Result{}, &check.Violation{Checker: "time-budget", Cycle: e.cycle,
 				Summary: fmt.Sprintf("wall-clock budget exhausted with %d instructions committed", e.insts)}
+		}
+		if opts.Cancel != nil && e.cycle&4095 == 0 {
+			select {
+			case <-opts.Cancel:
+				return Result{}, ErrCanceled
+			default:
+			}
 		}
 	}
 

@@ -7,6 +7,7 @@ import (
 	"encoding/hex"
 	"encoding/json"
 	"fmt"
+	"io"
 	"os"
 	"sync"
 
@@ -60,7 +61,7 @@ type Cache struct {
 	entries map[string]*list.Element
 
 	path string
-	f    *os.File
+	w    io.WriteCloser
 	werr error // first append failure, surfaced on Close
 }
 
@@ -99,13 +100,29 @@ func OpenCache(path string, max int) (*Cache, error) {
 		if json.Unmarshal(line, &rec) != nil || rec.Digest == "" {
 			continue
 		}
+		// A record must hash to the address it claims: a line truncated
+		// by a short write (or merged with a torn neighbour) that still
+		// parses as JSON is rejected here, so the cache can never serve
+		// a corrupt entry as a valid result.
+		if rec.Cell.Digest() != rec.Digest {
+			continue
+		}
 		c.put(rec)
 	}
-	c.f, err = os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	c.w, err = os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("serve: cache: %w", err)
 	}
 	return c, nil
+}
+
+// Degraded reports whether persistence failed and was switched off:
+// the cache keeps serving from memory (pass-through for new entries)
+// but appends nothing further. The first error surfaces on Close.
+func (c *Cache) Degraded() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.werr != nil
 }
 
 // Len returns the number of live entries.
@@ -129,21 +146,26 @@ func (c *Cache) Get(digest string) (wsrs.Result, bool) {
 }
 
 // Put stores one completed cell result and appends it to the
-// persistence file when one is open. Write errors are remembered and
-// surfaced on Close so a full disk cannot fail a healthy job
-// mid-flight.
+// persistence file when one is open. The first write error (disk
+// full, short write) degrades the cache to pass-through: the append
+// stream is closed, nothing further is persisted — a partial line can
+// never be extended into a plausible-looking record — and the error
+// is remembered and surfaced on Close, so a sick disk cannot fail a
+// healthy job mid-flight.
 func (c *Cache) Put(id CellID, res wsrs.Result) {
 	rec := cacheRecord{Digest: id.Digest(), Cell: id, Result: res}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.put(rec)
-	if c.f != nil {
+	if c.w != nil {
 		line, err := json.Marshal(rec)
 		if err != nil {
 			return
 		}
-		if _, err := c.f.Write(append(line, '\n')); err != nil && c.werr == nil {
+		if _, err := c.w.Write(append(line, '\n')); err != nil {
 			c.werr = err
+			_ = c.w.Close()
+			c.w = nil
 		}
 	}
 }
@@ -166,18 +188,24 @@ func (c *Cache) put(rec cacheRecord) {
 // Close flushes the cache: when persisting, the append-only file is
 // compacted to exactly the live entries (least recently used first,
 // so a reload replays into the same LRU order) via a temp-file
-// rename. Returns the first append error seen during the run, if any.
+// rename. A degraded cache (an earlier append failed) skips the
+// compaction — the disk is suspect, and the atomic-rename compaction
+// must never replace the intact prefix with a partial rewrite — and
+// returns that first append error.
 func (c *Cache) Close() error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if c.f == nil {
+	if c.werr != nil {
+		return c.werr
+	}
+	if c.w == nil {
 		return nil
 	}
 	werr := c.werr
-	if err := c.f.Close(); err != nil && werr == nil {
+	if err := c.w.Close(); err != nil && werr == nil {
 		werr = err
 	}
-	c.f = nil
+	c.w = nil
 	tmp := c.path + ".tmp"
 	f, err := os.Create(tmp)
 	if err != nil {

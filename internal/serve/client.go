@@ -164,6 +164,17 @@ func (c *Client) RawResults(ctx context.Context, id string) ([]byte, error) {
 	return io.ReadAll(resp.Body)
 }
 
+// FetchCache asks the daemon's content-addressed cache for one digest
+// (GET /v1/cache/{digest}). ok=false covers both a 404 and any
+// transport failure — a peer-cache miss is never an error.
+func (c *Client) FetchCache(ctx context.Context, digest string) (wsrs.Result, bool) {
+	var res wsrs.Result
+	if err := c.getJSON(ctx, "/v1/cache/"+digest, &res); err != nil {
+		return wsrs.Result{}, false
+	}
+	return res, true
+}
+
 // Ready probes GET /readyz: nil when the daemon accepts new jobs, an
 // *APIError (503 while draining) otherwise.
 func (c *Client) Ready(ctx context.Context) error {

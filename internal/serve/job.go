@@ -191,6 +191,7 @@ const (
 	CacheHit       = "hit"       // served from the result cache
 	CacheCoalesced = "coalesced" // joined an identical in-flight cell
 	CacheMiss      = "miss"      // simulated here
+	CachePeer      = "peer"      // fetched from a peer daemon's cache
 )
 
 // CellStatus is the per-cell view in GET /v1/jobs/{id} and the events

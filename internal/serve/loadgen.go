@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"math/rand"
 	"runtime"
 	"sort"
 	"sync"
@@ -42,6 +43,14 @@ type LoadSpec struct {
 	Measure uint64
 	// Poll is the job-completion poll interval (<= 0 selects 5ms).
 	Poll time.Duration
+
+	// MaxSubmitRetries bounds how often one job is resubmitted after a
+	// 429 admission rejection before it is abandoned (<= 0 selects 8).
+	// The report separates retried from abandoned work.
+	MaxSubmitRetries int
+	// RetryCap caps the jittered exponential backoff grown from the
+	// daemon's Retry-After hint (<= 0 selects 2s).
+	RetryCap time.Duration
 }
 
 func (s *LoadSpec) withDefaults() LoadSpec {
@@ -67,15 +76,28 @@ func (s *LoadSpec) withDefaults() LoadSpec {
 	if o.Poll <= 0 {
 		o.Poll = 5 * time.Millisecond
 	}
+	if o.MaxSubmitRetries <= 0 {
+		o.MaxSubmitRetries = 8
+	}
+	if o.RetryCap <= 0 {
+		o.RetryCap = 2 * time.Second
+	}
 	return o
 }
 
 // LevelReport is the measurement of one concurrency level.
 type LevelReport struct {
-	Concurrency int     `json:"concurrency"`
-	Requests    int     `json:"requests"`
-	Errors      int     `json:"errors"`
-	Rejected    int     `json:"rejected"` // 429 admission rejections (retried)
+	Concurrency int `json:"concurrency"`
+	Requests    int `json:"requests"`
+	Errors      int `json:"errors"`
+	// Rejected counts 429 admission rejections; each one either became
+	// a Retried resubmission (after the capped, jittered backoff the
+	// Retry-After hint seeds) or — once the retry budget ran out — an
+	// Abandoned job, counted separately so saturation is visible as
+	// dropped work, not hidden inside a retry loop.
+	Rejected    int     `json:"rejected"`
+	Retried     int     `json:"retried"`
+	Abandoned   int     `json:"abandoned"`
 	DupFraction float64 `json:"dup_fraction"`
 
 	WallMs     float64 `json:"wall_ms"`
@@ -143,9 +165,10 @@ func RunLoad(ctx context.Context, client *Client, spec LoadSpec, progress io.Wri
 		report.Levels = append(report.Levels, *lr)
 		if progress != nil {
 			fmt.Fprintf(progress,
-				"c=%d: %d jobs in %.0f ms (%.1f jobs/s), p50 %.1f ms, p95 %.1f ms, p99 %.1f ms; sims %.0f, cache hits %.0f, coalesced %.0f\n",
+				"c=%d: %d jobs in %.0f ms (%.1f jobs/s), p50 %.1f ms, p95 %.1f ms, p99 %.1f ms; sims %.0f, cache hits %.0f, coalesced %.0f, retried %d, abandoned %d\n",
 				lr.Concurrency, lr.Requests, lr.WallMs, lr.Throughput,
-				lr.P50Ms, lr.P95Ms, lr.P99Ms, lr.Sims, lr.CacheHits, lr.Coalesced)
+				lr.P50Ms, lr.P95Ms, lr.P99Ms, lr.Sims, lr.CacheHits, lr.Coalesced,
+				lr.Retried, lr.Abandoned)
 			writePhaseTable(progress, lr.Phases)
 		}
 	}
@@ -212,6 +235,8 @@ func runLevel(ctx context.Context, client *Client, o LoadSpec, level int) (*Leve
 		latencies []float64
 		errs      int
 		rejected  int
+		retried   int
+		abandoned int
 		next      int
 	)
 	take := func() int {
@@ -222,6 +247,14 @@ func runLevel(ctx context.Context, client *Client, o LoadSpec, level int) (*Leve
 		}
 		next++
 		return next - 1
+	}
+	// Deterministic per-level jitter: reruns offer identical traffic and
+	// identical backoff schedules.
+	rng := rand.New(rand.NewSource(int64(level)))
+	jitter := func(d time.Duration) time.Duration {
+		mu.Lock()
+		defer mu.Unlock()
+		return d/2 + time.Duration(rng.Int63n(int64(d)))
 	}
 	start := time.Now()
 	var wg sync.WaitGroup
@@ -237,27 +270,53 @@ func runLevel(ctx context.Context, client *Client, o LoadSpec, level int) (*Leve
 				req := o.jobSpec(i)
 				t0 := time.Now()
 				var st JobStatus
+				var backoff time.Duration
+				tries := 0
+				submitted := false
 				for {
 					var err error
 					st, err = client.Submit(ctx, req)
 					if err == nil {
+						submitted = true
 						break
 					}
 					if ae, ok := err.(*APIError); ok && ae.Status == 429 {
-						// Admission rejection: honor Retry-After and
-						// resubmit — a closed loop backs off, it does
-						// not drop work.
+						// Admission rejection: honor Retry-After, but
+						// with a bounded budget — an overloaded daemon
+						// must surface as abandoned work in the report,
+						// not as an unkillable retry storm.
 						mu.Lock()
 						rejected++
 						mu.Unlock()
-						backoff := time.Duration(ae.RetryAfter) * time.Second
-						if backoff <= 0 {
-							backoff = 50 * time.Millisecond
+						if tries >= o.MaxSubmitRetries {
+							mu.Lock()
+							abandoned++
+							mu.Unlock()
+							break
+						}
+						tries++
+						mu.Lock()
+						retried++
+						mu.Unlock()
+						// The hint seeds the backoff; each further
+						// rejection doubles it up to RetryCap, jittered
+						// to ±50% so the closed loop's clients desync.
+						hint := time.Duration(ae.RetryAfter) * time.Second
+						if hint <= 0 {
+							hint = 50 * time.Millisecond
+						}
+						if backoff < hint {
+							backoff = hint
+						} else {
+							backoff *= 2
+						}
+						if backoff > o.RetryCap {
+							backoff = o.RetryCap
 						}
 						select {
 						case <-ctx.Done():
 							return
-						case <-time.After(backoff):
+						case <-time.After(jitter(backoff)):
 						}
 						continue
 					}
@@ -265,6 +324,9 @@ func runLevel(ctx context.Context, client *Client, o LoadSpec, level int) (*Leve
 					errs++
 					mu.Unlock()
 					return
+				}
+				if !submitted {
+					continue // abandoned: the closed loop moves on
 				}
 				final, err := client.Wait(ctx, st.ID, o.Poll)
 				lat := float64(time.Since(t0).Microseconds()) / 1000
@@ -290,6 +352,7 @@ func runLevel(ctx context.Context, client *Client, o LoadSpec, level int) (*Leve
 	}
 	lr := &LevelReport{
 		Concurrency: level, Requests: n, Errors: errs, Rejected: rejected,
+		Retried: retried, Abandoned: abandoned,
 		DupFraction: o.DupFraction,
 		WallMs:      float64(wall.Microseconds()) / 1000,
 		Sims:        after[mSims] - before[mSims],

@@ -2,7 +2,10 @@ package serve
 
 import (
 	"context"
+	"net/http"
+	"net/http/httptest"
 	"testing"
+	"time"
 )
 
 // TestLoadgenClosedLoop drives a tiny ramp against an in-process
@@ -42,6 +45,87 @@ func TestLoadgenClosedLoop(t *testing.T) {
 	}
 	if l.P50Ms <= 0 || l.P99Ms < l.P50Ms || l.Throughput <= 0 {
 		t.Fatalf("degenerate latency summary: %+v", l)
+	}
+}
+
+// TestLoadgenRetriesThroughSaturation drives more clients than a
+// one-worker, one-slot queue can admit: submissions must be rejected
+// with 429, retried with backoff, and still all complete — retried
+// work, zero abandoned, zero errors.
+func TestLoadgenRetriesThroughSaturation(t *testing.T) {
+	srv, client, _ := testServer(t, Options{Workers: 1, MaxQueuedCells: 1})
+	defer srv.Drain(context.Background())
+
+	spec := LoadSpec{
+		Levels:           []int{4},
+		RequestsPerLevel: 12,
+		SeedPool:         12,
+		Warmup:           testWarmup,
+		Measure:          testMeasure,
+		MaxSubmitRetries: 50,
+		RetryCap:         20 * time.Millisecond,
+	}
+	rep, err := RunLoad(context.Background(), client, spec, nil)
+	if err != nil {
+		t.Fatalf("RunLoad: %v", err)
+	}
+	l := rep.Levels[0]
+	if l.Errors != 0 || l.Abandoned != 0 {
+		t.Fatalf("errors=%d abandoned=%d against a merely saturated daemon, want 0/0", l.Errors, l.Abandoned)
+	}
+	if l.Rejected == 0 || l.Retried == 0 {
+		t.Fatalf("rejected=%d retried=%d: a 1-slot queue under 4 clients must push back", l.Rejected, l.Retried)
+	}
+	if l.Rejected != l.Retried {
+		t.Fatalf("rejected=%d != retried=%d with nothing abandoned", l.Rejected, l.Retried)
+	}
+}
+
+// TestLoadgenAbandonsAfterRetryBudget points the generator at a
+// daemon that never admits anything: every job must burn exactly its
+// retry budget and then be abandoned — counted as dropped work, not
+// as an error, and not retried forever.
+func TestLoadgenAbandonsAfterRetryBudget(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method == http.MethodPost {
+			w.Header().Set("Retry-After", "1")
+			http.Error(w, `{"error":{"message":"full"}}`, http.StatusTooManyRequests)
+			return
+		}
+		w.WriteHeader(http.StatusOK) // /metrics scrapes: empty is fine
+	}))
+	defer ts.Close()
+
+	spec := LoadSpec{
+		Levels:           []int{2},
+		RequestsPerLevel: 4,
+		MaxSubmitRetries: 2,
+		// The 1s Retry-After hint seeds the backoff; the cap keeps the
+		// test fast while still proving the hint-driven sleep happens.
+		RetryCap: 20 * time.Millisecond,
+	}
+	start := time.Now()
+	rep, err := RunLoad(context.Background(), &Client{Base: ts.URL}, spec, nil)
+	if err != nil {
+		t.Fatalf("RunLoad: %v", err)
+	}
+	l := rep.Levels[0]
+	if l.Abandoned != 4 {
+		t.Fatalf("abandoned = %d of 4 jobs against an always-429 daemon", l.Abandoned)
+	}
+	if l.Errors != 0 {
+		t.Fatalf("abandonment leaked into errors: %d", l.Errors)
+	}
+	if want := 4 * spec.MaxSubmitRetries; l.Retried != want {
+		t.Fatalf("retried = %d, want exactly the budget %d", l.Retried, want)
+	}
+	if l.Rejected != l.Retried+l.Abandoned {
+		t.Fatalf("rejected=%d != retried(%d)+abandoned(%d)", l.Rejected, l.Retried, l.Abandoned)
+	}
+	// Each job slept through 2 capped, jittered backoffs (>= 10ms
+	// each): the run cannot have returned instantly.
+	if d := time.Since(start); d < 20*time.Millisecond {
+		t.Fatalf("always-429 run finished in %v: backoff never slept", d)
 	}
 }
 

@@ -25,10 +25,14 @@ const (
 	mPending       = "wsrsd_cells_pending"
 	helpPending    = "cells accepted and not yet resolved (admission-control level)"
 
-	mSims     = "wsrsd_sims_total"
-	helpSims  = "simulations actually executed by the worker pool"
-	mSimMs    = "wsrsd_cell_sim_ms"
-	helpSimMs = "per-simulation wall time in milliseconds"
+	mSims            = "wsrsd_sims_total"
+	helpSims         = "simulations actually executed by the worker pool"
+	mSimMs           = "wsrsd_cell_sim_ms"
+	helpSimMs        = "per-simulation wall time in milliseconds"
+	mSimsCanceled    = "wsrsd_sims_canceled_total"
+	helpSimsCanceled = "in-flight simulations aborted because every waiting job canceled"
+	mRunnerCells     = "wsrsd_runner_cells_total"
+	helpRunnerCells  = "cells delegated to the configured CellRunner (fleet coordinator mode)"
 
 	mCacheHits       = "wsrsd_cache_hits_total"
 	helpCacheHits    = "cells served from the content-addressed result cache"
@@ -39,25 +43,34 @@ const (
 	mCacheEntries    = "wsrsd_cache_entries"
 	helpCacheEntries = "live entries in the result cache"
 
+	mPeerHits         = "wsrsd_cache_peer_hits_total"
+	helpPeerHits      = "cells resolved by fetching the result from a peer daemon's cache"
+	mPeerMisses       = "wsrsd_cache_peer_misses_total"
+	helpPeerMisses    = "peer-cache fetches that found nothing (cell simulated locally)"
+	mPeerServes       = "wsrsd_cache_peer_serves_total"
+	helpPeerServes    = "GET /v1/cache/{digest} lookups served to peers, by outcome"
+	mCacheDegraded    = "wsrsd_cache_degraded"
+	helpCacheDegraded = "1 once cache persistence failed and was switched off (memory-only pass-through)"
+
 	mDraining    = "wsrsd_draining"
 	helpDraining = "1 while the daemon drains (refusing new jobs)"
 
-	mPhaseUs        = "wsrsd_phase_us"
-	helpPhaseUs     = "per-phase latency decomposition in microseconds (queue, coalesce, cache, simulate, total)"
-	mSLOTargetMs    = "wsrsd_slo_target_ms"
-	helpSLOTarget   = "recorded latency objective per phase in milliseconds"
-	mSLOObjective   = "wsrsd_slo_objective_milli"
-	helpSLOObj      = "recorded objective fraction per phase, in thousandths (990 = 99%)"
-	mSLOGood        = "wsrsd_slo_good_total"
-	helpSLOGood     = "phase observations within their latency target"
-	mSLOBreach      = "wsrsd_slo_breach_total"
-	helpSLOBreach   = "phase observations beyond their latency target"
-	mSLOBurn        = "wsrsd_slo_burn_rate_milli"
-	helpSLOBurn     = "SLO burn rate per phase in thousandths (1000 = burning the error budget exactly as fast as allowed)"
-	mTraceSpans     = "wsrsd_trace_spans"
-	helpTraceSpans  = "spans currently held in the trace ring"
-	mTraceEvicted   = "wsrsd_trace_spans_evicted_total"
-	helpTraceEvict  = "spans evicted from the trace ring by wraparound"
+	mPhaseUs       = "wsrsd_phase_us"
+	helpPhaseUs    = "per-phase latency decomposition in microseconds (queue, coalesce, cache, simulate, total)"
+	mSLOTargetMs   = "wsrsd_slo_target_ms"
+	helpSLOTarget  = "recorded latency objective per phase in milliseconds"
+	mSLOObjective  = "wsrsd_slo_objective_milli"
+	helpSLOObj     = "recorded objective fraction per phase, in thousandths (990 = 99%)"
+	mSLOGood       = "wsrsd_slo_good_total"
+	helpSLOGood    = "phase observations within their latency target"
+	mSLOBreach     = "wsrsd_slo_breach_total"
+	helpSLOBreach  = "phase observations beyond their latency target"
+	mSLOBurn       = "wsrsd_slo_burn_rate_milli"
+	helpSLOBurn    = "SLO burn rate per phase in thousandths (1000 = burning the error budget exactly as fast as allowed)"
+	mTraceSpans    = "wsrsd_trace_spans"
+	helpTraceSpans = "spans currently held in the trace ring"
+	mTraceEvicted  = "wsrsd_trace_spans_evicted_total"
+	helpTraceEvict = "spans evicted from the trace ring by wraparound"
 )
 
 // phaseSLO is the per-phase SLO state: the registered metric handles
@@ -108,11 +121,23 @@ func (s *Server) initMetrics() {
 	s.reg.Gauge(mPending, helpPending)
 	s.reg.Counter(mSims, helpSims)
 	s.reg.Histogram(mSimMs, helpSimMs)
+	s.reg.Counter(mSimsCanceled, helpSimsCanceled)
 	s.reg.Counter(mCacheHits, helpCacheHits)
 	s.reg.Counter(mCoalesced, helpCoalesced)
 	s.reg.Counter(mCacheStores, helpCacheStores)
 	s.reg.Gauge(mCacheEntries, helpCacheEntries)
 	s.reg.Gauge(mDraining, helpDraining)
+	s.reg.Gauge(mCacheDegraded, helpCacheDegraded)
+	if s.opts.Runner != nil {
+		s.reg.Counter(mRunnerCells, helpRunnerCells)
+	}
+	if s.opts.Peers != nil {
+		s.reg.Counter(mPeerHits, helpPeerHits)
+		s.reg.Counter(mPeerMisses, helpPeerMisses)
+	}
+	for _, outcome := range []string{"hit", "miss"} {
+		s.reg.Counter(mPeerServes+telemetry.Labels("outcome", outcome), helpPeerServes)
+	}
 	s.reg.Gauge(mCacheEntries, helpCacheEntries).Set(int64(s.cache.Len()))
 	s.reg.Gauge(mTraceSpans, helpTraceSpans)
 	s.reg.Counter(mTraceEvicted, helpTraceEvict)

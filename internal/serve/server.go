@@ -56,6 +56,38 @@ type Options struct {
 	// Logger receives the structured job-lifecycle and access log
 	// (nil discards).
 	Logger *slog.Logger
+	// Registry overrides the daemon's metric registry (nil creates a
+	// private one). wsrsd in coordinator mode passes the registry its
+	// fleet.Coordinator already counts on, so one /metrics scrape
+	// shows admission, cache and fleet behaviour together.
+	Registry *telemetry.Registry
+	// Runner, when non-nil, replaces the local simulation of a cache
+	// miss: the worker pool calls it instead of wsrs.RunGrid. This is
+	// the coordinator hook — wsrsd -peers wires a fleet.Coordinator
+	// here, so the whole job API (admission, coalescing, cache, drain)
+	// sits unchanged in front of a distributed backend set. The ctx is
+	// canceled when every job waiting on the cell has abandoned it.
+	Runner CellRunner
+	// Peers, when non-nil, inserts the peer-fetch cache tier between
+	// the local cache and simulation: a missing digest is first asked
+	// of its consistent-hash home peer (GET /v1/cache/{digest}) and
+	// only simulated locally if no peer holds it. Ignored when Runner
+	// is set — a coordinator already routes cells to their cache home.
+	Peers PeerFetcher
+}
+
+// CellRunner resolves one cell somewhere other than the local worker
+// pool (a fleet coordinator scattering to remote backends). It must
+// honor ctx cancellation promptly and return the cell's wall time.
+type CellRunner interface {
+	RunCell(ctx context.Context, id CellID) (wsrs.Result, time.Duration, error)
+}
+
+// PeerFetcher looks a content address up in a peer's result cache,
+// reporting ok=false on any miss or peer failure — a peer-fetch
+// failure is never a cell failure, just a fallback to local work.
+type PeerFetcher interface {
+	FetchPeer(ctx context.Context, digest string) (wsrs.Result, bool)
 }
 
 // cellTask is one simulation the worker pool owes: the flight every
@@ -81,23 +113,63 @@ type flight struct {
 	// enqueued stamps when the task entered the worker queue
 	// (otrace.Now), opening the queue-wait span.
 	enqueued int64
+	// cancel closes when the last waiter abandons the flight: the
+	// in-flight simulation (local or remote) aborts instead of running
+	// to completion for nobody.
+	cancel chan struct{}
 
 	mu      sync.Mutex
 	waiters int
+	dead    bool // every waiter left; joiners must start a fresh flight
+	via     string
 	done    chan struct{}
 	res     wsrs.Result
 	err     error
 	wall    time.Duration
 }
 
-func (f *flight) join() { f.mu.Lock(); f.waiters++; f.mu.Unlock() }
+// join subscribes one more waiter. It fails on a dead flight — one
+// whose cancellation already fired — so a late-arriving duplicate
+// starts a fresh flight instead of inheriting a canceled result.
+func (f *flight) join() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.dead {
+		return false
+	}
+	f.waiters++
+	return true
+}
 
-func (f *flight) abandon() { f.mu.Lock(); f.waiters--; f.mu.Unlock() }
+// abandon drops one waiter; the last one out cancels the flight.
+func (f *flight) abandon() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.waiters--
+	if f.waiters <= 0 && !f.dead {
+		f.dead = true
+		close(f.cancel)
+	}
+}
 
 func (f *flight) abandoned() bool {
 	f.mu.Lock()
 	defer f.mu.Unlock()
-	return f.waiters <= 0
+	return f.dead || f.waiters <= 0
+}
+
+// resolvedVia records how the flight's result was obtained (peer
+// fetch vs local simulation) for the waiters' cell dispositions.
+func (f *flight) resolvedVia(via string) {
+	f.mu.Lock()
+	f.via = via
+	f.mu.Unlock()
+}
+
+func (f *flight) disposition() string {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.via
 }
 
 func (f *flight) resolve(res wsrs.Result, err error, wall time.Duration) {
@@ -159,10 +231,14 @@ func New(o Options) (*Server, error) {
 	if lg == nil {
 		lg = discardLogger()
 	}
+	reg := o.Registry
+	if reg == nil {
+		reg = telemetry.NewRegistry()
+	}
 	ctx, cancel := context.WithCancel(context.Background())
 	s := &Server{
 		opts:    o,
-		reg:     telemetry.NewRegistry(),
+		reg:     reg,
 		cache:   cache,
 		tracer:  otrace.NewRecorder(o.TraceSpans),
 		phases:  newPhaseLog(o.PhaseSamples),
@@ -215,6 +291,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/jobs/{id}/results", s.instrument("/v1/jobs/{id}/results", s.handleResults))
 	mux.HandleFunc("GET /v1/jobs/{id}/trace", s.instrument("/v1/jobs/{id}/trace", s.handleTrace))
 	mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents) // streams: latency histogram would lie
+	mux.HandleFunc("GET /v1/cache/{digest}", s.instrument("/v1/cache/{digest}", s.handleCacheFetch))
 	mux.HandleFunc("GET /v1/phases", s.instrument("/v1/phases", s.handlePhases))
 	mux.HandleFunc("GET /debug/slow", s.handleSlow)
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.instrument("/v1/jobs/{id}", s.handleCancel))
@@ -422,6 +499,24 @@ func (s *Server) handleResults(w http.ResponseWriter, r *http.Request) {
 	_ = json.NewEncoder(w).Encode(j.snapshotResults())
 }
 
+// handleCacheFetch serves one result out of the local content-
+// addressed cache by digest — the peer-fetch tier of a fleet: a
+// coordinator or member daemon asks a cell's consistent-hash home for
+// the result before simulating it anywhere. 404 means "not here",
+// never an error worth retrying.
+func (s *Server) handleCacheFetch(w http.ResponseWriter, r *http.Request) {
+	digest := r.PathValue("digest")
+	res, ok := s.cache.Get(digest)
+	if !ok {
+		s.reg.Counter(mPeerServes+telemetry.Labels("outcome", "miss"), helpPeerServes).Inc()
+		s.writeError(w, r, http.StatusNotFound,
+			ErrorEnvelope{Msg: fmt.Sprintf("no cached result for digest %q", digest)})
+		return
+	}
+	s.reg.Counter(mPeerServes+telemetry.Labels("outcome", "hit"), helpPeerServes).Inc()
+	writeJSON(w, http.StatusOK, res)
+}
+
 func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 	j := s.lookupJob(w, r)
 	if j == nil {
@@ -501,9 +596,12 @@ func (s *Server) runJob(j *job, ids []CellID) {
 		digest := j.cells[i].Digest
 		s.mu.Lock()
 		fl, coalesced := s.flights[digest]
-		if coalesced {
-			fl.join()
-		} else {
+		if coalesced && !fl.join() {
+			// The in-flight leader was canceled between our map lookup
+			// and the join: start over with a fresh flight.
+			coalesced = false
+		}
+		if !coalesced {
 			// The new flight carries this cell's span context and
 			// owner: the queue-wait and simulate spans parent here, and
 			// the job's phase decomposition absorbs their durations.
@@ -511,6 +609,7 @@ func (s *Server) runJob(j *job, ids []CellID) {
 				ctx:      j.cellCtx(i),
 				owner:    j,
 				enqueued: otrace.Now(),
+				cancel:   make(chan struct{}),
 				waiters:  1,
 				done:     make(chan struct{}),
 			}
@@ -536,6 +635,9 @@ func (s *Server) runJob(j *job, ids []CellID) {
 			defer wg.Done()
 			select {
 			case <-fl.done:
+				if via := fl.disposition(); via != "" && disposition == CacheMiss {
+					disposition = via // e.g. served by a peer's cache
+				}
 				j.resolveCell(i, disposition, fl.res, fl.wall, fl.err)
 			case <-j.ctx.Done():
 				fl.abandon()
@@ -641,16 +743,18 @@ func (s *Server) cellDone() {
 	s.reg.Gauge(mPending, helpPending).Set(s.pending.Add(-1))
 }
 
-// runFlight simulates one coalesced cell on a pool worker. The cell
-// runs through wsrs.RunGrid (parallelism 1: the pool supplies the
+// runFlight resolves one coalesced cell on a pool worker: the
+// peer-fetch cache tier first when one is configured, then either the
+// delegated CellRunner (coordinator mode) or a local simulation
+// through wsrs.RunGrid (parallelism 1: the pool supplies the
 // concurrency), inheriting its panic barrier and budget plumbing. The
 // queue-wait and simulate spans parent to the leader cell's span, and
-// their durations accrue to the owning job's phase decomposition.
+// their durations accrue to the owning job's phase decomposition. The
+// flight's cancel channel aborts the work mid-simulation as soon as
+// the last waiting job has abandoned it.
 func (s *Server) runFlight(t *cellTask, worker int) {
 	if t.fl.abandoned() {
-		s.mu.Lock()
-		delete(s.flights, t.digest)
-		s.mu.Unlock()
+		s.removeFlight(t)
 		t.fl.resolve(wsrs.Result{}, context.Canceled, 0)
 		return
 	}
@@ -665,47 +769,111 @@ func (s *Server) runFlight(t *cellTask, worker int) {
 		t.fl.owner.addPhase(PhaseQueue, queueDur)
 	}
 
-	s.reg.Counter(mSims, helpSims).Inc()
+	// A context that dies with the daemon or with the flight's last
+	// waiter, for the remote legs (peer fetch, delegated runner).
+	ctx, cancelCtx := context.WithCancel(s.ctx)
+	defer cancelCtx()
+	go func() {
+		select {
+		case <-t.fl.cancel:
+			cancelCtx()
+		case <-ctx.Done():
+		}
+	}()
+
+	// The peer-fetch cache tier: before simulating, ask the digest's
+	// consistent-hash home peer whether it already holds the result.
+	if s.opts.Peers != nil && s.opts.Runner == nil {
+		psp := s.tracer.Begin("cache.peer", t.fl.ctx)
+		res, ok := s.opts.Peers.FetchPeer(ctx, t.digest)
+		psp.SetBool("hit", ok)
+		s.tracer.End(&psp)
+		if ok {
+			s.reg.Counter(mPeerHits, helpPeerHits).Inc()
+			s.reg.Counter(mCacheStores, helpCacheStores).Inc()
+			s.cache.Put(t.id, res)
+			s.reg.Gauge(mCacheEntries, helpCacheEntries).Set(int64(s.cache.Len()))
+			t.fl.resolvedVia(CachePeer)
+			s.removeFlight(t)
+			t.fl.resolve(res, nil, time.Duration(psp.Dur()))
+			return
+		}
+		s.reg.Counter(mPeerMisses, helpPeerMisses).Inc()
+	}
+
 	sim := s.tracer.Begin("simulate", t.fl.ctx)
 	sim.SetStr("kernel", t.id.Kernel)
 	sim.SetStr("config", t.id.Config)
 	sim.SetInt("worker", int64(worker))
-	opts := wsrs.SimOpts{
-		WarmupInsts:  t.id.Warmup,
-		MeasureInsts: t.id.Measure,
-		Seed:         t.id.Seed,
-		Telemetry:    t.id.Telemetry,
-		Observer:     wsrs.NewTraceObserver(s.tracer, sim.Ctx()),
+
+	var res wsrs.Result
+	var err error
+	var wall time.Duration
+	if s.opts.Runner != nil {
+		sim.SetBool("remote", true)
+		s.reg.Counter(mRunnerCells, helpRunnerCells).Inc()
+		start := time.Now()
+		res, wall, err = s.opts.Runner.RunCell(ctx, t.id)
+		if wall <= 0 {
+			wall = time.Since(start)
+		}
+	} else {
+		s.reg.Counter(mSims, helpSims).Inc()
+		opts := wsrs.SimOpts{
+			WarmupInsts:  t.id.Warmup,
+			MeasureInsts: t.id.Measure,
+			Seed:         t.id.Seed,
+			Telemetry:    t.id.Telemetry,
+			Observer:     wsrs.NewTraceObserver(s.tracer, sim.Ctx()),
+			Cancel:       t.fl.cancel,
+		}
+		cell := wsrs.GridCell{
+			Kernel: t.id.Kernel,
+			Config: wsrs.ConfigName(t.id.Config),
+			Policy: t.id.Policy,
+			Seed:   t.id.Seed,
+		}
+		start := time.Now()
+		var out []wsrs.GridResult
+		out, err = wsrs.RunGrid([]wsrs.GridCell{cell}, opts, 1)
+		wall = time.Since(start)
+		if len(out) == 1 {
+			res = out[0].Result
+		}
 	}
-	cell := wsrs.GridCell{
-		Kernel: t.id.Kernel,
-		Config: wsrs.ConfigName(t.id.Config),
-		Policy: t.id.Policy,
-		Seed:   t.id.Seed,
-	}
-	start := time.Now()
-	out, err := wsrs.RunGrid([]wsrs.GridCell{cell}, opts, 1)
-	wall := time.Since(start)
 	s.reg.Histogram(mSimMs, helpSimMs).Observe(uint64(wall.Milliseconds()))
+	canceled := err != nil && errors.Is(err, context.Canceled)
+	if canceled {
+		s.reg.Counter(mSimsCanceled, helpSimsCanceled).Inc()
+		sim.SetStr("outcome", "canceled")
+	}
 	sim.SetBool("ok", err == nil)
 	s.tracer.End(&sim)
 	s.observePhase(PhaseSimulate, wall)
 	if t.fl.owner != nil {
 		t.fl.owner.addPhase(PhaseSimulate, wall)
 	}
-	var res wsrs.Result
-	if len(out) == 1 {
-		res = out[0].Result
-	}
 	if err == nil {
 		s.reg.Counter(mCacheStores, helpCacheStores).Inc()
 		s.cache.Put(t.id, res)
 		s.reg.Gauge(mCacheEntries, helpCacheEntries).Set(int64(s.cache.Len()))
+		if s.cache.Degraded() {
+			s.reg.Gauge(mCacheDegraded, helpCacheDegraded).Set(1)
+		}
 	}
-	s.mu.Lock()
-	delete(s.flights, t.digest)
-	s.mu.Unlock()
+	s.removeFlight(t)
 	t.fl.resolve(res, err, wall)
+}
+
+// removeFlight unpublishes a flight, but only while the map still
+// points at it — a canceled flight may already have been replaced by
+// a fresh one for the same digest.
+func (s *Server) removeFlight(t *cellTask) {
+	s.mu.Lock()
+	if s.flights[t.digest] == t.fl {
+		delete(s.flights, t.digest)
+	}
+	s.mu.Unlock()
 }
 
 // Drain shuts the daemon down gracefully: new jobs are refused (503),

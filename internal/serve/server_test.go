@@ -156,6 +156,11 @@ func TestCoalescing(t *testing.T) {
 	if err != nil {
 		t.Fatalf("submit blocker: %v", err)
 	}
+	// The herd below must queue BEHIND the blocker: wait until the
+	// lone worker has actually picked its simulation up before
+	// submitting, or a fast worker could resolve the first duplicate
+	// and serve the rest from the cache.
+	waitCounter(t, client, mSims, 1)
 
 	const dup = 5
 	req := &JobRequest{
@@ -386,6 +391,211 @@ func TestAdmissionControl(t *testing.T) {
 	if again.State != StateDone || again.Cells[0].Cache != CacheHit {
 		t.Fatalf("post-backlog job: state %s, cache %q; want done/hit",
 			again.State, again.Cells[0].Cache)
+	}
+}
+
+// waitCounter polls /metrics until the named counter reaches at least
+// want (the daemon-side way to know a simulation really started).
+func waitCounter(t *testing.T, c *Client, name string, want float64) {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		m, err := c.Metrics(context.Background())
+		if err == nil && m[name] >= want {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("counter %s never reached %v (have %v)", name, want, m[name])
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestCancelStopsInFlightSimulation is the cancellation-latency test:
+// DELETE on a job whose cell is mid-simulation must abort the
+// simulation itself (not just drop queued cells) and free the worker
+// promptly. The victim cell would simulate for minutes; the whole
+// test must finish in seconds.
+func TestCancelStopsInFlightSimulation(t *testing.T) {
+	srv, client, _ := testServer(t, Options{Workers: 1})
+	defer srv.Drain(context.Background())
+	ctx := context.Background()
+
+	victim, err := client.Submit(ctx, &JobRequest{
+		Cells:  []CellSpec{{Kernel: "gzip", Config: string(wsrs.ConfRR256)}},
+		Warmup: 2_000, Measure: 500_000_000, Label: "doomed",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Only cancel once the lone worker is inside the simulation.
+	waitCounter(t, client, mSims, 1)
+
+	canceledAt := time.Now()
+	if err := client.Cancel(ctx, victim.ID); err != nil {
+		t.Fatalf("Cancel: %v", err)
+	}
+	final, err := client.Wait(ctx, victim.ID, time.Millisecond)
+	if err != nil || final.State != StateCanceled {
+		t.Fatalf("victim: state %v err %v, want canceled", final.State, err)
+	}
+
+	// The in-flight simulation must notice within its 4096-cycle poll
+	// cadence — microseconds — so the canceled-sims counter moves and
+	// the worker frees up almost immediately.
+	waitCounter(t, client, mSimsCanceled, 1)
+	if lat := time.Since(canceledAt); lat > 10*time.Second {
+		t.Fatalf("cancellation took %v to reach the running simulation", lat)
+	}
+
+	// The freed worker proves it: a small job completes end to end.
+	small := submitWait(t, client, &JobRequest{
+		Cells:  []CellSpec{{Kernel: "gzip", Config: string(wsrs.ConfWSRSRC512)}},
+		Warmup: testWarmup, Measure: testMeasure,
+	})
+	if small.State != StateDone {
+		t.Fatalf("post-cancel job state = %s (%s), want done", small.State, small.Error)
+	}
+}
+
+// peerVia adapts a Client into the PeerFetcher hook, exactly how a
+// fleet member reaches a peer's cache tier.
+type peerVia struct{ c *Client }
+
+func (p peerVia) FetchPeer(ctx context.Context, digest string) (wsrs.Result, bool) {
+	return p.c.FetchCache(ctx, digest)
+}
+
+// TestPeerCacheTier proves the peer-fetch tier: a cell already cached
+// on daemon A is served to daemon B through GET /v1/cache/{digest}
+// without B simulating anything, and B remembers it locally.
+func TestPeerCacheTier(t *testing.T) {
+	srvA, clientA, _ := testServer(t, Options{Workers: 1})
+	defer srvA.Drain(context.Background())
+	ctx := context.Background()
+
+	req := &JobRequest{
+		Cells:  []CellSpec{{Kernel: "gzip", Config: string(wsrs.ConfWSRSRC512)}},
+		Warmup: testWarmup, Measure: testMeasure,
+	}
+	first := submitWait(t, clientA, req)
+	if first.State != StateDone {
+		t.Fatalf("seed job on A: %s (%s)", first.State, first.Error)
+	}
+	digest := first.Cells[0].Digest
+
+	// The endpoint itself: hit and miss.
+	res, ok := clientA.FetchCache(ctx, digest)
+	if !ok || res.Cycles == 0 {
+		t.Fatalf("FetchCache(%s) = %+v, %v; want the cached result", digest, res, ok)
+	}
+	if _, ok := clientA.FetchCache(ctx, "no-such-digest"); ok {
+		t.Fatal("FetchCache of a bogus digest reported ok")
+	}
+
+	srvB, clientB, _ := testServer(t, Options{Workers: 1, Peers: peerVia{clientA}})
+	defer srvB.Drain(context.Background())
+	viaPeer := submitWait(t, clientB, req)
+	if viaPeer.State != StateDone {
+		t.Fatalf("job on B: %s (%s)", viaPeer.State, viaPeer.Error)
+	}
+	if got := viaPeer.Cells[0].Cache; got != CachePeer {
+		t.Fatalf("cell disposition on B = %q, want %q", got, CachePeer)
+	}
+	m, err := clientB.Metrics(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m[mSims] != 0 {
+		t.Fatalf("B simulated %v cells; the peer tier should have served it", m[mSims])
+	}
+	if m[mPeerHits] != 1 {
+		t.Fatalf("peer hits on B = %v, want 1", m[mPeerHits])
+	}
+
+	// B stored the fetched result: a resubmission is a plain local hit.
+	again := submitWait(t, clientB, req)
+	if got := again.Cells[0].Cache; got != CacheHit {
+		t.Fatalf("resubmission disposition on B = %q, want %q", got, CacheHit)
+	}
+
+	// Byte identity survives the peer hop.
+	rawA, err := clientA.RawResults(ctx, first.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rawB, err := clientB.RawResults(ctx, viaPeer.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(rawA, rawB) {
+		t.Fatal("peer-fetched results differ from the origin's bytes")
+	}
+}
+
+// stubRunner is a canned CellRunner: deterministic results keyed by
+// seed, call counting, and ctx sensitivity.
+type stubRunner struct {
+	mu    sync.Mutex
+	calls int
+}
+
+func (r *stubRunner) RunCell(ctx context.Context, id CellID) (wsrs.Result, time.Duration, error) {
+	r.mu.Lock()
+	r.calls++
+	r.mu.Unlock()
+	if err := ctx.Err(); err != nil {
+		return wsrs.Result{}, 0, err
+	}
+	return wsrs.Result{Name: id.Config, Cycles: 1000 + id.Seed, Insts: id.Measure, IPC: 2.0}, time.Millisecond, nil
+}
+
+// TestRunnerDelegation proves the coordinator hook: with a CellRunner
+// configured, cache misses go through it instead of the local
+// simulator, while the cache and coalescing layers stay in front.
+func TestRunnerDelegation(t *testing.T) {
+	runner := &stubRunner{}
+	srv, client, _ := testServer(t, Options{Workers: 2, Runner: runner})
+	defer srv.Drain(context.Background())
+	ctx := context.Background()
+
+	st := submitWait(t, client, &JobRequest{
+		Cells: []CellSpec{
+			{Kernel: "gzip", Config: string(wsrs.ConfRR256)},
+			{Kernel: "mcf", Config: string(wsrs.ConfWSRSRC512)},
+		},
+		Warmup: testWarmup, Measure: testMeasure,
+	})
+	if st.State != StateDone {
+		t.Fatalf("job state = %s (%s)", st.State, st.Error)
+	}
+	if runner.calls != 2 {
+		t.Fatalf("runner ran %d cells, want 2", runner.calls)
+	}
+	m, err := client.Metrics(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m[mSims] != 0 || m[mRunnerCells] != 2 {
+		t.Fatalf("sims=%v runner_cells=%v, want 0 and 2", m[mSims], m[mRunnerCells])
+	}
+	for _, c := range st.Cells {
+		if c.Cycles != 1000+c.Cell.Seed {
+			t.Fatalf("cell %d carries %d cycles, not the runner's result", c.Index, c.Cycles)
+		}
+	}
+
+	// Identical resubmission: served from the cache, no new runner call.
+	again := submitWait(t, client, &JobRequest{
+		Cells: []CellSpec{
+			{Kernel: "gzip", Config: string(wsrs.ConfRR256)},
+			{Kernel: "mcf", Config: string(wsrs.ConfWSRSRC512)},
+		},
+		Warmup: testWarmup, Measure: testMeasure,
+	})
+	if again.Cells[0].Cache != CacheHit || runner.calls != 2 {
+		t.Fatalf("resubmission: disposition %q, runner calls %d; want hit and 2",
+			again.Cells[0].Cache, runner.calls)
 	}
 }
 

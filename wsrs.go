@@ -294,6 +294,13 @@ type SimOpts struct {
 	// it fails the run with a "time-budget" CheckViolation (0 =
 	// unbounded). In a grid the budget is per cell.
 	CellTimeout time.Duration
+	// Cancel aborts in-flight simulation work once the channel closes
+	// (nil = never): the run returns an error satisfying
+	// errors.Is(err, context.Canceled) within microseconds. Wire a
+	// context's Done channel here to make a grid cancelable — the
+	// serving layer uses it so DELETE /v1/jobs/{id} stops a running
+	// cell instead of letting it simulate to completion.
+	Cancel <-chan struct{}
 	// Checkpoint names a JSONL file RunGrid uses to persist finished
 	// cells: a re-run with the same file skips cells already recorded
 	// (marking them Resumed) and appends newly finished ones, so an
@@ -333,6 +340,7 @@ func (o SimOpts) runOpts() pipeline.RunOpts {
 		Probe:        o.Probe,
 		StallLimit:   o.Watchdog,
 		MaxCycles:    o.MaxCycles,
+		Cancel:       o.Cancel,
 	}
 	if o.Telemetry {
 		// A fresh private block per run, so grids stay safe at any
