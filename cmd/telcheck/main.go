@@ -6,6 +6,8 @@
 //	telcheck -trace host.json              # Chrome trace JSON
 //	telcheck -metrics metrics.txt          # Prometheus text exposition
 //	telcheck -spans spans.json             # otrace span document
+//	telcheck -fleet-trace stitched.json    # stitched multi-process trace
+//	telcheck -fleet-trace s.json -require-processes 3
 //	telcheck -manifest run.json -require-activity
 //
 // Each artifact is parsed structurally (digest shape, per-cell
@@ -28,13 +30,15 @@ func main() {
 	trace := flag.String("trace", "", "validate this Chrome trace JSON file")
 	metrics := flag.String("metrics", "", "validate this Prometheus text exposition file")
 	spans := flag.String("spans", "", "validate this otrace span document (wsrsbench -spans or GET /v1/jobs/{id}/trace)")
+	fleetTrace := flag.String("fleet-trace", "", "validate this stitched multi-process trace document (coordinator GET /v1/jobs/{id}/trace)")
 	requireActivity := flag.Bool("require-activity", false, "fail if the manifest lacks aggregated activity counts (telemetry was off)")
 	requireSpan := flag.String("require-span", "", "comma-separated span names the document must contain (e.g. job,cell,simulate)")
+	requireProcesses := flag.Int("require-processes", 2, "fleet-trace: minimum live process tracks with spans")
 	allowFailed := flag.Bool("allow-failed", false, "tolerate failed cells in the manifest")
 	flag.Parse()
 
-	if *manifest == "" && *trace == "" && *metrics == "" && *spans == "" {
-		fmt.Fprintln(os.Stderr, "telcheck: nothing to check; pass -manifest, -trace, -metrics and/or -spans")
+	if *manifest == "" && *trace == "" && *metrics == "" && *spans == "" && *fleetTrace == "" {
+		fmt.Fprintln(os.Stderr, "telcheck: nothing to check; pass -manifest, -trace, -metrics, -spans and/or -fleet-trace")
 		os.Exit(2)
 	}
 	if *manifest != "" {
@@ -48,6 +52,9 @@ func main() {
 	}
 	if *spans != "" {
 		checkSpans(*spans, *requireSpan)
+	}
+	if *fleetTrace != "" {
+		checkFleetTrace(*fleetTrace, *requireProcesses, *requireSpan)
 	}
 	fmt.Println("telcheck: all artifacts OK")
 }
@@ -241,6 +248,129 @@ func checkSpans(path, require string) {
 	}
 	fmt.Printf("telcheck: spans %s: %d spans, %d names, trace %s\n",
 		path, len(doc.Spans), len(names), doc.TraceID)
+}
+
+// checkFleetTrace validates a stitched multi-process trace document
+// (the coordinator's GET /v1/jobs/{id}/trace in fleet mode): the
+// document identity, one track per process with the coordinator's own
+// first, at least minProcesses live tracks actually carrying spans,
+// well-formed hex IDs throughout, and parent references that resolve
+// against the union of every track's span IDs — a stitched document
+// must not contain orphan parents, because the propagated context
+// guarantees the parent span exists in some process's ring.
+func checkFleetTrace(path string, minProcesses int, require string) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	type spanDoc struct {
+		TraceID  string         `json:"trace_id"`
+		SpanID   string         `json:"span_id"`
+		ParentID string         `json:"parent_id"`
+		Name     string         `json:"name"`
+		DurUs    float64        `json:"dur_us"`
+		Attrs    map[string]any `json:"attrs"`
+	}
+	var doc struct {
+		JobID     string `json:"job_id"`
+		TraceID   string `json:"trace_id"`
+		Fleet     bool   `json:"fleet"`
+		Processes []struct {
+			Process string    `json:"process"`
+			Stale   bool      `json:"stale"`
+			Error   string    `json:"error"`
+			Spans   []spanDoc `json:"spans"`
+		} `json:"processes"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		fatalf("%s: not valid JSON: %v", path, err)
+	}
+	if !doc.Fleet {
+		fatalf("%s: document is not marked fleet:true (single-process trace?)", path)
+	}
+	if !hexID.MatchString(doc.TraceID) {
+		fatalf("%s: trace_id %q is not 16 hex digits", path, doc.TraceID)
+	}
+	if len(doc.Processes) == 0 {
+		fatalf("%s: stitched document has no process tracks", path)
+	}
+	if doc.Processes[0].Stale {
+		fatalf("%s: first track (%q) is stale; track 0 must be the coordinator's own",
+			path, doc.Processes[0].Process)
+	}
+	// Pass 1: identity, per-span shape, and the union of span IDs and
+	// legitimately linked traces across every track.
+	ids := map[string]bool{}
+	traces := map[string]bool{doc.TraceID: true}
+	names := map[string]int{}
+	live := 0
+	seenProc := map[string]bool{}
+	for pi, p := range doc.Processes {
+		if p.Process == "" {
+			fatalf("%s: process track %d has no name", path, pi)
+		}
+		if seenProc[p.Process] {
+			fatalf("%s: duplicate process track %q", path, p.Process)
+		}
+		seenProc[p.Process] = true
+		if p.Stale {
+			if p.Error == "" {
+				fatalf("%s: stale track %q carries no error", path, p.Process)
+			}
+			continue
+		}
+		if len(p.Spans) > 0 {
+			live++
+		}
+		for si, s := range p.Spans {
+			if s.Name == "" {
+				fatalf("%s: %s span %d has no name", path, p.Process, si)
+			}
+			if !hexID.MatchString(s.SpanID) {
+				fatalf("%s: %s span %d (%s): span_id %q is not 16 hex digits",
+					path, p.Process, si, s.Name, s.SpanID)
+			}
+			if s.DurUs < 0 {
+				fatalf("%s: %s span %d (%s) has negative duration %g",
+					path, p.Process, si, s.Name, s.DurUs)
+			}
+			if ids[s.SpanID] {
+				fatalf("%s: span ID %s appears twice in the stitched document — cross-process ID collision",
+					path, s.SpanID)
+			}
+			ids[s.SpanID] = true
+			names[s.Name]++
+			if lt, ok := s.Attrs["link_trace"].(string); ok {
+				traces[lt] = true
+			}
+		}
+	}
+	if live < minProcesses {
+		fatalf("%s: only %d live process tracks carry spans, want >= %d", path, live, minProcesses)
+	}
+	// Pass 2: trace membership and parent resolution against the union.
+	for _, p := range doc.Processes {
+		for si, s := range p.Spans {
+			if !traces[s.TraceID] {
+				fatalf("%s: %s span %d (%s) belongs to trace %q, neither the document's %q nor a linked one",
+					path, p.Process, si, s.Name, s.TraceID, doc.TraceID)
+			}
+			if s.ParentID != "" && !ids[s.ParentID] {
+				fatalf("%s: %s span %d (%s): parent %q not in any track — orphan parent in stitched document",
+					path, p.Process, si, s.Name, s.ParentID)
+			}
+		}
+	}
+	if require != "" {
+		for _, want := range strings.Split(require, ",") {
+			want = strings.TrimSpace(want)
+			if want != "" && names[want] == 0 {
+				fatalf("%s: no %q span in stitched document (have: %v)", path, want, names)
+			}
+		}
+	}
+	fmt.Printf("telcheck: fleet-trace %s: %d tracks (%d live), %d spans, trace %s\n",
+		path, len(doc.Processes), live, len(ids), doc.TraceID)
 }
 
 // checkMetrics validates the Prometheus text exposition format 0.0.4

@@ -22,9 +22,35 @@
 //	GET    /v1/jobs/{id}/events  server-sent event stream of per-cell
 //	                             progress
 //	GET    /v1/phases            per-phase latency samples + SLO targets
+//	GET    /v1/traces/{trace}    this process's spans for one trace ID
+//	                             (the member-side fetch of fleet trace
+//	                             stitching)
 //	GET    /debug/slow           ring of the slowest recent jobs
+//	GET    /debug/flightrecorder black-box ring state + retained
+//	                             postmortem snapshots
 //	DELETE /v1/jobs/{id}         cancel
 //	GET    /metrics /healthz /readyz /debug/vars /debug/pprof/
+//
+// Coordinator mode additionally serves the fleet observability
+// surface:
+//
+//	GET    /v1/fleet/metrics     every member's /metrics merged into one
+//	                             exposition with a member label, plus
+//	                             fleet rollups (down members degrade to
+//	                             a stale marker, never an error)
+//	GET    /v1/fleet/status      JSON membership/health/breaker summary
+//
+// and GET /v1/jobs/{id}/trace returns the stitched multi-process
+// document: the coordinator's spans plus every member's spans for the
+// same trace ID, one track per process (?format=chrome renders the
+// whole fleet on one Perfetto timeline).
+//
+// The flight recorder is the always-on black box: a bounded in-memory
+// ring of recent spans, log records, phase samples and simulation
+// summaries that snapshots itself to a self-contained postmortem JSON
+// artifact (-postmortem-dir) when something goes wrong — a watchdog or
+// check failure, a cell panic, a circuit breaker opening, a backend
+// ejection.
 //
 // Every request is traced (the response carries X-Trace-Id) and logged
 // structurally; a submitted job inherits its request's trace, so one
@@ -66,6 +92,8 @@ import (
 	"time"
 
 	"wsrs/internal/fleet"
+	"wsrs/internal/otrace"
+	flightrec "wsrs/internal/otrace/flight"
 	"wsrs/internal/serve"
 	"wsrs/internal/telemetry"
 )
@@ -86,9 +114,25 @@ func main() {
 	cachePeers := flag.String("cache-peers", "", "comma-separated peer base URLs (excluding this daemon): fetch cache misses from their content-addressed caches before simulating")
 	hedgeAfter := flag.Duration("hedge-after", 0, "coordinator mode: hedge a straggling cell on the next backend after this long (0 = default 750ms, <0 = off)")
 	probeInterval := flag.Duration("probe-interval", 0, "coordinator mode: /readyz probe cadence for backend membership (0 = default 1s)")
+	postmortemDir := flag.String("postmortem-dir", "", "write flight-recorder postmortem JSON artifacts here on faults (empty = memory only, served at /debug/flightrecorder)")
 	flag.Parse()
 
-	logger := serve.NewLogger(os.Stderr, *logFormat)
+	// One span recorder and one black-box flight recorder for the whole
+	// process: the job API, the fleet coordinator and the structured log
+	// all feed the same rings, so a stitched trace or a postmortem
+	// snapshot sees every layer. The process label distinguishes this
+	// daemon's track in fleet-wide output.
+	process := "wsrsd " + *listen
+	if splitURLs(*peers) != nil {
+		process = "coordinator"
+	}
+	tracer := otrace.NewRecorder(*traceSpans)
+	fr := flightrec.New(flightrec.Options{
+		Process: process,
+		Dir:     *postmortemDir,
+		Spans:   tracer,
+	})
+	logger := slog.New(flightrec.Tee(serve.NewLogHandler(os.Stderr, *logFormat), fr))
 	opts := serve.Options{
 		Workers:        *workers,
 		MaxQueuedCells: *queue,
@@ -99,20 +143,28 @@ func main() {
 		SlowJobs:       *slowJobs,
 		PhaseSamples:   *phaseSamples,
 		Logger:         logger,
+		Process:        process,
+		Tracer:         tracer,
+		Flight:         fr,
 	}
 	var coord *fleet.Coordinator
 	if backends := splitURLs(*peers); len(backends) > 0 {
 		// Coordinator mode: one registry for the job API and the fleet
-		// counters, so a single /metrics scrape shows both layers.
+		// counters, so a single /metrics scrape shows both layers — and
+		// one tracer, so the coordinator's fleet spans land in the same
+		// ring the stitched-trace endpoint reads.
 		opts.Registry = telemetry.NewRegistry()
 		coord = fleet.New(fleet.Options{
 			Backends:      backends,
 			HedgeAfter:    *hedgeAfter,
 			ProbeInterval: *probeInterval,
 			Registry:      opts.Registry,
+			Tracer:        tracer,
+			Flight:        fr,
 			Logger:        logger,
 		})
 		opts.Runner = coord
+		opts.Fleet = coord
 		logger.Info("fleet coordinator mode", slog.Int("backends", len(backends)))
 	} else if ps := splitURLs(*cachePeers); len(ps) > 0 {
 		// Member mode with the peer-fetch cache tier: the same ring
@@ -120,6 +172,8 @@ func main() {
 		coord = fleet.New(fleet.Options{
 			Backends:      ps,
 			ProbeInterval: *probeInterval,
+			Tracer:        tracer,
+			Flight:        fr,
 			Logger:        logger,
 		})
 		opts.Peers = coord

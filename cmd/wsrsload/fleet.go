@@ -32,6 +32,10 @@ type fleetRun struct {
 	Ejections      uint64  `json:"ejections"`
 	LocalFallbacks uint64  `json:"local_fallbacks"`
 	Identical      bool    `json:"results_identical"`
+	// PerBackend is the coordinator's dispatch accounting: attempts,
+	// failures, hedge wins and attempt latency per member — where the
+	// work (and the routing around a killed member) actually landed.
+	PerBackend []fleet.BackendStat `json:"backend_stats,omitempty"`
 }
 
 // fleetBenchReport is BENCH_fleet.json: scaling of one fixed grid
@@ -194,6 +198,7 @@ func fleetRunOnce(logger *slog.Logger, ids []serve.CellID, want string, n, worke
 	run.Hedges = fleetCounter(c, "wsrsd_fleet_hedges_total")
 	run.Ejections = fleetCounter(c, "wsrsd_fleet_ejections_total")
 	run.LocalFallbacks = fleetCounter(c, "wsrsd_fleet_local_fallbacks_total")
+	run.PerBackend = c.BackendStats()
 	return run, nil
 }
 
@@ -282,4 +287,21 @@ func renderFleet(rep *fleetBenchReport) {
 			r.Retries, r.Hedges, r.Ejections, r.LocalFallbacks, r.Identical)
 	}
 	t.Render(os.Stdout)
+
+	// The per-backend dispatch breakdown of each run: after a kill run
+	// the dead member shows its failures while the survivors absorb the
+	// rerouted attempts.
+	for _, r := range rep.Runs {
+		if len(r.PerBackend) == 0 {
+			continue
+		}
+		bt := report.NewTable(
+			fmt.Sprintf("per-backend dispatch — %d backends, killed=%v", r.Backends, r.KilledOne),
+			"backend", "attempts", "failures", "hedge wins", "mean ms", "max ms")
+		for _, b := range r.PerBackend {
+			bt.AddRow(b.Backend, b.Attempts, b.Failures, b.HedgeWins,
+				fmt.Sprintf("%.1f", b.MeanMs), fmt.Sprintf("%.1f", b.MaxMs))
+		}
+		bt.Render(os.Stdout)
+	}
 }

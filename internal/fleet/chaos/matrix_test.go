@@ -4,6 +4,7 @@ import (
 	"context"
 	"encoding/json"
 	"net/http/httptest"
+	"os"
 	"strings"
 	"testing"
 	"time"
@@ -11,6 +12,7 @@ import (
 	"wsrs"
 	"wsrs/internal/fleet"
 	"wsrs/internal/fleet/chaos"
+	"wsrs/internal/otrace/flight"
 	"wsrs/internal/serve"
 	"wsrs/internal/telemetry"
 )
@@ -85,6 +87,50 @@ func chaosFleet(t *testing.T, n int) ([]*chaos.Proxy, []string) {
 	return proxies, urls
 }
 
+// assertPostmortem is the black-box half of the chaos contract: every
+// injected fault mode must leave at least one flight-recorder snapshot
+// that names a cell digest from this run, and the artifact persisted to
+// the postmortem dir must parse back into the same document — the
+// postmortem is useful even when the run itself (byte-identity intact)
+// never surfaced an error.
+func assertPostmortem(t *testing.T, fr *flight.Recorder, ids []serve.CellID) {
+	t.Helper()
+	digests := make(map[string]bool, len(ids))
+	for _, id := range ids {
+		digests[id.Digest()] = true
+	}
+	snaps := fr.Snapshots()
+	if len(snaps) == 0 {
+		t.Fatal("chaos run left no flight-recorder snapshot")
+	}
+	var named *flight.Snapshot
+	var reasons []string
+	for _, s := range snaps {
+		reasons = append(reasons, s.Reason)
+		if named == nil && digests[s.CellDigest] {
+			named = s
+		}
+	}
+	if named == nil {
+		t.Fatalf("no snapshot names a cell digest from this run (reasons: %v)", reasons)
+	}
+	if named.Path == "" {
+		t.Fatalf("%q snapshot was not persisted to the postmortem dir", named.Reason)
+	}
+	data, err := os.ReadFile(named.Path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var parsed flight.Snapshot
+	if err := json.Unmarshal(data, &parsed); err != nil {
+		t.Fatalf("postmortem artifact %s does not parse: %v", named.Path, err)
+	}
+	if parsed.Reason != named.Reason || parsed.CellDigest != named.CellDigest || parsed.Process != "coordinator" {
+		t.Fatalf("parsed artifact (%s/%s/%s) disagrees with the live snapshot (%s/%s/coordinator)",
+			parsed.Process, parsed.Reason, parsed.CellDigest, named.Reason, named.CellDigest)
+	}
+}
+
 func counter(reg *telemetry.Registry, name string) uint64 {
 	var total uint64
 	for k, v := range reg.Snapshot() {
@@ -152,6 +198,8 @@ func TestChaosMatrix(t *testing.T) {
 			if m.tune != nil {
 				m.tune(&o)
 			}
+			fr := flight.New(flight.Options{Process: "coordinator", Dir: t.TempDir()})
+			o.Flight = fr
 			c := fleet.New(o)
 			defer c.Close()
 			for _, p := range proxies {
@@ -168,6 +216,7 @@ func TestChaosMatrix(t *testing.T) {
 			if counter(c.Registry(), m.fired) == 0 {
 				t.Fatalf("%s chaos did not exercise %s", m.name, m.fired)
 			}
+			assertPostmortem(t, fr, ids)
 		})
 	}
 
@@ -179,6 +228,7 @@ func TestChaosMatrix(t *testing.T) {
 		killWant := baseline(t, killIDs)
 
 		proxies, urls := chaosFleet(t, 3)
+		fr := flight.New(flight.Options{Process: "coordinator", Dir: t.TempDir()})
 		c := fleet.New(fleet.Options{
 			Backends:      urls,
 			ProbeInterval: 25 * time.Millisecond,
@@ -188,6 +238,7 @@ func TestChaosMatrix(t *testing.T) {
 			BaseBackoff:   time.Millisecond,
 			MaxBackoff:    8 * time.Millisecond,
 			MaxAttempts:   5,
+			Flight:        fr,
 			Seed:          1,
 		})
 		defer c.Close()
@@ -216,6 +267,19 @@ func TestChaosMatrix(t *testing.T) {
 		}
 		if n := len(c.Healthy()); n != 2 {
 			t.Fatalf("Healthy() = %d members after the kill, want 2", n)
+		}
+		// The black box must hold both halves of the incident: a snapshot
+		// naming a failing cell (the in-flight attempts the kill broke)
+		// and the membership transition that benched the dead member.
+		assertPostmortem(t, fr, killIDs)
+		ejectSnap := false
+		for _, s := range fr.Snapshots() {
+			if s.Reason == "backend-ejected" {
+				ejectSnap = true
+			}
+		}
+		if !ejectSnap {
+			t.Fatal("ejection left no backend-ejected flight-recorder snapshot")
 		}
 
 		// Recovery: revive the backend; the prober readmits it and the

@@ -13,6 +13,7 @@ import (
 
 	"wsrs"
 	"wsrs/internal/otrace"
+	flightrec "wsrs/internal/otrace/flight"
 	"wsrs/internal/serve"
 	"wsrs/internal/telemetry"
 )
@@ -74,6 +75,14 @@ type Options struct {
 	Logger   *slog.Logger
 	HTTP     *http.Client
 
+	// Flight receives fleet fault observations (failed attempts,
+	// hedges, breaker opens, ejections) and triggers black-box
+	// postmortem snapshots — debounced per reason — on failed
+	// attempts, hedge fires, breaker-open, ejection and fleet
+	// exhaustion. nil disables recording — every flight call is
+	// nil-receiver safe.
+	Flight *flightrec.Recorder
+
 	// Seed fixes the jitter RNG for reproducible tests (0 seeds from
 	// the clock).
 	Seed int64
@@ -132,11 +141,15 @@ type Coordinator struct {
 	ring   *Ring
 	reg    *telemetry.Registry
 	tracer *otrace.Recorder
+	fr     *flightrec.Recorder // nil disables; every call is nil-safe
 	log    *slog.Logger
 
 	clients  map[string]*serve.Client // immutable after New
 	breakers map[string]*Breaker
 	health   *healthTracker
+
+	smu    sync.Mutex
+	bstats map[string]*backendStat // per-backend dispatch accounting
 
 	rmu sync.Mutex
 	rng *rand.Rand
@@ -172,10 +185,12 @@ func New(o Options) *Coordinator {
 		ring:     NewRing(o.Vnodes),
 		reg:      reg,
 		tracer:   tr,
+		fr:       o.Flight,
 		log:      lg,
 		clients:  make(map[string]*serve.Client, len(o.Backends)),
 		breakers: make(map[string]*Breaker, len(o.Backends)),
 		health:   newHealthTracker(o.EjectAfter),
+		bstats:   make(map[string]*backendStat, len(o.Backends)),
 		rng:      rand.New(rand.NewSource(seed)),
 		stop:     make(chan struct{}),
 	}
@@ -183,6 +198,7 @@ func New(o Options) *Coordinator {
 		c.ring.Add(b)
 		c.clients[b] = &serve.Client{Base: b, HTTP: o.HTTP}
 		c.breakers[b] = NewBreaker(o.BreakerThreshold, o.BreakerCooldown)
+		c.bstats[b] = &backendStat{}
 	}
 	c.initMetrics()
 	if o.ProbeInterval > 0 && len(o.Backends) > 0 {
@@ -231,9 +247,14 @@ type attemptResult struct {
 func (c *Coordinator) RunCell(ctx context.Context, id serve.CellID) (wsrs.Result, time.Duration, error) {
 	start := time.Now()
 	digest := id.Digest()
-	sp := c.tracer.Begin("fleet.cell", otrace.Ctx{})
+	// The span parents to whatever trace context rides the ctx — in
+	// coordinator-daemon mode the serve layer's simulate span — so the
+	// job lifecycle, the fleet scatter and (via header propagation) the
+	// backends' own spans share one trace ID.
+	sp := c.tracer.Begin("fleet.cell", otrace.FromContext(ctx))
 	sp.SetStr("kernel", id.Kernel)
 	sp.SetStr("config", id.Config)
+	ctx = otrace.ContextWith(ctx, sp.Ctx())
 	outcome := "remote"
 	defer func() {
 		sp.SetStr("outcome", outcome)
@@ -284,6 +305,7 @@ func (c *Coordinator) RunCell(ctx context.Context, id serve.CellID) (wsrs.Result
 	// Every attempt failed: the fleet is misbehaving, not the cell.
 	outcome = "local"
 	c.reg.Counter(mFallbacks+telemetry.Labels("reason", "exhausted"), helpFallbacks).Inc()
+	c.fr.Snapshot("fleet-exhausted", digest, lastErr.Error())
 	c.log.LogAttrs(ctx, slog.LevelWarn, "fleet attempts exhausted; running cell locally",
 		slog.String("kernel", id.Kernel),
 		slog.String("config", id.Config),
@@ -339,11 +361,30 @@ func (c *Coordinator) hedgeBackend(digest, primary string) string {
 func (c *Coordinator) attempt(ctx context.Context, primary, digest string, id serve.CellID) (wsrs.Result, error) {
 	actx, cancel := context.WithTimeout(ctx, c.opts.CellTimeout)
 	defer cancel() // the losing leg aborts as soon as a winner returns
+	parent := otrace.FromContext(ctx)
 	ch := make(chan attemptResult, 2)
 	run := func(backend string, hedged bool) {
 		c.reg.Counter(mAttempts, helpAttempts).Inc()
+		// Each leg — original or hedge — gets its own span under the
+		// fleet.cell span, and its context rides the request headers so
+		// the backend's spans parent here. A losing hedge leg ends with
+		// outcome "canceled": visibly abandoned on the stitched timeline.
+		leg := c.tracer.Begin("fleet.attempt", parent)
+		leg.SetStr("backend", backend)
+		leg.SetBool("hedged", hedged)
 		go func() {
-			res, err := c.runOn(actx, backend, id)
+			legStart := time.Now()
+			res, err := c.runOn(otrace.ContextWith(actx, leg.Ctx()), backend, id)
+			c.recordAttempt(backend, time.Since(legStart), err)
+			switch {
+			case err == nil:
+				leg.SetStr("outcome", "ok")
+			case actx.Err() != nil && errors.Is(err, context.Canceled):
+				leg.SetStr("outcome", "canceled")
+			default:
+				leg.SetStr("outcome", "failed")
+			}
+			c.tracer.End(&leg)
 			ch <- attemptResult{res: res, err: err, backend: backend, hedged: hedged}
 		}()
 	}
@@ -366,16 +407,25 @@ func (c *Coordinator) attempt(ctx context.Context, primary, digest string, id se
 				br.Success()
 				if out.hedged {
 					c.reg.Counter(mHedgeWins, helpHedgeWins).Inc()
+					c.recordHedgeWin(out.backend)
 				}
 				return out.res, nil
 			}
 			if actx.Err() == nil || !errors.Is(out.err, context.Canceled) {
-				// A real backend failure, not our own cancellation.
+				// A real backend failure, not our own cancellation. The
+				// black box snapshots it (debounced per reason) so every
+				// chaos mode leaves a postmortem naming the cell digest.
+				c.fr.Record(flightrec.Event{
+					Kind: flightrec.KindFault, Name: "attempt-failed",
+					Digest: digest, Detail: out.backend + ": " + out.err.Error(),
+				})
+				c.fr.Snapshot("attempt-failed", digest, out.backend+": "+out.err.Error())
 				if br.Failure() {
 					c.reg.Counter(mBreakerOpen, helpBreakerOpen).Inc()
 					c.log.LogAttrs(ctx, slog.LevelWarn, "circuit breaker opened",
 						slog.String("backend", out.backend),
 						slog.String("error", out.err.Error()))
+					c.fr.Snapshot("breaker-open", digest, out.backend+": "+out.err.Error())
 				}
 			}
 			var pe *permanentError
@@ -389,6 +439,14 @@ func (c *Coordinator) attempt(ctx context.Context, primary, digest string, id se
 			hedgeC = nil
 			if hb := c.hedgeBackend(digest, primary); hb != "" {
 				c.reg.Counter(mHedges, helpHedges).Inc()
+				// A straggler is a soft fault: the hedge both routes around
+				// it and snapshots the black box (debounced), so a latency
+				// incident leaves evidence even when every cell resolves.
+				c.fr.Record(flightrec.Event{
+					Kind: flightrec.KindFault, Name: "hedge",
+					Digest: digest, Detail: primary + " -> " + hb,
+				})
+				c.fr.Snapshot("hedge-fired", digest, primary+" -> "+hb)
 				run(hb, true)
 				pending++
 			}
@@ -416,7 +474,11 @@ func (c *Coordinator) runOn(ctx context.Context, backend string, id serve.CellID
 	if err != nil {
 		var ae *serve.APIError
 		if errors.As(err, &ae) && ae.Status == http.StatusBadRequest {
-			return wsrs.Result{}, &permanentError{fmt.Errorf("backend %s rejected cell: %w", backend, err)}
+			// The member rejected the cell itself: relay its envelope
+			// (with its trace_id) instead of re-wrapping the message.
+			return wsrs.Result{}, &permanentError{&serve.BackendError{
+				Member: backend, Status: ae.Status, Env: ae.Envelope,
+			}}
 		}
 		return wsrs.Result{}, fmt.Errorf("submit to %s: %w", backend, err)
 	}
@@ -434,7 +496,12 @@ func (c *Coordinator) runOn(ctx context.Context, backend string, id serve.CellID
 	switch st.State {
 	case serve.StateDone:
 	case serve.StateFailed:
-		return wsrs.Result{}, &permanentError{fmt.Errorf("cell failed on %s: %s", backend, st.Error)}
+		// The simulation itself failed on the member: permanent, and the
+		// member's job record (trace ID included) is the diagnosis.
+		return wsrs.Result{}, &permanentError{&serve.BackendError{
+			Member: backend,
+			Env:    &serve.ErrorEnvelope{Msg: st.Error, TraceID: st.TraceID, Member: backend},
+		}}
 	default:
 		return wsrs.Result{}, fmt.Errorf("job on %s ended %s", backend, st.State)
 	}

@@ -5,6 +5,9 @@ import (
 	"log/slog"
 	"sync"
 	"time"
+
+	"wsrs/internal/otrace"
+	flightrec "wsrs/internal/otrace/flight"
 )
 
 // transition is the membership change one probe observation caused.
@@ -91,9 +94,16 @@ func (c *Coordinator) probeLoop() {
 // directly so membership transitions happen at deterministic points.
 func (c *Coordinator) ProbeNow() {
 	for _, b := range c.opts.Backends {
+		// Each probe gets its own span (and carries its context on the
+		// request headers), so member-side access logs and stitched
+		// traces show health traffic distinctly from cell traffic.
+		psp := c.tracer.Begin("fleet.probe", otrace.Ctx{})
+		psp.SetStr("backend", b)
 		ctx, cancel := context.WithTimeout(context.Background(), c.opts.ProbeTimeout)
-		err := c.clients[b].Ready(ctx)
+		err := c.clients[b].Ready(otrace.ContextWith(ctx, psp.Ctx()))
 		cancel()
+		psp.SetBool("ok", err == nil)
+		c.tracer.End(&psp)
 		switch c.health.observe(b, err == nil) {
 		case ejected:
 			c.ring.Remove(b)
@@ -102,6 +112,10 @@ func (c *Coordinator) ProbeNow() {
 				slog.String("backend", b),
 				slog.String("probe_error", err.Error()),
 				slog.Int("healthy", c.ring.Len()))
+			c.fr.Record(flightrec.Event{
+				Kind: flightrec.KindProbe, Name: "ejected", Detail: b,
+			})
+			c.fr.Snapshot("backend-ejected", "", b+": "+err.Error())
 		case readmitted:
 			c.ring.Add(b)
 			c.breakers[b].Success() // a fresh start: don't refuse the returnee
@@ -109,6 +123,9 @@ func (c *Coordinator) ProbeNow() {
 			c.log.LogAttrs(context.Background(), slog.LevelInfo, "backend readmitted",
 				slog.String("backend", b),
 				slog.Int("healthy", c.ring.Len()))
+			c.fr.Record(flightrec.Event{
+				Kind: flightrec.KindProbe, Name: "readmitted", Detail: b,
+			})
 		}
 	}
 	c.reg.Gauge(mBackendsHealthy, helpBackendsHealthy).Set(int64(c.ring.Len()))

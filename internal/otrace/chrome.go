@@ -53,13 +53,17 @@ func (s *Span) JSON() SpanJSON {
 // Document is a span set plus its trace identity — the JSON framing
 // of the trace endpoint and the -spans artifact.
 type Document struct {
-	JobID   string     `json:"job_id,omitempty"`
-	TraceID string     `json:"trace_id"`
-	Label   string     `json:"label,omitempty"`
+	JobID   string `json:"job_id,omitempty"`
+	TraceID string `json:"trace_id"`
+	Label   string `json:"label,omitempty"`
 	// Evicted counts spans of this recorder lost to ring wraparound
 	// since the last Reset — non-zero means the document may be
 	// missing early spans.
-	Evicted uint64     `json:"evicted_spans,omitempty"`
+	Evicted uint64 `json:"evicted_spans,omitempty"`
+	// EpochUs anchors this process's monotonic span timestamps to the
+	// wall clock (Unix µs at monotonic zero) so a stitcher can rebase
+	// documents from several processes onto one timeline.
+	EpochUs float64    `json:"epoch_unix_us,omitempty"`
 	Spans   []SpanJSON `json:"spans"`
 }
 
@@ -67,6 +71,7 @@ type Document struct {
 func NewDocument(trace TraceID, spans []Span) Document {
 	doc := Document{
 		TraceID: FormatTraceID(trace),
+		EpochUs: EpochUnixUs(),
 		Spans:   make([]SpanJSON, len(spans)),
 	}
 	for i := range spans {

@@ -1,0 +1,209 @@
+// Package federate makes a wsrsd fleet observable as one system. It
+// has three legs, all pure data-plumbing over types the rest of the
+// tree already speaks (otrace span documents, telemetry expositions):
+//
+//   - Trace stitching (this file): fan a trace ID out to every fleet
+//     member, collect each process's span document, and merge them into
+//     one multi-track Doc — exportable as native JSON or Chrome
+//     trace-event format so a single Perfetto load shows a cell travel
+//     coordinator → ring pick → backend queue → simulate.
+//   - Metrics federation (metrics.go): scrape every member's /metrics
+//     concurrently under a deadline and serve one merged exposition
+//     with a member label plus fleet-level rollups, and a JSON
+//     membership/health summary.
+//   - Both degrade per-member: a dead member yields a stale-marked
+//     entry, never a federation error.
+//
+// The package imports only otrace and telemetry — serve and fleet
+// import it, never the reverse, so no cycle.
+package federate
+
+import (
+	"context"
+	"sort"
+	"sync"
+	"time"
+
+	"wsrs/internal/otrace"
+	"wsrs/internal/telemetry"
+)
+
+// ProcessDoc is one process's contribution to a stitched trace: its
+// span set for the trace plus enough identity to label the track.
+type ProcessDoc struct {
+	// Process names the track — "coordinator" or the member base URL.
+	Process string `json:"process"`
+	// Stale marks a member that could not be reached (or returned an
+	// error) during the fan-out; Error carries the reason. A stale
+	// entry keeps the document partial-but-valid.
+	Stale bool   `json:"stale,omitempty"`
+	Error string `json:"error,omitempty"`
+	// Evicted counts spans this process's ring dropped before the
+	// fetch — non-zero means the track may be missing early spans.
+	Evicted uint64 `json:"evicted_spans,omitempty"`
+	// EpochUs anchors this process's monotonic span clock to the wall
+	// clock (Unix µs at monotonic zero); ChromeEvents uses it to
+	// rebase every track onto the coordinator's timeline.
+	EpochUs float64           `json:"epoch_unix_us,omitempty"`
+	Spans   []otrace.SpanJSON `json:"spans"`
+}
+
+// Doc is a stitched multi-process trace document: the fleet-wide
+// answer to GET /v1/jobs/{id}/trace. Processes[0] is always the
+// coordinator's own track.
+type Doc struct {
+	JobID     string       `json:"job_id,omitempty"`
+	TraceID   string       `json:"trace_id"`
+	Label     string       `json:"label,omitempty"`
+	Fleet     bool         `json:"fleet"`
+	Processes []ProcessDoc `json:"processes"`
+}
+
+// TraceFetcher retrieves one member's span document for a trace ID —
+// in production serve.Client.TraceByID via the fleet coordinator, in
+// tests a stub.
+type TraceFetcher func(ctx context.Context, member, traceID string) (otrace.Document, error)
+
+// Stitch fans traceID out to members concurrently (bounded by timeout)
+// and merges the results after the coordinator's own local track. A
+// member fetch that fails becomes a Stale entry carrying the error; a
+// member with no spans for the trace is omitted (it never touched the
+// job). Stitch never fails: the worst case is a document with only the
+// local track.
+func Stitch(ctx context.Context, local ProcessDoc, traceID string, members []string, fetch TraceFetcher, timeout time.Duration) Doc {
+	if timeout <= 0 {
+		timeout = 2 * time.Second
+	}
+	ctx, cancel := context.WithTimeout(ctx, timeout)
+	defer cancel()
+
+	docs := make([]ProcessDoc, len(members))
+	var wg sync.WaitGroup
+	for i, m := range members {
+		wg.Add(1)
+		go func(i int, m string) {
+			defer wg.Done()
+			d, err := fetch(ctx, m, traceID)
+			if err != nil {
+				docs[i] = ProcessDoc{Process: m, Stale: true, Error: err.Error()}
+				return
+			}
+			docs[i] = ProcessDoc{
+				Process: m,
+				Evicted: d.Evicted,
+				EpochUs: d.EpochUs,
+				Spans:   d.Spans,
+			}
+		}(i, m)
+	}
+	wg.Wait()
+
+	out := Doc{
+		TraceID:   traceID,
+		Fleet:     true,
+		Processes: []ProcessDoc{local},
+	}
+	for _, d := range docs {
+		if !d.Stale && len(d.Spans) == 0 {
+			continue // member never touched this trace
+		}
+		out.Processes = append(out.Processes, d)
+	}
+	return out
+}
+
+// SpanCount returns the total spans across all tracks.
+func (d *Doc) SpanCount() int {
+	n := 0
+	for i := range d.Processes {
+		n += len(d.Processes[i].Spans)
+	}
+	return n
+}
+
+// spanTree groups one process's spans into trees rooted at spans whose
+// parent is absent from the process's own track (cross-process parents
+// root a local tree). Each tree becomes one Perfetto thread lane so
+// nested spans render nested and concurrent cells render side by side.
+func spanTrees(spans []otrace.SpanJSON) [][]int {
+	byID := make(map[string]int, len(spans))
+	for i := range spans {
+		byID[spans[i].SpanID] = i
+	}
+	root := make([]int, len(spans))
+	for i := range spans {
+		j := i
+		for hop := 0; hop < len(spans); hop++ {
+			p, ok := byID[spans[j].ParentID]
+			if !ok {
+				break
+			}
+			j = p
+		}
+		root[i] = j
+	}
+	order := map[int]int{} // root index -> tree slot, in first-seen order
+	var trees [][]int
+	for i := range spans {
+		slot, ok := order[root[i]]
+		if !ok {
+			slot = len(trees)
+			order[root[i]] = slot
+			trees = append(trees, nil)
+		}
+		trees[slot] = append(trees[slot], i)
+	}
+	return trees
+}
+
+// ChromeEvents flattens a stitched document into Chrome trace events:
+// one Perfetto process per fleet process (named track), one thread
+// lane per span tree within it, every track rebased onto the first
+// process's (the coordinator's) wall-clock epoch so cross-process
+// spans line up on a single timeline.
+func ChromeEvents(d Doc) []telemetry.TraceEvent {
+	var events []telemetry.TraceEvent
+	base := 0.0
+	if len(d.Processes) > 0 {
+		base = d.Processes[0].EpochUs
+	}
+	for pi := range d.Processes {
+		p := &d.Processes[pi]
+		pid := pi + 1 // Perfetto hides pid 0
+		name := p.Process
+		if p.Stale {
+			name += " (stale)"
+		}
+		events = append(events, telemetry.MetadataEvent("process_name", name, pid, 0))
+		offset := 0.0
+		if base != 0 && p.EpochUs != 0 {
+			offset = p.EpochUs - base
+		}
+		trees := spanTrees(p.Spans)
+		for ti, tree := range trees {
+			tid := ti + 1
+			// Sort each lane by start so Perfetto nests slices.
+			sort.Slice(tree, func(a, b int) bool {
+				return p.Spans[tree[a]].StartUs < p.Spans[tree[b]].StartUs
+			})
+			for _, si := range tree {
+				s := &p.Spans[si]
+				ev := telemetry.CompleteEvent(s.Name, "span", s.StartUs+offset, s.DurUs, pid, tid)
+				args := map[string]any{
+					"trace_id": s.TraceID,
+					"span_id":  s.SpanID,
+					"process":  p.Process,
+				}
+				if s.ParentID != "" {
+					args["parent_id"] = s.ParentID
+				}
+				for k, v := range s.Attrs {
+					args[k] = v
+				}
+				ev.Args = args
+				events = append(events, ev)
+			}
+		}
+	}
+	return events
+}

@@ -1,0 +1,180 @@
+package federate
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"wsrs/internal/otrace"
+	"wsrs/internal/telemetry"
+)
+
+func span(trace, id, parent, name string, start, dur float64) otrace.SpanJSON {
+	return otrace.SpanJSON{
+		TraceID: trace, SpanID: id, ParentID: parent,
+		Name: name, StartUs: start, DurUs: dur,
+	}
+}
+
+func TestStitchMergesMemberTracks(t *testing.T) {
+	const trace = "00000000000000aa"
+	local := ProcessDoc{
+		Process: "coordinator",
+		EpochUs: 1000,
+		Spans: []otrace.SpanJSON{
+			span(trace, "0000000000000001", "", "job", 0, 100),
+			span(trace, "0000000000000002", "0000000000000001", "fleet.cell", 10, 80),
+		},
+	}
+	members := []string{"http://m1", "http://m2", "http://m3"}
+	fetch := func(ctx context.Context, member, traceID string) (otrace.Document, error) {
+		if traceID != trace {
+			t.Errorf("fetch got trace %q", traceID)
+		}
+		switch member {
+		case "http://m1":
+			return otrace.Document{
+				TraceID: trace,
+				EpochUs: 1500,
+				Evicted: 3,
+				Spans: []otrace.SpanJSON{
+					span(trace, "0000000000000011", "0000000000000002", "http", 5, 60),
+				},
+			}, nil
+		case "http://m2":
+			return otrace.Document{TraceID: trace}, nil // never touched the job
+		default:
+			return otrace.Document{}, errors.New("connection refused")
+		}
+	}
+	doc := Stitch(context.Background(), local, trace, members, fetch, time.Second)
+
+	if !doc.Fleet || doc.TraceID != trace {
+		t.Fatalf("doc identity = fleet:%v trace:%q", doc.Fleet, doc.TraceID)
+	}
+	if len(doc.Processes) != 3 {
+		t.Fatalf("got %d processes, want 3 (coordinator, m1, stale m3): %+v", len(doc.Processes), doc.Processes)
+	}
+	if doc.Processes[0].Process != "coordinator" {
+		t.Fatalf("Processes[0] = %q, want coordinator first", doc.Processes[0].Process)
+	}
+	m1 := doc.Processes[1]
+	if m1.Process != "http://m1" || m1.Stale || m1.Evicted != 3 || len(m1.Spans) != 1 {
+		t.Fatalf("m1 track wrong: %+v", m1)
+	}
+	m3 := doc.Processes[2]
+	if m3.Process != "http://m3" || !m3.Stale || m3.Error == "" {
+		t.Fatalf("dead member must yield a stale marker, got %+v", m3)
+	}
+	if doc.SpanCount() != 3 {
+		t.Fatalf("SpanCount = %d, want 3", doc.SpanCount())
+	}
+}
+
+func TestStitchNeverFails(t *testing.T) {
+	fetch := func(ctx context.Context, member, traceID string) (otrace.Document, error) {
+		return otrace.Document{}, errors.New("down")
+	}
+	doc := Stitch(context.Background(), ProcessDoc{Process: "coordinator"}, "ff", []string{"a", "b"}, fetch, 50*time.Millisecond)
+	if len(doc.Processes) != 3 {
+		t.Fatalf("got %d processes, want local + 2 stale", len(doc.Processes))
+	}
+	for _, p := range doc.Processes[1:] {
+		if !p.Stale {
+			t.Fatalf("member %q not marked stale", p.Process)
+		}
+	}
+}
+
+func TestChromeEventsMultiProcess(t *testing.T) {
+	const trace = "00000000000000aa"
+	doc := Doc{
+		TraceID: trace,
+		Fleet:   true,
+		Processes: []ProcessDoc{
+			{
+				Process: "coordinator",
+				EpochUs: 1000,
+				Spans: []otrace.SpanJSON{
+					span(trace, "01", "", "job", 0, 100),
+					span(trace, "02", "01", "fleet.cell", 10, 80),
+					span(trace, "03", "", "job", 200, 50), // second tree -> own lane
+				},
+			},
+			{
+				Process: "http://m1",
+				EpochUs: 1500, // +500µs wall offset vs coordinator
+				Spans: []otrace.SpanJSON{
+					span(trace, "11", "02", "http", 5, 60),
+				},
+			},
+		},
+	}
+	events := ChromeEvents(doc)
+
+	pids := map[int]string{}
+	var slices []telemetry.TraceEvent
+	for _, ev := range events {
+		switch ev.Ph {
+		case "M":
+			if ev.Name == "process_name" {
+				pids[ev.Pid] = ev.Args["name"].(string)
+			}
+		case "X":
+			slices = append(slices, ev)
+			if ev.Dur <= 0 {
+				t.Fatalf("slice %q has non-positive dur %v", ev.Name, ev.Dur)
+			}
+		}
+	}
+	if len(pids) != 2 || pids[1] != "coordinator" || pids[2] != "http://m1" {
+		t.Fatalf("process tracks = %v, want two named pids", pids)
+	}
+	if len(slices) != 4 {
+		t.Fatalf("got %d slices, want 4", len(slices))
+	}
+	// The member's span is rebased onto the coordinator's epoch:
+	// start 5µs local + 500µs offset.
+	var member telemetry.TraceEvent
+	lanes := map[int]map[int]bool{}
+	for _, s := range slices {
+		if s.Pid == 2 {
+			member = s
+		}
+		if lanes[s.Pid] == nil {
+			lanes[s.Pid] = map[int]bool{}
+		}
+		lanes[s.Pid][s.Tid] = true
+	}
+	if member.Ts != 505 {
+		t.Fatalf("member slice ts = %v, want 505 (epoch-rebased)", member.Ts)
+	}
+	if member.Args["parent_id"] != "02" || member.Args["process"] != "http://m1" {
+		t.Fatalf("member slice args = %v", member.Args)
+	}
+	// Coordinator's two trees land on distinct lanes.
+	if len(lanes[1]) != 2 {
+		t.Fatalf("coordinator lanes = %v, want 2 (one per span tree)", lanes[1])
+	}
+}
+
+func TestChromeEventsStaleTrackLabeled(t *testing.T) {
+	doc := Doc{Processes: []ProcessDoc{
+		{Process: "coordinator"},
+		{Process: "http://dead", Stale: true},
+	}}
+	events := ChromeEvents(doc)
+	found := false
+	for _, ev := range events {
+		if ev.Ph == "M" && ev.Pid == 2 {
+			if name := ev.Args["name"].(string); strings.Contains(name, "(stale)") {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Fatal("stale member track not labeled (stale)")
+	}
+}

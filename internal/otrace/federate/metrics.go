@@ -1,0 +1,370 @@
+package federate
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// MemberHealth is the coordinator's view of one backend used to label
+// the federation output: probe health plus breaker state.
+type MemberHealth struct {
+	Member  string `json:"member"`
+	Healthy bool   `json:"healthy"`
+	Breaker string `json:"breaker"` // closed | open | half-open
+}
+
+// Exposition is one member's scraped /metrics body (or the error that
+// stood in for it).
+type Exposition struct {
+	Member string
+	Body   []byte
+	Err    error
+}
+
+// MetricsFetcher retrieves one member's raw Prometheus exposition.
+type MetricsFetcher func(ctx context.Context, member string) ([]byte, error)
+
+// ScrapeAll fetches every member's exposition concurrently under one
+// deadline. Failures are carried in the result, never returned — a
+// down member must not fail federation.
+func ScrapeAll(ctx context.Context, members []string, fetch MetricsFetcher, timeout time.Duration) []Exposition {
+	if timeout <= 0 {
+		timeout = 2 * time.Second
+	}
+	ctx, cancel := context.WithTimeout(ctx, timeout)
+	defer cancel()
+	out := make([]Exposition, len(members))
+	var wg sync.WaitGroup
+	for i, m := range members {
+		wg.Add(1)
+		go func(i int, m string) {
+			defer wg.Done()
+			body, err := fetch(ctx, m)
+			out[i] = Exposition{Member: m, Body: body, Err: err}
+		}(i, m)
+	}
+	wg.Wait()
+	return out
+}
+
+// mergeFamily accumulates one metric family across every process.
+type mergeFamily struct {
+	typ     string
+	help    string
+	samples []string
+}
+
+// mergeState walks expositions and regroups samples family-first so
+// the merged output keeps the TYPE-before-sample grammar telcheck
+// (and Prometheus) require.
+type mergeState struct {
+	fams  map[string]*mergeFamily
+	order []string
+	// rollup inputs, per process
+	sims map[string]uint64
+	hits map[string]uint64
+}
+
+func newMergeState() *mergeState {
+	return &mergeState{
+		fams: map[string]*mergeFamily{},
+		sims: map[string]uint64{},
+		hits: map[string]uint64{},
+	}
+}
+
+func (st *mergeState) family(name string) *mergeFamily {
+	f, ok := st.fams[name]
+	if !ok {
+		f = &mergeFamily{}
+		st.fams[name] = f
+		st.order = append(st.order, name)
+	}
+	return f
+}
+
+// injectMember rewrites one sample line to carry member="m" as its
+// first label.
+func injectMember(line, m string) string {
+	sp := strings.IndexByte(line, ' ')
+	if sp < 0 {
+		return line
+	}
+	name, rest := line[:sp], line[sp:]
+	if br := strings.IndexByte(name, '{'); br >= 0 {
+		return name[:br+1] + `member=` + strconv.Quote(m) + `,` + name[br+1:] + rest
+	}
+	return name + `{member=` + strconv.Quote(m) + `}` + rest
+}
+
+// add parses one exposition and folds its families and samples (with
+// the member label injected) into the merge.
+func (st *mergeState) add(member string, body []byte) {
+	typed := map[string]string{}
+	for _, raw := range strings.Split(string(body), "\n") {
+		line := strings.TrimSpace(raw)
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "# TYPE ") {
+			f := strings.Fields(line)
+			if len(f) == 4 {
+				typed[f[2]] = f[3]
+				fam := st.family(f[2])
+				if fam.typ == "" {
+					fam.typ = f[3]
+				}
+			}
+			continue
+		}
+		if strings.HasPrefix(line, "# HELP ") {
+			f := strings.SplitN(line, " ", 4)
+			if len(f) == 4 {
+				fam := st.family(f[2])
+				if fam.help == "" {
+					fam.help = f[3]
+				}
+			}
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		sp := strings.IndexByte(line, ' ')
+		if sp < 0 {
+			continue
+		}
+		name := line[:sp]
+		if br := strings.IndexByte(name, '{'); br >= 0 {
+			name = name[:br]
+		}
+		famName := name
+		if typed[famName] == "" {
+			for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+				if base := strings.TrimSuffix(famName, suffix); base != famName && typed[base] == "histogram" {
+					famName = base
+					break
+				}
+			}
+		}
+		fam := st.family(famName)
+		if fam.typ == "" {
+			fam.typ = "untyped"
+		}
+		fam.samples = append(fam.samples, injectMember(line, member))
+		switch name {
+		case "wsrsd_sims_total":
+			if v, err := strconv.ParseUint(strings.TrimSpace(line[sp:]), 10, 64); err == nil {
+				st.sims[member] += v
+			}
+		case "wsrsd_cache_hits_total":
+			if v, err := strconv.ParseUint(strings.TrimSpace(line[sp:]), 10, 64); err == nil {
+				st.hits[member] += v
+			}
+		}
+	}
+}
+
+// Merge builds the federated exposition: every process's samples
+// regrouped per family under one TYPE line with a member label, plus
+// fleet-level rollups (per-member liveness and breaker state, total
+// sims, aggregate cache hit rate). Unreachable members surface as
+// member_up 0 and a stale comment — never an error.
+func Merge(local []byte, localName string, scrapes []Exposition, health []MemberHealth) []byte {
+	st := newMergeState()
+	st.add(localName, local)
+	for _, e := range scrapes {
+		if e.Err == nil {
+			st.add(e.Member, e.Body)
+		}
+	}
+
+	var b bytes.Buffer
+	for _, e := range scrapes {
+		if e.Err != nil {
+			fmt.Fprintf(&b, "# stale member %q: %s\n", e.Member, strings.ReplaceAll(e.Err.Error(), "\n", " "))
+		}
+	}
+	for _, name := range st.order {
+		fam := st.fams[name]
+		if len(fam.samples) == 0 {
+			continue
+		}
+		if fam.help != "" {
+			fmt.Fprintf(&b, "# HELP %s %s\n", name, fam.help)
+		}
+		fmt.Fprintf(&b, "# TYPE %s %s\n", name, fam.typ)
+		for _, s := range fam.samples {
+			b.WriteString(s)
+			b.WriteByte('\n')
+		}
+	}
+
+	// Fleet rollups.
+	fmt.Fprintf(&b, "# HELP wsrsd_fleet_member_up Whether the member's exposition was scraped this pass (coordinator is always 1).\n")
+	fmt.Fprintf(&b, "# TYPE wsrsd_fleet_member_up gauge\n")
+	fmt.Fprintf(&b, "wsrsd_fleet_member_up{member=%s} 1\n", strconv.Quote(localName))
+	for _, e := range scrapes {
+		up := 1
+		if e.Err != nil {
+			up = 0
+		}
+		fmt.Fprintf(&b, "wsrsd_fleet_member_up{member=%s} %d\n", strconv.Quote(e.Member), up)
+	}
+	if len(health) > 0 {
+		fmt.Fprintf(&b, "# HELP wsrsd_fleet_member_breaker Circuit-breaker state per member (0 closed, 1 half-open, 2 open).\n")
+		fmt.Fprintf(&b, "# TYPE wsrsd_fleet_member_breaker gauge\n")
+		for _, h := range health {
+			fmt.Fprintf(&b, "wsrsd_fleet_member_breaker{member=%s} %d\n", strconv.Quote(h.Member), breakerValue(h.Breaker))
+		}
+	}
+	var sims, hits uint64
+	members := make([]string, 0, len(st.sims)+len(st.hits))
+	seen := map[string]bool{}
+	for m := range st.sims {
+		if !seen[m] {
+			seen[m] = true
+			members = append(members, m)
+		}
+	}
+	for m := range st.hits {
+		if !seen[m] {
+			seen[m] = true
+			members = append(members, m)
+		}
+	}
+	sort.Strings(members)
+	for _, m := range members {
+		sims += st.sims[m]
+		hits += st.hits[m]
+	}
+	fmt.Fprintf(&b, "# HELP wsrsd_fleet_rollup_sims_total Simulations run across every scraped process.\n")
+	fmt.Fprintf(&b, "# TYPE wsrsd_fleet_rollup_sims_total counter\n")
+	fmt.Fprintf(&b, "wsrsd_fleet_rollup_sims_total %d\n", sims)
+	ratio := uint64(0)
+	if hits+sims > 0 {
+		ratio = hits * 1000 / (hits + sims)
+	}
+	fmt.Fprintf(&b, "# HELP wsrsd_fleet_rollup_cache_hit_ratio_milli Aggregate cache hits per mille of cell lookups across the fleet.\n")
+	fmt.Fprintf(&b, "# TYPE wsrsd_fleet_rollup_cache_hit_ratio_milli gauge\n")
+	fmt.Fprintf(&b, "wsrsd_fleet_rollup_cache_hit_ratio_milli %d\n", ratio)
+	return b.Bytes()
+}
+
+func breakerValue(state string) int {
+	switch state {
+	case "open":
+		return 2
+	case "half-open":
+		return 1
+	}
+	return 0
+}
+
+// MemberStatus is one row of the fleet status summary.
+type MemberStatus struct {
+	Member       string `json:"member"`
+	Healthy      bool   `json:"healthy"`
+	Breaker      string `json:"breaker,omitempty"`
+	Stale        bool   `json:"stale,omitempty"`
+	Error        string `json:"error,omitempty"`
+	Draining     bool   `json:"draining"`
+	JobsActive   uint64 `json:"jobs_active"`
+	CellsPending uint64 `json:"cells_pending"`
+	CacheEntries uint64 `json:"cache_entries"`
+	Sims         uint64 `json:"sims_total"`
+	CacheHits    uint64 `json:"cache_hits_total"`
+}
+
+// Status is the GET /v1/fleet/status document: membership, health,
+// breaker and cache-occupancy in one JSON summary.
+type Status struct {
+	Coordinator MemberStatus   `json:"coordinator"`
+	Members     []MemberStatus `json:"members"`
+	// Rollups across every reachable process.
+	Sims         uint64 `json:"sims_total"`
+	CacheHits    uint64 `json:"cache_hits_total"`
+	CacheEntries uint64 `json:"cache_entries"`
+	HealthyCount int    `json:"healthy_members"`
+	MemberCount  int    `json:"member_count"`
+	StaleCount   int    `json:"stale_members"`
+}
+
+// statusScalars pulls the unlabeled scalar samples a status row needs
+// out of one exposition.
+func statusScalars(body []byte) map[string]uint64 {
+	out := map[string]uint64{}
+	for _, raw := range strings.Split(string(body), "\n") {
+		line := strings.TrimSpace(raw)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		sp := strings.IndexByte(line, ' ')
+		if sp < 0 || strings.IndexByte(line[:sp], '{') >= 0 {
+			continue
+		}
+		if v, err := strconv.ParseUint(strings.TrimSpace(line[sp:]), 10, 64); err == nil {
+			out[line[:sp]] = v
+		}
+	}
+	return out
+}
+
+func statusRow(member string, body []byte) MemberStatus {
+	s := statusScalars(body)
+	return MemberStatus{
+		Member:       member,
+		Draining:     s["wsrsd_draining"] != 0,
+		JobsActive:   s["wsrsd_jobs_active"],
+		CellsPending: s["wsrsd_cells_pending"],
+		CacheEntries: s["wsrsd_cache_entries"],
+		Sims:         s["wsrsd_sims_total"],
+		CacheHits:    s["wsrsd_cache_hits_total"],
+	}
+}
+
+// BuildStatus assembles the fleet status document from the local
+// exposition, the member scrapes, and the coordinator's health view.
+func BuildStatus(local []byte, localName string, scrapes []Exposition, health []MemberHealth) Status {
+	byMember := map[string]MemberHealth{}
+	for _, h := range health {
+		byMember[h.Member] = h
+	}
+	st := Status{Coordinator: statusRow(localName, local)}
+	st.Coordinator.Healthy = true
+	st.Sims = st.Coordinator.Sims
+	st.CacheHits = st.Coordinator.CacheHits
+	st.CacheEntries = st.Coordinator.CacheEntries
+	for _, e := range scrapes {
+		var row MemberStatus
+		if e.Err != nil {
+			row = MemberStatus{Member: e.Member, Stale: true, Error: e.Err.Error()}
+		} else {
+			row = statusRow(e.Member, e.Body)
+			st.Sims += row.Sims
+			st.CacheHits += row.CacheHits
+			st.CacheEntries += row.CacheEntries
+		}
+		if h, ok := byMember[e.Member]; ok {
+			row.Healthy = h.Healthy
+			row.Breaker = h.Breaker
+		} else {
+			row.Healthy = e.Err == nil
+		}
+		if row.Healthy {
+			st.HealthyCount++
+		}
+		if row.Stale {
+			st.StaleCount++
+		}
+		st.Members = append(st.Members, row)
+	}
+	st.MemberCount = len(st.Members)
+	return st
+}

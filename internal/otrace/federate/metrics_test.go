@@ -1,0 +1,146 @@
+package federate
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+)
+
+const memberExpo = `# HELP wsrsd_sims_total Simulations run.
+# TYPE wsrsd_sims_total counter
+wsrsd_sims_total 40
+# TYPE wsrsd_cache_hits_total counter
+wsrsd_cache_hits_total 10
+# TYPE wsrsd_jobs_active gauge
+wsrsd_jobs_active 2
+# TYPE wsrsd_phase_us histogram
+wsrsd_phase_us_bucket{phase="queue",le="1"} 5
+wsrsd_phase_us_bucket{phase="queue",le="+Inf"} 7
+wsrsd_phase_us_sum{phase="queue"} 99
+wsrsd_phase_us_count{phase="queue"} 7
+`
+
+const coordExpo = `# TYPE wsrsd_sims_total counter
+wsrsd_sims_total 5
+# TYPE wsrsd_cache_hits_total counter
+wsrsd_cache_hits_total 5
+# TYPE wsrsd_draining gauge
+wsrsd_draining 0
+`
+
+func TestScrapeAllPartialFailure(t *testing.T) {
+	fetch := func(ctx context.Context, member string) ([]byte, error) {
+		if member == "http://dead" {
+			return nil, errors.New("connection refused")
+		}
+		return []byte(memberExpo), nil
+	}
+	got := ScrapeAll(context.Background(), []string{"http://m1", "http://dead"}, fetch, time.Second)
+	if len(got) != 2 {
+		t.Fatalf("got %d expositions", len(got))
+	}
+	if got[0].Err != nil || len(got[0].Body) == 0 {
+		t.Fatalf("live member: %+v", got[0])
+	}
+	if got[1].Err == nil {
+		t.Fatal("dead member scrape did not surface the error")
+	}
+}
+
+func TestMergeLabelsAndRollups(t *testing.T) {
+	scrapes := []Exposition{
+		{Member: "http://m1", Body: []byte(memberExpo)},
+		{Member: "http://dead", Err: errors.New("connection refused")},
+	}
+	health := []MemberHealth{
+		{Member: "http://m1", Healthy: true, Breaker: "closed"},
+		{Member: "http://dead", Healthy: false, Breaker: "open"},
+	}
+	out := string(Merge([]byte(coordExpo), "coordinator", scrapes, health))
+
+	for _, want := range []string{
+		// Member label injected into plain and pre-labeled samples.
+		`wsrsd_sims_total{member="coordinator"} 5`,
+		`wsrsd_sims_total{member="http://m1"} 40`,
+		`wsrsd_phase_us_bucket{member="http://m1",phase="queue",le="1"} 5`,
+		// Liveness and breaker rollups.
+		`wsrsd_fleet_member_up{member="coordinator"} 1`,
+		`wsrsd_fleet_member_up{member="http://m1"} 1`,
+		`wsrsd_fleet_member_up{member="http://dead"} 0`,
+		`wsrsd_fleet_member_breaker{member="http://m1"} 0`,
+		`wsrsd_fleet_member_breaker{member="http://dead"} 2`,
+		// Fleet totals: 5+40 sims, 5+10 hits -> 15/60 = 250‰.
+		`wsrsd_fleet_rollup_sims_total 45`,
+		`wsrsd_fleet_rollup_cache_hit_ratio_milli 250`,
+		// Dead member surfaces as a comment, not an error.
+		`# stale member "http://dead": connection refused`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("merged exposition missing %q", want)
+		}
+	}
+
+	// TYPE-before-sample grammar: each family's TYPE line must appear
+	// before any of its samples, exactly once.
+	typed := map[string]bool{}
+	for n, line := range strings.Split(out, "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "# TYPE ") {
+			f := strings.Fields(line)[2]
+			if typed[f] {
+				t.Fatalf("line %d: duplicate TYPE for %s", n+1, f)
+			}
+			typed[f] = true
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		name := line[:strings.IndexAny(line, "{ ")]
+		fam := name
+		for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+			if base := strings.TrimSuffix(name, suffix); base != name && typed[base] {
+				fam = base
+				break
+			}
+		}
+		if !typed[fam] {
+			t.Fatalf("line %d: sample %q before its TYPE line", n+1, name)
+		}
+	}
+}
+
+func TestBuildStatus(t *testing.T) {
+	scrapes := []Exposition{
+		{Member: "http://m1", Body: []byte(memberExpo)},
+		{Member: "http://dead", Err: errors.New("connection refused")},
+	}
+	health := []MemberHealth{
+		{Member: "http://m1", Healthy: true, Breaker: "closed"},
+		{Member: "http://dead", Healthy: false, Breaker: "open"},
+	}
+	st := BuildStatus([]byte(coordExpo), "coordinator", scrapes, health)
+
+	if st.Coordinator.Member != "coordinator" || !st.Coordinator.Healthy || st.Coordinator.Sims != 5 {
+		t.Fatalf("coordinator row: %+v", st.Coordinator)
+	}
+	if st.MemberCount != 2 || st.HealthyCount != 1 || st.StaleCount != 1 {
+		t.Fatalf("counts: %+v", st)
+	}
+	m1 := st.Members[0]
+	if !m1.Healthy || m1.Breaker != "closed" || m1.Sims != 40 || m1.JobsActive != 2 {
+		t.Fatalf("m1 row: %+v", m1)
+	}
+	dead := st.Members[1]
+	if !dead.Stale || dead.Error == "" || dead.Breaker != "open" || dead.Healthy {
+		t.Fatalf("dead row must be stale with breaker state: %+v", dead)
+	}
+	if st.Sims != 45 || st.CacheHits != 15 {
+		t.Fatalf("rollups: sims=%d hits=%d", st.Sims, st.CacheHits)
+	}
+}

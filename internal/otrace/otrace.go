@@ -159,6 +159,12 @@ func Now() int64 { return int64(time.Since(epoch)) }
 // WallAt converts a monotonic timestamp from Now back to wall time.
 func WallAt(ns int64) time.Time { return epochWall.Add(time.Duration(ns)) }
 
+// EpochUnixUs returns the wall-clock anchor of the package clock —
+// Unix microseconds at monotonic zero. Trace documents carry it so a
+// stitcher can rebase spans from several processes (each with its own
+// monotonic epoch) onto one shared timeline.
+func EpochUnixUs() float64 { return float64(epochWall.UnixNano()) / 1e3 }
+
 // splitmix64 scrambles the sequential trace counter so trace IDs look
 // uniformly distributed (useful when sampling or sharding by trace)
 // while staying cheap and allocation-free.
@@ -174,9 +180,10 @@ func splitmix64(x uint64) uint64 {
 // allocators. All methods are safe for concurrent use; the append
 // path (End/Append) takes a short mutex and allocates nothing.
 type Recorder struct {
-	ids    atomic.Uint64 // span ID allocator (sequential, 1-based)
-	traces atomic.Uint64 // trace ID allocator (scrambled sequential)
-	seed   uint64
+	ids      atomic.Uint64 // span ID sequence (scrambled through spanSeed)
+	traces   atomic.Uint64 // trace ID allocator (scrambled sequential)
+	seed     uint64
+	spanSeed uint64
 
 	mu    sync.Mutex
 	ring  []Span // fixed capacity, allocated once
@@ -194,9 +201,11 @@ func NewRecorder(cap int) *Recorder {
 	if cap <= 0 {
 		cap = DefaultCapacity
 	}
+	seed := uint64(time.Now().UnixNano())
 	r := &Recorder{
-		ring: make([]Span, 0, cap),
-		seed: uint64(time.Now().UnixNano()),
+		ring:     make([]Span, 0, cap),
+		seed:     seed,
+		spanSeed: splitmix64(seed ^ 0xa5a5a5a5a5a5a5a5),
 	}
 	return r
 }
@@ -222,7 +231,18 @@ func (r *Recorder) NewTrace() TraceID {
 // AllocID allocates a span ID without recording anything — used when
 // a span's ID must be referenced (as a parent) before the span itself
 // is emitted, e.g. a job root span recorded only at job completion.
-func (r *Recorder) AllocID() SpanID { return SpanID(r.ids.Add(1)) }
+// IDs are the sequential counter scrambled through a per-recorder
+// seed, so spans recorded by different recorders (and in particular by
+// different processes of a fleet) never collide when their documents
+// are stitched into one — parent references stay unambiguous across
+// process tracks.
+func (r *Recorder) AllocID() SpanID {
+	id := SpanID(splitmix64(r.spanSeed + r.ids.Add(1)))
+	if id == 0 {
+		id = 1 // zero means "no parent"; never hand it out
+	}
+	return id
+}
 
 // Make builds an un-appended span with explicit timestamps under
 // parent. A zero parent trace allocates a fresh trace. The span lives

@@ -160,6 +160,7 @@ func TestTraceSpansFiltersAcrossWraparound(t *testing.T) {
 
 func TestReset(t *testing.T) {
 	r := NewRecorder(4)
+	first := r.AllocID() // the recorder's first-ever span ID
 	for i := 0; i < 7; i++ {
 		sp := r.Begin("s", Ctx{})
 		r.End(&sp)
@@ -171,8 +172,8 @@ func TestReset(t *testing.T) {
 	if r.Cap() != 4 {
 		t.Fatalf("Reset changed capacity to %d", r.Cap())
 	}
-	if id := r.AllocID(); id != 1 {
-		t.Fatalf("first span ID after Reset = %d, want 1 (allocator rewound)", id)
+	if id := r.AllocID(); id != first {
+		t.Fatalf("first span ID after Reset = %d, want %d (allocator rewound to fresh state)", id, first)
 	}
 	sp := r.Begin("again", Ctx{})
 	r.End(&sp)

@@ -1,0 +1,72 @@
+package otrace
+
+import (
+	"context"
+	"net/http"
+	"strconv"
+)
+
+// Cross-process trace propagation: a coordinator dispatching work to a
+// backend daemon injects its current trace context into the request
+// headers, the backend's access-log middleware extracts it and parents
+// its "http" span (and therefore the whole job lifecycle) under the
+// caller's span — so one trace ID follows a cell from the coordinator
+// through ring pick, backend queue and simulation, and the stitched
+// document (internal/otrace/federate) can join the per-process span
+// sets into one tree.
+//
+// TraceHeader extends the X-Trace-Id header the daemon already echoes
+// on responses: on a request it carries the caller's trace ID, and
+// ParentHeader the span the callee's work should parent to. Both are
+// 16-digit hex, the same spelling as every log line and span export.
+const (
+	TraceHeader  = "X-Trace-Id"
+	ParentHeader = "X-Parent-Span"
+)
+
+// Inject writes the trace context into outgoing request headers. A
+// zero context injects nothing — an untraced request stays untraced.
+func Inject(c Ctx, h http.Header) {
+	if c.Trace == 0 {
+		return
+	}
+	h.Set(TraceHeader, FormatTraceID(c.Trace))
+	if c.Span != 0 {
+		h.Set(ParentHeader, FormatSpanID(c.Span))
+	}
+}
+
+// Extract reads a propagated trace context from incoming request
+// headers. Absent or malformed headers yield the zero Ctx (start a
+// fresh trace), never an error — propagation is best-effort.
+func Extract(h http.Header) Ctx {
+	t, err := strconv.ParseUint(h.Get(TraceHeader), 16, 64)
+	if err != nil || t == 0 {
+		return Ctx{}
+	}
+	c := Ctx{Trace: TraceID(t)}
+	if p, err := strconv.ParseUint(h.Get(ParentHeader), 16, 64); err == nil {
+		c.Span = SpanID(p)
+	}
+	return c
+}
+
+// ctxKey keys the trace context carried through context.Context — the
+// in-process leg of propagation: serve's worker pool stores the
+// simulate span's context here, the fleet coordinator parents its
+// fleet.cell span to it, and the HTTP client injects it into backend
+// requests.
+type ctxKey struct{}
+
+// ContextWith returns a context carrying c.
+func ContextWith(ctx context.Context, c Ctx) context.Context {
+	return context.WithValue(ctx, ctxKey{}, c)
+}
+
+// FromContext returns the trace context carried by ctx (zero if none).
+func FromContext(ctx context.Context) Ctx {
+	if c, ok := ctx.Value(ctxKey{}).(Ctx); ok {
+		return c
+	}
+	return Ctx{}
+}

@@ -1,0 +1,125 @@
+package otrace
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+func TestInjectExtractRoundTrip(t *testing.T) {
+	c := Ctx{Trace: 0xdeadbeefcafe0123, Span: 0x42}
+	h := make(http.Header)
+	Inject(c, h)
+	if got := h.Get(TraceHeader); got != "deadbeefcafe0123" {
+		t.Fatalf("trace header = %q", got)
+	}
+	if got := h.Get(ParentHeader); got != "0000000000000042" {
+		t.Fatalf("parent header = %q", got)
+	}
+	if got := Extract(h); got != c {
+		t.Fatalf("Extract = %+v, want %+v", got, c)
+	}
+}
+
+func TestInjectZeroCtx(t *testing.T) {
+	h := make(http.Header)
+	Inject(Ctx{}, h)
+	if len(h) != 0 {
+		t.Fatalf("zero ctx injected headers: %v", h)
+	}
+	// Span without trace is also untraced.
+	Inject(Ctx{Span: 7}, h)
+	if len(h) != 0 {
+		t.Fatalf("trace-less ctx injected headers: %v", h)
+	}
+}
+
+func TestExtractMalformed(t *testing.T) {
+	cases := []struct{ trace, parent string }{
+		{"", ""},
+		{"zzzz", "42"},
+		{"0000000000000000", "42"}, // zero trace = no trace
+		{"-1", ""},
+	}
+	for _, c := range cases {
+		h := make(http.Header)
+		if c.trace != "" {
+			h.Set(TraceHeader, c.trace)
+		}
+		if c.parent != "" {
+			h.Set(ParentHeader, c.parent)
+		}
+		if got := Extract(h); got != (Ctx{}) {
+			t.Fatalf("Extract(%q,%q) = %+v, want zero", c.trace, c.parent, got)
+		}
+	}
+	// Malformed parent keeps the valid trace.
+	h := make(http.Header)
+	h.Set(TraceHeader, "00000000000000ab")
+	h.Set(ParentHeader, "not-hex")
+	if got := Extract(h); got != (Ctx{Trace: 0xab}) {
+		t.Fatalf("Extract with bad parent = %+v", got)
+	}
+}
+
+func TestContextCarriesCtx(t *testing.T) {
+	c := Ctx{Trace: 5, Span: 9}
+	ctx := ContextWith(context.Background(), c)
+	if got := FromContext(ctx); got != c {
+		t.Fatalf("FromContext = %+v, want %+v", got, c)
+	}
+	if got := FromContext(context.Background()); got != (Ctx{}) {
+		t.Fatalf("FromContext(bare) = %+v, want zero", got)
+	}
+}
+
+// TestPropagationAcrossHTTPHop drives the full cross-process chain over
+// a real HTTP hop: a "coordinator" recorder opens a parent span and
+// injects its context into a request; the "backend" handler extracts it
+// and records a child span in its own recorder. The two recorders'
+// span sets must join on trace ID with an unbroken parent edge — the
+// invariant fleet stitching (internal/otrace/federate) depends on.
+func TestPropagationAcrossHTTPHop(t *testing.T) {
+	coord := NewRecorder(16)
+	backend := NewRecorder(16)
+
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		parent := Extract(r.Header)
+		if parent.Trace == 0 || parent.Span == 0 {
+			t.Errorf("backend got no trace context: %+v", parent)
+		}
+		sp := backend.Begin("backend.work", parent)
+		backend.End(&sp)
+	}))
+	defer srv.Close()
+
+	leg := coord.Begin("coord.leg", Ctx{})
+	req, err := http.NewRequest(http.MethodGet, srv.URL, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	Inject(leg.Ctx(), req.Header)
+	resp, err := srv.Client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	coord.End(&leg)
+
+	remote := backend.TraceSpans(leg.Trace)
+	if len(remote) != 1 {
+		t.Fatalf("backend recorded %d spans for trace, want 1", len(remote))
+	}
+	if remote[0].Trace != leg.Trace {
+		t.Fatalf("backend span trace = %x, want %x", remote[0].Trace, leg.Trace)
+	}
+	if remote[0].Parent != leg.ID {
+		t.Fatalf("backend span parent = %x, want coordinator leg %x", remote[0].Parent, leg.ID)
+	}
+	// Distinct recorders must never collide on span IDs (scrambled
+	// per-recorder seeds) so the merged document stays unambiguous.
+	if remote[0].ID == leg.ID {
+		t.Fatalf("span ID collision across recorders: %x", leg.ID)
+	}
+}

@@ -32,6 +32,19 @@ func (c *Client) http() *http.Client {
 	return http.DefaultClient
 }
 
+// newRequest builds one API request, injecting the trace context
+// carried by ctx (otrace.ContextWith) into the propagation headers —
+// every hop a coordinator takes on behalf of a traced cell carries the
+// cell's trace, so the backend's spans stitch under it.
+func (c *Client) newRequest(ctx context.Context, method, path string, body io.Reader) (*http.Request, error) {
+	req, err := http.NewRequestWithContext(ctx, method, c.Base+path, body)
+	if err != nil {
+		return nil, err
+	}
+	otrace.Inject(otrace.FromContext(ctx), req.Header)
+	return req, nil
+}
+
 // APIError is a non-2xx job-API response: the status code and the
 // decoded body.
 type APIError struct {
@@ -39,6 +52,10 @@ type APIError struct {
 	Body   string
 	// RetryAfter carries the 429 backoff hint in seconds (0 = none).
 	RetryAfter int
+	// Envelope is the decoded ErrorEnvelope when the body parsed as
+	// one (nil otherwise) — carrying the origin server's trace_id and
+	// member identity.
+	Envelope *ErrorEnvelope
 }
 
 func (e *APIError) Error() string {
@@ -49,6 +66,10 @@ func apiError(resp *http.Response) error {
 	body, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
 	e := &APIError{Status: resp.StatusCode, Body: string(body)}
 	fmt.Sscanf(resp.Header.Get("Retry-After"), "%d", &e.RetryAfter)
+	var env ErrorEnvelope
+	if json.Unmarshal(body, &env) == nil && env.Msg != "" {
+		e.Envelope = &env
+	}
 	return e
 }
 
@@ -58,8 +79,7 @@ func (c *Client) Submit(ctx context.Context, req *JobRequest) (JobStatus, error)
 	if err != nil {
 		return JobStatus{}, err
 	}
-	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost,
-		c.Base+"/v1/jobs", bytes.NewReader(body))
+	hreq, err := c.newRequest(ctx, http.MethodPost, "/v1/jobs", bytes.NewReader(body))
 	if err != nil {
 		return JobStatus{}, err
 	}
@@ -78,7 +98,7 @@ func (c *Client) Submit(ctx context.Context, req *JobRequest) (JobStatus, error)
 
 // getJSON fetches one endpoint and decodes its 200 body into v.
 func (c *Client) getJSON(ctx context.Context, path string, v any) error {
-	hreq, err := http.NewRequestWithContext(ctx, http.MethodGet, c.Base+path, nil)
+	hreq, err := c.newRequest(ctx, http.MethodGet, path, nil)
 	if err != nil {
 		return err
 	}
@@ -101,7 +121,7 @@ func (c *Client) Get(ctx context.Context, id string) (JobStatus, error) {
 
 // Cancel requests cancellation of a job.
 func (c *Client) Cancel(ctx context.Context, id string) error {
-	hreq, err := http.NewRequestWithContext(ctx, http.MethodDelete, c.Base+"/v1/jobs/"+id, nil)
+	hreq, err := c.newRequest(ctx, http.MethodDelete, "/v1/jobs/"+id, nil)
 	if err != nil {
 		return err
 	}
@@ -149,7 +169,7 @@ func (c *Client) Results(ctx context.Context, id string) ([]wsrs.Result, error) 
 // RawResults fetches the /results body verbatim (the byte-identity
 // test compares it against a locally encoded RunGrid run).
 func (c *Client) RawResults(ctx context.Context, id string) ([]byte, error) {
-	hreq, err := http.NewRequestWithContext(ctx, http.MethodGet, c.Base+"/v1/jobs/"+id+"/results", nil)
+	hreq, err := c.newRequest(ctx, http.MethodGet, "/v1/jobs/"+id+"/results", nil)
 	if err != nil {
 		return nil, err
 	}
@@ -178,7 +198,7 @@ func (c *Client) FetchCache(ctx context.Context, digest string) (wsrs.Result, bo
 // Ready probes GET /readyz: nil when the daemon accepts new jobs, an
 // *APIError (503 while draining) otherwise.
 func (c *Client) Ready(ctx context.Context) error {
-	hreq, err := http.NewRequestWithContext(ctx, http.MethodGet, c.Base+"/readyz", nil)
+	hreq, err := c.newRequest(ctx, http.MethodGet, "/readyz", nil)
 	if err != nil {
 		return err
 	}
@@ -220,6 +240,14 @@ func (c *Client) Trace(ctx context.Context, id string) (otrace.Document, error) 
 	return doc, c.getJSON(ctx, "/v1/jobs/"+id+"/trace", &doc)
 }
 
+// TraceByID fetches the daemon's span document for one trace ID
+// (GET /v1/traces/{trace}) — the member-side fetch of fleet trace
+// stitching.
+func (c *Client) TraceByID(ctx context.Context, traceID string) (otrace.Document, error) {
+	var doc otrace.Document
+	return doc, c.getJSON(ctx, "/v1/traces/"+traceID, &doc)
+}
+
 // Phases fetches the phase samples appended since the cursor; feed
 // PhasePage.Next back in to read incrementally.
 func (c *Client) Phases(ctx context.Context, since uint64) (PhasePage, error) {
@@ -227,11 +255,10 @@ func (c *Client) Phases(ctx context.Context, since uint64) (PhasePage, error) {
 	return page, c.getJSON(ctx, fmt.Sprintf("/v1/phases?since=%d", since), &page)
 }
 
-// Metrics scrapes the daemon's Prometheus exposition into a
-// name -> value map (histogram series are skipped). Good enough for
-// asserting counters in tests, CI and the load report.
-func (c *Client) Metrics(ctx context.Context) (map[string]float64, error) {
-	hreq, err := http.NewRequestWithContext(ctx, http.MethodGet, c.Base+"/metrics", nil)
+// RawMetrics fetches the daemon's Prometheus exposition verbatim —
+// what a federating coordinator relabels and merges.
+func (c *Client) RawMetrics(ctx context.Context) ([]byte, error) {
+	hreq, err := c.newRequest(ctx, http.MethodGet, "/metrics", nil)
 	if err != nil {
 		return nil, err
 	}
@@ -243,7 +270,14 @@ func (c *Client) Metrics(ctx context.Context) (map[string]float64, error) {
 	if resp.StatusCode != http.StatusOK {
 		return nil, apiError(resp)
 	}
-	body, err := io.ReadAll(resp.Body)
+	return io.ReadAll(resp.Body)
+}
+
+// Metrics scrapes the daemon's Prometheus exposition into a
+// name -> value map (histogram series are skipped). Good enough for
+// asserting counters in tests, CI and the load report.
+func (c *Client) Metrics(ctx context.Context) (map[string]float64, error) {
+	body, err := c.RawMetrics(ctx)
 	if err != nil {
 		return nil, err
 	}
@@ -268,7 +302,7 @@ func (c *Client) Metrics(ctx context.Context) (map[string]float64, error) {
 // every decoded event until the job ends, the stream closes, or fn
 // returns false.
 func (c *Client) Events(ctx context.Context, id string, fn func(Event) bool) error {
-	hreq, err := http.NewRequestWithContext(ctx, http.MethodGet, c.Base+"/v1/jobs/"+id+"/events", nil)
+	hreq, err := c.newRequest(ctx, http.MethodGet, "/v1/jobs/"+id+"/events", nil)
 	if err != nil {
 		return err
 	}

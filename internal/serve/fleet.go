@@ -1,0 +1,132 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"strings"
+
+	"wsrs"
+	"wsrs/internal/otrace"
+	"wsrs/internal/otrace/federate"
+)
+
+// FleetObserver is what a coordinator server needs from its fleet to
+// serve the fleet-wide observability surface: membership, per-member
+// trace documents and metric expositions, and the health/breaker view.
+// fleet.Coordinator implements it (serve cannot import fleet — fleet
+// imports serve — so the coordinator is injected through Options).
+type FleetObserver interface {
+	// FleetMembers lists every backend base URL, up or down.
+	FleetMembers() []string
+	// FleetTrace fetches one member's span document for a trace ID.
+	FleetTrace(ctx context.Context, member, traceID string) (otrace.Document, error)
+	// FleetMetrics fetches one member's raw /metrics exposition.
+	FleetMetrics(ctx context.Context, member string) ([]byte, error)
+	// FleetHealth reports probe health and breaker state per member.
+	FleetHealth() []federate.MemberHealth
+}
+
+// BackendError is a backend failure the coordinator relays without
+// re-wrapping: which member rejected the cell, with what status, and
+// the member's own ErrorEnvelope (carrying its trace_id) when the body
+// parsed as one. resolveCell lifts the envelope into the cell status
+// so a fleet client sees the originating member's diagnosis, not an
+// opaque coordinator string.
+type BackendError struct {
+	Member string
+	Status int
+	Env    *ErrorEnvelope
+}
+
+func (e *BackendError) Error() string {
+	msg := ""
+	if e.Env != nil {
+		msg = e.Env.Msg
+	}
+	switch {
+	case e.Status != 0 && msg != "":
+		return fmt.Sprintf("backend %s: HTTP %d: %s", e.Member, e.Status, msg)
+	case e.Status != 0:
+		return fmt.Sprintf("backend %s: HTTP %d", e.Member, e.Status)
+	case msg != "":
+		return fmt.Sprintf("backend %s: %s", e.Member, msg)
+	}
+	return fmt.Sprintf("backend %s failed", e.Member)
+}
+
+// Envelope returns the relayed envelope stamped with the originating
+// member (never nil).
+func (e *BackendError) Envelope() *ErrorEnvelope {
+	env := ErrorEnvelope{}
+	if e.Env != nil {
+		env = *e.Env
+	}
+	if env.Member == "" {
+		env.Member = e.Member
+	}
+	if env.Msg == "" {
+		if e.Status != 0 {
+			env.Msg = fmt.Sprintf("HTTP %d", e.Status)
+		} else {
+			env.Msg = "backend failure"
+		}
+	}
+	return &env
+}
+
+// failureReason classifies a cell failure for the flight recorder's
+// snapshot naming: the chaos matrix asserts every fault mode produces
+// a snapshot whose reason matches what was injected.
+func failureReason(err error) string {
+	var pe *wsrs.CellPanicError
+	if errors.As(err, &pe) {
+		return "cell-panic"
+	}
+	msg := err.Error()
+	switch {
+	case strings.Contains(msg, "check[watchdog]"):
+		return "watchdog"
+	case strings.Contains(msg, "check["):
+		return "check-failure"
+	}
+	return "cell-failure"
+}
+
+// localExposition renders this process's own /metrics body.
+func (s *Server) localExposition() []byte {
+	var buf bytes.Buffer
+	_ = s.reg.WritePrometheus(&buf)
+	return buf.Bytes()
+}
+
+// handleFleetMetrics serves GET /v1/fleet/metrics: the coordinator's
+// own exposition plus every member's, scraped concurrently under the
+// federation deadline, merged into one exposition with a member label
+// and fleet rollups. A down member degrades to a stale marker — the
+// endpoint itself never fails.
+func (s *Server) handleFleetMetrics(w http.ResponseWriter, r *http.Request) {
+	fl := s.opts.Fleet
+	scrapes := federate.ScrapeAll(r.Context(), fl.FleetMembers(), fl.FleetMetrics, s.opts.FleetScrapeTimeout)
+	merged := federate.Merge(s.localExposition(), s.process, scrapes, fl.FleetHealth())
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_, _ = w.Write(merged)
+}
+
+// handleFleetStatus serves GET /v1/fleet/status: the JSON
+// membership/health/breaker/cache-occupancy summary.
+func (s *Server) handleFleetStatus(w http.ResponseWriter, r *http.Request) {
+	fl := s.opts.Fleet
+	scrapes := federate.ScrapeAll(r.Context(), fl.FleetMembers(), fl.FleetMetrics, s.opts.FleetScrapeTimeout)
+	st := federate.BuildStatus(s.localExposition(), s.process, scrapes, fl.FleetHealth())
+	writeJSON(w, http.StatusOK, st)
+}
+
+// handleFlightRecorder serves GET /debug/flightrecorder: the black
+// box's live state — ring occupancy, the recent event tail, and every
+// retained snapshot.
+func (s *Server) handleFlightRecorder(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.fr.State(128))
+}

@@ -2,6 +2,7 @@ package serve
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sync"
 	"time"
@@ -209,6 +210,10 @@ type CellStatus struct {
 	Cycles int64   `json:"cycles,omitempty"`
 	WallMs float64 `json:"wall_ms,omitempty"`
 	Error  string  `json:"error,omitempty"`
+	// Backend relays the originating member's ErrorEnvelope when the
+	// cell failed on a fleet backend — the member's own trace_id and
+	// identity, not a coordinator re-wrap.
+	Backend *ErrorEnvelope `json:"backend_error,omitempty"`
 }
 
 // JobStatus is the job record served by GET /v1/jobs/{id}.
@@ -362,6 +367,10 @@ func (j *job) resolveCell(i int, disposition string, res wsrs.Result, wall time.
 	if err != nil {
 		c.State = StateFailed
 		c.Error = err.Error()
+		var be *BackendError
+		if errors.As(err, &be) {
+			c.Backend = be.Envelope()
+		}
 	} else {
 		c.State = StateDone
 		c.IPC = res.IPC

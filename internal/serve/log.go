@@ -11,16 +11,24 @@ import (
 	"wsrs/internal/otrace"
 )
 
-// NewLogger builds the structured logger the daemon binaries share:
+// NewLogHandler builds the slog handler the daemon binaries share:
 // "json" selects one JSON object per line (machine-shippable),
-// anything else the slog text handler. Every job-lifecycle line the
-// server emits carries trace_id/job_id attributes so client logs,
-// server logs and span exports correlate on the same identifiers.
-func NewLogger(w io.Writer, format string) *slog.Logger {
+// anything else the slog text handler. Exposed separately from
+// NewLogger so wsrsd can interpose the flight recorder's tee between
+// the logger and the sink.
+func NewLogHandler(w io.Writer, format string) slog.Handler {
 	if strings.EqualFold(format, "json") {
-		return slog.New(slog.NewJSONHandler(w, nil))
+		return slog.NewJSONHandler(w, nil)
 	}
-	return slog.New(slog.NewTextHandler(w, nil))
+	return slog.NewTextHandler(w, nil)
+}
+
+// NewLogger builds the structured logger the daemon binaries share.
+// Every job-lifecycle line the server emits carries trace_id/job_id
+// attributes so client logs, server logs and span exports correlate on
+// the same identifiers.
+func NewLogger(w io.Writer, format string) *slog.Logger {
+	return slog.New(NewLogHandler(w, format))
 }
 
 // discardLogger silences servers built without an explicit logger
@@ -44,21 +52,24 @@ func requestCtx(r *http.Request) otrace.Ctx {
 	return otrace.Ctx{}
 }
 
-// AccessLog is the shared-mux middleware: every request gets a fresh
-// trace ID (echoed as X-Trace-Id and stored in the request context so
+// AccessLog is the shared-mux middleware: every request gets a trace
+// context (echoed as X-Trace-Id and stored in the request context so
 // handlers and error envelopes reuse it), an "http" span in rec when
-// non-nil, and one structured access-log line. A job submitted through
-// a wrapped handler inherits the request's trace ID, so the HTTP span
-// and the whole job lifecycle share one trace.
+// non-nil, and one structured access-log line. A request arriving with
+// propagated trace headers (a fleet coordinator dispatching a cell)
+// continues the caller's trace — its "http" span parents to the
+// caller's leg span — so one trace ID follows a cell across processes;
+// a bare request starts a fresh trace. A job submitted through a
+// wrapped handler inherits the request's trace ID either way.
 func AccessLog(h http.Handler, rec *otrace.Recorder, lg *slog.Logger) http.Handler {
 	if lg == nil {
 		lg = discardLogger()
 	}
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		ctx := otrace.Ctx{}
+		ctx := otrace.Extract(r.Header)
 		var sp otrace.Span
 		if rec != nil {
-			sp = rec.Begin("http", otrace.Ctx{})
+			sp = rec.Begin("http", ctx)
 			sp.SetStr("method", r.Method)
 			sp.SetStr("path", r.URL.Path)
 			ctx = sp.Ctx()

@@ -5,6 +5,7 @@ import (
 	"net/http"
 	"time"
 
+	flightrec "wsrs/internal/otrace/flight"
 	"wsrs/internal/telemetry"
 )
 
@@ -91,6 +92,7 @@ type phaseSLO struct {
 func (s *Server) observePhase(phase string, d time.Duration) {
 	us := d.Microseconds()
 	s.phases.add(phase, us)
+	s.fr.Record(flightrec.Event{Kind: flightrec.KindPhase, Name: phase, Value: us})
 	p := s.slo[phase]
 	if p == nil {
 		return

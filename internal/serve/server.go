@@ -15,6 +15,7 @@ import (
 
 	"wsrs"
 	"wsrs/internal/otrace"
+	flightrec "wsrs/internal/otrace/flight"
 	"wsrs/internal/telemetry"
 )
 
@@ -74,6 +75,28 @@ type Options struct {
 	// only simulated locally if no peer holds it. Ignored when Runner
 	// is set — a coordinator already routes cells to their cache home.
 	Peers PeerFetcher
+	// Process labels this daemon in fleet-wide observability output:
+	// stitched trace tracks, federated metric labels, flight-recorder
+	// snapshots ("" selects "wsrsd"; a coordinator passes
+	// "coordinator", members their listen address).
+	Process string
+	// Tracer overrides the daemon's span recorder (nil creates a
+	// private one sized by TraceSpans). wsrsd in coordinator mode
+	// passes the recorder its fleet.Coordinator records into, so the
+	// coordinator's fleet spans and the job lifecycle share one ring —
+	// the precondition for stitched fleet traces.
+	Tracer *otrace.Recorder
+	// Flight overrides the black-box flight recorder (nil creates a
+	// memory-only one). wsrsd wires one configured with -postmortem-dir
+	// and shares it with the fleet coordinator.
+	Flight *flightrec.Recorder
+	// Fleet, when non-nil, mounts the fleet observability surface
+	// (GET /v1/fleet/metrics, /v1/fleet/status) and upgrades
+	// GET /v1/jobs/{id}/trace to the stitched multi-process document.
+	Fleet FleetObserver
+	// FleetScrapeTimeout bounds each federation fan-out (<= 0 selects
+	// 2s).
+	FleetScrapeTimeout time.Duration
 }
 
 // CellRunner resolves one cell somewhere other than the local worker
@@ -186,10 +209,12 @@ type Server struct {
 	reg   *telemetry.Registry
 	cache *Cache
 
-	tracer *otrace.Recorder
-	phases *phaseLog
-	slow   *slowRing
-	log    *slog.Logger
+	tracer  *otrace.Recorder
+	fr      *flightrec.Recorder
+	process string
+	phases  *phaseLog
+	slow    *slowRing
+	log     *slog.Logger
 
 	slo        map[string]*phaseSLO
 	sloTargets []SLOTarget
@@ -235,12 +260,26 @@ func New(o Options) (*Server, error) {
 	if reg == nil {
 		reg = telemetry.NewRegistry()
 	}
+	process := o.Process
+	if process == "" {
+		process = "wsrsd"
+	}
+	tracer := o.Tracer
+	if tracer == nil {
+		tracer = otrace.NewRecorder(o.TraceSpans)
+	}
+	fr := o.Flight
+	if fr == nil {
+		fr = flightrec.New(flightrec.Options{Process: process, Spans: tracer})
+	}
 	ctx, cancel := context.WithCancel(context.Background())
 	s := &Server{
 		opts:    o,
 		reg:     reg,
 		cache:   cache,
-		tracer:  otrace.NewRecorder(o.TraceSpans),
+		tracer:  tracer,
+		fr:      fr,
+		process: process,
 		phases:  newPhaseLog(o.PhaseSamples),
 		slow:    newSlowRing(o.SlowJobs),
 		log:     lg,
@@ -265,6 +304,10 @@ func New(o Options) (*Server, error) {
 
 // Tracer exposes the daemon's span recorder (tests and embedders).
 func (s *Server) Tracer() *otrace.Recorder { return s.tracer }
+
+// FlightRecorder exposes the daemon's black-box recorder (tests,
+// cmd/wsrsd's fault wiring).
+func (s *Server) FlightRecorder() *flightrec.Recorder { return s.fr }
 
 // Registry exposes the daemon's metric registry (served at /metrics).
 func (s *Server) Registry() *telemetry.Registry { return s.reg }
@@ -293,8 +336,14 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents) // streams: latency histogram would lie
 	mux.HandleFunc("GET /v1/cache/{digest}", s.instrument("/v1/cache/{digest}", s.handleCacheFetch))
 	mux.HandleFunc("GET /v1/phases", s.instrument("/v1/phases", s.handlePhases))
+	mux.HandleFunc("GET /v1/traces/{trace}", s.instrument("/v1/traces/{trace}", s.handleTraceByID))
 	mux.HandleFunc("GET /debug/slow", s.handleSlow)
+	mux.HandleFunc("GET /debug/flightrecorder", s.handleFlightRecorder)
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.instrument("/v1/jobs/{id}", s.handleCancel))
+	if s.opts.Fleet != nil {
+		mux.HandleFunc("GET /v1/fleet/metrics", s.instrument("/v1/fleet/metrics", s.handleFleetMetrics))
+		mux.HandleFunc("GET /v1/fleet/status", s.instrument("/v1/fleet/status", s.handleFleetStatus))
+	}
 	return AccessLog(mux, s.tracer, s.log)
 }
 
@@ -328,13 +377,20 @@ type ErrorEnvelope struct {
 	Pending  int64    `json:"pending_cells,omitempty"`
 	QueueCap int      `json:"queue_cap,omitempty"`
 	TraceID  string   `json:"trace_id,omitempty"`
+	// Member names the process that originated the error, so an
+	// envelope a coordinator relays from a backend still points at the
+	// daemon whose logs (and trace ring) hold the failure.
+	Member string `json:"member,omitempty"`
 }
 
-// writeError stamps the request's trace ID into the envelope and
-// writes it with the given status.
+// writeError stamps the request's trace ID and this process's identity
+// into the envelope and writes it with the given status.
 func (s *Server) writeError(w http.ResponseWriter, r *http.Request, status int, env ErrorEnvelope) {
 	if c := requestCtx(r).Trace; c != 0 {
 		env.TraceID = otrace.FormatTraceID(c)
+	}
+	if env.Member == "" {
+		env.Member = s.process
 	}
 	writeJSON(w, status, env)
 }
@@ -813,7 +869,11 @@ func (s *Server) runFlight(t *cellTask, worker int) {
 		sim.SetBool("remote", true)
 		s.reg.Counter(mRunnerCells, helpRunnerCells).Inc()
 		start := time.Now()
-		res, wall, err = s.opts.Runner.RunCell(ctx, t.id)
+		// The simulate span's context rides the ctx so the runner (a
+		// fleet coordinator) parents its fleet.cell span here and
+		// injects the same trace into every backend request — the
+		// cross-process half of trace stitching.
+		res, wall, err = s.opts.Runner.RunCell(otrace.ContextWith(ctx, sim.Ctx()), t.id)
 		if wall <= 0 {
 			wall = time.Since(start)
 		}
@@ -849,6 +909,21 @@ func (s *Server) runFlight(t *cellTask, worker int) {
 	}
 	sim.SetBool("ok", err == nil)
 	s.tracer.End(&sim)
+	// The flight recorder keeps a per-cell summary window; a failed
+	// cell additionally snapshots the black box under a reason derived
+	// from the failure class (watchdog, check, panic).
+	if err == nil {
+		s.fr.Record(flightrec.Event{
+			Kind: flightrec.KindSim, Name: "cell",
+			Digest: t.digest, Value: res.Cycles,
+		})
+	} else if !canceled {
+		s.fr.Record(flightrec.Event{
+			Kind: flightrec.KindSim, Name: "cell-failed",
+			Digest: t.digest, Detail: err.Error(),
+		})
+		s.fr.Snapshot(failureReason(err), t.digest, err.Error())
+	}
 	s.observePhase(PhaseSimulate, wall)
 	if t.fl.owner != nil {
 		t.fl.owner.addPhase(PhaseSimulate, wall)

@@ -6,6 +6,7 @@ import (
 	"strconv"
 
 	"wsrs/internal/otrace"
+	"wsrs/internal/otrace/federate"
 	"wsrs/internal/telemetry"
 )
 
@@ -35,6 +36,10 @@ func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
 		linked[otrace.TraceID(id)] = true
 		spans = append(spans, s.tracer.TraceSpans(otrace.TraceID(id))...)
 	}
+	if s.opts.Fleet != nil {
+		s.serveStitchedTrace(w, r, j, spans)
+		return
+	}
 	if r.URL.Query().Get("format") == "chrome" {
 		w.Header().Set("Content-Type", "application/json")
 		_ = telemetry.WriteTrace(w, chromeEvents(spans))
@@ -43,6 +48,56 @@ func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
 	doc := otrace.NewDocument(j.trace, spans)
 	doc.JobID = j.id
 	doc.Label = j.label
+	doc.Evicted = s.tracer.Total() - uint64(s.tracer.Len())
+	w.Header().Set("Content-Type", "application/json")
+	_ = otrace.WriteDocument(w, doc)
+}
+
+// serveStitchedTrace answers GET /v1/jobs/{id}/trace on a coordinator:
+// the local span set becomes the first process track, every fleet
+// member is asked (concurrently, under the federation deadline) for
+// its spans of the same trace, and the merged multi-track document
+// goes out as native JSON or — ?format=chrome — as one Perfetto
+// timeline with a named track per process. A member that cannot
+// answer contributes a stale track, never an error.
+func (s *Server) serveStitchedTrace(w http.ResponseWriter, r *http.Request, j *job, spans []otrace.Span) {
+	local := federate.ProcessDoc{
+		Process: s.process,
+		Evicted: s.tracer.Total() - uint64(s.tracer.Len()),
+		EpochUs: otrace.EpochUnixUs(),
+		Spans:   make([]otrace.SpanJSON, len(spans)),
+	}
+	for i := range spans {
+		local.Spans[i] = spans[i].JSON()
+	}
+	fl := s.opts.Fleet
+	doc := federate.Stitch(r.Context(), local, otrace.FormatTraceID(j.trace),
+		fl.FleetMembers(), fl.FleetTrace, s.opts.FleetScrapeTimeout)
+	doc.JobID = j.id
+	doc.Label = j.label
+	if r.URL.Query().Get("format") == "chrome" {
+		w.Header().Set("Content-Type", "application/json")
+		_ = telemetry.WriteTrace(w, federate.ChromeEvents(doc))
+		return
+	}
+	writeJSON(w, http.StatusOK, doc)
+}
+
+// handleTraceByID serves GET /v1/traces/{trace}: this process's span
+// document for one trace ID, regardless of which job (or remote
+// caller) the trace belongs to. This is the member-side fetch of fleet
+// trace stitching — the coordinator collects each member's document
+// for the propagated trace and merges them.
+func (s *Server) handleTraceByID(w http.ResponseWriter, r *http.Request) {
+	raw := r.PathValue("trace")
+	id, err := strconv.ParseUint(raw, 16, 64)
+	if err != nil || id == 0 {
+		s.writeError(w, r, http.StatusBadRequest, ErrorEnvelope{
+			Field: "trace", Msg: fmt.Sprintf("trace must be a 16-digit hex ID, got %q", raw)})
+		return
+	}
+	spans := s.tracer.TraceSpans(otrace.TraceID(id))
+	doc := otrace.NewDocument(otrace.TraceID(id), spans)
 	doc.Evicted = s.tracer.Total() - uint64(s.tracer.Len())
 	w.Header().Set("Content-Type", "application/json")
 	_ = otrace.WriteDocument(w, doc)
