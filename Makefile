@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test race bench bench-gate bench-serve bench-fleet golden
+.PHONY: build test race bench bench-gate bench-serve bench-fleet bench-explore golden
 
 build:
 	$(GO) build ./...
@@ -11,7 +11,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race . ./internal/trace ./internal/tracecache ./internal/pipeline ./internal/telemetry ./internal/otrace ./internal/otrace/federate ./internal/otrace/flight ./internal/serve ./internal/fleet ./internal/fleet/chaos
+	$(GO) test -race . ./internal/trace ./internal/tracecache ./internal/pipeline ./internal/telemetry ./internal/otrace ./internal/otrace/federate ./internal/otrace/flight ./internal/serve ./internal/fleet ./internal/fleet/chaos ./internal/explore
 
 # Pinned benchmark invocation: a single CPU, a fixed benchtime and a
 # single count make successive runs (and the committed baseline vs a
@@ -69,6 +69,15 @@ bench-serve:
 bench-fleet:
 	$(GO) run ./cmd/wsrsload -fleet 1,2,3 -measure 200000 -out BENCH_fleet.json
 	@echo wrote BENCH_fleet.json
+
+# bench-explore measures design-space exploration throughput: the CI
+# smoke space explored twice in-process — with and without the
+# analytic M/M/c pre-filter — points/sec for each, the pre-filter
+# speedup, and a hard failure if the pre-filter changed the frontier
+# (it must only ever remove dominated points). The report is committed
+# as BENCH_explore.json alongside the other baselines.
+bench-explore:
+	$(GO) run ./cmd/wsrsexplore -bench -quiet -out BENCH_explore.json
 
 golden:
 	$(GO) test -run Golden -update .

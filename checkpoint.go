@@ -20,9 +20,15 @@ func cellKey(index int, c GridCell, opts SimOpts) string {
 	if c.Seed != 0 {
 		seed = c.Seed
 	}
-	return fmt.Sprintf("%d|%s|%s|%s|%d|%d|%d|%d",
+	key := fmt.Sprintf("%d|%s|%s|%s|%d|%d|%d|%d",
 		index, c.Kernel, c.Config, c.Policy, len(c.Mods),
 		o.WarmupInsts, o.MeasureInsts, seed)
+	if c.ModsKey != "" {
+		// Appended only when present so checkpoints written before
+		// named mods existed keep resuming under their old keys.
+		key += "|" + c.ModsKey
+	}
+	return key
 }
 
 // checkpointRecord is one finished cell, one JSON object per line.

@@ -9,6 +9,7 @@
 //	telcheck -fleet-trace stitched.json    # stitched multi-process trace
 //	telcheck -fleet-trace s.json -require-processes 3
 //	telcheck -manifest run.json -require-activity
+//	telcheck -explore frontier.json        # explore frontier document
 //
 // Each artifact is parsed structurally (digest shape, per-cell
 // outcomes, trace event phases, exposition grammar) and the process
@@ -31,14 +32,15 @@ func main() {
 	metrics := flag.String("metrics", "", "validate this Prometheus text exposition file")
 	spans := flag.String("spans", "", "validate this otrace span document (wsrsbench -spans or GET /v1/jobs/{id}/trace)")
 	fleetTrace := flag.String("fleet-trace", "", "validate this stitched multi-process trace document (coordinator GET /v1/jobs/{id}/trace)")
+	exploreDoc := flag.String("explore", "", "validate this explore frontier document (wsrsexplore -out or GET /v1/explore/{id}/frontier)")
 	requireActivity := flag.Bool("require-activity", false, "fail if the manifest lacks aggregated activity counts (telemetry was off)")
 	requireSpan := flag.String("require-span", "", "comma-separated span names the document must contain (e.g. job,cell,simulate)")
 	requireProcesses := flag.Int("require-processes", 2, "fleet-trace: minimum live process tracks with spans")
 	allowFailed := flag.Bool("allow-failed", false, "tolerate failed cells in the manifest")
 	flag.Parse()
 
-	if *manifest == "" && *trace == "" && *metrics == "" && *spans == "" && *fleetTrace == "" {
-		fmt.Fprintln(os.Stderr, "telcheck: nothing to check; pass -manifest, -trace, -metrics, -spans and/or -fleet-trace")
+	if *manifest == "" && *trace == "" && *metrics == "" && *spans == "" && *fleetTrace == "" && *exploreDoc == "" {
+		fmt.Fprintln(os.Stderr, "telcheck: nothing to check; pass -manifest, -trace, -metrics, -spans, -fleet-trace and/or -explore")
 		os.Exit(2)
 	}
 	if *manifest != "" {
@@ -55,6 +57,9 @@ func main() {
 	}
 	if *fleetTrace != "" {
 		checkFleetTrace(*fleetTrace, *requireProcesses, *requireSpan)
+	}
+	if *exploreDoc != "" {
+		checkExplore(*exploreDoc)
 	}
 	fmt.Println("telcheck: all artifacts OK")
 }
@@ -371,6 +376,140 @@ func checkFleetTrace(path string, minProcesses int, require string) {
 	}
 	fmt.Printf("telcheck: fleet-trace %s: %d tracks (%d live), %d spans, trace %s\n",
 		path, len(doc.Processes), live, len(ids), doc.TraceID)
+}
+
+// exploreEval mirrors the objective fields of one explore.Eval — the
+// checker re-verifies Pareto properties from the serialized objectives
+// alone, with no dependency on the explore package.
+type exploreEval struct {
+	Digest   string  `json:"digest"`
+	IPC      float64 `json:"ipc"`
+	EnergyPJ float64 `json:"energy_pj_per_inst"`
+	Area     float64 `json:"area_units"`
+}
+
+// dominates re-implements explore.Dominates over serialized
+// objectives: no worse on every axis (IPC maximized; energy and area
+// minimized), strictly better on at least one.
+func dominates(a, b exploreEval) bool {
+	if a.IPC < b.IPC || a.EnergyPJ > b.EnergyPJ || a.Area > b.Area {
+		return false
+	}
+	return a.IPC > b.IPC || a.EnergyPJ < b.EnergyPJ || a.Area < b.Area
+}
+
+// checkExplore validates an explore frontier document: well-formed
+// digests, consistent point accounting (selected = evaluated + pruned
+// for exhaustive strategies), a frontier that is genuinely
+// non-dominated (re-verified pairwise from the serialized objectives),
+// and dominated-point provenance whose witness is a frontier member
+// that actually dominates it.
+func checkExplore(path string) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	var doc struct {
+		Version     int    `json:"version"`
+		SpaceDigest string `json:"space_digest"`
+		Strategy    string `json:"strategy"`
+		RawPoints   int    `json:"raw_points"`
+		Skipped     int    `json:"skipped_invalid"`
+		Selected    int    `json:"selected"`
+		Evaluated   int    `json:"evaluated"`
+		Frontier    []exploreEval
+		Dominated   []struct {
+			exploreEval
+			DominatedBy string `json:"dominated_by"`
+		} `json:"dominated"`
+		Pruned []struct {
+			Digest string `json:"digest"`
+			By     string `json:"pruned_by"`
+			Reason string `json:"reason"`
+		} `json:"pruned"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		fatalf("%s: not valid JSON: %v", path, err)
+	}
+	if doc.Version != 1 {
+		fatalf("%s: unknown document version %d", path, doc.Version)
+	}
+	if !hexDigest.MatchString(doc.SpaceDigest) {
+		fatalf("%s: space_digest %q is not a sha256 hex string", path, doc.SpaceDigest)
+	}
+	switch doc.Strategy {
+	case "grid", "random", "halving":
+	default:
+		fatalf("%s: unknown strategy %q", path, doc.Strategy)
+	}
+	if doc.RawPoints <= 0 {
+		fatalf("%s: raw_points %d, want > 0", path, doc.RawPoints)
+	}
+	if doc.Selected <= 0 || doc.Selected > doc.RawPoints-doc.Skipped {
+		fatalf("%s: selected %d outside (0, raw %d - skipped %d]",
+			path, doc.Selected, doc.RawPoints, doc.Skipped)
+	}
+	if doc.Evaluated != len(doc.Frontier)+len(doc.Dominated) {
+		fatalf("%s: evaluated %d but frontier %d + dominated %d",
+			path, doc.Evaluated, len(doc.Frontier), len(doc.Dominated))
+	}
+	// Exhaustive strategies account for every selected point; halving
+	// drops candidates between rounds, so only the bound holds.
+	if doc.Strategy != "halving" && doc.Evaluated+len(doc.Pruned) != doc.Selected {
+		fatalf("%s: evaluated %d + pruned %d != selected %d",
+			path, doc.Evaluated, len(doc.Pruned), doc.Selected)
+	}
+	if doc.Evaluated+len(doc.Pruned) > doc.Selected {
+		fatalf("%s: evaluated %d + pruned %d exceeds selected %d",
+			path, doc.Evaluated, len(doc.Pruned), doc.Selected)
+	}
+	if len(doc.Frontier) == 0 {
+		fatalf("%s: document has an empty frontier", path)
+	}
+
+	onFrontier := map[string]exploreEval{}
+	seen := map[string]bool{}
+	record := func(d string) {
+		if !hexDigest.MatchString(d) {
+			fatalf("%s: point digest %q is not a sha256 hex string", path, d)
+		}
+		if seen[d] {
+			fatalf("%s: point digest %s appears twice", path, d)
+		}
+		seen[d] = true
+	}
+	for _, e := range doc.Frontier {
+		record(e.Digest)
+		onFrontier[e.Digest] = e
+	}
+	for i, a := range doc.Frontier {
+		for j, b := range doc.Frontier {
+			if i != j && dominates(a, b) {
+				fatalf("%s: frontier point %s dominates frontier point %s — frontier is not non-dominated",
+					path, a.Digest[:12], b.Digest[:12])
+			}
+		}
+	}
+	for _, d := range doc.Dominated {
+		record(d.Digest)
+		w, ok := onFrontier[d.DominatedBy]
+		if !ok {
+			fatalf("%s: dominated point %s names witness %q not on the frontier",
+				path, d.Digest[:12], d.DominatedBy)
+		}
+		if !dominates(w, d.exploreEval) {
+			fatalf("%s: witness %s does not dominate point %s",
+				path, w.Digest[:12], d.Digest[:12])
+		}
+	}
+	for i, p := range doc.Pruned {
+		record(p.Digest)
+		if p.By == "" || p.Reason == "" {
+			fatalf("%s: pruned point %d (%s) carries no rule/reason provenance", path, i, p.Digest[:12])
+		}
+	}
+	fmt.Printf("telcheck: explore %s: %s over %d points (%d skipped, %d pruned), frontier %d, dominated %d\n",
+		path, doc.Strategy, doc.RawPoints, doc.Skipped, len(doc.Pruned), len(doc.Frontier), len(doc.Dominated))
 }
 
 // checkMetrics validates the Prometheus text exposition format 0.0.4

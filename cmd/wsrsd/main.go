@@ -31,6 +31,23 @@
 //	DELETE /v1/jobs/{id}         cancel
 //	GET    /metrics /healthz /readyz /debug/vars /debug/pprof/
 //
+// Design-space exploration jobs run the internal/explore search
+// (grid / seeded random / successive halving with the analytic
+// pre-filter) over the same worker pool, cache and — in coordinator
+// mode — fleet scatter path as plain jobs:
+//
+//	POST   /v1/explore            submit an exploration (202; the same
+//	                              400/429/503 admission contract as
+//	                              /v1/jobs, with structured field errors)
+//	GET    /v1/explore            list explore jobs
+//	GET    /v1/explore/{id}       status: phase, points evaluated /
+//	                              pruned, frontier size, cache hits
+//	GET    /v1/explore/{id}/frontier  the deterministic Pareto frontier
+//	                              document (byte-identical across runs,
+//	                              hosts and evaluators)
+//	GET    /v1/explore/{id}/events    SSE stream: phases, progress, result
+//	DELETE /v1/explore/{id}       cancel
+//
 // Coordinator mode additionally serves the fleet observability
 // surface:
 //

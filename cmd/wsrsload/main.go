@@ -28,11 +28,19 @@
 // hard-killed mid-job — `make bench-fleet` commits the result as
 // BENCH_fleet.json.
 //
+// A third mode, -explore-dup, is the serving-layer check for the
+// design-space exploration API: the same exploration is submitted
+// twice and the run fails unless the rerun resolves cells from the
+// daemon's content-addressed result cache (the wsrsd_cache_hits_total
+// counter must move by at least the rerun's own hit count) and both
+// jobs serve byte-identical frontier documents.
+//
 // Usage:
 //
 //	wsrsload -addr http://127.0.0.1:8080
 //	wsrsload -addr http://127.0.0.1:8080 -levels 1,2,4,8 -n 40 -dup 0.5 -out BENCH_serve.json
 //	wsrsload -fleet 1,2,3 -measure 200000 -out BENCH_fleet.json
+//	wsrsload -addr http://127.0.0.1:8080 -explore-dup
 package main
 
 import (
@@ -68,6 +76,7 @@ func main() {
 	retryCap := flag.Duration("retry-cap", 0, "cap on the jittered 429 backoff (0 = default 2s)")
 	fleetCounts := flag.String("fleet", "", "comma-separated backend counts: run the self-contained fleet scatter/gather bench instead of the load test")
 	fleetWorkers := flag.Int("fleet-workers", 2, "simulation workers per fleet backend")
+	exploreDup := flag.Bool("explore-dup", false, "run the duplicate-explore check instead of the load test: submit the same exploration twice and assert cache reuse plus byte-identical frontiers")
 	flag.Parse()
 
 	logger := serve.NewLogger(os.Stderr, *logFormat)
@@ -103,6 +112,12 @@ func main() {
 		fatal(logger, fmt.Errorf("daemon not ready at %s: %w", *addr, err))
 	}
 	logger.Info("daemon ready", slog.String("addr", *addr))
+	if *exploreDup {
+		if err := runExploreDup(ctx, logger, client, *warmup, *measure, *out); err != nil {
+			fatal(logger, err)
+		}
+		return
+	}
 	spec := serve.LoadSpec{
 		Levels:           ramp,
 		RequestsPerLevel: *n,

@@ -65,6 +65,11 @@ type GridCell struct {
 	Policy string
 	// Mods are applied to the machine configuration in order.
 	Mods []MachineOption
+	// ModsKey optionally names the Mods in canonical string form (see
+	// ParseMods). Functions aren't comparable, so checkpoint keys can
+	// only distinguish modified cells through this field; the explore
+	// subsystem and the serving layer always set it alongside Mods.
+	ModsKey string
 }
 
 // GridResult pairs a cell with its simulation outcome.
@@ -142,7 +147,9 @@ func runCell(c GridCell, opts SimOpts) (Result, error) {
 		m(&cfg)
 	}
 	if c.Policy != "" {
-		pol, err = NewPolicy(c.Policy, opts.Seed)
+		// Sized after the mods so a clusters= override and the RR
+		// baseline agree on the rotation modulus.
+		pol, err = newPolicySized(c.Policy, opts.Seed, cfg.NumClusters)
 		if err != nil {
 			return Result{}, err
 		}

@@ -25,6 +25,10 @@
 //	RCBalanced — RC choosing the least-loaded allowed cluster (an
 //	             ablation for the dynamic policies the paper leaves
 //	             to future work)
+//	RCDep      — RC preferring a producer's cluster (locality first)
+//	RRAff      — round-robin-with-affinity: RCDep's locality
+//	             preference with deterministic round-robin tie-breaks
+//	             instead of randomness
 package alloc
 
 import (
@@ -157,6 +161,62 @@ func (r *RoundRobin) Allocate(*trace.MicroOp, [2]int, []int) Decision {
 	c := r.next
 	r.next = (r.next + 1) % r.K
 	return Decision{Cluster: c}
+}
+
+// RRAff is round-robin-with-affinity steering: among the clusters
+// read specialization allows (with commutative-cluster hardware),
+// prefer one that already holds a source operand's subset — the
+// producer's cluster under write specialization — and resolve the
+// remaining freedom with a rotating round-robin pointer instead of
+// randomness. It keeps RC-dep's locality preference while replacing
+// its random tie-breaks with the deterministic rotation of the RR
+// baseline, so two runs with any seed make identical decisions.
+type RRAff struct {
+	next    int
+	scratch [NumClusters]Decision
+}
+
+// NewRRAff returns a deterministic round-robin-with-affinity policy.
+// It takes no seed: the policy embeds no randomness.
+func NewRRAff() *RRAff { return &RRAff{} }
+
+// Name implements Policy.
+func (p *RRAff) Name() string { return "RR-aff" }
+
+// Allocate implements Policy.
+func (p *RRAff) Allocate(m *trace.MicroOp, subsets [2]int, _ []int) Decision {
+	n := AllowedClustersInto(&p.scratch, m, subsets, true)
+	choices := p.scratch[:n]
+	start := p.next
+	p.next = (p.next + 1) % NumClusters
+	pick := func(filter func(Decision) bool) (Decision, bool) {
+		best, bestDist, found := Decision{}, NumClusters+1, false
+		for _, d := range choices {
+			if !filter(d) {
+				continue
+			}
+			// Cyclic distance from the rotation pointer: the pointer
+			// sweeps the clusters so repeated free choices spread out
+			// exactly like plain round-robin.
+			dist := (d.Cluster - start + NumClusters) % NumClusters
+			if dist < bestDist {
+				best, bestDist, found = d, dist, true
+			}
+		}
+		return best, found
+	}
+	if d, ok := pick(func(d Decision) bool {
+		for i := 0; i < m.NSrc; i++ {
+			if d.Cluster == subsets[i] {
+				return true
+			}
+		}
+		return false
+	}); ok {
+		return d
+	}
+	d, _ := pick(func(Decision) bool { return true })
+	return d
 }
 
 // RM is the "random monadic" WSRS policy of §5.2.1: the register

@@ -290,3 +290,78 @@ func TestRCDepPrefersProducerCluster(t *testing.T) {
 		t.Error("name")
 	}
 }
+
+func TestRRAffPrefersProducerCluster(t *testing.T) {
+	p := NewRRAff()
+	// A dyadic op with operands in subsets (2,1) is fixed to cluster 3
+	// in presented order; swapped it lands on (1&2)|(2&1) = 0. Both 3
+	// and 0 are "local" (3 != a subset, 0 != a subset) — pick operands
+	// so exactly one choice equals a producer cluster: subsets (0,1)
+	// give cluster 1 presented and cluster 0 swapped, and both ARE
+	// producer clusters. Use (2,3): presented (2&2)|(3&1) = 3 — a
+	// producer cluster — swapped (3&2)|(2&1) = 2, also a producer.
+	// The monadic case isolates affinity: operand in subset 3 allows
+	// clusters {2,3} presented and {1,3} swapped; only 3 is the
+	// producer's cluster, so RR-aff must always choose 3.
+	for i := 0; i < 8; i++ {
+		m, subs := monadic(3)
+		d := p.Allocate(m, subs, nil)
+		if d.Cluster != 3 {
+			t.Fatalf("iteration %d: RR-aff chose cluster %d for a subset-3 monadic op, want the producer cluster 3", i, d.Cluster)
+		}
+		if !WSRSValid(m, subs, d.Cluster, d.Swapped) {
+			t.Fatalf("RR-aff produced an illegal decision %+v", d)
+		}
+	}
+}
+
+func TestRRAffNoadicRotates(t *testing.T) {
+	// With no operands there is no affinity: the rotation pointer must
+	// sweep all four clusters like plain round-robin.
+	p := NewRRAff()
+	seen := map[int]int{}
+	for i := 0; i < 8; i++ {
+		m, subs := noadic()
+		d := p.Allocate(m, subs, nil)
+		seen[d.Cluster]++
+	}
+	for c := 0; c < NumClusters; c++ {
+		if seen[c] != 2 {
+			t.Fatalf("noadic RR-aff rotation uneven: cluster %d chosen %d of 8 times (%v)", c, seen[c], seen)
+		}
+	}
+}
+
+func TestRRAffDeterministic(t *testing.T) {
+	// Two independent instances fed the same op sequence make
+	// identical decisions: the policy embeds no randomness at all.
+	mkOps := func() []func() (*trace.MicroOp, [2]int) {
+		var ops []func() (*trace.MicroOp, [2]int)
+		for i := 0; i < 64; i++ {
+			i := i
+			switch i % 3 {
+			case 0:
+				ops = append(ops, func() (*trace.MicroOp, [2]int) { return noadic() })
+			case 1:
+				ops = append(ops, func() (*trace.MicroOp, [2]int) { return monadic(i % 4) })
+			default:
+				ops = append(ops, func() (*trace.MicroOp, [2]int) { return dyadic(i%4, (i/4)%4, true) })
+			}
+		}
+		return ops
+	}
+	a, b := NewRRAff(), NewRRAff()
+	ops := mkOps()
+	for i, mk := range ops {
+		m1, s1 := mk()
+		m2, s2 := mk()
+		da := a.Allocate(m1, s1, nil)
+		db := b.Allocate(m2, s2, nil)
+		if da != db {
+			t.Fatalf("op %d: decisions diverge: %+v vs %+v", i, da, db)
+		}
+		if !WSRSValid(m1, s1, da.Cluster, da.Swapped) {
+			t.Fatalf("op %d: illegal decision %+v", i, da)
+		}
+	}
+}

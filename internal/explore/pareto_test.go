@@ -1,0 +1,142 @@
+package explore
+
+import (
+	"strings"
+	"testing"
+)
+
+func ev(name string, ipc, energy, area float64) Eval {
+	return Eval{Digest: name, IPC: ipc, EnergyPJ: energy, Area: area}
+}
+
+func digests(evals []Eval) string {
+	names := make([]string, len(evals))
+	for i, e := range evals {
+		names[i] = e.Digest
+	}
+	return strings.Join(names, ",")
+}
+
+func TestDominates(t *testing.T) {
+	base := ev("a", 2.0, 10, 100)
+	cases := []struct {
+		name string
+		b    Eval
+		want bool
+	}{
+		{"strictly better everywhere", ev("b", 1.5, 12, 120), true},
+		{"equal but cheaper energy", ev("b", 2.0, 12, 100), true},
+		{"equal but smaller area", ev("b", 2.0, 10, 120), true},
+		{"identical objectives", ev("b", 2.0, 10, 100), false},
+		{"faster but bigger", ev("b", 2.5, 10, 90), false},
+		{"slower and smaller", ev("b", 1.5, 8, 80), false},
+	}
+	for _, c := range cases {
+		if got := Dominates(base, c.b); got != c.want {
+			t.Errorf("%s: Dominates = %v, want %v", c.name, got, c.want)
+		}
+	}
+}
+
+func TestFrontierEqualCostTies(t *testing.T) {
+	// Two identical-objective points: neither dominates, both stay on
+	// the frontier regardless of digest order.
+	a := ev("aaaa", 2.0, 10, 100)
+	b := ev("bbbb", 2.0, 10, 100)
+	c := ev("cccc", 1.0, 20, 200) // dominated by both
+	front, dom := Frontier([]Eval{c, b, a})
+	if digests(front) != "aaaa,bbbb" {
+		t.Fatalf("frontier = %s, want aaaa,bbbb", digests(front))
+	}
+	if len(dom) != 1 || dom[0].Digest != "cccc" || dom[0].DominatedBy != "aaaa" {
+		t.Fatalf("dominated = %+v, want cccc by aaaa", dom)
+	}
+}
+
+func TestFrontierIPCTieWitness(t *testing.T) {
+	// b ties a on IPC but is strictly cheaper: a is dominated even
+	// though b sorts after it (regression test for scan-order bugs).
+	a := ev("aaaa", 2.0, 10, 100)
+	b := ev("bbbb", 2.0, 8, 90)
+	front, dom := Frontier([]Eval{a, b})
+	if digests(front) != "bbbb" {
+		t.Fatalf("frontier = %s, want bbbb", digests(front))
+	}
+	if len(dom) != 1 || dom[0].DominatedBy != "bbbb" {
+		t.Fatalf("dominated = %+v", dom)
+	}
+}
+
+func TestFrontierSingleObjectiveDegenerate(t *testing.T) {
+	// All energies and areas equal: the space degenerates to a single
+	// objective and the frontier is exactly the IPC maximum (plus
+	// exact ties).
+	evals := []Eval{
+		ev("aaaa", 1.0, 5, 50),
+		ev("bbbb", 3.0, 5, 50),
+		ev("cccc", 2.0, 5, 50),
+		ev("dddd", 3.0, 5, 50),
+	}
+	front, dom := Frontier(evals)
+	if digests(front) != "bbbb,dddd" {
+		t.Fatalf("frontier = %s, want bbbb,dddd", digests(front))
+	}
+	if len(dom) != 2 {
+		t.Fatalf("dominated = %+v", dom)
+	}
+	for _, d := range dom {
+		if d.DominatedBy != "bbbb" {
+			t.Errorf("%s dominated by %s, want bbbb (first frontier witness)", d.Digest, d.DominatedBy)
+		}
+	}
+}
+
+func TestFrontierWitnessIsOnFrontier(t *testing.T) {
+	// A chain a < b < c (c best): every dominated point's witness must
+	// itself be on the frontier, never an intermediate dominated point.
+	a := ev("aaaa", 1.0, 30, 300)
+	b := ev("bbbb", 2.0, 20, 200)
+	c := ev("cccc", 3.0, 10, 100)
+	front, dom := Frontier([]Eval{a, b, c})
+	if digests(front) != "cccc" {
+		t.Fatalf("frontier = %s", digests(front))
+	}
+	for _, d := range dom {
+		if d.DominatedBy != "cccc" {
+			t.Errorf("%s witnessed by %s, want the frontier point cccc", d.Digest, d.DominatedBy)
+		}
+	}
+}
+
+func TestFrontierSinglePoint(t *testing.T) {
+	front, dom := Frontier([]Eval{ev("aaaa", 1, 1, 1)})
+	if len(front) != 1 || len(dom) != 0 {
+		t.Fatalf("single point: front %d dom %d", len(front), len(dom))
+	}
+	front, dom = Frontier(nil)
+	if len(front) != 0 || len(dom) != 0 {
+		t.Fatalf("empty input: front %d dom %d", len(front), len(dom))
+	}
+}
+
+func TestDocumentRenderDeterministic(t *testing.T) {
+	d := &Document{
+		Version:  1,
+		Strategy: StrategyGrid,
+		Frontier: []Eval{ev("aaaa", 2, 10, 100)},
+	}
+	x, err := d.Render()
+	if err != nil {
+		t.Fatal(err)
+	}
+	y, err := d.Render()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(x) != string(y) {
+		t.Fatalf("Render not byte-stable")
+	}
+	if !strings.HasSuffix(string(x), "\n") {
+		t.Fatalf("document missing trailing newline")
+	}
+}

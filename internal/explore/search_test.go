@@ -1,0 +1,276 @@
+package explore
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// update regenerates the golden frontier document:
+//
+//	go test ./internal/explore -run Golden -update
+var update = flag.Bool("update", false, "rewrite testdata/*.golden files")
+
+type recordingObserver struct {
+	phases    []string
+	evaluated int
+	pruned    int
+	frontier  int
+}
+
+func (o *recordingObserver) Phase(name string) { o.phases = append(o.phases, name) }
+func (o *recordingObserver) Progress(e, p, f int) {
+	if e < o.evaluated {
+		panic("evaluated counter went backwards")
+	}
+	o.evaluated, o.pruned, o.frontier = e, p, f
+}
+
+func runSmoke(t *testing.T, mutate func(*Request)) *Document {
+	t.Helper()
+	req := SmokeRequest()
+	if mutate != nil {
+		mutate(&req)
+	}
+	doc, err := Run(context.Background(), req, &LocalEvaluator{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return doc
+}
+
+func TestRunSmokeGrid(t *testing.T) {
+	t.Parallel()
+	obs := &recordingObserver{}
+	req := SmokeRequest()
+	doc, err := Run(context.Background(), req, &LocalEvaluator{}, obs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc.RawPoints != 48 || doc.Selected != 18 {
+		t.Fatalf("accounting: raw %d selected %d, want 48/18", doc.RawPoints, doc.Selected)
+	}
+	if doc.Evaluated+len(doc.PrunedSet) != doc.Selected {
+		t.Fatalf("evaluated %d + pruned %d != selected %d", doc.Evaluated, len(doc.PrunedSet), doc.Selected)
+	}
+	if len(doc.PrunedSet) == 0 {
+		t.Fatalf("smoke space should exercise the pre-filter")
+	}
+	if len(doc.Frontier)+len(doc.Dominated) != doc.Evaluated {
+		t.Fatalf("frontier %d + dominated %d != evaluated %d", len(doc.Frontier), len(doc.Dominated), doc.Evaluated)
+	}
+	if len(doc.Frontier) == 0 {
+		t.Fatalf("empty frontier")
+	}
+	for _, e := range doc.Frontier {
+		if e.IPC <= 0 || e.EnergyPJ <= 0 || e.Area <= 0 {
+			t.Errorf("degenerate objectives on frontier point %s: %+v", e.Digest[:12], e)
+		}
+	}
+	if obs.frontier != len(doc.Frontier) || obs.pruned != len(doc.PrunedSet) {
+		t.Errorf("observer counters %d/%d disagree with document %d/%d",
+			obs.frontier, obs.pruned, len(doc.Frontier), len(doc.PrunedSet))
+	}
+	if len(obs.phases) == 0 || obs.phases[0] != "enumerate" {
+		t.Errorf("phases = %v", obs.phases)
+	}
+}
+
+// TestRepeatedRunByteIdentical is the acceptance criterion: the same
+// space, strategy and seed render byte-identical frontier documents.
+func TestRepeatedRunByteIdentical(t *testing.T) {
+	t.Parallel()
+	a, err := runSmoke(t, nil).Render()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := runSmoke(t, nil).Render()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatalf("repeated exploration not byte-identical:\n--- a ---\n%s\n--- b ---\n%s", a, b)
+	}
+}
+
+// TestPrefilterNeverDropsFrontierPoint is the acceptance criterion:
+// on the CI smoke space the exhaustive frontier equals the
+// pre-filtered frontier, i.e. the analytic filter only removed
+// genuinely dominated points.
+func TestPrefilterNeverDropsFrontierPoint(t *testing.T) {
+	t.Parallel()
+	off := false
+	exhaustive := runSmoke(t, func(r *Request) { r.Prefilter = &off })
+	filtered := runSmoke(t, nil)
+	if exhaustive.Evaluated != 18 {
+		t.Fatalf("exhaustive run evaluated %d points, want all 18", exhaustive.Evaluated)
+	}
+	if filtered.Evaluated >= exhaustive.Evaluated {
+		t.Fatalf("pre-filter evaluated %d of %d — pruned nothing", filtered.Evaluated, exhaustive.Evaluated)
+	}
+	if len(exhaustive.Frontier) != len(filtered.Frontier) {
+		t.Fatalf("frontier size differs: exhaustive %d vs filtered %d",
+			len(exhaustive.Frontier), len(filtered.Frontier))
+	}
+	for i := range exhaustive.Frontier {
+		e, f := exhaustive.Frontier[i], filtered.Frontier[i]
+		if e.Digest != f.Digest || e.IPC != f.IPC || e.EnergyPJ != f.EnergyPJ || e.Area != f.Area {
+			t.Errorf("frontier[%d] differs: exhaustive %s (%.4f, %.4f, %.0f) vs filtered %s (%.4f, %.4f, %.0f)",
+				i, e.Digest[:12], e.IPC, e.EnergyPJ, e.Area, f.Digest[:12], f.IPC, f.EnergyPJ, f.Area)
+		}
+	}
+	// Every pruned point must appear in the exhaustive run's dominated
+	// set — pruning only ever removes non-frontier points.
+	dominated := map[string]bool{}
+	for _, d := range exhaustive.Dominated {
+		dominated[d.Digest] = true
+	}
+	for _, p := range filtered.PrunedSet {
+		if !dominated[p.Digest] {
+			t.Errorf("pruned point %s is not dominated in the exhaustive run", p.Digest[:12])
+		}
+	}
+}
+
+func TestRandomStrategyDeterministic(t *testing.T) {
+	t.Parallel()
+	mutate := func(seed int64) func(*Request) {
+		return func(r *Request) {
+			r.Strategy = StrategyRandom
+			r.Samples = 6
+			r.Seed = seed
+		}
+	}
+	a := runSmoke(t, mutate(7))
+	b := runSmoke(t, mutate(7))
+	ra, _ := a.Render()
+	rb, _ := b.Render()
+	if !bytes.Equal(ra, rb) {
+		t.Fatalf("random strategy not deterministic per seed")
+	}
+	if a.Selected != 6 {
+		t.Fatalf("selected %d, want 6 samples", a.Selected)
+	}
+	c := runSmoke(t, mutate(8))
+	if c.SpaceDigest != a.SpaceDigest {
+		t.Fatalf("space digest depends on seed")
+	}
+}
+
+// TestHalvingDeterministic runs under -race in CI: two concurrent-free
+// halving searches over the same request must agree byte for byte.
+func TestHalvingDeterministic(t *testing.T) {
+	t.Parallel()
+	mutate := func(r *Request) {
+		r.Strategy = StrategyHalving
+		r.Rounds = 3
+		r.Eta = 2
+		r.Measure = 16_000
+	}
+	a := runSmoke(t, mutate)
+	b := runSmoke(t, mutate)
+	ra, _ := a.Render()
+	rb, _ := b.Render()
+	if !bytes.Equal(ra, rb) {
+		t.Fatalf("halving not deterministic")
+	}
+	// ceil halving from the 10 pre-filter survivors: 10 → 5 → 3.
+	if a.Evaluated >= a.Selected-len(a.PrunedSet) {
+		t.Fatalf("halving evaluated %d final candidates, expected fewer than the %d survivors",
+			a.Evaluated, a.Selected-len(a.PrunedSet))
+	}
+	if len(a.Frontier)+len(a.Dominated) != a.Evaluated {
+		t.Fatalf("document accounting broken for halving")
+	}
+}
+
+func TestRunValidationError(t *testing.T) {
+	t.Parallel()
+	req := SmokeRequest()
+	req.Space.Policies = []string{"bogus"}
+	req.Strategy = "psychic"
+	_, err := Run(context.Background(), req, &LocalEvaluator{}, nil)
+	var verr *ValidationError
+	if !errors.As(err, &verr) {
+		t.Fatalf("err = %v, want *ValidationError", err)
+	}
+	fields := map[string]bool{}
+	for _, fe := range verr.Errors {
+		fields[fe.Field] = true
+	}
+	if !fields["space.policies"] || !fields["strategy"] {
+		t.Fatalf("missing field errors: %+v", verr.Errors)
+	}
+}
+
+func TestRunCancellation(t *testing.T) {
+	t.Parallel()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := Run(ctx, SmokeRequest(), &LocalEvaluator{}, nil)
+	if err == nil {
+		t.Fatalf("canceled run returned no error")
+	}
+}
+
+// TestGoldenFrontierDocument locks the full smoke document byte for
+// byte. Regenerate with -update after intended changes.
+func TestGoldenFrontierDocument(t *testing.T) {
+	t.Parallel()
+	got, err := runSmoke(t, nil).Render()
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join("testdata", "frontier_smoke.golden.json")
+	if *update {
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (regenerate with `go test ./internal/explore -run Golden -update`): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("frontier document differs from golden file; regenerate with -update if intended.\n--- got ---\n%.2000s", got)
+	}
+}
+
+func TestLocalEvaluatorCheckpointResume(t *testing.T) {
+	t.Parallel()
+	dir := t.TempDir()
+	ckpt := filepath.Join(dir, "explore.ckpt")
+	evalr := &LocalEvaluator{Checkpoint: ckpt}
+	req := SmokeRequest()
+	doc1, err := Run(context.Background(), req, evalr, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Second run resumes every cell from the checkpoint and must
+	// produce the identical document.
+	doc2, err := Run(context.Background(), req, evalr, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1, _ := doc1.Render()
+	r2, _ := doc2.Render()
+	if !bytes.Equal(r1, r2) {
+		t.Fatalf("checkpoint resume changed the document")
+	}
+	cached := 0
+	for _, e := range doc2.Frontier {
+		for _, k := range e.Kernels {
+			if k.Cached {
+				cached++
+			}
+		}
+	}
+	if cached == 0 {
+		t.Fatalf("no frontier cell was restored from the checkpoint on the second run")
+	}
+}

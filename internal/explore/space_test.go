@@ -1,0 +1,146 @@
+package explore
+
+import (
+	"regexp"
+	"strings"
+	"testing"
+)
+
+var hexDigest = regexp.MustCompile(`^[0-9a-f]{64}$`)
+
+func TestPointEncodeDigest(t *testing.T) {
+	p := Point{Clusters: 4, Width: 2, Regs: 512, IQ: 56, ROB: 224,
+		Specialize: SpecWSRS, Policy: "RC"}
+	want := "clusters=4|iq=56|policy=RC|regs=512|rob=224|spec=wsrs|width=2"
+	if got := p.Encode(); got != want {
+		t.Errorf("Encode: got %q want %q", got, want)
+	}
+	if !hexDigest.MatchString(p.Digest()) {
+		t.Errorf("digest %q not 64 hex chars", p.Digest())
+	}
+	if p.Digest() != p.Digest() {
+		t.Errorf("digest not stable")
+	}
+	q := p
+	q.Regs = 384
+	if q.Digest() == p.Digest() {
+		t.Errorf("different points share a digest")
+	}
+	if p.Subsets() != 4 {
+		t.Errorf("wsrs subsets = %d, want 4", p.Subsets())
+	}
+	if (Point{Specialize: SpecNone, Clusters: 4}).Subsets() != 1 {
+		t.Errorf("unspecialized subsets != 1")
+	}
+	if got, want := p.Mods(), "clusters=4,iq=56,regs=512,rob=224,subsets=4,width=2"; got != want {
+		t.Errorf("Mods: got %q want %q", got, want)
+	}
+}
+
+func TestSpaceValidateFieldErrors(t *testing.T) {
+	s := Space{
+		Clusters:   []int{4, 4},
+		Widths:     []int{0},
+		Regs:       []int{512},
+		IQSizes:    []int{56},
+		ROBSizes:   []int{224},
+		Specialize: []string{"sideways"},
+		Policies:   []string{"RC", "bogus"},
+		Kernels:    []string{"gzip", "nope"},
+	}
+	errs := s.Validate()
+	byField := map[string][]FieldError{}
+	for _, e := range errs {
+		byField[e.Field] = append(byField[e.Field], e)
+	}
+	for _, f := range []string{"space.clusters", "space.widths", "space.specialize", "space.policies", "space.kernels"} {
+		if len(byField[f]) == 0 {
+			t.Errorf("no error for %s (got %v)", f, errs)
+		}
+	}
+	if len(byField["space.regs"]) != 0 {
+		t.Errorf("unexpected regs error: %v", byField["space.regs"])
+	}
+	// Closed-set fields must advertise their valid values.
+	for _, e := range byField["space.specialize"] {
+		if len(e.Valid) == 0 {
+			t.Errorf("specialize error has no valid set: %+v", e)
+		}
+	}
+	if errs := (&Space{}).Validate(); len(errs) != 8 {
+		t.Errorf("empty space: %d errors, want 8 (one per axis): %v", len(errs), errs)
+	}
+}
+
+func TestSpaceCanonDigest(t *testing.T) {
+	a := SmokeRequest().Space
+	b := a
+	// Scramble axis order; canonical form must not care.
+	b.Regs = []int{1024, 384, 512}
+	b.Specialize = []string{SpecWSRS, SpecNone}
+	if a.Digest() != b.Digest() {
+		t.Errorf("axis order changed the space digest")
+	}
+	if !hexDigest.MatchString(a.Digest()) {
+		t.Errorf("space digest %q not hex", a.Digest())
+	}
+	if !strings.Contains(a.Encode(), "kernels=[gzip]") {
+		t.Errorf("encoding missing kernels: %q", a.Encode())
+	}
+}
+
+func TestEnumerateSmokeSpace(t *testing.T) {
+	s := SmokeRequest().Space
+	points, skipped := s.Enumerate()
+	if got := s.Size(); got != 48 {
+		t.Fatalf("raw size %d, want 48", got)
+	}
+	if len(points)+skipped != 48 {
+		t.Fatalf("accounting broken: %d valid + %d skipped != 48", len(points), skipped)
+	}
+	// 2-cluster and 4-cluster unspecialized machines run RR only;
+	// 4-cluster WSRS machines run RC only; everything else is jointly
+	// invalid. 3 regs x 2 iq for each of the three groups.
+	if len(points) != 18 {
+		for _, p := range points {
+			t.Logf("point %s", p.Encode())
+		}
+		t.Fatalf("%d simulable points, want 18", len(points))
+	}
+	seen := map[string]bool{}
+	for _, p := range points {
+		if err := p.Valid(); err != nil {
+			t.Errorf("enumerated invalid point %s: %v", p.Encode(), err)
+		}
+		if seen[p.Digest()] {
+			t.Errorf("duplicate point %s", p.Encode())
+		}
+		seen[p.Digest()] = true
+	}
+	// Deterministic enumeration order.
+	again, _ := s.Enumerate()
+	for i := range again {
+		if again[i] != points[i] {
+			t.Fatalf("enumeration order unstable at %d", i)
+		}
+	}
+}
+
+func TestEnumerateSkipsJointlyInvalid(t *testing.T) {
+	bad := []Point{
+		{Clusters: 2, Width: 2, Regs: 512, IQ: 56, ROB: 224, Specialize: SpecWSRS, Policy: "RC"},     // WSRS needs 4 clusters
+		{Clusters: 4, Width: 2, Regs: 512, IQ: 56, ROB: 224, Specialize: SpecWSRS, Policy: "RR"},     // RR can't do WSRS
+		{Clusters: 4, Width: 2, Regs: 510, IQ: 56, ROB: 224, Specialize: SpecWSRS, Policy: "RC"},     // regs % subsets != 0
+		{Clusters: 4, Width: 2, Regs: 512, IQ: 56, ROB: 224, Specialize: SpecNone, Policy: "RC"},     // subset policy, no subsets
+		{Clusters: 8, Width: 2, Regs: 512, IQ: 56, ROB: 224, Specialize: SpecNone, Policy: "RC-dep"}, // 4-cluster policy
+	}
+	for _, p := range bad {
+		if p.Valid() == nil {
+			t.Errorf("point %s unexpectedly valid", p.Encode())
+		}
+	}
+	good := Point{Clusters: 8, Width: 2, Regs: 512, IQ: 56, ROB: 224, Specialize: SpecNone, Policy: "RR"}
+	if err := good.Valid(); err != nil {
+		t.Errorf("8-cluster RR point invalid: %v", err)
+	}
+}

@@ -464,7 +464,7 @@ func (c *Coordinator) attempt(ctx context.Context, primary, digest string, id se
 func (c *Coordinator) runOn(ctx context.Context, backend string, id serve.CellID) (wsrs.Result, error) {
 	client := c.clients[backend]
 	st, err := client.Submit(ctx, &serve.JobRequest{
-		Cells:     []serve.CellSpec{{Kernel: id.Kernel, Config: id.Config, Policy: id.Policy, Seed: id.Seed}},
+		Cells:     []serve.CellSpec{{Kernel: id.Kernel, Config: id.Config, Policy: id.Policy, Mods: id.Mods, Seed: id.Seed}},
 		Warmup:    id.Warmup,
 		Measure:   id.Measure,
 		Seed:      id.Seed,
@@ -531,6 +531,14 @@ func (c *Coordinator) runLocal(ctx context.Context, id serve.CellID) (wsrs.Resul
 		Config: wsrs.ConfigName(id.Config),
 		Policy: id.Policy,
 		Seed:   id.Seed,
+	}
+	if id.Mods != "" {
+		ms, err := wsrs.ParseMods(id.Mods)
+		if err != nil {
+			return wsrs.Result{}, err
+		}
+		cell.Mods = ms
+		cell.ModsKey = id.Mods
 	}
 	out, err := wsrs.RunGrid([]wsrs.GridCell{cell}, opts, 1)
 	if err != nil {

@@ -1,0 +1,101 @@
+package fleet
+
+import (
+	"bytes"
+	"context"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"wsrs/internal/explore"
+	"wsrs/internal/serve"
+	"wsrs/internal/telemetry"
+)
+
+// startFront boots a wsrsd front-end with the given options behind an
+// httptest listener and returns a client pointed at it.
+func startFront(t *testing.T, o serve.Options) *serve.Client {
+	t.Helper()
+	s, err := serve.New(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		_ = s.Drain(ctx)
+	})
+	return &serve.Client{Base: ts.URL}
+}
+
+func exploreRequest() *serve.ExploreRequest {
+	return &serve.ExploreRequest{
+		Request: explore.Request{
+			Space: explore.Space{
+				Clusters:   []int{2, 4},
+				Widths:     []int{2},
+				Regs:       []int{512},
+				IQSizes:    []int{16},
+				ROBSizes:   []int{64},
+				Specialize: []string{explore.SpecNone, explore.SpecWSRS},
+				Policies:   []string{"RR"},
+				Kernels:    []string{"gzip"},
+			},
+			Strategy: explore.StrategyGrid,
+			Seed:     1,
+			Warmup:   1000,
+			Measure:  5000,
+		},
+		Label: "fleet-identity",
+	}
+}
+
+func runExplore(t *testing.T, c *serve.Client) []byte {
+	t.Helper()
+	ctx := context.Background()
+	st, err := c.SubmitExplore(ctx, exploreRequest())
+	if err != nil {
+		t.Fatalf("SubmitExplore: %v", err)
+	}
+	final, err := c.WaitExplore(ctx, st.ID, time.Millisecond)
+	if err != nil {
+		t.Fatalf("WaitExplore: %v", err)
+	}
+	if final.State != serve.StateDone {
+		t.Fatalf("explore state = %s (%s), want done", final.State, final.Error)
+	}
+	doc, err := c.Frontier(ctx, final.ID)
+	if err != nil {
+		t.Fatalf("Frontier: %v", err)
+	}
+	return doc
+}
+
+// TestExploreThroughCoordinatorMatchesLocal is the fleet half of the
+// exploration determinism contract: the same explore request run on a
+// standalone daemon and on a coordinator front-end that scatters its
+// cells across member daemons must serve byte-identical frontier
+// documents.
+func TestExploreThroughCoordinatorMatchesLocal(t *testing.T) {
+	local := startFront(t, serve.Options{Workers: 2})
+	want := runExplore(t, local)
+
+	var backends []string
+	for i := 0; i < 2; i++ {
+		_, ts := startBackend(t)
+		backends = append(backends, ts.URL)
+	}
+	c := newTestCoordinator(t, backends, nil)
+	front := startFront(t, serve.Options{Workers: 2, Runner: c})
+	got := runExplore(t, front)
+
+	if !bytes.Equal(got, want) {
+		t.Fatalf("coordinator-mode frontier differs from the local run:\nfleet: %.300s\nlocal: %.300s",
+			got, want)
+	}
+	if n := counter(c.Registry(), mCells+telemetry.Labels("outcome", "remote")); n == 0 {
+		t.Fatal("coordinator ran no cells remotely; the explore never reached the fleet")
+	}
+}

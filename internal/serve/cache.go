@@ -19,9 +19,13 @@ import (
 // can be named over the wire. It is the content address of the result
 // cache — two requests with the same CellID are the same simulation.
 type CellID struct {
-	Kernel    string `json:"kernel"`
-	Config    string `json:"config"`
-	Policy    string `json:"policy,omitempty"`
+	Kernel string `json:"kernel"`
+	Config string `json:"config"`
+	Policy string `json:"policy,omitempty"`
+	// Mods is the canonical machine-modification string
+	// (wsrs.ParseMods form, e.g. "clusters=2,width=2") applied on top
+	// of the named configuration. Empty means the stock machine.
+	Mods      string `json:"mods,omitempty"`
 	Seed      int64  `json:"seed"`
 	Warmup    uint64 `json:"warmup"`
 	Measure   uint64 `json:"measure"`
@@ -31,11 +35,16 @@ type CellID struct {
 // Digest returns the cell's content address: the hex sha256 of its
 // canonical identity string. The encoding is positional and
 // delimiter-separated (not JSON), so field order and omitempty can
-// never split one identity into two addresses.
+// never split one identity into two addresses. Mods extends the
+// encoding only when present, so every pre-existing cache entry keeps
+// its address.
 func (c CellID) Digest() string {
 	h := sha256.New()
 	fmt.Fprintf(h, "%s|%s|%s|%d|%d|%d|%t",
 		c.Kernel, c.Config, c.Policy, c.Seed, c.Warmup, c.Measure, c.Telemetry)
+	if c.Mods != "" {
+		fmt.Fprintf(h, "|%s", c.Mods)
+	}
 	return hex.EncodeToString(h.Sum(nil))
 }
 

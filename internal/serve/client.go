@@ -333,6 +333,128 @@ func (c *Client) Events(ctx context.Context, id string, fn func(Event) bool) err
 	}
 }
 
+// SubmitExplore posts one design-space exploration and returns its
+// accepted status (202).
+func (c *Client) SubmitExplore(ctx context.Context, req *ExploreRequest) (ExploreStatus, error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return ExploreStatus{}, err
+	}
+	hreq, err := c.newRequest(ctx, http.MethodPost, "/v1/explore", bytes.NewReader(body))
+	if err != nil {
+		return ExploreStatus{}, err
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	resp, err := c.http().Do(hreq)
+	if err != nil {
+		return ExploreStatus{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		return ExploreStatus{}, apiError(resp)
+	}
+	var st ExploreStatus
+	return st, json.NewDecoder(resp.Body).Decode(&st)
+}
+
+// GetExplore fetches one explore job's status.
+func (c *Client) GetExplore(ctx context.Context, id string) (ExploreStatus, error) {
+	var st ExploreStatus
+	return st, c.getJSON(ctx, "/v1/explore/"+id, &st)
+}
+
+// WaitExplore polls an explore job until it reaches a terminal state.
+func (c *Client) WaitExplore(ctx context.Context, id string, poll time.Duration) (ExploreStatus, error) {
+	if poll <= 0 {
+		poll = 10 * time.Millisecond
+	}
+	for {
+		st, err := c.GetExplore(ctx, id)
+		if err != nil {
+			return st, err
+		}
+		switch st.State {
+		case StateDone, StateFailed, StateCanceled:
+			return st, nil
+		}
+		select {
+		case <-ctx.Done():
+			return st, ctx.Err()
+		case <-time.After(poll):
+		}
+	}
+}
+
+// Frontier fetches a done explore job's frontier document verbatim —
+// the deterministic bytes explore.Document.Render produced.
+func (c *Client) Frontier(ctx context.Context, id string) ([]byte, error) {
+	hreq, err := c.newRequest(ctx, http.MethodGet, "/v1/explore/"+id+"/frontier", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.http().Do(hreq)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, apiError(resp)
+	}
+	return io.ReadAll(resp.Body)
+}
+
+// CancelExplore requests cancellation of an explore job.
+func (c *Client) CancelExplore(ctx context.Context, id string) error {
+	hreq, err := c.newRequest(ctx, http.MethodDelete, "/v1/explore/"+id, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.http().Do(hreq)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return apiError(resp)
+	}
+	return nil
+}
+
+// ExploreEvents follows an explore job's server-sent event stream,
+// invoking fn for every decoded event until the job ends, the stream
+// closes, or fn returns false.
+func (c *Client) ExploreEvents(ctx context.Context, id string, fn func(ExploreEvent) bool) error {
+	hreq, err := c.newRequest(ctx, http.MethodGet, "/v1/explore/"+id+"/events", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.http().Do(hreq)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return apiError(resp)
+	}
+	dec := newSSEDecoder(resp.Body)
+	for {
+		data, err := dec.next()
+		if err != nil {
+			if err == io.EOF {
+				return nil
+			}
+			return err
+		}
+		var ev ExploreEvent
+		if json.Unmarshal(data, &ev) != nil {
+			continue
+		}
+		if !fn(ev) {
+			return nil
+		}
+	}
+}
+
 // sseDecoder extracts the data payloads of a text/event-stream body.
 type sseDecoder struct {
 	r   *bufio.Reader

@@ -46,7 +46,12 @@ type CellSpec struct {
 	Kernel string `json:"kernel"`
 	Config string `json:"config"`
 	Policy string `json:"policy,omitempty"`
-	Seed   int64  `json:"seed,omitempty"`
+	// Mods is a canonical machine-modification string (see
+	// wsrs.ParseMods) layered on the named configuration; the
+	// cross-field combination is validated up front by
+	// wsrs.ValidateCell.
+	Mods string `json:"mods,omitempty"`
+	Seed int64  `json:"seed,omitempty"`
 }
 
 // RequestError is a structured 400: which field of the request is
@@ -150,12 +155,25 @@ func (r *JobRequest) expand() ([]CellID, error) {
 			return nil, &RequestError{Field: field("policy"),
 				Msg: err.Error(), Valid: wsrs.PolicyNames()}
 		}
+		if c.Mods != "" {
+			if err := wsrs.ValidateMods(c.Mods); err != nil {
+				return nil, &RequestError{Field: field("mods"),
+					Msg: err.Error(), Valid: wsrs.ModKeys()}
+			}
+			// Cross-field check: the modified machine must build, and the
+			// policy must fit it (e.g. only RR steers a non-4-cluster
+			// machine).
+			if err := wsrs.ValidateCell(conf, c.Policy, c.Mods); err != nil {
+				return nil, &RequestError{Field: field("mods"), Msg: err.Error()}
+			}
+		}
 		cellSeed := c.Seed
 		if cellSeed == 0 {
 			cellSeed = seed
 		}
 		out[i] = CellID{
 			Kernel: c.Kernel, Config: string(conf), Policy: c.Policy,
+			Mods: c.Mods,
 			Seed: cellSeed, Warmup: warmup, Measure: measure,
 			Telemetry: telemetry,
 		}

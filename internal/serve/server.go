@@ -235,6 +235,12 @@ type Server struct {
 	jobs    map[string]*job
 	order   []string
 	nextID  int
+
+	// Design-space exploration jobs (POST /v1/explore), kept separate
+	// from the cell-grid jobs: different lifecycle, same worker pool.
+	explores      map[string]*exploreJob
+	exploreOrder  []string
+	nextExploreID int
 }
 
 // New builds the daemon and starts its worker pool.
@@ -274,22 +280,24 @@ func New(o Options) (*Server, error) {
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	s := &Server{
-		opts:    o,
-		reg:     reg,
-		cache:   cache,
-		tracer:  tracer,
-		fr:      fr,
-		process: process,
-		phases:  newPhaseLog(o.PhaseSamples),
-		slow:    newSlowRing(o.SlowJobs),
-		log:     lg,
-		ctx:     ctx,
-		cancel:  cancel,
-		queue:   make(chan *cellTask, o.MaxQueuedCells+1),
-		flights: map[string]*flight{},
-		jobs:    map[string]*job{},
+		opts:     o,
+		reg:      reg,
+		cache:    cache,
+		tracer:   tracer,
+		fr:       fr,
+		process:  process,
+		phases:   newPhaseLog(o.PhaseSamples),
+		slow:     newSlowRing(o.SlowJobs),
+		log:      lg,
+		ctx:      ctx,
+		cancel:   cancel,
+		queue:    make(chan *cellTask, o.MaxQueuedCells+1),
+		flights:  map[string]*flight{},
+		jobs:     map[string]*job{},
+		explores: map[string]*exploreJob{},
 	}
 	s.initMetrics()
+	s.initExploreMetrics()
 	for w := 0; w < o.Workers; w++ {
 		s.workerWG.Add(1)
 		go func(worker int) {
@@ -324,7 +332,7 @@ func (s *Server) Handler() http.Handler {
 		Registry: s.reg,
 		Expvar:   true,
 		Pprof:    true,
-		Index:    "wsrsd: POST /v1/jobs, GET /v1/jobs/{id}[/results|/events], DELETE /v1/jobs/{id}; /metrics /healthz /debug/vars /debug/pprof/",
+		Index:    "wsrsd: POST /v1/jobs, GET /v1/jobs/{id}[/results|/events], DELETE /v1/jobs/{id}; POST /v1/explore, GET /v1/explore/{id}[/frontier|/events], DELETE /v1/explore/{id}; /metrics /healthz /debug/vars /debug/pprof/",
 	})
 	mux.HandleFunc("GET /healthz", s.handleHealth)
 	mux.HandleFunc("GET /readyz", s.handleReady)
@@ -334,6 +342,12 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/jobs/{id}/results", s.instrument("/v1/jobs/{id}/results", s.handleResults))
 	mux.HandleFunc("GET /v1/jobs/{id}/trace", s.instrument("/v1/jobs/{id}/trace", s.handleTrace))
 	mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents) // streams: latency histogram would lie
+	mux.HandleFunc("POST /v1/explore", s.instrument("/v1/explore", s.handleExploreSubmit))
+	mux.HandleFunc("GET /v1/explore", s.instrument("/v1/explore", s.handleExploreList))
+	mux.HandleFunc("GET /v1/explore/{id}", s.instrument("/v1/explore/{id}", s.handleExploreGet))
+	mux.HandleFunc("GET /v1/explore/{id}/frontier", s.instrument("/v1/explore/{id}/frontier", s.handleExploreFrontier))
+	mux.HandleFunc("GET /v1/explore/{id}/events", s.handleExploreEvents) // streams
+	mux.HandleFunc("DELETE /v1/explore/{id}", s.instrument("/v1/explore/{id}", s.handleExploreCancel))
 	mux.HandleFunc("GET /v1/cache/{digest}", s.instrument("/v1/cache/{digest}", s.handleCacheFetch))
 	mux.HandleFunc("GET /v1/phases", s.instrument("/v1/phases", s.handlePhases))
 	mux.HandleFunc("GET /v1/traces/{trace}", s.instrument("/v1/traces/{trace}", s.handleTraceByID))
@@ -452,21 +466,14 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 	// Admission control: reserve queue room for the whole job or
 	// reject it now, before any state is created.
-	for {
-		p := s.pending.Load()
-		if int(p)+len(ids) > s.opts.MaxQueuedCells {
-			outcome = "rejected"
-			s.reg.Counter(mJobs+telemetry.Labels("outcome", "rejected"), helpJobs).Inc()
-			w.Header().Set("Retry-After", "1")
-			s.writeError(w, r, http.StatusTooManyRequests, ErrorEnvelope{
-				Msg: "queue full", Pending: p, QueueCap: s.opts.MaxQueuedCells})
-			return
-		}
-		if s.pending.CompareAndSwap(p, p+int64(len(ids))) {
-			break
-		}
+	if err := s.reservePending(len(ids)); err != nil {
+		outcome = "rejected"
+		s.reg.Counter(mJobs+telemetry.Labels("outcome", "rejected"), helpJobs).Inc()
+		w.Header().Set("Retry-After", "1")
+		s.writeError(w, r, http.StatusTooManyRequests, ErrorEnvelope{
+			Msg: "queue full", Pending: s.pending.Load(), QueueCap: s.opts.MaxQueuedCells})
+		return
 	}
-	s.reg.Gauge(mPending, helpPending).Set(s.pending.Load())
 
 	s.mu.Lock()
 	s.nextID++
@@ -650,41 +657,17 @@ func (s *Server) runJob(j *job, ids []CellID) {
 			continue
 		}
 		digest := j.cells[i].Digest
-		s.mu.Lock()
-		fl, coalesced := s.flights[digest]
-		if coalesced && !fl.join() {
-			// The in-flight leader was canceled between our map lookup
-			// and the join: start over with a fresh flight.
-			coalesced = false
-		}
-		if !coalesced {
-			// The new flight carries this cell's span context and
-			// owner: the queue-wait and simulate spans parent here, and
-			// the job's phase decomposition absorbs their durations.
-			fl = &flight{
-				ctx:      j.cellCtx(i),
-				owner:    j,
-				enqueued: otrace.Now(),
-				cancel:   make(chan struct{}),
-				waiters:  1,
-				done:     make(chan struct{}),
-			}
-			s.flights[digest] = fl
-		}
-		s.mu.Unlock()
+		fl, coalesced := s.acquireFlight(id, digest, j.cellCtx(i), j)
 		disposition := CacheMiss
 		var waitSpan otrace.Span
 		if coalesced {
 			disposition = CacheCoalesced
-			s.reg.Counter(mCoalesced, helpCoalesced).Inc()
 			// The waiter's span links (not parents) to the leader
 			// flight's cell span: the leader may belong to a different
 			// trace, so the linkage crosses traces by attribute.
 			waitSpan = s.tracer.Begin("coalesce.wait", j.cellCtx(i))
 			waitSpan.SetStr("link_trace", otrace.FormatTraceID(fl.ctx.Trace))
 			waitSpan.SetStr("link_span", otrace.FormatSpanID(fl.ctx.Span))
-		} else {
-			s.queue <- &cellTask{id: id, digest: digest, fl: fl}
 		}
 		wg.Add(1)
 		go func(i int, fl *flight, disposition string, waitSpan otrace.Span, cellStart int64) {
@@ -769,6 +752,42 @@ func (s *Server) runJob(j *job, ids []CellID) {
 		slog.Int("cells_failed", fin.CellsFailed),
 		slog.Float64("total_ms", float64(total.Microseconds())/1000),
 		slog.Any("phase_ms", phaseMs))
+}
+
+// acquireFlight subscribes to the in-flight simulation for digest,
+// creating and enqueueing a fresh flight when no identical cell is
+// already running (singleflight). The caller — runJob for the job
+// API, the explore evaluator for design-space searches — waits on the
+// returned flight's done channel. coalesced reports whether an
+// existing flight was joined. The new flight carries tctx (the
+// queue-wait and simulate spans parent there) and owner (its phase
+// decomposition absorbs their durations; nil is fine).
+func (s *Server) acquireFlight(id CellID, digest string, tctx otrace.Ctx, owner *job) (*flight, bool) {
+	s.mu.Lock()
+	fl, coalesced := s.flights[digest]
+	if coalesced && !fl.join() {
+		// The in-flight leader was canceled between our map lookup
+		// and the join: start over with a fresh flight.
+		coalesced = false
+	}
+	if !coalesced {
+		fl = &flight{
+			ctx:      tctx,
+			owner:    owner,
+			enqueued: otrace.Now(),
+			cancel:   make(chan struct{}),
+			waiters:  1,
+			done:     make(chan struct{}),
+		}
+		s.flights[digest] = fl
+	}
+	s.mu.Unlock()
+	if coalesced {
+		s.reg.Counter(mCoalesced, helpCoalesced).Inc()
+	} else {
+		s.queue <- &cellTask{id: id, digest: digest, fl: fl}
+	}
+	return fl, coalesced
 }
 
 // endCellSpan emits cell i's span retroactively under its preallocated
@@ -893,12 +912,15 @@ func (s *Server) runFlight(t *cellTask, worker int) {
 			Policy: t.id.Policy,
 			Seed:   t.id.Seed,
 		}
-		start := time.Now()
-		var out []wsrs.GridResult
-		out, err = wsrs.RunGrid([]wsrs.GridCell{cell}, opts, 1)
-		wall = time.Since(start)
-		if len(out) == 1 {
-			res = out[0].Result
+		cell, err = withMods(cell, t.id.Mods)
+		if err == nil {
+			start := time.Now()
+			var out []wsrs.GridResult
+			out, err = wsrs.RunGrid([]wsrs.GridCell{cell}, opts, 1)
+			wall = time.Since(start)
+			if len(out) == 1 {
+				res = out[0].Result
+			}
 		}
 	}
 	s.reg.Histogram(mSimMs, helpSimMs).Observe(uint64(wall.Milliseconds()))
@@ -938,6 +960,22 @@ func (s *Server) runFlight(t *cellTask, worker int) {
 	}
 	s.removeFlight(t)
 	t.fl.resolve(res, err, wall)
+}
+
+// withMods applies a cell identity's canonical mods string to a grid
+// cell. Admission validated the string, so a parse failure here means
+// a corrupted identity, surfaced as the cell's error.
+func withMods(cell wsrs.GridCell, mods string) (wsrs.GridCell, error) {
+	if mods == "" {
+		return cell, nil
+	}
+	ms, err := wsrs.ParseMods(mods)
+	if err != nil {
+		return cell, err
+	}
+	cell.Mods = ms
+	cell.ModsKey = mods
+	return cell, nil
 }
 
 // removeFlight unpublishes a flight, but only while the map still

@@ -149,9 +149,15 @@ func TestCoalescing(t *testing.T) {
 	defer srv.Drain(context.Background())
 	ctx := context.Background()
 
+	// The blocker's window must outlast the five duplicate submissions
+	// below by a wide margin: the allocation-free core simulates
+	// ~150k instructions in single-digit milliseconds, which is the
+	// same order as five HTTP round-trips, so a short blocker
+	// intermittently finishes first and the herd resolves from the
+	// cache instead of coalescing.
 	blocker, err := client.Submit(ctx, &JobRequest{
 		Cells:  []CellSpec{{Kernel: "mcf", Config: string(wsrs.ConfRR256)}},
-		Warmup: 2_000, Measure: 150_000, Label: "blocker",
+		Warmup: 2_000, Measure: 2_000_000, Label: "blocker",
 	})
 	if err != nil {
 		t.Fatalf("submit blocker: %v", err)

@@ -1,0 +1,71 @@
+package wsrs
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseModsCanonical(t *testing.T) {
+	opts, err := ParseMods("clusters=2,iq=32,regs=256,rob=128,subsets=1,width=2")
+	if err != nil {
+		t.Fatalf("canonical string rejected: %v", err)
+	}
+	if len(opts) != 6 {
+		t.Fatalf("got %d options, want 6", len(opts))
+	}
+	if opts, err := ParseMods(""); err != nil || opts != nil {
+		t.Fatalf("empty mods: got %v, %v", opts, err)
+	}
+	bad := map[string]string{
+		"flux=3":             "unknown key",
+		"iq=32,iq=32":        "duplicate",
+		"width=2,clusters=4": "sorted order",
+		"iq=lots":            "not an integer",
+		"clusters=16":        "out of range",
+		"iq":                 "malformed pair",
+		"iq=":                "malformed pair",
+		"regs=95":            "out of range",
+	}
+	for s, frag := range bad {
+		if _, err := ParseMods(s); err == nil || !strings.Contains(err.Error(), frag) {
+			t.Errorf("ParseMods(%q) = %v, want error containing %q", s, err, frag)
+		}
+	}
+}
+
+// TestModsChangeMachine runs tiny simulations through the named-mods
+// path at non-default cluster counts and widths, proving the engine is
+// general beyond the paper's 8-way 4-cluster point and that a mod
+// actually changes the outcome.
+func TestModsChangeMachine(t *testing.T) {
+	t.Parallel()
+	opts := SimOpts{WarmupInsts: 2_000, MeasureInsts: 8_000}
+	run := func(mods string) Result {
+		t.Helper()
+		ms, err := ParseMods(mods)
+		if err != nil {
+			t.Fatalf("ParseMods(%q): %v", mods, err)
+		}
+		res, err := runCell(GridCell{
+			Kernel: "gzip", Config: ConfRR256, Policy: "RR",
+			Mods: ms, ModsKey: mods,
+		}, opts)
+		if err != nil {
+			t.Fatalf("runCell(%q): %v", mods, err)
+		}
+		return res
+	}
+	base := run("")
+	narrow := run("clusters=2,width=2")
+	wide := run("clusters=8,width=2")
+	if narrow.Cycles == base.Cycles {
+		t.Errorf("2-cluster run identical to 4-cluster baseline (mods ignored?)")
+	}
+	if wide.Cycles == base.Cycles {
+		t.Errorf("8-cluster run identical to 4-cluster baseline (mods ignored?)")
+	}
+	again := run("clusters=2,width=2")
+	if again.IPC != narrow.IPC || again.Cycles != narrow.Cycles {
+		t.Errorf("modded run not deterministic: %+v vs %+v", again, narrow)
+	}
+}

@@ -67,11 +67,20 @@ func RunKernelWith(conf ConfigName, kernel string, opts SimOpts, policy string, 
 }
 
 // NewPolicy builds an allocation policy by name: "RR", "RM", "RC",
-// "RC-bal" (least-loaded) or "RC-dep" (locality-first).
+// "RC-bal" (least-loaded), "RC-dep" (locality-first) or "RR-aff"
+// (round-robin with producer-cluster affinity).
 func NewPolicy(name string, seed int64) (alloc.Policy, error) {
+	return newPolicySized(name, seed, 4)
+}
+
+// newPolicySized is NewPolicy for a machine with k clusters. Only the
+// pure round-robin baseline varies with the cluster count; the
+// specialization-aware policies are defined over the fixed 4-cluster
+// subset grid of the paper.
+func newPolicySized(name string, seed int64, k int) (alloc.Policy, error) {
 	switch name {
 	case "RR":
-		return alloc.NewRoundRobin(4), nil
+		return alloc.NewRoundRobin(k), nil
 	case "RM":
 		return alloc.NewRM(seed), nil
 	case "RC":
@@ -80,8 +89,57 @@ func NewPolicy(name string, seed int64) (alloc.Policy, error) {
 		return alloc.NewRCBalanced(seed), nil
 	case "RC-dep":
 		return alloc.NewRCDep(seed), nil
+	case "RR-aff":
+		return alloc.NewRRAff(), nil
 	}
 	return nil, fmt.Errorf("wsrs: unknown policy %q", name)
+}
+
+// WithClusters overrides the number of execution clusters. Values
+// other than 4 are only meaningful without read specialization (the
+// WSRS read-pair mapping is defined over the 4-cluster grid);
+// pipeline validation enforces that.
+func WithClusters(n int) MachineOption {
+	return func(c *pipeline.Config) { c.NumClusters = n }
+}
+
+// WithIssueWidth overrides the per-cluster issue width and scales the
+// execution resources with it, keeping the paper's shape: w integer
+// ALUs, one load/store unit and one FPU per two issue slots, and w+1
+// writeback ports (w results plus one load return, generalizing the
+// EV6-style 2 ALU + 1 load = 3 write ports of the 2-wide cluster).
+func WithIssueWidth(w int) MachineOption {
+	return func(c *pipeline.Config) {
+		half := (w + 1) / 2
+		c.Cluster.IssueWidth = w
+		c.Cluster.NumALU = w
+		c.Cluster.NumLSU = half
+		c.Cluster.NumFPU = half
+		c.Cluster.WritePorts = w + 1
+	}
+}
+
+// WithIQSize overrides the per-cluster scheduler capacity. The paper
+// uses an RUU-style window where the scheduler is the in-flight
+// window, so MaxInflight moves with it.
+func WithIQSize(n int) MachineOption {
+	return func(c *pipeline.Config) {
+		c.Cluster.IQSize = n
+		c.Cluster.MaxInflight = n
+	}
+}
+
+// WithROBSize overrides the reorder-buffer capacity.
+func WithROBSize(n int) MachineOption {
+	return func(c *pipeline.Config) { c.ROBSize = n }
+}
+
+// WithSubsets overrides the number of write-specialized register
+// subsets. With specialization enabled the dispatch stage equates the
+// result subset with the executing cluster, so any value other than
+// the cluster count is rejected by pipeline validation.
+func WithSubsets(n int) MachineOption {
+	return func(c *pipeline.Config) { c.Rename.NumSubsets = n }
 }
 
 // Forwarding hardware options of paper §4.3.1 for the 4-cluster WSRS

@@ -96,7 +96,7 @@ func AllConfigs() []ConfigName {
 
 // PolicyNames returns the allocation-policy names NewPolicy accepts.
 func PolicyNames() []string {
-	return []string{"RR", "RM", "RC", "RC-bal", "RC-dep"}
+	return []string{"RR", "RM", "RC", "RC-bal", "RC-dep", "RR-aff"}
 }
 
 // ValidateConfigName resolves a configuration name, returning an error
